@@ -1,0 +1,98 @@
+// Ablation: how many live checkpoints, and at what interval? The paper keeps
+// two checkpoints so the rollback always reaches at least one full interval
+// back (mean distance 1.5n, §5.2.3). This ablation runs the real ReStoreCore
+// with 1/2/4 live checkpoints across intervals and reports both the overhead
+// (fault-free) and the end-to-end recovery rate under injected faults.
+//
+// Usage: ablation_checkpoints [--trials N] [--seed S]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/restore_core.hpp"
+#include "uarch/state_registry.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace restore;
+
+namespace {
+
+struct Cell {
+  double recovery_rate = 0.0;
+  double slowdown = 0.0;
+  double mean_distance = 0.0;
+};
+
+Cell evaluate(const workloads::Workload& wl, u64 interval, unsigned live,
+              u64 trials, Rng& rng, u64 baseline_cycles) {
+  Cell cell;
+
+  // Overhead on a clean run.
+  core::ReStoreOptions options;
+  options.checkpoint_interval = interval;
+  options.live_checkpoints = live;
+  {
+    core::ReStoreCore restore(wl.program, options);
+    restore.run(400'000'000);
+    cell.slowdown =
+        static_cast<double>(restore.cycle_count()) / baseline_cycles - 1.0;
+  }
+
+  // Recovery under injected faults.
+  const auto& reg = uarch::StateRegistry::instance();
+  u64 recovered = 0, total_distance = 0, rollbacks = 0;
+  for (u64 t = 0; t < trials; ++t) {
+    core::ReStoreCore restore(wl.program, options);
+    restore.run(500 + rng.below(3'000));
+    if (!restore.running()) {
+      ++recovered;  // finished before injection: trivially correct
+      continue;
+    }
+    reg.flip(restore.core(), reg.sample(rng));
+    restore.run(100'000'000);
+    if (restore.status() == core::ReStoreCore::Status::kHalted &&
+        restore.output() == wl.clean_output) {
+      ++recovered;
+    }
+    total_distance += restore.stats().reexecuted_insns;
+    rollbacks += restore.stats().rollbacks;
+  }
+  cell.recovery_rate = static_cast<double>(recovered) / trials;
+  cell.mean_distance =
+      rollbacks ? static_cast<double>(total_distance) / rollbacks : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const u64 trials = resolve_trial_count(args, 60);
+  Rng rng(resolve_seed(args, 0xCCDD));
+
+  const auto& wl = workloads::by_name("mcf");
+  uarch::Core baseline(wl.program);
+  baseline.run(100'000'000);
+
+  std::printf("=== Ablation: live checkpoints x interval (workload: %s) ===\n\n",
+              wl.name.c_str());
+  TextTable table({"interval", "live ckpts", "recovery rate", "slowdown",
+                   "mean rollback distance"});
+  for (const u64 interval : {50ull, 100ull, 500ull}) {
+    for (const unsigned live : {1u, 2u, 4u}) {
+      const Cell cell =
+          evaluate(wl, interval, live, trials, rng, baseline.cycle_count());
+      table.add_row({std::to_string(interval), std::to_string(live),
+                     TextTable::fmt_pct(cell.recovery_rate, 1),
+                     TextTable::fmt_pct(cell.slowdown, 1),
+                     TextTable::fmt_f(cell.mean_distance, 0)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nWith one live checkpoint the rollback may land *after* the error's\n"
+      "injection point (distance < detection latency), losing coverage; the\n"
+      "paper's two-checkpoint scheme guarantees at least one interval of\n"
+      "reach at ~1.5x the re-execution cost.\n");
+  return 0;
+}

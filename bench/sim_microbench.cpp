@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks for the simulators themselves: cycles/sec
+// of the detailed core, instructions/sec of the architectural VM, trial
+// throughput of the injection harness, and checkpoint/rollback cost.
+#include <benchmark/benchmark.h>
+
+#include "core/restore_core.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "uarch/core.hpp"
+#include "uarch/state_registry.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace restore;
+
+void BM_VmInstructionRate(benchmark::State& state) {
+  const auto& wl = workloads::by_name("gzip");
+  for (auto _ : state) {
+    vm::Vm vm(wl.program);
+    vm.run(20'000);
+    benchmark::DoNotOptimize(vm.retired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_VmInstructionRate);
+
+void BM_CoreCycleRate(benchmark::State& state) {
+  const auto& wl = workloads::by_name("gzip");
+  for (auto _ : state) {
+    uarch::Core core(wl.program);
+    core.run(10'000);
+    benchmark::DoNotOptimize(core.retired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_CoreCycleRate);
+
+void BM_CoreSnapshotCopy(benchmark::State& state) {
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  core.run(5'000);
+  for (auto _ : state) {
+    uarch::Core copy = core;
+    benchmark::DoNotOptimize(copy.cycle_count());
+  }
+}
+BENCHMARK(BM_CoreSnapshotCopy);
+
+void BM_StateHash(benchmark::State& state) {
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  core.run(5'000);
+  const auto& reg = uarch::StateRegistry::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.hash_state(core));
+  }
+}
+BENCHMARK(BM_StateHash);
+
+void BM_InjectionTrial(benchmark::State& state) {
+  const auto& wl = workloads::by_name("mcf");
+  uarch::Core warm(wl.program);
+  warm.run(2'000);
+  const auto& reg = uarch::StateRegistry::instance();
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto record =
+        faultinject::run_uarch_trial(warm, reg.sample(rng), 2'000, 2'000);
+    benchmark::DoNotOptimize(record.arch_corrupt_at_end);
+  }
+}
+BENCHMARK(BM_InjectionTrial);
+
+void BM_CheckpointRollback(benchmark::State& state) {
+  const auto& wl = workloads::by_name("gap");
+  for (auto _ : state) {
+    core::ReStoreCore restore(wl.program);
+    restore.run(2'000);
+    benchmark::DoNotOptimize(restore.stats().rollbacks);
+  }
+}
+BENCHMARK(BM_CheckpointRollback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

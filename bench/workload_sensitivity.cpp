@@ -1,0 +1,85 @@
+// Workload sensitivity study: how masking, symptom mix, and ReStore coverage
+// vary with the workload's instruction mix. The paper argues (§3.1) that
+// exception coverage tracks how much of the program computes addresses and
+// control flow, and that footprint/VA-ratio moves the exception/cfv split;
+// this bench quantifies that across the seven paper workloads plus the two
+// extended ones (ALU-heavy crafty, annealing twolf).
+//
+// Usage: workload_sensitivity [--trials N] [--seed S] [--interval N]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "uarch/core.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace restore;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const u64 interval = args.value_u64("interval", 100);
+  const u64 trials = resolve_trial_count(args, 120);
+  const u64 seed = resolve_seed(args, 0x5E15);
+
+  std::printf("=== Workload sensitivity (interval=%llu, %llu trials each) ===\n\n",
+              static_cast<unsigned long long>(interval),
+              static_cast<unsigned long long>(trials));
+
+  std::vector<std::string> names;
+  for (const auto& wl : workloads::all()) names.push_back(wl.name);
+  for (const auto& wl : workloads::extended()) names.push_back(wl.name);
+
+  TextTable table({"workload", "branch%", "mem%", "VM masked", "VM exception",
+                   "uarch failures", "ReStore coverage"});
+
+  for (const auto& name : names) {
+    const auto& wl = workloads::by_name(name);
+
+    // Instruction mix from a clean VM run.
+    vm::Vm vm(wl.program);
+    u64 branches = 0, mem = 0, total = 0;
+    while (auto rec = vm.step()) {
+      ++total;
+      if (rec->is_cond_branch) ++branches;
+      if (rec->is_load || rec->is_store) ++mem;
+    }
+
+    // Architectural (Figure 2 style) campaign.
+    faultinject::VmCampaignConfig vc;
+    vc.trials_per_workload = trials;
+    vc.seed = seed;
+    vc.workloads = {name};
+    const auto vm_result = run_vm_campaign(vc);
+
+    // Microarchitectural campaign.
+    faultinject::UarchCampaignConfig uc;
+    uc.trials_per_workload = trials;
+    uc.seed = seed;
+    uc.workloads = {name};
+    uc.workers = args.value_u64("workers", default_campaign_workers());
+    const auto uarch_result = run_uarch_campaign(uc);
+
+    const double failures = faultinject::failure_fraction(uarch_result.trials);
+    const double uncovered = faultinject::uncovered_fraction(
+        uarch_result.trials, faultinject::DetectorModel::kJrsConfidence,
+        faultinject::ProtectionModel::kBaseline, interval);
+    const double coverage = failures > 0 ? 1.0 - uncovered / failures : 0.0;
+
+    table.add_row(
+        {name,
+         TextTable::fmt_pct(static_cast<double>(branches) / total, 1),
+         TextTable::fmt_pct(static_cast<double>(mem) / total, 1),
+         TextTable::fmt_pct(vm_result.fraction(faultinject::VmOutcome::kMasked), 1),
+         TextTable::fmt_pct(vm_result.fraction(faultinject::VmOutcome::kException), 1),
+         TextTable::fmt_pct(failures, 1), TextTable::fmt_pct(coverage, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected gradients (paper §3.1): memory-heavy workloads show more\n"
+      "exceptions (wild pointers fault); ALU-heavy ones mask more and lean on\n"
+      "control-flow symptoms; coverage follows the exception share.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// custom_symptom: build your own symptom detector on the public pieces —
+// the paper's §3.3 generalization. ReStore is "a framework into which other
+// symptom-based detection can be easily integrated"; candidate symptoms are
+// judged on three metrics:
+//   (1) how often failure-causing errors generate the symptom,
+//   (2) the error-to-symptom propagation latency,
+//   (3) the symptom's frequency in the absence of errors (false positives).
+//
+// This example wires a *data-cache-miss-burst* detector (the paper's own
+// example of a dubious candidate) directly onto uarch::Core +
+// CheckpointManager — no ReStoreCore — and evaluates it on all three
+// metrics against the exception symptom.
+//
+//   $ ./custom_symptom
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/checkpoint.hpp"
+#include "uarch/core.hpp"
+#include "uarch/state_registry.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace restore;
+
+namespace {
+
+// A hand-rolled symptom detector: fires when L1D misses spike within a short
+// window (possible wild-pointer signature... or just a working-set change).
+class MissBurstDetector {
+ public:
+  explicit MissBurstDetector(const uarch::Core& core)
+      : last_misses_(core.counters().l1d_misses) {}
+
+  // Returns true when the symptom fires this cycle.
+  bool observe(const uarch::Core& core) {
+    const u64 misses = core.counters().l1d_misses;
+    window_misses_ += misses - last_misses_;
+    last_misses_ = misses;
+    if (++window_cycles_ < kWindow) return false;
+    const bool fire = window_misses_ >= kThreshold;
+    window_cycles_ = 0;
+    window_misses_ = 0;
+    return fire;
+  }
+
+ private:
+  static constexpr u64 kWindow = 128;     // cycles
+  static constexpr u64 kThreshold = 6;    // misses within the window
+  u64 last_misses_;
+  u64 window_cycles_ = 0;
+  u64 window_misses_ = 0;
+};
+
+struct Metrics {
+  u64 fault_trials = 0;
+  u64 fired_on_fault = 0;        // metric 1
+  OnlineStats latency;           // metric 2 (retired insns to symptom)
+  u64 clean_false_positives = 0; // metric 3 (per clean run)
+  u64 clean_insns = 0;
+};
+
+}  // namespace
+
+int main() {
+  const auto& wl = workloads::by_name("vortex");
+  const auto& reg = uarch::StateRegistry::instance();
+  Rng rng(2025);
+
+  Metrics burst, exception;
+
+  // Metric 3: false-positive rate on a clean run.
+  {
+    uarch::Core core(wl.program);
+    MissBurstDetector detector(core);
+    while (core.running()) {
+      core.cycle();
+      if (detector.observe(core)) ++burst.clean_false_positives;
+      for (const auto& ev : core.symptoms_this_cycle()) {
+        if (ev.kind == uarch::SymptomEvent::Kind::kException) {
+          ++exception.clean_false_positives;  // impossible on a clean run
+        }
+      }
+    }
+    burst.clean_insns = exception.clean_insns = core.retired_count();
+  }
+
+  // Metrics 1-2: inject faults, watch both detectors.
+  uarch::Core warm(wl.program);
+  warm.run(4'000);
+  for (int trial = 0; trial < 150; ++trial) {
+    uarch::Core faulty = warm;
+    reg.flip(faulty, reg.sample(rng));
+    MissBurstDetector detector(faulty);
+    const u64 base = faulty.retired_count();
+    ++burst.fault_trials;
+    ++exception.fault_trials;
+    bool burst_fired = false, exception_fired = false;
+    for (u64 c = 0; c < 8'000 && faulty.running(); ++c) {
+      faulty.cycle();
+      if (!burst_fired && detector.observe(faulty)) {
+        burst_fired = true;
+        ++burst.fired_on_fault;
+        burst.latency.add(static_cast<double>(faulty.retired_count() - base));
+      }
+      for (const auto& ev : faulty.symptoms_this_cycle()) {
+        if (!exception_fired &&
+            ev.kind == uarch::SymptomEvent::Kind::kException) {
+          exception_fired = true;
+          ++exception.fired_on_fault;
+          exception.latency.add(static_cast<double>(ev.retired_count - base));
+        }
+      }
+    }
+  }
+
+  TextTable table({"metric", "L1D-miss burst", "ISA exception"});
+  table.add_row({"fires after an injected fault",
+                 TextTable::fmt_pct(static_cast<double>(burst.fired_on_fault) /
+                                        burst.fault_trials, 1),
+                 TextTable::fmt_pct(static_cast<double>(exception.fired_on_fault) /
+                                        exception.fault_trials, 1)});
+  table.add_row({"mean error-to-symptom latency (insns)",
+                 TextTable::fmt_f(burst.latency.mean(), 0),
+                 TextTable::fmt_f(exception.latency.mean(), 0)});
+  table.add_row({"false positives per clean kilo-insn",
+                 TextTable::fmt_f(1000.0 * burst.clean_false_positives /
+                                      burst.clean_insns, 3),
+                 TextTable::fmt_f(1000.0 * exception.clean_false_positives /
+                                      exception.clean_insns, 3)});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nthe paper's verdict on cache-miss symptoms (sec. 3.3): good on\n"
+              "metrics 1-2, but \"may not be sufficiently rare enough in the\n"
+              "absence of transient faults\" — exactly what the last row shows.\n");
+  return 0;
+}

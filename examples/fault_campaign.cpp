@@ -1,0 +1,76 @@
+// fault_campaign: run a small microarchitectural fault-injection campaign on
+// one workload and print a per-field breakdown — which structures' faults get
+// masked, which become symptomatic, and which slip through as silent data
+// corruption. This is the workflow a reliability engineer would use to decide
+// where parity/ECC budget goes.
+//
+//   $ ./fault_campaign --workload vortex --trials 200
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/uarch_campaign.hpp"
+
+using namespace restore;
+using faultinject::UarchOutcome;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string workload = args.value("workload").value_or("vortex");
+
+  faultinject::UarchCampaignConfig config;
+  config.workloads = {workload};
+  config.trials_per_workload = resolve_trial_count(args, 200);
+  config.seed = resolve_seed(args, 42);
+
+  std::printf("fault campaign: workload=%s trials=%llu\n\n", workload.c_str(),
+              static_cast<unsigned long long>(config.trials_per_workload));
+  const auto result = run_uarch_campaign(config);
+
+  struct FieldStats {
+    int trials = 0;
+    int masked = 0;
+    int covered = 0;
+    int escaped = 0;
+  };
+  std::map<std::string, FieldStats> by_field;
+  for (const auto& trial : result.trials) {
+    auto& stats = by_field[trial.field_name];
+    ++stats.trials;
+    const auto outcome =
+        classify_trial(trial, faultinject::DetectorModel::kJrsConfidence,
+                       faultinject::ProtectionModel::kBaseline, 100);
+    if (outcome == UarchOutcome::kMasked || outcome == UarchOutcome::kOther) {
+      ++stats.masked;
+    } else if (faultinject::is_covered(outcome)) {
+      ++stats.covered;
+    } else {
+      ++stats.escaped;
+    }
+  }
+
+  // Rank by escapes (the bits most worth protecting).
+  std::vector<std::pair<std::string, FieldStats>> ranked(by_field.begin(),
+                                                         by_field.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.escaped > b.second.escaped;
+  });
+
+  TextTable table({"field", "trials", "masked", "ReStore-covered", "escaped"});
+  for (const auto& [field, stats] : ranked) {
+    if (stats.trials == 0) continue;
+    table.add_row({field, std::to_string(stats.trials), std::to_string(stats.masked),
+                   std::to_string(stats.covered), std::to_string(stats.escaped)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\n'escaped' = silent corruption or latent fault at a 100-insn\n"
+              "checkpoint interval with the JRS-gated detectors. Fields at the\n"
+              "top of this table are where ECC/parity budget pays off most.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// interval_explorer: sweep the checkpoint interval and chart the coverage /
+// performance trade-off that drives ReStore's main design decision (§3.3's
+// three symptom metrics, applied to the whole system): longer intervals catch
+// longer error-to-symptom latencies but cost more per false-positive
+// rollback.
+//
+//   $ ./interval_explorer --workload gzip
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/restore_core.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "uarch/core.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace restore;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string name = args.value("workload").value_or("gzip");
+  const auto& wl = workloads::by_name(name);
+
+  // Coverage side: one fault-injection campaign, classified per interval.
+  faultinject::UarchCampaignConfig campaign_config;
+  campaign_config.workloads = {name};
+  campaign_config.trials_per_workload = resolve_trial_count(args, 160);
+  campaign_config.seed = resolve_seed(args, 7);
+  std::printf("campaign on %s (%llu trials)...\n\n", name.c_str(),
+              static_cast<unsigned long long>(campaign_config.trials_per_workload));
+  const auto campaign = run_uarch_campaign(campaign_config);
+  const double base_failures = faultinject::failure_fraction(campaign.trials);
+
+  // Performance side: the real ReStoreCore per interval.
+  uarch::Core baseline(wl.program);
+  baseline.run(200'000'000);
+
+  TextTable table({"interval", "coverage of failures", "slowdown", "rollbacks",
+                   "checkpoints"});
+  for (const u64 interval : checkpoint_interval_sweep()) {
+    const double uncovered = faultinject::uncovered_fraction(
+        campaign.trials, faultinject::DetectorModel::kJrsConfidence,
+        faultinject::ProtectionModel::kBaseline, interval);
+    const double coverage =
+        base_failures > 0 ? 1.0 - uncovered / base_failures : 0.0;
+
+    core::ReStoreOptions options;
+    options.checkpoint_interval = interval;
+    options.throttle_max_rollbacks = ~u64{0};
+    core::ReStoreCore restore(wl.program, options);
+    restore.run(400'000'000);
+    const double slowdown =
+        static_cast<double>(restore.cycle_count()) / baseline.cycle_count() - 1.0;
+
+    table.add_row({std::to_string(interval), TextTable::fmt_pct(coverage, 1),
+                   TextTable::fmt_pct(slowdown, 1),
+                   std::to_string(restore.stats().rollbacks),
+                   std::to_string(restore.checkpoints().checkpoints_taken())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nbaseline failure probability: %s — pick the interval where\n"
+              "added coverage stops paying for added slowdown.\n",
+              TextTable::fmt_pct(base_failures, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Bit-manipulation helpers. Every microarchitectural field in this project is
+// stored with an explicit bit width so that an injected single-bit flip always
+// yields a representable value (see DESIGN.md §4.2).
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace restore {
+
+// A mask with the low `n` bits set; n may be 0..64.
+constexpr u64 mask64(unsigned n) noexcept {
+  return n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
+constexpr bool get_bit(u64 value, unsigned bit) noexcept {
+  return (value >> bit) & 1u;
+}
+
+constexpr u64 set_bit(u64 value, unsigned bit, bool on) noexcept {
+  const u64 m = u64{1} << bit;
+  return on ? (value | m) : (value & ~m);
+}
+
+constexpr u64 flip_bit(u64 value, unsigned bit) noexcept {
+  return value ^ (u64{1} << bit);
+}
+
+// Sign-extend the low `bits` bits of `value` to 64 bits.
+constexpr i64 sign_extend(u64 value, unsigned bits) noexcept {
+  assert(bits >= 1 && bits <= 64);
+  const u64 m = u64{1} << (bits - 1);
+  value &= mask64(bits);
+  return static_cast<i64>((value ^ m) - m);
+}
+
+// Extract bits [lo, lo+len) of value.
+constexpr u64 extract_bits(u64 value, unsigned lo, unsigned len) noexcept {
+  return (value >> lo) & mask64(len);
+}
+
+// Number of bits needed to index `n` entries (n must be a power of two).
+constexpr unsigned index_bits(u64 n) noexcept {
+  assert(std::has_single_bit(n));
+  return static_cast<unsigned>(std::countr_zero(n));
+}
+
+constexpr bool is_pow2(u64 n) noexcept { return n != 0 && std::has_single_bit(n); }
+
+}  // namespace restore

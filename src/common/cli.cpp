@@ -1,0 +1,78 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace restore {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag, else bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_.emplace_back(std::move(arg), argv[i + 1]);
+      ++i;
+    } else {
+      options_.emplace_back(std::move(arg), "");
+    }
+  }
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  for (const auto& [key, val] : options_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  for (const auto& [key, val] : options_) {
+    if (key == name && !val.empty()) return val;
+  }
+  return std::nullopt;
+}
+
+u64 CliArgs::value_u64(const std::string& name, u64 fallback) const {
+  if (auto v = value(name)) return std::stoull(*v);
+  return fallback;
+}
+
+double CliArgs::value_double(const std::string& name, double fallback) const {
+  if (auto v = value(name)) return std::stod(*v);
+  return fallback;
+}
+
+namespace {
+
+std::optional<u64> env_u64(const char* name) {
+  if (const char* raw = std::getenv(name); raw != nullptr && raw[0] != '\0') {
+    return std::stoull(raw);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+u64 resolve_trial_count(const CliArgs& args, u64 fallback) {
+  if (auto v = args.value("trials")) return std::stoull(*v);
+  if (auto v = env_u64("RESTORE_TRIALS")) return *v;
+  return fallback;
+}
+
+u64 resolve_seed(const CliArgs& args, u64 fallback) {
+  if (auto v = args.value("seed")) return std::stoull(*v);
+  if (auto v = env_u64("RESTORE_SEED")) return *v;
+  return fallback;
+}
+
+}  // namespace restore

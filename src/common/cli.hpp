@@ -1,0 +1,40 @@
+// Minimal command-line / environment option parsing for the bench and example
+// binaries. Flags are "--name value" or "--name=value"; booleans are "--name".
+// The RESTORE_TRIALS environment variable scales campaign sizes globally so
+// that `for b in build/bench/*; do $b; done` stays fast by default while full
+// paper-scale runs remain one env var away.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::optional<std::string> value(const std::string& name) const;
+  u64 value_u64(const std::string& name, u64 fallback) const;
+  double value_double(const std::string& name, double fallback) const;
+
+  // Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;  // name -> value ("" for bare)
+  std::vector<std::string> positional_;
+};
+
+// Trial-count override: --trials on the command line wins, then the
+// RESTORE_TRIALS environment variable, then `fallback`.
+u64 resolve_trial_count(const CliArgs& args, u64 fallback);
+
+// Seed override: --seed, then RESTORE_SEED, then `fallback`.
+u64 resolve_seed(const CliArgs& args, u64 fallback);
+
+}  // namespace restore

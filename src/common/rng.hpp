@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for fault-injection campaigns.
+//
+// We use xoshiro256** seeded via splitmix64. Campaigns must be reproducible
+// from a single seed, so all randomness in the project flows through Rng.
+#pragma once
+
+#include <array>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace restore {
+
+constexpr u64 splitmix64_next(u64& state) noexcept {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be nonzero.
+  u64 below(u64 bound) noexcept {
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = -bound % bound;
+    for (;;) {
+      const u64 r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) noexcept {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Derive an independent stream for a sub-task (e.g. one trial of a campaign).
+  Rng fork(u64 stream_id) noexcept {
+    u64 sm = next() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x1234567);
+    return Rng{splitmix64_next(sm)};
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace restore

@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restore {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+ProportionCi wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  ProportionCi ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  ci.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ci.lo = std::max(0.0, center - half);
+  ci.hi = std::min(1.0, center + half);
+  return ci;
+}
+
+std::vector<u64> figure2_latency_bins() {
+  return {25, 50, 100, 200, 500, 1000, 10000, 100000, kNever};
+}
+
+std::vector<u64> checkpoint_interval_sweep() {
+  return {25, 50, 100, 200, 500, 1000, 2000};
+}
+
+CategoryLatencyTable::CategoryLatencyTable(std::vector<u64> bin_edges)
+    : edges_(std::move(bin_edges)) {}
+
+void CategoryLatencyTable::add(const std::string& category, u64 latency) {
+  latencies_[category].push_back(latency);
+  ++total_;
+}
+
+std::size_t CategoryLatencyTable::count_within(const std::string& category,
+                                               u64 max_latency) const {
+  auto it = latencies_.find(category);
+  if (it == latencies_.end()) return 0;
+  return static_cast<std::size_t>(
+      std::count_if(it->second.begin(), it->second.end(),
+                    [max_latency](u64 l) { return l <= max_latency; }));
+}
+
+std::size_t CategoryLatencyTable::count(const std::string& category) const {
+  auto it = latencies_.find(category);
+  return it == latencies_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> CategoryLatencyTable::categories() const {
+  std::vector<std::string> out;
+  out.reserve(latencies_.size());
+  for (const auto& [name, values] : latencies_) out.push_back(name);
+  return out;
+}
+
+}  // namespace restore

@@ -1,0 +1,87 @@
+// Statistics helpers for fault-injection campaigns: online moments, binomial
+// proportion confidence intervals (the paper quotes "error margin of less than
+// 0.9% at a 95% confidence level"), and latency-binned histograms matching the
+// x-axes of the paper's Figures 2 and 4-6.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore {
+
+// Welford online mean/variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Wilson score interval for a binomial proportion.
+struct ProportionCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  // Half-width of the interval; the paper's "error margin".
+  double margin() const noexcept { return (hi - lo) / 2.0; }
+};
+
+ProportionCi wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
+
+// The latency bins used on the x-axis of Figure 2 (instructions elapsed from
+// injection to first symptom). A latency of `kNever` means "no symptom".
+inline constexpr u64 kNever = std::numeric_limits<u64>::max();
+
+// Returns the standard Figure 2 bin edges: 25, 50, 100, 200, 500, 1k, 10k, 100k, inf.
+std::vector<u64> figure2_latency_bins();
+
+// Returns the checkpoint-interval sweep used in Figures 4-7:
+// 25, 50, 100, 200, 500, 1000, 2000.
+std::vector<u64> checkpoint_interval_sweep();
+
+// A histogram over arbitrary named categories, cross-tabulated by latency bin.
+// Used to produce the stacked-bar data of Figures 2 and 4-6: for a given
+// maximum detection latency (bin edge), how many trials fall in each category?
+class CategoryLatencyTable {
+ public:
+  explicit CategoryLatencyTable(std::vector<u64> bin_edges);
+
+  // Record one trial: `category` with symptom latency `latency` (kNever if the
+  // category is latency-independent, e.g. "masked").
+  void add(const std::string& category, u64 latency);
+
+  std::size_t total() const noexcept { return total_; }
+
+  // Number of trials of `category` whose latency is <= `max_latency`.
+  std::size_t count_within(const std::string& category, u64 max_latency) const;
+
+  // Number of trials of `category` regardless of latency.
+  std::size_t count(const std::string& category) const;
+
+  const std::vector<u64>& bin_edges() const noexcept { return edges_; }
+  std::vector<std::string> categories() const;
+
+ private:
+  std::vector<u64> edges_;
+  std::map<std::string, std::vector<u64>> latencies_;  // sorted lazily on query
+  std::size_t total_ = 0;
+};
+
+}  // namespace restore

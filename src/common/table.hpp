@@ -1,0 +1,27 @@
+// Plain-text table rendering for bench binaries that regenerate the paper's
+// figures as rows/series on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace restore {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  // Convenience formatting.
+  static std::string fmt_pct(double fraction, int decimals = 2);   // 0.0712 -> "7.12%"
+  static std::string fmt_f(double value, int decimals = 3);
+  static std::string fmt_u(unsigned long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace restore

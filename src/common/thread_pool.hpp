@@ -1,0 +1,54 @@
+// A small fixed-size thread pool used to run independent fault-injection
+// trials in parallel. Each task is a void() callable; parallel_for distributes
+// an index range. The pool degrades gracefully to inline execution when
+// constructed with zero workers (useful on single-core hosts and in tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace restore {
+
+class ThreadPool {
+ public:
+  // `workers` == 0 means "run tasks inline on the calling thread".
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  // Enqueue a task. Tasks must not throw; exceptions terminate the program.
+  void submit(std::function<void()> task);
+
+  // Block until all submitted tasks have finished.
+  void wait_idle();
+
+  // Run body(i) for i in [0, count), distributing across the pool and
+  // blocking until all iterations complete.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Recommended worker count for campaign runners: hardware concurrency minus
+// one (never less than zero workers; zero means inline execution).
+std::size_t default_campaign_workers();
+
+}  // namespace restore

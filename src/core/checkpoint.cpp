@@ -1,0 +1,67 @@
+#include "core/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace restore::core {
+
+CheckpointManager::CheckpointManager(u64 interval, unsigned live_checkpoints)
+    : interval_(interval == 0 ? 1 : interval),
+      max_live_(live_checkpoints == 0 ? 1 : live_checkpoints) {}
+
+void CheckpointManager::on_retired(const vm::Retired& record) {
+  if (!record.is_store || checkpoints_.empty()) return;
+  checkpoints_.back().undo.push_back(
+      {record.store_addr, record.store_bytes, record.store_old_data});
+}
+
+bool CheckpointManager::maybe_checkpoint(const uarch::Core& core, bool force) {
+  const u64 retired = core.retired_count();
+  if (!force && have_any_ && retired - last_checkpoint_retired_ < interval_) {
+    return false;
+  }
+  Checkpoint cp;
+  cp.arch = core.arch_snapshot();
+  cp.retired_at = retired;
+  checkpoints_.push_back(std::move(cp));
+  // Age out beyond the live window. The evicted checkpoint's undo records are
+  // permanently committed; its successor's logs still cover the live range.
+  while (checkpoints_.size() > max_live_) checkpoints_.pop_front();
+  last_checkpoint_retired_ = retired;
+  have_any_ = true;
+  ++taken_;
+  return true;
+}
+
+const Checkpoint& CheckpointManager::oldest() const {
+  if (checkpoints_.empty()) throw std::logic_error("no live checkpoint");
+  return checkpoints_.front();
+}
+
+u64 CheckpointManager::rollback(uarch::Core& core) {
+  if (checkpoints_.empty()) throw std::logic_error("no live checkpoint");
+  const u64 now = core.retired_count();
+
+  // Undo memory effects, newest epoch first, newest store first.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    for (auto undo_it = it->undo.rbegin(); undo_it != it->undo.rend(); ++undo_it) {
+      core.memory().store(undo_it->addr, undo_it->bytes, undo_it->old_data);
+    }
+  }
+
+  Checkpoint target = checkpoints_.front();
+  const u64 distance = now - target.retired_at;
+  core.reset_to(target.arch);
+
+  // Re-arm: the restored state is the only valid checkpoint now. Its position
+  // is expressed in the core's cumulative retirement counter (which keeps
+  // counting across re-execution), i.e. "here".
+  target.undo.clear();
+  target.retired_at = core.retired_count();
+  checkpoints_.clear();
+  checkpoints_.push_back(std::move(target));
+  last_checkpoint_retired_ = checkpoints_.front().retired_at;
+  ++rollbacks_;
+  return distance;
+}
+
+}  // namespace restore::core

@@ -1,0 +1,79 @@
+// Checkpoint store for the ReStore architecture (paper §2).
+//
+// A checkpoint is a snapshot of architectural register state plus a memory
+// undo log: every retired store between two checkpoints records the old
+// memory contents, so rolling back replays the undo records in reverse. Two
+// checkpoints are live at all times (paper §5.2.3): restoring always goes to
+// the *older* one, giving a rollback distance between one and two intervals
+// (1.5x on average).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "uarch/core.hpp"
+#include "vm/memory.hpp"
+#include "vm/retired.hpp"
+#include "vm/vm.hpp"
+
+namespace restore::core {
+
+struct UndoRecord {
+  u64 addr = 0;
+  u8 bytes = 0;
+  u64 old_data = 0;
+};
+
+struct Checkpoint {
+  vm::ArchSnapshot arch;
+  u64 retired_at = 0;  // retirement count when the checkpoint was taken
+  // Stores retired since THIS checkpoint was taken (undo records, oldest
+  // first). Rolling back to this checkpoint undoes these in reverse.
+  std::vector<UndoRecord> undo;
+};
+
+class CheckpointManager {
+ public:
+  // `interval` = instructions between checkpoints (paper: 10..1000);
+  // `live_checkpoints` >= 1 (paper evaluates 2).
+  explicit CheckpointManager(u64 interval = 100, unsigned live_checkpoints = 2);
+
+  u64 interval() const noexcept { return interval_; }
+
+  // Observe one retired instruction (undo-log bookkeeping). Call for every
+  // record the core retires.
+  void on_retired(const vm::Retired& record);
+
+  // Take a checkpoint of the core's current retirement boundary if the
+  // interval has elapsed (or `force`). Returns true if one was taken.
+  bool maybe_checkpoint(const uarch::Core& core, bool force = false);
+
+  // Roll the core back to the *oldest* live checkpoint: restores memory via
+  // the undo logs, resets the pipeline to the checkpointed register state,
+  // and re-arms the checkpoint store. Returns the rollback distance in
+  // instructions. Requires at least one checkpoint (one is always taken at
+  // construction time via the first maybe_checkpoint call).
+  u64 rollback(uarch::Core& core);
+
+  // Oldest live checkpoint (throws std::logic_error if none).
+  const Checkpoint& oldest() const;
+  std::size_t live() const noexcept { return checkpoints_.size(); }
+
+  // Retirement count at which the newest checkpoint was taken.
+  u64 last_checkpoint_at() const noexcept { return last_checkpoint_retired_; }
+
+  u64 checkpoints_taken() const noexcept { return taken_; }
+  u64 rollbacks() const noexcept { return rollbacks_; }
+
+ private:
+  u64 interval_;
+  unsigned max_live_;
+  std::deque<Checkpoint> checkpoints_;  // oldest at front
+  u64 last_checkpoint_retired_ = 0;
+  bool have_any_ = false;
+  u64 taken_ = 0;
+  u64 rollbacks_ = 0;
+};
+
+}  // namespace restore::core

@@ -1,0 +1,53 @@
+#include "core/event_log.hpp"
+
+namespace restore::core {
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {}
+
+void EventLog::record(const vm::Retired& record, u64 retired_index) {
+  if (!record.is_ctrl) return;
+  log_.push_back({retired_index, record.pc, record.taken, record.next_pc});
+  while (log_.size() > capacity_) {
+    log_.pop_front();
+    if (replay_cursor_ > 0) --replay_cursor_;
+  }
+}
+
+void EventLog::begin_replay(u64 from_retired_index, u64 until_retired_index) {
+  replaying_ = true;
+  replay_end_stamp_ = until_retired_index;
+  replay_cursor_ = 0;
+  while (replay_cursor_ < log_.size() &&
+         log_[replay_cursor_].retired_index <= from_retired_index) {
+    ++replay_cursor_;
+  }
+}
+
+bool EventLog::compare(const vm::Retired& record) {
+  if (!record.is_ctrl) return true;
+  if (replay_cursor_ >= log_.size() ||
+      log_[replay_cursor_].retired_index > replay_end_stamp_) {
+    return true;  // past the original pass over the rollback region
+  }
+  const BranchOutcome& logged = log_[replay_cursor_++];
+  ++compared_;
+  const bool match = logged.pc == record.pc && logged.taken == record.taken &&
+                     logged.target == record.next_pc;
+  if (!match) ++mismatches_;
+  return match;
+}
+
+void EventLog::end_replay() {
+  replaying_ = false;
+  replay_cursor_ = 0;
+  replay_end_stamp_ = 0;
+}
+
+void EventLog::clear() {
+  log_.clear();
+  replaying_ = false;
+  replay_cursor_ = 0;
+  replay_end_stamp_ = 0;
+}
+
+}  // namespace restore::core

@@ -1,0 +1,71 @@
+// Event log (paper §3.2.3): records the control-flow events leading up to a
+// symptom so that the original and redundant (post-rollback) executions can
+// be compared. A mismatch between logged and re-executed branch outcomes is a
+// *detected* soft error, enabling error logging and the dynamic tuning of the
+// coverage/performance trade-off. The log also stands in for the paper's
+// "perfect prediction of control flow" during re-execution (Load Value Queue
+// style input replication is unnecessary here because stores drain at retire).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/retired.hpp"
+
+namespace restore::core {
+
+struct BranchOutcome {
+  u64 retired_index = 0;  // cumulative retirement count of this instruction
+  u64 pc = 0;
+  bool taken = false;
+  u64 target = 0;
+
+  bool operator==(const BranchOutcome&) const = default;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 4096);
+
+  // Append the control-flow outcome of a retired instruction (no-op for
+  // non-control instructions). `retired_index` is the cumulative retirement
+  // count of the instruction. Recording continues during replay — the
+  // re-executed pass appends with its own (larger) stamps, keeping the
+  // history gap-free across nested rollbacks.
+  void record(const vm::Retired& record, u64 retired_index);
+
+  // --- re-execution ---
+  // Switch to replay mode: compare against logged outcomes with
+  // from_retired_index < stamp <= until_retired_index (the original pass over
+  // the rollback region).
+  void begin_replay(u64 from_retired_index, u64 until_retired_index);
+  bool replaying() const noexcept { return replaying_; }
+
+  // Compare a re-executed retirement against the log. Returns true when the
+  // outcome matches (or the instruction is not control / the logged region is
+  // exhausted); a false return is a detected soft error in the original
+  // execution.
+  bool compare(const vm::Retired& record);
+
+  // Leave replay mode; the history is left intact.
+  void end_replay();
+
+  std::size_t size() const noexcept { return log_.size(); }
+  const std::deque<BranchOutcome>& entries() const noexcept { return log_; }
+  u64 mismatches() const noexcept { return mismatches_; }
+  u64 compared() const noexcept { return compared_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<BranchOutcome> log_;
+  bool replaying_ = false;
+  std::size_t replay_cursor_ = 0;
+  u64 replay_end_stamp_ = 0;
+  u64 mismatches_ = 0;
+  u64 compared_ = 0;
+};
+
+}  // namespace restore::core

@@ -1,0 +1,265 @@
+#include "core/restore_core.hpp"
+
+namespace restore::core {
+
+using uarch::SymptomEvent;
+
+namespace {
+
+uarch::CoreConfig restore_mode(uarch::CoreConfig config) {
+  // ReStore consumes exceptions as symptoms instead of trapping.
+  config.trap_on_exception = false;
+  return config;
+}
+
+}  // namespace
+
+ReStoreCore::ReStoreCore(const isa::Program& program, const ReStoreOptions& options,
+                         uarch::CoreConfig core_config)
+    : options_(options),
+      core_(program, restore_mode(core_config)),
+      checkpoints_(options.checkpoint_interval, options.live_checkpoints) {
+  checkpoints_.maybe_checkpoint(core_, /*force=*/true);
+}
+
+bool ReStoreCore::branch_symptoms_active() const noexcept {
+  return options_.branch_symptom && core_.retired_count() >= throttle_off_until_ &&
+         core_.retired_count() >= replay_until_;
+}
+
+void ReStoreCore::cycle() {
+  if (status_ != Status::kRunning) return;
+
+  // Checkpoint-hardware stall: the pipeline holds while the checkpoint store
+  // copies state (zero by default, matching the paper's idealisation).
+  if (pending_stall_ > 0) {
+    --pending_stall_;
+    ++stall_cycles_;
+    return;
+  }
+
+  core_.cycle();
+
+  // Bookkeeping for every retired instruction: undo logs, event log (record
+  // during normal execution, compare during replay), rollback-aware output
+  // staging (an OUT between a symptom and its rollback must not reach the
+  // device twice).
+  u64 index = core_.retired_count() - core_.retired_this_cycle().size();
+  bool sync_retired = false;
+  for (const auto& rec : core_.retired_this_cycle()) {
+    ++index;
+    checkpoints_.on_retired(rec);
+    if (rec.is_sync) sync_retired = true;
+    if (rec.is_out) staged_output_.push_back({index, rec.out_byte});
+    if (event_log_.replaying() && !event_log_.compare(rec)) {
+      ++stats_.detected_errors;
+    }
+    event_log_.record(rec, index);
+  }
+
+  handle_symptoms();
+  if (status_ != Status::kRunning && status_ != Status::kHalted) return;
+
+  if (event_log_.replaying() && core_.retired_count() > replay_until_) {
+    event_log_.end_replay();
+    // The re-execution survived past the symptom point: any pending exception
+    // was transient (successfully detected and recovered).
+    pending_exception_.reset();
+  }
+
+  // Delayed-policy rollback at the interval boundary.
+  if (pending_rollback_.has_value() && core_.running()) {
+    const u64 since = core_.retired_count() - checkpoints_.last_checkpoint_at();
+    if (since >= options_.checkpoint_interval) {
+      const auto reason = *pending_rollback_;
+      pending_rollback_.reset();
+      do_rollback(reason);
+      return;
+    }
+  }
+
+  // Periodic checkpointing (suppressed while a delayed rollback is pending so
+  // the pre-symptom checkpoint stays live).
+  // Synchronizing instructions force a checkpoint regardless of the interval
+  // (paper §2.1: "checkpoints must be taken on external synchronization
+  // events"); otherwise checkpoint periodically.
+  if (core_.running() && !pending_rollback_.has_value() &&
+      (sync_retired || core_.retired_count() >= replay_until_)) {
+    if (checkpoints_.maybe_checkpoint(core_, /*force=*/sync_retired)) {
+      pending_stall_ += options_.checkpoint_latency_cycles;
+    }
+  }
+
+  if (core_.status() == uarch::Core::Status::kHalted) status_ = Status::kHalted;
+}
+
+void ReStoreCore::handle_symptoms() {
+  for (const auto& ev : core_.symptoms_this_cycle()) {
+    switch (ev.kind) {
+      case SymptomEvent::Kind::kException: {
+        if (!options_.exception_symptom) {
+          genuine_fault_ = ev.fault;
+          status_ = Status::kArchitectedFault;
+          return;
+        }
+        // Recurrence check: same pc as the exception that caused the last
+        // exception rollback => genuine.
+        const u64 fault_pc = core_.arch_snapshot().pc;
+        if (pending_exception_.has_value() && pending_exception_->pc == fault_pc &&
+            pending_exception_->kind == ev.fault) {
+          if (pending_exception_->retries >= options_.max_exception_retries) {
+            ++stats_.genuine_exceptions;
+            genuine_fault_ = ev.fault;
+            status_ = Status::kArchitectedFault;
+            return;
+          }
+          ++pending_exception_->retries;
+        } else {
+          pending_exception_ = PendingException{fault_pc, ev.fault, 0};
+        }
+        // Execution cannot continue past an exception, so even the delayed
+        // policy rolls back now (§3.2.1).
+        do_rollback(SymptomEvent::Kind::kException);
+        return;
+      }
+      case SymptomEvent::Kind::kHighConfMispredict: {
+        if (!options_.branch_symptom) break;
+        if (handle_speculative_symptom(SymptomEvent::Kind::kHighConfMispredict)) {
+          return;
+        }
+        break;
+      }
+      case SymptomEvent::Kind::kCacheMissBurst: {
+        if (!options_.cache_symptom) break;
+        if (handle_speculative_symptom(SymptomEvent::Kind::kCacheMissBurst)) {
+          return;
+        }
+        break;
+      }
+      case SymptomEvent::Kind::kIllegalFlow: {
+        if (!options_.illegal_flow_symptom) break;
+        if (core_.retired_count() < replay_until_) break;  // replaying already
+        // Verification mirrors the exception path: a recurrence at the same
+        // pc after clean re-execution cannot be a transient.
+        const u64 flow_pc = core_.arch_snapshot().pc;
+        if (pending_exception_.has_value() && pending_exception_->pc == flow_pc &&
+            pending_exception_->kind == isa::ExceptionKind::kNone) {
+          if (pending_exception_->retries >= options_.max_exception_retries) {
+            status_ = Status::kArchitectedFault;
+            genuine_fault_ = isa::ExceptionKind::kNone;
+            return;
+          }
+          ++pending_exception_->retries;
+        } else {
+          pending_exception_ =
+              PendingException{flow_pc, isa::ExceptionKind::kNone, 0};
+        }
+        do_rollback(SymptomEvent::Kind::kIllegalFlow);
+        return;
+      }
+      case SymptomEvent::Kind::kWatchdog: {
+        if (!options_.watchdog_symptom) {
+          status_ = Status::kArchitectedFault;
+          genuine_fault_ = isa::ExceptionKind::kNone;
+          return;
+        }
+        do_rollback(SymptomEvent::Kind::kWatchdog);
+        return;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// Shared path for "the machine might be fine" symptoms (high-confidence
+// mispredictions, cache bursts): throttled, policy-aware. Returns true when a
+// rollback happened (symptom processing must stop for this cycle).
+bool ReStoreCore::handle_speculative_symptom(SymptomEvent::Kind kind) {
+  if (core_.retired_count() < throttle_off_until_ ||
+      core_.retired_count() < replay_until_) {
+    return false;
+  }
+  const u64 now = core_.retired_count();
+  if (now - throttle_window_start_ > options_.throttle_window) {
+    throttle_window_start_ = now;
+    recent_branch_rollbacks_ = 0;
+  }
+  if (++recent_branch_rollbacks_ > options_.throttle_max_rollbacks) {
+    throttle_off_until_ = now + options_.throttle_penalty;
+    ++stats_.throttle_engagements;
+    return false;
+  }
+  if (options_.policy == RollbackPolicy::kDelayed) {
+    if (!pending_rollback_.has_value()) pending_rollback_ = kind;
+    return false;
+  }
+  do_rollback(kind);
+  return true;
+}
+
+void ReStoreCore::do_rollback(SymptomEvent::Kind reason) {
+  const u64 checkpoint_position = checkpoints_.oldest().retired_at;
+  const u64 rollback_position = core_.retired_count();
+  const u64 distance = checkpoints_.rollback(core_);
+  pending_stall_ += options_.restore_latency_cycles;
+  stats_.reexecuted_insns += distance;
+  ++stats_.rollbacks;
+  switch (reason) {
+    case SymptomEvent::Kind::kException: ++stats_.exception_rollbacks; break;
+    case SymptomEvent::Kind::kHighConfMispredict: ++stats_.branch_rollbacks; break;
+    case SymptomEvent::Kind::kWatchdog: ++stats_.watchdog_rollbacks; break;
+    case SymptomEvent::Kind::kIllegalFlow: ++stats_.illegal_flow_rollbacks; break;
+    case SymptomEvent::Kind::kCacheMissBurst: ++stats_.cache_rollbacks; break;
+    default: break;
+  }
+
+  // Discard staged output past the restored checkpoint: those OUTs will
+  // re-execute and be staged again.
+  while (!staged_output_.empty() && staged_output_.back().first > checkpoint_position) {
+    staged_output_.pop_back();
+  }
+
+  // Replay window: re-execute `distance` instructions with event-log
+  // comparison and control-flow symptoms suppressed (perfect re-execution
+  // prediction, §3.2.3/§5.2.3). The small slack keeps the re-fired symptom of
+  // the instruction that triggered the rollback inside the window.
+  replay_until_ = core_.retired_count() + distance + 4;
+  event_log_.begin_replay(checkpoint_position, rollback_position);
+
+  // Feed logged outcomes back to fetch: re-executed control flow follows the
+  // original execution without mispredicting.
+  if (options_.event_log_replay) {
+    std::vector<uarch::ReplayHint> hints;
+    hints.reserve(event_log_.size());
+    for (const auto& outcome : event_log_.entries()) {
+      if (outcome.retired_index <= checkpoint_position ||
+          outcome.retired_index > rollback_position) {
+        continue;
+      }
+      hints.push_back({outcome.pc, outcome.taken, outcome.target});
+    }
+    core_.set_replay_hints(std::move(hints));
+  }
+  pending_rollback_.reset();
+}
+
+std::string ReStoreCore::output() const {
+  std::string out;
+  out.reserve(staged_output_.size());
+  for (const auto& [index, byte] : staged_output_) {
+    out.push_back(static_cast<char>(byte));
+  }
+  return out;
+}
+
+u64 ReStoreCore::run(u64 max_cycles) {
+  u64 cycles = 0;
+  while (cycles < max_cycles && status_ == Status::kRunning) {
+    cycle();
+    ++cycles;
+  }
+  return cycles;
+}
+
+}  // namespace restore::core

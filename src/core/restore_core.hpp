@@ -1,0 +1,165 @@
+// ReStoreCore — the ReStore processor architecture (the paper's primary
+// contribution, §2-§3): an out-of-order core augmented with periodic
+// architectural checkpoints and symptom-triggered rollback.
+//
+//   * Checkpoints every n retired instructions, two live at a time.
+//   * Symptoms: ISA exceptions, high-confidence branch mispredictions (JRS),
+//     and watchdog saturation. Each can be enabled independently.
+//   * Rollback policies: immediate (roll back as soon as a symptom fires) or
+//     delayed (finish the current checkpoint interval first) — the `imm` and
+//     `delayed` configurations of Figure 7.
+//   * Exceptions that recur at the same pc after rollback are genuine and are
+//     delivered architecturally (§3.2.1).
+//   * The event log compares original and redundant executions, counting
+//     detected soft errors, and drives dynamic false-positive throttling
+//     (§3.2.3): a burst of rollbacks without detected errors temporarily
+//     disables the control-flow symptom.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/event_log.hpp"
+#include "uarch/core.hpp"
+
+namespace restore::core {
+
+enum class RollbackPolicy : u8 {
+  kImmediate,  // roll back upon symptom discovery
+  kDelayed,    // defer rollback to the end of the current interval
+};
+
+struct ReStoreOptions {
+  u64 checkpoint_interval = 100;  // instructions (paper: 10..1000)
+  unsigned live_checkpoints = 2;
+  RollbackPolicy policy = RollbackPolicy::kImmediate;
+
+  bool exception_symptom = true;
+  bool branch_symptom = true;  // high-confidence mispredictions
+  bool watchdog_symptom = true;
+  // Extension symptoms (require the matching CoreConfig flags):
+  bool illegal_flow_symptom = false;  // control-flow monitoring watchdog
+  bool cache_symptom = false;         // L1D miss bursts (§3.3 candidate)
+
+  // Feed the event log back to fetch during re-execution so re-executed
+  // control flow predicts perfectly (the paper's §5.2.3 idealisation). Turn
+  // off to measure the conservative no-hint replay.
+  bool event_log_replay = true;
+
+  // Checkpoint hardware cost. The paper models ideal zero-latency
+  // checkpoint/restore (§4.3); these knobs quantify what real hardware would
+  // add: the machine stalls for `checkpoint_latency_cycles` at every
+  // checkpoint creation and `restore_latency_cycles` on every rollback.
+  unsigned checkpoint_latency_cycles = 0;
+  unsigned restore_latency_cycles = 0;
+
+  // A recurring exception at the same pc is genuine after this many rollback
+  // attempts (paper suggests re-executing "a third time" to be sure; 1 means
+  // one rollback + one recurrence decides).
+  unsigned max_exception_retries = 1;
+
+  // Dynamic throttling (§3.2.3): if more than `throttle_max_rollbacks`
+  // branch-symptom rollbacks occur within `throttle_window` retired
+  // instructions, ignore branch symptoms for `throttle_penalty` instructions.
+  u64 throttle_window = 2'000;
+  u64 throttle_max_rollbacks = 4;
+  u64 throttle_penalty = 10'000;
+};
+
+class ReStoreCore {
+ public:
+  enum class Status : u8 {
+    kRunning,
+    kHalted,             // program completed
+    kArchitectedFault,   // genuine exception delivered after verification
+  };
+
+  ReStoreCore(const isa::Program& program, const ReStoreOptions& options = {},
+              uarch::CoreConfig core_config = {});
+
+  // Advance one cycle (checkpointing, symptom handling, rollback included).
+  void cycle();
+  u64 run(u64 max_cycles);
+
+  Status status() const noexcept { return status_; }
+  bool running() const noexcept { return status_ == Status::kRunning; }
+  isa::ExceptionKind architected_fault() const noexcept { return genuine_fault_; }
+
+  // Program output with rollback-aware staging: bytes emitted between a
+  // symptom and its rollback are discarded and re-emitted by the replay, so
+  // the device sees each byte exactly once.
+  std::string output() const;
+  // Total cycles including checkpoint/restore stall cycles.
+  u64 cycle_count() const noexcept { return core_.cycle_count() + stall_cycles_; }
+  u64 stall_cycles() const noexcept { return stall_cycles_; }
+  // Cumulative retirements, including re-executed instructions.
+  u64 retired_count() const noexcept { return core_.retired_count(); }
+
+  // Direct access to the underlying machine (fault injection in tests/bench).
+  uarch::Core& core() noexcept { return core_; }
+  const uarch::Core& core() const noexcept { return core_; }
+  const CheckpointManager& checkpoints() const noexcept { return checkpoints_; }
+  const EventLog& event_log() const noexcept { return event_log_; }
+
+  struct Stats {
+    u64 rollbacks = 0;
+    u64 exception_rollbacks = 0;
+    u64 branch_rollbacks = 0;
+    u64 watchdog_rollbacks = 0;
+    u64 illegal_flow_rollbacks = 0;
+    u64 cache_rollbacks = 0;
+    u64 genuine_exceptions = 0;
+    u64 detected_errors = 0;   // event-log mismatches between executions
+    u64 throttle_engagements = 0;
+    u64 reexecuted_insns = 0;  // total rollback distance
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void handle_symptoms();
+  bool handle_speculative_symptom(uarch::SymptomEvent::Kind kind);
+  void do_rollback(uarch::SymptomEvent::Kind reason);
+  bool branch_symptoms_active() const noexcept;
+
+  ReStoreOptions options_;
+  uarch::Core core_;
+  CheckpointManager checkpoints_;
+  EventLog event_log_;
+  Status status_ = Status::kRunning;
+  isa::ExceptionKind genuine_fault_ = isa::ExceptionKind::kNone;
+  Stats stats_;
+
+  // Replay window: until this cumulative retirement count, the event log
+  // provides outcomes and control-flow symptoms are suppressed (the paper's
+  // perfect re-execution prediction).
+  u64 replay_until_ = 0;
+
+  // Pending delayed rollback.
+  std::optional<uarch::SymptomEvent::Kind> pending_rollback_;
+
+  // Exception verification: a rollback triggered by an exception remembers
+  // where it fired; recurrence at the same pc is genuine.
+  struct PendingException {
+    u64 pc = 0;
+    isa::ExceptionKind kind = isa::ExceptionKind::kNone;
+    unsigned retries = 0;
+  };
+  std::optional<PendingException> pending_exception_;
+
+  // Output staging: (cumulative retirement index, byte).
+  std::vector<std::pair<u64, u8>> staged_output_;
+
+  // Checkpoint-hardware stall accounting.
+  u64 stall_cycles_ = 0;
+  unsigned pending_stall_ = 0;
+
+  // Throttling state.
+  u64 recent_branch_rollbacks_ = 0;
+  u64 throttle_window_start_ = 0;
+  u64 throttle_off_until_ = 0;
+};
+
+}  // namespace restore::core

@@ -1,0 +1,97 @@
+#include "faultinject/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace restore::faultinject {
+
+namespace {
+
+void latency_cell(std::ostream& out, u64 latency) {
+  if (latency != kNever) out << latency;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_uarch_trials_csv(std::ostream& out,
+                            const std::vector<UarchTrialRecord>& trials) {
+  out << "workload,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
+         "lat_deadlock,lat_illegal_flow,lat_cache_burst,trace_diverged,"
+         "arch_corrupt,uarch_equal,live_diff,end_status\n";
+  for (const auto& t : trials) {
+    out << t.workload << ',' << t.field_name << ','
+        << (t.storage == uarch::StorageClass::kLatch ? "latch" : "sram") << ',';
+    switch (t.protection) {
+      case uarch::LhfProtection::kNone: out << "none"; break;
+      case uarch::LhfProtection::kParity: out << "parity"; break;
+      case uarch::LhfProtection::kEcc: out << "ecc"; break;
+    }
+    out << ',';
+    latency_cell(out, t.lat_exception);
+    out << ',';
+    latency_cell(out, t.lat_cfv);
+    out << ',';
+    latency_cell(out, t.lat_hiconf);
+    out << ',';
+    latency_cell(out, t.lat_deadlock);
+    out << ',';
+    latency_cell(out, t.lat_illegal_flow);
+    out << ',';
+    latency_cell(out, t.lat_cache_burst);
+    out << ',' << (t.trace_diverged ? 1 : 0) << ',' << (t.arch_corrupt_at_end ? 1 : 0)
+        << ',' << (t.uarch_state_equal ? 1 : 0) << ',' << (t.live_state_diff ? 1 : 0)
+        << ',' << static_cast<int>(t.end_status) << '\n';
+  }
+}
+
+void write_vm_trials_csv(std::ostream& out,
+                         const std::vector<VmTrialResult>& trials) {
+  out << "workload,outcome,latency,inject_index,bit\n";
+  for (const auto& t : trials) {
+    out << t.workload << ',' << to_string(t.outcome) << ',';
+    latency_cell(out, t.latency);
+    out << ',' << t.inject_index << ',' << t.bit << '\n';
+  }
+}
+
+void write_category_series_csv(std::ostream& out,
+                               const std::vector<UarchTrialRecord>& trials,
+                               DetectorModel detector, ProtectionModel protection) {
+  const auto categories = {UarchOutcome::kMasked,   UarchOutcome::kOther,
+                           UarchOutcome::kLatent,   UarchOutcome::kSdc,
+                           UarchOutcome::kCfv,      UarchOutcome::kException,
+                           UarchOutcome::kDeadlock};
+  out << "interval";
+  for (const auto category : categories) out << ',' << to_string(category);
+  out << '\n';
+  for (const u64 interval : checkpoint_interval_sweep()) {
+    const auto shares = category_shares(trials, detector, protection, interval);
+    out << interval;
+    for (const auto category : categories) {
+      const auto it = shares.find(category);
+      out << ',' << (it == shares.end() ? 0.0 : it->second);
+    }
+    out << '\n';
+  }
+}
+
+void write_uarch_trials_csv(const std::string& path,
+                            const std::vector<UarchTrialRecord>& trials) {
+  auto out = open_or_throw(path);
+  write_uarch_trials_csv(out, trials);
+}
+
+void write_vm_trials_csv(const std::string& path,
+                         const std::vector<VmTrialResult>& trials) {
+  auto out = open_or_throw(path);
+  write_vm_trials_csv(out, trials);
+}
+
+}  // namespace restore::faultinject

@@ -1,0 +1,35 @@
+// Campaign result export: CSV writers so campaign data can be re-analysed or
+// plotted outside the bench binaries (gnuplot/pandas/etc).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "faultinject/classify.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+
+namespace restore::faultinject {
+
+// One row per trial: workload, field, storage, protection, event latencies,
+// end-state flags. Latency columns print empty cells for kNever.
+void write_uarch_trials_csv(std::ostream& out,
+                            const std::vector<UarchTrialRecord>& trials);
+
+// One row per trial: workload, outcome, latency, injection site.
+void write_vm_trials_csv(std::ostream& out, const std::vector<VmTrialResult>& trials);
+
+// Aggregated Figure 4/5/6 series: one row per checkpoint interval with the
+// category shares for the given detector/protection model.
+void write_category_series_csv(std::ostream& out,
+                               const std::vector<UarchTrialRecord>& trials,
+                               DetectorModel detector, ProtectionModel protection);
+
+// Convenience: write to a file path (throws std::runtime_error on I/O error).
+void write_uarch_trials_csv(const std::string& path,
+                            const std::vector<UarchTrialRecord>& trials);
+void write_vm_trials_csv(const std::string& path,
+                         const std::vector<VmTrialResult>& trials);
+
+}  // namespace restore::faultinject

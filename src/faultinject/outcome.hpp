@@ -1,0 +1,94 @@
+// Trial outcome taxonomy.
+//
+// Table 1 (architectural / VM-level study, Figure 2):
+//   masked    - the injected fault did not cause failure
+//   exception - an ISA-defined exception was raised
+//   cfv       - control-flow violation: an incorrect instruction retired
+//   mem-addr  - the address of a memory operation was affected
+//   mem-data  - a store wrote incorrect data
+//   register  - only registers were corrupted
+// Precedence (high to low): exception, cfv, mem-addr, mem-data, register.
+//
+// Table 2 (microarchitectural study, Figures 4-6):
+//   masked    - fault overwritten; machine state matches the golden run
+//   deadlock  - watchdog-detected hang
+//   exception - fault propagated into an ISA exception
+//   cfv       - control-flow violation
+//   sdc       - register-file or memory corruption that escaped
+//   latent    - no failure yet, but the fault is still live in *used* state
+//   other     - fault parked in dead state; failure unlikely
+// Precedence (high to low): deadlock, exception, cfv, sdc.
+#pragma once
+
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace restore::faultinject {
+
+enum class VmOutcome : u8 {
+  kMasked,
+  kException,
+  kCfv,
+  kMemAddr,
+  kMemData,
+  kRegister,
+};
+
+constexpr std::string_view to_string(VmOutcome outcome) noexcept {
+  switch (outcome) {
+    case VmOutcome::kMasked: return "masked";
+    case VmOutcome::kException: return "exception";
+    case VmOutcome::kCfv: return "cfv";
+    case VmOutcome::kMemAddr: return "mem-addr";
+    case VmOutcome::kMemData: return "mem-data";
+    case VmOutcome::kRegister: return "register";
+  }
+  return "?";
+}
+
+enum class UarchOutcome : u8 {
+  kMasked,
+  kDeadlock,
+  kException,
+  kCfv,
+  kSdc,
+  kLatent,
+  kOther,
+};
+
+constexpr std::string_view to_string(UarchOutcome outcome) noexcept {
+  switch (outcome) {
+    case UarchOutcome::kMasked: return "masked";
+    case UarchOutcome::kDeadlock: return "deadlock";
+    case UarchOutcome::kException: return "exception";
+    case UarchOutcome::kCfv: return "cfv";
+    case UarchOutcome::kSdc: return "sdc";
+    case UarchOutcome::kLatent: return "latent";
+    case UarchOutcome::kOther: return "other";
+  }
+  return "?";
+}
+
+constexpr bool is_failure(UarchOutcome outcome) noexcept {
+  switch (outcome) {
+    case UarchOutcome::kDeadlock:
+    case UarchOutcome::kException:
+    case UarchOutcome::kCfv:
+    case UarchOutcome::kSdc:
+    case UarchOutcome::kLatent:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Covered = ReStore detects and recovers the failure (paper §5.1.1: the
+// deadlock, exception, and cfv categories).
+constexpr bool is_covered(UarchOutcome outcome) noexcept {
+  return outcome == UarchOutcome::kDeadlock || outcome == UarchOutcome::kException ||
+         outcome == UarchOutcome::kCfv;
+}
+
+}  // namespace restore::faultinject

@@ -1,0 +1,234 @@
+#include "faultinject/uarch_campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace restore::faultinject {
+
+using uarch::Core;
+using uarch::StateRegistry;
+using uarch::SymptomEvent;
+
+namespace {
+
+// Golden continuation from an injection point: the retired trace over the
+// monitor window plus the golden machine state at the end of the window.
+struct GoldenContinuation {
+  std::vector<vm::Retired> trace;
+  Core end_core;
+  u64 base_retired = 0;
+
+  explicit GoldenContinuation(const Core& at_point, u64 monitor_cycles)
+      : end_core(at_point), base_retired(at_point.retired_count()) {
+    trace.reserve(monitor_cycles);
+    for (u64 c = 0; c < monitor_cycles && end_core.running(); ++c) {
+      end_core.cycle();
+      for (const auto& rec : end_core.retired_this_cycle()) trace.push_back(rec);
+    }
+  }
+};
+
+UarchTrialRecord run_trial(const Core& golden_at_point,
+                           const GoldenContinuation& golden,
+                           const uarch::BitRef& bit, u64 monitor_cycles,
+                           u64 catchup_cycles) {
+  const StateRegistry& reg = StateRegistry::instance();
+
+  UarchTrialRecord record;
+  record.bit = bit;
+  record.storage = reg.field(bit).storage;
+  record.protection = reg.field(bit).protection;
+  record.field_name = reg.field(bit).name;
+
+  Core faulty = golden_at_point;
+  reg.flip(faulty, bit);
+  const u64 base = faulty.retired_count();
+
+  u64 compared = 0;
+  bool overrun = false;
+  bool prev_pc_mismatch = false;
+  for (u64 c = 0; c < monitor_cycles && faulty.running(); ++c) {
+    faulty.cycle();
+    for (const auto& rec : faulty.retired_this_cycle()) {
+      const u64 idx = compared++;
+      if (idx >= golden.trace.size()) {
+        overrun = true;  // retired past the golden window (timing shift)
+        continue;
+      }
+      const vm::Retired& ref = golden.trace[idx];
+      if (rec.pc != ref.pc) {
+        // A control-flow violation is a *sustained* divergence of the retired
+        // pc stream. A single isolated mismatch is a corrupted pc bookkeeping
+        // field (e.g. a ROB pc bit), not a different instruction stream.
+        if (prev_pc_mismatch) {
+          record.lat_cfv = std::min(record.lat_cfv, idx);
+        }
+        prev_pc_mismatch = true;
+        record.trace_diverged = true;
+      } else {
+        prev_pc_mismatch = false;
+        if (!rec.same_effect(ref)) record.trace_diverged = true;
+      }
+    }
+    for (const auto& ev : faulty.symptoms_this_cycle()) {
+      const u64 latency =
+          ev.retired_count >= base ? ev.retired_count - base : 0;
+      switch (ev.kind) {
+        case SymptomEvent::Kind::kException:
+          record.lat_exception = std::min(record.lat_exception, latency);
+          break;
+        case SymptomEvent::Kind::kHighConfMispredict:
+          record.lat_hiconf = std::min(record.lat_hiconf, latency);
+          break;
+        case SymptomEvent::Kind::kWatchdog:
+          record.lat_deadlock = std::min(record.lat_deadlock, latency);
+          break;
+        case SymptomEvent::Kind::kIllegalFlow:
+          record.lat_illegal_flow = std::min(record.lat_illegal_flow, latency);
+          break;
+        case SymptomEvent::Kind::kCacheMissBurst:
+          record.lat_cache_burst = std::min(record.lat_cache_burst, latency);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  record.end_status = faulty.status();
+
+  if (faulty.status() == Core::Status::kFaulted ||
+      faulty.status() == Core::Status::kDeadlocked) {
+    record.arch_corrupt_at_end = true;
+    return record;
+  }
+
+  if (!record.trace_diverged && !overrun) {
+    // Effect-identical prefix: no architectural corruption was committed.
+    // Compare full microarchitectural state against the golden end to
+    // separate masked / latent / other.
+    record.arch_corrupt_at_end = false;
+    const auto diff = reg.diff(faulty, golden.end_core);
+    record.uarch_state_equal =
+        !diff.any && faulty.memory().digest() == golden.end_core.memory().digest();
+    record.live_state_diff = diff.any_live;
+    return record;
+  }
+
+  // Diverged or timing-shifted: let the faulty machine catch up to the golden
+  // retirement boundary, then compare architectural state (the paper's
+  // refined failure definition: corrupt-then-overwritten is not a failure).
+  const u64 target = golden.base_retired + golden.trace.size();
+  for (u64 c = 0; c < catchup_cycles && faulty.running() &&
+                  faulty.retired_count() < target;
+       ++c) {
+    faulty.cycle();
+    for (const auto& ev : faulty.symptoms_this_cycle()) {
+      const u64 latency = ev.retired_count >= base ? ev.retired_count - base : 0;
+      if (ev.kind == SymptomEvent::Kind::kException) {
+        record.lat_exception = std::min(record.lat_exception, latency);
+      } else if (ev.kind == SymptomEvent::Kind::kWatchdog) {
+        record.lat_deadlock = std::min(record.lat_deadlock, latency);
+      }
+    }
+  }
+  record.end_status = faulty.status();
+  if (faulty.status() == Core::Status::kFaulted ||
+      faulty.status() == Core::Status::kDeadlocked) {
+    record.arch_corrupt_at_end = true;
+    return record;
+  }
+
+  const vm::ArchSnapshot fa = faulty.arch_snapshot();
+  const vm::ArchSnapshot ga = golden.end_core.arch_snapshot();
+  record.arch_corrupt_at_end =
+      faulty.retired_count() != target || !(fa == ga) ||
+      faulty.memory().digest() != golden.end_core.memory().digest() ||
+      faulty.output() != golden.end_core.output();
+  return record;
+}
+
+}  // namespace
+
+UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
+                                 const uarch::BitRef& bit, u64 monitor_cycles,
+                                 u64 catchup_cycles) {
+  GoldenContinuation golden(golden_at_point, monitor_cycles);
+  return run_trial(golden_at_point, golden, bit, monitor_cycles, catchup_cycles);
+}
+
+UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
+  const StateRegistry& reg = StateRegistry::instance();
+  UarchCampaignResult result;
+  result.eligible_bits = config.latches_only
+                             ? reg.total_bits(uarch::StorageClass::kLatch)
+                             : reg.total_bits();
+  Rng rng(config.seed);
+
+  std::vector<const workloads::Workload*> selected;
+  if (config.workloads.empty()) {
+    for (const auto& wl : workloads::all()) selected.push_back(&wl);
+  } else {
+    for (const auto& name : config.workloads) {
+      selected.push_back(&workloads::by_name(name));
+    }
+  }
+
+  for (const workloads::Workload* wl : selected) {
+    // Total clean cycle count (cached per workload).
+    static std::map<std::string, u64> cycle_cache;
+    u64& total_cycles = cycle_cache[wl->name];
+    if (total_cycles == 0) {
+      Core probe(wl->program, config.core_config);
+      probe.run(100'000'000);
+      total_cycles = probe.cycle_count();
+    }
+
+    const u64 points =
+        std::max<u64>(1, (config.trials_per_workload + config.trials_per_point - 1) /
+                             config.trials_per_point);
+    // Injection points in [5%, 85%] of the clean run, sorted so the golden
+    // core can be advanced incrementally.
+    std::vector<u64> cycles;
+    cycles.reserve(points);
+    const u64 lo = total_cycles / 20;
+    const u64 hi = std::max(lo + 1, total_cycles * 17 / 20);
+    for (u64 p = 0; p < points; ++p) cycles.push_back(rng.range(lo, hi));
+    std::sort(cycles.begin(), cycles.end());
+
+    ThreadPool pool(config.workers);
+    Core golden(wl->program, config.core_config);
+    u64 done = 0;
+    for (u64 p = 0; p < points && done < config.trials_per_workload; ++p) {
+      while (golden.running() && golden.cycle_count() < cycles[p]) golden.cycle();
+      if (!golden.running()) break;
+      const GoldenContinuation continuation(golden, config.monitor_cycles);
+
+      // Pre-sample the point's bits sequentially so results are independent
+      // of the worker count, then fan the trials out.
+      std::vector<uarch::BitRef> bits;
+      while (bits.size() < config.trials_per_point &&
+             done + bits.size() < config.trials_per_workload) {
+        bits.push_back(config.latches_only
+                           ? reg.sample(rng, uarch::StorageClass::kLatch)
+                           : reg.sample(rng));
+      }
+      std::vector<UarchTrialRecord> records(bits.size());
+      pool.parallel_for(bits.size(), [&](std::size_t t) {
+        records[t] = run_trial(golden, continuation, bits[t],
+                               config.monitor_cycles, config.catchup_cycles);
+      });
+      for (auto& record : records) {
+        record.workload = wl->name;
+        result.trials.push_back(std::move(record));
+      }
+      done += bits.size();
+    }
+  }
+  return result;
+}
+
+}  // namespace restore::faultinject

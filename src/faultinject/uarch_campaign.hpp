@@ -1,0 +1,90 @@
+// Microarchitectural fault-injection campaign — the paper's §4/§5 studies
+// (Figures 4, 5 and 6 and the §5.1.2 latch-only experiment).
+//
+// Each trial: warm the core to a random injection point, snapshot it (the
+// Core has value semantics), flip one randomly selected eligible state bit,
+// and monitor for up to `monitor_cycles` against the golden continuation —
+// exactly the paper's methodology of comparing against both a golden
+// latch-level model and an architectural simulator (§4.2). The trial records
+// *all* detector events with their latencies; classification into the
+// figures' categories happens afterwards (classify.hpp), so one campaign
+// feeds Figure 4 (perfect cfv detection), Figure 5 (JRS-gated detection) and
+// Figure 6 (hardened "lhf" pipeline) simultaneously.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "faultinject/outcome.hpp"
+#include "uarch/core.hpp"
+#include "uarch/state_registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::faultinject {
+
+struct UarchCampaignConfig {
+  u64 seed = 0xC0FE;
+  u64 trials_per_workload = 120;
+  // Trials sharing one warmed snapshot (the paper uses ~250-300 injection
+  // points for 12-13k trials).
+  u64 trials_per_point = 8;
+  // Cycles a trial is monitored after injection (paper: 10,000).
+  u64 monitor_cycles = 10'000;
+  // Additional catch-up budget when deciding end-of-trial architectural
+  // corruption for timing-shifted runs.
+  u64 catchup_cycles = 10'000;
+  // Restrict injection to pipeline latches (the §5.1.2 study).
+  bool latches_only = false;
+  // Workload subset; empty = all seven.
+  std::vector<std::string> workloads;
+  // Machine configuration for all cores in the campaign (ablations override
+  // detector behaviour here, e.g. all_mispredicts_high_conf).
+  uarch::CoreConfig core_config;
+  // Worker threads for trial execution (0 = run inline). Results are
+  // deterministic regardless: bits are pre-sampled sequentially and trials
+  // are independent.
+  std::size_t workers = 0;
+};
+
+// Raw per-trial record: every event with its latency (retired instructions
+// from injection to the event; kNever if it did not fire).
+struct UarchTrialRecord {
+  std::string workload;
+  uarch::BitRef bit;
+  uarch::StorageClass storage = uarch::StorageClass::kLatch;
+  uarch::LhfProtection protection = uarch::LhfProtection::kNone;
+  std::string field_name;
+
+  u64 lat_exception = kNever;  // ISA exception retired
+  u64 lat_cfv = kNever;        // first retired-pc divergence (perfect detector)
+  u64 lat_hiconf = kNever;     // first high-confidence-mispredict symptom
+  u64 lat_deadlock = kNever;   // watchdog saturation
+  u64 lat_illegal_flow = kNever;  // control-flow monitoring watchdog
+  u64 lat_cache_burst = kNever;   // L1D miss-burst extension symptom
+
+  bool trace_diverged = false;       // any retired-effect mismatch
+  bool arch_corrupt_at_end = false;  // registers/memory wrong after catch-up
+  // End-of-monitor microarchitectural comparison (only meaningful when the
+  // trace never diverged):
+  bool uarch_state_equal = false;
+  bool live_state_diff = false;
+
+  uarch::Core::Status end_status = uarch::Core::Status::kRunning;
+};
+
+struct UarchCampaignResult {
+  std::vector<UarchTrialRecord> trials;
+  u64 eligible_bits = 0;  // size of the sampled state space
+};
+
+UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config);
+
+// Single trial against a pre-warmed golden core (exposed for tests).
+// `golden_at_point` must be running.
+UarchTrialRecord run_uarch_trial(const uarch::Core& golden_at_point,
+                                 const uarch::BitRef& bit, u64 monitor_cycles,
+                                 u64 catchup_cycles);
+
+}  // namespace restore::faultinject

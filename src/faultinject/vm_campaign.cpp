@@ -1,0 +1,225 @@
+#include "faultinject/vm_campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "vm/vm.hpp"
+
+namespace restore::faultinject {
+
+namespace {
+
+// Cache of golden traces per workload (the campaign replays them for every
+// trial).
+struct GoldenTrace {
+  std::vector<vm::Retired> records;
+  std::vector<u64> result_indices;  // dynamic indices of register-writing insns
+  std::string output;
+};
+
+const GoldenTrace& golden_trace(const workloads::Workload& workload) {
+  static std::map<std::string, GoldenTrace> cache;
+  auto it = cache.find(workload.name);
+  if (it != cache.end()) return it->second;
+
+  GoldenTrace trace;
+  vm::Vm vm(workload.program);
+  while (auto rec = vm.step()) {
+    if (rec->wrote_reg) trace.result_indices.push_back(trace.records.size());
+    trace.records.push_back(*rec);
+  }
+  trace.output = vm.output();
+  if (trace.result_indices.empty()) {
+    throw std::logic_error("workload produces no register results: " + workload.name);
+  }
+  return cache.emplace(workload.name, std::move(trace)).first->second;
+}
+
+}  // namespace
+
+namespace {
+
+// Common monitoring/classification once the corrupted VM is positioned just
+// past `inject_index`.
+VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
+                            u64 inject_index, u32 bit, u64 overrun_budget);
+
+}  // namespace
+
+VmTrialResult run_vm_trial(const workloads::Workload& workload, u64 inject_index,
+                           u32 bit, u64 overrun_budget) {
+  const GoldenTrace& golden = golden_trace(workload);
+  if (inject_index >= golden.records.size() ||
+      !golden.records[inject_index].wrote_reg) {
+    throw std::invalid_argument("inject_index must name a register-writing insn");
+  }
+
+  // Re-execute to the injection point, then flip the destination register.
+  vm::Vm vm(workload.program);
+  for (u64 i = 0; i <= inject_index; ++i) vm.step();
+  const auto& site = golden.records[inject_index];
+  vm.set_reg(site.rd, flip_bit(site.rd_value, bit));
+  return monitor_trial(workload, std::move(vm), inject_index, bit, overrun_budget);
+}
+
+VmTrialResult run_vm_register_trial(const workloads::Workload& workload,
+                                    u64 inject_index, u8 reg, u32 bit,
+                                    u64 overrun_budget) {
+  const GoldenTrace& golden = golden_trace(workload);
+  if (inject_index >= golden.records.size()) {
+    throw std::invalid_argument("inject_index out of range");
+  }
+  vm::Vm vm(workload.program);
+  for (u64 i = 0; i <= inject_index; ++i) vm.step();
+  vm.set_reg(reg, flip_bit(vm.reg(reg), bit));
+  return monitor_trial(workload, std::move(vm), inject_index, bit, overrun_budget);
+}
+
+namespace {
+
+VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
+                            u64 inject_index, u32 bit, u64 overrun_budget) {
+  const GoldenTrace& golden = golden_trace(workload);
+  VmTrialResult result;
+  result.workload = workload.name;
+  result.inject_index = inject_index;
+  result.bit = bit;
+
+  // Monitor the rest of the run, comparing against the golden stream.
+  u64 lat_exception = kNever, lat_cfv = kNever, lat_mem_addr = kNever,
+      lat_mem_data = kNever, lat_register = kNever;
+  bool pc_stream_diverged = false;
+
+  u64 executed = 0;
+  const u64 budget = golden.records.size() - inject_index + overrun_budget;
+  while (executed < budget) {
+    const auto rec = vm.step();
+    if (!rec.has_value()) break;  // halted or faulted previously
+    ++executed;
+    const u64 latency = executed;
+
+    if (rec->fault != isa::ExceptionKind::kNone) {
+      lat_exception = std::min(lat_exception, latency);
+      break;  // highest-precedence symptom: trial decided
+    }
+
+    const u64 golden_index = inject_index + executed;
+    if (!pc_stream_diverged && golden_index < golden.records.size()) {
+      const vm::Retired& ref = golden.records[golden_index];
+      if (rec->pc != ref.pc) {
+        pc_stream_diverged = true;
+        lat_cfv = std::min(lat_cfv, latency);
+      } else {
+        if (rec->is_store && rec->store_addr != ref.store_addr) {
+          lat_mem_addr = std::min(lat_mem_addr, latency);
+        }
+        if (rec->is_load && rec->load_addr != ref.load_addr) {
+          lat_mem_addr = std::min(lat_mem_addr, latency);
+        }
+        if (rec->is_store && rec->store_addr == ref.store_addr &&
+            rec->store_data != ref.store_data) {
+          lat_mem_data = std::min(lat_mem_data, latency);
+        }
+        if (rec->wrote_reg && ref.wrote_reg && rec->rd_value != ref.rd_value) {
+          lat_register = std::min(lat_register, latency);
+        }
+      }
+    }
+    if (rec->halted) break;
+  }
+
+  // Residual register corruption: the flipped register was never overwritten
+  // and still differs at program end (visible only in final state).
+  bool residual_register = false;
+  if (lat_exception == kNever && !pc_stream_diverged && lat_mem_addr == kNever &&
+      lat_mem_data == kNever && lat_register == kNever) {
+    if (vm.status() == vm::Vm::Status::kHalted) {
+      // Compare the final register file against a clean golden run.
+      vm::Vm ref(workload.program);
+      ref.run(golden.records.size() + 8);
+      for (u8 r = 0; r < isa::kNumArchRegs && !residual_register; ++r) {
+        if (vm.reg(r) != ref.reg(r)) residual_register = true;
+      }
+    } else {
+      // Still running at budget exhaustion without any divergence event:
+      // treat as register-latent.
+      residual_register = true;
+    }
+  }
+
+  // Classify with Table 1 precedence.
+  if (lat_exception != kNever) {
+    result.outcome = VmOutcome::kException;
+    result.latency = lat_exception;
+  } else if (lat_cfv != kNever) {
+    result.outcome = VmOutcome::kCfv;
+    result.latency = lat_cfv;
+  } else if (lat_mem_addr != kNever) {
+    result.outcome = VmOutcome::kMemAddr;
+    result.latency = lat_mem_addr;
+  } else if (lat_mem_data != kNever) {
+    result.outcome = VmOutcome::kMemData;
+    result.latency = lat_mem_data;
+  } else if (lat_register != kNever) {
+    result.outcome = VmOutcome::kRegister;
+    result.latency = lat_register;
+  } else if (residual_register) {
+    result.outcome = VmOutcome::kRegister;
+    result.latency = kNever;  // only visible in final state
+  } else {
+    result.outcome = VmOutcome::kMasked;
+    result.latency = kNever;
+  }
+  return result;
+}
+
+}  // namespace
+
+VmCampaignResult run_vm_campaign(const VmCampaignConfig& config) {
+  VmCampaignResult result;
+  Rng rng(config.seed);
+
+  std::vector<const workloads::Workload*> selected;
+  if (config.workloads.empty()) {
+    for (const auto& wl : workloads::all()) selected.push_back(&wl);
+  } else {
+    for (const auto& name : config.workloads) {
+      selected.push_back(&workloads::by_name(name));
+    }
+  }
+
+  for (const workloads::Workload* wl : selected) {
+    const GoldenTrace& golden = golden_trace(*wl);
+    for (u64 t = 0; t < config.trials_per_workload; ++t) {
+      const u32 bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
+      if (config.model == VmFaultModel::kResultBit) {
+        const u64 pick = rng.below(golden.result_indices.size());
+        const u64 index = golden.result_indices[pick];
+        result.trials.push_back(
+            run_vm_trial(*wl, index, bit, config.overrun_budget));
+      } else {
+        const u64 index = rng.below(golden.records.size());
+        const u8 reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
+        result.trials.push_back(
+            run_vm_register_trial(*wl, index, reg, bit, config.overrun_budget));
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t VmCampaignResult::count(VmOutcome outcome, u64 max_latency) const {
+  return static_cast<std::size_t>(std::count_if(
+      trials.begin(), trials.end(), [&](const VmTrialResult& t) {
+        return t.outcome == outcome && t.latency <= max_latency;
+      }));
+}
+
+double VmCampaignResult::fraction(VmOutcome outcome, u64 max_latency) const {
+  if (trials.empty()) return 0.0;
+  return static_cast<double>(count(outcome, max_latency)) / trials.size();
+}
+
+}  // namespace restore::faultinject

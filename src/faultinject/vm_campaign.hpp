@@ -1,0 +1,76 @@
+// Architectural (VM-level) fault-injection campaign — the paper's §3.1 study
+// (Figure 2). The fault model is "a single bit flip in the result of a
+// randomly chosen instruction"; the trial watches the subsequent retirement
+// stream for symptoms and classifies per Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "faultinject/outcome.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::faultinject {
+
+// Architectural fault models.
+enum class VmFaultModel : u8 {
+  // The paper's §3.1 model: flip one bit of a randomly chosen instruction's
+  // result, right after it is produced.
+  kResultBit,
+  // The related-work model (Gu et al., rePLay §6): flip one bit of a randomly
+  // chosen *live architectural register* at a random point in time,
+  // independent of which instruction produced it.
+  kRegisterBit,
+};
+
+struct VmCampaignConfig {
+  u64 seed = 0x5EED;
+  VmFaultModel model = VmFaultModel::kResultBit;
+  // Trials per workload (paper: ~1000).
+  u64 trials_per_workload = 150;
+  // Restrict flips to the low 32 bits of each 64-bit result (the §3.1
+  // follow-up study probing virtual-address-space sensitivity).
+  bool low32_only = false;
+  // Extra instructions the faulty run may execute beyond the golden length
+  // before the trial is cut off (runaway protection).
+  u64 overrun_budget = 50'000;
+  // Workload subset; empty = all seven.
+  std::vector<std::string> workloads;
+};
+
+struct VmTrialResult {
+  std::string workload;
+  VmOutcome outcome = VmOutcome::kMasked;
+  // Instructions from injection to the first symptom of the winning
+  // category; kNever for masked (and for `register` when the corruption is
+  // only visible in the final register file).
+  u64 latency = kNever;
+  u64 inject_index = 0;  // dynamic instruction index of the corrupted result
+  u32 bit = 0;           // flipped bit position
+};
+
+struct VmCampaignResult {
+  std::vector<VmTrialResult> trials;
+
+  // Fraction of trials in `outcome` with latency <= max_latency.
+  double fraction(VmOutcome outcome, u64 max_latency = kNever) const;
+  std::size_t count(VmOutcome outcome, u64 max_latency = kNever) const;
+};
+
+// Run the campaign. Deterministic for a given config.
+VmCampaignResult run_vm_campaign(const VmCampaignConfig& config);
+
+// Run a single trial (exposed for tests): inject into dynamic instruction
+// `inject_index` (must produce a register result), flipping `bit`.
+VmTrialResult run_vm_trial(const workloads::Workload& workload, u64 inject_index,
+                           u32 bit, u64 overrun_budget = 50'000);
+
+// Register-model single trial: after dynamic instruction `inject_index`
+// executes, flip bit `bit` of architectural register `reg`.
+VmTrialResult run_vm_register_trial(const workloads::Workload& workload,
+                                    u64 inject_index, u8 reg, u32 bit,
+                                    u64 overrun_budget = 50'000);
+
+}  // namespace restore::faultinject

@@ -1,0 +1,596 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/instruction.hpp"
+
+namespace restore::isa {
+
+namespace {
+
+struct Statement {
+  std::size_t line = 0;
+  std::vector<std::string> labels;
+  std::string mnemonic;  // lower-case; empty for label-only lines
+  std::vector<std::string> operands;
+};
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+// Split "a, b, 8(sp)" into operand tokens. Commas inside quotes are kept.
+std::vector<std::string> split_operands(std::string_view text, std::size_t line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quote = false;
+  for (char c : text) {
+    if (c == '"') in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      out.emplace_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quote) throw AsmError(line, "unterminated string literal");
+  const auto tail = trim(current);
+  if (!tail.empty()) out.emplace_back(tail);
+  for (const auto& op : out) {
+    if (op.empty()) throw AsmError(line, "empty operand");
+  }
+  return out;
+}
+
+std::vector<Statement> parse_source(std::string_view source) {
+  std::vector<Statement> stmts;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const auto nl = source.find('\n', pos);
+    std::string_view line =
+        source.substr(pos, nl == std::string_view::npos ? source.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments ('#' or ';'), but not inside quotes.
+    bool in_quote = false;
+    std::size_t cut = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') in_quote = !in_quote;
+      if (!in_quote && (line[i] == '#' || line[i] == ';')) {
+        cut = i;
+        break;
+      }
+    }
+    line = trim(line.substr(0, cut));
+    if (line.empty()) continue;
+
+    Statement stmt;
+    stmt.line = line_no;
+
+    // Leading labels: "name:".
+    for (;;) {
+      std::size_t i = 0;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      if (i == 0 || i >= line.size() || line[i] != ':') break;
+      stmt.labels.emplace_back(line.substr(0, i));
+      line = trim(line.substr(i + 1));
+    }
+    if (!line.empty()) {
+      std::size_t i = 0;
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      stmt.mnemonic = to_lower(line.substr(0, i));
+      stmt.operands = split_operands(trim(line.substr(i)), line_no);
+    }
+    stmts.push_back(std::move(stmt));
+  }
+  return stmts;
+}
+
+const std::map<std::string, u8, std::less<>>& register_aliases() {
+  static const std::map<std::string, u8, std::less<>> table = [] {
+    std::map<std::string, u8, std::less<>> t;
+    for (u8 i = 0; i < kNumArchRegs; ++i) t["r" + std::to_string(i)] = i;
+    t["zero"] = 31;
+    t["sp"] = 30;
+    t["ra"] = 29;
+    t["rv"] = 1;
+    for (u8 i = 0; i < 6; ++i) t["a" + std::to_string(i)] = static_cast<u8>(2 + i);
+    for (u8 i = 0; i < 12; ++i) t["t" + std::to_string(i)] = static_cast<u8>(8 + i);
+    for (u8 i = 0; i < 9; ++i) t["s" + std::to_string(i)] = static_cast<u8>(20 + i);
+    return t;
+  }();
+  return table;
+}
+
+std::optional<i64> try_parse_number(std::string_view token) {
+  bool negative = false;
+  if (!token.empty() && (token.front() == '-' || token.front() == '+')) {
+    negative = token.front() == '-';
+    token.remove_prefix(1);
+  }
+  if (token.empty()) return std::nullopt;
+  int base = 10;
+  if (token.size() > 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+    base = 16;
+    token.remove_prefix(2);
+  }
+  u64 magnitude = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), magnitude, base);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) return std::nullopt;
+  return negative ? -static_cast<i64>(magnitude) : static_cast<i64>(magnitude);
+}
+
+// Mnemonic table for real (non-pseudo) instructions.
+const std::map<std::string, Opcode, std::less<>>& opcode_table() {
+  static const std::map<std::string, Opcode, std::less<>> table = [] {
+    std::map<std::string, Opcode, std::less<>> t;
+    for (u8 raw = 0; raw < 64; ++raw) {
+      const auto op = static_cast<Opcode>(raw);
+      if (format_of(op) != Format::kIllegal) t[std::string(mnemonic(op))] = op;
+    }
+    return t;
+  }();
+  return table;
+}
+
+class Assembler {
+ public:
+  Assembler(const AsmOptions& options, std::string name)
+      : options_(options), name_(std::move(name)) {}
+
+  Program run(std::string_view source) {
+    const auto stmts = parse_source(source);
+    // Pass 1: assign addresses to labels.
+    pass_ = 1;
+    layout(stmts);
+    // Pass 2: emit bytes.
+    pass_ = 2;
+    text_.clear();
+    data_.clear();
+    layout(stmts);
+    return finish();
+  }
+
+ private:
+  enum class Section { kText, kData };
+
+  void layout(const std::vector<Statement>& stmts) {
+    section_ = Section::kText;
+    text_cursor_ = options_.text_base;
+    data_cursor_ = options_.data_base;
+    for (const auto& stmt : stmts) process(stmt);
+  }
+
+  u64& cursor() { return section_ == Section::kText ? text_cursor_ : data_cursor_; }
+  u64 cursor() const {
+    return section_ == Section::kText ? text_cursor_ : data_cursor_;
+  }
+  std::vector<u8>& bytes() { return section_ == Section::kText ? text_ : data_; }
+
+  void process(const Statement& stmt) {
+    line_ = stmt.line;
+    for (const auto& label : stmt.labels) define_label(label);
+    if (stmt.mnemonic.empty()) return;
+    if (stmt.mnemonic.front() == '.') {
+      directive(stmt);
+    } else {
+      instruction(stmt);
+    }
+  }
+
+  void define_label(const std::string& label) {
+    if (pass_ != 1) return;
+    if (!labels_.emplace(label, cursor()).second) {
+      throw AsmError(line_, "duplicate label '" + label + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw AsmError(line_, message);
+  }
+
+  // ---- operand parsing ----
+
+  u8 reg(const std::string& token) const {
+    const auto& table = register_aliases();
+    const auto it = table.find(to_lower(token));
+    if (it == table.end()) fail("unknown register '" + token + "'");
+    return it->second;
+  }
+
+  i64 literal(const std::string& token) const {
+    if (const auto v = try_parse_number(token)) return *v;
+    fail("expected numeric literal, got '" + token + "'");
+  }
+
+  // A value that may be a literal or (in pass 2) a label address. In pass 1
+  // unknown labels resolve to 0 — only used where the encoding size does not
+  // depend on the value.
+  i64 value_or_label(const std::string& token) const {
+    if (const auto v = try_parse_number(token)) return *v;
+    if (pass_ == 1) return 0;
+    const auto it = labels_.find(token);
+    if (it == labels_.end()) fail("undefined symbol '" + token + "'");
+    return static_cast<i64>(it->second);
+  }
+
+  // "disp(base)" memory operand.
+  std::pair<i64, u8> mem_operand(const std::string& token) const {
+    const auto open = token.find('(');
+    const auto close = token.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      fail("expected disp(base) operand, got '" + token + "'");
+    }
+    const auto disp_text = trim(std::string_view(token).substr(0, open));
+    const i64 disp = disp_text.empty() ? 0 : literal(std::string(disp_text));
+    const u8 base = reg(std::string(
+        trim(std::string_view(token).substr(open + 1, close - open - 1))));
+    check_imm16_signed(disp);
+    return {disp, base};
+  }
+
+  void check_imm16_signed(i64 v) const {
+    if (v < -(1 << 15) || v >= (1 << 15)) fail("immediate out of signed 16-bit range");
+  }
+  void check_imm16_logical(i64 v) const {
+    if (v < 0 || v > 0xFFFF) fail("logical immediate out of unsigned 16-bit range");
+  }
+
+  // ---- emission ----
+
+  void emit_word(u32 word) {
+    if (pass_ == 2) {
+      auto& out = bytes();
+      out.push_back(static_cast<u8>(word));
+      out.push_back(static_cast<u8>(word >> 8));
+      out.push_back(static_cast<u8>(word >> 16));
+      out.push_back(static_cast<u8>(word >> 24));
+    }
+    cursor() += 4;
+  }
+
+  void emit_byte(u8 b) {
+    if (pass_ == 2) bytes().push_back(b);
+    cursor() += 1;
+  }
+
+  // ---- pseudo-instruction expansion ----
+
+  // Load an arbitrary 64-bit constant. The sequence depends only on the value
+  // (known in both passes), so sizes stay consistent.
+  void emit_li(u8 rd, u64 value) {
+    const i64 sv = static_cast<i64>(value);
+    if (sv >= -(1 << 15) && sv < (1 << 15)) {
+      emit_word(encode_itype(Opcode::kAddi, rd, kZeroReg, sv));
+      return;
+    }
+    if (value <= 0xFFFF) {
+      emit_word(encode_itype(Opcode::kOri, rd, kZeroReg, static_cast<i64>(value)));
+      return;
+    }
+    // General shift-or recipe from the topmost nonzero 16-bit chunk down.
+    int top = 3;
+    while (top > 0 && ((value >> (16 * top)) & 0xFFFF) == 0) --top;
+    emit_word(encode_itype(Opcode::kOri, rd, kZeroReg,
+                           static_cast<i64>((value >> (16 * top)) & 0xFFFF)));
+    for (int chunk = top - 1; chunk >= 0; --chunk) {
+      emit_word(encode_itype(Opcode::kSlli, rd, rd, 16));
+      const u64 piece = (value >> (16 * chunk)) & 0xFFFF;
+      if (piece != 0) {
+        emit_word(encode_itype(Opcode::kOri, rd, rd, static_cast<i64>(piece)));
+      }
+    }
+  }
+
+  // Load a label address: fixed three-instruction form so that pass-1 sizing
+  // does not depend on the (not yet known) address. Addresses must fit in 32
+  // unsigned bits, which the default memory map guarantees.
+  void emit_la(u8 rd, const std::string& label) {
+    const u64 addr = static_cast<u64>(value_or_label(label));
+    if (pass_ == 2 && addr > 0xFFFF'FFFFULL) fail("label address exceeds 32 bits");
+    emit_word(encode_itype(Opcode::kOri, rd, kZeroReg,
+                           static_cast<i64>((addr >> 16) & 0xFFFF)));
+    emit_word(encode_itype(Opcode::kSlli, rd, rd, 16));
+    emit_word(encode_itype(Opcode::kOri, rd, rd, static_cast<i64>(addr & 0xFFFF)));
+  }
+
+  i64 branch_disp(const std::string& target) const {
+    const i64 addr = value_or_label(target);
+    return addr - static_cast<i64>(cursor() + 4);
+  }
+
+  void emit_branch(Opcode op, u8 rs1, u8 rs2, const std::string& target) {
+    const i64 disp = branch_disp(target);
+    if (pass_ == 2) {
+      if (disp % 4 != 0) fail("branch target not word-aligned");
+      const i64 units = disp / 4;
+      if (units < -(1 << 15) || units >= (1 << 15)) fail("branch target out of range");
+    }
+    emit_word(encode_branch(op, rs1, rs2, pass_ == 2 ? disp : 0));
+  }
+
+  void emit_jal(u8 rd, const std::string& target) {
+    const i64 disp = branch_disp(target);
+    if (pass_ == 2) {
+      if (disp % 4 != 0) fail("jump target not word-aligned");
+      const i64 units = disp / 4;
+      if (units < -(1 << 20) || units >= (1 << 20)) fail("jump target out of range");
+    }
+    emit_word(encode_jal(rd, pass_ == 2 ? disp : 0));
+  }
+
+  // ---- statement handlers ----
+
+  void directive(const Statement& stmt) {
+    const std::string& d = stmt.mnemonic;
+    auto need = [&](std::size_t n) {
+      if (stmt.operands.size() != n) fail("directive " + d + " expects " +
+                                          std::to_string(n) + " operand(s)");
+    };
+    if (d == ".text") {
+      need(0);
+      section_ = Section::kText;
+    } else if (d == ".data") {
+      need(0);
+      section_ = Section::kData;
+    } else if (d == ".align") {
+      need(1);
+      const i64 align = literal(stmt.operands[0]);
+      if (align <= 0 || !is_pow2(static_cast<u64>(align))) {
+        fail(".align requires a positive power of two");
+      }
+      while (cursor() % static_cast<u64>(align) != 0) emit_byte(0);
+    } else if (d == ".space") {
+      need(1);
+      const i64 n = literal(stmt.operands[0]);
+      if (n < 0) fail(".space requires a non-negative size");
+      for (i64 i = 0; i < n; ++i) emit_byte(0);
+    } else if (d == ".byte") {
+      for (const auto& op : stmt.operands) {
+        emit_byte(static_cast<u8>(literal(op)));
+      }
+    } else if (d == ".word16") {
+      for (const auto& op : stmt.operands) {
+        const u64 v = static_cast<u64>(literal(op));
+        emit_byte(static_cast<u8>(v));
+        emit_byte(static_cast<u8>(v >> 8));
+      }
+    } else if (d == ".word32") {
+      for (const auto& op : stmt.operands) {
+        const u64 v = static_cast<u64>(value_or_label(op));
+        for (int i = 0; i < 4; ++i) emit_byte(static_cast<u8>(v >> (8 * i)));
+      }
+    } else if (d == ".word64") {
+      for (const auto& op : stmt.operands) {
+        const u64 v = static_cast<u64>(value_or_label(op));
+        for (int i = 0; i < 8; ++i) emit_byte(static_cast<u8>(v >> (8 * i)));
+      }
+    } else if (d == ".asciz") {
+      need(1);
+      const auto& s = stmt.operands[0];
+      if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+        fail(".asciz requires a quoted string");
+      }
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\\' && i + 2 < s.size()) {
+          ++i;
+          switch (s[i]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default: fail("unknown escape in string");
+          }
+        }
+        emit_byte(static_cast<u8>(c));
+      }
+      emit_byte(0);
+    } else {
+      fail("unknown directive '" + d + "'");
+    }
+  }
+
+  void instruction(const Statement& stmt) {
+    const std::string& m = stmt.mnemonic;
+    const auto& ops = stmt.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(m + " expects " + std::to_string(n) + " operand(s), got " +
+             std::to_string(ops.size()));
+      }
+    };
+
+    // Pseudo-instructions first.
+    if (m == "nop") {
+      need(0);
+      emit_word(encode_nop());
+      return;
+    }
+    if (m == "mv") {
+      need(2);
+      emit_word(encode_itype(Opcode::kAddi, reg(ops[0]), reg(ops[1]), 0));
+      return;
+    }
+    if (m == "li") {
+      need(2);
+      emit_li(reg(ops[0]), static_cast<u64>(literal(ops[1])));
+      return;
+    }
+    if (m == "la") {
+      need(2);
+      emit_la(reg(ops[0]), ops[1]);
+      return;
+    }
+    if (m == "j") {
+      need(1);
+      emit_jal(kZeroReg, ops[0]);
+      return;
+    }
+    if (m == "call") {
+      need(1);
+      emit_jal(29 /*ra*/, ops[0]);
+      return;
+    }
+    if (m == "ret") {
+      need(0);
+      emit_word(encode_jalr(kZeroReg, 29 /*ra*/, 0));
+      return;
+    }
+    if (m == "beqz" || m == "bnez" || m == "bltz" || m == "bgez") {
+      need(2);
+      const Opcode op = m == "beqz"   ? Opcode::kBeq
+                        : m == "bnez" ? Opcode::kBne
+                        : m == "bltz" ? Opcode::kBlt
+                                      : Opcode::kBge;
+      emit_branch(op, reg(ops[0]), kZeroReg, ops[1]);
+      return;
+    }
+
+    const auto it = opcode_table().find(m);
+    if (it == opcode_table().end()) fail("unknown mnemonic '" + m + "'");
+    const Opcode op = it->second;
+
+    switch (format_of(op)) {
+      case Format::kRType:
+        need(3);
+        emit_word(encode_rtype(op, reg(ops[0]), reg(ops[1]), reg(ops[2])));
+        break;
+      case Format::kIType: {
+        need(3);
+        const i64 imm = literal(ops[2]);
+        if (op == Opcode::kAndi || op == Opcode::kOri || op == Opcode::kXori) {
+          check_imm16_logical(imm);
+        } else {
+          check_imm16_signed(imm);
+        }
+        emit_word(encode_itype(op, reg(ops[0]), reg(ops[1]), imm));
+        break;
+      }
+      case Format::kLoad: {
+        need(2);
+        const auto [disp, base] = mem_operand(ops[1]);
+        emit_word(encode_load(op, reg(ops[0]), base, disp));
+        break;
+      }
+      case Format::kStore: {
+        need(2);
+        const auto [disp, base] = mem_operand(ops[1]);
+        emit_word(encode_store(op, reg(ops[0]), base, disp));
+        break;
+      }
+      case Format::kBranch:
+        need(3);
+        emit_branch(op, reg(ops[0]), reg(ops[1]), ops[2]);
+        break;
+      case Format::kJal:
+        need(2);
+        emit_jal(reg(ops[0]), ops[1]);
+        break;
+      case Format::kJalr: {
+        if (ops.size() == 2) {
+          emit_word(encode_jalr(reg(ops[0]), reg(ops[1]), 0));
+        } else {
+          need(3);
+          const i64 imm = literal(ops[2]);
+          check_imm16_signed(imm);
+          emit_word(encode_jalr(reg(ops[0]), reg(ops[1]), imm));
+        }
+        break;
+      }
+      case Format::kSystem:
+        if (op == Opcode::kHalt) {
+          need(0);
+          emit_word(encode_halt());
+        } else if (op == Opcode::kSync) {
+          need(0);
+          emit_word(encode_sync());
+        } else {
+          need(1);
+          emit_word(encode_out(reg(ops[0])));
+        }
+        break;
+      case Format::kIllegal:
+        fail("internal: illegal opcode in table");
+    }
+  }
+
+  Program finish() {
+    Program program;
+    program.name = name_;
+    program.symbols = labels_;
+    if (!text_.empty()) {
+      program.segments.push_back(
+          {options_.text_base, Perms::kReadExec, std::move(text_)});
+    }
+    if (!data_.empty()) {
+      program.segments.push_back(
+          {options_.data_base, Perms::kReadWrite, std::move(data_)});
+    }
+    const auto entry = labels_.find(options_.entry_symbol);
+    if (entry == labels_.end()) {
+      throw AsmError(0, "entry symbol '" + options_.entry_symbol + "' not defined");
+    }
+    program.entry = entry->second;
+    return program;
+  }
+
+  AsmOptions options_;
+  std::string name_;
+  int pass_ = 1;
+  std::size_t line_ = 0;
+  Section section_ = Section::kText;
+  u64 text_cursor_ = 0;
+  u64 data_cursor_ = 0;
+  std::vector<u8> text_;
+  std::vector<u8> data_;
+  std::map<std::string, u64> labels_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, const AsmOptions& options,
+                 std::string program_name) {
+  Assembler assembler(options, std::move(program_name));
+  return assembler.run(source);
+}
+
+u8 parse_register(std::string_view token) {
+  const auto& table = register_aliases();
+  const auto it = table.find(to_lower(token));
+  if (it == table.end()) {
+    throw AsmError(0, "unknown register '" + std::string(token) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace restore::isa

@@ -1,0 +1,60 @@
+// Two-pass text assembler for SRA-64.
+//
+// Supports labels, .text/.data sections, data directives, register aliases
+// and a small set of pseudo-instructions (li/la/mv/j/call/ret/beqz/...). The
+// seven SPECint-analog workloads in src/workloads are written in this
+// assembly dialect.
+//
+// Syntax example:
+//
+//   .text
+//   main:   la    a0, buf
+//           li    a1, 256
+//   loop:   beqz  a1, done
+//           lbu   t0, 0(a0)
+//           addi  a0, a0, 1
+//           addi  a1, a1, -1
+//           j     loop
+//   done:   halt
+//   .data
+//   buf:    .space 256
+//
+// Register aliases: zero=r31, sp=r30, ra=r29, rv=r1, a0-a5=r2-r7,
+// t0-t11=r8-r19, s0-s8=r20-r28.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace restore::isa {
+
+struct AsmOptions {
+  u64 text_base = 0x10000;
+  u64 data_base = 0x200000;
+  std::string entry_symbol = "main";
+};
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Assemble `source` into a loadable Program. Throws AsmError on any syntax or
+// range error.
+Program assemble(std::string_view source, const AsmOptions& options = {},
+                 std::string program_name = "a.out");
+
+// Parse a register name ("r5", "sp", "a0", "zero"); throws AsmError (line 0)
+// on failure. Exposed for tests.
+u8 parse_register(std::string_view token);
+
+}  // namespace restore::isa

@@ -1,0 +1,55 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace restore::isa {
+
+std::string reg_name(u8 reg) {
+  if (reg == kZeroReg) return "zero";
+  return "r" + std::to_string(reg);
+}
+
+std::string disassemble(const DecodedInst& inst) {
+  if (!inst.valid) return "<illegal>";
+  std::ostringstream out;
+  out << mnemonic(inst.op);
+  switch (format_of(inst.op)) {
+    case Format::kRType:
+      out << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", "
+          << reg_name(inst.rs2);
+      break;
+    case Format::kIType:
+      out << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", "
+          << inst.imm;
+      break;
+    case Format::kLoad:
+      out << ' ' << reg_name(inst.rd) << ", " << inst.imm << '('
+          << reg_name(inst.rs1) << ')';
+      break;
+    case Format::kStore:
+      out << ' ' << reg_name(inst.rs2) << ", " << inst.imm << '('
+          << reg_name(inst.rs1) << ')';
+      break;
+    case Format::kBranch:
+      out << ' ' << reg_name(inst.rs1) << ", " << reg_name(inst.rs2) << ", "
+          << inst.imm;
+      break;
+    case Format::kJal:
+      out << ' ' << reg_name(inst.rd) << ", " << inst.imm;
+      break;
+    case Format::kJalr:
+      out << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", "
+          << inst.imm;
+      break;
+    case Format::kSystem:
+      if (inst.op == Opcode::kOut) out << ' ' << reg_name(inst.rs1);
+      break;
+    case Format::kIllegal:
+      break;
+  }
+  return out.str();
+}
+
+std::string disassemble(u32 word) { return disassemble(decode(word)); }
+
+}  // namespace restore::isa

@@ -1,0 +1,17 @@
+// Disassembler — used by traces, the event log, and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace restore::isa {
+
+std::string disassemble(const DecodedInst& inst);
+std::string disassemble(u32 word);
+
+// Human-readable register name (r0..r30, zero).
+std::string reg_name(u8 reg);
+
+}  // namespace restore::isa

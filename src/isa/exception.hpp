@@ -1,0 +1,35 @@
+// ISA-defined exceptions of the SRA-64 instruction set. These are the events
+// the paper's primary symptom detector triggers on: "memory access faults ...
+// arithmetic overflow or memory alignment exceptions" (§3.1).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace restore::isa {
+
+enum class ExceptionKind : u8 {
+  kNone = 0,
+  kIllegalInstruction,  // undecodable opcode (reachable only via corruption)
+  kMemTranslation,      // access to an unmapped virtual page
+  kMemAlignment,        // misaligned load/store/jump target
+  kMemProtection,       // access violating page permissions
+  kArithOverflow,       // trapping arithmetic (ADDV/SUBV/MULV) overflowed
+  kDivByZero,           // DIVU/REMU with zero divisor
+};
+
+constexpr std::string_view to_string(ExceptionKind kind) noexcept {
+  switch (kind) {
+    case ExceptionKind::kNone: return "none";
+    case ExceptionKind::kIllegalInstruction: return "illegal-instruction";
+    case ExceptionKind::kMemTranslation: return "mem-translation";
+    case ExceptionKind::kMemAlignment: return "mem-alignment";
+    case ExceptionKind::kMemProtection: return "mem-protection";
+    case ExceptionKind::kArithOverflow: return "arith-overflow";
+    case ExceptionKind::kDivByZero: return "div-by-zero";
+  }
+  return "?";
+}
+
+}  // namespace restore::isa

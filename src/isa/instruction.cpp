@@ -1,0 +1,203 @@
+#include "isa/instruction.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace restore::isa {
+
+namespace {
+
+constexpr u32 pack(Opcode op, u32 rd, u32 rs1, u32 low16) noexcept {
+  return (static_cast<u32>(op) << 26) | ((rd & 31u) << 21) | ((rs1 & 31u) << 16) |
+         (low16 & 0xFFFFu);
+}
+
+}  // namespace
+
+Format format_of(u8 raw_opcode) noexcept {
+  // Delegate to the typed overload; out-of-range values fall through to
+  // kIllegal there because the enum ranges are explicit.
+  return format_of(static_cast<Opcode>(raw_opcode & 0x3F));
+}
+
+DecodedInst decode(u32 word) noexcept {
+  DecodedInst inst;
+  const u8 raw_op = static_cast<u8>(extract_bits(word, 26, 6));
+  const Format fmt = format_of(raw_op);
+  inst.op = static_cast<Opcode>(raw_op);
+  inst.valid = fmt != Format::kIllegal;
+  if (!inst.valid) return inst;
+
+  const u8 f_rd = static_cast<u8>(extract_bits(word, 21, 5));
+  const u8 f_rs1 = static_cast<u8>(extract_bits(word, 16, 5));
+  const u8 f_rs2 = static_cast<u8>(extract_bits(word, 11, 5));
+  const u64 imm16 = extract_bits(word, 0, 16);
+
+  switch (fmt) {
+    case Format::kRType:
+      inst.rd = f_rd;
+      inst.rs1 = f_rs1;
+      inst.rs2 = f_rs2;
+      break;
+    case Format::kIType:
+      inst.rd = f_rd;
+      inst.rs1 = f_rs1;
+      // Logical immediates zero-extend; arithmetic immediates sign-extend.
+      if (inst.op == Opcode::kAndi || inst.op == Opcode::kOri ||
+          inst.op == Opcode::kXori) {
+        inst.imm = static_cast<i64>(imm16);
+      } else {
+        inst.imm = sign_extend(imm16, 16);
+      }
+      break;
+    case Format::kLoad:
+      inst.rd = f_rd;
+      inst.rs1 = f_rs1;
+      inst.imm = sign_extend(imm16, 16);
+      break;
+    case Format::kStore:
+      inst.rs2 = f_rd;  // data register lives in the rd slot
+      inst.rs1 = f_rs1;
+      inst.imm = sign_extend(imm16, 16);
+      break;
+    case Format::kBranch:
+      inst.rs1 = f_rd;
+      inst.rs2 = f_rs1;
+      inst.imm = sign_extend(imm16, 16) * 4;  // displacement in bytes
+      break;
+    case Format::kJal:
+      inst.rd = f_rd;
+      inst.imm = sign_extend(extract_bits(word, 0, 21), 21) * 4;
+      break;
+    case Format::kJalr:
+      inst.rd = f_rd;
+      inst.rs1 = f_rs1;
+      inst.imm = sign_extend(imm16, 16);
+      break;
+    case Format::kSystem:
+      if (inst.op == Opcode::kOut) inst.rs1 = f_rd;  // register to emit
+      break;
+    case Format::kIllegal:
+      break;
+  }
+  return inst;
+}
+
+u32 encode_rtype(Opcode op, u8 rd, u8 rs1, u8 rs2) noexcept {
+  assert(format_of(op) == Format::kRType);
+  return pack(op, rd, rs1, (static_cast<u32>(rs2 & 31u) << 11));
+}
+
+u32 encode_itype(Opcode op, u8 rd, u8 rs1, i64 imm16) noexcept {
+  assert(format_of(op) == Format::kIType);
+  return pack(op, rd, rs1, static_cast<u32>(imm16 & 0xFFFF));
+}
+
+u32 encode_load(Opcode op, u8 rd, u8 base, i64 disp16) noexcept {
+  assert(format_of(op) == Format::kLoad);
+  return pack(op, rd, base, static_cast<u32>(disp16 & 0xFFFF));
+}
+
+u32 encode_store(Opcode op, u8 data, u8 base, i64 disp16) noexcept {
+  assert(format_of(op) == Format::kStore);
+  return pack(op, data, base, static_cast<u32>(disp16 & 0xFFFF));
+}
+
+u32 encode_branch(Opcode op, u8 rs1, u8 rs2, i64 disp_bytes) noexcept {
+  assert(format_of(op) == Format::kBranch);
+  assert(disp_bytes % 4 == 0);
+  const i64 units = disp_bytes / 4;
+  assert(units >= -(1 << 15) && units < (1 << 15));
+  return pack(op, rs1, rs2, static_cast<u32>(units & 0xFFFF));
+}
+
+u32 encode_jal(u8 rd, i64 disp_bytes) noexcept {
+  assert(disp_bytes % 4 == 0);
+  const i64 units = disp_bytes / 4;
+  assert(units >= -(1 << 20) && units < (1 << 20));
+  return (static_cast<u32>(Opcode::kJal) << 26) | ((rd & 31u) << 21) |
+         (static_cast<u32>(units) & 0x1FFFFFu);
+}
+
+u32 encode_jalr(u8 rd, u8 rs1, i64 imm16) noexcept {
+  return pack(Opcode::kJalr, rd, rs1, static_cast<u32>(imm16 & 0xFFFF));
+}
+
+u32 encode_halt() noexcept { return static_cast<u32>(Opcode::kHalt) << 26; }
+
+u32 encode_out(u8 reg) noexcept {
+  return (static_cast<u32>(Opcode::kOut) << 26) | ((reg & 31u) << 21);
+}
+
+u32 encode_sync() noexcept { return static_cast<u32>(Opcode::kSync) << 26; }
+
+std::optional<u64> static_target(const DecodedInst& inst, u64 pc) noexcept {
+  if (!inst.valid) return std::nullopt;
+  if (is_cond_branch(inst.op) || inst.op == Opcode::kJal) {
+    return pc + 4 + static_cast<u64>(inst.imm);
+  }
+  return std::nullopt;
+}
+
+std::string_view mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDivu: return "divu";
+    case Opcode::kRemu: return "remu";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kSeq: return "seq";
+    case Opcode::kAddw: return "addw";
+    case Opcode::kSubw: return "subw";
+    case Opcode::kMulw: return "mulw";
+    case Opcode::kAddv: return "addv";
+    case Opcode::kSubv: return "subv";
+    case Opcode::kMulv: return "mulv";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kSltiu: return "sltiu";
+    case Opcode::kSeqi: return "seqi";
+    case Opcode::kLdih: return "ldih";
+    case Opcode::kAddiw: return "addiw";
+    case Opcode::kLb: return "lb";
+    case Opcode::kLbu: return "lbu";
+    case Opcode::kLh: return "lh";
+    case Opcode::kLhu: return "lhu";
+    case Opcode::kLw: return "lw";
+    case Opcode::kLwu: return "lwu";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSb: return "sb";
+    case Opcode::kSh: return "sh";
+    case Opcode::kSw: return "sw";
+    case Opcode::kSd: return "sd";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJalr: return "jalr";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kOut: return "out";
+    case Opcode::kSync: return "sync";
+  }
+  return "illegal";
+}
+
+}  // namespace restore::isa

@@ -1,0 +1,94 @@
+// Instruction word encode/decode for SRA-64.
+//
+// Encoding (32-bit word):
+//   [31:26] opcode
+//   [25:21] rd   (data register for stores; rs1 for branches; reg for OUT)
+//   [20:16] rs1  (rs2 for branches)
+//   [15:11] rs2  (R-type only)
+//   [15:0]  imm16 (I-type / load / store / branch displacement)
+//   [20:0]  disp21 (JAL)
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace restore::isa {
+
+inline constexpr unsigned kNumArchRegs = 32;
+inline constexpr u8 kZeroReg = 31;  // r31 always reads as zero
+
+struct DecodedInst {
+  Opcode op = Opcode::kHalt;
+  bool valid = false;  // false => illegal encoding
+  u8 rd = kZeroReg;    // destination register (kZeroReg when none)
+  u8 rs1 = kZeroReg;   // first source
+  u8 rs2 = kZeroReg;   // second source (store data register for stores)
+  i64 imm = 0;         // extended immediate / branch displacement in BYTES
+
+  bool writes_reg() const noexcept {
+    if (!valid || rd == kZeroReg) return false;
+    switch (format_of(op)) {
+      case Format::kRType:
+      case Format::kIType:
+      case Format::kLoad:
+      case Format::kJal:
+      case Format::kJalr:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool reads_rs1() const noexcept {
+    if (!valid) return false;
+    switch (format_of(op)) {
+      case Format::kRType:
+      case Format::kIType:
+      case Format::kLoad:
+      case Format::kStore:
+      case Format::kBranch:
+      case Format::kJalr:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool reads_rs2() const noexcept {
+    if (!valid) return false;
+    switch (format_of(op)) {
+      case Format::kRType:
+      case Format::kStore:
+      case Format::kBranch:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+// Decode a raw instruction word. Always returns a DecodedInst; `valid` is
+// false for unpopulated opcodes (the ISA-illegal case a flipped bit can
+// produce).
+DecodedInst decode(u32 word) noexcept;
+
+// --- Encoders (used by the assembler and by tests) ---
+u32 encode_rtype(Opcode op, u8 rd, u8 rs1, u8 rs2) noexcept;
+u32 encode_itype(Opcode op, u8 rd, u8 rs1, i64 imm16) noexcept;
+u32 encode_load(Opcode op, u8 rd, u8 base, i64 disp16) noexcept;
+u32 encode_store(Opcode op, u8 data, u8 base, i64 disp16) noexcept;
+// disp_bytes must be a multiple of 4 and fit in 16 (branch) / 21 (jal) bits
+// after division by 4.
+u32 encode_branch(Opcode op, u8 rs1, u8 rs2, i64 disp_bytes) noexcept;
+u32 encode_jal(u8 rd, i64 disp_bytes) noexcept;
+u32 encode_jalr(u8 rd, u8 rs1, i64 imm16) noexcept;
+u32 encode_halt() noexcept;
+u32 encode_out(u8 reg) noexcept;
+u32 encode_sync() noexcept;
+inline u32 encode_nop() noexcept { return encode_itype(Opcode::kAddi, kZeroReg, kZeroReg, 0); }
+
+// Branch / JAL target for a decoded control instruction located at `pc`.
+// For kJalr the target depends on a register value and this returns nullopt.
+std::optional<u64> static_target(const DecodedInst& inst, u64 pc) noexcept;
+
+}  // namespace restore::isa

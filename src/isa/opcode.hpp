@@ -1,0 +1,148 @@
+// SRA-64 ("Simple RISC, Alpha-flavoured, 64-bit") opcode space.
+//
+// The ISA plays the role the Alpha ISA plays in the paper: a 64-bit RISC with
+// 32 GPRs where r31 reads as zero, a large sparse virtual address space, and
+// trapping arithmetic variants. Instructions are fixed 32-bit words with a
+// 6-bit primary opcode in bits [31:26]. The opcode space is deliberately only
+// ~75% populated so that bit flips in instruction words can produce
+// ISA-illegal encodings, as on real machines.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace restore::isa {
+
+enum class Opcode : u8 {
+  // R-type: op rd, rs1, rs2 (rd <- rs1 op rs2)
+  kAdd = 0x01,
+  kSub = 0x02,
+  kMul = 0x03,
+  kDivu = 0x04,
+  kRemu = 0x05,
+  kAnd = 0x06,
+  kOr = 0x07,
+  kXor = 0x08,
+  kSll = 0x09,
+  kSrl = 0x0A,
+  kSra = 0x0B,
+  kSlt = 0x0C,
+  kSltu = 0x0D,
+  kSeq = 0x0E,
+  kAddw = 0x0F,  // 32-bit add, result sign-extended
+  kSubw = 0x10,
+  kMulw = 0x11,
+  kAddv = 0x12,  // trapping signed add (ArithOverflow)
+  kSubv = 0x13,
+  kMulv = 0x14,
+
+  // I-type: op rd, rs1, imm16
+  kAddi = 0x18,   // imm sign-extended
+  kAndi = 0x19,   // imm ZERO-extended (logical immediates, as on Alpha/MIPS)
+  kOri = 0x1A,    // imm zero-extended
+  kXori = 0x1B,   // imm zero-extended
+  kSlli = 0x1C,   // shift amount = imm & 63
+  kSrli = 0x1D,
+  kSrai = 0x1E,
+  kSlti = 0x1F,   // imm sign-extended
+  kSltiu = 0x20,
+  kSeqi = 0x21,
+  kLdih = 0x22,   // rd <- rs1 + (sext(imm16) << 16)  (Alpha LDAH)
+  kAddiw = 0x23,  // 32-bit add-immediate, sign-extended result
+
+  // Loads: op rd, imm16(rs1)
+  kLb = 0x28,
+  kLbu = 0x29,
+  kLh = 0x2A,
+  kLhu = 0x2B,
+  kLw = 0x2C,
+  kLwu = 0x2D,
+  kLd = 0x2E,
+
+  // Stores: op rs2, imm16(rs1) — data register encoded in the rd slot
+  kSb = 0x30,
+  kSh = 0x31,
+  kSw = 0x32,
+  kSd = 0x33,
+
+  // Conditional branches: op rs1, rs2, disp16 (target = pc+4 + sext(disp)*4)
+  kBeq = 0x34,
+  kBne = 0x35,
+  kBlt = 0x36,
+  kBge = 0x37,
+  kBltu = 0x38,
+  kBgeu = 0x39,
+
+  // Jumps
+  kJal = 0x3A,   // rd <- pc+4; pc <- pc+4 + sext(disp21)*4
+  kJalr = 0x3B,  // rd <- pc+4; pc <- (rs1 + sext(imm16)) & ~3
+
+  // System
+  kHalt = 0x3C,  // stop execution
+  kOut = 0x3D,   // emit low byte of register in the rd slot to the output device
+  kSync = 0x3E,  // synchronizing memory instruction: orders memory and forces
+                 // a checkpoint in the ReStore architecture (paper §2.1)
+};
+
+enum class Format : u8 {
+  kRType,    // rd, rs1, rs2
+  kIType,    // rd, rs1, imm16
+  kLoad,     // rd, imm16(rs1)
+  kStore,    // rs2(data), imm16(rs1)
+  kBranch,   // rs1, rs2, disp16
+  kJal,      // rd, disp21
+  kJalr,     // rd, rs1, imm16
+  kSystem,   // halt / out
+  kIllegal,
+};
+
+// Static properties of an opcode; returns Format::kIllegal for unpopulated
+// encodings.
+Format format_of(u8 raw_opcode) noexcept;
+
+constexpr Format format_of(Opcode op) noexcept {
+  const u8 raw = static_cast<u8>(op);
+  if (raw >= 0x01 && raw <= 0x14) return Format::kRType;
+  if (raw >= 0x18 && raw <= 0x23) return Format::kIType;
+  if (raw >= 0x28 && raw <= 0x2E) return Format::kLoad;
+  if (raw >= 0x30 && raw <= 0x33) return Format::kStore;
+  if (raw >= 0x34 && raw <= 0x39) return Format::kBranch;
+  if (op == Opcode::kJal) return Format::kJal;
+  if (op == Opcode::kJalr) return Format::kJalr;
+  if (op == Opcode::kHalt || op == Opcode::kOut || op == Opcode::kSync) {
+    return Format::kSystem;
+  }
+  return Format::kIllegal;
+}
+
+constexpr bool is_load(Opcode op) noexcept { return format_of(op) == Format::kLoad; }
+constexpr bool is_store(Opcode op) noexcept { return format_of(op) == Format::kStore; }
+constexpr bool is_mem(Opcode op) noexcept { return is_load(op) || is_store(op); }
+constexpr bool is_cond_branch(Opcode op) noexcept {
+  return format_of(op) == Format::kBranch;
+}
+constexpr bool is_jump(Opcode op) noexcept {
+  return op == Opcode::kJal || op == Opcode::kJalr;
+}
+constexpr bool is_control(Opcode op) noexcept {
+  return is_cond_branch(op) || is_jump(op);
+}
+constexpr bool is_trapping_alu(Opcode op) noexcept {
+  return op == Opcode::kAddv || op == Opcode::kSubv || op == Opcode::kMulv;
+}
+
+// Width in bytes of a memory access, 0 for non-memory ops.
+constexpr unsigned mem_access_bytes(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLb: case Opcode::kLbu: case Opcode::kSb: return 1;
+    case Opcode::kLh: case Opcode::kLhu: case Opcode::kSh: return 2;
+    case Opcode::kLw: case Opcode::kLwu: case Opcode::kSw: return 4;
+    case Opcode::kLd: case Opcode::kSd: return 8;
+    default: return 0;
+  }
+}
+
+std::string_view mnemonic(Opcode op) noexcept;
+
+}  // namespace restore::isa

@@ -1,0 +1,11 @@
+#include "isa/program.hpp"
+
+namespace restore::isa {
+
+std::size_t Program::image_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& seg : segments) total += seg.bytes.size();
+  return total;
+}
+
+}  // namespace restore::isa

@@ -1,0 +1,54 @@
+// A loadable program image: segments with permissions, an entry point, and a
+// symbol table. Produced by the assembler, consumed by the architectural VM
+// and the microarchitectural core.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore::isa {
+
+enum class Perms : u8 {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kReadWrite = kRead | kWrite,
+  kReadExec = kRead | kExec,
+};
+
+constexpr Perms operator|(Perms a, Perms b) noexcept {
+  return static_cast<Perms>(static_cast<u8>(a) | static_cast<u8>(b));
+}
+constexpr bool has_perm(Perms set, Perms wanted) noexcept {
+  return (static_cast<u8>(set) & static_cast<u8>(wanted)) == static_cast<u8>(wanted);
+}
+
+struct Segment {
+  u64 vaddr = 0;
+  Perms perms = Perms::kNone;
+  std::vector<u8> bytes;
+};
+
+struct Program {
+  std::string name;
+  std::vector<Segment> segments;
+  u64 entry = 0;
+  std::map<std::string, u64> symbols;
+
+  // Stack region mapped by the loader; stack pointer starts at
+  // stack_top (16-byte aligned, grows down).
+  u64 stack_top = 0x7FFF'FFF0;
+  u64 stack_bytes = 64 * 1024;
+
+  // Lookup a symbol; throws std::out_of_range if missing.
+  u64 symbol(const std::string& sym) const { return symbols.at(sym); }
+
+  // Total bytes across all segments (excluding the stack region).
+  std::size_t image_bytes() const noexcept;
+};
+
+}  // namespace restore::isa

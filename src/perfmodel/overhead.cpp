@@ -1,0 +1,92 @@
+#include "perfmodel/overhead.hpp"
+
+#include <cmath>
+
+#include "uarch/core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::perfmodel {
+
+std::vector<OverheadPoint> measure_rollback_overhead(const OverheadConfig& config) {
+  std::vector<OverheadPoint> points;
+
+  std::vector<const workloads::Workload*> selected;
+  if (config.workloads.empty()) {
+    for (const auto& wl : workloads::all()) selected.push_back(&wl);
+  } else {
+    for (const auto& name : config.workloads) {
+      selected.push_back(&workloads::by_name(name));
+    }
+  }
+
+  for (const workloads::Workload* wl : selected) {
+    // Baseline: plain core, no checkpointing.
+    uarch::Core baseline(wl->program);
+    baseline.run(200'000'000);
+    const u64 base_cycles = baseline.cycle_count();
+
+    for (const u64 interval : config.intervals) {
+      for (const auto policy :
+           {core::RollbackPolicy::kImmediate, core::RollbackPolicy::kDelayed}) {
+        core::ReStoreOptions options;
+        options.checkpoint_interval = interval;
+        options.policy = policy;
+        options.exception_symptom = true;   // fires only on real faults (none)
+        options.branch_symptom = true;      // the false-positive source
+        options.throttle_max_rollbacks = ~u64{0};  // throttling off (Fig. 7)
+
+        core::ReStoreCore restore(wl->program, options);
+        restore.run(400'000'000);
+
+        OverheadPoint point;
+        point.workload = wl->name;
+        point.interval = interval;
+        point.policy = policy;
+        point.baseline_cycles = base_cycles;
+        point.restore_cycles = restore.cycle_count();
+        point.rollbacks = restore.stats().rollbacks;
+        point.reexecuted_insns = restore.stats().reexecuted_insns;
+        point.speedup = point.restore_cycles == 0
+                            ? 1.0
+                            : static_cast<double>(base_cycles) /
+                                  static_cast<double>(point.restore_cycles);
+        points.push_back(point);
+      }
+    }
+  }
+  return points;
+}
+
+double mean_speedup(const std::vector<OverheadPoint>& points, u64 interval,
+                    core::RollbackPolicy policy) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (const auto& p : points) {
+    if (p.interval != interval || p.policy != policy) continue;
+    log_sum += std::log(p.speedup);
+    ++count;
+  }
+  return count == 0 ? 1.0 : std::exp(log_sum / count);
+}
+
+double analytic_speedup(double symptom_rate, u64 interval,
+                        core::RollbackPolicy policy, double cpi_ratio) {
+  if (interval == 0) return 1.0;
+  const double n = static_cast<double>(interval);
+  // Expected rollbacks per instruction.
+  double rollback_rate = symptom_rate;
+  double distance = 1.5 * n;  // two live checkpoints -> mean distance 1.5n
+  if (policy == core::RollbackPolicy::kDelayed) {
+    // At most one rollback per interval; the probability an interval
+    // contains >= 1 symptom is 1 - (1-r)^n.
+    const double p_interval = 1.0 - std::pow(1.0 - symptom_rate, n);
+    rollback_rate = p_interval / n;
+    // Rollback happens at the boundary: distance from the older checkpoint
+    // is a full two intervals.
+    distance = 2.0 * n;
+  }
+  const double overhead = rollback_rate * distance * cpi_ratio;
+  return 1.0 / (1.0 + overhead);
+}
+
+}  // namespace restore::perfmodel

@@ -1,0 +1,60 @@
+// Performance impact of false-positive symptoms (paper §5.2.3, Figure 7).
+//
+// Two evaluations are provided:
+//
+//  * measure_rollback_overhead — runs the real ReStoreCore (immediate or
+//    delayed rollback) on fault-free workloads and reports the slowdown
+//    caused by false-positive high-confidence-mispredict rollbacks, relative
+//    to the baseline core without checkpointing. This substitutes direct
+//    simulation for the paper's "high level performance model"; the paper's
+//    event-log-perfect re-execution is approximated by suppressing symptom
+//    re-triggering during replay (re-executed instructions still pay normal
+//    branch penalties, so measured overheads are slightly conservative).
+//
+//  * analytic_speedup — the closed-form model: with symptom rate r per
+//    instruction, checkpoint interval n and two live checkpoints, each
+//    rollback re-executes ~1.5n instructions, so
+//        speedup = 1 / (1 + r_eff * 1.5n * cpi_ratio)
+//    where r_eff accounts for at most one rollback per interval under the
+//    delayed policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/restore_core.hpp"
+
+namespace restore::perfmodel {
+
+struct OverheadPoint {
+  std::string workload;
+  u64 interval = 0;
+  core::RollbackPolicy policy = core::RollbackPolicy::kImmediate;
+  u64 baseline_cycles = 0;
+  u64 restore_cycles = 0;
+  u64 rollbacks = 0;
+  u64 reexecuted_insns = 0;
+  double speedup = 1.0;  // baseline_cycles / restore_cycles (<= 1)
+};
+
+struct OverheadConfig {
+  std::vector<u64> intervals = {25, 50, 100, 200, 500, 1000};
+  std::vector<std::string> workloads;  // empty = all seven
+  // Throttling is disabled for this study (the paper's Figure 7 measures the
+  // raw false-positive cost).
+};
+
+std::vector<OverheadPoint> measure_rollback_overhead(const OverheadConfig& config);
+
+// Geometric-mean speedup across workloads for one (interval, policy) cell.
+double mean_speedup(const std::vector<OverheadPoint>& points, u64 interval,
+                    core::RollbackPolicy policy);
+
+// Closed-form estimate (see file comment). `symptom_rate` = false-positive
+// symptoms per retired instruction; `cpi_ratio` = re-execution CPI relative
+// to baseline CPI (1.0 = same speed, <1.0 = faster replay).
+double analytic_speedup(double symptom_rate, u64 interval,
+                        core::RollbackPolicy policy, double cpi_ratio = 1.0);
+
+}  // namespace restore::perfmodel

@@ -1,0 +1,36 @@
+#include "reliability/fit.hpp"
+
+namespace restore::reliability {
+
+double fit_rate(u64 bits, double fit_per_bit, double sdc_probability) {
+  return static_cast<double>(bits) * fit_per_bit * sdc_probability;
+}
+
+std::vector<FitPoint> fit_scaling(const SdcRates& rates, const FitConfig& config) {
+  std::vector<FitPoint> points;
+  points.reserve(config.design_bits.size());
+  for (const u64 bits : config.design_bits) {
+    FitPoint point;
+    point.bits = bits;
+    point.fit_baseline = fit_rate(bits, config.fit_per_bit, rates.baseline);
+    point.fit_restore = fit_rate(bits, config.fit_per_bit, rates.restore);
+    point.fit_lhf = fit_rate(bits, config.fit_per_bit, rates.lhf);
+    point.fit_lhf_restore = fit_rate(bits, config.fit_per_bit, rates.lhf_restore);
+    points.push_back(point);
+  }
+  return points;
+}
+
+double mtbf_goal_fit(double years) {
+  // FIT = failures per 1e9 hours; MTBF of `years` => 1e9 / (years * 8760).
+  return 1e9 / (years * 8760.0);
+}
+
+u64 max_bits_meeting_goal(double goal_fit, double fit_per_bit,
+                          double sdc_probability) {
+  const double per_bit_sdc_fit = fit_per_bit * sdc_probability;
+  if (per_bit_sdc_fit <= 0.0) return ~u64{0};
+  return static_cast<u64>(goal_fit / per_bit_sdc_fit);
+}
+
+}  // namespace restore::reliability

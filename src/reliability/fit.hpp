@@ -1,0 +1,58 @@
+// FIT-rate scaling model (paper §5.3, Figure 8).
+//
+// FIT = failures in 10^9 device-hours. The paper assumes a raw soft-error
+// rate of 0.001 FIT per bit [Hazucha & Svensson], multiplies by the design's
+// bit count and by the probability that a flipped bit becomes silent data
+// corruption under each protection scheme, and extrapolates across design
+// sizes assuming a constant masking rate. A 1000-year MTBF goal corresponds
+// to ~114 FIT; designs above that line fail the goal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore::reliability {
+
+// Silent-data-corruption probabilities per injected fault, measured by the
+// microarchitectural campaign (faultinject/classify.hpp):
+struct SdcRates {
+  double baseline = 0.0;     // no detection at all
+  double restore = 0.0;      // ReStore symptoms (Fig. 5 uncovered fraction)
+  double lhf = 0.0;          // hardened pipeline alone
+  double lhf_restore = 0.0;  // hardened + ReStore (Fig. 6 uncovered fraction)
+};
+
+struct FitConfig {
+  double fit_per_bit = 0.001;  // raw per-bit FIT (paper's assumption)
+  // Design sizes in bits of unprotected "interesting" state. The paper sweeps
+  // 50k (one core's worth) through 25.6M.
+  std::vector<u64> design_bits = {50'000,    100'000,   200'000,  400'000,
+                                  800'000,   1'600'000, 3'200'000, 6'400'000,
+                                  12'800'000, 25'600'000};
+};
+
+struct FitPoint {
+  u64 bits = 0;
+  double fit_baseline = 0.0;
+  double fit_restore = 0.0;
+  double fit_lhf = 0.0;
+  double fit_lhf_restore = 0.0;
+};
+
+// FIT for one configuration.
+double fit_rate(u64 bits, double fit_per_bit, double sdc_probability);
+
+// The whole Figure 8 sweep.
+std::vector<FitPoint> fit_scaling(const SdcRates& rates, const FitConfig& config = {});
+
+// FIT value of an MTBF goal expressed in years (paper: 1000 years -> ~114 FIT).
+double mtbf_goal_fit(double years);
+
+// Largest design size (bits) that meets `goal_fit` under `sdc_probability` —
+// used for the paper's observation that lhf+ReStore matches a design 1/7th
+// the size.
+u64 max_bits_meeting_goal(double goal_fit, double fit_per_bit, double sdc_probability);
+
+}  // namespace restore::reliability

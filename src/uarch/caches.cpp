@@ -1,0 +1,35 @@
+#include "uarch/caches.hpp"
+
+namespace restore::uarch {
+
+bool TagCache::access(u64 address) noexcept {
+  const u64 line_addr = address >> line_shift_;
+  const u32 index = static_cast<u32>(line_addr) & ((1u << lines_log2_) - 1);
+  const u64 tag = line_addr >> lines_log2_;
+  Line& line = lines_[index & (kMaxLines - 1)];
+  if (line.valid && line.tag == tag) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  line.valid = true;
+  line.tag = tag;
+  return false;
+}
+
+void TagCache::invalidate_all() noexcept {
+  for (auto& line : lines_) line.valid = false;
+}
+
+bool Tlb::access(u64 address) noexcept {
+  const u64 vpn = address >> 12;
+  for (auto& entry : entries_) {
+    if (entry.valid && entry.vpn == vpn) return true;
+  }
+  ++misses_;
+  entries_[next_victim_ % kEntries] = {true, vpn};
+  next_victim_ = static_cast<u8>((next_victim_ + 1) % kEntries);
+  return false;
+}
+
+}  // namespace restore::uarch

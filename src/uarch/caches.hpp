@@ -1,0 +1,61 @@
+// Timing-only L1 caches and TLBs.
+//
+// Data always comes from the backing memory image (or store-queue
+// forwarding); the caches model hit/miss *timing* only. This keeps the
+// memory hierarchy trivially coherent with the store queue while preserving
+// the performance behaviour (and the cache-miss events the paper lists among
+// candidate symptoms, §3.3). Cache and TLB arrays are excluded from fault
+// injection, matching the paper: "we chose to exclude caches ... since caches
+// are easily protected by ECC or parity" (§4.2).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace restore::uarch {
+
+// Direct-mapped tag store; `access` returns true on hit and allocates the
+// line on miss.
+class TagCache {
+ public:
+  TagCache(unsigned line_bytes_log2, unsigned num_lines_log2) noexcept
+      : line_shift_(line_bytes_log2), lines_log2_(num_lines_log2) {}
+
+  bool access(u64 address) noexcept;
+  void invalidate_all() noexcept;
+  u64 hits() const noexcept { return hits_; }
+  u64 misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr unsigned kMaxLines = 512;
+  struct Line {
+    bool valid = false;
+    u64 tag = 0;
+  };
+  unsigned line_shift_;
+  unsigned lines_log2_;
+  std::array<Line, kMaxLines> lines_{};
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+// Fully-functional-translation, timing-only TLB (translation in this machine
+// is identity; the TLB models reach misses only).
+class Tlb {
+ public:
+  bool access(u64 address) noexcept;  // true on hit
+  u64 misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr unsigned kEntries = 32;
+  struct Entry {
+    bool valid = false;
+    u64 vpn = 0;
+  };
+  std::array<Entry, kEntries> entries_{};
+  u8 next_victim_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace restore::uarch

@@ -1,0 +1,99 @@
+// Microarchitecture parameters.
+//
+// The modelled core follows the paper's §4.1 description: a superscalar,
+// dynamically scheduled pipeline in the Alpha 21264 / AMD Athlon class —
+// 12 effective stages, up to 132 instructions in flight, a 32-entry dynamic
+// scheduler issuing up to 6 instructions per cycle (3 ALU, 1 branch, 2 memory),
+// a 64-entry reorder buffer, separate load/store queues, and sophisticated
+// branch prediction with a JRS confidence estimator.
+//
+// Structure capacities are compile-time powers of two: every index field then
+// has an exact bit width, so an injected bit flip always produces a
+// representable (if wrong) index instead of undefined behaviour — mirroring
+// real hardware, where a flipped pointer selects a different valid entry.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace restore::uarch {
+
+// Capacities (powers of two; see file comment).
+inline constexpr unsigned kNumPhysRegs = 128;   // physical register file
+inline constexpr unsigned kPhysTagBits = 7;
+inline constexpr unsigned kRobEntries = 64;
+inline constexpr unsigned kRobIdBits = 6;
+inline constexpr unsigned kSchedEntries = 32;
+inline constexpr unsigned kFetchQueueEntries = 32;
+inline constexpr unsigned kLdqEntries = 16;
+inline constexpr unsigned kStqEntries = 16;
+inline constexpr unsigned kFreeListEntries = kNumPhysRegs;
+
+// Widths.
+inline constexpr unsigned kFetchWidth = 4;
+inline constexpr unsigned kDecodeWidth = 4;
+inline constexpr unsigned kRenameWidth = 4;
+inline constexpr unsigned kIssueWidth = 6;
+inline constexpr unsigned kIssueAlu = 3;
+inline constexpr unsigned kIssueBranch = 1;
+inline constexpr unsigned kIssueMem = 2;
+inline constexpr unsigned kRetireWidth = 4;
+
+// In-flight execution buffer (functional units are pipelined; up to this many
+// ops may be mid-execution at once).
+inline constexpr unsigned kExecSlots = 16;
+
+// Extra front-end latch stages between fetch and the fetch queue; together
+// with decode, rename, schedule, regread, execute and retire this yields the
+// paper's ~12-stage depth and a realistic misprediction penalty.
+inline constexpr unsigned kFrontLatchStages = 2;
+
+// Tunable timing/behaviour knobs (defaults approximate the paper's model).
+struct CoreConfig {
+  unsigned alu_latency = 1;
+  unsigned mul_latency = 3;
+  unsigned div_latency = 12;
+  unsigned agen_latency = 1;        // address generation before cache access
+  unsigned l1d_hit_latency = 2;     // after AGEN
+  unsigned l1d_miss_latency = 14;
+  unsigned l1i_miss_penalty = 10;   // fetch stall cycles on an I-cache miss
+  unsigned store_forward_latency = 1;
+
+  // Watchdog: a saturated timer (no retirement for this many cycles) signals
+  // deadlock/livelock (paper §4.2).
+  unsigned watchdog_cycles = 1024;
+
+  // JRS resetting-counter confidence predictor (paper §3.2.2): a conditional
+  // branch prediction is "high confidence" when its miss-distance counter is
+  // saturated at or above this threshold.
+  // The paper selects JRS "prioritizing performance over coverage": the
+  // predictor must have been correct many consecutive times before a
+  // misprediction is treated as a soft-error symptom.
+  unsigned jrs_threshold = 24;
+  unsigned jrs_counter_max = 31;
+
+  // When true (the baseline machine), an exception retires architecturally
+  // and stops the core. The ReStore wrapper sets this false and instead
+  // consumes the exception as a symptom, rolling back to a checkpoint.
+  bool trap_on_exception = true;
+
+  // ---- extension symptoms (paper §3.3 / §5.2.1 discussion) ----
+
+  // Ablation: treat every conditional-branch prediction as high confidence
+  // ("a perfect confidence predictor would yield nearly twice the error
+  // coverage", §5.2.1).
+  bool all_mispredicts_high_conf = false;
+
+  // Control-flow monitoring watchdog [Mahmood & McCluskey]: validate at
+  // retirement that every control transfer is a legal successor of the
+  // instruction's static encoding ("a control flow monitoring watchdog would
+  // capture these events", §5.2.1). Emits SymptomEvent::Kind::kIllegalFlow.
+  bool illegal_flow_watchdog = false;
+
+  // Cache-miss-burst symptom (the paper's §3.3 candidate): fires when L1D
+  // misses within `cache_burst_window` cycles reach `cache_burst_threshold`.
+  bool cache_burst_symptom = false;
+  unsigned cache_burst_window = 128;
+  unsigned cache_burst_threshold = 6;
+};
+
+}  // namespace restore::uarch

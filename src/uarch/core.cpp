@@ -1,0 +1,1049 @@
+#include "uarch/core.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/instruction.hpp"
+#include "vm/exec.hpp"
+
+namespace restore::uarch {
+
+using isa::DecodedInst;
+using isa::ExceptionKind;
+using isa::Format;
+using isa::Opcode;
+
+namespace {
+
+constexpr u64 kGhistMask = (u64{1} << kGhistBits) - 1;
+
+// Rebuild instruction semantics from the latched pipeline fields (opcode,
+// registers, raw immediate). Execution uses latched fields — not the original
+// instruction word — so that flips in any pipeline latch propagate exactly as
+// they would in hardware.
+DecodedInst rebuild_inst(u8 opcode, u8 rd, u8 rs1, u8 rs2, u32 imm21) noexcept {
+  DecodedInst d;
+  d.op = static_cast<Opcode>(opcode & 63);
+  const Format fmt = isa::format_of(d.op);
+  d.valid = fmt != Format::kIllegal;
+  d.rd = rd & 31;
+  d.rs1 = rs1 & 31;
+  d.rs2 = rs2 & 31;
+  const u64 imm16 = imm21 & 0xFFFF;
+  switch (fmt) {
+    case Format::kIType:
+      if (d.op == Opcode::kAndi || d.op == Opcode::kOri || d.op == Opcode::kXori) {
+        d.imm = static_cast<i64>(imm16);
+      } else {
+        d.imm = sign_extend(imm16, 16);
+      }
+      break;
+    case Format::kLoad:
+    case Format::kStore:
+    case Format::kJalr:
+      d.imm = sign_extend(imm16, 16);
+      break;
+    case Format::kBranch:
+      d.imm = sign_extend(imm16, 16) * 4;
+      break;
+    case Format::kJal:
+      d.imm = sign_extend(imm21 & 0x1FFFFF, 21) * 4;
+      break;
+    default:
+      break;
+  }
+  return d;
+}
+
+unsigned size_log2_of(Opcode op) noexcept {
+  switch (isa::mem_access_bytes(op)) {
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+Core::Core(const isa::Program& program, const CoreConfig& config) : config_(config) {
+  memory_.load_program(program);
+  fetch_pc_ = program.entry;
+  commit_pc_ = program.entry;
+  for (u8 i = 0; i < isa::kNumArchRegs; ++i) {
+    spec_rat_[i] = i;
+    arch_rat_[i] = i;
+  }
+  for (unsigned i = 0; i < kNumPhysRegs - isa::kNumArchRegs; ++i) {
+    free_ring_[i] = static_cast<u8>(isa::kNumArchRegs + i);
+  }
+  fl_head_ = 0;
+  fl_tail_ = static_cast<u8>((kNumPhysRegs - isa::kNumArchRegs) & (kFreeListEntries - 1));
+  fl_count_ = kNumPhysRegs - isa::kNumArchRegs;
+  prf_.fill(0);
+  prf_[30] = program.stack_top;  // sp
+  prf_ready_.fill(true);
+}
+
+vm::ArchSnapshot Core::arch_snapshot() const noexcept {
+  vm::ArchSnapshot snap;
+  for (u8 i = 0; i < isa::kNumArchRegs; ++i) {
+    snap.regs[i] = prf_[arch_rat_[i] & (kNumPhysRegs - 1)];
+  }
+  snap.regs[isa::kZeroReg] = 0;
+  snap.pc = commit_pc_;
+  return snap;
+}
+
+void Core::set_replay_hints(std::vector<ReplayHint> hints) {
+  replay_hints_ = std::move(hints);
+  replay_cursor_ = 0;
+}
+
+void Core::reset_to(const vm::ArchSnapshot& snapshot) {
+  replay_hints_.clear();
+  replay_cursor_ = 0;
+  for (u8 i = 0; i < isa::kNumArchRegs; ++i) {
+    spec_rat_[i] = i;
+    arch_rat_[i] = i;
+    prf_[i] = snapshot.regs[i];
+  }
+  prf_[isa::kZeroReg] = 0;
+  for (unsigned i = 32; i < kNumPhysRegs; ++i) prf_[i] = 0;
+  prf_ready_.fill(true);
+  for (unsigned i = 0; i < kNumPhysRegs - isa::kNumArchRegs; ++i) {
+    free_ring_[i] = static_cast<u8>(isa::kNumArchRegs + i);
+  }
+  fl_head_ = 0;
+  fl_tail_ = static_cast<u8>((kNumPhysRegs - isa::kNumArchRegs) & (kFreeListEntries - 1));
+  fl_count_ = kNumPhysRegs - isa::kNumArchRegs;
+
+  for (auto& stage : fb_) stage.fill(FetchSlot{});
+  fq_.fill(FetchSlot{});
+  fq_head_ = fq_count_ = 0;
+  dec_.fill(Uop{});
+  dec_head_ = dec_count_ = 0;
+  sched_.fill(SchedEntry{});
+  sched_issued_.fill(false);
+  exec_.fill(ExecSlot{});
+  ldq_.fill(LdqEntry{});
+  ldq_head_ = ldq_count_ = 0;
+  stq_.fill(StqEntry{});
+  stq_head_ = stq_count_ = 0;
+  rob_.fill(RobEntry{});
+  rob_head_ = rob_count_ = 0;
+
+  fetch_pc_ = snapshot.pc;
+  commit_pc_ = snapshot.pc;
+  fetch_stalled_ = false;
+  icache_stall_ = 0;
+  watchdog_ = 0;
+  status_ = Status::kRunning;
+  fault_ = ExceptionKind::kNone;
+}
+
+void Core::complete_write(u8 prd, u64 value) {
+  const u8 tag = prd & (kNumPhysRegs - 1);
+  prf_[tag] = value;
+  prf_ready_[tag] = true;
+  // Wakeup broadcast: edge-triggered, as in real select/wakeup loops. A lost
+  // or corrupted ready bit is not silently repaired — the consumer stalls and
+  // the watchdog eventually catches the wedge.
+  for (auto& e : sched_) {
+    if (!e.valid) continue;
+    if (e.use_rs1 && (e.prs1 & (kNumPhysRegs - 1)) == tag) e.rs1_ready = true;
+    if (e.use_rs2 && (e.prs2 & (kNumPhysRegs - 1)) == tag) e.rs2_ready = true;
+  }
+}
+
+void Core::emit_symptom(SymptomEvent::Kind kind, ExceptionKind fault) {
+  if (symptom_buf_count_ < symptom_buf_.size()) {
+    symptom_buf_[symptom_buf_count_++] = {kind, fault, retired_total_};
+  }
+}
+
+void Core::append_retired(const vm::Retired& record) {
+  if (retired_buf_count_ < retired_buf_.size()) {
+    retired_buf_[retired_buf_count_++] = record;
+  }
+}
+
+void Core::cycle() {
+  if (status_ != Status::kRunning) return;
+  retired_buf_count_ = 0;
+  symptom_buf_count_ = 0;
+  ++cycle_count_;
+
+  do_retire();
+  if (status_ == Status::kRunning) {
+    do_writeback();
+    do_select();
+    do_rename();
+    do_decode();
+    do_fetch();
+  }
+
+  // Cache-miss-burst extension symptom (§3.3 candidate).
+  if (config_.cache_burst_symptom && status_ == Status::kRunning) {
+    const u64 misses = counters_.l1d_misses;
+    burst_misses_ = static_cast<u16>(burst_misses_ + (misses - burst_last_misses_));
+    burst_last_misses_ = misses;
+    if (++burst_cycles_ >= config_.cache_burst_window) {
+      if (burst_misses_ >= config_.cache_burst_threshold) {
+        emit_symptom(SymptomEvent::Kind::kCacheMissBurst, ExceptionKind::kNone);
+      }
+      burst_cycles_ = 0;
+      burst_misses_ = 0;
+    }
+  }
+
+  // Watchdog: saturates when nothing retires for too long (paper §4.2).
+  if (status_ == Status::kRunning) {
+    if (retired_buf_count_ == 0) {
+      if (++watchdog_ >= config_.watchdog_cycles) {
+        status_ = Status::kDeadlocked;
+        emit_symptom(SymptomEvent::Kind::kWatchdog, ExceptionKind::kNone);
+      }
+    } else {
+      watchdog_ = 0;
+    }
+  }
+}
+
+u64 Core::run(u64 max_cycles) {
+  u64 cycles = 0;
+  while (cycles < max_cycles && status_ == Status::kRunning) {
+    cycle();
+    ++cycles;
+  }
+  return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------------
+
+void Core::do_retire() {
+  for (unsigned slot = 0; slot < kRetireWidth; ++slot) {
+    if (rob_count_ == 0) return;
+    RobEntry& e = rob_[rob_head_ & (kRobEntries - 1)];
+    if (!e.valid || !e.done) return;
+
+    vm::Retired rec;
+    rec.pc = e.pc;
+    rec.next_pc = e.actual_target;
+
+    const auto fault_kind = static_cast<ExceptionKind>(e.fault & 7);
+    if (fault_kind != ExceptionKind::kNone) {
+      rec.fault = fault_kind;
+      rec.next_pc = e.pc + 4;
+      append_retired(rec);
+      ++retired_total_;
+      emit_symptom(SymptomEvent::Kind::kException, fault_kind);
+      status_ = Status::kFaulted;
+      fault_ = fault_kind;
+      return;
+    }
+
+    if (e.is_halt) {
+      rec.halted = true;
+      append_retired(rec);
+      ++retired_total_;
+      commit_pc_ = e.actual_target;
+      status_ = Status::kHalted;
+      return;
+    }
+
+    if (e.is_store) {
+      StqEntry& s = stq_[e.stq_id & (kStqEntries - 1)];
+      const unsigned bytes = 1u << (s.size_log2 & 3);
+      rec.is_store = true;
+      rec.store_addr = s.addr;
+      rec.store_bytes = static_cast<u8>(bytes);
+      rec.store_data = s.data & mask64(bytes * 8);
+      const vm::MemAccess old = memory_.load(s.addr, bytes);
+      if (old.ok()) rec.store_old_data = old.value;
+      const vm::MemAccess write = memory_.store(s.addr, bytes, s.data);
+      if (!write.ok()) {
+        // The address was corrupted between execute (where it was probed) and
+        // retirement; surface it as a precise exception.
+        rec.fault = write.fault;
+        rec.is_store = false;
+        append_retired(rec);
+        ++retired_total_;
+        emit_symptom(SymptomEvent::Kind::kException, write.fault);
+        status_ = Status::kFaulted;
+        fault_ = write.fault;
+        return;
+      }
+      // Drain the store-queue head.
+      stq_[stq_head_ & (kStqEntries - 1)] = StqEntry{};
+      stq_head_ = static_cast<u8>((stq_head_ + 1) & (kStqEntries - 1));
+      if (stq_count_ > 0) --stq_count_;
+    }
+
+    if (e.is_load) {
+      const LdqEntry& l = ldq_[e.ldq_id & (kLdqEntries - 1)];
+      rec.is_load = true;
+      rec.load_addr = l.addr;
+      ldq_[ldq_head_ & (kLdqEntries - 1)] = LdqEntry{};
+      ldq_head_ = static_cast<u8>((ldq_head_ + 1) & (kLdqEntries - 1));
+      if (ldq_count_ > 0) --ldq_count_;
+    }
+
+    if (e.is_branch) {
+      rec.is_ctrl = true;
+      rec.taken = e.actual_taken;
+      if (e.is_cond) {
+        rec.is_cond_branch = true;
+        ++counters_.cond_branches;
+        if (e.mispredicted) {
+          ++counters_.cond_mispredicts;
+          if (e.conf_high) ++counters_.high_conf_mispredicts;
+        }
+        bpred_.update(e.pc, e.ghist, e.actual_taken);
+        jrs_.update(e.pc, e.ghist, !e.mispredicted, config_.jrs_counter_max);
+      } else if (static_cast<Opcode>(e.opcode & 63) == Opcode::kJalr) {
+        btb_.update(e.pc, e.actual_target);
+      }
+    }
+
+    if (e.is_sync) rec.is_sync = true;
+
+    if (e.is_out) {
+      // OUT reads its source through the (now current) architectural map.
+      const u64 value = prf_[arch_rat_[e.rd & 31] & (kNumPhysRegs - 1)];
+      rec.is_out = true;
+      rec.out_byte = static_cast<u8>(value & 0xFF);
+      output_.push_back(static_cast<char>(rec.out_byte));
+    }
+
+    if (e.writes_reg) {
+      rec.wrote_reg = true;
+      rec.rd = e.rd & 31;
+      rec.rd_value = prf_[e.prd & (kNumPhysRegs - 1)];
+      arch_rat_[e.rd & 31] = e.prd & (kNumPhysRegs - 1);
+      // Free the previous mapping.
+      free_ring_[fl_tail_ & (kFreeListEntries - 1)] = e.pold & (kNumPhysRegs - 1);
+      fl_tail_ = static_cast<u8>((fl_tail_ + 1) & (kFreeListEntries - 1));
+      if (fl_count_ < kFreeListEntries) ++fl_count_;
+    }
+
+    if (config_.illegal_flow_watchdog) check_control_flow(rec);
+
+    // Advance the replay-hint cursor in retirement order (non-speculative).
+    if (rec.is_ctrl && replay_cursor_ < replay_hints_.size()) {
+      if (replay_hints_[replay_cursor_].pc == rec.pc) {
+        ++replay_cursor_;
+      } else {
+        // Skew recovery: search a short window; give up (disable the rest)
+        // if the streams have genuinely diverged.
+        std::size_t found = replay_hints_.size();
+        const std::size_t window_end =
+            std::min(replay_cursor_ + 8, replay_hints_.size());
+        for (std::size_t i = replay_cursor_; i < window_end; ++i) {
+          if (replay_hints_[i].pc == rec.pc) {
+            found = i + 1;
+            break;
+          }
+        }
+        replay_cursor_ = found;
+      }
+    }
+
+    append_retired(rec);
+    ++retired_total_;
+    commit_pc_ = e.actual_target;
+    e.valid = false;
+    rob_head_ = static_cast<u8>((rob_head_ + 1) & (kRobEntries - 1));
+    --rob_count_;
+  }
+}
+
+// Control-flow monitoring watchdog: verify (a) stream continuity — this
+// instruction's pc must be the previous instruction's committed successor —
+// and (b) that the committed successor is one the instruction's static
+// encoding allows. Catches the *illegal* control-flow violations that
+// confidence-gated misprediction symptoms miss (about a third of all cfv per
+// §5.2.1); legal-but-wrong-direction branches remain invisible to it.
+void Core::check_control_flow(const vm::Retired& rec) {
+  if (rec.pc != commit_pc_) {
+    // commit_pc_ still holds the previous instruction's successor here (it is
+    // updated after this check).
+    emit_symptom(SymptomEvent::Kind::kIllegalFlow, ExceptionKind::kNone);
+    return;
+  }
+  const vm::MemAccess fetched = memory_.fetch(rec.pc);
+  if (!fetched.ok()) {
+    emit_symptom(SymptomEvent::Kind::kIllegalFlow, ExceptionKind::kNone);
+    return;
+  }
+  const DecodedInst d = isa::decode(static_cast<u32>(fetched.value));
+  bool legal = true;
+  if (!d.valid) {
+    legal = false;  // an undecodable word retired without a fault
+  } else if (isa::is_cond_branch(d.op)) {
+    legal = rec.next_pc == rec.pc + 4 ||
+            rec.next_pc == rec.pc + 4 + static_cast<u64>(d.imm);
+  } else if (d.op == Opcode::kJal) {
+    legal = rec.next_pc == rec.pc + 4 + static_cast<u64>(d.imm);
+  } else if (d.op == Opcode::kJalr) {
+    legal = (rec.next_pc & 3) == 0;  // register-indirect: only alignment checkable
+  } else if (!rec.halted) {
+    legal = rec.next_pc == rec.pc + 4;
+  }
+  if (!legal) emit_symptom(SymptomEvent::Kind::kIllegalFlow, ExceptionKind::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Writeback / branch resolution / recovery
+// ---------------------------------------------------------------------------
+
+bool Core::older_store_addrs_known(u32 load_age) const noexcept {
+  for (const auto& s : stq_) {
+    if (!s.valid) continue;
+    if (rob_age(s.rob_id) < load_age && !s.addr_valid) return false;
+  }
+  return true;
+}
+
+int Core::scan_stq(u64 addr, unsigned bytes, u32 load_age, u64* fwd) const noexcept {
+  // Find the youngest older store overlapping [addr, addr+bytes).
+  const StqEntry* best = nullptr;
+  u32 best_age = 0;
+  for (const auto& s : stq_) {
+    if (!s.valid || !s.addr_valid) continue;
+    const u32 age = rob_age(s.rob_id);
+    if (age >= load_age) continue;
+    const unsigned sbytes = 1u << (s.size_log2 & 3);
+    const bool overlap = s.addr < addr + bytes && addr < s.addr + sbytes;
+    if (!overlap) continue;
+    if (best == nullptr || age > best_age) {
+      best = &s;
+      best_age = age;
+    }
+  }
+  if (best == nullptr) return 0;
+  const unsigned sbytes = 1u << (best->size_log2 & 3);
+  if (best->addr <= addr && addr + bytes <= best->addr + sbytes) {
+    const unsigned shift = static_cast<unsigned>(addr - best->addr) * 8;
+    *fwd = (best->data >> shift) & mask64(bytes * 8);
+    return 1;  // full forward
+  }
+  return 2;  // partial overlap: wait for the store to drain
+}
+
+void Core::flush_frontend() {
+  for (auto& stage : fb_) stage.fill(FetchSlot{});
+  fq_.fill(FetchSlot{});
+  fq_head_ = fq_count_ = 0;
+  dec_.fill(Uop{});
+  dec_head_ = dec_count_ = 0;
+  fetch_stalled_ = false;
+  icache_stall_ = 0;
+}
+
+void Core::recover_from(u8 branch_rob_id, u64 correct_pc, u16 ghist_after) {
+  const u32 branch_age = rob_age(branch_rob_id);
+
+  // Walk the ROB tail back to the branch, undoing rename state youngest-first.
+  for (unsigned guard = 0; guard < kRobEntries; ++guard) {
+    if (rob_count_ == 0) break;
+    const u8 tail_idx =
+        static_cast<u8>((rob_head_ + rob_count_ - 1) & (kRobEntries - 1));
+    if (tail_idx == (branch_rob_id & (kRobEntries - 1))) break;
+    RobEntry& e = rob_[tail_idx];
+    if (e.valid) {
+      if (e.writes_reg) {
+        spec_rat_[e.rd & 31] = e.pold & (kNumPhysRegs - 1);
+        // Return the allocated tag to the front of the free list.
+        fl_head_ = static_cast<u8>((fl_head_ + kFreeListEntries - 1) &
+                                   (kFreeListEntries - 1));
+        free_ring_[fl_head_] = e.prd & (kNumPhysRegs - 1);
+        if (fl_count_ < kFreeListEntries) ++fl_count_;
+      }
+      if (e.is_load && ldq_count_ > 0) {
+        const u8 lt = static_cast<u8>((ldq_head_ + ldq_count_ - 1) & (kLdqEntries - 1));
+        ldq_[lt] = LdqEntry{};
+        --ldq_count_;
+      }
+      if (e.is_store && stq_count_ > 0) {
+        const u8 st = static_cast<u8>((stq_head_ + stq_count_ - 1) & (kStqEntries - 1));
+        stq_[st] = StqEntry{};
+        --stq_count_;
+      }
+    }
+    e = RobEntry{};
+    --rob_count_;
+  }
+
+  // Kill younger ops in the scheduler and execution pipelines.
+  for (unsigned i = 0; i < kSchedEntries; ++i) {
+    if (sched_[i].valid && rob_age(sched_[i].rob_id) > branch_age) {
+      sched_[i] = SchedEntry{};
+      sched_issued_[i] = false;
+    }
+  }
+  for (auto& slot : exec_) {
+    if (slot.valid && rob_age(slot.rob_id) > branch_age) slot = ExecSlot{};
+  }
+
+  flush_frontend();
+  fetch_pc_ = correct_pc;
+  ghist_ = static_cast<u16>(ghist_after & kGhistMask);
+  ++counters_.flushes;
+}
+
+void Core::resolve_branch(const ExecSlot& slot, RobEntry& entry) {
+  const DecodedInst inst =
+      rebuild_inst(slot.opcode, entry.rd, 0, 0, slot.imm21);
+  const u64 pc = entry.pc;
+  bool taken = true;
+  u64 target = pc + 4;
+
+  if (isa::is_cond_branch(inst.op)) {
+    taken = vm::eval_branch(inst.op, slot.val1, slot.val2);
+    target = taken ? pc + 4 + static_cast<u64>(inst.imm) : pc + 4;
+  } else if (inst.op == Opcode::kJal) {
+    target = pc + 4 + static_cast<u64>(inst.imm);
+  } else if (inst.op == Opcode::kJalr) {
+    target = vm::jalr_target(inst, slot.val1);
+  } else {
+    // A corrupted opcode turned a branch into something else; treat as
+    // fall-through so the machine keeps moving (the wrong result will
+    // surface through other channels).
+    taken = false;
+  }
+
+  entry.actual_taken = taken;
+  entry.actual_target = target;
+
+  const bool mispredicted =
+      (taken != entry.pred_taken) || (taken && target != entry.pred_target);
+  entry.mispredicted = mispredicted;
+
+  if (slot.writes_reg) complete_write(slot.prd, pc + 4);  // JAL/JALR link value
+  entry.done = true;
+
+  if (mispredicted) {
+    emit_symptom(SymptomEvent::Kind::kMispredict, ExceptionKind::kNone);
+    if (entry.is_cond && entry.conf_high) {
+      emit_symptom(SymptomEvent::Kind::kHighConfMispredict, ExceptionKind::kNone);
+    }
+    u16 ghist_after = entry.ghist;
+    if (entry.is_cond) {
+      ghist_after = static_cast<u16>(((entry.ghist << 1) | (taken ? 1 : 0)) & kGhistMask);
+    }
+    recover_from(slot.rob_id, target, ghist_after);
+  }
+}
+
+void Core::do_writeback() {
+  // Collect slots completing this cycle, oldest first, so that an older
+  // mispredicted branch squashes younger completions before they commit
+  // state.
+  std::array<unsigned, kExecSlots> completing{};
+  unsigned n = 0;
+  for (unsigned i = 0; i < kExecSlots; ++i) {
+    ExecSlot& slot = exec_[i];
+    if (!slot.valid) continue;
+    if (slot.remaining > 1) {
+      --slot.remaining;
+      continue;
+    }
+    slot.remaining = 0;
+    completing[n++] = i;
+  }
+  std::sort(completing.begin(), completing.begin() + n,
+            [this](unsigned a, unsigned b) {
+              return rob_age(exec_[a].rob_id) < rob_age(exec_[b].rob_id);
+            });
+
+  for (unsigned k = 0; k < n; ++k) {
+    ExecSlot& slot = exec_[completing[k]];
+    if (!slot.valid) continue;  // squashed by an older branch this cycle
+    RobEntry& entry = rob_[slot.rob_id & (kRobEntries - 1)];
+
+    const auto free_sched = [this, &slot] {
+      sched_[slot.sched_id & (kSchedEntries - 1)] = SchedEntry{};
+      sched_issued_[slot.sched_id & (kSchedEntries - 1)] = false;
+    };
+
+    if (!entry.valid) {
+      // Corrupted linkage: the op points at an empty ROB slot. Drop it.
+      free_sched();
+      slot = ExecSlot{};
+      continue;
+    }
+
+    if (slot.is_branch) {
+      free_sched();
+      resolve_branch(slot, entry);
+      slot = ExecSlot{};
+      continue;
+    }
+
+    const DecodedInst inst = rebuild_inst(slot.opcode, entry.rd, 0, 0, slot.imm21);
+
+    if (slot.is_store) {
+      const u64 addr = slot.val1 + static_cast<u64>(inst.imm);
+      const unsigned bytes = isa::mem_access_bytes(inst.op);
+      const unsigned safe_bytes = bytes ? bytes : 1;
+      const ExceptionKind fault = memory_.probe(addr, safe_bytes, /*write=*/true);
+      dtlb_.access(addr);
+      StqEntry& s = stq_[slot.stq_id & (kStqEntries - 1)];
+      s.addr = addr;
+      s.addr_valid = true;
+      s.size_log2 = static_cast<u8>(size_log2_of(inst.op));
+      s.data = slot.val2 & mask64(safe_bytes * 8);
+      if (fault != ExceptionKind::kNone) entry.fault = static_cast<u8>(fault);
+      entry.done = true;
+      free_sched();
+      slot = ExecSlot{};
+      continue;
+    }
+
+    if (slot.is_load) {
+      const u64 addr = slot.val1 + static_cast<u64>(inst.imm);
+      const unsigned bytes = isa::mem_access_bytes(inst.op);
+      const unsigned safe_bytes = bytes ? bytes : 1;
+      LdqEntry& l = ldq_[slot.ldq_id & (kLdqEntries - 1)];
+      l.addr = addr;
+      l.addr_valid = true;
+      l.size_log2 = static_cast<u8>(size_log2_of(inst.op));
+
+      const ExceptionKind fault = memory_.probe(addr, safe_bytes, /*write=*/false);
+      if (fault != ExceptionKind::kNone) {
+        entry.fault = static_cast<u8>(fault);
+        entry.done = true;
+        free_sched();
+        slot = ExecSlot{};
+        continue;
+      }
+      u64 value = 0;
+      const int conflict = scan_stq(addr, safe_bytes, rob_age(slot.rob_id), &value);
+      if (conflict == 2) {
+        // Partial overlap with an older store: replay until it drains.
+        sched_issued_[slot.sched_id & (kSchedEntries - 1)] = false;
+        slot = ExecSlot{};
+        continue;
+      }
+      if (conflict == 0) {
+        value = memory_.load(addr, safe_bytes).value;
+      }
+      value = vm::extend_load(inst.op, value);
+      if (slot.writes_reg) complete_write(slot.prd, value);
+      entry.done = true;
+      free_sched();
+      slot = ExecSlot{};
+      continue;
+    }
+
+    // Integer ALU op.
+    const vm::ExecResult result = vm::exec_int_op(inst, slot.val1, slot.val2);
+    if (!result.ok()) {
+      entry.fault = static_cast<u8>(result.fault);
+    } else if (slot.writes_reg) {
+      complete_write(slot.prd, result.value);
+    }
+    entry.done = true;
+    free_sched();
+    slot = ExecSlot{};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Select / issue
+// ---------------------------------------------------------------------------
+
+void Core::do_select() {
+  // Oldest-first selection respecting per-class issue limits.
+  std::array<unsigned, kSchedEntries> candidates{};
+  unsigned n = 0;
+  for (unsigned i = 0; i < kSchedEntries; ++i) {
+    const SchedEntry& e = sched_[i];
+    if (!e.valid || sched_issued_[i]) continue;
+    if (!e.rs1_ready || !e.rs2_ready) continue;
+    if (e.is_load && !older_store_addrs_known(rob_age(e.rob_id))) continue;
+    candidates[n++] = i;
+  }
+  std::sort(candidates.begin(), candidates.begin() + n,
+            [this](unsigned a, unsigned b) {
+              return rob_age(sched_[a].rob_id) < rob_age(sched_[b].rob_id);
+            });
+
+  unsigned alu_left = kIssueAlu;
+  unsigned br_left = kIssueBranch;
+  unsigned mem_left = kIssueMem;
+  unsigned issued = 0;
+
+  for (unsigned k = 0; k < n && issued < kIssueWidth; ++k) {
+    SchedEntry& e = sched_[candidates[k]];
+    unsigned* budget = nullptr;
+    if (e.is_branch) {
+      budget = &br_left;
+    } else if (e.is_load || e.is_store) {
+      budget = &mem_left;
+    } else {
+      budget = &alu_left;
+    }
+    if (*budget == 0) continue;
+
+    // Find a free execution slot.
+    unsigned exec_idx = kExecSlots;
+    for (unsigned x = 0; x < kExecSlots; ++x) {
+      if (!exec_[x].valid) {
+        exec_idx = x;
+        break;
+      }
+    }
+    if (exec_idx == kExecSlots) break;
+
+    ExecSlot slot;
+    slot.valid = true;
+    slot.rob_id = e.rob_id;
+    slot.sched_id = static_cast<u8>(candidates[k]);
+    slot.opcode = e.opcode;
+    slot.prd = e.prd;
+    slot.writes_reg = e.writes_reg;
+    slot.imm21 = e.imm21;
+    slot.val1 = e.use_rs1 ? prf_[e.prs1 & (kNumPhysRegs - 1)] : 0;
+    slot.val2 = e.use_rs2 ? prf_[e.prs2 & (kNumPhysRegs - 1)] : 0;
+    slot.is_load = e.is_load;
+    slot.is_store = e.is_store;
+    slot.is_branch = e.is_branch;
+    slot.ldq_id = e.ldq_id;
+    slot.stq_id = e.stq_id;
+
+    // Latency.
+    const Opcode op = static_cast<Opcode>(e.opcode & 63);
+    unsigned latency = config_.alu_latency;
+    if (e.is_branch) {
+      latency = config_.alu_latency;
+    } else if (e.is_store) {
+      latency = config_.agen_latency;
+    } else if (e.is_load) {
+      const u64 addr = slot.val1 + static_cast<u64>(
+          rebuild_inst(e.opcode, 0, 0, 0, e.imm21).imm);
+      u64 fwd_unused = 0;
+      const int conflict =
+          scan_stq(addr, std::max(1u, isa::mem_access_bytes(op)),
+                   rob_age(e.rob_id), &fwd_unused);
+      if (conflict == 1) {
+        latency = config_.agen_latency + config_.store_forward_latency;
+      } else {
+        dtlb_.access(addr);
+        const bool hit = l1d_.access(addr);
+        if (!hit) ++counters_.l1d_misses;
+        latency = config_.agen_latency +
+                  (hit ? config_.l1d_hit_latency : config_.l1d_miss_latency);
+      }
+    } else if (op == Opcode::kMul || op == Opcode::kMulw || op == Opcode::kMulv) {
+      latency = config_.mul_latency;
+    } else if (op == Opcode::kDivu || op == Opcode::kRemu) {
+      latency = config_.div_latency;
+    }
+    slot.remaining = static_cast<u8>(std::max(1u, latency) & 31);
+    if (slot.remaining == 0) slot.remaining = 1;
+
+    exec_[exec_idx] = slot;
+    sched_issued_[candidates[k]] = true;
+    --*budget;
+    ++issued;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------------
+
+void Core::do_rename() {
+  for (unsigned renamed = 0; renamed < kRenameWidth; ++renamed) {
+    if (dec_count_ == 0) return;
+    Uop& u = dec_[dec_head_ & (kDecodeWidth - 1)];
+    if (!u.valid) {
+      dec_head_ = static_cast<u8>((dec_head_ + 1) & (kDecodeWidth - 1));
+      --dec_count_;
+      continue;
+    }
+
+    const DecodedInst d = rebuild_inst(u.opcode, u.rd, u.rs1, u.rs2, u.imm21);
+    const Opcode op = d.op;
+    const bool has_fault = u.fault != 0 || u.illegal || !d.valid;
+    const bool is_halt = d.valid && op == Opcode::kHalt;
+    const bool is_out = d.valid && op == Opcode::kOut;
+    const bool is_sync = d.valid && op == Opcode::kSync;
+    const bool needs_exec = !has_fault && !is_halt && !is_out && !is_sync;
+    const bool writes = needs_exec && d.writes_reg();
+    const bool is_load = needs_exec && isa::is_load(op);
+    const bool is_store = needs_exec && isa::is_store(op);
+
+    // Resource checks (stall on shortage).
+    if (rob_count_ >= kRobEntries) return;
+    if (writes && fl_count_ == 0) return;
+    if (is_load && ldq_count_ >= kLdqEntries) return;
+    if (is_store && stq_count_ >= kStqEntries) return;
+    unsigned sched_idx = kSchedEntries;
+    if (needs_exec) {
+      for (unsigned i = 0; i < kSchedEntries; ++i) {
+        if (!sched_[i].valid) {
+          sched_idx = i;
+          break;
+        }
+      }
+      if (sched_idx == kSchedEntries) return;
+    }
+
+    // Allocate the ROB entry.
+    const u8 rob_id = static_cast<u8>((rob_head_ + rob_count_) & (kRobEntries - 1));
+    RobEntry& e = rob_[rob_id];
+    e = RobEntry{};
+    e.valid = true;
+    e.pc = u.pc;
+    e.opcode = u.opcode & 63;
+    e.actual_target = u.pc + 4;
+    e.is_halt = is_halt;
+    e.is_out = is_out;
+    e.is_sync = is_sync;
+    e.ghist = u.ghist;
+    e.conf_high = u.conf_high;
+    e.pred_taken = u.pred_taken;
+    e.pred_target = u.pred_target;
+    if (has_fault) {
+      e.fault = u.fault != 0
+                    ? (u.fault & 7)
+                    : static_cast<u8>(ExceptionKind::kIllegalInstruction);
+      e.done = true;
+    } else if (is_halt) {
+      e.done = true;
+    } else if (is_out) {
+      e.rd = u.rs1 & 31;  // OUT's source register, read at retirement
+      e.done = true;
+    } else if (is_sync) {
+      e.done = true;  // single-core machine: ordering is free; the ReStore
+                      // layer forces a checkpoint at its retirement (§2.1)
+    }
+
+    if (needs_exec) {
+      e.is_branch = isa::is_control(op);
+      e.is_cond = isa::is_cond_branch(op);
+      e.is_load = is_load;
+      e.is_store = is_store;
+      e.rd = d.rd;
+
+      // Read source mappings BEFORE installing the destination mapping, or an
+      // instruction like "add r1, r1, r2" would wait on itself forever.
+      const u8 prs1 = spec_rat_[d.rs1 & 31];
+      const u8 prs2 = spec_rat_[d.rs2 & 31];
+
+      if (writes) {
+        const u8 prd = free_ring_[fl_head_ & (kFreeListEntries - 1)] &
+                       (kNumPhysRegs - 1);
+        fl_head_ = static_cast<u8>((fl_head_ + 1) & (kFreeListEntries - 1));
+        --fl_count_;
+        e.writes_reg = true;
+        e.prd = prd;
+        e.pold = spec_rat_[d.rd & 31];
+        spec_rat_[d.rd & 31] = prd;
+        prf_ready_[prd] = false;
+      }
+
+      if (is_load) {
+        const u8 lid = static_cast<u8>((ldq_head_ + ldq_count_) & (kLdqEntries - 1));
+        ldq_[lid] = LdqEntry{};
+        ldq_[lid].valid = true;
+        ldq_[lid].rob_id = rob_id;
+        ++ldq_count_;
+        e.ldq_id = lid;
+      }
+      if (is_store) {
+        const u8 sid = static_cast<u8>((stq_head_ + stq_count_) & (kStqEntries - 1));
+        stq_[sid] = StqEntry{};
+        stq_[sid].valid = true;
+        stq_[sid].rob_id = rob_id;
+        ++stq_count_;
+        e.stq_id = sid;
+      }
+
+      SchedEntry& s = sched_[sched_idx];
+      s = SchedEntry{};
+      s.valid = true;
+      s.rob_id = rob_id;
+      s.opcode = u.opcode & 63;
+      s.imm21 = u.imm21 & 0x1FFFFF;
+      s.use_rs1 = d.reads_rs1();
+      s.use_rs2 = d.reads_rs2();
+      s.prs1 = prs1;
+      s.prs2 = prs2;
+      s.rs1_ready = !s.use_rs1 || prf_ready_[prs1 & (kNumPhysRegs - 1)];
+      s.rs2_ready = !s.use_rs2 || prf_ready_[prs2 & (kNumPhysRegs - 1)];
+      s.writes_reg = e.writes_reg;
+      s.prd = e.prd;
+      s.is_load = is_load;
+      s.is_store = is_store;
+      s.is_branch = e.is_branch;
+      s.ldq_id = e.ldq_id;
+      s.stq_id = e.stq_id;
+      sched_issued_[sched_idx] = false;
+    }
+
+    ++rob_count_;
+    dec_head_ = static_cast<u8>((dec_head_ + 1) & (kDecodeWidth - 1));
+    --dec_count_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+void Core::do_decode() {
+  if (dec_count_ != 0) return;  // rename has not consumed the current group
+  dec_.fill(Uop{});
+  dec_head_ = 0;
+  unsigned produced = 0;
+  while (produced < kDecodeWidth && fq_count_ > 0) {
+    const FetchSlot& slot = fq_[fq_head_ & (kFetchQueueEntries - 1)];
+    Uop u;
+    u.valid = true;
+    u.pc = slot.pc;
+    const DecodedInst d = isa::decode(slot.raw);
+    u.opcode = static_cast<u8>((slot.raw >> 26) & 63);
+    u.rd = d.rd;
+    u.rs1 = d.rs1;
+    u.rs2 = d.rs2;
+    u.imm21 = slot.raw & 0x1FFFFF;
+    u.illegal = !d.valid && slot.fault == 0;
+    u.fault = slot.fault;
+    u.pred_taken = slot.pred_taken;
+    u.pred_target = slot.pred_target;
+    u.conf_high = slot.conf_high;
+    u.ghist = slot.ghist;
+    dec_[produced] = u;
+    ++produced;
+    fq_[fq_head_ & (kFetchQueueEntries - 1)] = FetchSlot{};
+    fq_head_ = static_cast<u8>((fq_head_ + 1) & (kFetchQueueEntries - 1));
+    --fq_count_;
+  }
+  dec_count_ = static_cast<u8>(produced);
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void Core::do_fetch() {
+  // Drain the oldest front-end latch stage into the fetch queue.
+  auto& oldest = fb_[kFrontLatchStages - 1];
+  unsigned pending = 0;
+  for (const auto& slot : oldest) {
+    if (slot.valid) ++pending;
+  }
+  if (pending > kFetchQueueEntries - fq_count_) return;  // back-pressure
+  for (auto& slot : oldest) {
+    if (!slot.valid) continue;
+    const u8 tail = static_cast<u8>((fq_head_ + fq_count_) & (kFetchQueueEntries - 1));
+    fq_[tail] = slot;
+    ++fq_count_;
+  }
+  for (unsigned s = kFrontLatchStages - 1; s > 0; --s) fb_[s] = fb_[s - 1];
+  fb_[0].fill(FetchSlot{});
+
+  if (fetch_stalled_) return;
+  if (icache_stall_ > 0) {
+    --icache_stall_;
+    return;
+  }
+
+  u64 pc = fetch_pc_;
+  for (unsigned i = 0; i < kFetchWidth; ++i) {
+    itlb_.access(pc);
+    const vm::MemAccess fetched = memory_.fetch(pc);
+    if (!fetched.ok()) {
+      FetchSlot bad;
+      bad.valid = true;
+      bad.pc = pc;
+      bad.fault = static_cast<u8>(fetched.fault) & 7;
+      fb_[0][i] = bad;
+      fetch_stalled_ = true;  // wait for a redirect
+      fetch_pc_ = pc;
+      return;
+    }
+    if (!l1i_.access(pc)) {
+      icache_stall_ = static_cast<u8>(config_.l1i_miss_penalty);
+      fetch_pc_ = pc;
+      return;  // the missed line is now allocated; retry after the stall
+    }
+
+    FetchSlot slot;
+    slot.valid = true;
+    slot.pc = pc;
+    slot.raw = static_cast<u32>(fetched.value);
+    slot.ghist = ghist_;
+
+    const DecodedInst d = isa::decode(slot.raw);
+    u64 next = pc + 4;
+
+    // Event-log replay: a hinted control instruction fetches with its logged
+    // outcome as the prediction (perfect re-execution control flow) and is
+    // never treated as a high-confidence symptom candidate. Fetch only PEEKS
+    // (a small window absorbs in-flight skew); the cursor itself advances
+    // non-speculatively at retirement, so wrong-path fetches cannot orphan
+    // the remaining hints.
+    const ReplayHint* hint = nullptr;
+    if (d.valid && isa::is_control(d.op)) {
+      const std::size_t window_end =
+          std::min(replay_cursor_ + 8, replay_hints_.size());
+      for (std::size_t i = replay_cursor_; i < window_end; ++i) {
+        if (replay_hints_[i].pc == pc) {
+          hint = &replay_hints_[i];
+          break;
+        }
+      }
+    }
+
+    if (d.valid && isa::is_cond_branch(d.op)) {
+      slot.is_cond = true;
+      const bool pred = hint ? hint->taken : bpred_.predict(pc, ghist_);
+      slot.pred_taken = pred;
+      slot.pred_target = hint && hint->taken
+                             ? hint->target
+                             : pc + 4 + static_cast<u64>(d.imm);
+      slot.conf_high = hint ? false
+                            : (config_.all_mispredicts_high_conf ||
+                               jrs_.high_confidence(pc, ghist_,
+                                                    config_.jrs_threshold));
+      ghist_ = static_cast<u16>(((ghist_ << 1) | (pred ? 1 : 0)) & kGhistMask);
+      if (pred) next = slot.pred_target;
+    } else if (hint != nullptr) {
+      // Hinted jal/jalr: follow the logged target directly.
+      slot.pred_taken = true;
+      slot.pred_target = hint->target;
+      if (d.op == Opcode::kJal && d.rd != isa::kZeroReg) ras_.push(pc + 4);
+      next = slot.pred_target;
+    } else if (d.valid && d.op == Opcode::kJal) {
+      slot.pred_taken = true;
+      slot.pred_target = pc + 4 + static_cast<u64>(d.imm);
+      if (d.rd != isa::kZeroReg) ras_.push(pc + 4);  // call
+      next = slot.pred_target;
+    } else if (d.valid && d.op == Opcode::kJalr) {
+      slot.pred_taken = true;
+      const bool is_return = d.rd == isa::kZeroReg && d.rs1 == 29;
+      if (is_return && !ras_.empty()) {
+        slot.pred_target = ras_.pop();
+      } else {
+        if (d.rd != isa::kZeroReg) ras_.push(pc + 4);  // indirect call
+        slot.pred_target = btb_.lookup(pc).value_or(pc + 4);
+      }
+      next = slot.pred_target;
+    }
+
+    fb_[0][i] = slot;
+    pc = next;
+    if (slot.pred_taken) break;  // redirected: next group starts at the target
+  }
+  fetch_pc_ = pc;
+}
+
+}  // namespace restore::uarch

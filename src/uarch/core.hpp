@@ -1,0 +1,260 @@
+// The detailed out-of-order core (the paper's §4.1 processor model).
+//
+// A superscalar, dynamically-scheduled SRA-64 pipeline: 4-wide fetch with a
+// McFarling combining predictor, BTB, return-address stack and JRS confidence
+// estimator; a 32-entry fetch queue; 4-wide decode and rename (spec/arch RAT
+// + free list); a 32-entry scheduler issuing up to 6 ops/cycle (3 ALU, 1
+// branch, 2 memory); a 128-entry physical register file; load/store queues
+// with store-to-load forwarding; a 64-entry ROB retiring 4/cycle; timing-only
+// L1 caches and TLBs; and a watchdog timer.
+//
+// Design constraints driven by fault injection (DESIGN.md §4):
+//  * The whole Core has value semantics: a trial snapshot is a plain copy.
+//  * All machine state lives in fixed-size arrays of explicit-width fields;
+//    the StateRegistry (state_registry.hpp) enumerates every injectable bit.
+//  * Every array index is masked at use, so arbitrarily corrupted state
+//    steers execution (possibly into a wedge the watchdog catches) but never
+//    into undefined behaviour of the simulator itself.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "uarch/caches.hpp"
+#include "uarch/config.hpp"
+#include "uarch/predictors.hpp"
+#include "uarch/uop.hpp"
+#include "vm/memory.hpp"
+#include "vm/retired.hpp"
+#include "vm/vm.hpp"
+
+namespace restore::uarch {
+
+// A detection event surfaced to the ReStore layer (paper §3.3): the two
+// chosen symptoms plus the watchdog, with the retire-stream position at which
+// the event fired (used to measure error-to-symptom latency).
+struct SymptomEvent {
+  enum class Kind : u8 {
+    kException,            // ISA exception reached retirement
+    kMispredict,           // any resolved control-flow misprediction
+    kHighConfMispredict,   // misprediction the JRS predictor called high-confidence
+    kWatchdog,             // watchdog timer saturated (deadlock/livelock)
+    kIllegalFlow,          // retired control transfer is not a legal successor
+    kCacheMissBurst,       // L1D miss burst (extension symptom, §3.3)
+  };
+  Kind kind = Kind::kException;
+  isa::ExceptionKind fault = isa::ExceptionKind::kNone;
+  u64 retired_count = 0;  // instructions retired when the event fired
+};
+
+// A control-flow outcome recorded before a rollback and fed back to fetch
+// during re-execution (the paper's event-log "perfect prediction of control
+// flow", §5.2.3).
+struct ReplayHint {
+  u64 pc = 0;
+  bool taken = false;
+  u64 target = 0;
+};
+
+class Core {
+ public:
+  enum class Status : u8 {
+    kRunning,
+    kHalted,      // retired HALT
+    kFaulted,     // retired an instruction with an ISA exception
+    kDeadlocked,  // watchdog saturated
+  };
+
+  explicit Core(const isa::Program& program, const CoreConfig& config = {});
+
+  // Advance one clock cycle. No-op unless running.
+  void cycle();
+
+  // Run until not running or `max_cycles` more cycles elapse; returns cycles.
+  u64 run(u64 max_cycles);
+
+  Status status() const noexcept { return status_; }
+  bool running() const noexcept { return status_ == Status::kRunning; }
+  isa::ExceptionKind fault() const noexcept { return fault_; }
+
+  u64 cycle_count() const noexcept { return cycle_count_; }
+  u64 retired_count() const noexcept { return retired_total_; }
+  const std::string& output() const noexcept { return output_; }
+
+  // Records retired during the most recent cycle() (at most kRetireWidth).
+  std::span<const vm::Retired> retired_this_cycle() const noexcept {
+    return {retired_buf_.data(), retired_buf_count_};
+  }
+  // Symptom events raised during the most recent cycle().
+  std::span<const SymptomEvent> symptoms_this_cycle() const noexcept {
+    return {symptom_buf_.data(), symptom_buf_count_};
+  }
+
+  // Architectural state at the current retirement boundary (what ReStore's
+  // checkpoint hardware snapshots).
+  vm::ArchSnapshot arch_snapshot() const noexcept;
+
+  // Restore architectural state and flush all microarchitectural state —
+  // ReStore's checkpoint restoration. Memory is NOT touched (the checkpoint
+  // store replays its undo log through memory() separately). Predictor state
+  // survives, as it would in hardware.
+  void reset_to(const vm::ArchSnapshot& snapshot);
+
+  // Install event-log replay hints: while any remain, fetch predicts hinted
+  // control instructions with the logged outcome (and marks them low
+  // confidence so they cannot re-trigger symptoms). Hints are consumed in
+  // order as fetch encounters matching pcs; reset_to() clears them.
+  void set_replay_hints(std::vector<ReplayHint> hints);
+  std::size_t replay_hints_remaining() const noexcept {
+    return replay_hints_.size() - std::min<std::size_t>(replay_cursor_,
+                                                        replay_hints_.size());
+  }
+
+  vm::PagedMemory& memory() noexcept { return memory_; }
+  const vm::PagedMemory& memory() const noexcept { return memory_; }
+
+  const CoreConfig& config() const noexcept { return config_; }
+
+  // Performance counters (branch behaviour feeds the Fig. 7 overhead model).
+  struct Counters {
+    u64 cond_branches = 0;
+    u64 cond_mispredicts = 0;
+    u64 high_conf_mispredicts = 0;
+    u64 l1d_misses = 0;
+    u64 flushes = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  // ---- Machine state (public: enumerated by StateRegistry, examined by
+  // tests; treat as read-only outside uarch/faultinject). ----
+
+  // Front end.
+  u64 fetch_pc_ = 0;
+  bool fetch_stalled_ = false;  // waiting for redirect after a fetch fault
+  u8 icache_stall_ = 0;         // remaining I-cache miss stall cycles
+  std::array<std::array<FetchSlot, kFetchWidth>, kFrontLatchStages> fb_{};
+  std::array<FetchSlot, kFetchQueueEntries> fq_{};
+  u8 fq_head_ = 0;
+  u8 fq_count_ = 0;
+  std::array<Uop, kDecodeWidth> dec_{};
+  u8 dec_head_ = 0;   // next unconsumed decode slot
+  u8 dec_count_ = 0;  // valid slots remaining
+  u16 ghist_ = 0;
+
+  // Rename.
+  std::array<u8, isa::kNumArchRegs> spec_rat_{};
+  std::array<u8, isa::kNumArchRegs> arch_rat_{};
+  std::array<u8, kFreeListEntries> free_ring_{};
+  u8 fl_head_ = 0;
+  u8 fl_tail_ = 0;
+  u8 fl_count_ = 0;
+
+  // Physical register file + ready bits.
+  std::array<u64, kNumPhysRegs> prf_{};
+  std::array<bool, kNumPhysRegs> prf_ready_{};
+
+  // Scheduler, with an issued flag per entry (cleared on replay).
+  std::array<SchedEntry, kSchedEntries> sched_{};
+  std::array<bool, kSchedEntries> sched_issued_{};
+
+  // Execution pipelines.
+  std::array<ExecSlot, kExecSlots> exec_{};
+
+  // Load/store queues.
+  std::array<LdqEntry, kLdqEntries> ldq_{};
+  u8 ldq_head_ = 0;
+  u8 ldq_count_ = 0;
+  std::array<StqEntry, kStqEntries> stq_{};
+  u8 stq_head_ = 0;
+  u8 stq_count_ = 0;
+
+  // Reorder buffer.
+  std::array<RobEntry, kRobEntries> rob_{};
+  u8 rob_head_ = 0;
+  u8 rob_count_ = 0;
+
+  // Retirement-boundary pc (pc of the next instruction to retire).
+  u64 commit_pc_ = 0;
+
+  // Watchdog.
+  u16 watchdog_ = 0;
+
+  // Event-log replay hints (detector-internal; not injectable).
+  std::vector<ReplayHint> replay_hints_;
+  std::size_t replay_cursor_ = 0;
+
+  // Cache-burst symptom bookkeeping (detector-internal; not injectable).
+  u64 burst_last_misses_ = 0;
+  u16 burst_cycles_ = 0;
+  u16 burst_misses_ = 0;
+
+ private:
+  // ---- pipeline stages (called in reverse order by cycle()) ----
+  void do_retire();
+  void do_writeback();
+  void do_select();
+  void do_rename();
+  void do_decode();
+  void do_fetch();
+
+  // Branch resolution helpers.
+  void resolve_branch(const ExecSlot& slot, RobEntry& entry);
+  void recover_from(u8 branch_rob_id, u64 correct_pc, u16 ghist_after);
+  void flush_frontend();
+
+  // Rob-index age relative to the current head (0 = oldest).
+  u32 rob_age(u8 rob_id) const noexcept {
+    return (static_cast<u32>(rob_id & (kRobEntries - 1)) + kRobEntries -
+            (rob_head_ & (kRobEntries - 1))) % kRobEntries;
+  }
+
+  // Store-queue scan for a load at `addr`/`bytes` with ROB age `load_age`.
+  // Returns: 0 = no conflict (use memory), 1 = full forward (value in *fwd),
+  // 2 = partial overlap (must replay until the store drains).
+  int scan_stq(u64 addr, unsigned bytes, u32 load_age, u64* fwd) const noexcept;
+
+  // True when every older valid store has a known address.
+  bool older_store_addrs_known(u32 load_age) const noexcept;
+
+  // Write a completed result to the PRF and broadcast the wakeup.
+  void complete_write(u8 prd, u64 value);
+
+  void emit_symptom(SymptomEvent::Kind kind, isa::ExceptionKind fault);
+  void append_retired(const vm::Retired& record);
+  void check_control_flow(const vm::Retired& record);
+
+  CoreConfig config_;
+  vm::PagedMemory memory_;
+  Status status_ = Status::kRunning;
+  isa::ExceptionKind fault_ = isa::ExceptionKind::kNone;
+  std::string output_;
+
+  u64 cycle_count_ = 0;
+  u64 retired_total_ = 0;
+  Counters counters_;
+
+  // Predictors (timing/steering state; excluded from fault injection).
+  BranchPredictor bpred_;
+  Btb btb_;
+  ReturnAddressStack ras_;
+  JrsConfidence jrs_;
+  TagCache l1i_{6, 7};  // 64B lines, 128 lines = 8 KiB
+  TagCache l1d_{6, 8};  // 64B lines, 256 lines = 16 KiB
+  Tlb itlb_;
+  Tlb dtlb_;
+
+  // Per-cycle output buffers.
+  std::array<vm::Retired, kRetireWidth> retired_buf_{};
+  std::size_t retired_buf_count_ = 0;
+  std::array<SymptomEvent, 8> symptom_buf_{};
+  std::size_t symptom_buf_count_ = 0;
+
+  friend struct CoreStateAccess;  // state_registry.cpp
+};
+
+}  // namespace restore::uarch

@@ -1,0 +1,77 @@
+#include "uarch/pipeline_stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace restore::uarch {
+
+void PipelineStats::observe(const Core& core) {
+  ++cycles_;
+  const std::size_t retired_now = core.retired_this_cycle().size();
+  retired_ += retired_now;
+  retire_hist_[std::min<std::size_t>(retired_now, kRetireWidth)]++;
+
+  unsigned sched_valid = 0;
+  for (const auto& e : core.sched_) sched_valid += e.valid ? 1 : 0;
+  unsigned exec_valid = 0;
+  for (const auto& e : core.exec_) exec_valid += e.valid ? 1 : 0;
+
+  rob_.add(core.rob_count_);
+  sched_.add(sched_valid);
+  fq_.add(core.fq_count_);
+  ldq_.add(core.ldq_count_);
+  stq_.add(core.stq_count_);
+  exec_.add(exec_valid);
+
+  if (retired_now == 0) {
+    if (!core.running()) {
+      ++stalls_.machine_stopped;
+    } else if (core.rob_count_ == 0) {
+      ++stalls_.rob_empty;
+    } else {
+      ++stalls_.head_executing;
+    }
+  }
+
+  if (timeline_stride_ != 0 && cycles_ % timeline_stride_ == 0) {
+    timeline_.push_back({cycles_, core.rob_count_,
+                         static_cast<u8>(sched_valid), core.fq_count_,
+                         core.ldq_count_, core.stq_count_,
+                         static_cast<u8>(exec_valid)});
+  }
+}
+
+std::string PipelineStats::report() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "cycles=" << cycles_ << " retired=" << retired_ << " ipc=" << ipc()
+      << "\n";
+  out << "occupancy (mean/max): rob " << rob_.mean() << "/" << rob_.max()
+      << "  sched " << sched_.mean() << "/" << sched_.max() << "  fq "
+      << fq_.mean() << "/" << fq_.max() << "  ldq " << ldq_.mean() << "/"
+      << ldq_.max() << "  stq " << stq_.mean() << "/" << stq_.max() << "  exec "
+      << exec_.mean() << "/" << exec_.max() << "\n";
+  out << "retire slots:";
+  for (unsigned i = 0; i <= kRetireWidth; ++i) {
+    out << "  " << i << "-wide "
+        << (cycles_ ? 100.0 * retire_hist_[i] / cycles_ : 0.0) << "%";
+  }
+  out << "\n";
+  out << "no-retire cycles: frontend-starved "
+      << (cycles_ ? 100.0 * stalls_.rob_empty / cycles_ : 0.0)
+      << "%  head-executing "
+      << (cycles_ ? 100.0 * stalls_.head_executing / cycles_ : 0.0) << "%\n";
+  return out.str();
+}
+
+void PipelineStats::write_timeline_csv(std::ostream& out) const {
+  out << "cycle,rob,sched,fq,ldq,stq,exec\n";
+  for (const auto& p : timeline_) {
+    out << p.cycle << ',' << unsigned(p.rob) << ',' << unsigned(p.sched) << ','
+        << unsigned(p.fq) << ',' << unsigned(p.ldq) << ',' << unsigned(p.stq)
+        << ',' << unsigned(p.exec) << '\n';
+  }
+}
+
+}  // namespace restore::uarch

@@ -1,0 +1,71 @@
+// Non-invasive pipeline profiler: samples structure occupancy and attributes
+// stall cycles by observing a Core between cycles. Used by the pipeview tool
+// and by performance debugging of the workloads.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "common/stats.hpp"
+#include "uarch/core.hpp"
+
+namespace restore::uarch {
+
+class PipelineStats {
+ public:
+  // Sample the core's state after a cycle() call.
+  void observe(const Core& core);
+
+  u64 cycles() const noexcept { return cycles_; }
+  u64 retired() const noexcept { return retired_; }
+  double ipc() const noexcept {
+    return cycles_ ? static_cast<double>(retired_) / cycles_ : 0.0;
+  }
+
+  // Mean occupancy of each major structure.
+  const OnlineStats& rob_occupancy() const noexcept { return rob_; }
+  const OnlineStats& sched_occupancy() const noexcept { return sched_; }
+  const OnlineStats& fq_occupancy() const noexcept { return fq_; }
+  const OnlineStats& ldq_occupancy() const noexcept { return ldq_; }
+  const OnlineStats& stq_occupancy() const noexcept { return stq_; }
+  const OnlineStats& exec_occupancy() const noexcept { return exec_; }
+
+  // Retirement-slot utilisation: distribution of instructions retired per
+  // cycle (0..kRetireWidth).
+  const std::array<u64, kRetireWidth + 1>& retire_histogram() const noexcept {
+    return retire_hist_;
+  }
+
+  // Cycles in which nothing retired, attributed to the observable cause.
+  struct StallBreakdown {
+    u64 rob_empty = 0;        // nothing in flight (front-end starvation)
+    u64 head_executing = 0;   // oldest instruction still executing
+    u64 machine_stopped = 0;  // halted/faulted/deadlocked
+  };
+  const StallBreakdown& stalls() const noexcept { return stalls_; }
+
+  // Human-readable summary report.
+  std::string report() const;
+
+  // CSV time series of occupancies (one row per `stride` cycles). Must be
+  // enabled before observing.
+  void enable_timeline(unsigned stride) { timeline_stride_ = stride; }
+  void write_timeline_csv(std::ostream& out) const;
+
+ private:
+  u64 cycles_ = 0;
+  u64 retired_ = 0;
+  OnlineStats rob_, sched_, fq_, ldq_, stq_, exec_;
+  std::array<u64, kRetireWidth + 1> retire_hist_{};
+  StallBreakdown stalls_;
+
+  unsigned timeline_stride_ = 0;
+  struct TimelinePoint {
+    u64 cycle;
+    u8 rob, sched, fq, ldq, stq, exec;
+  };
+  std::vector<TimelinePoint> timeline_;
+};
+
+}  // namespace restore::uarch

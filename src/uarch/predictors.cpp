@@ -1,0 +1,88 @@
+#include "uarch/predictors.hpp"
+
+namespace restore::uarch {
+
+namespace {
+
+u8 bump(u8 counter, bool up, u8 max = 3) noexcept {
+  if (up) return counter < max ? static_cast<u8>(counter + 1) : counter;
+  return counter > 0 ? static_cast<u8>(counter - 1) : counter;
+}
+
+}  // namespace
+
+BranchPredictor::BranchPredictor() noexcept {
+  bimodal_.fill(2);  // weakly taken
+  gshare_.fill(2);
+  chooser_.fill(2);  // weakly prefer gshare
+}
+
+u32 BranchPredictor::bimodal_index(u64 pc) noexcept {
+  return (pc >> 2) & (kTableSize - 1);
+}
+
+u32 BranchPredictor::gshare_index(u64 pc, u16 ghist) noexcept {
+  return ((pc >> 2) ^ ghist) & (kTableSize - 1);
+}
+
+bool BranchPredictor::predict(u64 pc, u16 ghist) const noexcept {
+  const bool bim = bimodal_[bimodal_index(pc)] >= 2;
+  const bool gsh = gshare_[gshare_index(pc, ghist)] >= 2;
+  const bool use_gshare = chooser_[bimodal_index(pc)] >= 2;
+  return use_gshare ? gsh : bim;
+}
+
+void BranchPredictor::update(u64 pc, u16 ghist, bool taken) noexcept {
+  const u32 bi = bimodal_index(pc);
+  const u32 gi = gshare_index(pc, ghist);
+  const bool bim_correct = (bimodal_[bi] >= 2) == taken;
+  const bool gsh_correct = (gshare_[gi] >= 2) == taken;
+  if (bim_correct != gsh_correct) {
+    chooser_[bi] = bump(chooser_[bi], gsh_correct);
+  }
+  bimodal_[bi] = bump(bimodal_[bi], taken);
+  gshare_[gi] = bump(gshare_[gi], taken);
+}
+
+std::optional<u64> Btb::lookup(u64 pc) const noexcept {
+  const Entry& e = entries_[index(pc)];
+  if (e.valid && e.tag == tag(pc)) return e.target;
+  return std::nullopt;
+}
+
+void Btb::update(u64 pc, u64 target) noexcept {
+  entries_[index(pc)] = Entry{true, tag(pc), target};
+}
+
+void ReturnAddressStack::push(u64 address) noexcept {
+  stack_[top_] = address;
+  top_ = static_cast<u8>((top_ + 1) % kDepth);
+  if (depth_ < kDepth) ++depth_;
+}
+
+u64 ReturnAddressStack::pop() noexcept {
+  if (depth_ == 0) return 0;
+  top_ = static_cast<u8>((top_ + kDepth - 1) % kDepth);
+  --depth_;
+  return stack_[top_];
+}
+
+u32 JrsConfidence::index(u64 pc, u16 ghist) noexcept {
+  return ((pc >> 2) ^ (static_cast<u32>(ghist) << 2)) & (kTableSize - 1);
+}
+
+bool JrsConfidence::high_confidence(u64 pc, u16 ghist, unsigned threshold) const noexcept {
+  return counters_[index(pc, ghist)] >= threshold;
+}
+
+void JrsConfidence::update(u64 pc, u16 ghist, bool prediction_correct,
+                           unsigned counter_max) noexcept {
+  u8& counter = counters_[index(pc, ghist)];
+  if (prediction_correct) {
+    if (counter < counter_max) ++counter;
+  } else {
+    counter = 0;  // resetting counter
+  }
+}
+
+}  // namespace restore::uarch

@@ -1,0 +1,86 @@
+// Branch direction/target prediction and the JRS confidence estimator.
+//
+// Direction: a McFarling-style combining predictor (bimodal + gshare +
+// chooser) [McFarling'93], as "sophisticated branch prediction" per §4.1.
+// Targets: a BTB for indirect jumps and an 8-entry return-address stack.
+// Confidence: the JRS resetting-counter estimator [Jacobsen/Rotenberg/Smith,
+// MICRO-29], selected by the paper (§3.2.2) to gate control-flow symptoms.
+//
+// Predictor tables are deliberately NOT part of the fault-injection state
+// space: "corrupt predictor table entries cannot lead to failure" (§4.2).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace restore::uarch {
+
+inline constexpr unsigned kGhistBits = 12;
+
+class BranchPredictor {
+ public:
+  BranchPredictor() noexcept;
+
+  bool predict(u64 pc, u16 ghist) const noexcept;
+  void update(u64 pc, u16 ghist, bool taken) noexcept;
+
+ private:
+  static constexpr unsigned kTableSize = 4096;
+  static u32 bimodal_index(u64 pc) noexcept;
+  static u32 gshare_index(u64 pc, u16 ghist) noexcept;
+
+  // 2-bit saturating counters, initialised weakly taken.
+  std::array<u8, kTableSize> bimodal_{};
+  std::array<u8, kTableSize> gshare_{};
+  std::array<u8, kTableSize> chooser_{};  // 0/1 -> bimodal, 2/3 -> gshare
+};
+
+class Btb {
+ public:
+  std::optional<u64> lookup(u64 pc) const noexcept;
+  void update(u64 pc, u64 target) noexcept;
+
+ private:
+  static constexpr unsigned kEntries = 512;
+  struct Entry {
+    bool valid = false;
+    u16 tag = 0;
+    u64 target = 0;
+  };
+  static u32 index(u64 pc) noexcept { return (pc >> 2) & (kEntries - 1); }
+  static u16 tag(u64 pc) noexcept { return static_cast<u16>(pc >> 11); }
+  std::array<Entry, kEntries> entries_{};
+};
+
+class ReturnAddressStack {
+ public:
+  void push(u64 address) noexcept;
+  u64 pop() noexcept;  // returns 0 when empty
+  bool empty() const noexcept { return depth_ == 0; }
+
+ private:
+  static constexpr unsigned kDepth = 8;
+  std::array<u64, kDepth> stack_{};
+  u8 top_ = 0;    // index of next push slot (wraps)
+  u8 depth_ = 0;  // saturates at kDepth
+};
+
+// JRS resetting-counter confidence predictor: a per-branch counter that
+// increments on every correct prediction and resets to zero on a
+// misprediction. A prediction is "high confidence" when the counter has
+// reached the threshold — i.e. the predictor has been right many times in a
+// row for this (pc, history) slot.
+class JrsConfidence {
+ public:
+  bool high_confidence(u64 pc, u16 ghist, unsigned threshold) const noexcept;
+  void update(u64 pc, u16 ghist, bool prediction_correct, unsigned counter_max) noexcept;
+
+ private:
+  static constexpr unsigned kTableSize = 4096;
+  static u32 index(u64 pc, u16 ghist) noexcept;
+  std::array<u8, kTableSize> counters_{};  // 5-bit resetting counters
+};
+
+}  // namespace restore::uarch

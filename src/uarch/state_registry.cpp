@@ -1,0 +1,481 @@
+#include "uarch/state_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace restore::uarch {
+
+namespace {
+
+constexpr auto kLatch = StorageClass::kLatch;
+constexpr auto kSram = StorageClass::kSram;
+constexpr auto kNone = LhfProtection::kNone;
+constexpr auto kParity = LhfProtection::kParity;
+constexpr auto kEcc = LhfProtection::kEcc;
+
+bool always_live(const Core&, u32) { return true; }
+
+// ---- liveness predicates ----
+
+bool fq_live(const Core& c, u32 entry) {
+  const u32 pos = (entry + kFetchQueueEntries - (c.fq_head_ & (kFetchQueueEntries - 1))) %
+                  kFetchQueueEntries;
+  return pos < c.fq_count_;
+}
+
+bool dec_live(const Core& c, u32 entry) {
+  const u32 pos = (entry + kDecodeWidth - (c.dec_head_ & (kDecodeWidth - 1))) %
+                  kDecodeWidth;
+  return pos < c.dec_count_ && c.dec_[entry].valid;
+}
+
+bool fb_live(const Core& c, u32 entry) {
+  return c.fb_[entry / kFetchWidth][entry % kFetchWidth].valid;
+}
+
+bool free_ring_live(const Core& c, u32 entry) {
+  // A free-list slot matters if it will be popped: it lies within
+  // [head, head+count).
+  const u32 pos = (entry + kFreeListEntries - (c.fl_head_ & (kFreeListEntries - 1))) %
+                  kFreeListEntries;
+  return pos < c.fl_count_;
+}
+
+bool prf_live(const Core& c, u32 tag) {
+  // A physical register is live when some architectural register maps to it
+  // (speculatively or architecturally) or an in-flight producer targets it.
+  for (u32 i = 0; i < isa::kNumArchRegs; ++i) {
+    if ((c.spec_rat_[i] & (kNumPhysRegs - 1)) == tag) return true;
+    if ((c.arch_rat_[i] & (kNumPhysRegs - 1)) == tag) return true;
+  }
+  for (const auto& e : c.rob_) {
+    if (e.valid && e.writes_reg && (e.prd & (kNumPhysRegs - 1)) == tag) return true;
+  }
+  return false;
+}
+
+bool sched_live(const Core& c, u32 entry) { return c.sched_[entry].valid; }
+bool exec_live(const Core& c, u32 entry) { return c.exec_[entry].valid; }
+bool ldq_live(const Core& c, u32 entry) { return c.ldq_[entry].valid; }
+bool stq_live(const Core& c, u32 entry) { return c.stq_[entry].valid; }
+bool rob_live(const Core& c, u32 entry) { return c.rob_[entry].valid; }
+
+}  // namespace
+
+StateRegistry::StateRegistry() {
+  using Get = std::function<u64(const Core&, u32)>;
+  using Set = std::function<void(Core&, u32, u64)>;
+  using Live = std::function<bool(const Core&, u32)>;
+
+  auto add = [this](std::string name, StorageClass storage, LhfProtection prot,
+                    u32 entries, u32 bits, Get get, Set set, Live live) {
+    StateField f;
+    f.name = std::move(name);
+    f.storage = storage;
+    f.protection = prot;
+    f.entries = entries;
+    f.bits_per_entry = bits;
+    f.get = std::move(get);
+    f.set = std::move(set);
+    f.live = std::move(live);
+    fields_.push_back(std::move(f));
+  };
+
+  // Generic helpers over a reference-yielding accessor.
+  auto add_int = [&](std::string name, StorageClass storage, LhfProtection prot,
+                     u32 entries, u32 bits, auto ref, Live live) {
+    add(std::move(name), storage, prot, entries, bits,
+        [ref, bits](const Core& c, u32 e) -> u64 {
+          return static_cast<u64>(ref(const_cast<Core&>(c), e)) & mask64(bits);
+        },
+        [ref, bits](Core& c, u32 e, u64 v) {
+          using T = std::remove_reference_t<decltype(ref(c, e))>;
+          ref(c, e) = static_cast<T>(v & mask64(bits));
+        },
+        std::move(live));
+  };
+  auto add_flag = [&](std::string name, StorageClass storage, LhfProtection prot,
+                      u32 entries, auto ref, Live live) {
+    add(std::move(name), storage, prot, entries, 1,
+        [ref](const Core& c, u32 e) -> u64 {
+          return ref(const_cast<Core&>(c), e) ? 1 : 0;
+        },
+        [ref](Core& c, u32 e, u64 v) { ref(c, e) = (v & 1) != 0; },
+        std::move(live));
+  };
+
+  // ---- front end ----
+  add_int("fetch.pc", kLatch, kParity, 1, 64,
+          [](Core& c, u32) -> u64& { return c.fetch_pc_; }, always_live);
+  add_flag("fetch.stalled", kLatch, kParity, 1,
+           [](Core& c, u32) -> bool& { return c.fetch_stalled_; }, always_live);
+  add_int("fetch.icache_stall", kLatch, kParity, 1, 4,
+          [](Core& c, u32) -> u8& { return c.icache_stall_; }, always_live);
+
+  constexpr u32 kFbSlots = kFrontLatchStages * kFetchWidth;
+  auto fb_slot = [](Core& c, u32 e) -> FetchSlot& {
+    return c.fb_[(e / kFetchWidth) % kFrontLatchStages][e % kFetchWidth];
+  };
+  add_flag("fb.valid", kLatch, kParity, kFbSlots,
+           [fb_slot](Core& c, u32 e) -> bool& { return fb_slot(c, e).valid; },
+           always_live);
+  add_int("fb.pc", kLatch, kParity, kFbSlots, 64,
+          [fb_slot](Core& c, u32 e) -> u64& { return fb_slot(c, e).pc; }, fb_live);
+  add_int("fb.raw", kLatch, kParity, kFbSlots, 32,
+          [fb_slot](Core& c, u32 e) -> u32& { return fb_slot(c, e).raw; }, fb_live);
+  add_flag("fb.pred_taken", kLatch, kParity, kFbSlots,
+           [fb_slot](Core& c, u32 e) -> bool& { return fb_slot(c, e).pred_taken; },
+           fb_live);
+  add_int("fb.pred_target", kLatch, kParity, kFbSlots, 64,
+          [fb_slot](Core& c, u32 e) -> u64& { return fb_slot(c, e).pred_target; },
+          fb_live);
+  add_flag("fb.is_cond", kLatch, kParity, kFbSlots,
+           [fb_slot](Core& c, u32 e) -> bool& { return fb_slot(c, e).is_cond; },
+           fb_live);
+  add_flag("fb.conf_high", kLatch, kParity, kFbSlots,
+           [fb_slot](Core& c, u32 e) -> bool& { return fb_slot(c, e).conf_high; },
+           fb_live);
+  add_int("fb.fault", kLatch, kParity, kFbSlots, 3,
+          [fb_slot](Core& c, u32 e) -> u8& { return fb_slot(c, e).fault; }, fb_live);
+
+  // Fetch queue (an SRAM buffer; ECC'd by the hardened pipeline, §5.2.2).
+  auto fq_slot = [](Core& c, u32 e) -> FetchSlot& {
+    return c.fq_[e & (kFetchQueueEntries - 1)];
+  };
+  add_int("fq.pc", kSram, kEcc, kFetchQueueEntries, 64,
+          [fq_slot](Core& c, u32 e) -> u64& { return fq_slot(c, e).pc; }, fq_live);
+  add_int("fq.raw", kSram, kEcc, kFetchQueueEntries, 32,
+          [fq_slot](Core& c, u32 e) -> u32& { return fq_slot(c, e).raw; }, fq_live);
+  add_flag("fq.pred_taken", kSram, kEcc, kFetchQueueEntries,
+           [fq_slot](Core& c, u32 e) -> bool& { return fq_slot(c, e).pred_taken; },
+           fq_live);
+  add_int("fq.pred_target", kSram, kEcc, kFetchQueueEntries, 64,
+          [fq_slot](Core& c, u32 e) -> u64& { return fq_slot(c, e).pred_target; },
+          fq_live);
+  add_flag("fq.conf_high", kSram, kEcc, kFetchQueueEntries,
+           [fq_slot](Core& c, u32 e) -> bool& { return fq_slot(c, e).conf_high; },
+           fq_live);
+  add_int("fq.fault", kSram, kEcc, kFetchQueueEntries, 3,
+          [fq_slot](Core& c, u32 e) -> u8& { return fq_slot(c, e).fault; }, fq_live);
+  add_int("fq.head", kLatch, kParity, 1, 5,
+          [](Core& c, u32) -> u8& { return c.fq_head_; }, always_live);
+  add_int("fq.count", kLatch, kParity, 1, 6,
+          [](Core& c, u32) -> u8& { return c.fq_count_; }, always_live);
+
+  // Decode latch.
+  auto dec_slot = [](Core& c, u32 e) -> Uop& { return c.dec_[e & (kDecodeWidth - 1)]; };
+  add_flag("dec.valid", kLatch, kParity, kDecodeWidth,
+           [dec_slot](Core& c, u32 e) -> bool& { return dec_slot(c, e).valid; },
+           always_live);
+  add_int("dec.pc", kLatch, kParity, kDecodeWidth, 64,
+          [dec_slot](Core& c, u32 e) -> u64& { return dec_slot(c, e).pc; }, dec_live);
+  add_int("dec.opcode", kLatch, kParity, kDecodeWidth, 6,
+          [dec_slot](Core& c, u32 e) -> u8& { return dec_slot(c, e).opcode; }, dec_live);
+  add_int("dec.rd", kLatch, kParity, kDecodeWidth, 5,
+          [dec_slot](Core& c, u32 e) -> u8& { return dec_slot(c, e).rd; }, dec_live);
+  add_int("dec.rs1", kLatch, kParity, kDecodeWidth, 5,
+          [dec_slot](Core& c, u32 e) -> u8& { return dec_slot(c, e).rs1; }, dec_live);
+  add_int("dec.rs2", kLatch, kParity, kDecodeWidth, 5,
+          [dec_slot](Core& c, u32 e) -> u8& { return dec_slot(c, e).rs2; }, dec_live);
+  add_int("dec.imm21", kLatch, kParity, kDecodeWidth, 21,
+          [dec_slot](Core& c, u32 e) -> u32& { return dec_slot(c, e).imm21; }, dec_live);
+  add_flag("dec.illegal", kLatch, kParity, kDecodeWidth,
+           [dec_slot](Core& c, u32 e) -> bool& { return dec_slot(c, e).illegal; },
+           dec_live);
+  add_int("dec.fault", kLatch, kParity, kDecodeWidth, 3,
+          [dec_slot](Core& c, u32 e) -> u8& { return dec_slot(c, e).fault; }, dec_live);
+  add_flag("dec.pred_taken", kLatch, kParity, kDecodeWidth,
+           [dec_slot](Core& c, u32 e) -> bool& { return dec_slot(c, e).pred_taken; },
+           dec_live);
+  add_int("dec.pred_target", kLatch, kParity, kDecodeWidth, 64,
+          [dec_slot](Core& c, u32 e) -> u64& { return dec_slot(c, e).pred_target; },
+          dec_live);
+
+  // ---- rename ----
+  add_int("rat.spec", kSram, kEcc, isa::kNumArchRegs, kPhysTagBits,
+          [](Core& c, u32 e) -> u8& { return c.spec_rat_[e & 31]; }, always_live);
+  add_int("rat.arch", kSram, kEcc, isa::kNumArchRegs, kPhysTagBits,
+          [](Core& c, u32 e) -> u8& { return c.arch_rat_[e & 31]; }, always_live);
+  add_int("freelist.ring", kSram, kNone, kFreeListEntries, kPhysTagBits,
+          [](Core& c, u32 e) -> u8& { return c.free_ring_[e & (kFreeListEntries - 1)]; },
+          free_ring_live);
+  add_int("freelist.head", kLatch, kParity, 1, 7,
+          [](Core& c, u32) -> u8& { return c.fl_head_; }, always_live);
+  add_int("freelist.tail", kLatch, kParity, 1, 7,
+          [](Core& c, u32) -> u8& { return c.fl_tail_; }, always_live);
+  add_int("freelist.count", kLatch, kParity, 1, 8,
+          [](Core& c, u32) -> u8& { return c.fl_count_; }, always_live);
+
+  // ---- physical register file ----
+  add_int("prf.value", kSram, kEcc, kNumPhysRegs, 64,
+          [](Core& c, u32 e) -> u64& { return c.prf_[e & (kNumPhysRegs - 1)]; },
+          prf_live);
+  add_flag("prf.ready", kLatch, kNone, kNumPhysRegs,
+           [](Core& c, u32 e) -> bool& { return c.prf_ready_[e & (kNumPhysRegs - 1)]; },
+           prf_live);
+
+  // ---- scheduler ----
+  auto sch = [](Core& c, u32 e) -> SchedEntry& {
+    return c.sched_[e & (kSchedEntries - 1)];
+  };
+  add_flag("sched.valid", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).valid; }, always_live);
+  add_int("sched.rob_id", kLatch, kNone, kSchedEntries, kRobIdBits,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).rob_id; }, sched_live);
+  add_int("sched.opcode", kLatch, kNone, kSchedEntries, 6,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).opcode; }, sched_live);
+  add_int("sched.prs1", kLatch, kNone, kSchedEntries, kPhysTagBits,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).prs1; }, sched_live);
+  add_int("sched.prs2", kLatch, kNone, kSchedEntries, kPhysTagBits,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).prs2; }, sched_live);
+  add_int("sched.prd", kLatch, kNone, kSchedEntries, kPhysTagBits,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).prd; }, sched_live);
+  add_flag("sched.use_rs1", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).use_rs1; }, sched_live);
+  add_flag("sched.use_rs2", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).use_rs2; }, sched_live);
+  add_flag("sched.writes_reg", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).writes_reg; }, sched_live);
+  add_int("sched.imm21", kLatch, kNone, kSchedEntries, 21,
+          [sch](Core& c, u32 e) -> u32& { return sch(c, e).imm21; }, sched_live);
+  add_int("sched.ldq_id", kLatch, kNone, kSchedEntries, 4,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).ldq_id; }, sched_live);
+  add_int("sched.stq_id", kLatch, kNone, kSchedEntries, 4,
+          [sch](Core& c, u32 e) -> u8& { return sch(c, e).stq_id; }, sched_live);
+  add_flag("sched.is_load", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).is_load; }, sched_live);
+  add_flag("sched.is_store", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).is_store; }, sched_live);
+  add_flag("sched.is_branch", kLatch, kNone, kSchedEntries,
+           [sch](Core& c, u32 e) -> bool& { return sch(c, e).is_branch; }, sched_live);
+  add_flag("sched.issued", kLatch, kNone, kSchedEntries,
+           [](Core& c, u32 e) -> bool& { return c.sched_issued_[e & (kSchedEntries - 1)]; },
+           sched_live);
+
+  // ---- execution pipelines ----
+  auto ex = [](Core& c, u32 e) -> ExecSlot& { return c.exec_[e & (kExecSlots - 1)]; };
+  add_flag("exec.valid", kLatch, kParity, kExecSlots,
+           [ex](Core& c, u32 e) -> bool& { return ex(c, e).valid; }, always_live);
+  add_int("exec.rob_id", kLatch, kParity, kExecSlots, kRobIdBits,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).rob_id; }, exec_live);
+  add_int("exec.sched_id", kLatch, kParity, kExecSlots, 5,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).sched_id; }, exec_live);
+  add_int("exec.opcode", kLatch, kParity, kExecSlots, 6,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).opcode; }, exec_live);
+  add_int("exec.prd", kLatch, kParity, kExecSlots, kPhysTagBits,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).prd; }, exec_live);
+  // Operand values are datapath bits: unprotected even in the "lhf" pipeline.
+  add_int("exec.val1", kLatch, kNone, kExecSlots, 64,
+          [ex](Core& c, u32 e) -> u64& { return ex(c, e).val1; }, exec_live);
+  add_int("exec.val2", kLatch, kNone, kExecSlots, 64,
+          [ex](Core& c, u32 e) -> u64& { return ex(c, e).val2; }, exec_live);
+  add_int("exec.imm21", kLatch, kParity, kExecSlots, 21,
+          [ex](Core& c, u32 e) -> u32& { return ex(c, e).imm21; }, exec_live);
+  add_flag("exec.writes_reg", kLatch, kParity, kExecSlots,
+           [ex](Core& c, u32 e) -> bool& { return ex(c, e).writes_reg; }, exec_live);
+  add_int("exec.remaining", kLatch, kParity, kExecSlots, 5,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).remaining; }, exec_live);
+  add_flag("exec.is_load", kLatch, kParity, kExecSlots,
+           [ex](Core& c, u32 e) -> bool& { return ex(c, e).is_load; }, exec_live);
+  add_flag("exec.is_store", kLatch, kParity, kExecSlots,
+           [ex](Core& c, u32 e) -> bool& { return ex(c, e).is_store; }, exec_live);
+  add_flag("exec.is_branch", kLatch, kParity, kExecSlots,
+           [ex](Core& c, u32 e) -> bool& { return ex(c, e).is_branch; }, exec_live);
+  add_int("exec.ldq_id", kLatch, kParity, kExecSlots, 4,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).ldq_id; }, exec_live);
+  add_int("exec.stq_id", kLatch, kParity, kExecSlots, 4,
+          [ex](Core& c, u32 e) -> u8& { return ex(c, e).stq_id; }, exec_live);
+
+  // ---- load queue ----
+  auto ld = [](Core& c, u32 e) -> LdqEntry& { return c.ldq_[e & (kLdqEntries - 1)]; };
+  add_flag("ldq.valid", kLatch, kNone, kLdqEntries,
+           [ld](Core& c, u32 e) -> bool& { return ld(c, e).valid; }, always_live);
+  add_int("ldq.rob_id", kLatch, kNone, kLdqEntries, kRobIdBits,
+          [ld](Core& c, u32 e) -> u8& { return ld(c, e).rob_id; }, ldq_live);
+  add_flag("ldq.addr_valid", kLatch, kNone, kLdqEntries,
+           [ld](Core& c, u32 e) -> bool& { return ld(c, e).addr_valid; }, ldq_live);
+  add_int("ldq.addr", kLatch, kNone, kLdqEntries, 64,
+          [ld](Core& c, u32 e) -> u64& { return ld(c, e).addr; }, ldq_live);
+  add_int("ldq.size", kLatch, kNone, kLdqEntries, 2,
+          [ld](Core& c, u32 e) -> u8& { return ld(c, e).size_log2; }, ldq_live);
+  add_int("ldq.head", kLatch, kNone, 1, 4,
+          [](Core& c, u32) -> u8& { return c.ldq_head_; }, always_live);
+  add_int("ldq.count", kLatch, kNone, 1, 5,
+          [](Core& c, u32) -> u8& { return c.ldq_count_; }, always_live);
+
+  // ---- store queue ----
+  auto st = [](Core& c, u32 e) -> StqEntry& { return c.stq_[e & (kStqEntries - 1)]; };
+  add_flag("stq.valid", kLatch, kNone, kStqEntries,
+           [st](Core& c, u32 e) -> bool& { return st(c, e).valid; }, always_live);
+  add_int("stq.rob_id", kLatch, kNone, kStqEntries, kRobIdBits,
+          [st](Core& c, u32 e) -> u8& { return st(c, e).rob_id; }, stq_live);
+  add_flag("stq.addr_valid", kLatch, kNone, kStqEntries,
+           [st](Core& c, u32 e) -> bool& { return st(c, e).addr_valid; }, stq_live);
+  add_int("stq.addr", kLatch, kNone, kStqEntries, 64,
+          [st](Core& c, u32 e) -> u64& { return st(c, e).addr; }, stq_live);
+  add_int("stq.size", kLatch, kNone, kStqEntries, 2,
+          [st](Core& c, u32 e) -> u8& { return st(c, e).size_log2; }, stq_live);
+  // Store data is a "key data store": ECC'd in the hardened pipeline.
+  add_int("stq.data", kSram, kNone, kStqEntries, 64,
+          [st](Core& c, u32 e) -> u64& { return st(c, e).data; }, stq_live);
+  add_int("stq.head", kLatch, kNone, 1, 4,
+          [](Core& c, u32) -> u8& { return c.stq_head_; }, always_live);
+  add_int("stq.count", kLatch, kNone, 1, 5,
+          [](Core& c, u32) -> u8& { return c.stq_count_; }, always_live);
+
+  // ---- reorder buffer (an SRAM array; ECC'd by the hardened pipeline) ----
+  auto rb = [](Core& c, u32 e) -> RobEntry& { return c.rob_[e & (kRobEntries - 1)]; };
+  add_flag("rob.valid", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).valid; }, always_live);
+  add_flag("rob.done", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).done; }, rob_live);
+  add_int("rob.pc", kSram, kEcc, kRobEntries, 64,
+          [rb](Core& c, u32 e) -> u64& { return rb(c, e).pc; }, rob_live);
+  add_int("rob.opcode", kSram, kEcc, kRobEntries, 6,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).opcode; }, rob_live);
+  add_int("rob.rd", kSram, kEcc, kRobEntries, 5,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).rd; }, rob_live);
+  add_flag("rob.writes_reg", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).writes_reg; }, rob_live);
+  add_int("rob.prd", kSram, kEcc, kRobEntries, kPhysTagBits,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).prd; }, rob_live);
+  add_int("rob.pold", kSram, kEcc, kRobEntries, kPhysTagBits,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).pold; }, rob_live);
+  add_int("rob.fault", kSram, kEcc, kRobEntries, 3,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).fault; }, rob_live);
+  add_flag("rob.is_store", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_store; }, rob_live);
+  add_int("rob.stq_id", kSram, kEcc, kRobEntries, 4,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).stq_id; }, rob_live);
+  add_flag("rob.is_load", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_load; }, rob_live);
+  add_int("rob.ldq_id", kSram, kEcc, kRobEntries, 4,
+          [rb](Core& c, u32 e) -> u8& { return rb(c, e).ldq_id; }, rob_live);
+  add_flag("rob.is_branch", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_branch; }, rob_live);
+  add_flag("rob.is_cond", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_cond; }, rob_live);
+  add_flag("rob.pred_taken", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).pred_taken; }, rob_live);
+  add_int("rob.pred_target", kSram, kEcc, kRobEntries, 64,
+          [rb](Core& c, u32 e) -> u64& { return rb(c, e).pred_target; }, rob_live);
+  add_flag("rob.actual_taken", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).actual_taken; }, rob_live);
+  add_int("rob.actual_target", kSram, kEcc, kRobEntries, 64,
+          [rb](Core& c, u32 e) -> u64& { return rb(c, e).actual_target; }, rob_live);
+  add_flag("rob.mispredicted", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).mispredicted; }, rob_live);
+  add_flag("rob.conf_high", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).conf_high; }, rob_live);
+  add_int("rob.ghist", kSram, kEcc, kRobEntries, kGhistBits,
+          [rb](Core& c, u32 e) -> u16& { return rb(c, e).ghist; }, rob_live);
+  add_flag("rob.is_out", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_out; }, rob_live);
+  add_flag("rob.is_halt", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_halt; }, rob_live);
+  add_flag("rob.is_sync", kSram, kEcc, kRobEntries,
+           [rb](Core& c, u32 e) -> bool& { return rb(c, e).is_sync; }, rob_live);
+  add_int("rob.head", kLatch, kParity, 1, kRobIdBits,
+          [](Core& c, u32) -> u8& { return c.rob_head_; }, always_live);
+  add_int("rob.count", kLatch, kParity, 1, 7,
+          [](Core& c, u32) -> u8& { return c.rob_count_; }, always_live);
+
+  // ---- retirement state ----
+  add_int("retire.commit_pc", kLatch, kParity, 1, 64,
+          [](Core& c, u32) -> u64& { return c.commit_pc_; }, always_live);
+  add_int("retire.watchdog", kLatch, kParity, 1, 16,
+          [](Core& c, u32) -> u16& { return c.watchdog_; }, always_live);
+
+  // Prefix sums for flat-bit addressing.
+  cumulative_bits_.reserve(fields_.size() + 1);
+  cumulative_bits_.push_back(0);
+  for (const auto& f : fields_) {
+    cumulative_bits_.push_back(cumulative_bits_.back() + f.total_bits());
+  }
+  total_bits_ = cumulative_bits_.back();
+}
+
+const StateRegistry& StateRegistry::instance() {
+  static const StateRegistry registry;
+  return registry;
+}
+
+u64 StateRegistry::total_bits(StorageClass storage) const noexcept {
+  u64 total = 0;
+  for (const auto& f : fields_) {
+    if (f.storage == storage) total += f.total_bits();
+  }
+  return total;
+}
+
+BitRef StateRegistry::locate(u64 global_bit) const {
+  if (global_bit >= total_bits_) throw std::out_of_range("locate: bit index");
+  const auto it = std::upper_bound(cumulative_bits_.begin(), cumulative_bits_.end(),
+                                   global_bit);
+  const u32 field = static_cast<u32>(it - cumulative_bits_.begin() - 1);
+  const u64 offset = global_bit - cumulative_bits_[field];
+  const u32 bits = fields_[field].bits_per_entry;
+  return {field, static_cast<u32>(offset / bits), static_cast<u32>(offset % bits)};
+}
+
+BitRef StateRegistry::sample(Rng& rng, std::optional<StorageClass> filter) const {
+  if (!filter) return locate(rng.below(total_bits_));
+  const u64 subset = total_bits(*filter);
+  u64 pick = rng.below(subset);
+  for (u32 field = 0; field < fields_.size(); ++field) {
+    if (fields_[field].storage != *filter) continue;
+    if (pick < fields_[field].total_bits()) {
+      const u32 bits = fields_[field].bits_per_entry;
+      return {field, static_cast<u32>(pick / bits), static_cast<u32>(pick % bits)};
+    }
+    pick -= fields_[field].total_bits();
+  }
+  throw std::logic_error("sample: inconsistent subset size");
+}
+
+void StateRegistry::flip(Core& core, const BitRef& ref) const {
+  const StateField& f = fields_[ref.field];
+  const u64 value = f.get(core, ref.entry);
+  f.set(core, ref.entry, value ^ (u64{1} << ref.bit));
+}
+
+u64 StateRegistry::read(const Core& core, const BitRef& ref) const {
+  const StateField& f = fields_[ref.field];
+  return (f.get(core, ref.entry) >> ref.bit) & 1;
+}
+
+bool StateRegistry::bit_live(const Core& core, const BitRef& ref) const {
+  return fields_[ref.field].live(core, ref.entry);
+}
+
+u64 StateRegistry::hash_state(const Core& core) const {
+  u64 hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](u64 v) {
+    hash ^= v;
+    hash *= 0x100000001b3ULL;
+    hash ^= hash >> 32;
+  };
+  for (const auto& f : fields_) {
+    for (u32 e = 0; e < f.entries; ++e) mix(f.get(core, e));
+  }
+  return hash;
+}
+
+StateRegistry::DiffSummary StateRegistry::diff(const Core& a, const Core& b) const {
+  DiffSummary summary;
+  for (const auto& f : fields_) {
+    for (u32 e = 0; e < f.entries; ++e) {
+      if (f.get(a, e) == f.get(b, e)) continue;
+      summary.any = true;
+      if (f.live(a, e) || f.live(b, e)) {
+        summary.any_live = true;
+        return summary;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace restore::uarch

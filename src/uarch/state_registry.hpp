@@ -1,0 +1,103 @@
+// Enumeration of every injectable state bit in the core.
+//
+// The paper's fault model is "a single bit flip of a state element" with the
+// bit "selected randomly across all of the eligible state of the processor",
+// excluding caches and predictor tables (§4.2). The registry provides exactly
+// that surface: each field carries its storage class (pipeline latch vs SRAM
+// array — §5.1.2 injects latches only), the protection the §5.2.2
+// "low-hanging-fruit" pipeline would give it (parity on control-word latches,
+// ECC on the register file and other key data stores), and an entry-level
+// liveness predicate used to separate the paper's `latent` and `other`
+// outcome categories.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "uarch/core.hpp"
+
+namespace restore::uarch {
+
+enum class StorageClass : u8 {
+  kLatch,  // pipeline latch / flip-flop
+  kSram,   // RAM array (register file, RATs, queues)
+};
+
+// Protection assigned by the "lhf" (low-hanging-fruit) hardened pipeline of
+// §5.2.2. The baseline pipeline has no protection anywhere.
+enum class LhfProtection : u8 {
+  kNone,    // unprotected even in the hardened pipeline (e.g. datapath values)
+  kParity,  // detected -> recovered via flush/checkpoint
+  kEcc,     // corrected in place
+};
+
+struct StateField {
+  std::string name;
+  StorageClass storage = StorageClass::kLatch;
+  LhfProtection protection = LhfProtection::kNone;
+  u32 entries = 1;
+  u32 bits_per_entry = 1;
+  // Accessors: read/write the raw (width-masked) value of one entry.
+  std::function<u64(const Core&, u32)> get;
+  std::function<void(Core&, u32, u64)> set;
+  // Entry-level liveness: false when the entry is architecturally dead (e.g.
+  // an invalid queue slot or an unmapped physical register).
+  std::function<bool(const Core&, u32)> live;
+
+  u64 total_bits() const noexcept {
+    return static_cast<u64>(entries) * bits_per_entry;
+  }
+};
+
+// A specific bit in the state space.
+struct BitRef {
+  u32 field = 0;
+  u32 entry = 0;
+  u32 bit = 0;
+};
+
+class StateRegistry {
+ public:
+  // The registry is immutable and describes the Core type, not an instance.
+  static const StateRegistry& instance();
+
+  const std::vector<StateField>& fields() const noexcept { return fields_; }
+  const StateField& field(const BitRef& ref) const { return fields_[ref.field]; }
+
+  u64 total_bits() const noexcept { return total_bits_; }
+  u64 total_bits(StorageClass storage) const noexcept;
+
+  // Map a flat bit index in [0, total_bits()) to a field/entry/bit.
+  BitRef locate(u64 global_bit) const;
+
+  // Uniformly sample an eligible bit, optionally restricted to one storage
+  // class (the paper's latch-only campaign).
+  BitRef sample(Rng& rng, std::optional<StorageClass> filter = std::nullopt) const;
+
+  void flip(Core& core, const BitRef& ref) const;
+  u64 read(const Core& core, const BitRef& ref) const;
+  bool bit_live(const Core& core, const BitRef& ref) const;
+
+  // Digest of all registered state (used for exact golden comparison).
+  u64 hash_state(const Core& core) const;
+
+  // Names of fields whose state differs between two cores (diagnostics) and
+  // a liveness-aware classification: returns {any_diff, any_live_diff}.
+  struct DiffSummary {
+    bool any = false;
+    bool any_live = false;
+  };
+  DiffSummary diff(const Core& a, const Core& b) const;
+
+ private:
+  StateRegistry();
+  std::vector<StateField> fields_;
+  std::vector<u64> cumulative_bits_;  // prefix sums for locate()
+  u64 total_bits_ = 0;
+};
+
+}  // namespace restore::uarch

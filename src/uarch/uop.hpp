@@ -1,0 +1,137 @@
+// Pipeline payload types ("control words" in the paper's terminology).
+// These are the latch-resident structures whose bits the fault injector can
+// flip, so fields are stored at their logical widths and consumers mask
+// indices at use.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/exception.hpp"
+#include "uarch/config.hpp"
+
+namespace restore::uarch {
+
+// A fetched (not yet decoded) instruction plus its prediction metadata.
+// Lives in the fetch-stage latches and the fetch queue.
+struct FetchSlot {
+  bool valid = false;
+  u64 pc = 0;
+  u32 raw = 0;             // raw instruction word
+  bool pred_taken = false;
+  u64 pred_target = 0;
+  bool is_cond = false;    // predecoded: conditional branch
+  bool conf_high = false;  // JRS confidence for conditional predictions
+  u16 ghist = 0;           // global-history snapshot at prediction time
+  u8 fault = 0;            // fetch-side exception (isa::ExceptionKind, 3 bits)
+};
+
+// A decoded, renamed micro-op. Lives in the decode/rename latches and (in
+// part) in the scheduler. Execution uses these latched fields, not the raw
+// instruction word, so corruption here propagates exactly as a latch flip in
+// a real decode/rename packet would.
+struct Uop {
+  bool valid = false;
+  u64 pc = 0;
+  u8 opcode = 0;   // 6-bit primary opcode
+  u8 rd = 31;      // architectural registers (5 bits each)
+  u8 rs1 = 31;
+  u8 rs2 = 31;
+  u32 imm21 = 0;   // low 21 raw bits: imm16 for most formats, disp21 for JAL
+  bool illegal = false;  // decoder marked the encoding ISA-illegal
+  u8 fault = 0;          // fetch-side exception carried from the fetch slot
+
+  // Prediction metadata carried from fetch.
+  bool pred_taken = false;
+  u64 pred_target = 0;
+  bool conf_high = false;
+  u16 ghist = 0;
+};
+
+// Scheduler (issue-queue) entry.
+struct SchedEntry {
+  bool valid = false;
+  u8 rob_id = 0;   // 6 bits
+  u8 opcode = 0;   // 6 bits
+  u8 prs1 = 0;     // 7 bits
+  u8 prs2 = 0;
+  u8 prd = 0;
+  bool use_rs1 = false;
+  bool use_rs2 = false;
+  bool rs1_ready = false;
+  bool rs2_ready = false;
+  bool writes_reg = false;
+  u32 imm21 = 0;   // 21 bits
+  u8 ldq_id = 0;   // 4 bits
+  u8 stq_id = 0;   // 4 bits
+  bool is_load = false;
+  bool is_store = false;
+  bool is_branch = false;  // any control op
+};
+
+// Reorder-buffer entry.
+struct RobEntry {
+  bool valid = false;
+  bool done = false;
+  u64 pc = 0;
+  u8 opcode = 0;        // 6 bits
+  u8 rd = 31;           // 5 bits (31 = no destination)
+  bool writes_reg = false;
+  u8 prd = 0;           // 7 bits: new mapping
+  u8 pold = 0;          // 7 bits: previous mapping of rd
+  u8 fault = 0;         // isa::ExceptionKind, 3 bits
+  bool is_store = false;
+  u8 stq_id = 0;        // 4 bits
+  bool is_load = false;
+  u8 ldq_id = 0;
+  bool is_branch = false;     // any control op
+  bool is_cond = false;
+  bool pred_taken = false;
+  u64 pred_target = 0;        // predicted target carried from fetch
+  bool actual_taken = false;
+  u64 actual_target = 0;      // next_pc after this instruction
+  bool mispredicted = false;
+  bool conf_high = false;
+  u16 ghist = 0;              // history snapshot for predictor update
+  bool is_out = false;        // OUT instruction
+  bool is_halt = false;
+  bool is_sync = false;       // synchronizing instruction
+};
+
+// Load-queue entry.
+struct LdqEntry {
+  bool valid = false;
+  u8 rob_id = 0;
+  bool addr_valid = false;
+  u64 addr = 0;
+  u8 size_log2 = 0;  // 2 bits: access size = 1 << size_log2
+};
+
+// Store-queue entry.
+struct StqEntry {
+  bool valid = false;
+  u8 rob_id = 0;
+  bool addr_valid = false;
+  u64 addr = 0;
+  u8 size_log2 = 0;
+  u64 data = 0;
+};
+
+// An op in flight in an execution pipeline (issued, counting down latency).
+struct ExecSlot {
+  bool valid = false;
+  u8 rob_id = 0;
+  u8 sched_id = 0;  // 5 bits: scheduler entry to free on completion
+  u8 opcode = 0;
+  u8 prd = 0;
+  u64 val1 = 0;  // operand values read at register-read
+  u64 val2 = 0;
+  u32 imm21 = 0;
+  bool writes_reg = false;
+  u8 remaining = 0;  // cycles until completion (5 bits)
+  bool is_load = false;
+  bool is_store = false;
+  bool is_branch = false;
+  u8 ldq_id = 0;
+  u8 stq_id = 0;
+};
+
+}  // namespace restore::uarch

@@ -1,0 +1,123 @@
+#include "vm/exec.hpp"
+
+#include "common/bits.hpp"
+
+namespace restore::vm {
+
+using isa::DecodedInst;
+using isa::ExceptionKind;
+using isa::Opcode;
+
+namespace {
+
+bool add_overflows(i64 a, i64 b) noexcept {
+  i64 out;
+  return __builtin_add_overflow(a, b, &out);
+}
+
+bool sub_overflows(i64 a, i64 b) noexcept {
+  i64 out;
+  return __builtin_sub_overflow(a, b, &out);
+}
+
+bool mul_overflows(i64 a, i64 b) noexcept {
+  i64 out;
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+}  // namespace
+
+ExecResult exec_int_op(const DecodedInst& inst, u64 rs1, u64 rs2) noexcept {
+  ExecResult r;
+  const bool is_imm = isa::format_of(inst.op) == isa::Format::kIType;
+  const u64 b = is_imm ? static_cast<u64>(inst.imm) : rs2;
+  const i64 sa = static_cast<i64>(rs1);
+  const i64 sb = static_cast<i64>(b);
+
+  switch (inst.op) {
+    case Opcode::kAdd: case Opcode::kAddi: r.value = rs1 + b; break;
+    case Opcode::kSub: r.value = rs1 - b; break;
+    case Opcode::kMul: r.value = rs1 * b; break;
+    case Opcode::kDivu:
+      if (b == 0) r.fault = ExceptionKind::kDivByZero;
+      else r.value = rs1 / b;
+      break;
+    case Opcode::kRemu:
+      if (b == 0) r.fault = ExceptionKind::kDivByZero;
+      else r.value = rs1 % b;
+      break;
+    case Opcode::kAnd: case Opcode::kAndi: r.value = rs1 & b; break;
+    case Opcode::kOr: case Opcode::kOri: r.value = rs1 | b; break;
+    case Opcode::kXor: case Opcode::kXori: r.value = rs1 ^ b; break;
+    case Opcode::kSll: case Opcode::kSlli: r.value = rs1 << (b & 63); break;
+    case Opcode::kSrl: case Opcode::kSrli: r.value = rs1 >> (b & 63); break;
+    case Opcode::kSra: case Opcode::kSrai:
+      r.value = static_cast<u64>(sa >> (b & 63));
+      break;
+    case Opcode::kSlt: case Opcode::kSlti: r.value = sa < sb ? 1 : 0; break;
+    case Opcode::kSltu: case Opcode::kSltiu: r.value = rs1 < b ? 1 : 0; break;
+    case Opcode::kSeq: case Opcode::kSeqi: r.value = rs1 == b ? 1 : 0; break;
+    case Opcode::kAddw: case Opcode::kAddiw:
+      r.value = static_cast<u64>(sign_extend(rs1 + b, 32));
+      break;
+    case Opcode::kSubw:
+      r.value = static_cast<u64>(sign_extend(rs1 - b, 32));
+      break;
+    case Opcode::kMulw:
+      r.value = static_cast<u64>(sign_extend(rs1 * b, 32));
+      break;
+    case Opcode::kAddv:
+      if (add_overflows(sa, sb)) r.fault = ExceptionKind::kArithOverflow;
+      else r.value = rs1 + b;
+      break;
+    case Opcode::kSubv:
+      if (sub_overflows(sa, sb)) r.fault = ExceptionKind::kArithOverflow;
+      else r.value = rs1 - b;
+      break;
+    case Opcode::kMulv:
+      if (mul_overflows(sa, sb)) r.fault = ExceptionKind::kArithOverflow;
+      else r.value = rs1 * b;
+      break;
+    case Opcode::kLdih:
+      r.value = rs1 + (static_cast<u64>(inst.imm) << 16);
+      break;
+    default:
+      // Not an integer op; callers must not reach here.
+      r.fault = ExceptionKind::kIllegalInstruction;
+      break;
+  }
+  return r;
+}
+
+bool eval_branch(Opcode op, u64 rs1, u64 rs2) noexcept {
+  const i64 sa = static_cast<i64>(rs1);
+  const i64 sb = static_cast<i64>(rs2);
+  switch (op) {
+    case Opcode::kBeq: return rs1 == rs2;
+    case Opcode::kBne: return rs1 != rs2;
+    case Opcode::kBlt: return sa < sb;
+    case Opcode::kBge: return sa >= sb;
+    case Opcode::kBltu: return rs1 < rs2;
+    case Opcode::kBgeu: return rs1 >= rs2;
+    default: return false;
+  }
+}
+
+u64 effective_address(const DecodedInst& inst, u64 rs1) noexcept {
+  return rs1 + static_cast<u64>(inst.imm);
+}
+
+u64 jalr_target(const DecodedInst& inst, u64 rs1) noexcept {
+  return (rs1 + static_cast<u64>(inst.imm)) & ~u64{3};
+}
+
+u64 extend_load(Opcode op, u64 raw) noexcept {
+  switch (op) {
+    case Opcode::kLb: return static_cast<u64>(sign_extend(raw, 8));
+    case Opcode::kLh: return static_cast<u64>(sign_extend(raw, 16));
+    case Opcode::kLw: return static_cast<u64>(sign_extend(raw, 32));
+    default: return raw;  // LBU/LHU/LWU/LD already zero-extended
+  }
+}
+
+}  // namespace restore::vm

@@ -1,0 +1,36 @@
+// Shared execution semantics for SRA-64 integer, branch, and address
+// operations. Both the architectural VM and the out-of-order core's execute
+// stage call these, so the two simulators agree on semantics by construction.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/exception.hpp"
+#include "isa/instruction.hpp"
+
+namespace restore::vm {
+
+struct ExecResult {
+  u64 value = 0;
+  isa::ExceptionKind fault = isa::ExceptionKind::kNone;
+  bool ok() const noexcept { return fault == isa::ExceptionKind::kNone; }
+};
+
+// Evaluate a non-memory, non-control integer op (R-type and I-type, including
+// the trapping ADDV/SUBV/MULV). `rs1`/`rs2` are source register values; the
+// immediate is taken from `inst` where the format requires it.
+ExecResult exec_int_op(const isa::DecodedInst& inst, u64 rs1, u64 rs2) noexcept;
+
+// Conditional branch outcome.
+bool eval_branch(isa::Opcode op, u64 rs1, u64 rs2) noexcept;
+
+// Effective address of a load/store.
+u64 effective_address(const isa::DecodedInst& inst, u64 rs1) noexcept;
+
+// JALR target (word-aligned).
+u64 jalr_target(const isa::DecodedInst& inst, u64 rs1) noexcept;
+
+// Sign-extend a loaded value according to the load opcode (LB/LH/LW sign;
+// LBU/LHU/LWU/LD zero/full).
+u64 extend_load(isa::Opcode op, u64 raw) noexcept;
+
+}  // namespace restore::vm

@@ -1,0 +1,136 @@
+#include "vm/memory.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace restore::vm {
+
+using isa::ExceptionKind;
+using isa::Perms;
+
+void PagedMemory::map_region(u64 vaddr, u64 bytes, Perms perms) {
+  if (bytes == 0) return;
+  const u64 first = vaddr >> kPageShift;
+  const u64 last = (vaddr + bytes - 1) >> kPageShift;
+  for (u64 page = first; page <= last; ++page) {
+    auto& entry = pages_[page];
+    if (entry.data.empty()) entry.data.assign(kPageBytes, 0);
+    entry.perms = entry.perms | perms;
+  }
+}
+
+void PagedMemory::load_program(const isa::Program& program) {
+  for (const auto& seg : program.segments) {
+    map_region(seg.vaddr, seg.bytes.size(), seg.perms);
+    for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+      write_byte(seg.vaddr + i, seg.bytes[i]);
+    }
+  }
+  if (program.stack_bytes > 0) {
+    // Stack occupies [stack_top - stack_bytes, stack_top + 16) so that the
+    // initial frame and a small red zone above sp are valid.
+    map_region(program.stack_top - program.stack_bytes, program.stack_bytes + 16,
+               Perms::kReadWrite);
+  }
+}
+
+const PagedMemory::Page* PagedMemory::find_page(u64 vaddr) const noexcept {
+  const auto it = pages_.find(vaddr >> kPageShift);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+PagedMemory::Page* PagedMemory::find_page(u64 vaddr) noexcept {
+  const auto it = pages_.find(vaddr >> kPageShift);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+ExceptionKind PagedMemory::probe(u64 vaddr, unsigned bytes, bool write) const noexcept {
+  assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  if (vaddr % bytes != 0) return ExceptionKind::kMemAlignment;
+  const Page* page = find_page(vaddr);
+  if (page == nullptr) return ExceptionKind::kMemTranslation;
+  const Perms wanted = write ? Perms::kWrite : Perms::kRead;
+  if (!has_perm(page->perms, wanted)) return ExceptionKind::kMemProtection;
+  return ExceptionKind::kNone;
+}
+
+MemAccess PagedMemory::load(u64 vaddr, unsigned bytes) const noexcept {
+  MemAccess result;
+  result.fault = probe(vaddr, bytes, /*write=*/false);
+  if (!result.ok()) return result;
+  const Page* page = find_page(vaddr);
+  const u64 offset = vaddr & (kPageBytes - 1);
+  u64 value = 0;
+  std::memcpy(&value, page->data.data() + offset, bytes);  // little-endian host
+  result.value = value;
+  return result;
+}
+
+MemAccess PagedMemory::store(u64 vaddr, unsigned bytes, u64 value) noexcept {
+  MemAccess result;
+  result.fault = probe(vaddr, bytes, /*write=*/true);
+  if (!result.ok()) return result;
+  Page* page = find_page(vaddr);
+  const u64 offset = vaddr & (kPageBytes - 1);
+  std::memcpy(page->data.data() + offset, &value, bytes);
+  return result;
+}
+
+MemAccess PagedMemory::fetch(u64 vaddr) const noexcept {
+  MemAccess result;
+  if (vaddr % 4 != 0) {
+    result.fault = ExceptionKind::kMemAlignment;
+    return result;
+  }
+  const Page* page = find_page(vaddr);
+  if (page == nullptr) {
+    result.fault = ExceptionKind::kMemTranslation;
+    return result;
+  }
+  if (!has_perm(page->perms, Perms::kExec)) {
+    result.fault = ExceptionKind::kMemProtection;
+    return result;
+  }
+  u32 word = 0;
+  std::memcpy(&word, page->data.data() + (vaddr & (kPageBytes - 1)), 4);
+  result.value = word;
+  return result;
+}
+
+bool PagedMemory::is_mapped(u64 vaddr) const noexcept {
+  return find_page(vaddr) != nullptr;
+}
+
+u8 PagedMemory::read_byte(u64 vaddr) const {
+  const Page* page = find_page(vaddr);
+  if (page == nullptr) throw std::out_of_range("read_byte: unmapped address");
+  return page->data[vaddr & (kPageBytes - 1)];
+}
+
+void PagedMemory::write_byte(u64 vaddr, u8 value) {
+  Page* page = find_page(vaddr);
+  if (page == nullptr) throw std::out_of_range("write_byte: unmapped address");
+  page->data[vaddr & (kPageBytes - 1)] = value;
+}
+
+u64 PagedMemory::digest() const noexcept {
+  u64 hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](u64 v) {
+    hash ^= v;
+    hash *= 0x100000001b3ULL;
+    hash ^= hash >> 32;
+  };
+  for (const auto& [index, page] : pages_) {
+    mix(index);
+    mix(static_cast<u64>(page.perms));
+    for (std::size_t i = 0; i < page.data.size(); i += 8) {
+      u64 chunk = 0;
+      std::memcpy(&chunk, page.data.data() + i, 8);
+      mix(chunk);
+    }
+  }
+  return hash;
+}
+
+}  // namespace restore::vm

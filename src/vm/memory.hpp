@@ -1,0 +1,80 @@
+// Sparse paged 64-bit virtual memory with per-page permissions.
+//
+// The paper relies on the virtual address space being much larger than the
+// workload footprint: "a random corruption in a pointer value will result in
+// a pointer to an invalid or unmapped virtual page" (§3.1). This memory model
+// reproduces that: only explicitly mapped 4 KiB pages exist, and every access
+// is checked for translation, alignment, and protection.
+//
+// PagedMemory has value semantics (deep copy) so whole-machine snapshots used
+// by the fault-injection harness and the checkpoint store are plain copies.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/exception.hpp"
+#include "isa/program.hpp"
+
+namespace restore::vm {
+
+inline constexpr u64 kPageBytes = 4096;
+inline constexpr u64 kPageShift = 12;
+
+struct MemAccess {
+  isa::ExceptionKind fault = isa::ExceptionKind::kNone;
+  u64 value = 0;  // loaded value (zero-extended); unused for stores
+  bool ok() const noexcept { return fault == isa::ExceptionKind::kNone; }
+};
+
+class PagedMemory {
+ public:
+  // Map [vaddr, vaddr+bytes) with `perms`, zero-filled. Extends/overwrites
+  // permissions of already-mapped pages.
+  void map_region(u64 vaddr, u64 bytes, isa::Perms perms);
+
+  // Copy a program image (all segments + stack region) into memory.
+  void load_program(const isa::Program& program);
+
+  // Aligned data access of size 1/2/4/8. Checks translation, alignment, and
+  // permissions; loads zero-extend.
+  MemAccess load(u64 vaddr, unsigned bytes) const noexcept;
+  MemAccess store(u64 vaddr, unsigned bytes, u64 value) noexcept;
+
+  // Instruction fetch (4 bytes, requires exec permission).
+  MemAccess fetch(u64 vaddr) const noexcept;
+
+  // Translation/permission probe without data movement; returns the fault an
+  // access of `bytes` at `vaddr` would raise (kNone if it would succeed).
+  isa::ExceptionKind probe(u64 vaddr, unsigned bytes, bool write) const noexcept;
+
+  bool is_mapped(u64 vaddr) const noexcept;
+
+  // Raw byte access for loaders and state comparison; addresses must be
+  // mapped (throws std::out_of_range otherwise).
+  u8 read_byte(u64 vaddr) const;
+  void write_byte(u64 vaddr, u8 value);
+
+  // Deep equality (used by golden-state comparison at end of trial).
+  bool operator==(const PagedMemory& other) const = default;
+
+  // 64-bit FNV-style digest over page contents (used for cheap comparison).
+  u64 digest() const noexcept;
+
+  std::size_t mapped_pages() const noexcept { return pages_.size(); }
+
+ private:
+  struct Page {
+    isa::Perms perms = isa::Perms::kNone;
+    std::vector<u8> data;
+    bool operator==(const Page&) const = default;
+  };
+
+  const Page* find_page(u64 vaddr) const noexcept;
+  Page* find_page(u64 vaddr) noexcept;
+
+  std::map<u64, Page> pages_;  // keyed by page index (vaddr >> kPageShift)
+};
+
+}  // namespace restore::vm

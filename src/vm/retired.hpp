@@ -1,0 +1,54 @@
+// The per-instruction retirement record. Both the architectural VM and the
+// out-of-order core produce this stream; fault-injection trials classify
+// outcomes by comparing a faulty stream against a golden one (paper §4.2:
+// comparison "against an architectural level simulator").
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/exception.hpp"
+
+namespace restore::vm {
+
+struct Retired {
+  u64 pc = 0;
+  u32 insn = 0;
+
+  bool wrote_reg = false;
+  u8 rd = 31;
+  u64 rd_value = 0;
+
+  bool is_store = false;
+  u64 store_addr = 0;
+  u8 store_bytes = 0;
+  u64 store_data = 0;
+  u64 store_old_data = 0;  // previous memory contents (feeds checkpoint undo logs)
+
+  bool is_load = false;
+  u64 load_addr = 0;
+
+  bool is_ctrl = false;        // conditional branch or jump
+  bool is_cond_branch = false;
+  bool taken = false;
+  u64 next_pc = 0;
+
+  bool is_out = false;  // OUT instruction: emitted `out_byte` to the device
+  u8 out_byte = 0;
+  bool is_sync = false;  // synchronizing instruction (forces a checkpoint)
+
+  bool halted = false;
+  isa::ExceptionKind fault = isa::ExceptionKind::kNone;
+
+  // Architectural effect equality: do two retirement records describe the
+  // same committed instruction? (Timing-independent fields only.)
+  bool same_effect(const Retired& other) const noexcept {
+    return pc == other.pc && next_pc == other.next_pc &&
+           wrote_reg == other.wrote_reg && rd == other.rd &&
+           rd_value == other.rd_value && is_store == other.is_store &&
+           store_addr == other.store_addr && store_bytes == other.store_bytes &&
+           store_data == other.store_data && fault == other.fault &&
+           is_out == other.is_out && out_byte == other.out_byte &&
+           is_sync == other.is_sync && halted == other.halted;
+  }
+};
+
+}  // namespace restore::vm

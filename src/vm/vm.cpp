@@ -1,0 +1,171 @@
+#include "vm/vm.hpp"
+
+#include "common/bits.hpp"
+#include "isa/instruction.hpp"
+#include "vm/exec.hpp"
+
+namespace restore::vm {
+
+using isa::DecodedInst;
+using isa::ExceptionKind;
+using isa::Opcode;
+
+Vm::Vm(const isa::Program& program) {
+  memory_.load_program(program);
+  pc_ = program.entry;
+  regs_.fill(0);
+  regs_[30] = program.stack_top;  // sp
+}
+
+u64 Vm::reg(u8 index) const noexcept {
+  return index == isa::kZeroReg ? 0 : regs_[index & 31];
+}
+
+void Vm::set_reg(u8 index, u64 value) noexcept {
+  if (index != isa::kZeroReg) regs_[index & 31] = value;
+}
+
+ArchSnapshot Vm::snapshot() const noexcept {
+  ArchSnapshot snap;
+  snap.regs = regs_;
+  snap.regs[isa::kZeroReg] = 0;
+  snap.pc = pc_;
+  return snap;
+}
+
+void Vm::restore(const ArchSnapshot& snap) noexcept {
+  regs_ = snap.regs;
+  pc_ = snap.pc;
+  status_ = Status::kRunning;
+  fault_ = ExceptionKind::kNone;
+}
+
+std::optional<Retired> Vm::step() {
+  if (status_ != Status::kRunning) return std::nullopt;
+
+  Retired rec;
+  rec.pc = pc_;
+  rec.next_pc = pc_ + 4;
+
+  auto take_fault = [&](ExceptionKind kind) {
+    rec.fault = kind;
+    status_ = Status::kFaulted;
+    fault_ = kind;
+    ++retired_count_;
+    return rec;
+  };
+
+  const MemAccess fetched = memory_.fetch(pc_);
+  if (!fetched.ok()) return take_fault(fetched.fault);
+  rec.insn = static_cast<u32>(fetched.value);
+
+  const DecodedInst inst = isa::decode(rec.insn);
+  if (!inst.valid) return take_fault(ExceptionKind::kIllegalInstruction);
+
+  const u64 rs1 = reg(inst.rs1);
+  const u64 rs2 = reg(inst.rs2);
+
+  switch (isa::format_of(inst.op)) {
+    case isa::Format::kRType:
+    case isa::Format::kIType: {
+      const ExecResult result = exec_int_op(inst, rs1, rs2);
+      if (!result.ok()) return take_fault(result.fault);
+      if (inst.writes_reg()) {
+        rec.wrote_reg = true;
+        rec.rd = inst.rd;
+        rec.rd_value = result.value;
+        set_reg(inst.rd, result.value);
+      }
+      break;
+    }
+    case isa::Format::kLoad: {
+      const u64 addr = effective_address(inst, rs1);
+      rec.is_load = true;
+      rec.load_addr = addr;
+      const MemAccess access = memory_.load(addr, isa::mem_access_bytes(inst.op));
+      if (!access.ok()) return take_fault(access.fault);
+      const u64 value = extend_load(inst.op, access.value);
+      if (inst.writes_reg()) {
+        rec.wrote_reg = true;
+        rec.rd = inst.rd;
+        rec.rd_value = value;
+        set_reg(inst.rd, value);
+      }
+      break;
+    }
+    case isa::Format::kStore: {
+      const u64 addr = effective_address(inst, rs1);
+      const unsigned bytes = isa::mem_access_bytes(inst.op);
+      rec.is_store = true;
+      rec.store_addr = addr;
+      rec.store_bytes = static_cast<u8>(bytes);
+      rec.store_data = rs2 & mask64(bytes * 8);
+      const MemAccess old = memory_.load(addr, bytes);
+      if (old.ok()) rec.store_old_data = old.value;
+      const MemAccess access = memory_.store(addr, bytes, rs2);
+      if (!access.ok()) return take_fault(access.fault);
+      break;
+    }
+    case isa::Format::kBranch: {
+      rec.is_ctrl = true;
+      rec.is_cond_branch = true;
+      rec.taken = eval_branch(inst.op, rs1, rs2);
+      if (rec.taken) rec.next_pc = pc_ + 4 + static_cast<u64>(inst.imm);
+      break;
+    }
+    case isa::Format::kJal: {
+      rec.is_ctrl = true;
+      rec.taken = true;
+      rec.next_pc = pc_ + 4 + static_cast<u64>(inst.imm);
+      if (inst.writes_reg()) {
+        rec.wrote_reg = true;
+        rec.rd = inst.rd;
+        rec.rd_value = pc_ + 4;
+        set_reg(inst.rd, pc_ + 4);
+      }
+      break;
+    }
+    case isa::Format::kJalr: {
+      rec.is_ctrl = true;
+      rec.taken = true;
+      rec.next_pc = jalr_target(inst, rs1);
+      if (inst.writes_reg()) {
+        rec.wrote_reg = true;
+        rec.rd = inst.rd;
+        rec.rd_value = pc_ + 4;
+        set_reg(inst.rd, pc_ + 4);
+      }
+      break;
+    }
+    case isa::Format::kSystem: {
+      if (inst.op == Opcode::kHalt) {
+        rec.halted = true;
+        status_ = Status::kHalted;
+      } else if (inst.op == Opcode::kSync) {
+        rec.is_sync = true;  // single-core machine: ordering is a no-op
+      } else {  // OUT
+        rec.is_out = true;
+        rec.out_byte = static_cast<u8>(reg(inst.rs1) & 0xFF);
+        output_.push_back(static_cast<char>(rec.out_byte));
+      }
+      break;
+    }
+    case isa::Format::kIllegal:
+      return take_fault(ExceptionKind::kIllegalInstruction);
+  }
+
+  pc_ = rec.next_pc;
+  ++retired_count_;
+  return rec;
+}
+
+u64 Vm::run(u64 max_insns) {
+  u64 executed = 0;
+  while (executed < max_insns && status_ == Status::kRunning) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace restore::vm

@@ -1,0 +1,75 @@
+// The architectural ("virtual machine") simulator: executes SRA-64 programs
+// one instruction at a time with exact ISA semantics. This is the model the
+// paper uses for its §3.1 fault-injection study ("an instruction set
+// simulator capable of running Alpha ISA binaries"), and it doubles as the
+// golden reference for the microarchitectural core.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+#include "vm/memory.hpp"
+#include "vm/retired.hpp"
+
+namespace restore::vm {
+
+// A pure architectural snapshot: what ReStore's checkpoint hardware saves.
+struct ArchSnapshot {
+  std::array<u64, isa::kNumArchRegs> regs{};
+  u64 pc = 0;
+  bool operator==(const ArchSnapshot&) const = default;
+};
+
+class Vm {
+ public:
+  enum class Status : u8 {
+    kRunning,
+    kHalted,   // executed HALT
+    kFaulted,  // raised an ISA exception (no OS handler in this world)
+  };
+
+  explicit Vm(const isa::Program& program);
+
+  Status status() const noexcept { return status_; }
+  bool running() const noexcept { return status_ == Status::kRunning; }
+  isa::ExceptionKind fault() const noexcept { return fault_; }
+
+  u64 pc() const noexcept { return pc_; }
+  // Register read; r31 always reads zero.
+  u64 reg(u8 index) const noexcept;
+  void set_reg(u8 index, u64 value) noexcept;
+
+  PagedMemory& memory() noexcept { return memory_; }
+  const PagedMemory& memory() const noexcept { return memory_; }
+
+  const std::string& output() const noexcept { return output_; }
+  u64 retired_count() const noexcept { return retired_count_; }
+
+  ArchSnapshot snapshot() const noexcept;
+  // Restore registers+pc (memory is restored separately via undo logs).
+  void restore(const ArchSnapshot& snap) noexcept;
+
+  // Execute one instruction. Returns the retirement record, or nullopt if the
+  // machine is not running. A faulting instruction still returns a record
+  // (with `fault` set) and transitions the VM to kFaulted.
+  std::optional<Retired> step();
+
+  // Run until halt/fault or until `max_insns` more instructions retire.
+  // Returns the number of instructions retired by this call.
+  u64 run(u64 max_insns);
+
+ private:
+  PagedMemory memory_;
+  std::array<u64, isa::kNumArchRegs> regs_{};
+  u64 pc_ = 0;
+  Status status_ = Status::kRunning;
+  isa::ExceptionKind fault_ = isa::ExceptionKind::kNone;
+  std::string output_;
+  u64 retired_count_ = 0;
+};
+
+}  // namespace restore::vm

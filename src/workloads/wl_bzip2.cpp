@@ -1,0 +1,125 @@
+// bzip2-analog: move-to-front transform followed by run-length encoding over
+// a low-entropy input buffer. Mirrors bzip2's inner loops: byte scans over a
+// small table, data-dependent branches, and streaming stores.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+// Low-entropy input: runs of symbols drawn from a 16-symbol alphabet so the
+// MTF scan loop stays short, as it does on compressible data.
+std::vector<u8> make_input(std::size_t size) {
+  Rng rng(0xB21B);
+  std::vector<u8> data;
+  data.reserve(size);
+  u8 symbol = 0;
+  while (data.size() < size) {
+    symbol = static_cast<u8>(rng.below(16) * 7 + 3);
+    const u64 run = 1 + rng.below(6);
+    for (u64 i = 0; i < run && data.size() < size; ++i) data.push_back(symbol);
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string wl_bzip2_source() {
+  constexpr std::size_t kInputLen = 768;
+  std::ostringstream out;
+  out << R"(# bzip2-analog: MTF + RLE
+main:
+  # Initialise the 256-entry move-to-front table: mtf[i] = i.
+  la t0, mtf
+  li t1, 0
+mtf_init:
+  sb t1, 0(t0)
+  addi t0, t0, 1
+  addi t1, t1, 1
+  slti t2, t1, 256
+  bnez t2, mtf_init
+
+  la s0, input        # input cursor
+  li s1, )" << kInputLen << R"(
+  la s2, output       # output cursor
+  li s3, -1           # current run symbol (MTF index)
+  li s4, 0            # current run length
+  li r1, 0            # checksum accumulator
+
+byte_loop:
+  beqz s1, flush_run
+  lbu t0, 0(s0)
+  addi s0, s0, 1
+  addi s1, s1, -1
+
+  # MTF: linear scan for t0, index in t2.
+  la t1, mtf
+  li t2, 0
+mtf_scan:
+  lbu t3, 0(t1)
+  beq t3, t0, mtf_found
+  addi t1, t1, 1
+  addi t2, t2, 1
+  j mtf_scan
+mtf_found:
+  mv t7, t2           # preserve the MTF index for RLE
+  # Shift table[0..idx-1] up one slot, then place the symbol at the front.
+  la t4, mtf
+  add t5, t4, t2
+mtf_shift:
+  beqz t2, mtf_place
+  lbu t6, -1(t5)
+  sb t6, 0(t5)
+  addi t5, t5, -1
+  addi t2, t2, -1
+  j mtf_shift
+mtf_place:
+  sb t0, 0(t4)
+
+  # RLE over MTF indices.
+  beq t7, s3, extend_run
+  call emit_run
+  mv s3, t7
+  li s4, 1
+  j byte_loop
+extend_run:
+  addi s4, s4, 1
+  # Cap runs at 255 so they fit one output byte.
+  slti t0, s4, 255
+  bnez t0, byte_loop
+  call emit_run
+  li s4, 0
+  j byte_loop
+
+flush_run:
+  call emit_run
+  j __emit
+
+# emit_run: append (symbol s3, length s4) to the output stream and fold the
+# pair into the checksum. Skips empty runs (s4 == 0 or s3 == -1 sentinel).
+emit_run:
+  beqz s4, emit_done
+  sb s3, 0(s2)
+  sb s4, 1(s2)
+  addi s2, s2, 2
+  # checksum = checksum*31 + symbol*256 + length
+  slli t8, s3, 8
+  add t8, t8, s4
+  li t9, 31
+  mul r1, r1, t9
+  add r1, r1, t8
+emit_done:
+  ret
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << "mtf: .space 256\n";
+  out << "input:\n" << detail::emit_bytes(make_input(kInputLen));
+  out << "output: .space 2048\n";
+  return out.str();
+}
+
+}  // namespace restore::workloads

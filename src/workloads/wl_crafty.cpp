@@ -1,0 +1,102 @@
+// crafty-analog (extended set): chess-engine bitboard kernels — attack-set
+// generation by shift/mask, population counts, and a perft-style accumulation
+// over pseudo-random positions. Almost pure 64-bit ALU work with very little
+// memory traffic, the opposite mix from vortex/mcf.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+std::vector<u64> make_positions(std::size_t count) {
+  Rng rng(0xC4AF);
+  std::vector<u64> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Sparse occupancy boards (~12 pieces).
+    u64 board = 0;
+    for (int p = 0; p < 12; ++p) board |= u64{1} << rng.below(64);
+    positions.push_back(board);
+  }
+  return positions;
+}
+
+}  // namespace
+
+std::string wl_crafty_source() {
+  constexpr std::size_t kPositions = 160;
+  std::ostringstream out;
+  out << R"(# crafty-analog: bitboard attack generation + popcount
+main:
+  la s0, boards
+  li s1, )" << kPositions << R"(
+  li r1, 0            # checksum
+
+pos_loop:
+  beqz s1, finish
+  ld s2, 0(s0)        # occupancy board
+  addi s0, s0, 8
+  addi s1, s1, -1
+
+  # King-attack spread: north/south/east/west + diagonals, with file masks to
+  # stop wraparound (files A and H).
+  li t4, 0x7f7f
+  slli t4, t4, 16
+  ori t4, t4, 0x7f7f
+  slli t4, t4, 16
+  ori t4, t4, 0x7f7f
+  slli t4, t4, 16
+  ori t4, t4, 0x7f7f  # t4 = 0x7f7f... (not-H-file)
+  li t5, 0xfefe
+  slli t5, t5, 16
+  ori t5, t5, 0xfefe
+  slli t5, t5, 16
+  ori t5, t5, 0xfefe
+  slli t5, t5, 16
+  ori t5, t5, 0xfefe  # t5 = 0xfefe... (not-A-file)
+
+  slli t0, s2, 8      # north
+  srli t1, s2, 8      # south
+  and t2, s2, t4
+  slli t2, t2, 1      # east (masked)
+  and t3, s2, t5
+  srli t3, t3, 1      # west (masked)
+  or t0, t0, t1
+  or t0, t0, t2
+  or t0, t0, t3       # attack set
+
+  # popcount(t0) via Kernighan's loop (data-dependent trip count)
+  li t6, 0
+popcnt:
+  beqz t0, counted
+  addi t7, t0, -1
+  and t0, t0, t7
+  addi t6, t6, 1
+  j popcnt
+counted:
+
+  # perft-style accumulation: fold count and a board hash into the checksum
+  li t8, 0x9E37
+  slli t8, t8, 16
+  ori t8, t8, 0x79B9  # golden-ratio-ish multiplier
+  mul t9, s2, t8
+  srli t9, t9, 32
+  add t9, t9, t6
+  li t10, 131
+  mul r1, r1, t10
+  xor r1, r1, t9
+  j pos_loop
+
+finish:
+  j __emit
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n.align 8\n";
+  out << "boards:\n" << detail::emit_words64(make_positions(kPositions));
+  return out.str();
+}
+
+}  // namespace restore::workloads

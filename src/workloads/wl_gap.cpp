@@ -1,0 +1,129 @@
+// gap-analog: computational group theory on permutations — repeated
+// composition of byte permutations and cycle-structure analysis. Mirrors
+// gap's indexed table walks and short data-dependent loops.
+#include <numeric>
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+std::vector<u8> make_permutation(u64 seed, std::size_t n) {
+  std::vector<u8> perm(n);
+  std::iota(perm.begin(), perm.end(), u8{0});
+  Rng rng(seed);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::string wl_gap_source() {
+  constexpr int kPermSize = 64;
+  constexpr int kRounds = 48;
+  std::ostringstream out;
+  out << R"(# gap-analog: permutation composition + cycle structure
+main:
+  li s0, )" << kRounds << R"(     # composition rounds
+  li r1, 0                        # checksum
+
+round_loop:
+  beqz s0, analyse
+
+  # r = p o q  (r[i] = p[q[i]])
+  la t0, perm_q
+  la t1, perm_p
+  la t2, perm_r
+  li t3, 0
+compose:
+  lbu t4, 0(t0)
+  add t5, t1, t4
+  lbu t6, 0(t5)
+  sb t6, 0(t2)
+  addi t0, t0, 1
+  addi t2, t2, 1
+  addi t3, t3, 1
+  slti t7, t3, )" << kPermSize << R"(
+  bnez t7, compose
+
+  # p <- r, and fold r[0] into the checksum.
+  la t0, perm_r
+  la t1, perm_p
+  li t3, 0
+copy_back:
+  lbu t4, 0(t0)
+  sb t4, 0(t1)
+  addi t0, t0, 1
+  addi t1, t1, 1
+  addi t3, t3, 1
+  slti t7, t3, )" << kPermSize << R"(
+  bnez t7, copy_back
+  la t0, perm_r
+  lbu t4, 0(t0)
+  slli r1, r1, 1
+  add r1, r1, t4
+
+  addi s0, s0, -1
+  j round_loop
+
+analyse:
+  # Cycle structure of the final permutation: for each unvisited start,
+  # follow the cycle, marking visited, and fold cycle lengths into checksum.
+  la s1, visited
+  li t3, 0
+clear_visited:
+  sb zero, 0(s1)
+  addi s1, s1, 1
+  addi t3, t3, 1
+  slti t7, t3, )" << kPermSize << R"(
+  bnez t7, clear_visited
+
+  li s2, 0            # start index
+start_loop:
+  la t0, visited
+  add t0, t0, s2
+  lbu t1, 0(t0)
+  bnez t1, next_start
+  # Walk the cycle beginning at s2.
+  mv t2, s2           # current element
+  li t3, 0            # cycle length
+cycle_walk:
+  la t4, visited
+  add t4, t4, t2
+  lbu t5, 0(t4)
+  bnez t5, cycle_done
+  li t5, 1
+  sb t5, 0(t4)
+  la t6, perm_p
+  add t6, t6, t2
+  lbu t2, 0(t6)
+  addi t3, t3, 1
+  j cycle_walk
+cycle_done:
+  # checksum = checksum*131 + length*64 + start
+  li t8, 131
+  mul r1, r1, t8
+  slli t9, t3, 6
+  add t9, t9, s2
+  add r1, r1, t9
+next_start:
+  addi s2, s2, 1
+  slti t7, s2, )" << kPermSize << R"(
+  bnez t7, start_loop
+  j __emit
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << "perm_p:\n" << detail::emit_bytes(make_permutation(0xA1, kPermSize));
+  out << "perm_q:\n" << detail::emit_bytes(make_permutation(0xB2, kPermSize));
+  out << "perm_r: .space " << kPermSize << "\n";
+  out << "visited: .space " << kPermSize << "\n";
+  return out.str();
+}
+
+}  // namespace restore::workloads

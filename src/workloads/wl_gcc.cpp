@@ -1,0 +1,209 @@
+// gcc-analog: expression-tree construction from an RPN token stream (bump
+// allocation, pointer-heavy stores), recursive evaluation, a constant-folding
+// pass, and re-evaluation. Mirrors gcc's tree manipulation: pointer chasing,
+// recursion, and dispatch on node kinds.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+// Token stream: values 0..3 are binary operators (add/sub/mul/xor); values
+// >= 4 encode the leaf constant (token - 4). The stream is generated so the
+// operand-stack depth stays within [1, 24] and ends at exactly 1.
+std::vector<u8> make_token_stream(std::size_t tokens) {
+  Rng rng(0x6CC6);
+  std::vector<u8> stream;
+  stream.reserve(tokens + 32);
+  int depth = 0;
+  while (stream.size() < tokens) {
+    const bool can_op = depth >= 2;
+    const bool must_push = depth < 2;
+    const bool push = must_push || (!can_op ? true : rng.below(100) < 45 || depth >= 24);
+    if (push) {
+      stream.push_back(static_cast<u8>(4 + rng.below(120)));
+      ++depth;
+    } else {
+      stream.push_back(static_cast<u8>(rng.below(4)));
+      --depth;
+    }
+  }
+  while (depth > 1) {
+    stream.push_back(static_cast<u8>(rng.below(4)));
+    --depth;
+  }
+  return stream;
+}
+
+}  // namespace
+
+std::string wl_gcc_source() {
+  constexpr std::size_t kTokens = 480;
+  const auto stream = make_token_stream(kTokens);
+  std::ostringstream out;
+  // Node layout (32 bytes): +0 op (0..3 = binary op, 255 = leaf),
+  // +8 left ptr, +16 right ptr, +24 value.
+  out << R"(# gcc-analog: expression trees (build, eval, fold, re-eval)
+main:
+  la s0, tokens       # token cursor
+  li s1, )" << stream.size() << R"(    # tokens remaining
+  la s2, heap         # bump allocator cursor
+  la s3, opstack      # operand stack base (grows up, holds node ptrs)
+
+build_loop:
+  beqz s1, built
+  lbu t0, 0(s0)
+  addi s0, s0, 1
+  addi s1, s1, -1
+  slti t1, t0, 4
+  bnez t1, build_op
+
+  # Leaf: allocate node {op=255, value=token-4}.
+  li t2, 255
+  sb t2, 0(s2)
+  addi t3, t0, -4
+  sd t3, 24(s2)
+  sd s2, 0(s3)        # push node
+  addi s3, s3, 8
+  addi s2, s2, 32
+  j build_loop
+
+build_op:
+  # Operator: pop right, pop left, allocate op node, push it.
+  addi s3, s3, -8
+  ld t2, 0(s3)        # right
+  addi s3, s3, -8
+  ld t3, 0(s3)        # left
+  sb t0, 0(s2)
+  sd t3, 8(s2)
+  sd t2, 16(s2)
+  sd s2, 0(s3)
+  addi s3, s3, 8
+  addi s2, s2, 32
+  j build_loop
+
+built:
+  addi s3, s3, -8
+  ld s4, 0(s3)        # root node
+
+  mv a0, s4
+  call eval           # first evaluation
+  mv s5, rv           # save value
+
+  mv a0, s4
+  call fold           # constant folding pass (returns folded-node count)
+  mv s6, rv
+
+  mv a0, s4
+  call eval           # re-evaluation must agree
+  # checksum = eval1 * 2654435761 + eval2 + folds*65599
+  li t0, 2654435761
+  mul r1, s5, t0
+  add r1, r1, rv
+  li t0, 65599
+  mul t1, s6, t0
+  add r1, r1, t1
+  j __emit
+
+# eval(a0 = node) -> rv: recursive evaluation with op dispatch.
+eval:
+  lbu t0, 0(a0)
+  seqi t1, t0, 255
+  beqz t1, eval_op
+  ld rv, 24(a0)
+  ret
+eval_op:
+  addi sp, sp, -32
+  sd ra, 0(sp)
+  sd s0, 8(sp)
+  sd s1, 16(sp)
+  sd a0, 24(sp)
+  mv s0, a0
+  ld a0, 8(s0)
+  call eval
+  mv s1, rv           # left value
+  ld a0, 16(s0)
+  call eval           # rv = right value
+  lbu t0, 0(s0)
+  beqz t0, eval_add
+  seqi t1, t0, 1
+  bnez t1, eval_sub
+  seqi t1, t0, 2
+  bnez t1, eval_mul
+  xor rv, s1, rv
+  j eval_done
+eval_add:
+  add rv, s1, rv
+  j eval_done
+eval_sub:
+  sub rv, s1, rv
+  j eval_done
+eval_mul:
+  mul rv, s1, rv
+eval_done:
+  ld ra, 0(sp)
+  ld s0, 8(sp)
+  ld s1, 16(sp)
+  ld a0, 24(sp)
+  addi sp, sp, 32
+  ret
+
+# fold(a0 = node) -> rv: replace op nodes whose children are both leaves with
+# a leaf holding the computed value; returns the number of folded nodes.
+fold:
+  lbu t0, 0(a0)
+  seqi t1, t0, 255
+  beqz t1, fold_op
+  li rv, 0
+  ret
+fold_op:
+  addi sp, sp, -32
+  sd ra, 0(sp)
+  sd s0, 8(sp)
+  sd s1, 16(sp)
+  sd a0, 24(sp)
+  mv s0, a0
+  ld a0, 8(s0)
+  call fold
+  mv s1, rv
+  ld a0, 16(s0)
+  call fold
+  add s1, s1, rv      # folds in subtrees
+  # If both children are now leaves, fold this node.
+  ld t2, 8(s0)
+  lbu t3, 0(t2)
+  seqi t4, t3, 255
+  beqz t4, fold_no
+  ld t5, 16(s0)
+  lbu t6, 0(t5)
+  seqi t7, t6, 255
+  beqz t7, fold_no
+  # Compute value via eval of this node (children are leaves: cheap).
+  mv a0, s0
+  call eval
+  li t0, 255
+  sb t0, 0(s0)
+  sd rv, 24(s0)
+  addi s1, s1, 1
+fold_no:
+  mv rv, s1
+  ld ra, 0(sp)
+  ld s0, 8(sp)
+  ld s1, 16(sp)
+  ld a0, 24(sp)
+  addi sp, sp, 32
+  ret
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << "tokens:\n" << detail::emit_bytes(stream);
+  out << ".align 8\n";
+  out << "opstack: .space 512\n";
+  out << "heap: .space " << (stream.size() * 32 + 64) << "\n";
+  return out.str();
+}
+
+}  // namespace restore::workloads

@@ -1,0 +1,146 @@
+// gzip-analog: LZ77-style compression with a hash-head table of previous
+// positions and greedy match extension. Mirrors gzip's deflate inner loop:
+// hashing, backward matching, and token emission.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+// Input with genuine repetition: random phrases spliced from earlier output.
+std::vector<u8> make_input(std::size_t size) {
+  Rng rng(0x6219);
+  std::vector<u8> data;
+  data.reserve(size);
+  while (data.size() < size) {
+    if (data.size() > 32 && rng.below(2)) {
+      // Copy an earlier phrase.
+      const u64 start = rng.below(data.size() - 16);
+      const u64 len = 4 + rng.below(12);
+      for (u64 i = 0; i < len && data.size() < size; ++i) {
+        data.push_back(data[start + i]);
+      }
+    } else {
+      const u64 len = 2 + rng.below(6);
+      for (u64 i = 0; i < len && data.size() < size; ++i) {
+        data.push_back(static_cast<u8>(32 + rng.below(64)));
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string wl_gzip_source() {
+  constexpr std::size_t kInputLen = 1024;
+  std::ostringstream out;
+  out << R"(# gzip-analog: LZ77 with hash heads
+main:
+  # Clear the 256-entry hash-head table (word32 entries, 0 = empty).
+  la t0, heads
+  li t1, 256
+clear_heads:
+  sw zero, 0(t0)
+  addi t0, t0, 4
+  addi t1, t1, -1
+  bnez t1, clear_heads
+
+  li s0, 0            # position
+  li s1, )" << kInputLen << R"(    # input length
+  la s2, input
+  li r1, 0            # checksum
+  li s5, 0            # token count
+
+pos_loop:
+  addi t0, s1, -4
+  bge s0, t0, tail    # need 4 bytes of lookahead for a match attempt
+
+  # hash of the 2-byte prefix at position s0
+  add t1, s2, s0
+  lbu t2, 0(t1)
+  lbu t3, 1(t1)
+  slli t4, t2, 4
+  xor t4, t4, t3
+  andi t4, t4, 255
+  la t5, heads
+  slli t6, t4, 2
+  add t5, t5, t6      # &heads[h]
+  lwu t7, 0(t5)       # candidate position + 1 (0 = empty)
+  addi t8, s0, 1
+  sw t8, 0(t5)        # heads[h] = pos + 1
+
+  beqz t7, literal
+  addi t7, t7, -1     # candidate position
+  bge t7, s0, literal # must be strictly earlier
+
+  # extend the match up to 15 bytes or end of input
+  li t9, 0            # match length
+  add t0, s2, t7      # candidate cursor
+  add t1, s2, s0      # current cursor
+match_loop:
+  add t2, s0, t9
+  bge t2, s1, match_done
+  slti t3, t9, 15
+  beqz t3, match_done
+  lbu t4, 0(t0)
+  lbu t5, 0(t1)
+  bne t4, t5, match_done
+  addi t0, t0, 1
+  addi t1, t1, 1
+  addi t9, t9, 1
+  j match_loop
+match_done:
+  slti t3, t9, 4
+  bnez t3, literal    # matches shorter than 4 are emitted as literals
+
+  # emit (length, distance) token: checksum = checksum*33 + len*4096 + dist
+  sub t4, s0, t7      # distance
+  slli t5, t9, 12
+  add t5, t5, t4
+  li t6, 33
+  mul r1, r1, t6
+  add r1, r1, t5
+  addi s5, s5, 1
+  add s0, s0, t9
+  j pos_loop
+
+literal:
+  add t1, s2, s0
+  lbu t2, 0(t1)
+  li t6, 33
+  mul r1, r1, t6
+  add r1, r1, t2
+  addi s5, s5, 1
+  addi s0, s0, 1
+  j pos_loop
+
+tail:
+  # Remaining bytes are literals.
+  bge s0, s1, finish
+  add t1, s2, s0
+  lbu t2, 0(t1)
+  li t6, 33
+  mul r1, r1, t6
+  add r1, r1, t2
+  addi s5, s5, 1
+  addi s0, s0, 1
+  j tail
+
+finish:
+  slli t0, s5, 48
+  xor r1, r1, t0      # fold token count into the checksum
+  j __emit
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << ".align 4\n";
+  out << "heads: .space 1024\n";  // 256 * 4
+  out << "input:\n" << detail::emit_bytes(make_input(kInputLen));
+  return out.str();
+}
+
+}  // namespace restore::workloads

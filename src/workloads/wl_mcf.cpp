@@ -1,0 +1,116 @@
+// mcf-analog: Bellman-Ford shortest-path relaxation over an edge list.
+// Mirrors mcf's network-simplex flavour: repeated sweeps over edge arrays
+// with data-dependent updates and an early-exit convergence test.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+constexpr u32 kNodes = 64;
+constexpr u32 kEdges = 288;
+
+// Edge list as (src, dst, weight) triples. The graph is connected from node 0
+// via a random spanning path plus random extra edges.
+std::vector<u32> make_edges() {
+  Rng rng(0x3CF3);
+  std::vector<u32> triples;
+  triples.reserve(kEdges * 3);
+  // Spanning chain guarantees reachability (so distances are finite).
+  for (u32 i = 1; i < kNodes; ++i) {
+    triples.push_back(i - 1);
+    triples.push_back(i);
+    triples.push_back(static_cast<u32>(1 + rng.below(64)));
+  }
+  while (triples.size() < kEdges * 3) {
+    const u32 src = static_cast<u32>(rng.below(kNodes));
+    u32 dst = static_cast<u32>(rng.below(kNodes));
+    if (dst == src) dst = (dst + 1) % kNodes;
+    triples.push_back(src);
+    triples.push_back(dst);
+    triples.push_back(static_cast<u32>(1 + rng.below(250)));
+  }
+  return triples;
+}
+
+}  // namespace
+
+std::string wl_mcf_source() {
+  std::ostringstream out;
+  out << R"(# mcf-analog: Bellman-Ford over an edge list
+main:
+  # dist[0] = 0; dist[i] = BIG for i > 0.
+  la t0, dist
+  sd zero, 0(t0)
+  addi t0, t0, 8
+  li t1, 0x3FFFFFFF
+  li t2, 1
+init_loop:
+  sd t1, 0(t0)
+  addi t0, t0, 8
+  addi t2, t2, 1
+  slti t3, t2, )" << kNodes << R"(
+  bnez t3, init_loop
+
+  li s0, 0            # round counter
+round_loop:
+  li s1, 0            # changed flag
+  la s2, edges
+  li s3, 0            # edge index
+edge_loop:
+  lwu t0, 0(s2)       # src
+  lwu t1, 4(s2)       # dst
+  lwu t2, 8(s2)       # weight
+  la t3, dist
+  slli t4, t0, 3
+  add t4, t3, t4
+  ld t5, 0(t4)        # dist[src]
+  add t5, t5, t2      # candidate
+  slli t6, t1, 3
+  add t6, t3, t6
+  ld t7, 0(t6)        # dist[dst]
+  bge t5, t7, no_relax
+  sd t5, 0(t6)
+  li s1, 1
+no_relax:
+  addi s2, s2, 12
+  addi s3, s3, 1
+  slti t8, s3, )" << kEdges << R"(
+  bnez t8, edge_loop
+
+  addi s0, s0, 1
+  beqz s1, converged
+  slti t8, s0, )" << kNodes << R"(
+  bnez t8, round_loop
+
+converged:
+  # checksum: fold all distances plus the round count.
+  li r1, 0
+  la t0, dist
+  li t1, 0
+sum_loop:
+  ld t2, 0(t0)
+  li t3, 31
+  mul r1, r1, t3
+  add r1, r1, t2
+  addi t0, t0, 8
+  addi t1, t1, 1
+  slti t3, t1, )" << kNodes << R"(
+  bnez t3, sum_loop
+  slli t4, s0, 16
+  add r1, r1, t4
+  j __emit
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << ".align 8\n";
+  out << "dist: .space " << (kNodes * 8) << "\n";
+  out << ".align 4\n";
+  out << "edges:\n" << detail::emit_words32(make_edges());
+  return out.str();
+}
+
+}  // namespace restore::workloads

@@ -1,0 +1,206 @@
+// parser-analog: recursive-descent parsing and evaluation of arithmetic
+// expression statements. Mirrors parser's character scanning, deep call
+// recursion, and dense data-dependent branching.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+// Generate one random expression with bounded nesting depth.
+void gen_expr(Rng& rng, std::string& out, int depth);
+
+void gen_factor(Rng& rng, std::string& out, int depth) {
+  const u64 pick = rng.below(10);
+  if (depth > 0 && pick < 3) {
+    out.push_back('(');
+    gen_expr(rng, out, depth - 1);
+    out.push_back(')');
+  } else if (depth > 0 && pick == 3) {
+    out.push_back('-');
+    gen_factor(rng, out, depth - 1);
+  } else {
+    out += std::to_string(1 + rng.below(999));
+  }
+}
+
+void gen_term(Rng& rng, std::string& out, int depth) {
+  gen_factor(rng, out, depth);
+  const u64 extra = rng.below(3);
+  for (u64 i = 0; i < extra; ++i) {
+    out.push_back('*');
+    gen_factor(rng, out, depth);
+  }
+}
+
+void gen_expr(Rng& rng, std::string& out, int depth) {
+  gen_term(rng, out, depth);
+  const u64 extra = rng.below(4);
+  for (u64 i = 0; i < extra; ++i) {
+    out.push_back(rng.below(2) ? '+' : '-');
+    gen_term(rng, out, depth);
+  }
+}
+
+std::string make_text(std::size_t statements) {
+  Rng rng(0x9A25E2);
+  std::string text;
+  for (std::size_t i = 0; i < statements; ++i) {
+    gen_expr(rng, text, 4);
+    text.push_back(';');
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string wl_parser_source() {
+  const std::string text = make_text(40);
+  std::ostringstream out;
+  out << R"(# parser-analog: recursive-descent expression evaluator
+main:
+  la t0, text
+  la t1, cursor
+  sd t0, 0(t1)
+  li s8, 0            # checksum (s8: rv aliases r1, so r1 is not safe here)
+
+stmt_loop:
+  la t1, cursor
+  ld t2, 0(t1)
+  lbu t3, 0(t2)
+  beqz t3, all_done   # NUL terminator
+  call parse_expr
+  # consume the ';'
+  la t1, cursor
+  ld t2, 0(t1)
+  addi t2, t2, 1
+  sd t2, 0(t1)
+  # checksum = checksum * 16777619 ^ value
+  li t4, 16777619
+  mul s8, s8, t4
+  xor s8, s8, rv
+  j stmt_loop
+all_done:
+  mv r1, s8
+  j __emit
+
+# ---- helpers ----
+# peek() -> rv: current character without consuming.
+peek:
+  la t0, cursor
+  ld t1, 0(t0)
+  lbu rv, 0(t1)
+  ret
+
+# advance(): consume one character.
+advance:
+  la t0, cursor
+  ld t1, 0(t0)
+  addi t1, t1, 1
+  sd t1, 0(t0)
+  ret
+
+# parse_expr() -> rv: term (('+'|'-') term)*
+parse_expr:
+  addi sp, sp, -16
+  sd ra, 0(sp)
+  sd s0, 8(sp)
+  call parse_term
+  mv s0, rv
+expr_loop:
+  call peek
+  seqi t0, rv, 43     # '+'
+  bnez t0, expr_add
+  seqi t0, rv, 45     # '-'
+  bnez t0, expr_sub
+  mv rv, s0
+  ld ra, 0(sp)
+  ld s0, 8(sp)
+  addi sp, sp, 16
+  ret
+expr_add:
+  call advance
+  call parse_term
+  add s0, s0, rv
+  j expr_loop
+expr_sub:
+  call advance
+  call parse_term
+  sub s0, s0, rv
+  j expr_loop
+
+# parse_term() -> rv: factor ('*' factor)*
+parse_term:
+  addi sp, sp, -16
+  sd ra, 0(sp)
+  sd s0, 8(sp)
+  call parse_factor
+  mv s0, rv
+term_loop:
+  call peek
+  seqi t0, rv, 42     # '*'
+  beqz t0, term_done
+  call advance
+  call parse_factor
+  mul s0, s0, rv
+  j term_loop
+term_done:
+  mv rv, s0
+  ld ra, 0(sp)
+  ld s0, 8(sp)
+  addi sp, sp, 16
+  ret
+
+# parse_factor() -> rv: number | '(' expr ')' | '-' factor
+parse_factor:
+  addi sp, sp, -16
+  sd ra, 0(sp)
+  sd s0, 8(sp)
+  call peek
+  seqi t0, rv, 40     # '('
+  bnez t0, factor_paren
+  seqi t0, rv, 45     # '-'
+  bnez t0, factor_neg
+  # number: digits
+  li s0, 0
+digit_loop:
+  call peek
+  slti t0, rv, 48     # < '0'
+  bnez t0, factor_done
+  slti t0, rv, 58     # <= '9'
+  beqz t0, factor_done
+  addi t1, rv, -48
+  li t2, 10
+  mul s0, s0, t2
+  add s0, s0, t1
+  call advance
+  j digit_loop
+factor_paren:
+  call advance        # consume '('
+  call parse_expr
+  mv s0, rv
+  call advance        # consume ')'
+  j factor_done
+factor_neg:
+  call advance        # consume '-'
+  call parse_factor
+  sub s0, zero, rv
+factor_done:
+  mv rv, s0
+  ld ra, 0(sp)
+  ld s0, 8(sp)
+  addi sp, sp, 16
+  ret
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << ".align 8\n";
+  out << "cursor: .word64 0\n";
+  out << "text: .asciz \"" << text << "\"\n";
+  return out.str();
+}
+
+}  // namespace restore::workloads

@@ -1,0 +1,167 @@
+// twolf-analog (extended set): simulated-annealing standard-cell placement —
+// random cell swaps with a Manhattan wirelength cost function and a cooling
+// acceptance threshold. An in-assembly LCG drives the annealing schedule, so
+// the kernel mixes indexed loads/stores, multiplies, data-dependent branches
+// and abs-value idioms.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+constexpr u32 kCells = 32;
+constexpr u32 kNets = 48;
+constexpr u32 kSwaps = 220;
+
+// Cell coordinates (x, y) packed as two word32s.
+std::vector<u32> make_cells() {
+  Rng rng(0x201F);
+  std::vector<u32> coords;
+  coords.reserve(kCells * 2);
+  for (u32 i = 0; i < kCells; ++i) {
+    coords.push_back(static_cast<u32>(rng.below(64)));
+    coords.push_back(static_cast<u32>(rng.below(64)));
+  }
+  return coords;
+}
+
+// Two-pin nets: pairs of cell indices.
+std::vector<u32> make_nets() {
+  Rng rng(0x2E75);
+  std::vector<u32> nets;
+  nets.reserve(kNets * 2);
+  for (u32 i = 0; i < kNets; ++i) {
+    const u32 a = static_cast<u32>(rng.below(kCells));
+    u32 b = static_cast<u32>(rng.below(kCells));
+    if (b == a) b = (b + 1) % kCells;
+    nets.push_back(a);
+    nets.push_back(b);
+  }
+  return nets;
+}
+
+}  // namespace
+
+std::string wl_twolf_source() {
+  std::ostringstream out;
+  out << R"(# twolf-analog: annealing placement with Manhattan wirelength
+main:
+  li s5, 12345        # LCG state
+  li s6, )" << kSwaps << R"(    # remaining swaps
+  li s7, 4096         # "temperature" threshold (cools every swap)
+  li s8, 0            # checksum (s8: rv aliases r1)
+
+  call wirelength
+  mv s4, rv           # current cost
+
+swap_loop:
+  beqz s6, finish
+
+  # LCG: s5 = s5 * 1103515245 + 12345 (mod 2^31); pick two cells.
+  li t0, 0x41C6
+  slli t0, t0, 16
+  ori t0, t0, 0x4E6D
+  mul s5, s5, t0
+  addi s5, s5, 12345
+  li t1, 0x7FFF
+  slli t1, t1, 16
+  ori t1, t1, 0xFFFF
+  and s5, s5, t1
+
+  srli t2, s5, 3
+  andi t2, t2, 31     # cell a
+  srli t3, s5, 9
+  andi t3, t3, 31     # cell b
+
+  # Swap coordinates of cells a and b (8 bytes each: x,y word32 pairs).
+  la t4, cells
+  slli t5, t2, 3
+  add t5, t4, t5
+  slli t6, t3, 3
+  add t6, t4, t6
+  ld t7, 0(t5)
+  ld t8, 0(t6)
+  sd t8, 0(t5)
+  sd t7, 0(t6)
+
+  call wirelength     # rv = new cost
+
+  # Accept if better, or if worse by less than the temperature.
+  sub t0, rv, s4      # delta
+  blt t0, s7, accept
+  # Reject: swap back.
+  la t4, cells
+  slli t5, t2, 3
+  add t5, t4, t5
+  slli t6, t3, 3
+  add t6, t4, t6
+  ld t7, 0(t5)
+  ld t8, 0(t6)
+  sd t8, 0(t5)
+  sd t7, 0(t6)
+  j cooled
+accept:
+  mv s4, rv
+cooled:
+  # Cool: temperature *= 15/16.
+  slli t0, s7, 4
+  sub t0, t0, s7
+  srli s7, t0, 4
+  addi s6, s6, -1
+  # checksum folds the accepted cost trajectory
+  li t1, 33
+  mul s8, s8, t1
+  add s8, s8, s4
+  j swap_loop
+
+finish:
+  slli t0, s7, 40
+  xor s8, s8, t0
+  mv r1, s8
+  j __emit
+
+# wirelength() -> rv: sum over nets of |dx| + |dy|.
+wirelength:
+  la t0, nets
+  li t1, )" << kNets << R"(
+  li rv, 0
+wl_loop:
+  beqz t1, wl_done
+  lwu t2, 0(t0)       # cell a index
+  lwu t3, 4(t0)       # cell b index
+  addi t0, t0, 8
+  addi t1, t1, -1
+  la t4, cells
+  slli t5, t2, 3
+  add t5, t4, t5
+  slli t6, t3, 3
+  add t6, t4, t6
+  lwu t7, 0(t5)       # ax
+  lwu t8, 0(t6)       # bx
+  sub t9, t7, t8
+  bge t9, zero, dx_pos
+  sub t9, zero, t9
+dx_pos:
+  add rv, rv, t9
+  lwu t7, 4(t5)       # ay
+  lwu t8, 4(t6)       # by
+  sub t9, t7, t8
+  bge t9, zero, dy_pos
+  sub t9, zero, t9
+dy_pos:
+  add rv, rv, t9
+  j wl_loop
+wl_done:
+  ret
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n.align 8\n";
+  out << "cells:\n" << detail::emit_words32(make_cells());
+  out << "nets:\n" << detail::emit_words32(make_nets());
+  return out.str();
+}
+
+}  // namespace restore::workloads

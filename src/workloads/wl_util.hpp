@@ -1,0 +1,60 @@
+// Internal helpers for generating workload assembly: deterministic input-data
+// blobs emitted as .byte/.word directives, and the shared checksum epilogue.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace restore::workloads::detail {
+
+inline std::string emit_bytes(const std::vector<u8>& data) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 16 == 0) out << (i ? "\n" : "") << "  .byte ";
+    else out << ", ";
+    out << static_cast<unsigned>(data[i]);
+  }
+  out << "\n";
+  return out.str();
+}
+
+inline std::string emit_words32(const std::vector<u32>& data) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) out << (i ? "\n" : "") << "  .word32 ";
+    else out << ", ";
+    out << data[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+inline std::string emit_words64(const std::vector<u64>& data) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 4 == 0) out << (i ? "\n" : "") << "  .word64 ";
+    else out << ", ";
+    out << data[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+// Shared epilogue: emits the 8 bytes of the checksum in r1 via OUT, then
+// halts. Jump here with the checksum in r1 ("j __emit").
+inline constexpr const char* kChecksumEpilogue = R"(
+__emit:
+  li t0, 8
+__emit_loop:
+  out r1
+  srli r1, r1, 8
+  addi t0, t0, -1
+  bnez t0, __emit_loop
+  halt
+)";
+
+}  // namespace restore::workloads::detail

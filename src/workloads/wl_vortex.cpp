@@ -1,0 +1,129 @@
+// vortex-analog: an in-memory record store — hash-table inserts with chained
+// collision lists over a bump allocator, followed by a mixed hit/miss lookup
+// stream. Mirrors vortex's object-database behaviour: hashing, pointer
+// chasing, and branchy comparison loops.
+#include <sstream>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+constexpr std::size_t kInserts = 320;
+constexpr std::size_t kLookups = 960;
+
+std::vector<u64> make_keys() {
+  Rng rng(0x0DB0);
+  std::vector<u64> keys;
+  keys.reserve(kInserts);
+  for (std::size_t i = 0; i < kInserts; ++i) {
+    keys.push_back(rng.next() | 1);  // nonzero
+  }
+  return keys;
+}
+
+std::vector<u64> make_probes(const std::vector<u64>& keys) {
+  Rng rng(0x10CC);
+  std::vector<u64> probes;
+  probes.reserve(kLookups);
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    if (rng.below(2)) {
+      probes.push_back(keys[rng.below(keys.size())]);  // hit
+    } else {
+      probes.push_back(rng.next() | 1);  // almost surely a miss
+    }
+  }
+  return probes;
+}
+
+}  // namespace
+
+std::string wl_vortex_source() {
+  const auto keys = make_keys();
+  const auto probes = make_probes(keys);
+  std::ostringstream out;
+  // Record layout (24 bytes): +0 key, +8 value, +16 next pointer.
+  // Bucket array: 128 pointers. hash(key) = ((key * 2654435761) >> 16) & 127.
+  out << R"(# vortex-analog: hashed record store, insert + lookup
+main:
+  # Insert phase.
+  la s0, keys
+  li s1, )" << kInserts << R"(
+  la s2, heap         # bump allocator
+  li s3, 0            # record ordinal -> value = key ^ ordinal
+insert_loop:
+  beqz s1, lookups
+  ld t0, 0(s0)        # key
+  addi s0, s0, 8
+  addi s1, s1, -1
+  # hash
+  li t1, 2654435761
+  mul t2, t0, t1
+  srli t2, t2, 16
+  andi t2, t2, 127
+  la t3, buckets
+  slli t4, t2, 3
+  add t3, t3, t4      # &buckets[h]
+  # fill record
+  sd t0, 0(s2)        # key
+  xor t5, t0, s3
+  sd t5, 8(s2)        # value
+  ld t6, 0(t3)        # old head
+  sd t6, 16(s2)       # next = old head
+  sd s2, 0(t3)        # head = record
+  addi s2, s2, 24
+  addi s3, s3, 1
+  j insert_loop
+
+lookups:
+  la s0, probes
+  li s1, )" << kLookups << R"(
+  li r1, 0            # checksum
+  li s4, 0            # miss counter
+probe_loop:
+  beqz s1, finish
+  ld t0, 0(s0)        # probe key
+  addi s0, s0, 8
+  addi s1, s1, -1
+  li t1, 2654435761
+  mul t2, t0, t1
+  srli t2, t2, 16
+  andi t2, t2, 127
+  la t3, buckets
+  slli t4, t2, 3
+  add t3, t3, t4
+  ld t5, 0(t3)        # chain head
+chain_walk:
+  beqz t5, miss
+  ld t6, 0(t5)        # record key
+  beq t6, t0, hit
+  ld t5, 16(t5)       # next
+  j chain_walk
+hit:
+  ld t7, 8(t5)        # value
+  slli r1, r1, 1
+  add r1, r1, t7
+  j probe_loop
+miss:
+  addi s4, s4, 1
+  xori r1, r1, 0x5A5A
+  j probe_loop
+
+finish:
+  slli t0, s4, 32
+  add r1, r1, t0      # fold miss count into the checksum high bits
+  j __emit
+)";
+  out << detail::kChecksumEpilogue;
+  out << ".data\n";
+  out << ".align 8\n";
+  out << "buckets: .space 1024\n";  // 128 * 8
+  out << "keys:\n" << detail::emit_words64(keys);
+  out << "probes:\n" << detail::emit_words64(probes);
+  out << "heap: .space " << (kInserts * 24 + 32) << "\n";
+  return out.str();
+}
+
+}  // namespace restore::workloads

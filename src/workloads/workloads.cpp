@@ -1,0 +1,68 @@
+#include "workloads/workloads.hpp"
+
+#include <stdexcept>
+
+#include "isa/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace restore::workloads {
+
+namespace {
+
+Workload build(const std::string& name, const std::string& source) {
+  Workload wl;
+  wl.name = name;
+  wl.program = isa::assemble(source, isa::AsmOptions{}, name);
+
+  // Golden run: every workload must halt cleanly (no exceptions) within a
+  // generous budget; record length and checksum output.
+  vm::Vm golden(wl.program);
+  constexpr u64 kBudget = 2'000'000;
+  golden.run(kBudget);
+  if (golden.status() != vm::Vm::Status::kHalted) {
+    throw std::logic_error("workload '" + name + "' did not halt cleanly (status " +
+                           std::to_string(static_cast<int>(golden.status())) + ")");
+  }
+  wl.clean_insns = golden.retired_count();
+  wl.clean_output = golden.output();
+  return wl;
+}
+
+}  // namespace
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload> workloads = [] {
+    std::vector<Workload> list;
+    list.push_back(build("bzip2", wl_bzip2_source()));
+    list.push_back(build("gap", wl_gap_source()));
+    list.push_back(build("gcc", wl_gcc_source()));
+    list.push_back(build("gzip", wl_gzip_source()));
+    list.push_back(build("mcf", wl_mcf_source()));
+    list.push_back(build("parser", wl_parser_source()));
+    list.push_back(build("vortex", wl_vortex_source()));
+    return list;
+  }();
+  return workloads;
+}
+
+const std::vector<Workload>& extended() {
+  static const std::vector<Workload> workloads = [] {
+    std::vector<Workload> list;
+    list.push_back(build("crafty", wl_crafty_source()));
+    list.push_back(build("twolf", wl_twolf_source()));
+    return list;
+  }();
+  return workloads;
+}
+
+const Workload& by_name(std::string_view name) {
+  for (const auto& wl : all()) {
+    if (wl.name == name) return wl;
+  }
+  for (const auto& wl : extended()) {
+    if (wl.name == name) return wl;
+  }
+  throw std::out_of_range("unknown workload: " + std::string(name));
+}
+
+}  // namespace restore::workloads

@@ -1,0 +1,53 @@
+// The seven SPEC2000-integer-analog workloads used throughout the evaluation.
+//
+// The paper runs bzip2, gap, gcc, gzip, mcf, parser, and vortex (§4.2). These
+// kernels mimic each program's dominant idiom — compression loops, group
+// arithmetic, pointer-chasing tree manipulation, LZ matching, graph
+// relaxation, recursive-descent parsing, and hashed record storage — written
+// in SRA-64 assembly so they run on both the architectural VM and the
+// detailed out-of-order core. Each workload ends by emitting an 8-byte
+// checksum through the OUT device and halting; the checksum makes silent data
+// corruption observable at the program level.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace restore::workloads {
+
+struct Workload {
+  std::string name;
+  isa::Program program;
+  // Dynamic instruction count of a clean run (filled by the registry from a
+  // VM run at construction; used to size injection windows).
+  u64 clean_insns = 0;
+  // Output bytes of a clean run (the golden checksum).
+  std::string clean_output;
+};
+
+// The paper's seven workloads, assembled and golden-run once (cached).
+const std::vector<Workload>& all();
+
+// Extended set beyond the paper's evaluation (crafty and twolf analogs,
+// covering ALU-heavy bitboard and annealing mixes). Not included in `all()`
+// so the default campaigns match the paper's workload selection.
+const std::vector<Workload>& extended();
+
+// Lookup by name; throws std::out_of_range for unknown names.
+const Workload& by_name(std::string_view name);
+
+// Assembly sources (exposed for tests and tooling).
+std::string wl_bzip2_source();
+std::string wl_crafty_source();
+std::string wl_gap_source();
+std::string wl_gcc_source();
+std::string wl_gzip_source();
+std::string wl_mcf_source();
+std::string wl_parser_source();
+std::string wl_twolf_source();
+std::string wl_vortex_source();
+
+}  // namespace restore::workloads

@@ -1,0 +1,6 @@
+# smoke-test fixture: 21 * 2 = 42, emitted once
+main:
+  li a0, 21
+  add rv, a0, a0
+  out rv
+  halt

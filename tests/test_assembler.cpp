@@ -1,0 +1,221 @@
+// Tests for the SRA-64 two-pass assembler: labels, directives, pseudo-ops,
+// immediate materialisation, and error reporting.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/instruction.hpp"
+
+namespace restore::isa {
+namespace {
+
+u32 word_at(const Program& p, u64 vaddr) {
+  for (const auto& seg : p.segments) {
+    if (vaddr >= seg.vaddr && vaddr + 4 <= seg.vaddr + seg.bytes.size()) {
+      const std::size_t off = vaddr - seg.vaddr;
+      return static_cast<u32>(seg.bytes[off]) |
+             (static_cast<u32>(seg.bytes[off + 1]) << 8) |
+             (static_cast<u32>(seg.bytes[off + 2]) << 16) |
+             (static_cast<u32>(seg.bytes[off + 3]) << 24);
+    }
+  }
+  throw std::out_of_range("word_at");
+}
+
+u8 byte_at(const Program& p, u64 vaddr) {
+  for (const auto& seg : p.segments) {
+    if (vaddr >= seg.vaddr && vaddr < seg.vaddr + seg.bytes.size()) {
+      return seg.bytes[vaddr - seg.vaddr];
+    }
+  }
+  throw std::out_of_range("byte_at");
+}
+
+TEST(Assembler, MinimalProgram) {
+  const Program p = assemble("main: halt\n");
+  EXPECT_EQ(p.entry, 0x10000u);
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_EQ(p.segments[0].perms, Perms::kReadExec);
+  EXPECT_EQ(word_at(p, 0x10000), encode_halt());
+}
+
+TEST(Assembler, RegisterAliases) {
+  EXPECT_EQ(parse_register("zero"), 31);
+  EXPECT_EQ(parse_register("sp"), 30);
+  EXPECT_EQ(parse_register("ra"), 29);
+  EXPECT_EQ(parse_register("rv"), 1);
+  EXPECT_EQ(parse_register("a0"), 2);
+  EXPECT_EQ(parse_register("a5"), 7);
+  EXPECT_EQ(parse_register("t0"), 8);
+  EXPECT_EQ(parse_register("t11"), 19);
+  EXPECT_EQ(parse_register("s0"), 20);
+  EXPECT_EQ(parse_register("s8"), 28);
+  EXPECT_EQ(parse_register("r17"), 17);
+  EXPECT_THROW(parse_register("bogus"), AsmError);
+}
+
+TEST(Assembler, BasicInstructions) {
+  const Program p = assemble(
+      "main:\n"
+      "  add r1, r2, r3\n"
+      "  addi r4, r5, -12\n"
+      "  ld r6, 16(sp)\n"
+      "  sd r7, -8(sp)\n"
+      "  halt\n");
+  EXPECT_EQ(word_at(p, 0x10000), encode_rtype(Opcode::kAdd, 1, 2, 3));
+  EXPECT_EQ(word_at(p, 0x10004), encode_itype(Opcode::kAddi, 4, 5, -12));
+  EXPECT_EQ(word_at(p, 0x10008), encode_load(Opcode::kLd, 6, 30, 16));
+  EXPECT_EQ(word_at(p, 0x1000C), encode_store(Opcode::kSd, 7, 30, -8));
+}
+
+TEST(Assembler, BranchesResolveLabels) {
+  const Program p = assemble(
+      "main:\n"
+      "loop: addi r1, r1, 1\n"
+      "  bne r1, r2, loop\n"
+      "  beq r1, r2, done\n"
+      "done: halt\n");
+  // bne at 0x10004 targets 0x10000: disp = -8.
+  EXPECT_EQ(word_at(p, 0x10004), encode_branch(Opcode::kBne, 1, 2, -8));
+  // beq at 0x10008 targets 0x1000C: disp = 0.
+  EXPECT_EQ(word_at(p, 0x10008), encode_branch(Opcode::kBeq, 1, 2, 0));
+}
+
+TEST(Assembler, PseudoOps) {
+  const Program p = assemble(
+      "main:\n"
+      "  nop\n"
+      "  mv r1, r2\n"
+      "  j main\n"
+      "  call func\n"
+      "  beqz r3, main\n"
+      "  bnez r4, main\n"
+      "func: ret\n");
+  EXPECT_EQ(word_at(p, 0x10000), encode_nop());
+  EXPECT_EQ(word_at(p, 0x10004), encode_itype(Opcode::kAddi, 1, 2, 0));
+  EXPECT_EQ(word_at(p, 0x10008), encode_jal(kZeroReg, -12));
+  EXPECT_EQ(word_at(p, 0x1000C), encode_jal(29, 8));
+  EXPECT_EQ(word_at(p, 0x10010), encode_branch(Opcode::kBeq, 3, kZeroReg, -20));
+  EXPECT_EQ(word_at(p, 0x10018), encode_jalr(kZeroReg, 29, 0));
+}
+
+TEST(Assembler, LiSmallConstants) {
+  const Program p = assemble(
+      "main:\n"
+      "  li r1, 100\n"
+      "  li r2, -3\n"
+      "  li r3, 0xFFFF\n"
+      "  halt\n");
+  EXPECT_EQ(word_at(p, 0x10000), encode_itype(Opcode::kAddi, 1, kZeroReg, 100));
+  EXPECT_EQ(word_at(p, 0x10004), encode_itype(Opcode::kAddi, 2, kZeroReg, -3));
+  EXPECT_EQ(word_at(p, 0x10008), encode_itype(Opcode::kOri, 3, kZeroReg, 0xFFFF));
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(
+      "main: halt\n"
+      ".data\n"
+      "bytes: .byte 1, 2, 255\n"
+      "       .align 8\n"
+      "big:   .word64 0x1122334455667788\n"
+      "hole:  .space 4\n"
+      "small: .word32 0xAABBCCDD\n"
+      "text:  .asciz \"hi\\n\"\n");
+  const u64 base = p.symbol("bytes");
+  EXPECT_EQ(base, 0x200000u);
+  EXPECT_EQ(byte_at(p, base), 1);
+  EXPECT_EQ(byte_at(p, base + 2), 255);
+  const u64 big = p.symbol("big");
+  EXPECT_EQ(big % 8, 0u);
+  EXPECT_EQ(byte_at(p, big), 0x88);
+  EXPECT_EQ(byte_at(p, big + 7), 0x11);
+  const u64 small = p.symbol("small");
+  EXPECT_EQ(small, p.symbol("hole") + 4);
+  EXPECT_EQ(byte_at(p, small), 0xDD);
+  const u64 text = p.symbol("text");
+  EXPECT_EQ(byte_at(p, text), 'h');
+  EXPECT_EQ(byte_at(p, text + 2), '\n');
+  EXPECT_EQ(byte_at(p, text + 3), 0);
+}
+
+TEST(Assembler, Word64CanHoldLabel) {
+  const Program p = assemble(
+      "main: halt\n"
+      ".data\n"
+      "ptr: .word64 target\n"
+      "target: .word64 7\n");
+  const u64 ptr = p.symbol("ptr");
+  u64 value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | byte_at(p, ptr + i);
+  EXPECT_EQ(value, p.symbol("target"));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(
+      "# full line comment\n"
+      "\n"
+      "main: halt  # trailing comment\n"
+      "; alt comment style\n");
+  EXPECT_EQ(word_at(p, 0x10000), encode_halt());
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("main: bogus r1\n"), AsmError);
+  EXPECT_THROW(assemble("main: add r1, r2\n"), AsmError);        // arity
+  EXPECT_THROW(assemble("main: addi r1, r2, 99999\n"), AsmError);  // imm range
+  EXPECT_THROW(assemble("main: ld r1, 8[sp]\n"), AsmError);      // syntax
+  EXPECT_THROW(assemble("main: beq r1, r2, nowhere\n"), AsmError);
+  EXPECT_THROW(assemble("dup: halt\ndup: halt\nmain: halt\n"), AsmError);
+  EXPECT_THROW(assemble("notmain: halt\n"), AsmError);  // missing entry
+  EXPECT_THROW(assemble("main: .bogus 1\n"), AsmError);
+  EXPECT_THROW(assemble("main: .align 3\n"), AsmError);
+}
+
+TEST(Assembler, ErrorReportsLineNumber) {
+  try {
+    assemble("main: halt\n  junk r1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+// The li materialisation property: assembling "li r1, V" and interpreting the
+// emitted instructions must reproduce V for a spread of 64-bit constants.
+class LiProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(LiProperty, MaterialisesExactValue) {
+  const u64 value = GetParam();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "main: li r1, 0x%llx\n halt\n",
+                static_cast<unsigned long long>(value));
+  const Program p = assemble(buf);
+
+  // Interpret the emitted words with a two-register evaluator.
+  u64 r1 = 0;
+  for (u64 pc = 0x10000;; pc += 4) {
+    const DecodedInst inst = decode(word_at(p, pc));
+    ASSERT_TRUE(inst.valid);
+    if (inst.op == Opcode::kHalt) break;
+    ASSERT_EQ(inst.rd, 1u);
+    u64 rs1 = inst.rs1 == 1 ? r1 : 0;
+    switch (inst.op) {
+      case Opcode::kAddi: r1 = rs1 + static_cast<u64>(inst.imm); break;
+      case Opcode::kOri: r1 = rs1 | static_cast<u64>(inst.imm); break;
+      case Opcode::kSlli: r1 = rs1 << (inst.imm & 63); break;
+      default: FAIL() << "unexpected opcode in li expansion";
+    }
+  }
+  EXPECT_EQ(r1, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constants, LiProperty,
+    ::testing::Values(u64{0}, u64{1}, u64{0x7FFF}, u64{0x8000}, u64{0xFFFF},
+                      u64{0x10000}, u64{0x12345678}, u64{0xFFFFFFFF},
+                      u64{0x100000000}, u64{0x123456789ABCDEF0},
+                      ~u64{0}, u64{0x8000000000000000}, u64{0xFFFF0000FFFF0000},
+                      u64{0x0000FFFF00000001}));
+
+}  // namespace
+}  // namespace restore::isa

@@ -1,0 +1,36 @@
+// The campaign runner must produce bit-identical results regardless of the
+// worker-thread count (bits are pre-sampled sequentially; trials are
+// independent).
+#include <gtest/gtest.h>
+
+#include "faultinject/uarch_campaign.hpp"
+
+namespace restore::faultinject {
+namespace {
+
+TEST(CampaignParallelism, WorkerCountDoesNotChangeResults) {
+  UarchCampaignConfig serial;
+  serial.trials_per_workload = 24;
+  serial.workloads = {"gzip", "mcf"};
+  serial.seed = 0xBEE;
+  UarchCampaignConfig threaded = serial;
+  threaded.workers = 3;
+
+  const auto a = run_uarch_campaign(serial);
+  const auto b = run_uarch_campaign(threaded);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].field_name, b.trials[i].field_name) << i;
+    EXPECT_EQ(a.trials[i].lat_exception, b.trials[i].lat_exception) << i;
+    EXPECT_EQ(a.trials[i].lat_cfv, b.trials[i].lat_cfv) << i;
+    EXPECT_EQ(a.trials[i].lat_hiconf, b.trials[i].lat_hiconf) << i;
+    EXPECT_EQ(a.trials[i].lat_deadlock, b.trials[i].lat_deadlock) << i;
+    EXPECT_EQ(a.trials[i].trace_diverged, b.trials[i].trace_diverged) << i;
+    EXPECT_EQ(a.trials[i].arch_corrupt_at_end, b.trials[i].arch_corrupt_at_end) << i;
+    EXPECT_EQ(a.trials[i].uarch_state_equal, b.trials[i].uarch_state_equal) << i;
+    EXPECT_EQ(a.trials[i].live_state_diff, b.trials[i].live_state_diff) << i;
+  }
+}
+
+}  // namespace
+}  // namespace restore::faultinject

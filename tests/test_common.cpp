@@ -1,0 +1,225 @@
+// Unit tests for src/common: bit utilities, RNG determinism, statistics,
+// latency tables, thread pool, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace restore {
+namespace {
+
+TEST(Bits, Mask64) {
+  EXPECT_EQ(mask64(0), 0u);
+  EXPECT_EQ(mask64(1), 1u);
+  EXPECT_EQ(mask64(16), 0xFFFFu);
+  EXPECT_EQ(mask64(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(mask64(64), ~u64{0});
+}
+
+TEST(Bits, GetSetFlip) {
+  u64 v = 0;
+  v = set_bit(v, 5, true);
+  EXPECT_TRUE(get_bit(v, 5));
+  EXPECT_EQ(v, 32u);
+  v = flip_bit(v, 5);
+  EXPECT_EQ(v, 0u);
+  v = flip_bit(v, 63);
+  EXPECT_TRUE(get_bit(v, 63));
+  v = set_bit(v, 63, false);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF00000001ull, 32), 1);
+}
+
+TEST(Bits, ExtractAndIndexBits) {
+  EXPECT_EQ(extract_bits(0xABCD1234u, 8, 8), 0x12u);
+  EXPECT_EQ(index_bits(64), 6u);
+  EXPECT_EQ(index_bits(128), 7u);
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng fork1 = a.fork(1);
+  Rng fork2 = a.fork(2);
+  EXPECT_NE(fork1.next(), fork2.next());
+}
+
+TEST(Stats, OnlineMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, WilsonIntervalBasics) {
+  const auto ci = wilson_interval(500, 1000);
+  EXPECT_NEAR(ci.estimate, 0.5, 1e-9);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_NEAR(ci.margin(), 0.031, 0.002);
+}
+
+TEST(Stats, WilsonIntervalPaperScale) {
+  // The paper: 12-13k trials => error margin < 0.9% at 95% confidence.
+  const auto ci = wilson_interval(6000, 12500);
+  EXPECT_LT(ci.margin(), 0.009);
+}
+
+TEST(Stats, WilsonEdgeCases) {
+  EXPECT_EQ(wilson_interval(0, 0).estimate, 0.0);
+  const auto all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.estimate, 1.0);
+  EXPECT_LE(all.hi, 1.0);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, 0.0);
+}
+
+TEST(Stats, Figure2Bins) {
+  const auto bins = figure2_latency_bins();
+  ASSERT_EQ(bins.size(), 9u);
+  EXPECT_EQ(bins.front(), 25u);
+  EXPECT_EQ(bins.back(), kNever);
+}
+
+TEST(Stats, CategoryLatencyTable) {
+  CategoryLatencyTable table(figure2_latency_bins());
+  table.add("exception", 10);
+  table.add("exception", 80);
+  table.add("exception", 5000);
+  table.add("masked", kNever);
+  EXPECT_EQ(table.total(), 4u);
+  EXPECT_EQ(table.count("exception"), 3u);
+  EXPECT_EQ(table.count_within("exception", 100), 2u);
+  EXPECT_EQ(table.count_within("exception", 25), 1u);
+  EXPECT_EQ(table.count_within("exception", kNever), 3u);
+  EXPECT_EQ(table.count("missing"), 0u);
+  EXPECT_EQ(table.count_within("masked", 25), 0u);
+}
+
+TEST(ThreadPool, InlineModeRunsTasks) {
+  ThreadPool pool(0);
+  int counter = 0;
+  pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(Cli, FlagForms) {
+  const char* argv[] = {"prog", "--trials", "500", "--low32", "--seed=99", "pos"};
+  CliArgs args(6, argv);
+  EXPECT_TRUE(args.has_flag("trials"));
+  EXPECT_TRUE(args.has_flag("low32"));
+  EXPECT_FALSE(args.has_flag("missing"));
+  EXPECT_EQ(args.value_u64("trials", 0), 500u);
+  EXPECT_EQ(args.value_u64("seed", 0), 99u);
+  EXPECT_EQ(args.value_u64("absent", 7), 7u);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(Cli, TrialResolutionPrecedence) {
+  const char* argv[] = {"prog", "--trials", "123"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(resolve_trial_count(args, 10), 123u);
+  const char* argv2[] = {"prog"};
+  CliArgs bare(1, argv2);
+  unsetenv("RESTORE_TRIALS");
+  EXPECT_EQ(resolve_trial_count(bare, 10), 10u);
+  setenv("RESTORE_TRIALS", "77", 1);
+  EXPECT_EQ(resolve_trial_count(bare, 10), 77u);
+  unsetenv("RESTORE_TRIALS");
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| col"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TextTable::fmt_pct(0.0712, 1), "7.1%");
+  EXPECT_EQ(TextTable::fmt_f(1.5, 2), "1.50");
+  EXPECT_EQ(TextTable::fmt_u(123), "123");
+}
+
+}  // namespace
+}  // namespace restore

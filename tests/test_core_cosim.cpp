@@ -1,0 +1,218 @@
+// Co-simulation: the out-of-order core must retire exactly the same
+// architectural instruction stream as the architectural VM for every
+// workload. This is the correctness bar the paper's golden-model comparison
+// (§4.2) rests on.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::uarch {
+namespace {
+
+// Run `core` and `vm` in lockstep, comparing every retirement record.
+// Returns the number of instructions compared; FAILs on first divergence.
+u64 cosim(Core& core, vm::Vm& vm, u64 max_cycles) {
+  u64 compared = 0;
+  for (u64 c = 0; c < max_cycles && core.running(); ++c) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) {
+      const auto ref = vm.step();
+      if (!ref.has_value()) {
+        ADD_FAILURE() << "core retired more instructions than the VM at #"
+                      << compared << " pc=0x" << std::hex << rec.pc;
+        return compared;
+      }
+      if (!rec.same_effect(*ref)) {
+        ADD_FAILURE() << "divergence at instruction #" << compared << "\n  core: pc=0x"
+                      << std::hex << rec.pc << " next=0x" << rec.next_pc << " rd=r"
+                      << std::dec << int(rec.rd) << " val=0x" << std::hex
+                      << rec.rd_value << " store=" << rec.is_store << "@0x"
+                      << rec.store_addr << "\n  vm:   pc=0x" << ref->pc << " next=0x"
+                      << ref->next_pc << " rd=r" << std::dec << int(ref->rd)
+                      << " val=0x" << std::hex << ref->rd_value
+                      << " store=" << ref->is_store << "@0x" << ref->store_addr
+                      << std::dec << "  insn: " << isa::disassemble(ref->insn);
+        return compared;
+      }
+      ++compared;
+    }
+  }
+  return compared;
+}
+
+class CosimSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CosimSuite, RetiredStreamMatchesVm) {
+  const auto& wl = workloads::by_name(GetParam());
+  Core core(wl.program);
+  vm::Vm vm(wl.program);
+  const u64 compared = cosim(core, vm, 10'000'000);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_EQ(core.status(), Core::Status::kHalted)
+      << "core did not halt (status=" << static_cast<int>(core.status())
+      << ", compared=" << compared << ")";
+  EXPECT_EQ(compared, wl.clean_insns);
+  EXPECT_EQ(core.output(), wl.clean_output);
+  EXPECT_EQ(core.retired_count(), vm.retired_count());
+}
+
+TEST_P(CosimSuite, ArchSnapshotMatchesVmState) {
+  const auto& wl = workloads::by_name(GetParam());
+  Core core(wl.program);
+  vm::Vm vm(wl.program);
+  // Run ~2000 instructions, then compare architectural snapshots.
+  u64 done = 0;
+  while (core.running() && done < 2000) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) {
+      (void)rec;
+      vm.step();
+      ++done;
+    }
+  }
+  const vm::ArchSnapshot snap = core.arch_snapshot();
+  EXPECT_EQ(snap.pc, vm.pc());
+  for (u8 r = 0; r < isa::kNumArchRegs; ++r) {
+    EXPECT_EQ(snap.regs[r], vm.reg(r)) << "r" << int(r);
+  }
+}
+
+TEST_P(CosimSuite, IpcIsPlausible) {
+  const auto& wl = workloads::by_name(GetParam());
+  Core core(wl.program);
+  core.run(10'000'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  const double ipc =
+      static_cast<double>(core.retired_count()) / core.cycle_count();
+  EXPECT_GT(ipc, 0.2) << "suspiciously low IPC";
+  EXPECT_LE(ipc, 4.0) << "IPC exceeds retire width";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeven, CosimSuite,
+                         ::testing::Values("bzip2", "gap", "gcc", "gzip", "mcf",
+                                           "parser", "vortex"));
+
+TEST(CoreBasics, SmallProgramRuns) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li r1, 6\n"
+      "  li r2, 7\n"
+      "  mul r3, r1, r2\n"
+      "  out r3\n"
+      "  halt\n");
+  Core core(program);
+  core.run(10'000);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.output(), "*");  // 42
+}
+
+TEST(CoreBasics, ExceptionStopsBaselineCore) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li r1, 0x40000000\n"
+      "  ld r2, 0(r1)\n"
+      "  halt\n");
+  Core core(program);
+  core.run(10'000);
+  EXPECT_EQ(core.status(), Core::Status::kFaulted);
+  EXPECT_EQ(core.fault(), isa::ExceptionKind::kMemTranslation);
+}
+
+TEST(CoreBasics, BranchyLoopMatchesVm) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 200\n"
+      "  li s1, 0\n"
+      "loop:\n"
+      "  andi t0, s0, 1\n"
+      "  beqz t0, even\n"
+      "  add s1, s1, s0\n"
+      "  j next\n"
+      "even:\n"
+      "  sub s1, s1, s0\n"
+      "next:\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, loop\n"
+      "  out s1\n"
+      "  halt\n");
+  Core core(program);
+  vm::Vm vm(program);
+  cosim(core, vm, 100'000);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.output(), vm.output());
+}
+
+TEST(CoreBasics, StoreForwardingPath) {
+  // A store immediately followed by an overlapping load exercises STQ
+  // forwarding; a narrower store then a wider load exercises the
+  // partial-overlap replay path.
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li r1, 0x11223344\n"
+      "  sw r1, 0(sp)\n"
+      "  lw r2, 0(sp)\n"   // full forward
+      "  sb r1, 8(sp)\n"
+      "  ld r3, 8(sp)\n"   // partial overlap: waits for drain
+      "  add r4, r2, r3\n"
+      "  out r4\n"
+      "  halt\n");
+  Core core(program);
+  vm::Vm vm(program);
+  cosim(core, vm, 100'000);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.output(), vm.output());
+}
+
+TEST(CoreBasics, ResetToRestoresArchState) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li r1, 1\n"
+      "  li r2, 2\n"
+      "  li r3, 3\n"
+      "  add r4, r1, r2\n"
+      "  add r5, r4, r3\n"
+      "  out r5\n"
+      "  halt\n");
+  Core core(program);
+  // Run to completion once; snapshot at the start, restore, rerun.
+  core.run(10'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  const std::string first_output = core.output();
+
+  Core fresh(program);
+  fresh.cycle();
+  const vm::ArchSnapshot snap = fresh.arch_snapshot();
+  fresh.run(10'000);
+  ASSERT_EQ(fresh.status(), Core::Status::kHalted);
+  fresh.reset_to(snap);
+  EXPECT_TRUE(fresh.running());
+  fresh.run(10'000);
+  EXPECT_EQ(fresh.status(), Core::Status::kHalted);
+  // Output accumulates across the rollback (two complete executions).
+  EXPECT_EQ(fresh.output().size(), 2 * first_output.size());
+}
+
+TEST(CoreBasics, WatchdogCatchesWedgedMachine) {
+  // A machine whose ROB head is corrupted to an invalid entry stops retiring;
+  // the watchdog must catch it.
+  const auto program = isa::assemble(
+      "main:\n"
+      "loop: addi r1, r1, 1\n"
+      "  j loop\n");
+  CoreConfig config;
+  config.watchdog_cycles = 256;
+  Core core(program, config);
+  core.run(100);
+  ASSERT_TRUE(core.running());
+  core.rob_count_ = 33;  // corrupt occupancy: head now points at junk
+  core.rob_head_ = (core.rob_head_ + 40) & (kRobEntries - 1);
+  core.run(100'000);
+  EXPECT_EQ(core.status(), Core::Status::kDeadlocked);
+}
+
+}  // namespace
+}  // namespace restore::uarch

@@ -1,0 +1,76 @@
+// Tests for the CSV exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "faultinject/export.hpp"
+
+namespace restore::faultinject {
+namespace {
+
+UarchTrialRecord sample_trial() {
+  UarchTrialRecord t;
+  t.workload = "gzip";
+  t.field_name = "rob.pc";
+  t.storage = uarch::StorageClass::kSram;
+  t.protection = uarch::LhfProtection::kEcc;
+  t.lat_exception = 42;
+  t.trace_diverged = true;
+  t.arch_corrupt_at_end = true;
+  return t;
+}
+
+TEST(Export, UarchCsvHasHeaderAndRows) {
+  std::ostringstream out;
+  write_uarch_trials_csv(out, {sample_trial()});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("workload,field,storage,protection"), std::string::npos);
+  EXPECT_NE(text.find("gzip,rob.pc,sram,ecc,42,"), std::string::npos);
+  // kNever latencies render as empty cells, not huge numbers.
+  EXPECT_EQ(text.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(Export, VmCsvRoundsTrip) {
+  VmTrialResult trial;
+  trial.workload = "mcf";
+  trial.outcome = VmOutcome::kCfv;
+  trial.latency = 7;
+  trial.inject_index = 123;
+  trial.bit = 9;
+  std::ostringstream out;
+  write_vm_trials_csv(out, {trial});
+  EXPECT_NE(out.str().find("mcf,cfv,7,123,9"), std::string::npos);
+}
+
+TEST(Export, CategorySeriesSharesSumToOnePerRow) {
+  std::vector<UarchTrialRecord> trials;
+  for (int i = 0; i < 20; ++i) {
+    UarchTrialRecord t = sample_trial();
+    t.lat_exception = i * 30;
+    trials.push_back(t);
+  }
+  std::ostringstream out;
+  write_category_series_csv(out, trials, DetectorModel::kJrsConfidence,
+                            ProtectionModel::kBaseline);
+  std::string line;
+  std::istringstream in(out.str());
+  std::getline(in, line);  // header
+  int rows = 0;
+  while (std::getline(in, line)) {
+    std::istringstream cells(line);
+    std::string cell;
+    std::getline(cells, cell, ',');  // interval
+    double total = 0;
+    while (std::getline(cells, cell, ',')) total += std::stod(cell);
+    EXPECT_NEAR(total, 1.0, 1e-9) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 7);  // the checkpoint-interval sweep
+}
+
+TEST(Export, FileWriterRejectsBadPath) {
+  EXPECT_THROW(write_vm_trials_csv("/nonexistent-dir/x.csv", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace restore::faultinject

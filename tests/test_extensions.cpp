@@ -1,0 +1,284 @@
+// Tests for the extension features beyond the paper's baseline evaluation:
+// the illegal-control-flow watchdog, the cache-miss-burst symptom, the
+// perfect-confidence ablation mode, and their integration with ReStoreCore.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/restore_core.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "isa/assembler.hpp"
+#include "uarch/core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore {
+namespace {
+
+using uarch::Core;
+using uarch::CoreConfig;
+using uarch::SymptomEvent;
+
+// ---- illegal-control-flow watchdog ----
+
+TEST(IllegalFlowWatchdog, SilentOnCleanRuns) {
+  CoreConfig config;
+  config.illegal_flow_watchdog = true;
+  for (const auto& wl : workloads::all()) {
+    Core core(wl.program, config);
+    u64 events = 0;
+    while (core.running()) {
+      core.cycle();
+      for (const auto& ev : core.symptoms_this_cycle()) {
+        if (ev.kind == SymptomEvent::Kind::kIllegalFlow) ++events;
+      }
+    }
+    EXPECT_EQ(core.status(), Core::Status::kHalted) << wl.name;
+    EXPECT_EQ(events, 0u) << wl.name;
+  }
+}
+
+TEST(IllegalFlowWatchdog, CatchesCorruptedCommitTarget) {
+  const auto& wl = workloads::by_name("gzip");
+  CoreConfig config;
+  config.illegal_flow_watchdog = true;
+  Core core(wl.program, config);
+  core.run(3'000);
+  ASSERT_TRUE(core.running());
+  // Corrupt the committed successor of an already-executed non-branch.
+  bool corrupted = false;
+  for (auto& e : core.rob_) {
+    if (e.valid && e.done && !e.is_branch && !e.is_halt) {
+      e.actual_target ^= u64{1} << 9;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  u64 events = 0;
+  for (int c = 0; c < 400 && core.running(); ++c) {
+    core.cycle();
+    for (const auto& ev : core.symptoms_this_cycle()) {
+      if (ev.kind == SymptomEvent::Kind::kIllegalFlow) ++events;
+    }
+  }
+  EXPECT_GE(events, 1u);
+}
+
+TEST(IllegalFlowWatchdog, DisabledByDefault) {
+  const auto& wl = workloads::by_name("gzip");
+  Core core(wl.program);  // default config
+  core.run(3'000);
+  ASSERT_TRUE(core.running());
+  for (auto& e : core.rob_) {
+    if (e.valid && e.done && !e.is_branch && !e.is_halt) {
+      e.actual_target ^= u64{1} << 9;
+      break;
+    }
+  }
+  for (int c = 0; c < 400 && core.running(); ++c) {
+    core.cycle();
+    for (const auto& ev : core.symptoms_this_cycle()) {
+      EXPECT_NE(ev.kind, SymptomEvent::Kind::kIllegalFlow);
+    }
+  }
+}
+
+TEST(IllegalFlowWatchdog, ReStoreRecoversFlowCorruption) {
+  const auto& wl = workloads::by_name("mcf");
+  CoreConfig config;
+  config.illegal_flow_watchdog = true;
+  core::ReStoreOptions options;
+  options.illegal_flow_symptom = true;
+  core::ReStoreCore restore(wl.program, options, config);
+  restore.run(2'000);
+  ASSERT_TRUE(restore.running());
+  for (auto& e : restore.core().rob_) {
+    if (e.valid && e.done && !e.is_branch && !e.is_halt) {
+      e.actual_target ^= u64{1} << 7;
+      break;
+    }
+  }
+  restore.run(50'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+// ---- cache-miss-burst symptom ----
+
+TEST(CacheBurstSymptom, FiresOnMissStorms) {
+  // A pointer walk over a huge stride defeats the L1D: every access misses.
+  const auto program = isa::assemble(
+      "main:\n"
+      "  la s0, arena\n"
+      "  li s1, 64\n"          // accesses
+      "loop:\n"
+      "  ld t0, 0(s0)\n"
+      "  addi s0, s0, 4096\n"  // one page per access: all misses
+      "  addi s1, s1, -1\n"
+      "  bnez s1, loop\n"
+      "  halt\n"
+      ".data\n"
+      "arena: .space 266240\n");  // 65 pages
+  CoreConfig config;
+  config.cache_burst_symptom = true;
+  config.cache_burst_window = 64;
+  config.cache_burst_threshold = 4;
+  Core core(program, config);
+  u64 events = 0;
+  while (core.running()) {
+    core.cycle();
+    for (const auto& ev : core.symptoms_this_cycle()) {
+      if (ev.kind == SymptomEvent::Kind::kCacheMissBurst) ++events;
+    }
+  }
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_GE(events, 1u);
+}
+
+TEST(CacheBurstSymptom, QuietOnCacheFriendlyCode) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s1, 2000\n"
+      "loop:\n"
+      "  ld t0, 0(sp)\n"  // same line every time
+      "  addi s1, s1, -1\n"
+      "  bnez s1, loop\n"
+      "  halt\n");
+  CoreConfig config;
+  config.cache_burst_symptom = true;
+  Core core(program, config);
+  u64 events = 0;
+  while (core.running()) {
+    core.cycle();
+    for (const auto& ev : core.symptoms_this_cycle()) {
+      if (ev.kind == SymptomEvent::Kind::kCacheMissBurst) ++events;
+    }
+  }
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(CacheBurstSymptom, ReStoreSurvivesWithCacheSymptomEnabled) {
+  // Even with the noisy §3.3 candidate wired in, programs must complete
+  // correctly (rollbacks are false positives; throttling bounds them).
+  const auto& wl = workloads::by_name("vortex");
+  CoreConfig config;
+  config.cache_burst_symptom = true;
+  core::ReStoreOptions options;
+  options.cache_symptom = true;
+  core::ReStoreCore restore(wl.program, options, config);
+  restore.run(100'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+// ---- perfect-confidence ablation mode ----
+
+TEST(PerfectConfidence, FlagsEveryMispredictHighConfidence) {
+  const auto& wl = workloads::by_name("gcc");  // high mispredict rate
+  CoreConfig config;
+  config.all_mispredicts_high_conf = true;
+  Core core(wl.program, config);
+  core.run(100'000'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.counters().high_conf_mispredicts,
+            core.counters().cond_mispredicts);
+
+  Core plain(wl.program);
+  plain.run(100'000'000);
+  EXPECT_LT(plain.counters().high_conf_mispredicts,
+            plain.counters().cond_mispredicts);
+}
+
+TEST(PerfectConfidence, IncreasesCampaignCfvCoverage) {
+  faultinject::UarchCampaignConfig jrs;
+  jrs.trials_per_workload = 60;
+  jrs.seed = 0xFACE;
+  auto perfect = jrs;
+  perfect.core_config.all_mispredicts_high_conf = true;
+
+  const auto jrs_result = run_uarch_campaign(jrs);
+  const auto perfect_result = run_uarch_campaign(perfect);
+  const double jrs_uncovered = faultinject::uncovered_fraction(
+      jrs_result.trials, faultinject::DetectorModel::kJrsConfidence,
+      faultinject::ProtectionModel::kBaseline, 100);
+  const double perfect_uncovered = faultinject::uncovered_fraction(
+      perfect_result.trials, faultinject::DetectorModel::kJrsConfidence,
+      faultinject::ProtectionModel::kBaseline, 100);
+  // §5.2.1: a perfect confidence predictor yields more coverage.
+  EXPECT_LE(perfect_uncovered, jrs_uncovered);
+}
+
+// ---- classifier with the new detector model ----
+
+TEST(JrsPlusIllegalFlow, UsesEarliestOfTheTwoLatencies) {
+  faultinject::UarchTrialRecord trial;
+  trial.arch_corrupt_at_end = true;
+  trial.lat_hiconf = 500;
+  trial.lat_illegal_flow = 40;
+  EXPECT_EQ(classify_trial(trial, faultinject::DetectorModel::kJrsPlusIllegalFlow,
+                           faultinject::ProtectionModel::kBaseline, 100),
+            faultinject::UarchOutcome::kCfv);
+  EXPECT_EQ(classify_trial(trial, faultinject::DetectorModel::kJrsConfidence,
+                           faultinject::ProtectionModel::kBaseline, 100),
+            faultinject::UarchOutcome::kSdc);
+}
+
+// ---- event-log replay hints ----
+
+TEST(ReplayHints, ConsumedDuringReExecution) {
+  const auto& wl = workloads::by_name("gap");
+  core::ReStoreOptions options;
+  options.checkpoint_interval = 500;
+  options.throttle_max_rollbacks = ~u64{0};
+  core::ReStoreCore restore(wl.program, options);
+  while (restore.running() && restore.stats().rollbacks == 0) restore.cycle();
+  ASSERT_TRUE(restore.running());
+  const std::size_t installed = restore.core().replay_hints_remaining();
+  EXPECT_GT(installed, 0u) << "rollback should install event-log hints";
+  const u64 rollbacks_before = restore.stats().rollbacks;
+  std::size_t min_remaining = installed;
+  for (int c = 0; c < 3'000 && restore.running() &&
+                  restore.stats().rollbacks == rollbacks_before;
+       ++c) {
+    restore.cycle();
+    min_remaining = std::min(min_remaining, restore.core().replay_hints_remaining());
+  }
+  // The replay window consumed the batch (fully, in the common case).
+  EXPECT_LT(min_remaining, installed / 4 + 1)
+      << "re-execution should consume hints";
+  // The run must still finish correctly.
+  restore.run(100'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+TEST(ReplayHints, CleanRunsDetectNoErrors) {
+  // With the gap-free event log, fault-free executions must never report a
+  // detected error regardless of rollback count.
+  const auto& wl = workloads::by_name("gap");
+  core::ReStoreOptions options;
+  options.checkpoint_interval = 200;
+  options.throttle_max_rollbacks = ~u64{0};
+  core::ReStoreCore restore(wl.program, options);
+  restore.run(400'000'000);
+  ASSERT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_GT(restore.stats().rollbacks, 5u) << "test needs rollback traffic";
+  EXPECT_EQ(restore.stats().detected_errors, 0u);
+}
+
+TEST(ReplayHints, DisablingThemStillRecovers) {
+  const auto& wl = workloads::by_name("mcf");
+  core::ReStoreOptions options;
+  options.event_log_replay = false;
+  core::ReStoreCore restore(wl.program, options);
+  restore.run(2'000);
+  ASSERT_TRUE(restore.running());
+  restore.core().fetch_pc_ ^= u64{1} << 41;
+  restore.run(100'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+}  // namespace
+}  // namespace restore

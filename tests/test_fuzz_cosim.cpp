@@ -1,0 +1,191 @@
+// Cross-simulator fuzzing: generate random (but well-formed, terminating)
+// SRA-64 programs and require the out-of-order core to retire exactly the
+// architectural VM's instruction stream. This is the strongest correctness
+// property in the project — any divergence is a bug in one of the two
+// simulators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/restore_core.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+
+namespace restore {
+namespace {
+
+// Generates a random program:
+//   * a prologue materialising random values in r1..r12 and a scratch buffer
+//   * `blocks` basic blocks of random ALU/memory ops, each ending in a
+//     conditional branch to the next or the following block (forward only, so
+//     termination is structural)
+//   * bounded loops around some blocks via a dedicated counter register
+//   * an epilogue hashing r1..r12 into r1 and OUTing it
+// Memory ops address the scratch buffer via r13 (kept pristine) with random
+// in-bounds aligned displacements, so no exceptions occur.
+std::string generate_program(Rng& rng, int blocks) {
+  std::ostringstream out;
+  out << "main:\n";
+  out << "  la r13, buf\n";
+  for (int r = 1; r <= 12; ++r) {
+    out << "  li r" << r << ", " << static_cast<i64>(rng.next() % 100000) - 50000
+        << "\n";
+  }
+
+  auto rr = [&] { return 1 + rng.below(12); };  // r1..r12
+  const char* alu3[] = {"add", "sub", "mul", "and", "or", "xor",
+                        "sll", "srl", "sra", "slt", "sltu", "seq",
+                        "addw", "subw", "mulw"};
+  const char* alui[] = {"addi", "andi", "ori", "xori", "slli", "srli",
+                        "srai", "slti", "seqi", "addiw"};
+
+  for (int b = 0; b < blocks; ++b) {
+    out << "blk" << b << ":\n";
+    // Optional bounded loop around this block using r14 as the counter.
+    const bool looped = rng.chance(0.3);
+    if (looped) {
+      out << "  li r14, " << 2 + rng.below(6) << "\n";
+      out << "blk" << b << "_loop:\n";
+    }
+    const int ops = 3 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng.below(5)) {
+        case 0:
+          out << "  " << alu3[rng.below(std::size(alu3))] << " r" << rr() << ", r"
+              << rr() << ", r" << rr() << "\n";
+          break;
+        case 1: {
+          const char* op = alui[rng.below(std::size(alui))];
+          const bool logical =
+              std::string_view(op) == "andi" || std::string_view(op) == "ori" ||
+              std::string_view(op) == "xori";
+          const i64 imm = logical ? static_cast<i64>(rng.below(0x10000))
+                                  : static_cast<i64>(rng.below(0x8000)) - 0x4000;
+          out << "  " << op << " r" << rr() << ", r" << rr() << ", " << imm << "\n";
+          break;
+        }
+        case 2: {  // store, 8-byte aligned within the buffer
+          const u64 disp = rng.below(64) * 8;
+          out << "  sd r" << rr() << ", " << disp << "(r13)\n";
+          break;
+        }
+        case 3: {  // load
+          const u64 disp = rng.below(64) * 8;
+          out << "  ld r" << rr() << ", " << disp << "(r13)\n";
+          break;
+        }
+        case 4: {  // narrow memory op
+          const u64 disp = rng.below(128) * 4;
+          if (rng.chance(0.5)) {
+            out << "  sw r" << rr() << ", " << disp << "(r13)\n";
+          } else {
+            out << "  lwu r" << rr() << ", " << disp << "(r13)\n";
+          }
+          break;
+        }
+      }
+    }
+    if (looped) {
+      out << "  addi r14, r14, -1\n";
+      out << "  bnez r14, blk" << b << "_loop\n";
+    }
+    // Data-dependent forward branch: to the next block or the one after.
+    if (b + 2 < blocks && rng.chance(0.5)) {
+      const char* cond[] = {"beq", "bne", "blt", "bge"};
+      out << "  " << cond[rng.below(4)] << " r" << rr() << ", r" << rr()
+          << ", blk" << (b + 2) << "\n";
+    }
+  }
+  out << "blk" << blocks << ":\n";
+
+  // Epilogue: fold registers into r1 and emit it.
+  for (int r = 2; r <= 12; ++r) {
+    out << "  li r15, 31\n";
+    out << "  mul r1, r1, r15\n";
+    out << "  xor r1, r1, r" << r << "\n";
+  }
+  out << "  li r16, 8\n"
+         "fz_emit:\n"
+         "  out r1\n"
+         "  srli r1, r1, 8\n"
+         "  addi r16, r16, -1\n"
+         "  bnez r16, fz_emit\n"
+         "  halt\n"
+         ".data\n"
+         ".align 8\n"
+         "buf: .space 4096\n";
+  return out.str();
+}
+
+class FuzzCosim : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzCosim, CoreMatchesVmOnRandomPrograms) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const std::string source = generate_program(rng, 4 + rng.below(12));
+    isa::Program program;
+    ASSERT_NO_THROW(program = isa::assemble(source)) << source;
+
+    vm::Vm vm(program);
+    uarch::Core core(program);
+    u64 compared = 0;
+    bool diverged = false;
+    for (u64 c = 0; c < 1'000'000 && core.running() && !diverged; ++c) {
+      core.cycle();
+      for (const auto& rec : core.retired_this_cycle()) {
+        const auto ref = vm.step();
+        if (!ref.has_value() || !rec.same_effect(*ref)) {
+          diverged = true;
+          ADD_FAILURE() << "divergence at insn #" << compared << " pc=0x"
+                        << std::hex << rec.pc << "\nprogram:\n"
+                        << source;
+          break;
+        }
+        ++compared;
+      }
+    }
+    if (diverged) return;
+    EXPECT_EQ(core.status(), uarch::Core::Status::kHalted) << source;
+    EXPECT_EQ(vm.status(), vm::Vm::Status::kHalted);
+    EXPECT_EQ(core.output(), vm.output());
+    EXPECT_GT(compared, 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCosim,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+// The same generator under ReStore with branch symptoms active: random
+// programs must still complete with identical output despite false-positive
+// rollbacks.
+class FuzzReStore : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzReStore, OutputSurvivesRollbacks) {
+  Rng rng(GetParam() * 7919);
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    const std::string source = generate_program(rng, 4 + rng.below(10));
+    const isa::Program program = isa::assemble(source);
+
+    vm::Vm vm(program);
+    vm.run(10'000'000);
+    ASSERT_EQ(vm.status(), vm::Vm::Status::kHalted);
+
+    core::ReStoreOptions options;
+    options.checkpoint_interval = 25 + rng.below(200);
+    options.policy = rng.chance(0.5) ? core::RollbackPolicy::kImmediate
+                                     : core::RollbackPolicy::kDelayed;
+    core::ReStoreCore restore(program, options);
+    restore.run(50'000'000);
+    EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted) << source;
+    EXPECT_EQ(restore.output(), vm.output()) << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzReStore, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace restore

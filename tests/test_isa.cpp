@@ -1,0 +1,161 @@
+// Unit + property tests for the SRA-64 instruction set: encode/decode
+// round-trips, format classification, and disassembly.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/disasm.hpp"
+#include "isa/instruction.hpp"
+
+namespace restore::isa {
+namespace {
+
+TEST(Opcode, FormatClassification) {
+  EXPECT_EQ(format_of(Opcode::kAdd), Format::kRType);
+  EXPECT_EQ(format_of(Opcode::kAddi), Format::kIType);
+  EXPECT_EQ(format_of(Opcode::kLd), Format::kLoad);
+  EXPECT_EQ(format_of(Opcode::kSd), Format::kStore);
+  EXPECT_EQ(format_of(Opcode::kBeq), Format::kBranch);
+  EXPECT_EQ(format_of(Opcode::kJal), Format::kJal);
+  EXPECT_EQ(format_of(Opcode::kJalr), Format::kJalr);
+  EXPECT_EQ(format_of(Opcode::kHalt), Format::kSystem);
+  EXPECT_EQ(format_of(u8{0x00}), Format::kIllegal);
+  EXPECT_EQ(format_of(u8{0x3F}), Format::kIllegal);
+}
+
+TEST(Opcode, Predicates) {
+  EXPECT_TRUE(is_load(Opcode::kLw));
+  EXPECT_TRUE(is_store(Opcode::kSb));
+  EXPECT_TRUE(is_mem(Opcode::kLd));
+  EXPECT_FALSE(is_mem(Opcode::kAdd));
+  EXPECT_TRUE(is_cond_branch(Opcode::kBne));
+  EXPECT_TRUE(is_jump(Opcode::kJal));
+  EXPECT_TRUE(is_control(Opcode::kJalr));
+  EXPECT_FALSE(is_control(Opcode::kAddi));
+  EXPECT_TRUE(is_trapping_alu(Opcode::kAddv));
+  EXPECT_FALSE(is_trapping_alu(Opcode::kAdd));
+}
+
+TEST(Opcode, MemAccessBytes) {
+  EXPECT_EQ(mem_access_bytes(Opcode::kLb), 1u);
+  EXPECT_EQ(mem_access_bytes(Opcode::kLhu), 2u);
+  EXPECT_EQ(mem_access_bytes(Opcode::kSw), 4u);
+  EXPECT_EQ(mem_access_bytes(Opcode::kLd), 8u);
+  EXPECT_EQ(mem_access_bytes(Opcode::kAdd), 0u);
+}
+
+TEST(Decode, RTypeRoundTrip) {
+  const u32 word = encode_rtype(Opcode::kXor, 3, 7, 12);
+  const DecodedInst inst = decode(word);
+  EXPECT_TRUE(inst.valid);
+  EXPECT_EQ(inst.op, Opcode::kXor);
+  EXPECT_EQ(inst.rd, 3);
+  EXPECT_EQ(inst.rs1, 7);
+  EXPECT_EQ(inst.rs2, 12);
+  EXPECT_TRUE(inst.writes_reg());
+  EXPECT_TRUE(inst.reads_rs1());
+  EXPECT_TRUE(inst.reads_rs2());
+}
+
+TEST(Decode, ITypeSignExtension) {
+  const DecodedInst inst = decode(encode_itype(Opcode::kAddi, 1, 2, -5));
+  EXPECT_EQ(inst.imm, -5);
+  const DecodedInst logical = decode(encode_itype(Opcode::kOri, 1, 2, 0xFFFF));
+  EXPECT_EQ(logical.imm, 0xFFFF);  // logical immediates zero-extend
+}
+
+TEST(Decode, LoadStoreFields) {
+  const DecodedInst load = decode(encode_load(Opcode::kLw, 5, 10, -16));
+  EXPECT_EQ(load.rd, 5);
+  EXPECT_EQ(load.rs1, 10);
+  EXPECT_EQ(load.imm, -16);
+  EXPECT_TRUE(load.writes_reg());
+
+  const DecodedInst store = decode(encode_store(Opcode::kSd, 6, 11, 24));
+  EXPECT_EQ(store.rs2, 6);  // data register
+  EXPECT_EQ(store.rs1, 11);
+  EXPECT_EQ(store.imm, 24);
+  EXPECT_FALSE(store.writes_reg());
+  EXPECT_TRUE(store.reads_rs2());
+}
+
+TEST(Decode, BranchDisplacementInBytes) {
+  const DecodedInst inst = decode(encode_branch(Opcode::kBeq, 1, 2, -8));
+  EXPECT_EQ(inst.rs1, 1);
+  EXPECT_EQ(inst.rs2, 2);
+  EXPECT_EQ(inst.imm, -8);
+  EXPECT_EQ(static_target(inst, 100), 100 + 4 - 8);
+}
+
+TEST(Decode, JalRange) {
+  const DecodedInst inst = decode(encode_jal(29, 4 * ((1 << 20) - 1)));
+  EXPECT_EQ(inst.rd, 29);
+  EXPECT_EQ(inst.imm, 4 * ((1 << 20) - 1));
+  const DecodedInst neg = decode(encode_jal(29, -4 * (1 << 20)));
+  EXPECT_EQ(neg.imm, -4 * (1 << 20));
+}
+
+TEST(Decode, JalrHasNoStaticTarget) {
+  const DecodedInst inst = decode(encode_jalr(29, 5, 8));
+  EXPECT_EQ(static_target(inst, 0), std::nullopt);
+  EXPECT_TRUE(inst.writes_reg());
+}
+
+TEST(Decode, SystemOps) {
+  EXPECT_EQ(decode(encode_halt()).op, Opcode::kHalt);
+  const DecodedInst out = decode(encode_out(9));
+  EXPECT_EQ(out.op, Opcode::kOut);
+  EXPECT_EQ(out.rs1, 9);
+  EXPECT_FALSE(out.writes_reg());
+}
+
+TEST(Decode, IllegalOpcodesReported) {
+  // Opcode 0 and the gap regions decode as invalid.
+  EXPECT_FALSE(decode(0x00000000u).valid);
+  EXPECT_FALSE(decode(0x3Fu << 26).valid);
+  EXPECT_FALSE(decode(0x15u << 26).valid);  // gap between R-type and I-type
+  EXPECT_FALSE(decode(0x2Fu << 26).valid);  // gap between loads and stores
+}
+
+TEST(Decode, ZeroRegNeverWritten) {
+  const DecodedInst inst = decode(encode_itype(Opcode::kAddi, kZeroReg, 1, 5));
+  EXPECT_FALSE(inst.writes_reg());
+}
+
+// Property: decoding any 32-bit word never crashes and yields either a valid
+// instruction whose re-encoding (via the matching encoder) round-trips, or an
+// invalid marker.
+TEST(DecodeProperty, AllWordsDecodeSafely) {
+  Rng rng(1234);
+  for (int i = 0; i < 200000; ++i) {
+    const u32 word = static_cast<u32>(rng.next());
+    const DecodedInst inst = decode(word);
+    if (!inst.valid) continue;
+    EXPECT_NE(format_of(inst.op), Format::kIllegal);
+    EXPECT_LT(inst.rd, 32);
+    EXPECT_LT(inst.rs1, 32);
+    EXPECT_LT(inst.rs2, 32);
+  }
+}
+
+// Property: about one quarter of the opcode space is unpopulated, so random
+// corruption of an opcode field can produce ISA-illegal instructions.
+TEST(DecodeProperty, OpcodeSpacePartiallyPopulated) {
+  int illegal = 0;
+  for (u32 op = 0; op < 64; ++op) {
+    if (format_of(static_cast<u8>(op)) == Format::kIllegal) ++illegal;
+  }
+  EXPECT_GE(illegal, 10);
+  EXPECT_LE(illegal, 32);
+}
+
+TEST(Disasm, Formats) {
+  EXPECT_EQ(disassemble(encode_rtype(Opcode::kAdd, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(encode_itype(Opcode::kAddi, 1, 31, -4)), "addi r1, zero, -4");
+  EXPECT_EQ(disassemble(encode_load(Opcode::kLd, 4, 30, 8)), "ld r4, 8(r30)");
+  EXPECT_EQ(disassemble(encode_store(Opcode::kSw, 5, 30, -8)), "sw r5, -8(r30)");
+  EXPECT_EQ(disassemble(encode_halt()), "halt");
+  EXPECT_EQ(disassemble(0u), "<illegal>");
+}
+
+}  // namespace
+}  // namespace restore::isa

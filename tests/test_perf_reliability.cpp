@@ -1,0 +1,116 @@
+// Tests for the Figure 7 overhead model and the Figure 8 FIT scaling model.
+#include <gtest/gtest.h>
+
+#include "perfmodel/overhead.hpp"
+#include "reliability/fit.hpp"
+
+namespace restore {
+namespace {
+
+using core::RollbackPolicy;
+
+// ---- perfmodel ----
+
+TEST(AnalyticSpeedup, NoSymptomsNoOverhead) {
+  EXPECT_DOUBLE_EQ(perfmodel::analytic_speedup(0.0, 100, RollbackPolicy::kImmediate),
+                   1.0);
+  EXPECT_DOUBLE_EQ(perfmodel::analytic_speedup(0.0, 100, RollbackPolicy::kDelayed),
+                   1.0);
+}
+
+TEST(AnalyticSpeedup, OverheadGrowsWithIntervalForImmediate) {
+  const double rate = 0.001;  // 1 false positive per 1000 instructions
+  const double s100 = perfmodel::analytic_speedup(rate, 100, RollbackPolicy::kImmediate);
+  const double s1000 =
+      perfmodel::analytic_speedup(rate, 1000, RollbackPolicy::kImmediate);
+  EXPECT_LT(s1000, s100);
+  EXPECT_LT(s100, 1.0);
+  // 0.001 * 150 = 15% extra work at interval 100.
+  EXPECT_NEAR(s100, 1.0 / 1.15, 1e-9);
+}
+
+TEST(AnalyticSpeedup, DelayedWinsAtLargeIntervals) {
+  // With one rollback per interval at most, a high symptom rate at large
+  // intervals favours the delayed policy (paper: delayed gains an advantage
+  // at 500-instruction intervals).
+  const double rate = 0.002;
+  const double imm = perfmodel::analytic_speedup(rate, 1000, RollbackPolicy::kImmediate);
+  const double delayed =
+      perfmodel::analytic_speedup(rate, 1000, RollbackPolicy::kDelayed);
+  EXPECT_GT(delayed, imm);
+}
+
+TEST(AnalyticSpeedup, ImmediateWinsAtSmallIntervals) {
+  // At small intervals the delayed policy's full-2n rollback distance hurts.
+  const double rate = 0.0002;
+  const double imm = perfmodel::analytic_speedup(rate, 25, RollbackPolicy::kImmediate);
+  const double delayed = perfmodel::analytic_speedup(rate, 25, RollbackPolicy::kDelayed);
+  EXPECT_GE(imm, delayed);
+}
+
+TEST(MeasuredOverhead, SingleWorkloadProducesSanePoints) {
+  perfmodel::OverheadConfig config;
+  config.intervals = {100, 500};
+  config.workloads = {"mcf"};
+  const auto points = perfmodel::measure_rollback_overhead(config);
+  ASSERT_EQ(points.size(), 4u);  // 2 intervals x 2 policies
+  for (const auto& p : points) {
+    EXPECT_GT(p.speedup, 0.3) << p.interval;
+    EXPECT_LE(p.speedup, 1.001) << p.interval;
+    EXPECT_GT(p.baseline_cycles, 0u);
+    EXPECT_GE(p.restore_cycles, p.baseline_cycles / 2);
+  }
+  const double s100 = perfmodel::mean_speedup(points, 100, RollbackPolicy::kImmediate);
+  EXPECT_GT(s100, 0.5);
+  EXPECT_LE(s100, 1.0);
+}
+
+// ---- reliability ----
+
+TEST(FitModel, LinearInBitsAndProbability) {
+  EXPECT_DOUBLE_EQ(reliability::fit_rate(1'000, 0.001, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(reliability::fit_rate(2'000, 0.001, 0.5),
+                   2 * reliability::fit_rate(1'000, 0.001, 0.5));
+  EXPECT_DOUBLE_EQ(reliability::fit_rate(1'000, 0.001, 0.0), 0.0);
+}
+
+TEST(FitModel, MtbfGoalMatchesPaper) {
+  // Paper: "a reliability goal of 1000 MTBF ... is reflected by the
+  // horizontal line at 115 FIT".
+  EXPECT_NEAR(reliability::mtbf_goal_fit(1000.0), 114.2, 1.0);
+}
+
+TEST(FitModel, ScalingSweepOrdersConfigurations) {
+  reliability::SdcRates rates;
+  rates.baseline = 0.08;
+  rates.restore = 0.045;
+  rates.lhf = 0.03;
+  rates.lhf_restore = 0.012;
+  const auto points = reliability::fit_scaling(rates);
+  ASSERT_EQ(points.size(), 10u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.fit_baseline, p.fit_restore);
+    EXPECT_GT(p.fit_restore, p.fit_lhf);
+    EXPECT_GT(p.fit_lhf, p.fit_lhf_restore);
+  }
+  // FIT scales linearly with design size.
+  EXPECT_NEAR(points.back().fit_baseline / points.front().fit_baseline,
+              static_cast<double>(points.back().bits) / points.front().bits, 1e-6);
+}
+
+TEST(FitModel, ProtectedDesignMatchesSmallerUnprotectedOne) {
+  // The paper's §5.3 observation: lhf+ReStore yields an MTBF comparable to a
+  // design 1/7th the size. Equivalently, the size meeting a fixed FIT goal
+  // scales with 1/sdc_probability.
+  const double goal = reliability::mtbf_goal_fit(1000.0);
+  const u64 base_bits = reliability::max_bits_meeting_goal(goal, 0.001, 0.07);
+  const u64 protected_bits = reliability::max_bits_meeting_goal(goal, 0.001, 0.01);
+  EXPECT_NEAR(static_cast<double>(protected_bits) / base_bits, 7.0, 0.01);
+}
+
+TEST(FitModel, ZeroSdcProbabilityMeansUnlimited) {
+  EXPECT_EQ(reliability::max_bits_meeting_goal(100.0, 0.001, 0.0), ~u64{0});
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,89 @@
+// Tests for the pipeline profiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "uarch/core.hpp"
+#include "uarch/pipeline_stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::uarch {
+namespace {
+
+PipelineStats profile(const char* workload, unsigned stride = 0) {
+  Core core(workloads::by_name(workload).program);
+  PipelineStats stats;
+  if (stride) stats.enable_timeline(stride);
+  while (core.running()) {
+    core.cycle();
+    stats.observe(core);
+  }
+  return stats;
+}
+
+TEST(PipelineStats, CountsMatchTheCore) {
+  Core core(workloads::by_name("gzip").program);
+  PipelineStats stats;
+  while (core.running()) {
+    core.cycle();
+    stats.observe(core);
+  }
+  EXPECT_EQ(stats.cycles(), core.cycle_count());
+  EXPECT_EQ(stats.retired(), core.retired_count());
+  EXPECT_NEAR(stats.ipc(),
+              static_cast<double>(core.retired_count()) / core.cycle_count(),
+              1e-12);
+}
+
+TEST(PipelineStats, OccupanciesWithinCapacities) {
+  const PipelineStats stats = profile("vortex");
+  EXPECT_LE(stats.rob_occupancy().max(), kRobEntries);
+  EXPECT_LE(stats.sched_occupancy().max(), kSchedEntries);
+  EXPECT_LE(stats.fq_occupancy().max(), kFetchQueueEntries);
+  EXPECT_LE(stats.ldq_occupancy().max(), kLdqEntries);
+  EXPECT_LE(stats.stq_occupancy().max(), kStqEntries);
+  EXPECT_LE(stats.exec_occupancy().max(), kExecSlots);
+  EXPECT_GT(stats.rob_occupancy().mean(), 1.0);
+}
+
+TEST(PipelineStats, RetireHistogramSumsToCycles) {
+  const PipelineStats stats = profile("mcf");
+  u64 total = 0, weighted = 0;
+  for (unsigned i = 0; i <= kRetireWidth; ++i) {
+    total += stats.retire_histogram()[i];
+    weighted += u64(i) * stats.retire_histogram()[i];
+  }
+  EXPECT_EQ(total, stats.cycles());
+  EXPECT_EQ(weighted, stats.retired());
+}
+
+TEST(PipelineStats, StallAttributionCoversNoRetireCycles) {
+  const PipelineStats stats = profile("gap");
+  const u64 no_retire = stats.retire_histogram()[0];
+  const auto& s = stats.stalls();
+  EXPECT_EQ(s.rob_empty + s.head_executing + s.machine_stopped, no_retire);
+}
+
+TEST(PipelineStats, TimelineRowsAtStride) {
+  const PipelineStats stats = profile("gzip", 64);
+  std::ostringstream out;
+  stats.write_timeline_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "cycle,rob,sched,fq,ldq,stq,exec");
+  u64 rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, stats.cycles() / 64);
+}
+
+TEST(PipelineStats, ReportMentionsKeyNumbers) {
+  const PipelineStats stats = profile("bzip2");
+  const std::string report = stats.report();
+  EXPECT_NE(report.find("ipc="), std::string::npos);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+  EXPECT_NE(report.find("retire slots"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace restore::uarch

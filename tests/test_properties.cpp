@@ -1,0 +1,221 @@
+// Property-based suites over the substrates: paged-memory laws, checkpoint
+// undo-log inversion, assembler/disassembler agreement, and statistics
+// invariants. Parameterised gtest sweeps provide the property-style coverage.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/checkpoint.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/core.hpp"
+#include "vm/memory.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore {
+namespace {
+
+// ---- PagedMemory laws ----
+
+class MemoryLaw : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MemoryLaw, StoreThenLoadReturnsStoredValue) {
+  const unsigned bytes = GetParam();
+  vm::PagedMemory mem;
+  mem.map_region(0x10000, 0x4000, isa::Perms::kReadWrite);
+  Rng rng(bytes * 1000003);
+  for (int i = 0; i < 3000; ++i) {
+    const u64 addr = 0x10000 + rng.below(0x4000 / bytes) * bytes;
+    const u64 value = rng.next();
+    ASSERT_TRUE(mem.store(addr, bytes, value).ok());
+    const auto loaded = mem.load(addr, bytes);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value, value & mask64(bytes * 8)) << addr;
+  }
+}
+
+TEST_P(MemoryLaw, MisalignedAccessesAlwaysFault) {
+  const unsigned bytes = GetParam();
+  if (bytes == 1) return;  // bytes are always aligned
+  vm::PagedMemory mem;
+  mem.map_region(0x10000, 0x1000, isa::Perms::kReadWrite);
+  Rng rng(bytes);
+  for (int i = 0; i < 500; ++i) {
+    const u64 misalign = 1 + rng.below(bytes - 1);
+    const u64 addr = 0x10000 + rng.below(0x800 / bytes) * bytes + misalign;
+    EXPECT_EQ(mem.load(addr, bytes).fault, isa::ExceptionKind::kMemAlignment);
+    EXPECT_EQ(mem.store(addr, bytes, 0).fault, isa::ExceptionKind::kMemAlignment);
+  }
+}
+
+TEST_P(MemoryLaw, NarrowStoresOnlyTouchTheirBytes) {
+  const unsigned bytes = GetParam();
+  if (bytes == 8) return;
+  vm::PagedMemory mem;
+  mem.map_region(0x10000, 0x1000, isa::Perms::kReadWrite);
+  Rng rng(99 + bytes);
+  for (int i = 0; i < 500; ++i) {
+    const u64 base = 0x10000 + rng.below(0x100) * 8;
+    const u64 canvas = rng.next();
+    mem.store(base, 8, canvas);
+    const unsigned slot = static_cast<unsigned>(rng.below(8 / bytes));
+    const u64 narrow = rng.next();
+    mem.store(base + slot * bytes, bytes, narrow);
+    const u64 readback = mem.load(base, 8).value;
+    // Bytes outside the narrow store are unchanged.
+    const u64 narrow_mask = mask64(bytes * 8) << (slot * bytes * 8);
+    EXPECT_EQ(readback & ~narrow_mask, canvas & ~narrow_mask);
+    EXPECT_EQ((readback & narrow_mask) >> (slot * bytes * 8),
+              narrow & mask64(bytes * 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MemoryLaw, ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---- checkpoint undo-log inversion ----
+
+TEST(CheckpointProperty, UndoLogExactlyInvertsRandomStoreSequences) {
+  // Drive random store sequences through a real core while checkpointing;
+  // rolling back must reproduce the memory image that existed at the
+  // checkpoint, byte for byte (digest compare against a shadow copy).
+  Rng rng(0x5EED);
+  for (int round = 0; round < 10; ++round) {
+    const auto& wl = workloads::by_name(round % 2 ? "vortex" : "bzip2");
+    uarch::Core core(wl.program);
+    core.run(200 + rng.below(3'000));
+    if (!core.running()) continue;
+
+    core::CheckpointManager mgr(50 + rng.below(100), 2);
+    mgr.maybe_checkpoint(core, true);
+
+    // Advance with bookkeeping, remembering the memory image at each
+    // checkpoint.
+    std::map<u64, u64> digest_at;  // retired_at -> memory digest
+    digest_at[core.retired_count()] = core.memory().digest();
+    const u64 until = core.retired_count() + 400 + rng.below(800);
+    while (core.running() && core.retired_count() < until) {
+      core.cycle();
+      for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+      if (mgr.maybe_checkpoint(core)) {
+        digest_at[core.retired_count()] = core.memory().digest();
+      }
+    }
+    if (!core.running()) continue;
+
+    const u64 target = mgr.oldest().retired_at;
+    ASSERT_TRUE(digest_at.count(target)) << target;
+    mgr.rollback(core);
+    EXPECT_EQ(core.memory().digest(), digest_at[target]) << "round " << round;
+  }
+}
+
+// ---- assembler / disassembler agreement ----
+
+TEST(AsmDisasmProperty, DisassembledRealInstructionsReassembleIdentically) {
+  // Every text-segment word of every workload must survive
+  // decode -> disassemble -> reassemble unchanged.
+  for (const auto& wl : workloads::all()) {
+    for (const auto& seg : wl.program.segments) {
+      if (!isa::has_perm(seg.perms, isa::Perms::kExec)) continue;
+      int checked = 0;
+      for (std::size_t off = 0; off + 4 <= seg.bytes.size(); off += 4) {
+        u32 word = 0;
+        for (int b = 3; b >= 0; --b) word = (word << 8) | seg.bytes[off + b];
+        const isa::DecodedInst inst = isa::decode(word);
+        if (!inst.valid) continue;
+        // Branch/jump displacements print as byte offsets which the
+        // assembler expects as labels; skip control flow in the round-trip.
+        if (isa::is_control(inst.op)) continue;
+        const std::string text = "main: " + isa::disassemble(inst) + "\nhalt\n";
+        isa::Program reassembled;
+        ASSERT_NO_THROW(reassembled = isa::assemble(text)) << text;
+        u32 word2 = 0;
+        const auto& bytes = reassembled.segments.at(0).bytes;
+        for (int b = 3; b >= 0; --b) word2 = (word2 << 8) | bytes[b];
+        EXPECT_EQ(word2, word) << text;
+        ++checked;
+      }
+      EXPECT_GT(checked, 20) << wl.name;
+    }
+  }
+}
+
+// ---- statistics invariants ----
+
+TEST(StatsProperty, WilsonIntervalAlwaysContainsTheEstimate) {
+  Rng rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = 1 + rng.below(20'000);
+    const std::size_t k = rng.below(n + 1);
+    const auto ci = wilson_interval(k, n);
+    EXPECT_LE(ci.lo, ci.estimate + 1e-12);
+    EXPECT_GE(ci.hi, ci.estimate - 1e-12);
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+  }
+}
+
+TEST(StatsProperty, WilsonMarginShrinksWithSamples) {
+  double last = 1.0;
+  for (std::size_t n : {10u, 100u, 1'000u, 10'000u, 100'000u}) {
+    const double margin = wilson_interval(n / 2, n).margin();
+    EXPECT_LT(margin, last);
+    last = margin;
+  }
+}
+
+TEST(StatsProperty, OnlineStatsMatchesBatchForRandomData) {
+  Rng rng(4242);
+  for (int round = 0; round < 50; ++round) {
+    OnlineStats online;
+    std::vector<double> data;
+    const int n = 2 + static_cast<int>(rng.below(500));
+    for (int i = 0; i < n; ++i) {
+      const double x = static_cast<double>(rng.next() % 1'000'000) / 1000.0;
+      online.add(x);
+      data.push_back(x);
+    }
+    double mean = 0;
+    for (double x : data) mean += x;
+    mean /= n;
+    double var = 0;
+    for (double x : data) var += (x - mean) * (x - mean);
+    var /= (n - 1);
+    EXPECT_NEAR(online.mean(), mean, 1e-6 * std::max(1.0, mean));
+    EXPECT_NEAR(online.variance(), var, 1e-5 * std::max(1.0, var));
+  }
+}
+
+// ---- VM snapshot/restore determinism ----
+
+TEST(VmProperty, RestoreFromSnapshotReplaysIdentically) {
+  Rng rng(808);
+  const auto& wl = workloads::by_name("parser");
+  for (int round = 0; round < 5; ++round) {
+    vm::Vm vm(wl.program);
+    vm.run(1'000 + rng.below(20'000));
+    ASSERT_TRUE(vm.running());
+    const vm::ArchSnapshot snap = vm.snapshot();
+    const u64 digest_before = vm.memory().digest();
+
+    // Continue two clones from the same snapshot (memory is shared state, so
+    // clone the whole VM and restore registers).
+    vm::Vm a = vm;
+    vm::Vm b = vm;
+    a.restore(snap);
+    b.restore(snap);
+    a.run(5'000);
+    b.run(5'000);
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.memory().digest(), b.memory().digest());
+    for (u8 r = 0; r < isa::kNumArchRegs; ++r) EXPECT_EQ(a.reg(r), b.reg(r));
+    (void)digest_before;
+  }
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,365 @@
+// Tests for the ReStore architecture layer: checkpoint store, event log, and
+// the symptom-triggered rollback engine — including end-to-end recovery of
+// injected soft errors, genuine-exception delivery, rollback policies, and
+// dynamic throttling.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/event_log.hpp"
+#include "core/restore_core.hpp"
+#include "isa/assembler.hpp"
+#include "uarch/state_registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::core {
+namespace {
+
+using uarch::Core;
+
+// ---- CheckpointManager ----
+
+TEST(CheckpointManager, TakesCheckpointsAtInterval) {
+  const auto& wl = workloads::by_name("gap");
+  Core core(wl.program);
+  CheckpointManager mgr(100, 2);
+  mgr.maybe_checkpoint(core, true);
+  u64 taken = 1;
+  while (core.running() && core.retired_count() < 2'000) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+    if (mgr.maybe_checkpoint(core)) ++taken;
+  }
+  // ~2000 instructions at interval 100 => about 20 checkpoints.
+  EXPECT_GE(taken, 15u);
+  EXPECT_LE(taken, 25u);
+  EXPECT_EQ(mgr.live(), 2u);
+}
+
+TEST(CheckpointManager, RollbackRestoresRegistersAndMemory) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 0\n"
+      "  la s1, data\n"
+      "loop:\n"
+      "  sd s0, 0(s1)\n"      // overwrite the same doubleword repeatedly
+      "  addi s0, s0, 1\n"
+      "  slti t0, s0, 400\n"
+      "  bnez t0, loop\n"
+      "  halt\n"
+      ".data\n"
+      ".align 8\n"
+      "data: .word64 0xAAAA\n");
+  Core core(program);
+  CheckpointManager mgr(50, 2);
+  mgr.maybe_checkpoint(core, true);
+
+  // Run some instructions with checkpointing.
+  while (core.running() && core.retired_count() < 600) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+    mgr.maybe_checkpoint(core);
+  }
+  ASSERT_TRUE(core.running());
+
+  const u64 checkpoint_pos = mgr.oldest().retired_at;
+  const vm::ArchSnapshot expected = mgr.oldest().arch;
+  const u64 expected_mem = [&] {
+    // Memory at the checkpoint: data slot held the loop counter at that time.
+    return core.memory().load(program.symbol("data"), 8).value;  // placeholder
+  }();
+  (void)expected_mem;
+
+  const u64 distance = mgr.rollback(core);
+  EXPECT_GE(distance, 50u);   // at least one interval back
+  EXPECT_LE(distance, 150u);  // at most two intervals + skid
+  EXPECT_TRUE(core.running());
+  EXPECT_EQ(core.arch_snapshot(), expected);
+  (void)checkpoint_pos;
+
+  // Restored memory must be consistent with the restored registers: the data
+  // word must be one of the values written before the checkpoint.
+  const u64 mem_value = core.memory().load(program.symbol("data"), 8).value;
+  const u64 s0_restored = expected.regs[20];
+  // data holds s0_restored-1's store or the initial 0xAAAA if none yet.
+  EXPECT_TRUE(mem_value == s0_restored - 1 || (s0_restored == 0 && mem_value == 0xAAAA))
+      << "mem=" << mem_value << " s0=" << s0_restored;
+
+  // And the machine must re-execute to completion correctly.
+  core.run(1'000'000);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+}
+
+TEST(CheckpointManager, RollbackWithoutCheckpointThrows) {
+  const auto& wl = workloads::by_name("gap");
+  Core core(wl.program);
+  CheckpointManager mgr(100, 2);
+  EXPECT_THROW(mgr.rollback(core), std::logic_error);
+  EXPECT_THROW(mgr.oldest(), std::logic_error);
+}
+
+// ---- EventLog ----
+
+vm::Retired make_branch(u64 index, u64 pc, bool taken, u64 target) {
+  vm::Retired rec;
+  rec.pc = pc;
+  rec.is_ctrl = true;
+  rec.taken = taken;
+  rec.next_pc = target;
+  (void)index;
+  return rec;
+}
+
+TEST(EventLogTest, RecordsOnlyControlFlow) {
+  EventLog log;
+  vm::Retired alu;
+  alu.pc = 0x100;
+  log.record(alu, 1);
+  EXPECT_EQ(log.size(), 0u);
+  log.record(make_branch(2, 0x104, true, 0x200), 2);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventLogTest, ReplayComparesOutcomes) {
+  EventLog log;
+  log.record(make_branch(10, 0x100, true, 0x200), 10);
+  log.record(make_branch(12, 0x204, false, 0x208), 12);
+  log.begin_replay(9, 1000);
+  EXPECT_TRUE(log.compare(make_branch(0, 0x100, true, 0x200)));
+  // Divergent outcome: detected error.
+  EXPECT_FALSE(log.compare(make_branch(0, 0x204, true, 0x300)));
+  EXPECT_EQ(log.mismatches(), 1u);
+  log.end_replay();
+  EXPECT_FALSE(log.replaying());
+  EXPECT_EQ(log.size(), 2u);  // the history survives replay
+}
+
+TEST(EventLogTest, ReplayStartsAfterCheckpointIndex) {
+  EventLog log;
+  log.record(make_branch(5, 0xA0, true, 0xB0), 5);
+  log.record(make_branch(15, 0xC0, true, 0xD0), 15);
+  log.begin_replay(10, 1000);  // checkpoint at retired_count 10
+  // The first compared entry must be the one at index 15.
+  EXPECT_TRUE(log.compare(make_branch(0, 0xC0, true, 0xD0)));
+  EXPECT_EQ(log.compared(), 1u);
+}
+
+TEST(EventLogTest, CapacityBounded) {
+  EventLog log(8);
+  for (u64 i = 0; i < 100; ++i) {
+    log.record(make_branch(i, 0x1000 + 4 * i, true, 0x2000), i);
+  }
+  EXPECT_LE(log.size(), 8u);
+}
+
+// ---- ReStoreCore ----
+
+TEST(ReStoreCoreTest, CleanRunCompletesWithCorrectOutput) {
+  const auto& wl = workloads::by_name("gzip");
+  ReStoreCore restore(wl.program);
+  restore.run(10'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+  EXPECT_EQ(restore.stats().genuine_exceptions, 0u);
+  EXPECT_GT(restore.checkpoints().checkpoints_taken(), 10u);
+}
+
+TEST(ReStoreCoreTest, AllWorkloadsSurviveWithReStoreEnabled) {
+  for (const auto& wl : workloads::all()) {
+    ReStoreCore restore(wl.program);
+    restore.run(20'000'000);
+    EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted) << wl.name;
+    EXPECT_EQ(restore.output(), wl.clean_output) << wl.name;
+  }
+}
+
+// The flagship end-to-end property: inject microarchitectural bit flips that
+// produce exception symptoms; ReStore must detect, roll back, and finish the
+// program with the correct output.
+TEST(ReStoreCoreTest, RecoversInjectedFaults) {
+  const auto& wl = workloads::by_name("mcf");
+  const auto& reg = uarch::StateRegistry::instance();
+  Rng rng(0x4EC0);
+
+  int recovered = 0, attempts = 0, rollback_runs = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    ReStoreCore restore(wl.program);
+    // Warm up to a random point.
+    const u64 warm = 500 + rng.below(4'000);
+    restore.run(warm);
+    if (!restore.running()) continue;
+    ++attempts;
+    reg.flip(restore.core(), reg.sample(rng));
+    restore.run(20'000'000);
+    if (restore.status() == ReStoreCore::Status::kHalted &&
+        restore.output() == wl.clean_output) {
+      ++recovered;
+      if (restore.stats().rollbacks > 0) ++rollback_runs;
+    }
+  }
+  ASSERT_GT(attempts, 30);
+  // The vast majority of flips are masked or recovered; only flips that
+  // corrupt state *behind* the checkpoint may produce wrong output.
+  EXPECT_GE(recovered, attempts * 8 / 10)
+      << "recovered " << recovered << "/" << attempts;
+  EXPECT_GT(rollback_runs, 0) << "no trial exercised an actual rollback";
+}
+
+TEST(ReStoreCoreTest, GenuineExceptionIsDeliveredAfterVerification) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 100\n"
+      "warm:\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, warm\n"
+      "  li r1, 0x7000000\n"
+      "  slli r1, r1, 16\n"
+      "  ld r2, 0(r1)\n"  // genuine translation fault
+      "  halt\n");
+  ReStoreCore restore(program);
+  restore.run(1'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kArchitectedFault);
+  EXPECT_EQ(restore.architected_fault(), isa::ExceptionKind::kMemTranslation);
+  // It must have rolled back at least once to verify (re-execute) first.
+  EXPECT_GE(restore.stats().exception_rollbacks, 1u);
+  EXPECT_EQ(restore.stats().genuine_exceptions, 1u);
+}
+
+TEST(ReStoreCoreTest, TransientExceptionDoesNotReachSoftware) {
+  // Corrupt a live pointer register value -> exception symptom -> rollback
+  // restores the clean value -> program completes.
+  const auto& wl = workloads::by_name("vortex");
+  const auto& reg = uarch::StateRegistry::instance();
+  ReStoreCore restore(wl.program);
+  restore.run(2'000);
+  ASSERT_TRUE(restore.running());
+
+  // Find the physical register holding a mapped architectural register and
+  // flip a high bit so the next dereference explodes.
+  uarch::Core& core = restore.core();
+  const u8 tag = core.arch_rat_[4];  // a2: a live pointer in the insert loop
+  core.prf_[tag & 127] ^= (u64{1} << 40);
+  (void)reg;
+
+  restore.run(20'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+TEST(ReStoreCoreTest, DelayedPolicyAlsoRecovers) {
+  const auto& wl = workloads::by_name("bzip2");
+  ReStoreOptions options;
+  options.policy = RollbackPolicy::kDelayed;
+  ReStoreCore restore(wl.program, options);
+  restore.run(10'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+}
+
+TEST(ReStoreCoreTest, BranchSymptomCausesFalsePositiveRollbacks) {
+  // With no injected faults at all, high-confidence mispredictions still
+  // trigger rollbacks (the false positives whose cost Figure 7 quantifies) —
+  // and the program must still complete correctly.
+  const auto& wl = workloads::by_name("gap");
+  ReStoreOptions options;
+  options.throttle_max_rollbacks = 1'000'000;  // disable throttling
+  ReStoreCore restore(wl.program, options);
+  restore.run(20'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+  EXPECT_GT(restore.stats().branch_rollbacks, 0u);
+  EXPECT_GT(restore.stats().reexecuted_insns, 0u);
+  // False positives detect no actual error during replay.
+  EXPECT_EQ(restore.stats().detected_errors, 0u);
+}
+
+TEST(ReStoreCoreTest, ThrottlingLimitsRollbackStorms) {
+  const auto& wl = workloads::by_name("gap");
+  ReStoreOptions aggressive;
+  aggressive.throttle_window = 5'000;
+  aggressive.throttle_max_rollbacks = 1;
+  aggressive.throttle_penalty = 20'000;
+  ReStoreCore throttled(wl.program, aggressive);
+  throttled.run(20'000'000);
+  EXPECT_EQ(throttled.status(), ReStoreCore::Status::kHalted);
+
+  ReStoreOptions permissive;
+  permissive.throttle_max_rollbacks = 1'000'000;
+  ReStoreCore unthrottled(wl.program, permissive);
+  unthrottled.run(20'000'000);
+  EXPECT_EQ(unthrottled.status(), ReStoreCore::Status::kHalted);
+
+  EXPECT_LT(throttled.stats().branch_rollbacks,
+            unthrottled.stats().branch_rollbacks);
+  EXPECT_GT(throttled.stats().throttle_engagements, 0u);
+}
+
+TEST(ReStoreCoreTest, SymptomsCanBeDisabled) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li r1, 0x7000000\n"
+      "  slli r1, r1, 16\n"
+      "  ld r2, 0(r1)\n"
+      "  halt\n");
+  ReStoreOptions options;
+  options.exception_symptom = false;
+  ReStoreCore restore(program, options);
+  restore.run(100'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kArchitectedFault);
+  EXPECT_EQ(restore.stats().rollbacks, 0u);
+}
+
+TEST(ReStoreCoreTest, CheckpointIntervalSweepAllComplete) {
+  const auto& wl = workloads::by_name("gzip");
+  for (u64 interval : {10ull, 25ull, 100ull, 500ull, 1000ull}) {
+    ReStoreOptions options;
+    options.checkpoint_interval = interval;
+    ReStoreCore restore(wl.program, options);
+    restore.run(30'000'000);
+    EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted) << interval;
+    EXPECT_EQ(restore.output(), wl.clean_output) << interval;
+  }
+}
+
+TEST(ReStoreCoreTest, WatchdogRecoveryHealsWedgedMachine) {
+  const auto& wl = workloads::by_name("gap");
+  uarch::CoreConfig config;
+  config.watchdog_cycles = 256;
+  ReStoreCore restore(wl.program, {}, config);
+  restore.run(3'000);
+  ASSERT_TRUE(restore.running());
+  // Wedge the machine: rotate the ROB head so retirement points at junk.
+  uarch::Core& core = restore.core();
+  core.rob_head_ = (core.rob_head_ + 17) & (uarch::kRobEntries - 1);
+  restore.run(30'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.output(), wl.clean_output);
+  EXPECT_GE(restore.stats().watchdog_rollbacks, 1u);
+}
+
+TEST(ReStoreCoreTest, CheckpointLatencyChargesStallCycles) {
+  const auto& wl = workloads::by_name("gzip");
+  ReStoreOptions ideal;
+  ideal.checkpoint_interval = 100;
+  ReStoreCore zero(wl.program, ideal);
+  zero.run(100'000'000);
+  ASSERT_EQ(zero.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(zero.stall_cycles(), 0u);
+
+  ReStoreOptions costly = ideal;
+  costly.checkpoint_latency_cycles = 4;
+  costly.restore_latency_cycles = 16;
+  ReStoreCore priced(wl.program, costly);
+  priced.run(100'000'000);
+  ASSERT_EQ(priced.status(), ReStoreCore::Status::kHalted);
+  EXPECT_EQ(priced.output(), wl.clean_output);
+  // Every checkpoint costs 4 cycles (except the free one at construction);
+  // rollbacks add 16 each.
+  const u64 expected = 4 * (priced.checkpoints().checkpoints_taken() - 1) +
+                       16 * priced.stats().rollbacks;
+  EXPECT_EQ(priced.stall_cycles(), expected);
+  EXPECT_GT(priced.cycle_count(), zero.cycle_count());
+}
+
+}  // namespace
+}  // namespace restore::core

@@ -1,0 +1,127 @@
+// Focused tests on rollback-policy mechanics and checkpoint-store edge cases
+// that the end-to-end suites exercise only incidentally.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/restore_core.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::core {
+namespace {
+
+TEST(CheckpointEdge, SingleLiveCheckpointRollsBackToItself) {
+  const auto& wl = workloads::by_name("gap");
+  uarch::Core core(wl.program);
+  core.run(1'000);
+  ASSERT_TRUE(core.running());
+  CheckpointManager mgr(100, 1);
+  mgr.maybe_checkpoint(core, true);
+  const u64 position = mgr.oldest().retired_at;
+  // Advance less than one interval: the only live checkpoint is the one just
+  // taken, so rollback distance equals progress since then.
+  while (core.running() && core.retired_count() < position + 40) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+  }
+  const u64 distance = mgr.rollback(core);
+  EXPECT_LE(distance, 45u);
+  EXPECT_TRUE(core.running());
+}
+
+TEST(CheckpointEdge, EvictionKeepsNewestN) {
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  CheckpointManager mgr(50, 4);
+  mgr.maybe_checkpoint(core, true);
+  u64 last_oldest = mgr.oldest().retired_at;
+  while (core.running() && core.retired_count() < 2'000) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+    mgr.maybe_checkpoint(core);
+    ASSERT_LE(mgr.live(), 4u);
+    // The oldest checkpoint only moves forward.
+    ASSERT_GE(mgr.oldest().retired_at, last_oldest);
+    last_oldest = mgr.oldest().retired_at;
+  }
+  EXPECT_EQ(mgr.live(), 4u);
+}
+
+TEST(CheckpointEdge, ForceCheckpointIgnoresInterval) {
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  CheckpointManager mgr(1'000'000, 2);
+  EXPECT_TRUE(mgr.maybe_checkpoint(core, true));
+  EXPECT_FALSE(mgr.maybe_checkpoint(core));        // interval not elapsed
+  EXPECT_TRUE(mgr.maybe_checkpoint(core, true));   // forced anyway
+  EXPECT_EQ(mgr.checkpoints_taken(), 2u);
+}
+
+TEST(DelayedPolicy, RollbackWaitsForTheIntervalBoundary) {
+  // Construct a program with one guaranteed high-confidence misprediction (a
+  // long-trained loop exit), run under the delayed policy, and check the
+  // rollback happens at/after the boundary rather than at the symptom.
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 400\n"
+      "loop:\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, loop\n"     // exit mispredicts with saturated confidence
+      "  li s1, 500\n"
+      "tail:\n"
+      "  addi s1, s1, -1\n"
+      "  bnez s1, tail\n"
+      "  halt\n");
+  ReStoreOptions options;
+  options.policy = RollbackPolicy::kDelayed;
+  options.checkpoint_interval = 100;
+  options.throttle_max_rollbacks = ~u64{0};
+  ReStoreCore restore(program, options);
+  restore.run(1'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  if (restore.stats().branch_rollbacks > 0) {
+    // Delayed rollback goes to the boundary: mean distance ~2 intervals.
+    const double mean_distance =
+        static_cast<double>(restore.stats().reexecuted_insns) /
+        restore.stats().rollbacks;
+    EXPECT_GE(mean_distance, options.checkpoint_interval);
+  }
+}
+
+TEST(DelayedPolicy, OnlyOneRollbackPerInterval) {
+  const auto& wl = workloads::by_name("gap");
+  ReStoreOptions imm;
+  imm.checkpoint_interval = 200;
+  imm.throttle_max_rollbacks = ~u64{0};
+  ReStoreOptions delayed = imm;
+  delayed.policy = RollbackPolicy::kDelayed;
+
+  ReStoreCore a(wl.program, imm);
+  a.run(400'000'000);
+  ReStoreCore b(wl.program, delayed);
+  b.run(400'000'000);
+  ASSERT_EQ(a.status(), ReStoreCore::Status::kHalted);
+  ASSERT_EQ(b.status(), ReStoreCore::Status::kHalted);
+  // Batching cannot produce more rollbacks than the immediate policy.
+  EXPECT_LE(b.stats().rollbacks, a.stats().rollbacks);
+  EXPECT_EQ(a.output(), b.output());
+}
+
+TEST(Throttle, WindowResetsAfterQuietPeriod) {
+  const auto& wl = workloads::by_name("gap");
+  ReStoreOptions options;
+  options.checkpoint_interval = 100;
+  options.throttle_window = 5'000;
+  options.throttle_max_rollbacks = 1;
+  options.throttle_penalty = 2'000;
+  ReStoreCore restore(wl.program, options);
+  restore.run(400'000'000);
+  EXPECT_EQ(restore.status(), ReStoreCore::Status::kHalted);
+  // Throttling engaged on this false-positive-heavy workload, yet rollbacks
+  // resumed after the penalty windows (the schedule has many symptom bursts).
+  EXPECT_GT(restore.stats().throttle_engagements, 0u);
+  EXPECT_GE(restore.stats().branch_rollbacks, options.throttle_max_rollbacks);
+}
+
+}  // namespace
+}  // namespace restore::core

@@ -1,0 +1,93 @@
+// Tests for the SYNC instruction: assembly, VM semantics, core retirement,
+// and the forced-checkpoint behaviour the paper requires for synchronizing
+// events (§2.1).
+#include <gtest/gtest.h>
+
+#include "core/restore_core.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+
+namespace restore {
+namespace {
+
+constexpr const char* kSyncProgram =
+    "main:\n"
+    "  li s0, 30\n"
+    "loop:\n"
+    "  sd s0, 0(sp)\n"
+    "  sync\n"
+    "  addi s0, s0, -1\n"
+    "  bnez s0, loop\n"
+    "  halt\n";
+
+TEST(Sync, Assembles) {
+  const auto program = isa::assemble("main: sync\n halt\n");
+  EXPECT_EQ(isa::disassemble(isa::encode_sync()), "sync");
+  (void)program;
+}
+
+TEST(Sync, VmTreatsItAsOrderingNoop) {
+  vm::Vm vm(isa::assemble(kSyncProgram));
+  bool saw_sync = false;
+  while (auto rec = vm.step()) {
+    if (rec->is_sync) {
+      saw_sync = true;
+      EXPECT_FALSE(rec->wrote_reg);
+      EXPECT_FALSE(rec->is_store);
+      EXPECT_EQ(rec->next_pc, rec->pc + 4);
+    }
+  }
+  EXPECT_EQ(vm.status(), vm::Vm::Status::kHalted);
+  EXPECT_TRUE(saw_sync);
+}
+
+TEST(Sync, CoreCosimsWithVm) {
+  const auto program = isa::assemble(kSyncProgram);
+  vm::Vm vm(program);
+  uarch::Core core(program);
+  while (core.running()) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) {
+      const auto ref = vm.step();
+      ASSERT_TRUE(ref.has_value());
+      ASSERT_TRUE(rec.same_effect(*ref));
+      EXPECT_EQ(rec.is_sync, ref->is_sync);
+    }
+  }
+  EXPECT_EQ(core.status(), uarch::Core::Status::kHalted);
+}
+
+TEST(Sync, ForcesCheckpointsInReStore) {
+  // With a huge interval, periodic checkpointing never fires; the 30 syncs
+  // must still force one checkpoint each.
+  const auto program = isa::assemble(kSyncProgram);
+  core::ReStoreOptions options;
+  options.checkpoint_interval = 1'000'000;
+  core::ReStoreCore restore(program, options);
+  restore.run(1'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  // 1 at construction + one per sync.
+  EXPECT_GE(restore.checkpoints().checkpoints_taken(), 31u);
+}
+
+TEST(Sync, WithoutSyncNoForcedCheckpoints) {
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 30\n"
+      "loop:\n"
+      "  sd s0, 0(sp)\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, loop\n"
+      "  halt\n");
+  core::ReStoreOptions options;
+  options.checkpoint_interval = 1'000'000;
+  core::ReStoreCore restore(program, options);
+  restore.run(1'000'000);
+  EXPECT_EQ(restore.status(), core::ReStoreCore::Status::kHalted);
+  EXPECT_EQ(restore.checkpoints().checkpoints_taken(), 1u);
+}
+
+}  // namespace
+}  // namespace restore

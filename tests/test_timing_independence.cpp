@@ -1,0 +1,102 @@
+// Timing-independence property: the architectural behaviour of the core (its
+// retired-effect stream and output) must be identical under any latency
+// configuration — only cycle counts may change. This pins down the separation
+// between the functional and timing halves of the model.
+#include <gtest/gtest.h>
+
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::uarch {
+namespace {
+
+struct TimingCase {
+  const char* name;
+  CoreConfig config;
+};
+
+std::vector<TimingCase> timing_cases() {
+  std::vector<TimingCase> cases;
+  {
+    TimingCase c{"fast_everything", {}};
+    c.config.mul_latency = 1;
+    c.config.div_latency = 1;
+    c.config.l1d_hit_latency = 1;
+    c.config.l1d_miss_latency = 2;
+    c.config.l1i_miss_penalty = 1;
+    cases.push_back(c);
+  }
+  {
+    TimingCase c{"slow_memory", {}};
+    c.config.l1d_hit_latency = 6;
+    c.config.l1d_miss_latency = 28;
+    c.config.l1i_miss_penalty = 20;
+    cases.push_back(c);
+  }
+  {
+    TimingCase c{"slow_alu", {}};
+    c.config.alu_latency = 2;
+    c.config.mul_latency = 8;
+    c.config.div_latency = 24;
+    cases.push_back(c);
+  }
+  {
+    TimingCase c{"tight_watchdog", {}};
+    c.config.watchdog_cycles = 300;  // must never fire on clean runs
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class TimingIndependence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(TimingIndependence, RetiredStreamInvariant) {
+  const auto& [workload, case_index] = GetParam();
+  const TimingCase variant = timing_cases()[case_index];
+  const auto& wl = workloads::by_name(workload);
+
+  vm::Vm vm(wl.program);
+  Core core(wl.program, variant.config);
+  u64 compared = 0;
+  while (core.running()) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) {
+      const auto ref = vm.step();
+      ASSERT_TRUE(ref.has_value()) << variant.name;
+      ASSERT_TRUE(rec.same_effect(*ref))
+          << variant.name << " diverged at insn " << compared;
+      ++compared;
+    }
+  }
+  EXPECT_EQ(core.status(), Core::Status::kHalted) << variant.name;
+  EXPECT_EQ(core.output(), wl.clean_output) << variant.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimingIndependence,
+    ::testing::Combine(::testing::Values(std::string("gzip"), std::string("vortex"),
+                                         std::string("parser")),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{3})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             timing_cases()[std::get<1>(info.param)].name;
+    });
+
+TEST(TimingVariance, LatenciesActuallyChangeCycleCounts) {
+  // Guard against the timing knobs silently becoming no-ops.
+  const auto& wl = workloads::by_name("vortex");
+  Core fast(wl.program, timing_cases()[0].config);
+  Core slow(wl.program, timing_cases()[1].config);
+  fast.run(100'000'000);
+  slow.run(100'000'000);
+  ASSERT_EQ(fast.status(), Core::Status::kHalted);
+  ASSERT_EQ(slow.status(), Core::Status::kHalted);
+  EXPECT_LT(fast.cycle_count(), slow.cycle_count());
+  EXPECT_EQ(fast.retired_count(), slow.retired_count());
+}
+
+}  // namespace
+}  // namespace restore::uarch

@@ -1,0 +1,204 @@
+// Targeted pipeline-behaviour tests: the store-to-load forwarding matrix
+// across all size/offset combinations, return-address-stack and BTB
+// effectiveness, and the register-renaming conservation invariant.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::uarch {
+namespace {
+
+// ---- store-to-load forwarding matrix ----
+//
+// For every (store width, load width, offset) combination where the load lies
+// within the store, forwarding must produce the architecturally correct
+// value; where it only partially overlaps, the replay path must still produce
+// the correct value (by waiting for the store to drain).
+
+struct FwdCase {
+  const char* store_op;
+  unsigned store_bytes;
+  const char* load_op;
+  unsigned load_bytes;
+  unsigned offset;
+};
+
+std::string fwd_name(const ::testing::TestParamInfo<FwdCase>& info) {
+  std::ostringstream out;
+  out << info.param.store_op << "_" << info.param.load_op << "_off"
+      << info.param.offset;
+  return out.str();
+}
+
+class ForwardingMatrix : public ::testing::TestWithParam<FwdCase> {};
+
+TEST_P(ForwardingMatrix, CoreMatchesVm) {
+  const FwdCase& c = GetParam();
+  std::ostringstream source;
+  source << "main:\n"
+         << "  li r1, 0x1BADF00DCAFE1234\n"
+         << "  li r2, 0x7777777777777777\n"
+         << "  sd r2, 0(sp)\n"           // background pattern, drained
+         << "  li r9, 40\n"
+         << "w: addi r9, r9, -1\n"       // let the background store drain
+         << "  bnez r9, w\n"
+         << "  " << c.store_op << " r1, 0(sp)\n"
+         << "  " << c.load_op << " r3, " << c.offset << "(sp)\n"  // in shadow
+         << "  add r4, r3, r3\n"
+         << "  out r3\n"
+         << "  halt\n";
+  const auto program = isa::assemble(source.str());
+
+  vm::Vm vm(program);
+  vm.run(10'000);
+  ASSERT_EQ(vm.status(), vm::Vm::Status::kHalted);
+
+  Core core(program);
+  core.run(100'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.output(), vm.output()) << source.str();
+  EXPECT_EQ(core.arch_snapshot().regs[3], vm.reg(3)) << source.str();
+}
+
+std::vector<FwdCase> forwarding_cases() {
+  std::vector<FwdCase> cases;
+  struct Op {
+    const char* store;
+    const char* load;
+    unsigned bytes;
+  };
+  const Op ops[] = {{"sb", "lbu", 1}, {"sh", "lhu", 2}, {"sw", "lwu", 4},
+                    {"sd", "ld", 8}};
+  for (const Op& st : ops) {
+    for (const Op& ld : ops) {
+      for (unsigned offset = 0; offset + ld.bytes <= 8; offset += ld.bytes) {
+        // Only offsets aligned to the load size are legal accesses.
+        cases.push_back({st.store, st.bytes, ld.load, ld.bytes, offset});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, ForwardingMatrix,
+                         ::testing::ValuesIn(forwarding_cases()), fwd_name);
+
+// ---- RAS effectiveness ----
+
+TEST(RasEffectiveness, NestedCallsDoNotFlushThePipe) {
+  // An 6-deep call chain executed repeatedly: with a working RAS the returns
+  // predict perfectly after warmup, so flushes stay near the loop-exit count.
+  const auto program = isa::assemble(
+      "main:\n"
+      "  li s0, 200\n"
+      "outer:\n"
+      "  call f1\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, outer\n"
+      "  halt\n"
+      "f1: addi sp, sp, -8\n  sd ra, 0(sp)\n  call f2\n  ld ra, 0(sp)\n"
+      "  addi sp, sp, 8\n  ret\n"
+      "f2: addi sp, sp, -8\n  sd ra, 0(sp)\n  call f3\n  ld ra, 0(sp)\n"
+      "  addi sp, sp, 8\n  ret\n"
+      "f3: addi sp, sp, -8\n  sd ra, 0(sp)\n  call f4\n  ld ra, 0(sp)\n"
+      "  addi sp, sp, 8\n  ret\n"
+      "f4: addi sp, sp, -8\n  sd ra, 0(sp)\n  call f5\n  ld ra, 0(sp)\n"
+      "  addi sp, sp, 8\n  ret\n"
+      "f5: addi r1, r1, 1\n  ret\n");
+  Core core(program);
+  core.run(10'000'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  // 200 iterations x 5 returns = 1000 returns; a broken RAS would flush on
+  // most of them.
+  EXPECT_LT(core.counters().flushes, 300u)
+      << "returns are mispredicting: RAS ineffective";
+}
+
+TEST(BtbEffectiveness, IndirectJumpTargetLearned) {
+  // A jalr that repeatedly jumps to the same computed target: after the BTB
+  // warms up, fetch follows it without flushing every iteration.
+  const auto program = isa::assemble(
+      "main:\n"
+      "  la s1, hop\n"
+      "  li s0, 300\n"
+      "loop:\n"
+      "  jalr r8, s1, 0\n"
+      "back:\n"
+      "  addi s0, s0, -1\n"
+      "  bnez s0, loop\n"
+      "  halt\n"
+      "hop:\n"
+      "  addi r1, r1, 1\n"
+      "  jalr zero, r8, 0\n");  // indirect return via r8 (not the RAS reg)
+  Core core(program);
+  core.run(10'000'000);
+  ASSERT_EQ(core.status(), Core::Status::kHalted);
+  // 300 iterations x 2 indirect jumps; without a BTB every one flushes.
+  EXPECT_LT(core.counters().flushes, 250u);
+}
+
+// ---- renaming conservation invariant ----
+
+// At any instant, every physical register tag is accounted for exactly once:
+// it is either in the live window of the free list, mapped by the speculative
+// RAT, or held as the previous mapping (pold) of an in-flight writer.
+void check_tag_conservation(const Core& core, u64 cycle) {
+  std::multiset<unsigned> tags;
+  // Free-list live window.
+  for (unsigned i = 0; i < core.fl_count_; ++i) {
+    tags.insert(core.free_ring_[(core.fl_head_ + i) & (kFreeListEntries - 1)] &
+                (kNumPhysRegs - 1));
+  }
+  // Speculative map.
+  for (unsigned r = 0; r < isa::kNumArchRegs; ++r) {
+    tags.insert(core.spec_rat_[r] & (kNumPhysRegs - 1));
+  }
+  // Previous mappings of in-flight writers.
+  for (unsigned i = 0; i < core.rob_count_; ++i) {
+    const RobEntry& e = core.rob_[(core.rob_head_ + i) & (kRobEntries - 1)];
+    if (e.valid && e.writes_reg) tags.insert(e.pold & (kNumPhysRegs - 1));
+  }
+  ASSERT_EQ(tags.size(), kNumPhysRegs) << "cycle " << cycle;
+  unsigned expected = 0;
+  for (const unsigned tag : tags) {
+    ASSERT_EQ(tag, expected) << "tag accounted twice or lost at cycle " << cycle;
+    ++expected;
+  }
+}
+
+TEST(RenameInvariant, TagConservationHoldsThroughoutExecution) {
+  for (const char* name : {"gzip", "gcc", "parser"}) {
+    Core core(workloads::by_name(name).program);
+    u64 cycle = 0;
+    while (core.running() && cycle < 30'000) {
+      core.cycle();
+      if (++cycle % 97 == 0) {
+        check_tag_conservation(core, cycle);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(RenameInvariant, HoldsAcrossResetTo) {
+  const auto& wl = workloads::by_name("mcf");
+  Core core(wl.program);
+  core.run(2'000);
+  ASSERT_TRUE(core.running());
+  const vm::ArchSnapshot snap = core.arch_snapshot();
+  core.run(1'000);
+  core.reset_to(snap);
+  check_tag_conservation(core, 0);
+  core.run(500);
+  check_tag_conservation(core, 500);
+}
+
+}  // namespace
+}  // namespace restore::uarch

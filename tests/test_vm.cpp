@@ -1,0 +1,314 @@
+// Tests for the paged memory and architectural VM: load/store semantics,
+// exception generation, control flow, and snapshot/restore.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "vm/exec.hpp"
+#include "vm/memory.hpp"
+#include "vm/vm.hpp"
+
+namespace restore::vm {
+namespace {
+
+using isa::ExceptionKind;
+using isa::Opcode;
+using isa::Perms;
+
+Vm make_vm(const std::string& asm_source) {
+  return Vm(isa::assemble(asm_source));
+}
+
+// ---- PagedMemory ----
+
+TEST(Memory, UnmappedAccessFaults) {
+  PagedMemory mem;
+  EXPECT_EQ(mem.load(0x5000, 8).fault, ExceptionKind::kMemTranslation);
+  EXPECT_EQ(mem.store(0x5000, 8, 1).fault, ExceptionKind::kMemTranslation);
+  EXPECT_EQ(mem.fetch(0x5000).fault, ExceptionKind::kMemTranslation);
+}
+
+TEST(Memory, AlignmentCheckedBeforeTranslation) {
+  PagedMemory mem;
+  EXPECT_EQ(mem.load(0x5001, 8).fault, ExceptionKind::kMemAlignment);
+  EXPECT_EQ(mem.load(0x5002, 4).fault, ExceptionKind::kMemAlignment);
+  EXPECT_EQ(mem.fetch(0x5002).fault, ExceptionKind::kMemAlignment);
+}
+
+TEST(Memory, PermissionsEnforced) {
+  PagedMemory mem;
+  mem.map_region(0x1000, 0x1000, Perms::kReadExec);
+  EXPECT_EQ(mem.store(0x1000, 8, 1).fault, ExceptionKind::kMemProtection);
+  EXPECT_TRUE(mem.load(0x1000, 8).ok());
+  EXPECT_TRUE(mem.fetch(0x1000).ok());
+
+  mem.map_region(0x3000, 0x1000, Perms::kReadWrite);
+  EXPECT_EQ(mem.fetch(0x3000).fault, ExceptionKind::kMemProtection);
+}
+
+TEST(Memory, LoadStoreRoundTrip) {
+  PagedMemory mem;
+  mem.map_region(0x2000, 0x1000, Perms::kReadWrite);
+  EXPECT_TRUE(mem.store(0x2008, 8, 0x1122334455667788ull).ok());
+  EXPECT_EQ(mem.load(0x2008, 8).value, 0x1122334455667788ull);
+  EXPECT_EQ(mem.load(0x2008, 4).value, 0x55667788u);   // little-endian
+  EXPECT_EQ(mem.load(0x2008, 1).value, 0x88u);
+  EXPECT_TRUE(mem.store(0x200C, 2, 0xABCD).ok());
+  EXPECT_EQ(mem.load(0x200C, 2).value, 0xABCDu);
+}
+
+TEST(Memory, CrossPageRegionsMapped) {
+  PagedMemory mem;
+  mem.map_region(0x1F00, 0x200, Perms::kReadWrite);  // spans two pages
+  EXPECT_TRUE(mem.store(0x1FF8, 8, 42).ok());
+  EXPECT_TRUE(mem.store(0x2000, 8, 43).ok());
+  EXPECT_EQ(mem.mapped_pages(), 2u);
+}
+
+TEST(Memory, DigestChangesWithContents) {
+  PagedMemory a, b;
+  a.map_region(0x1000, 0x1000, Perms::kReadWrite);
+  b.map_region(0x1000, 0x1000, Perms::kReadWrite);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_TRUE(a == b);
+  a.store(0x1000, 8, 7);
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_FALSE(a == b);
+}
+
+// ---- exec helpers ----
+
+TEST(Exec, TrappingArithmetic) {
+  isa::DecodedInst addv;
+  addv.op = Opcode::kAddv;
+  addv.valid = true;
+  const u64 max = 0x7FFFFFFFFFFFFFFFull;
+  EXPECT_EQ(exec_int_op(addv, max, 1).fault, ExceptionKind::kArithOverflow);
+  EXPECT_TRUE(exec_int_op(addv, 1, 2).ok());
+
+  isa::DecodedInst mulv;
+  mulv.op = Opcode::kMulv;
+  mulv.valid = true;
+  EXPECT_EQ(exec_int_op(mulv, max, 2).fault, ExceptionKind::kArithOverflow);
+}
+
+TEST(Exec, DivByZeroTraps) {
+  isa::DecodedInst divu;
+  divu.op = Opcode::kDivu;
+  divu.valid = true;
+  EXPECT_EQ(exec_int_op(divu, 10, 0).fault, ExceptionKind::kDivByZero);
+  EXPECT_EQ(exec_int_op(divu, 10, 3).value, 3u);
+}
+
+TEST(Exec, WordOpsSignExtend) {
+  isa::DecodedInst addw;
+  addw.op = Opcode::kAddw;
+  addw.valid = true;
+  EXPECT_EQ(exec_int_op(addw, 0x7FFFFFFF, 1).value, 0xFFFFFFFF80000000ull);
+}
+
+TEST(Exec, BranchConditions) {
+  EXPECT_TRUE(eval_branch(Opcode::kBeq, 5, 5));
+  EXPECT_FALSE(eval_branch(Opcode::kBeq, 5, 6));
+  EXPECT_TRUE(eval_branch(Opcode::kBlt, static_cast<u64>(-1), 0));   // signed
+  EXPECT_FALSE(eval_branch(Opcode::kBltu, static_cast<u64>(-1), 0));  // unsigned
+  EXPECT_TRUE(eval_branch(Opcode::kBgeu, static_cast<u64>(-1), 0));
+}
+
+TEST(Exec, LoadExtension) {
+  EXPECT_EQ(extend_load(Opcode::kLb, 0x80), 0xFFFFFFFFFFFFFF80ull);
+  EXPECT_EQ(extend_load(Opcode::kLbu, 0x80), 0x80u);
+  EXPECT_EQ(extend_load(Opcode::kLw, 0x80000000), 0xFFFFFFFF80000000ull);
+  EXPECT_EQ(extend_load(Opcode::kLwu, 0x80000000), 0x80000000u);
+}
+
+// ---- VM ----
+
+TEST(Vm, ArithmeticProgram) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 6\n"
+      "  li r2, 7\n"
+      "  mul r3, r1, r2\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  EXPECT_EQ(vm.reg(3), 42u);
+}
+
+TEST(Vm, LoopComputesSum) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 0\n"      // sum
+      "  li r2, 10\n"     // counter
+      "loop:\n"
+      "  beqz r2, done\n"
+      "  add r1, r1, r2\n"
+      "  addi r2, r2, -1\n"
+      "  j loop\n"
+      "done: halt\n");
+  vm.run(1000);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  EXPECT_EQ(vm.reg(1), 55u);
+}
+
+TEST(Vm, MemoryAndStack) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  addi sp, sp, -16\n"
+      "  li r1, 0x1234\n"
+      "  sd r1, 8(sp)\n"
+      "  ld r2, 8(sp)\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  EXPECT_EQ(vm.reg(2), 0x1234u);
+}
+
+TEST(Vm, FunctionCallAndReturn) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li a0, 5\n"
+      "  call double_it\n"
+      "  halt\n"
+      "double_it:\n"
+      "  add rv, a0, a0\n"
+      "  ret\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  EXPECT_EQ(vm.reg(isa::parse_register("rv")), 10u);
+}
+
+TEST(Vm, OutputDevice) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 72\n"   // 'H'
+      "  out r1\n"
+      "  li r1, 105\n"  // 'i'
+      "  out r1\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.output(), "Hi");
+}
+
+TEST(Vm, ZeroRegisterAlwaysZero) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  addi zero, zero, 55\n"
+      "  add r1, zero, zero\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.reg(1), 0u);
+  EXPECT_EQ(vm.reg(31), 0u);
+}
+
+TEST(Vm, UnmappedLoadFaults) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 0x40000000\n"
+      "  ld r2, 0(r1)\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kFaulted);
+  EXPECT_EQ(vm.fault(), ExceptionKind::kMemTranslation);
+}
+
+TEST(Vm, MisalignedStoreFaults) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 0x200001\n"
+      "  sd r2, 0(r1)\n"
+      "  halt\n"
+      ".data\n"
+      "x: .word64 0\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kFaulted);
+  EXPECT_EQ(vm.fault(), ExceptionKind::kMemAlignment);
+}
+
+TEST(Vm, WriteToTextFaults) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 0x10000\n"
+      "  sd r2, 0(r1)\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kFaulted);
+  EXPECT_EQ(vm.fault(), ExceptionKind::kMemProtection);
+}
+
+TEST(Vm, ArithmeticOverflowFaults) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 0x7FFFFFFFFFFFFFFF\n"
+      "  li r2, 1\n"
+      "  addv r3, r1, r2\n"
+      "  halt\n");
+  vm.run(100);
+  EXPECT_EQ(vm.status(), Vm::Status::kFaulted);
+  EXPECT_EQ(vm.fault(), ExceptionKind::kArithOverflow);
+}
+
+TEST(Vm, RetiredRecordsDescribeEffects) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 5\n"
+      "  sw r1, 0(sp)\n"
+      "  beq r1, r1, target\n"
+      "  nop\n"
+      "target: halt\n");
+  const auto li = vm.step();
+  ASSERT_TRUE(li.has_value());
+  EXPECT_TRUE(li->wrote_reg);
+  EXPECT_EQ(li->rd, 1);
+  EXPECT_EQ(li->rd_value, 5u);
+
+  const auto sw = vm.step();
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_TRUE(sw->is_store);
+  EXPECT_EQ(sw->store_bytes, 4);
+  EXPECT_EQ(sw->store_data, 5u);
+
+  const auto beq = vm.step();
+  ASSERT_TRUE(beq.has_value());
+  EXPECT_TRUE(beq->is_cond_branch);
+  EXPECT_TRUE(beq->taken);
+  EXPECT_EQ(beq->next_pc, beq->pc + 8);
+
+  const auto halt = vm.step();
+  ASSERT_TRUE(halt.has_value());
+  EXPECT_TRUE(halt->halted);
+  EXPECT_FALSE(vm.step().has_value());
+}
+
+TEST(Vm, SnapshotRestoreRoundTrip) {
+  Vm vm = make_vm(
+      "main:\n"
+      "  li r1, 1\n"
+      "  li r2, 2\n"
+      "  li r3, 3\n"
+      "  halt\n");
+  vm.step();
+  const ArchSnapshot snap = vm.snapshot();
+  vm.run(10);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  vm.restore(snap);
+  EXPECT_TRUE(vm.running());
+  EXPECT_EQ(vm.pc(), snap.pc);
+  EXPECT_EQ(vm.reg(1), 1u);
+  vm.run(10);
+  EXPECT_EQ(vm.status(), Vm::Status::kHalted);
+  EXPECT_EQ(vm.reg(3), 3u);
+}
+
+TEST(Vm, RunRespectsBudget) {
+  Vm vm = make_vm(
+      "main:\n"
+      "loop: addi r1, r1, 1\n"
+      "  j loop\n");
+  EXPECT_EQ(vm.run(500), 500u);
+  EXPECT_TRUE(vm.running());
+  EXPECT_EQ(vm.retired_count(), 500u);
+}
+
+}  // namespace
+}  // namespace restore::vm

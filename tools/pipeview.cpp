@@ -1,0 +1,121 @@
+// pipeview: run a workload (or an .s file) on the detailed core and print a
+// pipeline-utilisation profile — occupancy means, retire-slot usage, stall
+// attribution, and an ASCII occupancy strip chart. Optionally dumps the full
+// timeline as CSV.
+//
+//   $ pipeview gzip
+//   $ pipeview path/to/program.s --chart rob --timeline-csv occ.csv
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "isa/assembler.hpp"
+#include "uarch/core.hpp"
+#include "uarch/pipeline_stats.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace restore;
+
+namespace {
+
+isa::Program resolve_program(const std::string& arg) {
+  if (arg.size() > 2 && arg.substr(arg.size() - 2) == ".s") {
+    std::ifstream in(arg);
+    if (!in) throw std::runtime_error("cannot open " + arg);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return isa::assemble(buffer.str(), {}, arg);
+  }
+  return workloads::by_name(arg).program;
+}
+
+// An ASCII strip chart: occupancy of one structure over time, downsampled to
+// 72 columns, 8 intensity levels.
+void print_chart(const uarch::PipelineStats& stats, const std::string& which,
+                 std::ostream& unused) {
+  (void)unused;
+  std::ostringstream csv;
+  stats.write_timeline_csv(csv);
+  std::istringstream in(csv.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::istringstream header(line);
+  std::string col;
+  int column = -1, idx = 0;
+  while (std::getline(header, col, ',')) {
+    if (col == which) column = idx;
+    ++idx;
+  }
+  if (column < 0) {
+    std::printf("unknown chart column '%s' (use rob/sched/fq/ldq/stq/exec)\n",
+                which.c_str());
+    return;
+  }
+  std::vector<unsigned> values;
+  while (std::getline(in, line)) {
+    std::istringstream cells(line);
+    std::string cell;
+    for (int i = 0; i <= column; ++i) std::getline(cells, cell, ',');
+    values.push_back(static_cast<unsigned>(std::stoul(cell)));
+  }
+  if (values.empty()) return;
+  const unsigned peak = *std::max_element(values.begin(), values.end());
+  constexpr int kColumns = 72;
+  const char* shades = " .:-=+*#@";
+  std::string strip;
+  for (int c = 0; c < kColumns; ++c) {
+    const std::size_t lo = values.size() * c / kColumns;
+    const std::size_t hi = std::max(lo + 1, values.size() * (c + 1) / kColumns);
+    unsigned acc = 0;
+    for (std::size_t i = lo; i < hi && i < values.size(); ++i) {
+      acc = std::max(acc, values[i]);
+    }
+    const int level = peak ? static_cast<int>(8.0 * acc / peak) : 0;
+    strip.push_back(shades[std::clamp(level, 0, 8)]);
+  }
+  std::printf("%s occupancy over time (peak %u):\n[%s]\n", which.c_str(), peak,
+              strip.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: pipeview <workload|program.s> [--max N] [--chart col] "
+                 "[--timeline-csv file]\n"
+                 "workloads: bzip2 gap gcc gzip mcf parser vortex crafty twolf\n");
+    return 2;
+  }
+
+  isa::Program program;
+  try {
+    program = resolve_program(args.positional()[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pipeview: %s\n", e.what());
+    return 1;
+  }
+
+  uarch::Core core(program);
+  uarch::PipelineStats stats;
+  stats.enable_timeline(static_cast<unsigned>(args.value_u64("stride", 16)));
+  const u64 budget = args.value_u64("max", 100'000'000);
+  while (core.running() && core.cycle_count() < budget) {
+    core.cycle();
+    stats.observe(core);
+  }
+
+  std::printf("%s\n", stats.report().c_str());
+  print_chart(stats, args.value("chart").value_or("rob"), std::cout);
+
+  if (const auto path = args.value("timeline-csv")) {
+    std::ofstream out(*path);
+    stats.write_timeline_csv(out);
+    std::printf("wrote timeline to %s\n", path->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// sra_asm: assemble an SRA-64 source file and print a listing — addresses,
+// encodings, disassembly, segments, and the symbol table.
+//
+//   $ sra_asm program.s [--symbols]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+
+using namespace restore;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: sra_asm <program.s> [--symbols]\n");
+    return 2;
+  }
+  std::ifstream in(args.positional()[0]);
+  if (!in) {
+    std::fprintf(stderr, "sra_asm: cannot open %s\n", args.positional()[0].c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  isa::Program program;
+  try {
+    program = isa::assemble(buffer.str(), {}, args.positional()[0]);
+  } catch (const isa::AsmError& e) {
+    std::fprintf(stderr, "sra_asm: %s: %s\n", args.positional()[0].c_str(), e.what());
+    return 1;
+  }
+
+  std::printf("%s: %zu bytes, entry 0x%llx\n\n", program.name.c_str(),
+              program.image_bytes(), static_cast<unsigned long long>(program.entry));
+
+  for (const auto& seg : program.segments) {
+    const bool exec = isa::has_perm(seg.perms, isa::Perms::kExec);
+    std::printf("segment 0x%llx..0x%llx  %s\n",
+                static_cast<unsigned long long>(seg.vaddr),
+                static_cast<unsigned long long>(seg.vaddr + seg.bytes.size()),
+                exec ? "r-x" : "rw-");
+    if (!exec) continue;
+    for (std::size_t off = 0; off + 4 <= seg.bytes.size(); off += 4) {
+      u32 word = 0;
+      for (int b = 3; b >= 0; --b) word = (word << 8) | seg.bytes[off + b];
+      // Label this address if a symbol points here.
+      for (const auto& [name, addr] : program.symbols) {
+        if (addr == seg.vaddr + off) std::printf("%s:\n", name.c_str());
+      }
+      std::printf("  %08llx:  %08x  %s\n",
+                  static_cast<unsigned long long>(seg.vaddr + off), word,
+                  isa::disassemble(word).c_str());
+    }
+  }
+
+  if (args.has_flag("symbols")) {
+    std::printf("\nsymbols:\n");
+    for (const auto& [name, addr] : program.symbols) {
+      std::printf("  %08llx  %s\n", static_cast<unsigned long long>(addr),
+                  name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// sra_run: assemble and execute an SRA-64 source file on any of the three
+// machines in the library.
+//
+//   $ sra_run program.s                        # architectural VM
+//   $ sra_run program.s --machine core         # detailed out-of-order core
+//   $ sra_run program.s --machine restore \
+//             --interval 100 --policy delayed  # full ReStore
+//
+// Options: --max N (instruction/cycle budget), --stats, --trace (VM only).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "core/restore_core.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/core.hpp"
+#include "vm/vm.hpp"
+
+using namespace restore;
+
+namespace {
+
+void print_output(const std::string& output) {
+  std::printf("output (%zu bytes):", output.size());
+  for (const char c : output) {
+    std::printf(" %02x", static_cast<unsigned char>(c));
+  }
+  std::printf("\n");
+}
+
+int run_vm(const isa::Program& program, u64 budget, bool trace) {
+  vm::Vm vm(program);
+  if (trace) {
+    while (vm.running() && vm.retired_count() < budget) {
+      const u64 pc = vm.pc();
+      const auto rec = vm.step();
+      if (!rec) break;
+      std::printf("%08llx: %s\n", static_cast<unsigned long long>(pc),
+                  isa::disassemble(rec->insn).c_str());
+    }
+  } else {
+    vm.run(budget);
+  }
+  std::printf("vm: status=%d retired=%llu fault=%s\n",
+              static_cast<int>(vm.status()),
+              static_cast<unsigned long long>(vm.retired_count()),
+              std::string(isa::to_string(vm.fault())).c_str());
+  print_output(vm.output());
+  return vm.status() == vm::Vm::Status::kHalted ? 0 : 1;
+}
+
+int run_core(const isa::Program& program, u64 budget, bool stats) {
+  uarch::Core machine(program);
+  machine.run(budget);
+  std::printf("core: status=%d cycles=%llu retired=%llu ipc=%.2f fault=%s\n",
+              static_cast<int>(machine.status()),
+              static_cast<unsigned long long>(machine.cycle_count()),
+              static_cast<unsigned long long>(machine.retired_count()),
+              machine.cycle_count()
+                  ? static_cast<double>(machine.retired_count()) /
+                        machine.cycle_count()
+                  : 0.0,
+              std::string(isa::to_string(machine.fault())).c_str());
+  if (stats) {
+    const auto& c = machine.counters();
+    std::printf("  cond branches=%llu mispredicts=%llu (%.2f%%) "
+                "hiconf-mis=%llu l1d-misses=%llu flushes=%llu\n",
+                static_cast<unsigned long long>(c.cond_branches),
+                static_cast<unsigned long long>(c.cond_mispredicts),
+                c.cond_branches ? 100.0 * c.cond_mispredicts / c.cond_branches : 0.0,
+                static_cast<unsigned long long>(c.high_conf_mispredicts),
+                static_cast<unsigned long long>(c.l1d_misses),
+                static_cast<unsigned long long>(c.flushes));
+  }
+  print_output(machine.output());
+  return machine.status() == uarch::Core::Status::kHalted ? 0 : 1;
+}
+
+int run_restore(const isa::Program& program, u64 budget, const CliArgs& args,
+                bool stats) {
+  core::ReStoreOptions options;
+  options.checkpoint_interval = args.value_u64("interval", 100);
+  if (args.value("policy").value_or("imm") == "delayed") {
+    options.policy = core::RollbackPolicy::kDelayed;
+  }
+  core::ReStoreCore machine(program, options);
+  machine.run(budget);
+  std::printf("restore: status=%d cycles=%llu retired=%llu fault=%s\n",
+              static_cast<int>(machine.status()),
+              static_cast<unsigned long long>(machine.cycle_count()),
+              static_cast<unsigned long long>(machine.retired_count()),
+              std::string(isa::to_string(machine.architected_fault())).c_str());
+  if (stats) {
+    const auto& s = machine.stats();
+    std::printf("  checkpoints=%llu rollbacks=%llu (exc=%llu br=%llu wd=%llu) "
+                "reexec=%llu detected-errors=%llu\n",
+                static_cast<unsigned long long>(
+                    machine.checkpoints().checkpoints_taken()),
+                static_cast<unsigned long long>(s.rollbacks),
+                static_cast<unsigned long long>(s.exception_rollbacks),
+                static_cast<unsigned long long>(s.branch_rollbacks),
+                static_cast<unsigned long long>(s.watchdog_rollbacks),
+                static_cast<unsigned long long>(s.reexecuted_insns),
+                static_cast<unsigned long long>(s.detected_errors));
+  }
+  print_output(machine.output());
+  return machine.status() == core::ReStoreCore::Status::kHalted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: sra_run <program.s> [--machine vm|core|restore] "
+                 "[--max N] [--interval N] [--policy imm|delayed] [--stats] "
+                 "[--trace]\n");
+    return 2;
+  }
+  std::ifstream in(args.positional()[0]);
+  if (!in) {
+    std::fprintf(stderr, "sra_run: cannot open %s\n", args.positional()[0].c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  isa::Program program;
+  try {
+    program = isa::assemble(buffer.str(), {}, args.positional()[0]);
+  } catch (const isa::AsmError& e) {
+    std::fprintf(stderr, "sra_run: %s: %s\n", args.positional()[0].c_str(), e.what());
+    return 1;
+  }
+
+  const u64 budget = args.value_u64("max", 100'000'000);
+  const std::string machine = args.value("machine").value_or("vm");
+  const bool stats = args.has_flag("stats");
+  if (machine == "vm") return run_vm(program, budget, args.has_flag("trace"));
+  if (machine == "core") return run_core(program, budget, stats);
+  if (machine == "restore") return run_restore(program, budget, args, stats);
+  std::fprintf(stderr, "sra_run: unknown machine '%s'\n", machine.c_str());
+  return 2;
+}
