@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_vm_injection.dir/fig2_vm_injection.cpp.o"
+  "CMakeFiles/fig2_vm_injection.dir/fig2_vm_injection.cpp.o.d"
+  "fig2_vm_injection"
+  "fig2_vm_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_vm_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

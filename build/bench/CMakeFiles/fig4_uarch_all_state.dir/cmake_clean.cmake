@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_uarch_all_state.dir/fig4_uarch_all_state.cpp.o"
+  "CMakeFiles/fig4_uarch_all_state.dir/fig4_uarch_all_state.cpp.o.d"
+  "fig4_uarch_all_state"
+  "fig4_uarch_all_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_uarch_all_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

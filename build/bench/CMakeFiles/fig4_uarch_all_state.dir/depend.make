@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_uarch_all_state.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_restore_baseline.dir/fig5_restore_baseline.cpp.o"
+  "CMakeFiles/fig5_restore_baseline.dir/fig5_restore_baseline.cpp.o.d"
+  "fig5_restore_baseline"
+  "fig5_restore_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_restore_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

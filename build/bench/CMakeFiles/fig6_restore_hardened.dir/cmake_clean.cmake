@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_restore_hardened.dir/fig6_restore_hardened.cpp.o"
+  "CMakeFiles/fig6_restore_hardened.dir/fig6_restore_hardened.cpp.o.d"
+  "fig6_restore_hardened"
+  "fig6_restore_hardened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_restore_hardened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_mtbf.dir/headline_mtbf.cpp.o"
+  "CMakeFiles/headline_mtbf.dir/headline_mtbf.cpp.o.d"
+  "headline_mtbf"
+  "headline_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_symptom.dir/custom_symptom.cpp.o"
+  "CMakeFiles/custom_symptom.dir/custom_symptom.cpp.o.d"
+  "custom_symptom"
+  "custom_symptom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_symptom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

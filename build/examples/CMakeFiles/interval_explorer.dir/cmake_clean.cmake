@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_explorer.dir/interval_explorer.cpp.o"
+  "CMakeFiles/interval_explorer.dir/interval_explorer.cpp.o.d"
+  "interval_explorer"
+  "interval_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

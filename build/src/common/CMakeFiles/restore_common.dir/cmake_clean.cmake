@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_common.dir/cli.cpp.o"
+  "CMakeFiles/restore_common.dir/cli.cpp.o.d"
+  "CMakeFiles/restore_common.dir/stats.cpp.o"
+  "CMakeFiles/restore_common.dir/stats.cpp.o.d"
+  "CMakeFiles/restore_common.dir/table.cpp.o"
+  "CMakeFiles/restore_common.dir/table.cpp.o.d"
+  "CMakeFiles/restore_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/restore_common.dir/thread_pool.cpp.o.d"
+  "librestore_common.a"
+  "librestore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/restore_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/restore_core.dir/event_log.cpp.o"
+  "CMakeFiles/restore_core.dir/event_log.cpp.o.d"
+  "CMakeFiles/restore_core.dir/restore_core.cpp.o"
+  "CMakeFiles/restore_core.dir/restore_core.cpp.o.d"
+  "librestore_core.a"
+  "librestore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultinject/classify.cpp" "src/faultinject/CMakeFiles/restore_faultinject.dir/classify.cpp.o" "gcc" "src/faultinject/CMakeFiles/restore_faultinject.dir/classify.cpp.o.d"
+  "/root/repo/src/faultinject/export.cpp" "src/faultinject/CMakeFiles/restore_faultinject.dir/export.cpp.o" "gcc" "src/faultinject/CMakeFiles/restore_faultinject.dir/export.cpp.o.d"
+  "/root/repo/src/faultinject/uarch_campaign.cpp" "src/faultinject/CMakeFiles/restore_faultinject.dir/uarch_campaign.cpp.o" "gcc" "src/faultinject/CMakeFiles/restore_faultinject.dir/uarch_campaign.cpp.o.d"
+  "/root/repo/src/faultinject/vm_campaign.cpp" "src/faultinject/CMakeFiles/restore_faultinject.dir/vm_campaign.cpp.o" "gcc" "src/faultinject/CMakeFiles/restore_faultinject.dir/vm_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/restore_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/restore_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/restore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/restore_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

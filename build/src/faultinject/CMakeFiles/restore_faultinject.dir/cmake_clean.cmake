@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_faultinject.dir/classify.cpp.o"
+  "CMakeFiles/restore_faultinject.dir/classify.cpp.o.d"
+  "CMakeFiles/restore_faultinject.dir/export.cpp.o"
+  "CMakeFiles/restore_faultinject.dir/export.cpp.o.d"
+  "CMakeFiles/restore_faultinject.dir/uarch_campaign.cpp.o"
+  "CMakeFiles/restore_faultinject.dir/uarch_campaign.cpp.o.d"
+  "CMakeFiles/restore_faultinject.dir/vm_campaign.cpp.o"
+  "CMakeFiles/restore_faultinject.dir/vm_campaign.cpp.o.d"
+  "librestore_faultinject.a"
+  "librestore_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

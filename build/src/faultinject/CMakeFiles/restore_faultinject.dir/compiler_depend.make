@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for restore_faultinject.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_isa.dir/assembler.cpp.o"
+  "CMakeFiles/restore_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/restore_isa.dir/disasm.cpp.o"
+  "CMakeFiles/restore_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/restore_isa.dir/instruction.cpp.o"
+  "CMakeFiles/restore_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/restore_isa.dir/program.cpp.o"
+  "CMakeFiles/restore_isa.dir/program.cpp.o.d"
+  "librestore_isa.a"
+  "librestore_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

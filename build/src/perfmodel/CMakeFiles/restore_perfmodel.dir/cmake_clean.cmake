@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_perfmodel.dir/overhead.cpp.o"
+  "CMakeFiles/restore_perfmodel.dir/overhead.cpp.o.d"
+  "librestore_perfmodel.a"
+  "librestore_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

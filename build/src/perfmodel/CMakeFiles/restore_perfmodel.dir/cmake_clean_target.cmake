@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librestore_perfmodel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_reliability.dir/fit.cpp.o"
+  "CMakeFiles/restore_reliability.dir/fit.cpp.o.d"
+  "librestore_reliability.a"
+  "librestore_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/caches.cpp" "src/uarch/CMakeFiles/restore_uarch.dir/caches.cpp.o" "gcc" "src/uarch/CMakeFiles/restore_uarch.dir/caches.cpp.o.d"
+  "/root/repo/src/uarch/core.cpp" "src/uarch/CMakeFiles/restore_uarch.dir/core.cpp.o" "gcc" "src/uarch/CMakeFiles/restore_uarch.dir/core.cpp.o.d"
+  "/root/repo/src/uarch/pipeline_stats.cpp" "src/uarch/CMakeFiles/restore_uarch.dir/pipeline_stats.cpp.o" "gcc" "src/uarch/CMakeFiles/restore_uarch.dir/pipeline_stats.cpp.o.d"
+  "/root/repo/src/uarch/predictors.cpp" "src/uarch/CMakeFiles/restore_uarch.dir/predictors.cpp.o" "gcc" "src/uarch/CMakeFiles/restore_uarch.dir/predictors.cpp.o.d"
+  "/root/repo/src/uarch/state_registry.cpp" "src/uarch/CMakeFiles/restore_uarch.dir/state_registry.cpp.o" "gcc" "src/uarch/CMakeFiles/restore_uarch.dir/state_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/restore_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/restore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_uarch.dir/caches.cpp.o"
+  "CMakeFiles/restore_uarch.dir/caches.cpp.o.d"
+  "CMakeFiles/restore_uarch.dir/core.cpp.o"
+  "CMakeFiles/restore_uarch.dir/core.cpp.o.d"
+  "CMakeFiles/restore_uarch.dir/pipeline_stats.cpp.o"
+  "CMakeFiles/restore_uarch.dir/pipeline_stats.cpp.o.d"
+  "CMakeFiles/restore_uarch.dir/predictors.cpp.o"
+  "CMakeFiles/restore_uarch.dir/predictors.cpp.o.d"
+  "CMakeFiles/restore_uarch.dir/state_registry.cpp.o"
+  "CMakeFiles/restore_uarch.dir/state_registry.cpp.o.d"
+  "librestore_uarch.a"
+  "librestore_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

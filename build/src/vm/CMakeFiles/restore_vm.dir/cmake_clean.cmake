@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_vm.dir/exec.cpp.o"
+  "CMakeFiles/restore_vm.dir/exec.cpp.o.d"
+  "CMakeFiles/restore_vm.dir/memory.cpp.o"
+  "CMakeFiles/restore_vm.dir/memory.cpp.o.d"
+  "CMakeFiles/restore_vm.dir/vm.cpp.o"
+  "CMakeFiles/restore_vm.dir/vm.cpp.o.d"
+  "librestore_vm.a"
+  "librestore_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

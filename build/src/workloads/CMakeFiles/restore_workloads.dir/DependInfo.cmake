@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/wl_bzip2.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_bzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_bzip2.cpp.o.d"
+  "/root/repo/src/workloads/wl_crafty.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_crafty.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_crafty.cpp.o.d"
+  "/root/repo/src/workloads/wl_gap.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gap.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gap.cpp.o.d"
+  "/root/repo/src/workloads/wl_gcc.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gcc.cpp.o.d"
+  "/root/repo/src/workloads/wl_gzip.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gzip.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_gzip.cpp.o.d"
+  "/root/repo/src/workloads/wl_mcf.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_mcf.cpp.o.d"
+  "/root/repo/src/workloads/wl_parser.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_parser.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_parser.cpp.o.d"
+  "/root/repo/src/workloads/wl_twolf.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_twolf.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_twolf.cpp.o.d"
+  "/root/repo/src/workloads/wl_vortex.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/wl_vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/wl_vortex.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/restore_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/restore_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/restore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/restore_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

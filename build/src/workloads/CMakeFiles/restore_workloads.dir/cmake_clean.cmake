@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_workloads.dir/wl_bzip2.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_bzip2.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_crafty.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_crafty.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_gap.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_gap.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_gcc.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_gcc.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_gzip.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_gzip.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_mcf.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_mcf.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_parser.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_parser.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_twolf.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_twolf.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/wl_vortex.cpp.o"
+  "CMakeFiles/restore_workloads.dir/wl_vortex.cpp.o.d"
+  "CMakeFiles/restore_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/restore_workloads.dir/workloads.cpp.o.d"
+  "librestore_workloads.a"
+  "librestore_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

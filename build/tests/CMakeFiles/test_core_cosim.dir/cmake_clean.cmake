@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cosim.dir/test_core_cosim.cpp.o"
+  "CMakeFiles/test_core_cosim.dir/test_core_cosim.cpp.o.d"
+  "test_core_cosim"
+  "test_core_cosim.pdb"
+  "test_core_cosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_cosim.dir/test_fuzz_cosim.cpp.o"
+  "CMakeFiles/test_fuzz_cosim.dir/test_fuzz_cosim.cpp.o.d"
+  "test_fuzz_cosim"
+  "test_fuzz_cosim.pdb"
+  "test_fuzz_cosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_semantics.dir/test_isa_semantics.cpp.o"
+  "CMakeFiles/test_isa_semantics.dir/test_isa_semantics.cpp.o.d"
+  "test_isa_semantics"
+  "test_isa_semantics.pdb"
+  "test_isa_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

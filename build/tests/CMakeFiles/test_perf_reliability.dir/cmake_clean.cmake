@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_reliability.dir/test_perf_reliability.cpp.o"
+  "CMakeFiles/test_perf_reliability.dir/test_perf_reliability.cpp.o.d"
+  "test_perf_reliability"
+  "test_perf_reliability.pdb"
+  "test_perf_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

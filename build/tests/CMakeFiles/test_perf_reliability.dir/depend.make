@@ -1,0 +1,2 @@
+# Empty dependencies file for test_perf_reliability.
+# This may be replaced when dependencies are built.

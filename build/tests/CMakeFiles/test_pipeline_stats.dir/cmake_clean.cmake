@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_stats.dir/test_pipeline_stats.cpp.o"
+  "CMakeFiles/test_pipeline_stats.dir/test_pipeline_stats.cpp.o.d"
+  "test_pipeline_stats"
+  "test_pipeline_stats.pdb"
+  "test_pipeline_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

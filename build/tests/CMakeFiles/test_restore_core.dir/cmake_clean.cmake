@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restore_core.dir/test_restore_core.cpp.o"
+  "CMakeFiles/test_restore_core.dir/test_restore_core.cpp.o.d"
+  "test_restore_core"
+  "test_restore_core.pdb"
+  "test_restore_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

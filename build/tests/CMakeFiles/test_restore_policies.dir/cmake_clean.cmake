@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restore_policies.dir/test_restore_policies.cpp.o"
+  "CMakeFiles/test_restore_policies.dir/test_restore_policies.cpp.o.d"
+  "test_restore_policies"
+  "test_restore_policies.pdb"
+  "test_restore_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restore_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

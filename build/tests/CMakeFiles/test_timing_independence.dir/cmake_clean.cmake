@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_independence.dir/test_timing_independence.cpp.o"
+  "CMakeFiles/test_timing_independence.dir/test_timing_independence.cpp.o.d"
+  "test_timing_independence"
+  "test_timing_independence.pdb"
+  "test_timing_independence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_pipeline.dir/test_uarch_pipeline.cpp.o"
+  "CMakeFiles/test_uarch_pipeline.dir/test_uarch_pipeline.cpp.o.d"
+  "test_uarch_pipeline"
+  "test_uarch_pipeline.pdb"
+  "test_uarch_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

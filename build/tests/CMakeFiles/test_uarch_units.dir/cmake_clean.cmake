@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_units.dir/test_uarch_units.cpp.o"
+  "CMakeFiles/test_uarch_units.dir/test_uarch_units.cpp.o.d"
+  "test_uarch_units"
+  "test_uarch_units.pdb"
+  "test_uarch_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

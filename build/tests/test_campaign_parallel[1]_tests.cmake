@@ -1,0 +1,3 @@
+add_test([=[CampaignParallelism.WorkerCountDoesNotChangeResults]=]  /root/repo/build/tests/test_campaign_parallel [==[--gtest_filter=CampaignParallelism.WorkerCountDoesNotChangeResults]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CampaignParallelism.WorkerCountDoesNotChangeResults]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_campaign_parallel_TESTS CampaignParallelism.WorkerCountDoesNotChangeResults)

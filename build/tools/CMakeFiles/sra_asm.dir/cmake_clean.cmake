@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sra_asm.dir/sra_asm.cpp.o"
+  "CMakeFiles/sra_asm.dir/sra_asm.cpp.o.d"
+  "sra_asm"
+  "sra_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sra_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

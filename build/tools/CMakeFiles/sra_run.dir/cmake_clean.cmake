@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sra_run.dir/sra_run.cpp.o"
+  "CMakeFiles/sra_run.dir/sra_run.cpp.o.d"
+  "sra_run"
+  "sra_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sra_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
