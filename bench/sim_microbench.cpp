@@ -1,7 +1,18 @@
 // Google-benchmark microbenchmarks for the simulators themselves: cycles/sec
 // of the detailed core, instructions/sec of the architectural VM, trial
 // throughput of the injection harness, and checkpoint/rollback cost.
+//
+// Before the google-benchmark suites run, main() times the fault-injection
+// hot path directly — snapshot fork + memory digest, with and without
+// copy-on-write sharing, and VM trial positioning at early vs. late
+// injection indices — and writes the numbers to BENCH_snapshot.json so the
+// perf trajectory is machine-readable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "core/restore_core.hpp"
 #include "faultinject/uarch_campaign.hpp"
@@ -47,6 +58,20 @@ void BM_CoreSnapshotCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreSnapshotCopy);
 
+void BM_SnapshotForkDigest(benchmark::State& state) {
+  // The per-trial cost the campaign pays: fork the golden machine and digest
+  // its memory. COW pages + cached page digests make both O(mapped pages).
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  core.run(5'000);
+  core.memory().digest();  // warm the page-digest caches, as a campaign would
+  for (auto _ : state) {
+    uarch::Core copy = core;
+    benchmark::DoNotOptimize(copy.memory().digest());
+  }
+}
+BENCHMARK(BM_SnapshotForkDigest);
+
 void BM_StateHash(benchmark::State& state) {
   const auto& wl = workloads::by_name("gzip");
   uarch::Core core(wl.program);
@@ -82,6 +107,124 @@ void BM_CheckpointRollback(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRollback);
 
+// ---- snapshot-fork + digest report (BENCH_snapshot.json) ----
+
+using Clock = std::chrono::steady_clock;
+
+// Median-of-runs wall time of `body`, in nanoseconds.
+template <typename F>
+double time_ns(int runs, F&& body) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int r = 0; r < runs; ++r) {
+    const auto start = Clock::now();
+    body();
+    const auto stop = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void write_snapshot_report() {
+  const auto& wl = workloads::by_name("gzip");
+
+  // Golden machine at a typical injection point, digest caches warm (the
+  // campaign digests the golden end state once per continuation).
+  uarch::Core golden(wl.program);
+  golden.run(5'000);
+  golden.memory().digest();
+  const std::size_t pages = golden.memory().mapped_pages();
+  const auto page_indices = golden.memory().mapped_page_indices();
+
+  // After: COW fork + cached digest — what run_uarch_campaign pays per trial.
+  const double cow_ns = time_ns(64, [&] {
+    uarch::Core copy = golden;
+    benchmark::DoNotOptimize(copy.memory().digest());
+  });
+
+  // Before: the pre-COW cost — every page deep-copied (forced here by
+  // touching each page of the fork, which clones it) and the digest
+  // recomputed over the full footprint.
+  const double deep_ns = time_ns(64, [&] {
+    uarch::Core copy = golden;
+    for (const u64 page : page_indices) {
+      const u64 addr = page << vm::kPageShift;
+      copy.memory().write_byte(addr, copy.memory().read_byte(addr));
+    }
+    benchmark::DoNotOptimize(copy.memory().recompute_digest());
+  });
+
+  // VM-campaign trial setup: fork from an incrementally advanced golden VM.
+  // Early vs. late injection index — the fork cost must not depend on it.
+  vm::Vm probe(wl.program);
+  u64 trace_len = 0;
+  while (probe.step()) ++trace_len;
+  const u64 early_index = trace_len / 10;
+  const u64 late_index = trace_len * 9 / 10;
+
+  vm::Vm golden_early(wl.program);
+  golden_early.run(early_index + 1);
+  const double fork_early_ns = time_ns(64, [&] {
+    vm::Vm trial = golden_early;
+    benchmark::DoNotOptimize(trial.pc());
+  });
+
+  vm::Vm golden_late(wl.program);
+  golden_late.run(late_index + 1);
+  const double fork_late_ns = time_ns(64, [&] {
+    vm::Vm trial = golden_late;
+    benchmark::DoNotOptimize(trial.pc());
+  });
+
+  // Before: positioning by re-execution from program start (what
+  // run_vm_trial still does for one-off trials).
+  const double reexec_late_ns = time_ns(8, [&] {
+    vm::Vm trial(wl.program);
+    trial.run(late_index + 1);
+    benchmark::DoNotOptimize(trial.pc());
+  });
+
+  const double fork_speedup = cow_ns > 0 ? deep_ns / cow_ns : 0.0;
+  std::FILE* out = std::fopen("BENCH_snapshot.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"workload\": \"gzip\",\n"
+                 "  \"mapped_pages\": %zu,\n"
+                 "  \"uarch_fork_digest\": {\n"
+                 "    \"cow_ns\": %.1f,\n"
+                 "    \"deep_copy_ns\": %.1f,\n"
+                 "    \"speedup\": %.2f\n"
+                 "  },\n"
+                 "  \"vm_trial_setup\": {\n"
+                 "    \"trace_length\": %llu,\n"
+                 "    \"fork_at_10pct_ns\": %.1f,\n"
+                 "    \"fork_at_90pct_ns\": %.1f,\n"
+                 "    \"reexec_to_90pct_ns\": %.1f\n"
+                 "  }\n"
+                 "}\n",
+                 pages, cow_ns, deep_ns, fork_speedup,
+                 static_cast<unsigned long long>(trace_len), fork_early_ns,
+                 fork_late_ns, reexec_late_ns);
+    std::fclose(out);
+  }
+  std::printf(
+      "snapshot fork+digest: cow %.0f ns, deep %.0f ns (%.1fx); "
+      "vm setup: fork@10%% %.0f ns, fork@90%% %.0f ns, reexec@90%% %.0f ns "
+      "-> BENCH_snapshot.json\n",
+      cow_ns, deep_ns, fork_speedup, fork_early_ns, fork_late_ns,
+      reexec_late_ns);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_snapshot_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -183,6 +183,27 @@ bench/CMakeFiles/sim_microbench.dir/sim_microbench.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/restore_core.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/checkpoint.hpp /usr/include/c++/12/deque \
@@ -192,9 +213,22 @@ bench/CMakeFiles/sim_microbench.dir/sim_microbench.cpp.o: \
  /root/repo/src/isa/program.hpp /root/repo/src/uarch/caches.hpp \
  /root/repo/src/uarch/config.hpp /root/repo/src/uarch/predictors.hpp \
  /root/repo/src/uarch/uop.hpp /root/repo/src/isa/exception.hpp \
- /root/repo/src/vm/memory.hpp /root/repo/src/vm/retired.hpp \
- /root/repo/src/vm/vm.hpp /root/repo/src/isa/instruction.hpp \
- /root/repo/src/isa/opcode.hpp /root/repo/src/core/event_log.hpp \
+ /root/repo/src/vm/memory.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/vm/retired.hpp /root/repo/src/vm/vm.hpp \
+ /root/repo/src/isa/instruction.hpp /root/repo/src/isa/opcode.hpp \
+ /root/repo/src/core/event_log.hpp \
  /root/repo/src/faultinject/uarch_campaign.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/stats.hpp \
  /root/repo/src/faultinject/outcome.hpp \

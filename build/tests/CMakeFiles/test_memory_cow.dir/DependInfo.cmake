@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_memory_cow.cpp" "tests/CMakeFiles/test_memory_cow.dir/test_memory_cow.cpp.o" "gcc" "tests/CMakeFiles/test_memory_cow.dir/test_memory_cow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/restore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/restore_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/restore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/restore_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/restore_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/restore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

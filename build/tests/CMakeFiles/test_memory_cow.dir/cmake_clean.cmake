@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_cow.dir/test_memory_cow.cpp.o"
+  "CMakeFiles/test_memory_cow.dir/test_memory_cow.cpp.o.d"
+  "test_memory_cow"
+  "test_memory_cow.pdb"
+  "test_memory_cow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

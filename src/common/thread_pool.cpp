@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace restore {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -42,8 +44,19 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  for (std::size_t i = 0; i < count; ++i) {
-    submit([&body, i] { body(i); });
+  // Block-distribute into ~4 chunks per worker instead of one task per
+  // index: one queue/lock round-trip amortizes over the whole chunk while
+  // still load-balancing uneven iteration costs.
+  const std::size_t chunks = std::min(count, threads_.size() * 4);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+    begin = end;
   }
   wait_idle();
 }

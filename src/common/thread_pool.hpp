@@ -32,7 +32,8 @@ class ThreadPool {
   void wait_idle();
 
   // Run body(i) for i in [0, count), distributing across the pool and
-  // blocking until all iterations complete.
+  // blocking until all iterations complete. Indices are block-chunked (a few
+  // chunks per worker) so queue contention is O(workers), not O(count).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:

@@ -41,7 +41,10 @@ u64 CheckpointManager::rollback(uarch::Core& core) {
   if (checkpoints_.empty()) throw std::logic_error("no live checkpoint");
   const u64 now = core.retired_count();
 
-  // Undo memory effects, newest epoch first, newest store first.
+  // Undo memory effects, newest epoch first, newest store first. Each write
+  // goes through PagedMemory::store — the copy-on-write mutator — so rolling
+  // back a forked machine never disturbs snapshots or sibling forks that
+  // still share its pages.
   for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
     for (auto undo_it = it->undo.rbegin(); undo_it != it->undo.rend(); ++undo_it) {
       core.memory().store(undo_it->addr, undo_it->bytes, undo_it->old_data);

@@ -1,8 +1,13 @@
 #include "faultinject/uarch_campaign.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "common/thread_pool.hpp"
 
@@ -151,6 +156,39 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
   return record;
 }
 
+// Clean-run cycle counts are cached across campaigns (the figure binaries
+// re-run campaigns over the same workloads). Keyed by (workload, config) —
+// timing knobs change the cycle count — and mutex-guarded so concurrent
+// campaigns cannot race the insert.
+std::string core_config_key(const uarch::CoreConfig& c) {
+  std::ostringstream key;
+  key << c.alu_latency << ',' << c.mul_latency << ',' << c.div_latency << ','
+      << c.agen_latency << ',' << c.l1d_hit_latency << ',' << c.l1d_miss_latency
+      << ',' << c.l1i_miss_penalty << ',' << c.store_forward_latency << ','
+      << c.watchdog_cycles << ',' << c.jrs_threshold << ',' << c.jrs_counter_max
+      << ',' << c.trap_on_exception << ',' << c.all_mispredicts_high_conf << ','
+      << c.illegal_flow_watchdog << ',' << c.cache_burst_symptom << ','
+      << c.cache_burst_window << ',' << c.cache_burst_threshold;
+  return key.str();
+}
+
+u64 clean_cycle_count(const workloads::Workload& wl,
+                      const uarch::CoreConfig& config) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::string, std::string>, u64> cache;
+  const auto key = std::make_pair(wl.name, core_config_key(config));
+  {
+    std::lock_guard lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  Core probe(wl.program, config);
+  probe.run(100'000'000);
+  const u64 cycles = probe.cycle_count();
+  std::lock_guard lock(mutex);
+  return cache.emplace(key, cycles).first->second;
+}
+
 }  // namespace
 
 UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
@@ -177,15 +215,12 @@ UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
     }
   }
 
+  // One pool serves the whole campaign (threads are spawned once, not
+  // re-spawned per workload).
+  ThreadPool pool(config.workers);
+
   for (const workloads::Workload* wl : selected) {
-    // Total clean cycle count (cached per workload).
-    static std::map<std::string, u64> cycle_cache;
-    u64& total_cycles = cycle_cache[wl->name];
-    if (total_cycles == 0) {
-      Core probe(wl->program, config.core_config);
-      probe.run(100'000'000);
-      total_cycles = probe.cycle_count();
-    }
+    const u64 total_cycles = clean_cycle_count(*wl, config.core_config);
 
     const u64 points =
         std::max<u64>(1, (config.trials_per_workload + config.trials_per_point - 1) /
@@ -199,13 +234,22 @@ UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
     for (u64 p = 0; p < points; ++p) cycles.push_back(rng.range(lo, hi));
     std::sort(cycles.begin(), cycles.end());
 
-    ThreadPool pool(config.workers);
+    // Trial fan-out pipelines across injection points: for each point the
+    // golden core is snapshotted (a cheap COW fork), the continuation is
+    // built, and the point's trials are submitted to the pool — then the
+    // main thread immediately advances the golden core to the next point
+    // while workers chew on the backlog. The only barrier is at the end of
+    // the workload. Each trial writes a pre-assigned slot, so results are
+    // identical for any worker count.
+    std::deque<std::vector<UarchTrialRecord>> point_records;  // stable refs
     Core golden(wl->program, config.core_config);
     u64 done = 0;
     for (u64 p = 0; p < points && done < config.trials_per_workload; ++p) {
       while (golden.running() && golden.cycle_count() < cycles[p]) golden.cycle();
       if (!golden.running()) break;
-      const GoldenContinuation continuation(golden, config.monitor_cycles);
+      const auto at_point = std::make_shared<const Core>(golden);
+      const auto continuation = std::make_shared<const GoldenContinuation>(
+          *at_point, config.monitor_cycles);
 
       // Pre-sample the point's bits sequentially so results are independent
       // of the worker count, then fan the trials out.
@@ -216,16 +260,22 @@ UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
                            ? reg.sample(rng, uarch::StorageClass::kLatch)
                            : reg.sample(rng));
       }
-      std::vector<UarchTrialRecord> records(bits.size());
-      pool.parallel_for(bits.size(), [&](std::size_t t) {
-        records[t] = run_trial(golden, continuation, bits[t],
-                               config.monitor_cycles, config.catchup_cycles);
-      });
+      done += bits.size();
+      auto& records = point_records.emplace_back(bits.size());
+      for (std::size_t t = 0; t < bits.size(); ++t) {
+        pool.submit([&records, t, bit = bits[t], at_point, continuation,
+                     monitor = config.monitor_cycles,
+                     catchup = config.catchup_cycles] {
+          records[t] = run_trial(*at_point, *continuation, bit, monitor, catchup);
+        });
+      }
+    }
+    pool.wait_idle();
+    for (auto& records : point_records) {
       for (auto& record : records) {
         record.workload = wl->name;
         result.trials.push_back(std::move(record));
       }
-      done += bits.size();
     }
   }
   return result;

@@ -43,8 +43,10 @@ struct UarchCampaignConfig {
   // detector behaviour here, e.g. all_mispredicts_high_conf).
   uarch::CoreConfig core_config;
   // Worker threads for trial execution (0 = run inline). Results are
-  // deterministic regardless: bits are pre-sampled sequentially and trials
-  // are independent.
+  // deterministic regardless: bits are pre-sampled sequentially, trials are
+  // independent and write pre-assigned result slots. Trial fan-out is
+  // pipelined: workers run trials for earlier injection points while the
+  // main thread advances the golden core to later ones.
   std::size_t workers = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "faultinject/vm_campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "common/bits.hpp"
@@ -17,10 +20,18 @@ struct GoldenTrace {
   std::vector<vm::Retired> records;
   std::vector<u64> result_indices;  // dynamic indices of register-writing insns
   std::string output;
+  // Architectural register file at the end of the clean run (residual-
+  // corruption comparison; avoids re-running a reference VM per trial).
+  std::array<u64, isa::kNumArchRegs> final_regs{};
 };
 
 const GoldenTrace& golden_trace(const workloads::Workload& workload) {
+  // Guarded so concurrent first-use from parallel trials cannot race the
+  // cache insert. std::map never invalidates element references, so the
+  // returned reference stays valid after the lock is released.
+  static std::mutex mutex;
   static std::map<std::string, GoldenTrace> cache;
+  std::lock_guard lock(mutex);
   auto it = cache.find(workload.name);
   if (it != cache.end()) return it->second;
 
@@ -31,6 +42,7 @@ const GoldenTrace& golden_trace(const workloads::Workload& workload) {
     trace.records.push_back(*rec);
   }
   trace.output = vm.output();
+  for (u8 r = 0; r < isa::kNumArchRegs; ++r) trace.final_regs[r] = vm.reg(r);
   if (trace.result_indices.empty()) {
     throw std::logic_error("workload produces no register results: " + workload.name);
   }
@@ -136,11 +148,9 @@ VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
   if (lat_exception == kNever && !pc_stream_diverged && lat_mem_addr == kNever &&
       lat_mem_data == kNever && lat_register == kNever) {
     if (vm.status() == vm::Vm::Status::kHalted) {
-      // Compare the final register file against a clean golden run.
-      vm::Vm ref(workload.program);
-      ref.run(golden.records.size() + 8);
+      // Compare the final register file against the cached clean-run state.
       for (u8 r = 0; r < isa::kNumArchRegs && !residual_register; ++r) {
-        if (vm.reg(r) != ref.reg(r)) residual_register = true;
+        if (vm.reg(r) != golden.final_regs[r]) residual_register = true;
       }
     } else {
       // Still running at budget exhaustion without any divergence event:
@@ -192,20 +202,57 @@ VmCampaignResult run_vm_campaign(const VmCampaignConfig& config) {
 
   for (const workloads::Workload* wl : selected) {
     const GoldenTrace& golden = golden_trace(*wl);
+
+    // Pre-sample every trial in the original order (so results are
+    // byte-identical to the sequential sampler for a given seed) …
+    struct PlannedTrial {
+      u64 index = 0;
+      u32 bit = 0;
+      u8 reg = 0;
+      std::size_t slot = 0;  // position in the result vector
+    };
+    std::vector<PlannedTrial> plans(config.trials_per_workload);
     for (u64 t = 0; t < config.trials_per_workload; ++t) {
-      const u32 bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
+      plans[t].slot = t;
+      plans[t].bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
       if (config.model == VmFaultModel::kResultBit) {
-        const u64 pick = rng.below(golden.result_indices.size());
-        const u64 index = golden.result_indices[pick];
-        result.trials.push_back(
-            run_vm_trial(*wl, index, bit, config.overrun_budget));
+        plans[t].index = golden.result_indices[rng.below(golden.result_indices.size())];
       } else {
-        const u64 index = rng.below(golden.records.size());
-        const u8 reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
-        result.trials.push_back(
-            run_vm_register_trial(*wl, index, reg, bit, config.overrun_budget));
+        plans[t].index = rng.below(golden.records.size());
+        plans[t].reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
       }
     }
+
+    // … then execute them in injection-index order, advancing ONE golden VM
+    // incrementally and forking each trial machine from it (COW pages make
+    // the fork O(mapped pages)). Per-trial setup cost is thus independent of
+    // the injection index instead of re-executing from program start.
+    std::vector<std::size_t> order(plans.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return plans[a].index < plans[b].index;
+    });
+
+    std::vector<VmTrialResult> trials(plans.size());
+    vm::Vm golden_vm(wl->program);
+    u64 steps = 0;
+    for (const std::size_t oi : order) {
+      const PlannedTrial& plan = plans[oi];
+      while (steps <= plan.index) {
+        golden_vm.step();
+        ++steps;
+      }
+      vm::Vm faulty = golden_vm;
+      if (config.model == VmFaultModel::kResultBit) {
+        const vm::Retired& site = golden.records[plan.index];
+        faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
+      } else {
+        faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+      }
+      trials[plan.slot] = monitor_trial(*wl, std::move(faulty), plan.index,
+                                        plan.bit, config.overrun_budget);
+    }
+    for (auto& trial : trials) result.trials.push_back(std::move(trial));
   }
   return result;
 }

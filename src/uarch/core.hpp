@@ -10,6 +10,9 @@
 //
 // Design constraints driven by fault injection (DESIGN.md §4):
 //  * The whole Core has value semantics: a trial snapshot is a plain copy.
+//    Memory is copy-on-write (vm::PagedMemory), so a snapshot costs
+//    O(mapped pages) regardless of footprint, and campaign workers may fork
+//    trial cores from one quiescent golden snapshot concurrently.
 //  * All machine state lives in fixed-size arrays of explicit-width fields;
 //    the StateRegistry (state_registry.hpp) enumerates every injectable bit.
 //  * Every array index is masked at use, so arbitrarily corrupted state

@@ -9,13 +9,18 @@ namespace restore::vm {
 using isa::ExceptionKind;
 using isa::Perms;
 
+const std::shared_ptr<PagedMemory::Page>& PagedMemory::zero_page() {
+  static const std::shared_ptr<Page> zero = std::make_shared<Page>();
+  return zero;
+}
+
 void PagedMemory::map_region(u64 vaddr, u64 bytes, Perms perms) {
   if (bytes == 0) return;
   const u64 first = vaddr >> kPageShift;
   const u64 last = (vaddr + bytes - 1) >> kPageShift;
   for (u64 page = first; page <= last; ++page) {
     auto& entry = pages_[page];
-    if (entry.data.empty()) entry.data.assign(kPageBytes, 0);
+    if (entry.page == nullptr) entry.page = zero_page();
     entry.perms = entry.perms | perms;
   }
 }
@@ -35,23 +40,36 @@ void PagedMemory::load_program(const isa::Program& program) {
   }
 }
 
-const PagedMemory::Page* PagedMemory::find_page(u64 vaddr) const noexcept {
+const PagedMemory::Entry* PagedMemory::find_entry(u64 vaddr) const noexcept {
   const auto it = pages_.find(vaddr >> kPageShift);
   return it == pages_.end() ? nullptr : &it->second;
 }
 
-PagedMemory::Page* PagedMemory::find_page(u64 vaddr) noexcept {
+PagedMemory::Entry* PagedMemory::find_entry(u64 vaddr) noexcept {
   const auto it = pages_.find(vaddr >> kPageShift);
   return it == pages_.end() ? nullptr : &it->second;
+}
+
+PagedMemory::Page& PagedMemory::mutable_page(Entry& entry) {
+  // Sole owner: mutate in place (the payload cannot be visible to any other
+  // memory). Shared: clone first so siblings and snapshots keep the old
+  // bytes. use_count can only *decrease* concurrently under the documented
+  // contract (nobody copies this memory while we mutate it), so a reading of
+  // 1 is stable and a conservative clone on >1 is always safe.
+  if (entry.page.use_count() > 1) {
+    entry.page = std::make_shared<Page>(*entry.page);
+  }
+  entry.page->digest_cache.store(0, std::memory_order_relaxed);
+  return *entry.page;
 }
 
 ExceptionKind PagedMemory::probe(u64 vaddr, unsigned bytes, bool write) const noexcept {
   assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
   if (vaddr % bytes != 0) return ExceptionKind::kMemAlignment;
-  const Page* page = find_page(vaddr);
-  if (page == nullptr) return ExceptionKind::kMemTranslation;
+  const Entry* entry = find_entry(vaddr);
+  if (entry == nullptr) return ExceptionKind::kMemTranslation;
   const Perms wanted = write ? Perms::kWrite : Perms::kRead;
-  if (!has_perm(page->perms, wanted)) return ExceptionKind::kMemProtection;
+  if (!has_perm(entry->perms, wanted)) return ExceptionKind::kMemProtection;
   return ExceptionKind::kNone;
 }
 
@@ -59,10 +77,10 @@ MemAccess PagedMemory::load(u64 vaddr, unsigned bytes) const noexcept {
   MemAccess result;
   result.fault = probe(vaddr, bytes, /*write=*/false);
   if (!result.ok()) return result;
-  const Page* page = find_page(vaddr);
+  const Entry* entry = find_entry(vaddr);
   const u64 offset = vaddr & (kPageBytes - 1);
   u64 value = 0;
-  std::memcpy(&value, page->data.data() + offset, bytes);  // little-endian host
+  std::memcpy(&value, entry->page->bytes.data() + offset, bytes);  // little-endian host
   result.value = value;
   return result;
 }
@@ -71,9 +89,10 @@ MemAccess PagedMemory::store(u64 vaddr, unsigned bytes, u64 value) noexcept {
   MemAccess result;
   result.fault = probe(vaddr, bytes, /*write=*/true);
   if (!result.ok()) return result;
-  Page* page = find_page(vaddr);
+  Entry* entry = find_entry(vaddr);
+  Page& page = mutable_page(*entry);
   const u64 offset = vaddr & (kPageBytes - 1);
-  std::memcpy(page->data.data() + offset, &value, bytes);
+  std::memcpy(page.bytes.data() + offset, &value, bytes);
   return result;
 }
 
@@ -83,35 +102,70 @@ MemAccess PagedMemory::fetch(u64 vaddr) const noexcept {
     result.fault = ExceptionKind::kMemAlignment;
     return result;
   }
-  const Page* page = find_page(vaddr);
-  if (page == nullptr) {
+  const Entry* entry = find_entry(vaddr);
+  if (entry == nullptr) {
     result.fault = ExceptionKind::kMemTranslation;
     return result;
   }
-  if (!has_perm(page->perms, Perms::kExec)) {
+  if (!has_perm(entry->perms, Perms::kExec)) {
     result.fault = ExceptionKind::kMemProtection;
     return result;
   }
   u32 word = 0;
-  std::memcpy(&word, page->data.data() + (vaddr & (kPageBytes - 1)), 4);
+  std::memcpy(&word, entry->page->bytes.data() + (vaddr & (kPageBytes - 1)), 4);
   result.value = word;
   return result;
 }
 
 bool PagedMemory::is_mapped(u64 vaddr) const noexcept {
-  return find_page(vaddr) != nullptr;
+  return find_entry(vaddr) != nullptr;
 }
 
 u8 PagedMemory::read_byte(u64 vaddr) const {
-  const Page* page = find_page(vaddr);
-  if (page == nullptr) throw std::out_of_range("read_byte: unmapped address");
-  return page->data[vaddr & (kPageBytes - 1)];
+  const Entry* entry = find_entry(vaddr);
+  if (entry == nullptr) throw std::out_of_range("read_byte: unmapped address");
+  return entry->page->bytes[vaddr & (kPageBytes - 1)];
 }
 
 void PagedMemory::write_byte(u64 vaddr, u8 value) {
-  Page* page = find_page(vaddr);
-  if (page == nullptr) throw std::out_of_range("write_byte: unmapped address");
-  page->data[vaddr & (kPageBytes - 1)] = value;
+  Entry* entry = find_entry(vaddr);
+  if (entry == nullptr) throw std::out_of_range("write_byte: unmapped address");
+  mutable_page(*entry).bytes[vaddr & (kPageBytes - 1)] = value;
+}
+
+bool PagedMemory::operator==(const PagedMemory& other) const noexcept {
+  if (pages_.size() != other.pages_.size()) return false;
+  auto it = pages_.begin();
+  auto jt = other.pages_.begin();
+  for (; it != pages_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    if (it->second.perms != jt->second.perms) return false;
+    if (it->second.page == jt->second.page) continue;  // shared: equal for free
+    if (it->second.page->bytes != jt->second.page->bytes) return false;
+  }
+  return true;
+}
+
+u64 PagedMemory::page_contents_digest(const Page& page) noexcept {
+  u64 hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < kPageBytes; i += 8) {
+    u64 chunk = 0;
+    std::memcpy(&chunk, page.bytes.data() + i, 8);
+    hash ^= chunk;
+    hash *= 0x100000001b3ULL;
+    hash ^= hash >> 32;
+  }
+  // 0 is the "not computed" sentinel in the cache; remap deterministically.
+  return hash == 0 ? 0x9e3779b97f4a7c15ULL : hash;
+}
+
+u64 PagedMemory::page_digest(const Page& page) noexcept {
+  u64 cached = page.digest_cache.load(std::memory_order_relaxed);
+  if (cached == 0) {
+    cached = page_contents_digest(page);
+    page.digest_cache.store(cached, std::memory_order_relaxed);
+  }
+  return cached;
 }
 
 u64 PagedMemory::digest() const noexcept {
@@ -121,16 +175,52 @@ u64 PagedMemory::digest() const noexcept {
     hash *= 0x100000001b3ULL;
     hash ^= hash >> 32;
   };
-  for (const auto& [index, page] : pages_) {
+  for (const auto& [index, entry] : pages_) {
     mix(index);
-    mix(static_cast<u64>(page.perms));
-    for (std::size_t i = 0; i < page.data.size(); i += 8) {
-      u64 chunk = 0;
-      std::memcpy(&chunk, page.data.data() + i, 8);
-      mix(chunk);
-    }
+    mix(static_cast<u64>(entry.perms));
+    mix(page_digest(*entry.page));
   }
   return hash;
+}
+
+u64 PagedMemory::recompute_digest() const noexcept {
+  u64 hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](u64 v) {
+    hash ^= v;
+    hash *= 0x100000001b3ULL;
+    hash ^= hash >> 32;
+  };
+  for (const auto& [index, entry] : pages_) {
+    mix(index);
+    mix(static_cast<u64>(entry.perms));
+    mix(page_contents_digest(*entry.page));
+  }
+  return hash;
+}
+
+std::vector<u64> PagedMemory::mapped_page_indices() const {
+  std::vector<u64> indices;
+  indices.reserve(pages_.size());
+  for (const auto& [index, entry] : pages_) indices.push_back(index);
+  return indices;
+}
+
+std::size_t PagedMemory::shared_pages_with(const PagedMemory& other) const noexcept {
+  std::size_t shared = 0;
+  auto it = pages_.begin();
+  auto jt = other.pages_.begin();
+  while (it != pages_.end() && jt != other.pages_.end()) {
+    if (it->first < jt->first) {
+      ++it;
+    } else if (jt->first < it->first) {
+      ++jt;
+    } else {
+      if (it->second.page == jt->second.page) ++shared;
+      ++it;
+      ++jt;
+    }
+  }
+  return shared;
 }
 
 }  // namespace restore::vm

@@ -6,11 +6,29 @@
 // reproduces that: only explicitly mapped 4 KiB pages exist, and every access
 // is checked for translation, alignment, and protection.
 //
-// PagedMemory has value semantics (deep copy) so whole-machine snapshots used
-// by the fault-injection harness and the checkpoint store are plain copies.
+// PagedMemory has value semantics, implemented with copy-on-write pages: a
+// copy shares immutable page payloads with its source via atomic refcounts
+// and clones a page only on first write. Whole-machine snapshots used by the
+// fault-injection harness and the checkpoint store are therefore
+// O(mapped-page count), not O(footprint bytes), and a campaign can fork
+// thousands of trial machines from one golden snapshot cheaply.
+//
+// Each page payload carries a lazily computed content digest, so digest()
+// only rehashes pages written since the last digest and two memories that
+// share pages compare (and hash) in O(pages) pointer identity checks.
+//
+// Thread-safety contract (what the campaign ThreadPool relies on): distinct
+// PagedMemory objects may be read, written, and copied concurrently — even
+// when they share pages — PROVIDED that no thread mutates a memory while
+// another thread is copying that same object. In practice: fork trial
+// machines from a golden snapshot that is no longer being advanced, then let
+// each worker mutate only its own fork.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -57,24 +75,66 @@ class PagedMemory {
   void write_byte(u64 vaddr, u8 value);
 
   // Deep equality (used by golden-state comparison at end of trial).
-  bool operator==(const PagedMemory& other) const = default;
+  // Pointer-identical shared pages compare equal without touching bytes.
+  bool operator==(const PagedMemory& other) const noexcept;
 
   // 64-bit FNV-style digest over page contents (used for cheap comparison).
+  // Per-page digests are cached on the shared page payload and invalidated
+  // on write, so only dirty pages are rehashed.
   u64 digest() const noexcept;
+
+  // Same digest computed from scratch, bypassing every cache (test/bench
+  // oracle for digest-cache coherence).
+  u64 recompute_digest() const noexcept;
 
   std::size_t mapped_pages() const noexcept { return pages_.size(); }
 
+  // Page indices of all mapped pages, ascending (tools/bench introspection).
+  std::vector<u64> mapped_page_indices() const;
+
+  // Number of pages whose payload is physically shared with `other` (same
+  // page index, same underlying buffer). Diagnostic for COW behaviour.
+  std::size_t shared_pages_with(const PagedMemory& other) const noexcept;
+
  private:
   struct Page {
-    isa::Perms perms = isa::Perms::kNone;
-    std::vector<u8> data;
-    bool operator==(const Page&) const = default;
+    std::array<u8, kPageBytes> bytes;
+    // Cached content digest; 0 = not yet computed (page_digest() never
+    // yields 0). Benign-race safe: concurrent computes store the same value.
+    mutable std::atomic<u64> digest_cache{0};
+
+    Page() { bytes.fill(0); }
+    Page(const Page& other) : bytes(other.bytes) {
+      digest_cache.store(other.digest_cache.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    Page& operator=(const Page&) = delete;
   };
 
-  const Page* find_page(u64 vaddr) const noexcept;
-  Page* find_page(u64 vaddr) noexcept;
+  struct Entry {
+    isa::Perms perms = isa::Perms::kNone;
+    // Shared payload: immutable whenever the refcount exceeds one. Perms
+    // live outside the payload so permission changes never force a clone.
+    std::shared_ptr<Page> page;
+  };
 
-  std::map<u64, Page> pages_;  // keyed by page index (vaddr >> kPageShift)
+  // All freshly mapped pages alias one global zero page until first write.
+  static const std::shared_ptr<Page>& zero_page();
+
+  // FNV-style digest of one page's contents (never returns 0).
+  static u64 page_contents_digest(const Page& page) noexcept;
+  // Cached wrapper around page_contents_digest.
+  static u64 page_digest(const Page& page) noexcept;
+
+  const Entry* find_entry(u64 vaddr) const noexcept;
+  Entry* find_entry(u64 vaddr) noexcept;
+
+  // Copy-on-write mutator: returns a uniquely owned page for in-place
+  // writes, cloning the shared payload if needed, and invalidates the
+  // page's cached digest.
+  Page& mutable_page(Entry& entry);
+
+  std::map<u64, Entry> pages_;  // keyed by page index (vaddr >> kPageShift)
 };
 
 }  // namespace restore::vm

@@ -24,6 +24,10 @@ struct ArchSnapshot {
   bool operator==(const ArchSnapshot&) const = default;
 };
 
+// Vm has value semantics: copying forks the machine, and copy-on-write pages
+// (PagedMemory) make the fork O(mapped pages). The VM campaign positions each
+// trial by forking an incrementally advanced golden Vm instead of
+// re-executing from program start.
 class Vm {
  public:
   enum class Status : u8 {

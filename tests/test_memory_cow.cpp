@@ -1,0 +1,195 @@
+// Copy-on-write machine snapshots and incremental memory digests.
+//
+// The fault-injection harness forks thousands of trial machines from golden
+// snapshots; these suites pin down the guarantees it relies on:
+//  * writes to a fork never leak into the snapshot or sibling forks —
+//    including writes replayed by CheckpointManager::rollback;
+//  * the cached per-page digest always equals a from-scratch recompute;
+//  * forked campaign trials classify identically to re-executed ones.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "uarch/core.hpp"
+#include "vm/memory.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore {
+namespace {
+
+vm::PagedMemory patterned_memory(u64 base, u64 bytes, u64 seed) {
+  vm::PagedMemory mem;
+  mem.map_region(base, bytes, isa::Perms::kReadWrite);
+  Rng rng(seed);
+  for (u64 addr = base; addr < base + bytes; addr += 8) {
+    mem.store(addr, 8, rng.next());
+  }
+  return mem;
+}
+
+// ---- COW isolation ----
+
+TEST(CowIsolation, ForkWritesNeverLeakIntoTheSource) {
+  vm::PagedMemory golden = patterned_memory(0x10000, 8 * vm::kPageBytes, 1);
+  const u64 golden_digest = golden.digest();
+
+  vm::PagedMemory fork = golden;
+  EXPECT_EQ(fork.shared_pages_with(golden), golden.mapped_pages());
+  EXPECT_TRUE(fork == golden);
+
+  // Scribble over every page of the fork.
+  for (u64 page = 0; page < 8; ++page) {
+    ASSERT_TRUE(fork.store(0x10000 + page * vm::kPageBytes, 8, 0xDEADBEEFull).ok());
+  }
+  EXPECT_EQ(fork.shared_pages_with(golden), 0u);
+  EXPECT_FALSE(fork == golden);
+  EXPECT_EQ(golden.digest(), golden_digest);
+  EXPECT_EQ(golden.digest(), golden.recompute_digest());
+  EXPECT_EQ(golden.load(0x10000, 8).value, Rng(1).next());
+}
+
+TEST(CowIsolation, SiblingForksAreIndependent) {
+  vm::PagedMemory golden = patterned_memory(0x40000, 4 * vm::kPageBytes, 2);
+  vm::PagedMemory a = golden;
+  vm::PagedMemory b = golden;
+
+  a.store(0x40000, 8, 0x1111);
+  b.store(0x40000, 8, 0x2222);
+  EXPECT_EQ(a.load(0x40000, 8).value, 0x1111u);
+  EXPECT_EQ(b.load(0x40000, 8).value, 0x2222u);
+  EXPECT_EQ(golden.load(0x40000, 8).value, Rng(2).next());
+
+  // Untouched pages are still physically shared three ways.
+  EXPECT_EQ(a.shared_pages_with(b), golden.mapped_pages() - 1);
+}
+
+TEST(CowIsolation, WriteByteAndMapRegionPreserveSiblings) {
+  vm::PagedMemory golden = patterned_memory(0x8000, 2 * vm::kPageBytes, 3);
+  vm::PagedMemory fork = golden;
+
+  fork.write_byte(0x8001, 0xFF);
+  EXPECT_NE(golden.read_byte(0x8001), 0xFF);
+
+  // Extending permissions on the fork must not change the source's behaviour
+  // or digest (perms live outside the shared payload).
+  const u64 before = golden.digest();
+  fork.map_region(0x8000, vm::kPageBytes, isa::Perms::kExec);
+  EXPECT_EQ(golden.digest(), before);
+  EXPECT_EQ(golden.probe(0x8000, 4, false), isa::ExceptionKind::kNone);
+  EXPECT_FALSE(golden == fork);
+}
+
+TEST(CowIsolation, RollbackOnForkDoesNotDisturbSnapshotOrSiblings) {
+  // Run a real core, snapshot it, keep advancing with checkpoint
+  // bookkeeping, then roll the core back. The rollback's undo-log writes go
+  // through the COW mutator and must not reach the earlier snapshot or a
+  // sibling fork taken at the same time.
+  const auto& wl = workloads::by_name("gzip");
+  uarch::Core core(wl.program);
+  core.run(2'000);
+  ASSERT_TRUE(core.running());
+
+  const uarch::Core snapshot = core;   // shares all pages with `core`
+  const uarch::Core sibling = snapshot;
+  const u64 snapshot_digest = snapshot.memory().digest();
+
+  core::CheckpointManager mgr(100, 2);
+  mgr.maybe_checkpoint(core, true);
+  const u64 until = core.retired_count() + 1'500;
+  while (core.running() && core.retired_count() < until) {
+    core.cycle();
+    for (const auto& rec : core.retired_this_cycle()) mgr.on_retired(rec);
+    mgr.maybe_checkpoint(core);
+  }
+  ASSERT_TRUE(core.running());
+  mgr.rollback(core);
+
+  EXPECT_EQ(snapshot.memory().digest(), snapshot_digest);
+  EXPECT_EQ(sibling.memory().digest(), snapshot_digest);
+  EXPECT_EQ(snapshot.memory().digest(), snapshot.memory().recompute_digest());
+  EXPECT_TRUE(snapshot.memory() == sibling.memory());
+}
+
+TEST(CowIsolation, ForkedCoresComputeIdenticalFutures) {
+  // The campaign's trial pattern: fork from a warm golden core, run both;
+  // the fork's execution (which writes memory through COW pages) must match
+  // the original's cycle for cycle.
+  const auto& wl = workloads::by_name("bzip2");
+  uarch::Core golden(wl.program);
+  golden.run(1'000);
+  ASSERT_TRUE(golden.running());
+
+  uarch::Core fork = golden;
+  golden.run(4'000);
+  fork.run(4'000);
+  EXPECT_EQ(fork.cycle_count(), golden.cycle_count());
+  EXPECT_EQ(fork.retired_count(), golden.retired_count());
+  EXPECT_EQ(fork.memory().digest(), golden.memory().digest());
+  EXPECT_TRUE(fork.memory() == golden.memory());
+}
+
+// ---- digest coherence ----
+
+TEST(DigestCoherence, IncrementalDigestMatchesRecomputeUnderRandomStores) {
+  Rng rng(0xD16E57);
+  for (int round = 0; round < 8; ++round) {
+    vm::PagedMemory mem = patterned_memory(0x20000, 6 * vm::kPageBytes, round);
+    vm::PagedMemory fork = mem;  // exercise the shared-page path too
+    for (int burst = 0; burst < 40; ++burst) {
+      for (int i = 0; i < 25; ++i) {
+        const unsigned bytes = 1u << rng.below(4);
+        const u64 addr =
+            0x20000 + rng.below(6 * vm::kPageBytes / bytes) * bytes;
+        vm::PagedMemory& target = rng.below(2) ? mem : fork;
+        ASSERT_TRUE(target.store(addr, bytes, rng.next()).ok());
+      }
+      ASSERT_EQ(mem.digest(), mem.recompute_digest()) << "round " << round;
+      ASSERT_EQ(fork.digest(), fork.recompute_digest()) << "round " << round;
+      // digest() is a pure observer: repeated calls agree, and equal digests
+      // track operator== through the whole sequence.
+      ASSERT_EQ(mem.digest(), mem.digest());
+      ASSERT_EQ(mem == fork, mem.digest() == fork.digest()) << "round " << round;
+    }
+  }
+}
+
+TEST(DigestCoherence, DigestIsIndependentOfSharingStructure) {
+  // The same logical contents must hash identically whether pages are
+  // shared, freshly cloned, or rebuilt from scratch.
+  vm::PagedMemory a = patterned_memory(0x30000, 3 * vm::kPageBytes, 7);
+  vm::PagedMemory b = a;
+  b.store(0x30000, 8, 0x5A5A);              // unshare one page…
+  b.store(0x30000, 8, a.load(0x30000, 8).value);  // …then restore its bytes
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  vm::PagedMemory rebuilt = patterned_memory(0x30000, 3 * vm::kPageBytes, 7);
+  EXPECT_EQ(rebuilt.digest(), a.digest());
+}
+
+// ---- campaign equivalence: forked trials == re-executed trials ----
+
+TEST(VmCampaignSnapshots, ForkedTrialsMatchReexecutedTrials) {
+  // run_vm_campaign positions trials by forking an incrementally advanced
+  // golden VM; run_vm_trial re-executes from program start. Both must
+  // classify identically.
+  faultinject::VmCampaignConfig config;
+  config.trials_per_workload = 40;
+  config.workloads = {"gzip"};
+  config.seed = 0xF0F0;
+  const auto campaign = faultinject::run_vm_campaign(config);
+  ASSERT_EQ(campaign.trials.size(), 40u);
+
+  const auto& wl = workloads::by_name("gzip");
+  for (const auto& trial : campaign.trials) {
+    const auto ref = faultinject::run_vm_trial(wl, trial.inject_index, trial.bit,
+                                               config.overrun_budget);
+    EXPECT_EQ(trial.outcome, ref.outcome) << trial.inject_index;
+    EXPECT_EQ(trial.latency, ref.latency) << trial.inject_index;
+  }
+}
+
+}  // namespace
+}  // namespace restore
