@@ -6,7 +6,7 @@
 //     variety [which] a control flow monitoring watchdog would capture",
 //   * exceptions + the watchdog provide the bulk of the coverage.
 //
-// Usage: ablation_detectors [--trials N] [--seed S] [--interval N]
+// Usage: ablation_detectors [--trials N] [--seed S] [--interval N] [--workers N]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -34,18 +34,24 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 100);
   config.seed = resolve_seed(args, 0xAB1A);
-  config.workers = args.value_u64("workers", default_campaign_workers());
   config.core_config.illegal_flow_watchdog = true;  // record kIllegalFlow events
+
+  // This driver runs two campaigns in one process, so it shares the worker
+  // pool sizing with the other binaries but never streams traces: one
+  // --out-jsonl path cannot serve two campaign identities.
+  auto opts = bench::campaign_options(args);
+  opts.out_jsonl.clear();
+  opts.resume = false;
 
   std::printf("=== Ablation: detector configurations (interval=%llu) ===\n\n",
               static_cast<unsigned long long>(interval));
-  const auto with_jrs = run_uarch_campaign(config);
+  const auto with_jrs = run_uarch_campaign(config, opts);
 
   // A second campaign with a perfect confidence predictor (every mispredict
   // flagged high confidence).
   auto perfect_config = config;
   perfect_config.core_config.all_mispredicts_high_conf = true;
-  const auto with_perfect_conf = run_uarch_campaign(perfect_config);
+  const auto with_perfect_conf = run_uarch_campaign(perfect_config, opts);
 
   const double failures = faultinject::failure_fraction(with_jrs.trials);
   auto coverage = [&](const std::vector<faultinject::UarchTrialRecord>& trials,

@@ -8,10 +8,38 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "faultinject/classify.hpp"
+#include "faultinject/export.hpp"
+#include "faultinject/orchestrator.hpp"
 #include "faultinject/uarch_campaign.hpp"
 
 namespace restore::bench {
+
+// Shared campaign plumbing for every campaign-driving binary: maps the
+// --out-jsonl/--resume/--workers/--shard-trials/--max-shards/--heartbeat
+// flags onto run options (workers default to hardware concurrency - 1).
+inline faultinject::CampaignRunOptions campaign_options(const CliArgs& args) {
+  return faultinject::campaign_options_from_cli(args, default_campaign_workers());
+}
+
+// Post-run observability: a one-line summary on stderr (kept off stdout so
+// figure output stays deterministic) and, with --shard-stats PATH, the
+// per-shard wall-time table as CSV.
+inline void report_campaign(const faultinject::CampaignTelemetry& telemetry,
+                            const CliArgs& args) {
+  std::fprintf(stderr,
+               "[campaign] %llu trials in %.0f ms (%llu resumed, %zu shards%s)\n",
+               static_cast<unsigned long long>(telemetry.trials_total),
+               telemetry.wall_ms,
+               static_cast<unsigned long long>(telemetry.resumed_trials),
+               telemetry.shards.size(),
+               telemetry.complete ? "" : ", INCOMPLETE: shard budget hit");
+  if (const auto path = resolve_campaign_cli(args).shard_stats) {
+    faultinject::write_shard_stats_csv(*path, telemetry.shards);
+    std::fprintf(stderr, "[campaign] wrote shard stats to %s\n", path->c_str());
+  }
+}
 
 inline std::string latency_label(u64 edge) {
   if (edge == kNever) return "inf";

@@ -6,7 +6,11 @@
 // §3.1 follow-up study restricting flips to the low 32 bits (--low32).
 //
 // Usage: fig2_vm_injection [--trials N] [--seed S] [--low32]
+//                          [--out-jsonl PATH] [--resume] [--workers N]
+//                          [--shard-trials N] [--heartbeat N] [--shard-stats PATH]
 //        RESTORE_TRIALS=N scales the per-workload trial count (paper: ~1000).
+//        With --out-jsonl the campaign streams per-trial results as shards
+//        complete and --resume continues an interrupted run from the manifest.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -84,7 +88,10 @@ int main(int argc, char** argv) {
   std::printf("workloads: 7 SPECint analogs, %llu trials each\n\n",
               static_cast<unsigned long long>(config.trials_per_workload));
 
-  const auto result = run_vm_campaign(config);
+  const auto opts = bench::campaign_options(args);
+  faultinject::CampaignTelemetry telemetry;
+  const auto result = run_vm_campaign(config, opts, &telemetry);
+  bench::report_campaign(telemetry, args);
   print_campaign(result);
   if (const auto csv = args.value("csv")) {
     faultinject::write_vm_trials_csv(*csv, result.trials);
@@ -96,7 +103,12 @@ int main(int argc, char** argv) {
     // confined to the low 32 bits?
     auto low32 = config;
     low32.low32_only = true;
-    const auto low = run_vm_campaign(low32);
+    // The follow-up study reuses the worker pool but never the trace files:
+    // it is a different campaign and must not clobber the main one's manifest.
+    auto low32_opts = opts;
+    low32_opts.out_jsonl.clear();
+    low32_opts.resume = false;
+    const auto low = run_vm_campaign(low32, low32_opts);
     const double full_exc = result.fraction(VmOutcome::kException);
     const double low_exc = low.fraction(VmOutcome::kException);
     std::printf("\n--- 32-bit result study (paper: exception category loses ~25%%) ---\n");

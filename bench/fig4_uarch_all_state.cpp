@@ -3,6 +3,8 @@
 // categories and perfect identification of control-flow violations.
 //
 // Usage: fig4_uarch_all_state [--trials N] [--seed S] [--latches-only]
+//                             [--out-jsonl PATH] [--resume] [--workers N]
+//                             [--shard-trials N] [--heartbeat N] [--shard-stats PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -17,7 +19,6 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
-  config.workers = args.value_u64("workers", default_campaign_workers());
   config.latches_only = args.has_flag("latches-only");
 
   std::printf("=== Figure 4: microarchitectural fault injection, %s ===\n",
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.monitor_cycles),
               static_cast<unsigned long long>(config.trials_per_workload));
 
-  const auto result = run_uarch_campaign(config);
+  faultinject::CampaignTelemetry telemetry;
+  const auto result = run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
+  bench::report_campaign(telemetry, args);
   std::printf("eligible state bits: %llu (paper's model: ~46,000)\n",
               static_cast<unsigned long long>(result.eligible_bits));
   std::printf("trials: %zu\n\n", result.trials.size());

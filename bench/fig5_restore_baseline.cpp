@@ -3,7 +3,9 @@
 // control-flow symptoms are gated by the JRS confidence predictor. Control
 // flow violations that the confidence predictor misses fall into `sdc`.
 //
-// Usage: fig5_restore_baseline [--trials N] [--seed S]
+// Usage: fig5_restore_baseline [--trials N] [--seed S] [--out-jsonl PATH]
+//                              [--resume] [--workers N] [--shard-trials N]
+//                              [--heartbeat N] [--shard-stats PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -19,13 +21,14 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
-  config.workers = args.value_u64("workers", default_campaign_workers());
 
   std::printf("=== Figure 5: ReStore coverage, baseline pipeline ===\n");
   std::printf(
       "detectors: ISA exceptions + JRS high-confidence mispredictions + watchdog\n\n");
 
-  const auto result = run_uarch_campaign(config);
+  faultinject::CampaignTelemetry telemetry;
+  const auto result = run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
+  bench::report_campaign(telemetry, args);
   std::printf("trials: %zu\n\n", result.trials.size());
   if (const auto csv = args.value("csv")) {
     faultinject::write_uarch_trials_csv(*csv, result.trials);

@@ -4,7 +4,9 @@
 // control-word latches; ReStore is layered on top. Faults into protected
 // state are corrected or detected+recovered (they surface in `other`).
 //
-// Usage: fig6_restore_hardened [--trials N] [--seed S]
+// Usage: fig6_restore_hardened [--trials N] [--seed S] [--out-jsonl PATH]
+//                              [--resume] [--workers N] [--shard-trials N]
+//                              [--heartbeat N] [--shard-stats PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -19,11 +21,13 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
-  config.workers = args.value_u64("workers", default_campaign_workers());
 
   std::printf("=== Figure 6: ReStore coverage, hardened (lhf) pipeline ===\n\n");
 
-  const auto result = run_uarch_campaign(config);
+  faultinject::CampaignTelemetry telemetry;
+  const auto result =
+      run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
+  bench::report_campaign(telemetry, args);
   std::printf("trials: %zu\n\n", result.trials.size());
 
   bench::print_uarch_category_table(result.trials,

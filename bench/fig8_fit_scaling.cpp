@@ -5,7 +5,9 @@
 // lhf+ReStore), then extrapolates FIT across design sizes at 0.001 FIT/bit,
 // against the 1000-year-MTBF goal line (~114 FIT).
 //
-// Usage: fig8_fit_scaling [--trials N] [--seed S]
+// Usage: fig8_fit_scaling [--trials N] [--seed S] [--out-jsonl PATH]
+//                         [--resume] [--workers N] [--shard-trials N]
+//                         [--heartbeat N] [--shard-stats PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -23,10 +25,12 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
-  config.workers = args.value_u64("workers", default_campaign_workers());
 
   std::printf("=== Figure 8: FIT rates with device scaling ===\n\n");
-  const auto campaign = run_uarch_campaign(config);
+  faultinject::CampaignTelemetry telemetry;
+  const auto campaign =
+      run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
+  bench::report_campaign(telemetry, args);
 
   reliability::SdcRates rates;
   rates.baseline = faultinject::failure_fraction(campaign.trials);

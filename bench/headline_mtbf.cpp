@@ -2,7 +2,9 @@
 // mean time between failures over a contemporary pipeline; coupled with
 // parity/ECC on the most vulnerable structures ("lhf"), MTBF improves ~7x.
 //
-// Usage: headline_mtbf [--trials N] [--seed S] [--interval N]
+// Usage: headline_mtbf [--trials N] [--seed S] [--interval N] [--out-jsonl PATH]
+//                      [--resume] [--workers N] [--shard-trials N]
+//                      [--heartbeat N] [--shard-stats PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -19,12 +21,14 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
-  config.workers = args.value_u64("workers", default_campaign_workers());
   const u64 interval = args.value_u64("interval", 100);
 
   std::printf("=== Headline: MTBF improvement at a %llu-instruction interval ===\n\n",
               static_cast<unsigned long long>(interval));
-  const auto campaign = run_uarch_campaign(config);
+  faultinject::CampaignTelemetry telemetry;
+  const auto campaign =
+      run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
+  bench::report_campaign(telemetry, args);
 
   const double base = faultinject::failure_fraction(campaign.trials);
   const double restore_only = faultinject::uncovered_fraction(

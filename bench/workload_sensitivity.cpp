@@ -5,7 +5,7 @@
 // this bench quantifies that across the seven paper workloads plus the two
 // extended ones (ALU-heavy crafty, annealing twolf).
 //
-// Usage: workload_sensitivity [--trials N] [--seed S] [--interval N]
+// Usage: workload_sensitivity [--trials N] [--seed S] [--interval N] [--workers N]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const u64 interval = args.value_u64("interval", 100);
   const u64 trials = resolve_trial_count(args, 120);
   const u64 seed = resolve_seed(args, 0x5E15);
+
+  // Many campaigns per process: share worker sizing, never stream traces.
+  auto opts = bench::campaign_options(args);
+  opts.out_jsonl.clear();
+  opts.resume = false;
 
   std::printf("=== Workload sensitivity (interval=%llu, %llu trials each) ===\n\n",
               static_cast<unsigned long long>(interval),
@@ -52,15 +57,14 @@ int main(int argc, char** argv) {
     vc.trials_per_workload = trials;
     vc.seed = seed;
     vc.workloads = {name};
-    const auto vm_result = run_vm_campaign(vc);
+    const auto vm_result = run_vm_campaign(vc, opts);
 
     // Microarchitectural campaign.
     faultinject::UarchCampaignConfig uc;
     uc.trials_per_workload = trials;
     uc.seed = seed;
     uc.workloads = {name};
-    uc.workers = args.value_u64("workers", default_campaign_workers());
-    const auto uarch_result = run_uarch_campaign(uc);
+    const auto uarch_result = run_uarch_campaign(uc, opts);
 
     const double failures = faultinject::failure_fraction(uarch_result.trials);
     const double uncovered = faultinject::uncovered_fraction(

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/check_sanitize.sh [ctest-args...]
+#   Extra arguments are forwarded to ctest, e.g.
+#     scripts/check_sanitize.sh -R CampaignReplay
+#
+# Uses a separate build tree (build-sanitize/) so the regular build stays
+# untouched. Any sanitizer report fails the run (-fno-sanitize-recover=all).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+cmake -B "$BUILD_DIR" -S . -DRESTORE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:abort_on_error=1
+export UBSAN_OPTIONS=print_stacktrace=1
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)" "$@"

@@ -75,4 +75,18 @@ u64 resolve_seed(const CliArgs& args, u64 fallback) {
   return fallback;
 }
 
+CampaignCliOptions resolve_campaign_cli(const CliArgs& args) {
+  CampaignCliOptions opts;
+  opts.out_jsonl = args.value("out-jsonl");
+  opts.resume = args.has_flag("resume");
+  opts.shard_trials = args.value_u64("shard-trials", 0);
+  opts.max_shards = args.value_u64("max-shards", 0);
+  if (args.has_flag("heartbeat")) {
+    opts.heartbeat_every = args.value_u64("heartbeat", 1);
+  }
+  if (args.has_flag("workers")) opts.workers = args.value_u64("workers", 0);
+  opts.shard_stats = args.value("shard-stats");
+  return opts;
+}
+
 }  // namespace restore

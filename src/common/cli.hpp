@@ -37,4 +37,27 @@ u64 resolve_trial_count(const CliArgs& args, u64 fallback);
 // Seed override: --seed, then RESTORE_SEED, then `fallback`.
 u64 resolve_seed(const CliArgs& args, u64 fallback);
 
+// Shared campaign-orchestration flags, understood by every campaign-driving
+// binary:
+//   --out-jsonl PATH   stream per-trial results to PATH as shards complete
+//                      (a resume manifest is kept at PATH.manifest.json)
+//   --resume           continue an interrupted campaign from the manifest
+//   --shard-trials N   trials per shard (0 = library default)
+//   --max-shards N     stop after N newly-run shards (trial-budget hook)
+//   --heartbeat [N]    progress line to stderr every N completed shards (1
+//                      when given bare)
+//   --workers N        worker threads (absent = binary default)
+//   --shard-stats PATH write per-shard wall-time stats as CSV after the run
+struct CampaignCliOptions {
+  std::optional<std::string> out_jsonl;
+  bool resume = false;
+  u64 shard_trials = 0;
+  u64 max_shards = 0;
+  u64 heartbeat_every = 0;
+  std::optional<u64> workers;
+  std::optional<std::string> shard_stats;
+};
+
+CampaignCliOptions resolve_campaign_cli(const CliArgs& args);
+
 }  // namespace restore

@@ -39,15 +39,20 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t chunk_size) {
+  if (count == 0) return;  // avoid dividing a zero range into zero chunks
   if (threads_.empty()) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
   // Block-distribute into ~4 chunks per worker instead of one task per
   // index: one queue/lock round-trip amortizes over the whole chunk while
-  // still load-balancing uneven iteration costs.
-  const std::size_t chunks = std::min(count, threads_.size() * 4);
+  // still load-balancing uneven iteration costs. An explicit chunk_size is
+  // clamped so oversized chunks collapse to one task covering the range.
+  const std::size_t chunks =
+      chunk_size == 0 ? std::min(count, threads_.size() * 4)
+                      : std::max<std::size_t>(1, (count + chunk_size - 1) / chunk_size);
   const std::size_t base = count / chunks;
   const std::size_t extra = count % chunks;
   std::size_t begin = 0;

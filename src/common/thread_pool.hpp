@@ -33,8 +33,11 @@ class ThreadPool {
 
   // Run body(i) for i in [0, count), distributing across the pool and
   // blocking until all iterations complete. Indices are block-chunked (a few
-  // chunks per worker) so queue contention is O(workers), not O(count).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  // chunks per worker by default) so queue contention is O(workers), not
+  // O(count). `chunk_size` overrides the block size; 0 picks automatically,
+  // and values larger than the range degrade gracefully to a single chunk.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    std::size_t chunk_size = 0);
 
  private:
   void worker_loop();

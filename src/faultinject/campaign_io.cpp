@@ -1,0 +1,536 @@
+#include "faultinject/campaign_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace restore::faultinject {
+
+namespace {
+
+// ---- minimal flat-JSON support ----
+//
+// The campaign files only ever contain one-level objects whose values are
+// unsigned integers, bools, nulls, strings, or arrays of unsigned integers,
+// so a ~100-line recursive-descent parser covers the full format without an
+// external dependency.
+
+struct JsonValue {
+  enum class Kind { kString, kUint, kBool, kNull, kUintArray } kind = Kind::kNull;
+  std::string str;
+  u64 uint = 0;
+  bool boolean = false;
+  std::vector<u64> array;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonObject> parse() {
+    JsonObject obj;
+    skip_ws();
+    if (!consume('{')) return std::nullopt;
+    skip_ws();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj.emplace(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    skip_ws();
+    return pos_ == text_.size() ? std::optional(std::move(obj)) : std::nullopt;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: return std::nullopt;  // \uXXXX etc. never appear here
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<u64> parse_uint() {
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return std::nullopt;
+    }
+    u64 value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<u64>(text_[pos_++] - '0');
+    }
+    return value;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    JsonValue value;
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      value.kind = JsonValue::Kind::kString;
+      value.str = std::move(*s);
+      return value;
+    }
+    if (consume_word("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_word("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (consume_word("null")) return value;
+    if (consume('[')) {
+      value.kind = JsonValue::Kind::kUintArray;
+      skip_ws();
+      if (consume(']')) return value;
+      for (;;) {
+        skip_ws();
+        auto n = parse_uint();
+        if (!n) return std::nullopt;
+        value.array.push_back(*n);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    auto n = parse_uint();
+    if (!n) return std::nullopt;
+    value.kind = JsonValue::Kind::kUint;
+    value.uint = *n;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_field(std::string& out, std::string_view key, u64 value) {
+  out.push_back('"');
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, std::string_view key, bool value) {
+  out.push_back('"');
+  out += key;
+  out += value ? "\":true" : "\":false";
+}
+
+void append_field(std::string& out, std::string_view key, std::string_view value) {
+  out.push_back('"');
+  out += key;
+  out += "\":";
+  append_json_string(out, value);
+}
+
+// Latency fields: kNever is represented by absence.
+void append_latency(std::string& out, std::string_view key, u64 latency) {
+  if (latency == kNever) return;
+  out.push_back(',');
+  append_field(out, key, latency);
+}
+
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::optional<u64> get_uint(const JsonObject& obj, const std::string& key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kUint) return std::nullopt;
+  return v->uint;
+}
+
+std::optional<bool> get_bool(const JsonObject& obj, const std::string& key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return std::nullopt;
+  return v->boolean;
+}
+
+std::optional<std::string> get_string(const JsonObject& obj, const std::string& key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return std::nullopt;
+  return v->str;
+}
+
+u64 get_latency(const JsonObject& obj, const std::string& key) {
+  return get_uint(obj, key).value_or(kNever);
+}
+
+}  // namespace
+
+u64 fnv1a(std::string_view bytes, u64 seed) noexcept {
+  u64 hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string_view to_string(uarch::StorageClass storage) noexcept {
+  return storage == uarch::StorageClass::kLatch ? "latch" : "sram";
+}
+
+std::string_view to_string(uarch::LhfProtection protection) noexcept {
+  switch (protection) {
+    case uarch::LhfProtection::kNone: return "none";
+    case uarch::LhfProtection::kParity: return "parity";
+    case uarch::LhfProtection::kEcc: return "ecc";
+  }
+  return "?";
+}
+
+std::optional<VmOutcome> vm_outcome_from_string(std::string_view name) noexcept {
+  for (const auto outcome :
+       {VmOutcome::kMasked, VmOutcome::kException, VmOutcome::kCfv,
+        VmOutcome::kMemAddr, VmOutcome::kMemData, VmOutcome::kRegister}) {
+    if (name == to_string(outcome)) return outcome;
+  }
+  return std::nullopt;
+}
+
+std::optional<uarch::StorageClass> storage_from_string(std::string_view name) noexcept {
+  if (name == "latch") return uarch::StorageClass::kLatch;
+  if (name == "sram") return uarch::StorageClass::kSram;
+  return std::nullopt;
+}
+
+std::optional<uarch::LhfProtection> protection_from_string(
+    std::string_view name) noexcept {
+  if (name == "none") return uarch::LhfProtection::kNone;
+  if (name == "parity") return uarch::LhfProtection::kParity;
+  if (name == "ecc") return uarch::LhfProtection::kEcc;
+  return std::nullopt;
+}
+
+// ---- manifest ----
+
+std::string manifest_path_for(const std::string& jsonl_path) {
+  return jsonl_path + ".manifest.json";
+}
+
+void write_manifest(const std::string& path, const CampaignManifest& manifest) {
+  std::string out = "{";
+  append_field(out, "kind", std::string_view(manifest.kind));
+  out.push_back(',');
+  append_field(out, "config_hash", manifest.config_hash);
+  out.push_back(',');
+  append_field(out, "seed", manifest.seed);
+  out.push_back(',');
+  append_field(out, "shard_trials", manifest.shard_trials);
+  out.push_back(',');
+  append_field(out, "total_shards", manifest.total_shards);
+  out.push_back(',');
+  append_field(out, "total_trials", manifest.total_trials);
+  const auto append_array = [&out](std::string_view key, const std::vector<u64>& xs) {
+    out += ",\"";
+    out += key;
+    out += "\":[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(xs[i]);
+    }
+    out.push_back(']');
+  };
+  append_array("completed", manifest.completed);
+  append_array("completed_trials", manifest.completed_trials);
+  append_array("wall_ms", manifest.wall_ms);
+  out += "}\n";
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot write manifest: " + tmp);
+    file << out;
+    if (!file.flush()) throw std::runtime_error("manifest write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot replace manifest: " + path);
+  }
+}
+
+std::optional<CampaignManifest> read_manifest(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto obj = FlatJsonParser(text).parse();
+  if (!obj) throw std::runtime_error("unparseable campaign manifest: " + path);
+
+  CampaignManifest manifest;
+  const auto kind = get_string(*obj, "kind");
+  const auto hash = get_uint(*obj, "config_hash");
+  const auto seed = get_uint(*obj, "seed");
+  const auto shard_trials = get_uint(*obj, "shard_trials");
+  const auto total_shards = get_uint(*obj, "total_shards");
+  const auto total_trials = get_uint(*obj, "total_trials");
+  if (!kind || !hash || !seed || !shard_trials || !total_shards || !total_trials) {
+    throw std::runtime_error("campaign manifest missing fields: " + path);
+  }
+  manifest.kind = *kind;
+  manifest.config_hash = *hash;
+  manifest.seed = *seed;
+  manifest.shard_trials = *shard_trials;
+  manifest.total_shards = *total_shards;
+  manifest.total_trials = *total_trials;
+  const auto read_array = [&](const char* key) -> std::vector<u64> {
+    const JsonValue* v = find(*obj, key);
+    if (v == nullptr || v->kind != JsonValue::Kind::kUintArray) {
+      throw std::runtime_error(std::string("campaign manifest missing array `") +
+                               key + "`: " + path);
+    }
+    return v->array;
+  };
+  manifest.completed = read_array("completed");
+  manifest.completed_trials = read_array("completed_trials");
+  manifest.wall_ms = read_array("wall_ms");
+  if (manifest.completed.size() != manifest.completed_trials.size() ||
+      manifest.completed.size() != manifest.wall_ms.size()) {
+    throw std::runtime_error("campaign manifest arrays disagree: " + path);
+  }
+  return manifest;
+}
+
+// ---- trial lines ----
+
+std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial) {
+  std::string out = "{";
+  append_field(out, "shard", shard);
+  out.push_back(',');
+  append_field(out, "slot", slot);
+  out.push_back(',');
+  append_field(out, "workload", std::string_view(trial.workload));
+  out.push_back(',');
+  append_field(out, "outcome", to_string(trial.outcome));
+  append_latency(out, "latency", trial.latency);
+  out.push_back(',');
+  append_field(out, "inject_index", trial.inject_index);
+  out.push_back(',');
+  append_field(out, "bit", static_cast<u64>(trial.bit));
+  out.push_back('}');
+  return out;
+}
+
+std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
+    const std::string& line) {
+  const auto obj = FlatJsonParser(line).parse();
+  if (!obj) return std::nullopt;
+  const auto shard = get_uint(*obj, "shard");
+  const auto slot = get_uint(*obj, "slot");
+  const auto workload = get_string(*obj, "workload");
+  const auto outcome_name = get_string(*obj, "outcome");
+  const auto inject_index = get_uint(*obj, "inject_index");
+  const auto bit = get_uint(*obj, "bit");
+  if (!shard || !slot || !workload || !outcome_name || !inject_index || !bit) {
+    return std::nullopt;
+  }
+  const auto outcome = vm_outcome_from_string(*outcome_name);
+  if (!outcome) return std::nullopt;
+
+  VmTrialResult trial;
+  trial.workload = *workload;
+  trial.outcome = *outcome;
+  trial.latency = get_latency(*obj, "latency");
+  trial.inject_index = *inject_index;
+  trial.bit = static_cast<u32>(*bit);
+  return std::make_tuple(*shard, *slot, std::move(trial));
+}
+
+std::string uarch_trial_to_jsonl(u64 shard, u64 slot, const UarchTrialRecord& trial) {
+  std::string out = "{";
+  append_field(out, "shard", shard);
+  out.push_back(',');
+  append_field(out, "slot", slot);
+  out.push_back(',');
+  append_field(out, "workload", std::string_view(trial.workload));
+  out.push_back(',');
+  append_field(out, "field", static_cast<u64>(trial.bit.field));
+  out.push_back(',');
+  append_field(out, "entry", static_cast<u64>(trial.bit.entry));
+  out.push_back(',');
+  append_field(out, "bit", static_cast<u64>(trial.bit.bit));
+  out.push_back(',');
+  append_field(out, "field_name", std::string_view(trial.field_name));
+  out.push_back(',');
+  append_field(out, "storage", to_string(trial.storage));
+  out.push_back(',');
+  append_field(out, "protection", to_string(trial.protection));
+  append_latency(out, "lat_exception", trial.lat_exception);
+  append_latency(out, "lat_cfv", trial.lat_cfv);
+  append_latency(out, "lat_hiconf", trial.lat_hiconf);
+  append_latency(out, "lat_deadlock", trial.lat_deadlock);
+  append_latency(out, "lat_illegal_flow", trial.lat_illegal_flow);
+  append_latency(out, "lat_cache_burst", trial.lat_cache_burst);
+  out.push_back(',');
+  append_field(out, "trace_diverged", trial.trace_diverged);
+  out.push_back(',');
+  append_field(out, "arch_corrupt", trial.arch_corrupt_at_end);
+  out.push_back(',');
+  append_field(out, "uarch_equal", trial.uarch_state_equal);
+  out.push_back(',');
+  append_field(out, "live_diff", trial.live_state_diff);
+  out.push_back(',');
+  append_field(out, "end_status", static_cast<u64>(trial.end_status));
+  out.push_back('}');
+  return out;
+}
+
+std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
+    const std::string& line) {
+  const auto obj = FlatJsonParser(line).parse();
+  if (!obj) return std::nullopt;
+  const auto shard = get_uint(*obj, "shard");
+  const auto slot = get_uint(*obj, "slot");
+  const auto workload = get_string(*obj, "workload");
+  const auto field = get_uint(*obj, "field");
+  const auto entry = get_uint(*obj, "entry");
+  const auto bit = get_uint(*obj, "bit");
+  const auto field_name = get_string(*obj, "field_name");
+  const auto storage_name = get_string(*obj, "storage");
+  const auto protection_name = get_string(*obj, "protection");
+  const auto trace_diverged = get_bool(*obj, "trace_diverged");
+  const auto arch_corrupt = get_bool(*obj, "arch_corrupt");
+  const auto uarch_equal = get_bool(*obj, "uarch_equal");
+  const auto live_diff = get_bool(*obj, "live_diff");
+  const auto end_status = get_uint(*obj, "end_status");
+  if (!shard || !slot || !workload || !field || !entry || !bit || !field_name ||
+      !storage_name || !protection_name || !trace_diverged || !arch_corrupt ||
+      !uarch_equal || !live_diff || !end_status) {
+    return std::nullopt;
+  }
+  const auto storage = storage_from_string(*storage_name);
+  const auto protection = protection_from_string(*protection_name);
+  if (!storage || !protection) return std::nullopt;
+
+  UarchTrialRecord trial;
+  trial.workload = *workload;
+  trial.bit.field = static_cast<u32>(*field);
+  trial.bit.entry = static_cast<u32>(*entry);
+  trial.bit.bit = static_cast<u32>(*bit);
+  trial.field_name = *field_name;
+  trial.storage = *storage;
+  trial.protection = *protection;
+  trial.lat_exception = get_latency(*obj, "lat_exception");
+  trial.lat_cfv = get_latency(*obj, "lat_cfv");
+  trial.lat_hiconf = get_latency(*obj, "lat_hiconf");
+  trial.lat_deadlock = get_latency(*obj, "lat_deadlock");
+  trial.lat_illegal_flow = get_latency(*obj, "lat_illegal_flow");
+  trial.lat_cache_burst = get_latency(*obj, "lat_cache_burst");
+  trial.trace_diverged = *trace_diverged;
+  trial.arch_corrupt_at_end = *arch_corrupt;
+  trial.uarch_state_equal = *uarch_equal;
+  trial.live_state_diff = *live_diff;
+  trial.end_status = static_cast<uarch::Core::Status>(*end_status);
+  return std::make_tuple(*shard, *slot, std::move(trial));
+}
+
+namespace {
+
+template <class Parsed, class ParseLine>
+std::vector<Parsed> read_trials(std::istream& in, const ParseLine& parse_line) {
+  std::vector<Parsed> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = parse_line(line);
+    if (!parsed) {
+      throw std::runtime_error("malformed campaign JSONL at line " +
+                               std::to_string(line_no));
+    }
+    auto& [shard, slot, trial] = *parsed;
+    out.push_back(Parsed{shard, slot, std::move(trial)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ParsedVmTrial> read_vm_trials_jsonl(std::istream& in) {
+  return read_trials<ParsedVmTrial>(in, vm_trial_from_jsonl);
+}
+
+std::vector<ParsedUarchTrial> read_uarch_trials_jsonl(std::istream& in) {
+  return read_trials<ParsedUarchTrial>(in, uarch_trial_from_jsonl);
+}
+
+}  // namespace restore::faultinject

@@ -1,0 +1,97 @@
+// Campaign persistence: the JSONL trial-trace format streamed by the sharded
+// campaign runner, and the sidecar manifest that makes an interrupted
+// campaign resumable.
+//
+// A campaign writes two files:
+//   <out>.jsonl           one flat JSON object per trial, tagged with the
+//                         shard index and the trial's slot within the shard
+//   <out>.jsonl.manifest.json
+//                         campaign identity (kind, config hash, seed, shard
+//                         geometry) plus the completed-shard record
+//
+// Every value that reaches the JSONL is an integer, bool or identifier-like
+// string, so the round trip is exact: parsing a line reconstructs the trial
+// record bit-for-bit. Latencies of kNever are omitted rather than printed.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+
+namespace restore::faultinject {
+
+// ---- manifest ----
+
+struct CampaignManifest {
+  std::string kind;      // "vm" | "uarch"
+  u64 config_hash = 0;   // hash over the full campaign config (see campaigns)
+  u64 seed = 0;
+  u64 shard_trials = 0;  // shard geometry; changing it changes the sampling
+  u64 total_shards = 0;
+  u64 total_trials = 0;
+  // Parallel arrays, in shard-completion order.
+  std::vector<u64> completed;        // shard indices
+  std::vector<u64> completed_trials; // trials the shard actually produced
+  std::vector<u64> wall_ms;          // shard wall time, rounded to ms
+
+  // True when `other` names the same campaign this manifest was written by.
+  bool matches(const CampaignManifest& other) const noexcept {
+    return kind == other.kind && config_hash == other.config_hash &&
+           seed == other.seed && shard_trials == other.shard_trials &&
+           total_shards == other.total_shards && total_trials == other.total_trials;
+  }
+};
+
+// Sidecar path for a JSONL trace.
+std::string manifest_path_for(const std::string& jsonl_path);
+
+// Atomically (write-then-rename) persist the manifest.
+void write_manifest(const std::string& path, const CampaignManifest& manifest);
+
+// Returns nullopt when the file does not exist; throws std::runtime_error on
+// a file that exists but cannot be parsed.
+std::optional<CampaignManifest> read_manifest(const std::string& path);
+
+// ---- trial lines ----
+
+// Serialize one trial as a single JSONL line (no trailing newline).
+std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial);
+std::string uarch_trial_to_jsonl(u64 shard, u64 slot, const UarchTrialRecord& trial);
+
+// Parse one line back; nullopt on malformed input.
+std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
+    const std::string& line);
+std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
+    const std::string& line);
+
+// Whole-stream readers (skip blank lines; throw on a malformed line).
+struct ParsedVmTrial {
+  u64 shard = 0;
+  u64 slot = 0;
+  VmTrialResult trial;
+};
+struct ParsedUarchTrial {
+  u64 shard = 0;
+  u64 slot = 0;
+  UarchTrialRecord trial;
+};
+std::vector<ParsedVmTrial> read_vm_trials_jsonl(std::istream& in);
+std::vector<ParsedUarchTrial> read_uarch_trials_jsonl(std::istream& in);
+
+// ---- enum string helpers shared by the JSONL and CSV formats ----
+
+std::string_view to_string(uarch::StorageClass storage) noexcept;
+std::string_view to_string(uarch::LhfProtection protection) noexcept;
+std::optional<VmOutcome> vm_outcome_from_string(std::string_view name) noexcept;
+std::optional<uarch::StorageClass> storage_from_string(std::string_view name) noexcept;
+std::optional<uarch::LhfProtection> protection_from_string(std::string_view name) noexcept;
+
+// FNV-1a over a byte string; the campaigns build their config hashes with it.
+u64 fnv1a(std::string_view bytes, u64 seed = 0xcbf29ce484222325ULL) noexcept;
+
+}  // namespace restore::faultinject

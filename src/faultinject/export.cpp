@@ -1,8 +1,12 @@
 #include "faultinject/export.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "faultinject/campaign_io.hpp"
 
 namespace restore::faultinject {
 
@@ -16,6 +20,31 @@ std::ofstream open_or_throw(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   return out;
+}
+
+// Split one CSV row (none of our columns are quoted or contain commas).
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+u64 parse_latency_cell(const std::string& cell) {
+  return cell.empty() ? kNever : std::stoull(cell);
+}
+
+bool parse_flag_cell(const std::string& cell, std::size_t row) {
+  if (cell == "0") return false;
+  if (cell == "1") return true;
+  throw std::runtime_error("bad flag cell in trial CSV row " + std::to_string(row));
+}
+
+[[noreturn]] void bad_row(const char* what, std::size_t row) {
+  throw std::runtime_error(std::string(what) + " in trial CSV row " +
+                           std::to_string(row));
 }
 
 }  // namespace
@@ -82,6 +111,85 @@ void write_category_series_csv(std::ostream& out,
   }
 }
 
+std::vector<UarchTrialRecord> read_uarch_trials_csv(std::istream& in) {
+  std::vector<UarchTrialRecord> trials;
+  std::string line;
+  std::size_t row = 0;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    const auto cells = split_row(line);
+    if (cells.size() != 15) bad_row("wrong column count", row);
+    UarchTrialRecord t;
+    t.workload = cells[0];
+    t.field_name = cells[1];
+    const auto storage = storage_from_string(cells[2]);
+    const auto protection = protection_from_string(cells[3]);
+    if (!storage || !protection) bad_row("bad storage/protection", row);
+    t.storage = *storage;
+    t.protection = *protection;
+    t.lat_exception = parse_latency_cell(cells[4]);
+    t.lat_cfv = parse_latency_cell(cells[5]);
+    t.lat_hiconf = parse_latency_cell(cells[6]);
+    t.lat_deadlock = parse_latency_cell(cells[7]);
+    t.lat_illegal_flow = parse_latency_cell(cells[8]);
+    t.lat_cache_burst = parse_latency_cell(cells[9]);
+    t.trace_diverged = parse_flag_cell(cells[10], row);
+    t.arch_corrupt_at_end = parse_flag_cell(cells[11], row);
+    t.uarch_state_equal = parse_flag_cell(cells[12], row);
+    t.live_state_diff = parse_flag_cell(cells[13], row);
+    t.end_status = static_cast<uarch::Core::Status>(std::stoi(cells[14]));
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in) {
+  std::vector<VmTrialResult> trials;
+  std::string line;
+  std::size_t row = 0;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    const auto cells = split_row(line);
+    if (cells.size() != 5) bad_row("wrong column count", row);
+    VmTrialResult t;
+    t.workload = cells[0];
+    const auto outcome = vm_outcome_from_string(cells[1]);
+    if (!outcome) bad_row("bad outcome", row);
+    t.outcome = *outcome;
+    t.latency = parse_latency_cell(cells[2]);
+    t.inject_index = std::stoull(cells[3]);
+    t.bit = static_cast<u32>(std::stoul(cells[4]));
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+void write_shard_stats_csv(std::ostream& out, const std::vector<ShardStats>& shards) {
+  out << "shard,workload,trials,wall_ms,trials_per_sec,resumed\n";
+  for (const auto& shard : shards) {
+    const double rate =
+        shard.wall_ms > 0 ? 1000.0 * static_cast<double>(shard.trials) / shard.wall_ms
+                          : 0.0;
+    char wall[32], per_sec[32];
+    std::snprintf(wall, sizeof wall, "%.3f", shard.wall_ms);
+    std::snprintf(per_sec, sizeof per_sec, "%.1f", rate);
+    out << shard.shard << ',' << shard.workload << ',' << shard.trials << ','
+        << wall << ',' << per_sec << ',' << (shard.resumed ? 1 : 0) << '\n';
+  }
+}
+
 void write_uarch_trials_csv(const std::string& path,
                             const std::vector<UarchTrialRecord>& trials) {
   auto out = open_or_throw(path);
@@ -92,6 +200,12 @@ void write_vm_trials_csv(const std::string& path,
                          const std::vector<VmTrialResult>& trials) {
   auto out = open_or_throw(path);
   write_vm_trials_csv(out, trials);
+}
+
+void write_shard_stats_csv(const std::string& path,
+                           const std::vector<ShardStats>& shards) {
+  auto out = open_or_throw(path);
+  write_shard_stats_csv(out, shards);
 }
 
 }  // namespace restore::faultinject

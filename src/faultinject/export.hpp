@@ -1,5 +1,7 @@
 // Campaign result export: CSV writers so campaign data can be re-analysed or
-// plotted outside the bench binaries (gnuplot/pandas/etc).
+// plotted outside the bench binaries (gnuplot/pandas/etc), the matching
+// readers (round-trip exact for every integer/flag column), and the
+// per-shard wall-time stats surfaced by the campaign orchestrator.
 #pragma once
 
 #include <iosfwd>
@@ -7,6 +9,7 @@
 #include <vector>
 
 #include "faultinject/classify.hpp"
+#include "faultinject/orchestrator.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "faultinject/vm_campaign.hpp"
 
@@ -26,10 +29,24 @@ void write_category_series_csv(std::ostream& out,
                                const std::vector<UarchTrialRecord>& trials,
                                DetectorModel detector, ProtectionModel protection);
 
+// Readers for the per-trial CSVs above. Every column except the header is an
+// integer, flag or identifier, so parsing a written file reconstructs the
+// trial list exactly (empty latency cells read back as kNever). Throws
+// std::runtime_error on a malformed row.
+std::vector<UarchTrialRecord> read_uarch_trials_csv(std::istream& in);
+std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in);
+
+// Observability: one row per shard with its workload, trial count, wall time
+// and throughput, plus whether the shard was resumed from a trace rather
+// than re-run.
+void write_shard_stats_csv(std::ostream& out, const std::vector<ShardStats>& shards);
+
 // Convenience: write to a file path (throws std::runtime_error on I/O error).
 void write_uarch_trials_csv(const std::string& path,
                             const std::vector<UarchTrialRecord>& trials);
 void write_vm_trials_csv(const std::string& path,
                          const std::vector<VmTrialResult>& trials);
+void write_shard_stats_csv(const std::string& path,
+                           const std::vector<ShardStats>& shards);
 
 }  // namespace restore::faultinject

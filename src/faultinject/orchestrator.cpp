@@ -1,0 +1,49 @@
+#include "faultinject/orchestrator.hpp"
+
+namespace restore::faultinject {
+
+u64 shard_stream_seed(u64 root_seed, const std::string& workload, u64 ordinal) {
+  u64 hash = fnv1a(workload, root_seed ^ 0x9e3779b97f4a7c15ULL);
+  hash ^= ordinal + 0x517cc1b727220a95ULL;
+  // splitmix finalizer: shard seeds for adjacent ordinals must not feed
+  // correlated xoshiro states.
+  u64 sm = hash;
+  return splitmix64_next(sm);
+}
+
+std::vector<ShardSpec> plan_shards(u64 root_seed,
+                                   const std::vector<std::string>& workloads,
+                                   u64 trials_per_workload, u64 shard_trials) {
+  if (shard_trials == 0) shard_trials = kDefaultShardTrials;
+  std::vector<ShardSpec> shards;
+  u64 index = 0;
+  for (const auto& workload : workloads) {
+    u64 begin = 0, ordinal = 0;
+    while (begin < trials_per_workload) {
+      ShardSpec shard;
+      shard.index = index++;
+      shard.workload = workload;
+      shard.trial_begin = begin;
+      shard.trial_count = std::min(shard_trials, trials_per_workload - begin);
+      shard.seed = shard_stream_seed(root_seed, workload, ordinal++);
+      begin += shard.trial_count;
+      shards.push_back(std::move(shard));
+    }
+  }
+  return shards;
+}
+
+CampaignRunOptions campaign_options_from_cli(const CliArgs& args,
+                                             std::size_t default_workers) {
+  const CampaignCliOptions cli = resolve_campaign_cli(args);
+  CampaignRunOptions opts;
+  opts.workers = cli.workers ? static_cast<std::size_t>(*cli.workers) : default_workers;
+  if (cli.shard_trials != 0) opts.shard_trials = cli.shard_trials;
+  if (cli.out_jsonl) opts.out_jsonl = *cli.out_jsonl;
+  opts.resume = cli.resume;
+  opts.max_shards = cli.max_shards;
+  opts.heartbeat_every_shards = cli.heartbeat_every;
+  return opts;
+}
+
+}  // namespace restore::faultinject

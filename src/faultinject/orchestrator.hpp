@@ -1,0 +1,344 @@
+// Sharded campaign orchestration.
+//
+// A campaign is split into deterministic shards: contiguous trial ranges of
+// one workload, each sampling its randomness from an independent RNG stream
+// derived from (root seed, workload name, shard ordinal). Shard results
+// therefore depend only on the campaign config and shard geometry — not on
+// the worker count, the order shards happen to finish in, or whether the
+// campaign was interrupted and resumed — so the assembled trial list (and
+// anything exported from it) is byte-identical across all of those.
+//
+// With an output path set, the runner streams each completed shard to a
+// JSONL trace and records it in a sidecar manifest; `resume` trusts the
+// manifest, reloads the completed shards from the trace and only runs the
+// rest. On clean completion the trace is rewritten in canonical
+// (shard, slot) order, so complete traces are byte-identical too.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "faultinject/campaign_io.hpp"
+
+namespace restore::faultinject {
+
+// Default trials per shard: small enough that a default 150-trial workload
+// splits into several resumable units, large enough that per-shard golden
+// warm-up stays amortized.
+inline constexpr u64 kDefaultShardTrials = 32;
+
+struct CampaignRunOptions {
+  std::size_t workers = 0;   // 0 = run shards inline on the calling thread
+  u64 shard_trials = kDefaultShardTrials;  // part of the campaign identity
+  std::string out_jsonl;     // empty = in-memory only (no files)
+  bool resume = false;       // reuse completed shards from the manifest
+  u64 max_shards = 0;        // stop after N newly-run shards (0 = run all);
+                             // the campaign-replay "kill after k shards" hook
+  u64 heartbeat_every_shards = 0;  // 0 = no heartbeat
+  std::FILE* heartbeat_stream = nullptr;  // default stderr
+};
+
+// One planned shard: trials [trial_begin, trial_begin + trial_count) of
+// `workload`, sampled from an Rng seeded with `seed`.
+struct ShardSpec {
+  u64 index = 0;  // global shard index (manifest/JSONL key)
+  std::string workload;
+  u64 trial_begin = 0;
+  u64 trial_count = 0;
+  u64 seed = 0;
+};
+
+struct ShardStats {
+  u64 shard = 0;
+  std::string workload;
+  u64 trials = 0;
+  double wall_ms = 0.0;
+  bool resumed = false;  // reloaded from the trace instead of re-run
+};
+
+struct CampaignTelemetry {
+  std::vector<ShardStats> shards;  // shard-index order
+  u64 trials_total = 0;
+  u64 resumed_trials = 0;
+  double wall_ms = 0.0;
+  bool complete = true;  // false when max_shards stopped the run early
+};
+
+// Seed for one shard's RNG stream: mixes the root seed with the workload
+// name and the shard's ordinal within that workload, so streams are
+// independent of workload order and count.
+u64 shard_stream_seed(u64 root_seed, const std::string& workload, u64 ordinal);
+
+// Cut every workload's trial count into shards of (at most) shard_trials.
+std::vector<ShardSpec> plan_shards(u64 root_seed,
+                                   const std::vector<std::string>& workloads,
+                                   u64 trials_per_workload, u64 shard_trials);
+
+// Map shared CLI flags onto run options (workers falls back to
+// `default_workers` when --workers is absent).
+CampaignRunOptions campaign_options_from_cli(const CliArgs& args,
+                                             std::size_t default_workers);
+
+// ---- the generic runner ----
+//
+// Record      trial record type (VmTrialResult / UarchTrialRecord)
+// run_shard   ShardSpec -> std::vector<Record>; must be deterministic and
+//             thread-safe (shards run concurrently)
+// to_line     (shard, slot, Record) -> JSONL line (no newline)
+// from_line   line -> optional<tuple<shard, slot, Record>>
+// outcome_tag Record -> short string for the heartbeat's outcome counts
+template <class Record, class RunShard, class ToLine, class FromLine,
+          class OutcomeTag>
+std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
+                                         CampaignManifest identity,
+                                         const CampaignRunOptions& opts,
+                                         const RunShard& run_shard,
+                                         const ToLine& to_line,
+                                         const FromLine& from_line,
+                                         const OutcomeTag& outcome_tag,
+                                         CampaignTelemetry* telemetry) {
+  using Clock = std::chrono::steady_clock;
+  const auto campaign_start = Clock::now();
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  };
+
+  identity.total_shards = shards.size();
+  identity.total_trials = 0;
+  for (const auto& shard : shards) identity.total_trials += shard.trial_count;
+  identity.completed.clear();
+  identity.completed_trials.clear();
+  identity.wall_ms.clear();
+
+  std::vector<std::vector<Record>> per_shard(shards.size());
+  std::vector<char> done(shards.size(), 0);
+  std::vector<ShardStats> stats(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    stats[s].shard = shards[s].index;
+    stats[s].workload = shards[s].workload;
+  }
+
+  const bool streaming = !opts.out_jsonl.empty();
+  const std::string manifest_path =
+      streaming ? manifest_path_for(opts.out_jsonl) : std::string();
+
+  // -- resume: trust the manifest, reload completed shards from the trace --
+  if (streaming && opts.resume) {
+    if (const auto prior = read_manifest(manifest_path)) {
+      if (!prior->matches(identity)) {
+        throw std::runtime_error(
+            "campaign resume rejected: manifest at " + manifest_path +
+            " was written by a different campaign (config/seed/shard geometry "
+            "mismatch); delete the trace or rerun without --resume");
+      }
+      std::map<u64, u64> expected_trials;  // shard -> trials the manifest saw
+      for (std::size_t i = 0; i < prior->completed.size(); ++i) {
+        expected_trials[prior->completed[i]] = prior->completed_trials[i];
+        if (prior->completed[i] < stats.size()) {
+          stats[prior->completed[i]].wall_ms =
+              static_cast<double>(prior->wall_ms[i]);
+        }
+      }
+
+      std::ifstream trace(opts.out_jsonl);
+      std::vector<std::vector<char>> filled(shards.size());
+      std::string line;
+      while (trace && std::getline(trace, line)) {
+        if (line.empty()) continue;
+        auto parsed = from_line(line);
+        if (!parsed) continue;  // torn tail line from a killed writer
+        auto& [shard, slot, record] = *parsed;
+        if (shard >= shards.size() || !expected_trials.count(shard)) continue;
+        if (slot >= shards[shard].trial_count) continue;
+        auto& bucket = per_shard[shard];
+        auto& mask = filled[shard];
+        if (bucket.empty()) {
+          bucket.resize(shards[shard].trial_count);
+          mask.assign(shards[shard].trial_count, 0);
+        }
+        if (!mask[slot]) {
+          bucket[slot] = std::move(record);
+          mask[slot] = 1;
+        }
+      }
+      for (const auto& [shard, trials] : expected_trials) {
+        if (shard >= shards.size()) continue;
+        u64 have = 0;
+        for (const char f : filled[shard]) have += f;
+        // Only shards whose every recorded trial survived in the trace are
+        // trusted; anything torn is re-run.
+        if (have == trials && trials <= shards[shard].trial_count) {
+          per_shard[shard].resize(trials);
+          done[shard] = 1;
+          stats[shard].resumed = true;
+          stats[shard].trials = trials;
+        } else {
+          per_shard[shard].clear();
+        }
+      }
+    }
+  }
+
+  // -- stream bookkeeping (shared by workers, guarded by io_mutex) --
+  std::mutex io_mutex;
+  std::ofstream trace_out;
+  if (streaming) {
+    // Start the trace fresh with the resumed shards in canonical order; the
+    // manifest is rewritten to match, so a crash mid-campaign always leaves a
+    // consistent (trace, manifest) pair behind.
+    trace_out.open(opts.out_jsonl, std::ios::trunc);
+    if (!trace_out) {
+      throw std::runtime_error("cannot open campaign trace for writing: " +
+                               opts.out_jsonl);
+    }
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (!done[s]) continue;
+      for (std::size_t slot = 0; slot < per_shard[s].size(); ++slot) {
+        trace_out << to_line(shards[s].index, slot, per_shard[s][slot]) << '\n';
+      }
+      identity.completed.push_back(shards[s].index);
+      identity.completed_trials.push_back(per_shard[s].size());
+      identity.wall_ms.push_back(static_cast<u64>(stats[s].wall_ms));
+    }
+    trace_out.flush();
+    write_manifest(manifest_path, identity);
+  }
+
+  u64 trials_done = 0, resumed_trials = 0;
+  std::map<std::string, u64> outcome_counts;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!done[s]) continue;
+    trials_done += per_shard[s].size();
+    for (const auto& record : per_shard[s]) ++outcome_counts[outcome_tag(record)];
+  }
+  resumed_trials = trials_done;
+  u64 shards_completed = 0;
+  for (const char d : done) shards_completed += d;
+  const u64 resumed_shards = shards_completed;
+
+  const auto heartbeat = [&](std::FILE* stream) {
+    const double elapsed_s = ms_since(campaign_start) / 1000.0;
+    const u64 fresh = trials_done - resumed_trials;
+    const double rate = elapsed_s > 0 ? static_cast<double>(fresh) / elapsed_s : 0.0;
+    const u64 remaining = identity.total_trials - trials_done;
+    std::string outcomes;
+    for (const auto& [tag, n] : outcome_counts) {
+      outcomes += ' ' + tag + '=' + std::to_string(n);
+    }
+    std::fprintf(stream,
+                 "[campaign %s] shard %llu/%llu | %llu/%llu trials | "
+                 "%.0f trials/s | ETA %.1fs |%s\n",
+                 identity.kind.c_str(),
+                 static_cast<unsigned long long>(shards_completed),
+                 static_cast<unsigned long long>(shards.size()),
+                 static_cast<unsigned long long>(trials_done),
+                 static_cast<unsigned long long>(identity.total_trials),
+                 rate, rate > 0 ? static_cast<double>(remaining) / rate : 0.0,
+                 outcomes.c_str());
+    std::fflush(stream);
+  };
+
+  // -- run the pending shards --
+  std::exception_ptr first_error;
+  u64 submitted = 0;
+  bool budget_exhausted = false;
+  {
+    ThreadPool pool(opts.workers);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (done[s]) continue;
+      if (opts.max_shards != 0 && submitted >= opts.max_shards) {
+        budget_exhausted = true;
+        break;
+      }
+      ++submitted;
+      pool.submit([&, s] {
+        try {
+          const auto shard_start = Clock::now();
+          auto records = run_shard(shards[s]);
+          const double wall = ms_since(shard_start);
+
+          std::lock_guard lock(io_mutex);
+          stats[s].trials = records.size();
+          stats[s].wall_ms = wall;
+          for (const auto& record : records) ++outcome_counts[outcome_tag(record)];
+          trials_done += records.size();
+          ++shards_completed;
+          if (streaming) {
+            for (std::size_t slot = 0; slot < records.size(); ++slot) {
+              trace_out << to_line(shards[s].index, slot, records[slot]) << '\n';
+            }
+            trace_out.flush();
+            identity.completed.push_back(shards[s].index);
+            identity.completed_trials.push_back(records.size());
+            identity.wall_ms.push_back(static_cast<u64>(wall));
+            write_manifest(manifest_path, identity);
+          }
+          per_shard[s] = std::move(records);
+          done[s] = 1;
+          if (opts.heartbeat_every_shards != 0 &&
+              (shards_completed - resumed_shards) % opts.heartbeat_every_shards == 0) {
+            heartbeat(opts.heartbeat_stream != nullptr ? opts.heartbeat_stream
+                                                       : stderr);
+          }
+        } catch (...) {
+          std::lock_guard lock(io_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  const bool complete = shards_completed == shards.size();
+  if (streaming && complete) {
+    // Canonicalize: rewrite the trace in (shard, slot) order so a complete
+    // trace is byte-identical however the campaign was scheduled.
+    trace_out.close();
+    std::ofstream canonical(opts.out_jsonl, std::ios::trunc);
+    identity.completed.clear();
+    identity.completed_trials.clear();
+    identity.wall_ms.clear();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      for (std::size_t slot = 0; slot < per_shard[s].size(); ++slot) {
+        canonical << to_line(shards[s].index, slot, per_shard[s][slot]) << '\n';
+      }
+      identity.completed.push_back(shards[s].index);
+      identity.completed_trials.push_back(per_shard[s].size());
+      identity.wall_ms.push_back(static_cast<u64>(stats[s].wall_ms));
+    }
+    canonical.flush();
+    write_manifest(manifest_path, identity);
+  }
+
+  if (telemetry != nullptr) {
+    telemetry->shards.clear();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (done[s]) telemetry->shards.push_back(stats[s]);
+    }
+    telemetry->trials_total = trials_done;
+    telemetry->resumed_trials = resumed_trials;
+    telemetry->wall_ms = ms_since(campaign_start);
+    telemetry->complete = complete && !budget_exhausted;
+  }
+
+  std::vector<Record> out;
+  out.reserve(trials_done);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (auto& record : per_shard[s]) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace restore::faultinject

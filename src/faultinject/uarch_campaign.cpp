@@ -1,15 +1,15 @@
 #include "faultinject/uarch_campaign.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/orchestrator.hpp"
 
 namespace restore::faultinject {
 
@@ -198,87 +198,133 @@ UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
   return run_trial(golden_at_point, golden, bit, monitor_cycles, catchup_cycles);
 }
 
-UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
+namespace {
+
+// One shard: a contiguous trial range of one workload, grouped into
+// injection points of `trials_per_point` trials. The shard samples its
+// injection cycles and bits from its own RNG stream, advances its own golden
+// core through the sorted points (snapshotting each — a cheap COW fork) and
+// runs the point's trials against the shared continuation. Shards are
+// independent, so the campaign parallelizes across shards with no
+// cross-shard state at all.
+std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
+                                              const ShardSpec& shard,
+                                              u64 total_cycles) {
+  const StateRegistry& reg = StateRegistry::instance();
+  const workloads::Workload& wl = workloads::by_name(shard.workload);
+  Rng rng(shard.seed);
+
+  const u64 per_point = std::max<u64>(1, config.trials_per_point);
+  const u64 points = std::max<u64>(1, (shard.trial_count + per_point - 1) / per_point);
+
+  // Injection points in [5%, 85%] of the clean run, sorted so the golden
+  // core can be advanced incrementally within the shard.
+  std::vector<u64> cycles;
+  cycles.reserve(points);
+  const u64 lo = total_cycles / 20;
+  const u64 hi = std::max(lo + 1, total_cycles * 17 / 20);
+  for (u64 p = 0; p < points; ++p) cycles.push_back(rng.range(lo, hi));
+  std::sort(cycles.begin(), cycles.end());
+
+  // All randomness is drawn in a fixed order (cycles, then bits) before any
+  // trial executes, so the shard's draws never depend on machine behaviour.
+  std::vector<std::vector<uarch::BitRef>> bits(points);
+  u64 planned = 0;
+  for (u64 p = 0; p < points; ++p) {
+    while (bits[p].size() < per_point && planned < shard.trial_count) {
+      bits[p].push_back(config.latches_only
+                            ? reg.sample(rng, uarch::StorageClass::kLatch)
+                            : reg.sample(rng));
+      ++planned;
+    }
+  }
+
+  std::vector<UarchTrialRecord> records;
+  records.reserve(shard.trial_count);
+  Core golden(wl.program, config.core_config);
+  for (u64 p = 0; p < points; ++p) {
+    while (golden.running() && golden.cycle_count() < cycles[p]) golden.cycle();
+    if (!golden.running()) break;  // sampled past program end; drop the tail
+    const Core at_point = golden;
+    const GoldenContinuation continuation(at_point, config.monitor_cycles);
+    for (const auto& bit : bits[p]) {
+      UarchTrialRecord record = run_trial(at_point, continuation, bit,
+                                          config.monitor_cycles,
+                                          config.catchup_cycles);
+      record.workload = wl.name;
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+u64 config_hash(const UarchCampaignConfig& config) {
+  std::string key = "uarch;";
+  key += std::to_string(config.trials_per_workload) + ';';
+  key += std::to_string(config.trials_per_point) + ';';
+  key += std::to_string(config.monitor_cycles) + ';';
+  key += std::to_string(config.catchup_cycles) + ';';
+  key += std::to_string(config.latches_only ? 1 : 0) + ';';
+  for (const auto& name : config.workloads) key += name + ',';
+  key += ';' + core_config_key(config.core_config);
+  return fnv1a(key, fnv1a(std::to_string(config.seed)));
+}
+
+UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config,
+                                       const CampaignRunOptions& options,
+                                       CampaignTelemetry* telemetry) {
   const StateRegistry& reg = StateRegistry::instance();
   UarchCampaignResult result;
   result.eligible_bits = config.latches_only
                              ? reg.total_bits(uarch::StorageClass::kLatch)
                              : reg.total_bits();
-  Rng rng(config.seed);
 
-  std::vector<const workloads::Workload*> selected;
+  std::vector<std::string> names;
   if (config.workloads.empty()) {
-    for (const auto& wl : workloads::all()) selected.push_back(&wl);
+    for (const auto& wl : workloads::all()) names.push_back(wl.name);
   } else {
-    for (const auto& name : config.workloads) {
-      selected.push_back(&workloads::by_name(name));
-    }
+    names = config.workloads;
   }
 
-  // One pool serves the whole campaign (threads are spawned once, not
-  // re-spawned per workload).
-  ThreadPool pool(config.workers);
-
-  for (const workloads::Workload* wl : selected) {
-    const u64 total_cycles = clean_cycle_count(*wl, config.core_config);
-
-    const u64 points =
-        std::max<u64>(1, (config.trials_per_workload + config.trials_per_point - 1) /
-                             config.trials_per_point);
-    // Injection points in [5%, 85%] of the clean run, sorted so the golden
-    // core can be advanced incrementally.
-    std::vector<u64> cycles;
-    cycles.reserve(points);
-    const u64 lo = total_cycles / 20;
-    const u64 hi = std::max(lo + 1, total_cycles * 17 / 20);
-    for (u64 p = 0; p < points; ++p) cycles.push_back(rng.range(lo, hi));
-    std::sort(cycles.begin(), cycles.end());
-
-    // Trial fan-out pipelines across injection points: for each point the
-    // golden core is snapshotted (a cheap COW fork), the continuation is
-    // built, and the point's trials are submitted to the pool — then the
-    // main thread immediately advances the golden core to the next point
-    // while workers chew on the backlog. The only barrier is at the end of
-    // the workload. Each trial writes a pre-assigned slot, so results are
-    // identical for any worker count.
-    std::deque<std::vector<UarchTrialRecord>> point_records;  // stable refs
-    Core golden(wl->program, config.core_config);
-    u64 done = 0;
-    for (u64 p = 0; p < points && done < config.trials_per_workload; ++p) {
-      while (golden.running() && golden.cycle_count() < cycles[p]) golden.cycle();
-      if (!golden.running()) break;
-      const auto at_point = std::make_shared<const Core>(golden);
-      const auto continuation = std::make_shared<const GoldenContinuation>(
-          *at_point, config.monitor_cycles);
-
-      // Pre-sample the point's bits sequentially so results are independent
-      // of the worker count, then fan the trials out.
-      std::vector<uarch::BitRef> bits;
-      while (bits.size() < config.trials_per_point &&
-             done + bits.size() < config.trials_per_workload) {
-        bits.push_back(config.latches_only
-                           ? reg.sample(rng, uarch::StorageClass::kLatch)
-                           : reg.sample(rng));
-      }
-      done += bits.size();
-      auto& records = point_records.emplace_back(bits.size());
-      for (std::size_t t = 0; t < bits.size(); ++t) {
-        pool.submit([&records, t, bit = bits[t], at_point, continuation,
-                     monitor = config.monitor_cycles,
-                     catchup = config.catchup_cycles] {
-          records[t] = run_trial(*at_point, *continuation, bit, monitor, catchup);
-        });
-      }
-    }
-    pool.wait_idle();
-    for (auto& records : point_records) {
-      for (auto& record : records) {
-        record.workload = wl->name;
-        result.trials.push_back(std::move(record));
-      }
-    }
+  // Warm the clean-run cycle cache serially: every shard of a workload needs
+  // its total cycle count, and probing it once up front keeps concurrent
+  // shards from racing to run the same probe.
+  std::map<std::string, u64> total_cycles;
+  for (const auto& name : names) {
+    total_cycles[name] = clean_cycle_count(workloads::by_name(name),
+                                           config.core_config);
   }
+
+  const auto shards = plan_shards(config.seed, names, config.trials_per_workload,
+                                  options.shard_trials);
+
+  CampaignManifest identity;
+  identity.kind = "uarch";
+  identity.config_hash = config_hash(config);
+  identity.seed = config.seed;
+  identity.shard_trials =
+      options.shard_trials == 0 ? kDefaultShardTrials : options.shard_trials;
+
+  result.trials = run_sharded_campaign<UarchTrialRecord>(
+      shards, std::move(identity), options,
+      [&config, &total_cycles](const ShardSpec& shard) {
+        return run_uarch_shard(config, shard, total_cycles.at(shard.workload));
+      },
+      uarch_trial_to_jsonl, uarch_trial_from_jsonl,
+      [](const UarchTrialRecord& trial) {
+        return std::string(to_string(classify_trial(
+            trial, DetectorModel::kPerfectCfv, ProtectionModel::kBaseline, 100)));
+      },
+      telemetry);
   return result;
+}
+
+UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config) {
+  CampaignRunOptions options;
+  options.workers = config.workers;
+  return run_uarch_campaign(config, options);
 }
 
 }  // namespace restore::faultinject

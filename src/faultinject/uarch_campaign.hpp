@@ -81,7 +81,22 @@ struct UarchCampaignResult {
   u64 eligible_bits = 0;  // size of the sampled state space
 };
 
+// Identity hash over every config field (campaign kind and machine
+// configuration included); a resume manifest written under one hash refuses
+// to continue under another.
+u64 config_hash(const UarchCampaignConfig& config);
+
 UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config);
+
+// Orchestrated overload: sharded execution with optional JSONL streaming,
+// manifest-based resume and heartbeat (see orchestrator.hpp). `options.workers`
+// supersedes `config.workers`. Results are byte-identical for any worker
+// count and for interrupted-then-resumed runs of the same config + shard size.
+struct CampaignRunOptions;
+struct CampaignTelemetry;
+UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config,
+                                       const CampaignRunOptions& options,
+                                       CampaignTelemetry* telemetry = nullptr);
 
 // Single trial against a pre-warmed golden core (exposed for tests).
 // `golden_at_point` must be running.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "faultinject/orchestrator.hpp"
 #include "vm/vm.hpp"
 
 namespace restore::faultinject {
@@ -187,74 +188,114 @@ VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
 
 }  // namespace
 
-VmCampaignResult run_vm_campaign(const VmCampaignConfig& config) {
+namespace {
+
+std::vector<std::string> selected_workload_names(
+    const std::vector<std::string>& requested) {
+  if (!requested.empty()) {
+    for (const auto& name : requested) workloads::by_name(name);  // validate
+    return requested;
+  }
+  std::vector<std::string> names;
+  for (const auto& wl : workloads::all()) names.push_back(wl.name);
+  return names;
+}
+
+// One shard: sample `shard.trial_count` trials from the shard's own RNG
+// stream, then execute them in injection-index order, advancing ONE golden VM
+// incrementally and forking each trial machine from it (COW pages make the
+// fork O(mapped pages)). Per-trial setup cost is thus independent of the
+// injection index instead of re-executing from program start.
+std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
+                                        const ShardSpec& shard) {
+  const workloads::Workload& wl = workloads::by_name(shard.workload);
+  const GoldenTrace& golden = golden_trace(wl);
+  Rng rng(shard.seed);
+
+  struct PlannedTrial {
+    u64 index = 0;
+    u32 bit = 0;
+    u8 reg = 0;
+    std::size_t slot = 0;  // position in the shard's result vector
+  };
+  std::vector<PlannedTrial> plans(shard.trial_count);
+  for (u64 t = 0; t < shard.trial_count; ++t) {
+    plans[t].slot = t;
+    plans[t].bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
+    if (config.model == VmFaultModel::kResultBit) {
+      plans[t].index = golden.result_indices[rng.below(golden.result_indices.size())];
+    } else {
+      plans[t].index = rng.below(golden.records.size());
+      plans[t].reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
+    }
+  }
+
+  std::vector<std::size_t> order(plans.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plans[a].index < plans[b].index;
+  });
+
+  std::vector<VmTrialResult> trials(plans.size());
+  vm::Vm golden_vm(wl.program);
+  u64 steps = 0;
+  for (const std::size_t oi : order) {
+    const PlannedTrial& plan = plans[oi];
+    while (steps <= plan.index) {
+      golden_vm.step();
+      ++steps;
+    }
+    vm::Vm faulty = golden_vm;
+    if (config.model == VmFaultModel::kResultBit) {
+      const vm::Retired& site = golden.records[plan.index];
+      faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
+    } else {
+      faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+    }
+    trials[plan.slot] = monitor_trial(wl, std::move(faulty), plan.index,
+                                      plan.bit, config.overrun_budget);
+  }
+  return trials;
+}
+
+}  // namespace
+
+u64 config_hash(const VmCampaignConfig& config) {
+  std::string key = "vm;";
+  key += std::to_string(static_cast<int>(config.model)) + ';';
+  key += std::to_string(config.trials_per_workload) + ';';
+  key += std::to_string(config.low32_only ? 1 : 0) + ';';
+  key += std::to_string(config.overrun_budget) + ';';
+  for (const auto& name : config.workloads) key += name + ',';
+  return fnv1a(key, fnv1a(std::to_string(config.seed)));
+}
+
+VmCampaignResult run_vm_campaign(const VmCampaignConfig& config,
+                                 const CampaignRunOptions& options,
+                                 CampaignTelemetry* telemetry) {
+  const auto names = selected_workload_names(config.workloads);
+  const auto shards = plan_shards(config.seed, names, config.trials_per_workload,
+                                  options.shard_trials);
+
+  CampaignManifest identity;
+  identity.kind = "vm";
+  identity.config_hash = config_hash(config);
+  identity.seed = config.seed;
+  identity.shard_trials =
+      options.shard_trials == 0 ? kDefaultShardTrials : options.shard_trials;
+
   VmCampaignResult result;
-  Rng rng(config.seed);
-
-  std::vector<const workloads::Workload*> selected;
-  if (config.workloads.empty()) {
-    for (const auto& wl : workloads::all()) selected.push_back(&wl);
-  } else {
-    for (const auto& name : config.workloads) {
-      selected.push_back(&workloads::by_name(name));
-    }
-  }
-
-  for (const workloads::Workload* wl : selected) {
-    const GoldenTrace& golden = golden_trace(*wl);
-
-    // Pre-sample every trial in the original order (so results are
-    // byte-identical to the sequential sampler for a given seed) …
-    struct PlannedTrial {
-      u64 index = 0;
-      u32 bit = 0;
-      u8 reg = 0;
-      std::size_t slot = 0;  // position in the result vector
-    };
-    std::vector<PlannedTrial> plans(config.trials_per_workload);
-    for (u64 t = 0; t < config.trials_per_workload; ++t) {
-      plans[t].slot = t;
-      plans[t].bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
-      if (config.model == VmFaultModel::kResultBit) {
-        plans[t].index = golden.result_indices[rng.below(golden.result_indices.size())];
-      } else {
-        plans[t].index = rng.below(golden.records.size());
-        plans[t].reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
-      }
-    }
-
-    // … then execute them in injection-index order, advancing ONE golden VM
-    // incrementally and forking each trial machine from it (COW pages make
-    // the fork O(mapped pages)). Per-trial setup cost is thus independent of
-    // the injection index instead of re-executing from program start.
-    std::vector<std::size_t> order(plans.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return plans[a].index < plans[b].index;
-    });
-
-    std::vector<VmTrialResult> trials(plans.size());
-    vm::Vm golden_vm(wl->program);
-    u64 steps = 0;
-    for (const std::size_t oi : order) {
-      const PlannedTrial& plan = plans[oi];
-      while (steps <= plan.index) {
-        golden_vm.step();
-        ++steps;
-      }
-      vm::Vm faulty = golden_vm;
-      if (config.model == VmFaultModel::kResultBit) {
-        const vm::Retired& site = golden.records[plan.index];
-        faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
-      } else {
-        faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
-      }
-      trials[plan.slot] = monitor_trial(*wl, std::move(faulty), plan.index,
-                                        plan.bit, config.overrun_budget);
-    }
-    for (auto& trial : trials) result.trials.push_back(std::move(trial));
-  }
+  result.trials = run_sharded_campaign<VmTrialResult>(
+      shards, std::move(identity), options,
+      [&config](const ShardSpec& shard) { return run_vm_shard(config, shard); },
+      vm_trial_to_jsonl, vm_trial_from_jsonl,
+      [](const VmTrialResult& trial) { return std::string(to_string(trial.outcome)); },
+      telemetry);
   return result;
+}
+
+VmCampaignResult run_vm_campaign(const VmCampaignConfig& config) {
+  return run_vm_campaign(config, CampaignRunOptions{});
 }
 
 std::size_t VmCampaignResult::count(VmOutcome outcome, u64 max_latency) const {

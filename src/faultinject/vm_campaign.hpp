@@ -59,8 +59,21 @@ struct VmCampaignResult {
   std::size_t count(VmOutcome outcome, u64 max_latency = kNever) const;
 };
 
-// Run the campaign. Deterministic for a given config.
+// Identity hash over every config field (campaign kind included); a resume
+// manifest written under one hash refuses to continue under another.
+u64 config_hash(const VmCampaignConfig& config);
+
+// Run the campaign. Deterministic for a given config (and, for the
+// orchestrated overload, a given shard size): trials are sampled from
+// independent per-shard RNG streams, so the result is byte-identical for any
+// worker count and for interrupted-then-resumed runs.
 VmCampaignResult run_vm_campaign(const VmCampaignConfig& config);
+
+struct CampaignRunOptions;  // orchestrator.hpp
+struct CampaignTelemetry;
+VmCampaignResult run_vm_campaign(const VmCampaignConfig& config,
+                                 const CampaignRunOptions& options,
+                                 CampaignTelemetry* telemetry = nullptr);
 
 // Run a single trial (exposed for tests): inject into dynamic instruction
 // `inject_index` (must produce a register result), flipping `bit`.

@@ -1,0 +1,111 @@
+// Golden-determinism regression: a fixed-seed campaign must export
+// byte-identical results at any worker count — both the assembled in-memory
+// trial list and the streamed JSONL trace. This is the property the resume
+// machinery rests on, so it is pinned here for the VM (Figure 2 style) and
+// uarch (Figure 4 style) campaigns.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faultinject/export.hpp"
+#include "faultinject/orchestrator.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+
+namespace restore::faultinject {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_trace(const std::string& tag) {
+  return testing::TempDir() + "restore_determinism_" + tag + ".jsonl";
+}
+
+TEST(CampaignDeterminism, VmCampaignIsByteIdenticalAcrossWorkerCounts) {
+  VmCampaignConfig config;
+  config.seed = 0xD373;
+  config.trials_per_workload = 30;
+  config.workloads = {"gzip", "mcf"};
+
+  std::vector<std::string> exports;
+  std::vector<std::string> traces;
+  for (const std::size_t workers : {0u, 1u, 2u, 8u}) {
+    CampaignRunOptions opts;
+    opts.workers = workers;
+    opts.shard_trials = 8;  // several shards per workload
+    opts.out_jsonl = temp_trace("vm_w" + std::to_string(workers));
+    const auto result = run_vm_campaign(config, opts);
+    ASSERT_EQ(result.trials.size(), 60u);
+    std::ostringstream csv;
+    write_vm_trials_csv(csv, result.trials);
+    exports.push_back(csv.str());
+    traces.push_back(slurp(opts.out_jsonl));
+  }
+  for (std::size_t i = 1; i < exports.size(); ++i) {
+    EXPECT_EQ(exports[0], exports[i]) << i;
+    EXPECT_EQ(traces[0], traces[i]) << i;
+  }
+}
+
+TEST(CampaignDeterminism, UarchCampaignIsByteIdenticalAcrossWorkerCounts) {
+  UarchCampaignConfig config;
+  config.seed = 0xD374;
+  config.trials_per_workload = 12;
+  config.workloads = {"gzip"};
+
+  std::vector<std::string> exports;
+  std::vector<std::string> traces;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    CampaignRunOptions opts;
+    opts.workers = workers;
+    opts.shard_trials = 4;
+    opts.out_jsonl = temp_trace("uarch_w" + std::to_string(workers));
+    const auto result = run_uarch_campaign(config, opts);
+    EXPECT_FALSE(result.trials.empty());
+    std::ostringstream csv;
+    write_uarch_trials_csv(csv, result.trials);
+    exports.push_back(csv.str());
+    traces.push_back(slurp(opts.out_jsonl));
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(traces[0], traces[2]);
+}
+
+TEST(CampaignDeterminism, ShardStreamSeedsAreStableAndDistinct) {
+  const u64 a = shard_stream_seed(42, "gzip", 0);
+  EXPECT_EQ(a, shard_stream_seed(42, "gzip", 0));
+  EXPECT_NE(a, shard_stream_seed(42, "gzip", 1));
+  EXPECT_NE(a, shard_stream_seed(42, "mcf", 0));
+  EXPECT_NE(a, shard_stream_seed(43, "gzip", 0));
+}
+
+TEST(CampaignDeterminism, PlanShardsCutsExactTrialRanges) {
+  const auto shards = plan_shards(7, {"gzip", "mcf"}, 20, 8);
+  ASSERT_EQ(shards.size(), 6u);  // 8 + 8 + 4, per workload
+  u64 gzip_trials = 0, mcf_trials = 0;
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.seed,
+              shard_stream_seed(7, shard.workload, shard.trial_begin / 8));
+    (shard.workload == "gzip" ? gzip_trials : mcf_trials) += shard.trial_count;
+  }
+  EXPECT_EQ(gzip_trials, 20u);
+  EXPECT_EQ(mcf_trials, 20u);
+  // Shard indices are the global manifest keys: consecutive from zero.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].index, i);
+  }
+}
+
+}  // namespace
+}  // namespace restore::faultinject

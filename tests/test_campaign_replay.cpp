@@ -1,0 +1,176 @@
+// Campaign replay: interrupt a streamed campaign after k shards (via the
+// max_shards trial-budget hook), resume it from the manifest, and require the
+// final trace and aggregates to be byte-identical to an uninterrupted run.
+// Also pins the safety property: a manifest written by a different campaign
+// (other seed / config / shard geometry) refuses to resume.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "faultinject/campaign_io.hpp"
+#include "faultinject/export.hpp"
+#include "faultinject/orchestrator.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+
+namespace restore::faultinject {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_trace(const std::string& tag) {
+  return testing::TempDir() + "restore_replay_" + tag + ".jsonl";
+}
+
+VmCampaignConfig small_vm_config() {
+  VmCampaignConfig config;
+  config.seed = 0x4E01;
+  config.trials_per_workload = 24;
+  config.workloads = {"gzip", "mcf"};
+  return config;
+}
+
+CampaignRunOptions streaming_opts(const std::string& trace) {
+  CampaignRunOptions opts;
+  opts.workers = 2;
+  opts.shard_trials = 8;  // 3 shards per workload, 6 total
+  opts.out_jsonl = trace;
+  return opts;
+}
+
+TEST(CampaignReplay, InterruptedVmCampaignResumesByteIdentical) {
+  const auto config = small_vm_config();
+
+  // Reference: uninterrupted run, single-threaded. The interrupt happens at
+  // 8 workers and the resume at 2, so the comparison also spans worker
+  // counts (the acceptance property: interrupt+resume at any of 1/2/8
+  // workers equals an uninterrupted run).
+  const auto full_trace = temp_trace("vm_full");
+  auto full_opts = streaming_opts(full_trace);
+  full_opts.workers = 1;
+  const auto full = run_vm_campaign(config, full_opts);
+
+  // Interrupted run: stop after 2 of the 6 shards.
+  const auto trace = temp_trace("vm_interrupted");
+  auto opts = streaming_opts(trace);
+  opts.workers = 8;
+  opts.max_shards = 2;
+  CampaignTelemetry killed;
+  const auto partial = run_vm_campaign(config, opts, &killed);
+  EXPECT_FALSE(killed.complete);
+  EXPECT_EQ(killed.shards.size(), 2u);
+  EXPECT_LT(partial.trials.size(), full.trials.size());
+
+  // The on-disk state is a consistent prefix: manifest matches what the
+  // trace holds.
+  const auto mid = read_manifest(manifest_path_for(trace));
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->completed.size(), 2u);
+
+  // Resume without the budget (and at a different worker count); the
+  // reloaded shards must not be re-run.
+  opts.max_shards = 0;
+  opts.workers = 2;
+  opts.resume = true;
+  CampaignTelemetry resumed;
+  const auto finished = run_vm_campaign(config, opts, &resumed);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.resumed_trials, 0u);
+  EXPECT_EQ(resumed.resumed_trials, partial.trials.size());
+
+  // Aggregates and trace are byte-identical to the uninterrupted run.
+  std::ostringstream full_csv, resumed_csv;
+  write_vm_trials_csv(full_csv, full.trials);
+  write_vm_trials_csv(resumed_csv, finished.trials);
+  EXPECT_EQ(full_csv.str(), resumed_csv.str());
+  EXPECT_EQ(slurp(full_trace), slurp(trace));
+}
+
+TEST(CampaignReplay, ResumeOfCompleteCampaignRerunsNothing) {
+  const auto config = small_vm_config();
+  const auto trace = temp_trace("vm_complete");
+  auto opts = streaming_opts(trace);
+  const auto first = run_vm_campaign(config, opts);
+
+  opts.resume = true;
+  CampaignTelemetry telemetry;
+  const auto second = run_vm_campaign(config, opts, &telemetry);
+  EXPECT_TRUE(telemetry.complete);
+  EXPECT_EQ(telemetry.resumed_trials, first.trials.size());
+  for (const auto& shard : telemetry.shards) {
+    EXPECT_TRUE(shard.resumed) << shard.shard;
+  }
+  std::ostringstream a, b;
+  write_vm_trials_csv(a, first.trials);
+  write_vm_trials_csv(b, second.trials);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CampaignReplay, ResumeRejectsManifestFromDifferentCampaign) {
+  const auto trace = temp_trace("vm_mismatch");
+  auto opts = streaming_opts(trace);
+  opts.max_shards = 1;
+  run_vm_campaign(small_vm_config(), opts);
+
+  // Same trace path, different campaign identity: the seed changed.
+  auto other = small_vm_config();
+  other.seed ^= 1;
+  opts.max_shards = 0;
+  opts.resume = true;
+  EXPECT_THROW(run_vm_campaign(other, opts), std::runtime_error);
+
+  // ... and so does a different shard geometry under the same config.
+  auto regeometry = streaming_opts(trace);
+  regeometry.shard_trials = 5;
+  regeometry.resume = true;
+  EXPECT_THROW(run_vm_campaign(small_vm_config(), regeometry), std::runtime_error);
+}
+
+TEST(CampaignReplay, InterruptedUarchCampaignResumesByteIdentical) {
+  UarchCampaignConfig config;
+  config.seed = 0x4E02;
+  config.trials_per_workload = 12;
+  config.workloads = {"gzip"};
+
+  // As in the VM test, the reference, interrupt and resume each use a
+  // different worker count (1 / 8 / 2).
+  const auto full_trace = temp_trace("uarch_full");
+  CampaignRunOptions opts;
+  opts.workers = 1;
+  opts.shard_trials = 4;  // 3 shards
+  opts.out_jsonl = full_trace;
+  const auto full = run_uarch_campaign(config, opts);
+
+  const auto trace = temp_trace("uarch_interrupted");
+  opts.out_jsonl = trace;
+  opts.workers = 8;
+  opts.max_shards = 1;
+  CampaignTelemetry killed;
+  run_uarch_campaign(config, opts, &killed);
+  EXPECT_FALSE(killed.complete);
+
+  opts.max_shards = 0;
+  opts.workers = 2;
+  opts.resume = true;
+  CampaignTelemetry resumed;
+  const auto finished = run_uarch_campaign(config, opts, &resumed);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.resumed_trials, 0u);
+
+  std::ostringstream a, b;
+  write_uarch_trials_csv(a, full.trials);
+  write_uarch_trials_csv(b, finished.trials);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(slurp(full_trace), slurp(trace));
+}
+
+}  // namespace
+}  // namespace restore::faultinject

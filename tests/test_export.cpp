@@ -1,8 +1,11 @@
-// Tests for the CSV exporters.
+// Tests for the CSV exporters, the matching readers and the JSONL campaign
+// trace format: both round trips must be exact.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
+#include "faultinject/campaign_io.hpp"
 #include "faultinject/export.hpp"
 
 namespace restore::faultinject {
@@ -70,6 +73,201 @@ TEST(Export, CategorySeriesSharesSumToOnePerRow) {
 
 TEST(Export, FileWriterRejectsBadPath) {
   EXPECT_THROW(write_vm_trials_csv("/nonexistent-dir/x.csv", {}), std::runtime_error);
+}
+
+// A uarch record exercising every serialized field, including kNever
+// latencies (omitted in JSONL, empty cells in CSV) and a non-default
+// end status.
+UarchTrialRecord full_trial() {
+  UarchTrialRecord t;
+  t.workload = "vortex";
+  t.bit = uarch::BitRef{3, 17, 41};
+  t.storage = uarch::StorageClass::kLatch;
+  t.protection = uarch::LhfProtection::kParity;
+  t.field_name = "iq.op";
+  t.lat_exception = kNever;
+  t.lat_cfv = 12;
+  t.lat_hiconf = 9;
+  t.lat_deadlock = kNever;
+  t.lat_illegal_flow = 77;
+  t.lat_cache_burst = kNever;
+  t.trace_diverged = true;
+  t.arch_corrupt_at_end = false;
+  t.uarch_state_equal = false;
+  t.live_state_diff = true;
+  t.end_status = uarch::Core::Status::kDeadlocked;
+  return t;
+}
+
+void expect_same_uarch(const UarchTrialRecord& a, const UarchTrialRecord& b,
+                       bool compare_bit) {
+  EXPECT_EQ(a.workload, b.workload);
+  if (compare_bit) {
+    EXPECT_EQ(a.bit.field, b.bit.field);
+    EXPECT_EQ(a.bit.entry, b.bit.entry);
+    EXPECT_EQ(a.bit.bit, b.bit.bit);
+  }
+  EXPECT_EQ(a.storage, b.storage);
+  EXPECT_EQ(a.protection, b.protection);
+  EXPECT_EQ(a.field_name, b.field_name);
+  EXPECT_EQ(a.lat_exception, b.lat_exception);
+  EXPECT_EQ(a.lat_cfv, b.lat_cfv);
+  EXPECT_EQ(a.lat_hiconf, b.lat_hiconf);
+  EXPECT_EQ(a.lat_deadlock, b.lat_deadlock);
+  EXPECT_EQ(a.lat_illegal_flow, b.lat_illegal_flow);
+  EXPECT_EQ(a.lat_cache_burst, b.lat_cache_burst);
+  EXPECT_EQ(a.trace_diverged, b.trace_diverged);
+  EXPECT_EQ(a.arch_corrupt_at_end, b.arch_corrupt_at_end);
+  EXPECT_EQ(a.uarch_state_equal, b.uarch_state_equal);
+  EXPECT_EQ(a.live_state_diff, b.live_state_diff);
+  EXPECT_EQ(a.end_status, b.end_status);
+}
+
+TEST(Export, UarchJsonlRoundTripIsExact) {
+  const auto trial = full_trial();
+  const std::string line = uarch_trial_to_jsonl(5, 11, trial);
+  // kNever latencies are omitted, never printed as 2^64-1.
+  EXPECT_EQ(line.find("18446744073709551615"), std::string::npos);
+  const auto parsed = uarch_trial_from_jsonl(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& [shard, slot, back] = *parsed;
+  EXPECT_EQ(shard, 5u);
+  EXPECT_EQ(slot, 11u);
+  expect_same_uarch(trial, back, /*compare_bit=*/true);
+}
+
+TEST(Export, VmJsonlRoundTripIsExact) {
+  VmTrialResult trial;
+  trial.workload = "parser";
+  trial.outcome = VmOutcome::kMasked;
+  trial.latency = kNever;
+  trial.inject_index = 100'000;
+  trial.bit = 63;
+  const std::string line = vm_trial_to_jsonl(2, 0, trial);
+  const auto parsed = vm_trial_from_jsonl(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& [shard, slot, back] = *parsed;
+  EXPECT_EQ(shard, 2u);
+  EXPECT_EQ(slot, 0u);
+  EXPECT_EQ(back.workload, trial.workload);
+  EXPECT_EQ(back.outcome, trial.outcome);
+  EXPECT_EQ(back.latency, trial.latency);
+  EXPECT_EQ(back.inject_index, trial.inject_index);
+  EXPECT_EQ(back.bit, trial.bit);
+}
+
+TEST(Export, JsonlParserRejectsGarbage) {
+  EXPECT_FALSE(vm_trial_from_jsonl("not json").has_value());
+  EXPECT_FALSE(vm_trial_from_jsonl("{\"shard\":1").has_value());  // torn line
+  EXPECT_FALSE(uarch_trial_from_jsonl("{}").has_value());
+}
+
+TEST(Export, VmCsvParsesBackExactly) {
+  std::vector<VmTrialResult> trials;
+  const VmOutcome outcomes[] = {VmOutcome::kMasked, VmOutcome::kException,
+                                VmOutcome::kCfv, VmOutcome::kMemAddr};
+  for (int i = 0; i < 4; ++i) {
+    VmTrialResult t;
+    t.workload = "gzip";
+    t.outcome = outcomes[i];
+    t.latency = t.outcome == VmOutcome::kMasked ? kNever : u64(i) * 10;
+    t.inject_index = u64(i) * 997;
+    t.bit = u32(i);
+    trials.push_back(t);
+  }
+  std::ostringstream out;
+  write_vm_trials_csv(out, trials);
+  std::istringstream in(out.str());
+  const auto back = read_vm_trials_csv(in);
+  ASSERT_EQ(back.size(), trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(back[i].workload, trials[i].workload) << i;
+    EXPECT_EQ(back[i].outcome, trials[i].outcome) << i;
+    EXPECT_EQ(back[i].latency, trials[i].latency) << i;
+    EXPECT_EQ(back[i].inject_index, trials[i].inject_index) << i;
+    EXPECT_EQ(back[i].bit, trials[i].bit) << i;
+  }
+}
+
+TEST(Export, UarchCsvParsesBackWithIdenticalClassification) {
+  // Trials hitting the full precedence chain: deadlock > exception > cfv >
+  // sdc, plus the non-failure categories.
+  std::vector<UarchTrialRecord> trials;
+  {
+    auto t = full_trial();  // deadlocked with symptoms
+    trials.push_back(t);
+  }
+  {
+    auto t = full_trial();
+    t.end_status = uarch::Core::Status::kRunning;
+    t.lat_exception = 3;  // exception beats cfv
+    trials.push_back(t);
+  }
+  {
+    auto t = full_trial();
+    t.end_status = uarch::Core::Status::kRunning;
+    t.lat_cfv = 40;
+    t.lat_hiconf = kNever;
+    t.lat_illegal_flow = kNever;
+    trials.push_back(t);
+  }
+  {
+    auto t = full_trial();  // silent corruption, no symptoms at all
+    t.end_status = uarch::Core::Status::kHalted;
+    t.lat_cfv = kNever;
+    t.lat_hiconf = kNever;
+    t.lat_illegal_flow = kNever;
+    t.arch_corrupt_at_end = true;
+    trials.push_back(t);
+  }
+  {
+    auto t = full_trial();  // fully masked
+    t.end_status = uarch::Core::Status::kHalted;
+    t.trace_diverged = false;
+    t.live_state_diff = false;
+    t.uarch_state_equal = true;
+    t.lat_cfv = kNever;
+    t.lat_hiconf = kNever;
+    t.lat_illegal_flow = kNever;
+    trials.push_back(t);
+  }
+
+  std::ostringstream out;
+  write_uarch_trials_csv(out, trials);
+  std::istringstream in(out.str());
+  const auto back = read_uarch_trials_csv(in);
+  ASSERT_EQ(back.size(), trials.size());
+
+  std::map<UarchOutcome, int> want, got;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    // The CSV does not carry the raw BitRef, but every classification input
+    // must survive the round trip.
+    expect_same_uarch(trials[i], back[i], /*compare_bit=*/false);
+    for (const u64 interval : {10u, 100u, 1000u}) {
+      const auto a = classify_trial(trials[i], DetectorModel::kJrsConfidence,
+                                    ProtectionModel::kBaseline, interval);
+      const auto b = classify_trial(back[i], DetectorModel::kJrsConfidence,
+                                    ProtectionModel::kBaseline, interval);
+      EXPECT_EQ(a, b) << "trial " << i << " interval " << interval;
+    }
+    ++want[classify_trial(trials[i], DetectorModel::kPerfectCfv,
+                          ProtectionModel::kBaseline, 100)];
+    ++got[classify_trial(back[i], DetectorModel::kPerfectCfv,
+                         ProtectionModel::kBaseline, 100)];
+  }
+  EXPECT_EQ(want, got);
+}
+
+TEST(Export, ShardStatsCsvHasOneRowPerShard) {
+  std::vector<ShardStats> shards(2);
+  shards[0] = {0, "gzip", 32, 12.5, false};
+  shards[1] = {1, "mcf", 16, 4.0, true};
+  std::ostringstream out;
+  write_shard_stats_csv(out, shards);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("shard,workload,trials,wall_ms"), std::string::npos);
+  EXPECT_NE(text.find("0,gzip,32,"), std::string::npos);
+  EXPECT_NE(text.find("1,mcf,16,"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// ThreadPool edge cases: the degenerate ranges parallel_for must survive
+// (empty, single-element, fewer items than workers) and explicit chunk sizes
+// larger than the range. These are exactly the shapes the sharded campaign
+// orchestrator produces for tiny test campaigns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace restore {
+namespace {
+
+TEST(ThreadPool, ParallelForOverZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForOverZeroItemsInlinePool) {
+  ThreadPool pool(0);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> seen{999};
+  pool.parallel_for(1, [&](std::size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.load(), 0u);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  pool.parallel_for(3, [&](std::size_t i) {
+    std::lock_guard lock(mu);
+    indices.insert(i);
+  });
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ChunkSizeLargerThanRangeCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5);
+  pool.parallel_for(
+      5, [&](std::size_t i) { ++hits[i]; }, /*chunk_size=*/1000);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ExplicitChunkSizeCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 97;  // not a multiple of the chunk size
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(
+      kCount, [&](std::size_t i) { ++hits[i]; }, /*chunk_size=*/7);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, InlinePoolRunsEverythingOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.parallel_for(16, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleDrainsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace restore

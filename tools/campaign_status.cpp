@@ -1,0 +1,135 @@
+// campaign_status — inspect a streamed injection-campaign trace.
+//
+// Reads the JSONL trial trace plus its sidecar manifest and reports how far
+// the campaign got (completed shards / trials, per-shard wall-time stats) and
+// what it found so far (outcome counts over the trials already on disk), so
+// an interrupted paper-scale run can be checked before deciding to --resume.
+//
+// Usage: campaign_status TRACE.jsonl [--interval N]
+//   --interval N   checkpoint interval used to classify uarch trials
+//                  (default 100, matching the figure drivers' summary lines)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/cli.hpp"
+#include "faultinject/campaign_io.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/outcome.hpp"
+
+using namespace restore;
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: campaign_status TRACE.jsonl [--interval N]\n"
+               "  Reports completion and outcome counts for a campaign trace\n"
+               "  written with --out-jsonl (manifest at TRACE.jsonl.manifest.json).\n");
+}
+
+void print_counts(const std::map<std::string, u64>& counts, u64 total) {
+  for (const auto& [name, count] : counts) {
+    std::printf("  %-12s %8llu  (%.1f%%)\n", name.c_str(),
+                static_cast<unsigned long long>(count),
+                total > 0 ? 100.0 * static_cast<double>(count) /
+                                static_cast<double>(total)
+                          : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has_flag("help") || args.positional().empty()) {
+    print_usage();
+    return args.has_flag("help") ? 0 : 2;
+  }
+  const std::string trace_path = args.positional().front();
+  const u64 interval = args.value_u64("interval", 100);
+
+  const auto manifest_path = faultinject::manifest_path_for(trace_path);
+  std::optional<faultinject::CampaignManifest> manifest;
+  try {
+    manifest = faultinject::read_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_status: %s\n", e.what());
+    return 1;
+  }
+  if (!manifest) {
+    std::fprintf(stderr, "campaign_status: no manifest at %s\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+
+  u64 done_trials = 0;
+  double total_ms = 0, slowest_ms = 0;
+  for (std::size_t i = 0; i < manifest->completed.size(); ++i) {
+    done_trials += manifest->completed_trials[i];
+    total_ms += static_cast<double>(manifest->wall_ms[i]);
+    slowest_ms = std::max(slowest_ms, static_cast<double>(manifest->wall_ms[i]));
+  }
+  const u64 done_shards = manifest->completed.size();
+
+  std::printf("campaign: kind=%s seed=%llu config_hash=%016llx shard_trials=%llu\n",
+              manifest->kind.c_str(),
+              static_cast<unsigned long long>(manifest->seed),
+              static_cast<unsigned long long>(manifest->config_hash),
+              static_cast<unsigned long long>(manifest->shard_trials));
+  std::printf("progress: %llu/%llu shards, %llu/%llu trials (%.1f%%)%s\n",
+              static_cast<unsigned long long>(done_shards),
+              static_cast<unsigned long long>(manifest->total_shards),
+              static_cast<unsigned long long>(done_trials),
+              static_cast<unsigned long long>(manifest->total_trials),
+              manifest->total_trials > 0
+                  ? 100.0 * static_cast<double>(done_trials) /
+                        static_cast<double>(manifest->total_trials)
+                  : 0.0,
+              done_shards == manifest->total_shards ? "  [complete]"
+                                                    : "  [resumable]");
+  if (done_shards > 0) {
+    const double mean_ms = total_ms / static_cast<double>(done_shards);
+    std::printf("shards: mean %.1f ms, slowest %.1f ms, %.1f trials/sec overall\n",
+                mean_ms, slowest_ms,
+                total_ms > 0 ? 1000.0 * static_cast<double>(done_trials) / total_ms
+                             : 0.0);
+  }
+
+  std::ifstream trace(trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "campaign_status: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::map<std::string, u64> counts;
+  u64 lines = 0;
+  try {
+    if (manifest->kind == "vm") {
+      for (const auto& parsed : faultinject::read_vm_trials_jsonl(trace)) {
+        ++lines;
+        counts[std::string(to_string(parsed.trial.outcome))]++;
+      }
+    } else {
+      for (const auto& parsed : faultinject::read_uarch_trials_jsonl(trace)) {
+        ++lines;
+        const auto outcome = faultinject::classify_trial(
+            parsed.trial, faultinject::DetectorModel::kPerfectCfv,
+            faultinject::ProtectionModel::kBaseline, interval);
+        counts[std::string(to_string(outcome))]++;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_status: bad trace line: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("trials on disk: %llu%s\n",
+              static_cast<unsigned long long>(lines),
+              manifest->kind == "uarch"
+                  ? "  (classified: perfect-cfv detector, baseline pipeline)"
+                  : "");
+  print_counts(counts, lines);
+  return 0;
+}
