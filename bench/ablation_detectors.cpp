@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 100);
   config.seed = resolve_seed(args, 0xAB1A);
+  config.trial_budget = bench::cli_trial_budget(args);
   config.core_config.illegal_flow_watchdog = true;  // record kIllegalFlow events
 
   // This driver runs two campaigns in one process, so it shares the worker

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0x5EED);
   config.low32_only = args.has_flag("low32");
+  config.trial_budget = bench::cli_trial_budget(args);
   if (args.value("model").value_or("result") == "register") {
     config.model = faultinject::VmFaultModel::kRegisterBit;
   }
@@ -91,14 +92,17 @@ int main(int argc, char** argv) {
   const auto opts = bench::campaign_options(args);
   faultinject::CampaignTelemetry telemetry;
   const auto result = run_vm_campaign(config, opts, &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
   print_campaign(result);
   if (const auto csv = args.value("csv")) {
     faultinject::write_vm_trials_csv(*csv, result.trials);
     std::printf("\nwrote per-trial data to %s\n", csv->c_str());
   }
 
-  if (!config.low32_only) {
+  // The follow-up study only makes sense over a complete main campaign, and
+  // after a shutdown request the process should wind down, not start another
+  // campaign.
+  if (!config.low32_only && status == bench::kExitComplete) {
     // The §3.1 follow-up: how does the exception share move when flips are
     // confined to the low 32 bits?
     auto low32 = config;
@@ -121,5 +125,5 @@ int main(int argc, char** argv) {
                 TextTable::fmt_pct(result.fraction(VmOutcome::kCfv), 1).c_str(),
                 TextTable::fmt_pct(low.fraction(VmOutcome::kCfv), 1).c_str());
   }
-  return 0;
+  return status;
 }

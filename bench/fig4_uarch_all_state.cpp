@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
   config.latches_only = args.has_flag("latches-only");
+  config.trial_budget = bench::cli_trial_budget(args);
 
   std::printf("=== Figure 4: microarchitectural fault injection, %s ===\n",
               config.latches_only ? "pipeline latches only (sec. 5.1.2)"
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
 
   faultinject::CampaignTelemetry telemetry;
   const auto result = run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
   std::printf("eligible state bits: %llu (paper's model: ~46,000)\n",
               static_cast<unsigned long long>(result.eligible_bits));
   std::printf("trials: %zu\n\n", result.trials.size());
@@ -54,5 +55,5 @@ int main(int argc, char** argv) {
                 TextTable::fmt_pct((failures - uncovered) / failures, 1).c_str(),
                 config.latches_only ? "; ~75%% for latches" : "");
   }
-  return 0;
+  return status;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
+  config.trial_budget = bench::cli_trial_budget(args);
 
   std::printf("=== Figure 5: ReStore coverage, baseline pipeline ===\n");
   std::printf(
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
 
   faultinject::CampaignTelemetry telemetry;
   const auto result = run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
   std::printf("trials: %zu\n\n", result.trials.size());
   if (const auto csv = args.value("csv")) {
     faultinject::write_uarch_trials_csv(*csv, result.trials);
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
                                             faultinject::DetectorModel::kJrsConfidence,
                                             faultinject::ProtectionModel::kBaseline,
                                             100));
-  return 0;
+  return status;
 }

@@ -21,13 +21,14 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
+  config.trial_budget = bench::cli_trial_budget(args);
 
   std::printf("=== Figure 6: ReStore coverage, hardened (lhf) pipeline ===\n\n");
 
   faultinject::CampaignTelemetry telemetry;
   const auto result =
       run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
   std::printf("trials: %zu\n\n", result.trials.size());
 
   bench::print_uarch_category_table(result.trials,
@@ -54,5 +55,5 @@ int main(int argc, char** argv) {
               faultinject::mtbf_improvement(result.trials,
                                             DetectorModel::kJrsConfidence,
                                             ProtectionModel::kLhf, 100));
-  return 0;
+  return status;
 }

@@ -25,12 +25,13 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
+  config.trial_budget = bench::cli_trial_budget(args);
 
   std::printf("=== Figure 8: FIT rates with device scaling ===\n\n");
   faultinject::CampaignTelemetry telemetry;
   const auto campaign =
       run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
 
   reliability::SdcRates rates;
   rates.baseline = faultinject::failure_fraction(campaign.trials);
@@ -76,5 +77,5 @@ int main(int argc, char** argv) {
         "(paper: \"MTBF comparable to a design 1/7th the size\")\n",
         static_cast<double>(protected_limit) / static_cast<double>(base_limit));
   }
-  return 0;
+  return status;
 }

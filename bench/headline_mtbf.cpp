@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   faultinject::UarchCampaignConfig config;
   config.trials_per_workload = resolve_trial_count(args, 150);
   config.seed = resolve_seed(args, 0xC0FE);
+  config.trial_budget = bench::cli_trial_budget(args);
   const u64 interval = args.value_u64("interval", 100);
 
   std::printf("=== Headline: MTBF improvement at a %llu-instruction interval ===\n\n",
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   faultinject::CampaignTelemetry telemetry;
   const auto campaign =
       run_uarch_campaign(config, bench::campaign_options(args), &telemetry);
-  bench::report_campaign(telemetry, args);
+  const int status = bench::report_campaign(telemetry, args);
 
   const double base = faultinject::failure_fraction(campaign.trials);
   const double restore_only = faultinject::uncovered_fraction(
@@ -60,5 +61,5 @@ int main(int argc, char** argv) {
                       .margin(),
                   2)
                   .c_str());
-  return 0;
+  return status;
 }

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   auto opts = bench::campaign_options(args);
   opts.out_jsonl.clear();
   opts.resume = false;
+  const ResourceBudget trial_budget = bench::cli_trial_budget(args);
 
   std::printf("=== Workload sensitivity (interval=%llu, %llu trials each) ===\n\n",
               static_cast<unsigned long long>(interval),
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
     vc.trials_per_workload = trials;
     vc.seed = seed;
     vc.workloads = {name};
+    vc.trial_budget = trial_budget;
     const auto vm_result = run_vm_campaign(vc, opts);
 
     // Microarchitectural campaign.
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
     uc.trials_per_workload = trials;
     uc.seed = seed;
     uc.workloads = {name};
+    uc.trial_budget = trial_budget;
     const auto uarch_result = run_uarch_campaign(uc, opts);
 
     const double failures = faultinject::failure_fraction(uarch_result.trials);

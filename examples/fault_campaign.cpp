@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   config.workloads = {workload};
   config.trials_per_workload = resolve_trial_count(args, 200);
   config.seed = resolve_seed(args, 42);
+  // Containment budget flags (--trial-max-insns etc.) apply here too.
+  config.trial_budget = resolve_campaign_cli(args).trial_budget;
 
   std::printf("fault campaign: workload=%s trials=%llu\n\n", workload.c_str(),
               static_cast<unsigned long long>(config.trials_per_workload));
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   };
   std::map<std::string, FieldStats> by_field;
   for (const auto& trial : result.trials) {
+    if (trial.aborted()) continue;  // tool artefact, not a protection signal
     auto& stats = by_field[trial.field_name];
     ++stats.trials;
     const auto outcome =

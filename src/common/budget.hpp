@@ -1,0 +1,74 @@
+// Deterministic per-trial resource budgets for fault-injection campaigns.
+//
+// An injected fault can steer a simulated machine into arbitrary state; the
+// containment layer bounds what one trial may consume of the *host* — cycles,
+// retired instructions, mapped memory — purely in simulated quantities, so a
+// budget violation classifies identically at any worker count and on any
+// machine (no wall-clock anywhere in the decision).
+//
+// A budget field of 0 means unlimited; the default-constructed budget is the
+// pre-containment behaviour and costs nothing on the clean path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace restore {
+
+struct ResourceBudget {
+  u64 max_cycles = 0;    // simulated cycles a trial machine may run
+  u64 max_retired = 0;   // instructions a trial machine may retire
+  u64 max_pages = 0;     // pages a trial machine may have mapped
+  u64 max_bytes = 0;     // bytes of mapped memory (rounded up to whole pages)
+
+  bool unlimited() const noexcept {
+    return max_cycles == 0 && max_retired == 0 && max_pages == 0 && max_bytes == 0;
+  }
+};
+
+enum class BudgetKind : u8 { kCycles, kRetired, kPages, kBytes };
+
+constexpr const char* to_string(BudgetKind kind) noexcept {
+  switch (kind) {
+    case BudgetKind::kCycles: return "cycles";
+    case BudgetKind::kRetired: return "retired";
+    case BudgetKind::kPages: return "pages";
+    case BudgetKind::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+// Thrown when a trial machine exceeds its resource budget. The message is
+// built only from the budget kind and deterministic simulated quantities, so
+// it can be recorded in the trial trace without breaking reproducibility.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(BudgetKind kind, u64 limit, u64 observed)
+      : std::runtime_error(std::string("resource budget exceeded: ") +
+                           to_string(kind) + " limit " + std::to_string(limit) +
+                           ", observed " + std::to_string(observed)),
+        kind_(kind),
+        limit_(limit),
+        observed_(observed) {}
+
+  BudgetKind kind() const noexcept { return kind_; }
+  u64 limit() const noexcept { return limit_; }
+  u64 observed() const noexcept { return observed_; }
+
+ private:
+  BudgetKind kind_;
+  u64 limit_;
+  u64 observed_;
+};
+
+// Canonical token for hashing a budget into a campaign's config identity.
+// Campaigns append it only for non-default budgets, so the identity hash of
+// every pre-existing (unlimited) config is unchanged.
+inline std::string budget_identity_key(const ResourceBudget& budget) {
+  return std::to_string(budget.max_cycles) + ',' + std::to_string(budget.max_retired) +
+         ',' + std::to_string(budget.max_pages) + ',' + std::to_string(budget.max_bytes);
+}
+
+}  // namespace restore

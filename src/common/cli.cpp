@@ -86,6 +86,12 @@ CampaignCliOptions resolve_campaign_cli(const CliArgs& args) {
   }
   if (args.has_flag("workers")) opts.workers = args.value_u64("workers", 0);
   opts.shard_stats = args.value("shard-stats");
+  opts.shard_retries = args.value_u64("shard-retries", opts.shard_retries);
+  opts.retry_backoff_ms = args.value_u64("retry-backoff-ms", opts.retry_backoff_ms);
+  opts.trial_budget.max_retired = args.value_u64("trial-max-insns", 0);
+  opts.trial_budget.max_cycles = args.value_u64("trial-max-cycles", 0);
+  opts.trial_budget.max_pages = args.value_u64("trial-max-pages", 0);
+  opts.trial_budget.max_bytes = args.value_u64("trial-max-bytes", 0);
   return opts;
 }
 

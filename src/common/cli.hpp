@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/types.hpp"
 
 namespace restore {
@@ -48,6 +49,17 @@ u64 resolve_seed(const CliArgs& args, u64 fallback);
 //                      when given bare)
 //   --workers N        worker threads (absent = binary default)
 //   --shard-stats PATH write per-shard wall-time stats as CSV after the run
+//   --shard-retries N  re-run a failing shard N times before quarantining it
+//   --retry-backoff-ms N
+//                      base backoff between shard retries (doubles per retry;
+//                      retries target transient host failures, so this is the
+//                      one knowingly non-deterministic knob — it never reaches
+//                      any trial record)
+//   --trial-max-insns N / --trial-max-cycles N /
+//   --trial-max-pages N / --trial-max-bytes N
+//                      deterministic per-trial resource budgets (0 =
+//                      unlimited); exceeding one classifies the trial as
+//                      `resource-exhausted`
 struct CampaignCliOptions {
   std::optional<std::string> out_jsonl;
   bool resume = false;
@@ -56,6 +68,9 @@ struct CampaignCliOptions {
   u64 heartbeat_every = 0;
   std::optional<u64> workers;
   std::optional<std::string> shard_stats;
+  u64 shard_retries = 2;
+  u64 retry_backoff_ms = 50;
+  ResourceBudget trial_budget;
 };
 
 CampaignCliOptions resolve_campaign_cli(const CliArgs& args);

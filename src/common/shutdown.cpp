@@ -1,0 +1,45 @@
+#include "common/shutdown.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace restore {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+// Async-signal-safe: only touches the atomic flag and _Exit. A second signal
+// while the flag is already set means the user wants out *now*.
+extern "C" void shutdown_signal_handler(int /*signum*/) {
+  if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    std::_Exit(130);  // 128 + SIGINT, the conventional interrupted-exit code
+  }
+}
+
+}  // namespace
+
+void install_shutdown_signal_handlers() {
+  static const bool installed = [] {
+    std::signal(SIGINT, shutdown_signal_handler);
+    std::signal(SIGTERM, shutdown_signal_handler);
+    return true;
+  }();
+  (void)installed;
+}
+
+const std::atomic<bool>* shutdown_flag() noexcept { return &g_shutdown; }
+
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() noexcept {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown_flag() noexcept {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace restore

@@ -1,0 +1,31 @@
+// Cooperative graceful-shutdown support for long campaign runs.
+//
+// A campaign binary installs the handlers once; SIGINT/SIGTERM then flip a
+// process-wide atomic stop flag instead of killing the process. The campaign
+// orchestrator checks the flag between shard submissions: in-flight shards
+// finish and are flushed to the trace + manifest, queued shards are skipped,
+// and the run exits with a distinct partial-completion status that --resume
+// can continue from. A second signal falls through to immediate termination
+// (exit code 130) for users who really mean it.
+#pragma once
+
+#include <atomic>
+
+namespace restore {
+
+// Install SIGINT/SIGTERM handlers that set the shutdown flag. Idempotent.
+void install_shutdown_signal_handlers();
+
+// The process-wide stop flag the handlers set. Campaign code polls it (or
+// hands it to CampaignRunOptions::stop_flag); tests may use their own atomic.
+const std::atomic<bool>* shutdown_flag() noexcept;
+
+bool shutdown_requested() noexcept;
+
+// Programmatic equivalent of receiving SIGTERM (test hook, embedders).
+void request_shutdown() noexcept;
+
+// Clear the flag (tests that simulate shutdown and then continue).
+void reset_shutdown_flag() noexcept;
+
+}  // namespace restore

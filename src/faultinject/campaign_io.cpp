@@ -13,16 +13,24 @@ namespace {
 // ---- minimal flat-JSON support ----
 //
 // The campaign files only ever contain one-level objects whose values are
-// unsigned integers, bools, nulls, strings, or arrays of unsigned integers,
-// so a ~100-line recursive-descent parser covers the full format without an
-// external dependency.
+// unsigned integers, bools, nulls, strings, or homogeneous arrays of unsigned
+// integers or strings, so a ~100-line recursive-descent parser covers the
+// full format without an external dependency.
 
 struct JsonValue {
-  enum class Kind { kString, kUint, kBool, kNull, kUintArray } kind = Kind::kNull;
+  enum class Kind {
+    kString,
+    kUint,
+    kBool,
+    kNull,
+    kUintArray,
+    kStringArray,
+  } kind = Kind::kNull;
   std::string str;
   u64 uint = 0;
   bool boolean = false;
   std::vector<u64> array;
+  std::vector<std::string> str_array;
 };
 
 using JsonObject = std::map<std::string, JsonValue>;
@@ -138,9 +146,24 @@ class FlatJsonParser {
     }
     if (consume_word("null")) return value;
     if (consume('[')) {
+      // An empty array parses as kUintArray; accessors treat that as an empty
+      // array of either element type.
       value.kind = JsonValue::Kind::kUintArray;
       skip_ws();
       if (consume(']')) return value;
+      if (pos_ < text_.size() && text_[pos_] == '"') {
+        value.kind = JsonValue::Kind::kStringArray;
+        for (;;) {
+          skip_ws();
+          auto s = parse_string();
+          if (!s) return std::nullopt;
+          value.str_array.push_back(std::move(*s));
+          skip_ws();
+          if (consume(',')) { skip_ws(); continue; }
+          if (consume(']')) return value;
+          return std::nullopt;
+        }
+      }
       for (;;) {
         skip_ws();
         auto n = parse_uint();
@@ -259,7 +282,8 @@ std::string_view to_string(uarch::LhfProtection protection) noexcept {
 std::optional<VmOutcome> vm_outcome_from_string(std::string_view name) noexcept {
   for (const auto outcome :
        {VmOutcome::kMasked, VmOutcome::kException, VmOutcome::kCfv,
-        VmOutcome::kMemAddr, VmOutcome::kMemData, VmOutcome::kRegister}) {
+        VmOutcome::kMemAddr, VmOutcome::kMemData, VmOutcome::kRegister,
+        VmOutcome::kSimAbort, VmOutcome::kResourceExhausted}) {
     if (name == to_string(outcome)) return outcome;
   }
   return std::nullopt;
@@ -287,6 +311,8 @@ std::string manifest_path_for(const std::string& jsonl_path) {
 
 void write_manifest(const std::string& path, const CampaignManifest& manifest) {
   std::string out = "{";
+  append_field(out, "schema_version", manifest.schema_version);
+  out.push_back(',');
   append_field(out, "kind", std::string_view(manifest.kind));
   out.push_back(',');
   append_field(out, "config_hash", manifest.config_hash);
@@ -311,6 +337,25 @@ void write_manifest(const std::string& path, const CampaignManifest& manifest) {
   append_array("completed", manifest.completed);
   append_array("completed_trials", manifest.completed_trials);
   append_array("wall_ms", manifest.wall_ms);
+  // Quarantine record, written only when present so clean-run manifests keep
+  // their historical shape (modulo schema_version).
+  if (manifest.has_quarantine()) {
+    append_array("quarantined", manifest.quarantined);
+    append_array("quarantine_attempts", manifest.quarantine_attempts);
+    const auto append_string_array = [&out](std::string_view key,
+                                            const std::vector<std::string>& xs) {
+      out += ",\"";
+      out += key;
+      out += "\":[";
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        append_json_string(out, xs[i]);
+      }
+      out.push_back(']');
+    };
+    append_string_array("quarantine_workloads", manifest.quarantine_workloads);
+    append_string_array("quarantine_errors", manifest.quarantine_errors);
+  }
   out += "}\n";
 
   const std::string tmp = path + ".tmp";
@@ -336,6 +381,18 @@ std::optional<CampaignManifest> read_manifest(const std::string& path) {
   if (!obj) throw std::runtime_error("unparseable campaign manifest: " + path);
 
   CampaignManifest manifest;
+  // Absent schema_version = the v1 pre-versioning format (accepted as
+  // legacy); anything newer than this build understands is rejected outright
+  // rather than misparsed.
+  manifest.schema_version = get_uint(*obj, "schema_version").value_or(1);
+  if (manifest.schema_version > kCampaignSchemaVersion) {
+    throw std::runtime_error(
+        "campaign manifest " + path + " has schema_version " +
+        std::to_string(manifest.schema_version) +
+        ", but this build only understands versions up to " +
+        std::to_string(kCampaignSchemaVersion) +
+        "; refusing to resume (upgrade the tools or restart the campaign)");
+  }
   const auto kind = get_string(*obj, "kind");
   const auto hash = get_uint(*obj, "config_hash");
   const auto seed = get_uint(*obj, "seed");
@@ -366,7 +423,63 @@ std::optional<CampaignManifest> read_manifest(const std::string& path) {
       manifest.completed.size() != manifest.wall_ms.size()) {
     throw std::runtime_error("campaign manifest arrays disagree: " + path);
   }
+  // Quarantine arrays are optional (absent in v1 manifests and in clean v2
+  // runs) but must agree in length when present.
+  const auto read_optional_array = [&](const char* key) -> std::vector<u64> {
+    const JsonValue* v = find(*obj, key);
+    if (v == nullptr) return {};
+    if (v->kind != JsonValue::Kind::kUintArray) {
+      throw std::runtime_error(std::string("campaign manifest array `") + key +
+                               "` has the wrong type: " + path);
+    }
+    return v->array;
+  };
+  const auto read_optional_string_array =
+      [&](const char* key) -> std::vector<std::string> {
+    const JsonValue* v = find(*obj, key);
+    if (v == nullptr) return {};
+    if (v->kind == JsonValue::Kind::kUintArray && v->array.empty()) return {};
+    if (v->kind != JsonValue::Kind::kStringArray) {
+      throw std::runtime_error(std::string("campaign manifest array `") + key +
+                               "` has the wrong type: " + path);
+    }
+    return v->str_array;
+  };
+  manifest.quarantined = read_optional_array("quarantined");
+  manifest.quarantine_attempts = read_optional_array("quarantine_attempts");
+  manifest.quarantine_workloads = read_optional_string_array("quarantine_workloads");
+  manifest.quarantine_errors = read_optional_string_array("quarantine_errors");
+  if (manifest.quarantined.size() != manifest.quarantine_attempts.size() ||
+      manifest.quarantined.size() != manifest.quarantine_workloads.size() ||
+      manifest.quarantined.size() != manifest.quarantine_errors.size()) {
+    throw std::runtime_error("campaign manifest quarantine arrays disagree: " + path);
+  }
   return manifest;
+}
+
+// ---- trace header ----
+
+std::string trace_header_line(std::string_view kind) {
+  std::string out = "{";
+  append_field(out, "schema_version", kCampaignSchemaVersion);
+  out.push_back(',');
+  append_field(out, "kind", kind);
+  out.push_back('}');
+  return out;
+}
+
+std::optional<TraceHeader> parse_trace_header(const std::string& line) {
+  const auto obj = FlatJsonParser(line).parse();
+  if (!obj) return std::nullopt;
+  const auto version = get_uint(*obj, "schema_version");
+  const auto kind = get_string(*obj, "kind");
+  // A trial line never carries schema_version, so its presence (without a
+  // shard index) identifies the header.
+  if (!version || !kind || find(*obj, "shard") != nullptr) return std::nullopt;
+  TraceHeader header;
+  header.schema_version = *version;
+  header.kind = *kind;
+  return header;
 }
 
 // ---- trial lines ----
@@ -385,6 +498,14 @@ std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial) {
   append_field(out, "inject_index", trial.inject_index);
   out.push_back(',');
   append_field(out, "bit", static_cast<u64>(trial.bit));
+  // Containment record, present only on aborted trials so the clean-path
+  // byte stream is unchanged.
+  if (!trial.abort_type.empty()) {
+    out.push_back(',');
+    append_field(out, "abort_type", std::string_view(trial.abort_type));
+    out.push_back(',');
+    append_field(out, "abort_msg", std::string_view(trial.abort_message));
+  }
   out.push_back('}');
   return out;
 }
@@ -411,6 +532,8 @@ std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
   trial.latency = get_latency(*obj, "latency");
   trial.inject_index = *inject_index;
   trial.bit = static_cast<u32>(*bit);
+  trial.abort_type = get_string(*obj, "abort_type").value_or("");
+  trial.abort_message = get_string(*obj, "abort_msg").value_or("");
   return std::make_tuple(*shard, *slot, std::move(trial));
 }
 
@@ -449,6 +572,16 @@ std::string uarch_trial_to_jsonl(u64 shard, u64 slot, const UarchTrialRecord& tr
   append_field(out, "live_diff", trial.live_state_diff);
   out.push_back(',');
   append_field(out, "end_status", static_cast<u64>(trial.end_status));
+  // Containment record, present only on aborted trials so the clean-path
+  // byte stream is unchanged.
+  if (trial.aborted()) {
+    out.push_back(',');
+    append_field(out, "abort_type", std::string_view(trial.abort_type));
+    out.push_back(',');
+    append_field(out, "abort_msg", std::string_view(trial.abort_message));
+    out.push_back(',');
+    append_field(out, "abort_resource", trial.abort_resource);
+  }
   out.push_back('}');
   return out;
 }
@@ -499,6 +632,9 @@ std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
   trial.uarch_state_equal = *uarch_equal;
   trial.live_state_diff = *live_diff;
   trial.end_status = static_cast<uarch::Core::Status>(*end_status);
+  trial.abort_type = get_string(*obj, "abort_type").value_or("");
+  trial.abort_message = get_string(*obj, "abort_msg").value_or("");
+  trial.abort_resource = get_bool(*obj, "abort_resource").value_or(false);
   return std::make_tuple(*shard, *slot, std::move(trial));
 }
 
@@ -514,6 +650,18 @@ std::vector<Parsed> read_trials(std::istream& in, const ParseLine& parse_line) {
     if (line.empty()) continue;
     auto parsed = parse_line(line);
     if (!parsed) {
+      // Not a trial line: accept (and skip) a trace header this build
+      // understands; reject a future-format trace with a clear message.
+      if (const auto header = parse_trace_header(line)) {
+        if (header->schema_version > kCampaignSchemaVersion) {
+          throw std::runtime_error(
+              "campaign trace has schema_version " +
+              std::to_string(header->schema_version) +
+              ", but this build only understands versions up to " +
+              std::to_string(kCampaignSchemaVersion));
+        }
+        continue;
+      }
       throw std::runtime_error("malformed campaign JSONL at line " +
                                std::to_string(line_no));
     }

@@ -25,9 +25,20 @@
 
 namespace restore::faultinject {
 
+// ---- schema versioning ----
+//
+// Both files carry a `schema_version`. History:
+//   (absent)  v1 — the pre-versioning format; accepted as legacy on read
+//   2         adds the trace header line, per-trial abort records, and the
+//             manifest quarantine arrays
+// Readers accept any version <= kCampaignSchemaVersion and reject future
+// versions with a clear error instead of silently misparsing them.
+inline constexpr u64 kCampaignSchemaVersion = 2;
+
 // ---- manifest ----
 
 struct CampaignManifest {
+  u64 schema_version = kCampaignSchemaVersion;
   std::string kind;      // "vm" | "uarch"
   u64 config_hash = 0;   // hash over the full campaign config (see campaigns)
   u64 seed = 0;
@@ -38,8 +49,19 @@ struct CampaignManifest {
   std::vector<u64> completed;        // shard indices
   std::vector<u64> completed_trials; // trials the shard actually produced
   std::vector<u64> wall_ms;          // shard wall time, rounded to ms
+  // Parallel arrays of quarantined shards: shards whose runner kept throwing
+  // after the supervisor's bounded retries. They are *not* in `completed`, so
+  // a plain --resume re-attempts them; the record is for status reporting.
+  std::vector<u64> quarantined;             // shard indices
+  std::vector<u64> quarantine_attempts;     // attempts made (1 + retries)
+  std::vector<std::string> quarantine_workloads;
+  std::vector<std::string> quarantine_errors;  // last attempt's what()
+
+  bool has_quarantine() const noexcept { return !quarantined.empty(); }
 
   // True when `other` names the same campaign this manifest was written by.
+  // schema_version is deliberately excluded: a v1 (legacy) manifest of the
+  // same campaign stays resumable.
   bool matches(const CampaignManifest& other) const noexcept {
     return kind == other.kind && config_hash == other.config_hash &&
            seed == other.seed && shard_trials == other.shard_trials &&
@@ -57,6 +79,19 @@ void write_manifest(const std::string& path, const CampaignManifest& manifest);
 // a file that exists but cannot be parsed.
 std::optional<CampaignManifest> read_manifest(const std::string& path);
 
+// ---- trace header ----
+
+// First line of a (v2+) trace: `{"schema_version":2,"kind":"vm"}`. Trial
+// parsers return nullopt for it, so version-unaware consumers skip it like
+// any other non-trial line; version-aware consumers use parse_trace_header to
+// reject traces written by a future format.
+struct TraceHeader {
+  u64 schema_version = kCampaignSchemaVersion;
+  std::string kind;  // "vm" | "uarch"
+};
+std::string trace_header_line(std::string_view kind);
+std::optional<TraceHeader> parse_trace_header(const std::string& line);
+
 // ---- trial lines ----
 
 // Serialize one trial as a single JSONL line (no trailing newline).
@@ -69,7 +104,8 @@ std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
 std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
     const std::string& line);
 
-// Whole-stream readers (skip blank lines; throw on a malformed line).
+// Whole-stream readers (skip blank lines and current-or-older trace headers;
+// throw on a malformed line or a future-version header).
 struct ParsedVmTrial {
   u64 shard = 0;
   u64 slot = 0;

@@ -19,6 +19,14 @@ bool is_failing(const UarchTrialRecord& trial) {
 
 UarchOutcome classify_trial(const UarchTrialRecord& trial, DetectorModel detector,
                             ProtectionModel protection, u64 interval) {
+  // Contained aborts outrank everything: the trial's observations stop at the
+  // abort, so no hardware category can be trusted. They are tool artefacts,
+  // excluded from failure/coverage statistics below.
+  if (trial.aborted()) {
+    return trial.abort_resource ? UarchOutcome::kResourceExhausted
+                                : UarchOutcome::kSimAbort;
+  }
+
   if (protection == ProtectionModel::kLhf &&
       trial.protection != uarch::LhfProtection::kNone) {
     // ECC corrects the flip in place; parity detects it on read and the
@@ -71,6 +79,7 @@ double failure_fraction(const std::vector<UarchTrialRecord>& trials,
   if (trials.empty()) return 0.0;
   std::size_t failures = 0;
   for (const auto& trial : trials) {
+    if (trial.aborted()) continue;  // tool artefact, not a hardware outcome
     if (protection == ProtectionModel::kLhf &&
         trial.protection != uarch::LhfProtection::kNone) {
       continue;  // corrected/recovered by the hardware protection
@@ -83,7 +92,12 @@ double failure_fraction(const std::vector<UarchTrialRecord>& trials,
       ++failures;
     }
   }
-  return static_cast<double>(failures) / trials.size();
+  const std::size_t eligible =
+      trials.size() - static_cast<std::size_t>(std::count_if(
+                          trials.begin(), trials.end(),
+                          [](const UarchTrialRecord& t) { return t.aborted(); }));
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(failures) / eligible;
 }
 
 double uncovered_fraction(const std::vector<UarchTrialRecord>& trials,
@@ -91,13 +105,17 @@ double uncovered_fraction(const std::vector<UarchTrialRecord>& trials,
                           u64 interval) {
   if (trials.empty()) return 0.0;
   std::size_t uncovered = 0;
+  std::size_t eligible = 0;
   for (const auto& trial : trials) {
     const UarchOutcome outcome = classify_trial(trial, detector, protection, interval);
+    if (is_contained_abort(outcome)) continue;  // excluded from coverage stats
+    ++eligible;
     if (outcome == UarchOutcome::kSdc || outcome == UarchOutcome::kLatent) {
       ++uncovered;
     }
   }
-  return static_cast<double>(uncovered) / trials.size();
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(uncovered) / eligible;
 }
 
 double mtbf_improvement(const std::vector<UarchTrialRecord>& trials,

@@ -1,0 +1,81 @@
+// The trial containment boundary.
+//
+// ReStore's premise is that injected faults drive the machine into arbitrary
+// state — and arbitrary state can drive the *host simulator* into throws
+// (unmapped raw accesses, registry lookups) or runaway resource use. The
+// containment boundary wraps every trial body: a simulator exception becomes
+// a deterministic `sim-abort` record (exception type + message), a
+// BudgetExceeded becomes `resource-exhausted`, and nothing escapes to kill
+// the shard — let alone the campaign.
+//
+// Determinism contract: the abort record is built only from the exception's
+// static type and its message, and every message produced inside the
+// simulator is itself built from simulated quantities. Classification is
+// therefore reproducible at any worker count; no wall-clock value ever enters
+// a trial record.
+//
+// The one deliberate hole: std::bad_alloc escapes. Host memory exhaustion is
+// a *transient host* failure, not a property of the injected fault state, so
+// it propagates to the shard supervisor, which retries the (deterministic)
+// shard and quarantines it only if the failure persists.
+#pragma once
+
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/budget.hpp"
+#include "vm/errors.hpp"
+
+namespace restore::faultinject {
+
+// What the containment boundary records about an aborted trial.
+struct TrialAbortInfo {
+  std::string type;     // deterministic tag, e.g. "std::out_of_range"
+  std::string message;  // the exception's what()
+  bool resource_exhausted = false;  // true => classify as resource-exhausted
+};
+
+// Run `body` inside the containment boundary. Returns nullopt when the body
+// completes; otherwise the abort record. std::bad_alloc is rethrown (see
+// file comment).
+template <class Fn>
+std::optional<TrialAbortInfo> contain_trial(Fn&& body) {
+  try {
+    std::forward<Fn>(body)();
+    return std::nullopt;
+  } catch (const BudgetExceeded& e) {
+    return TrialAbortInfo{std::string("budget-") + to_string(e.kind()), e.what(),
+                          /*resource_exhausted=*/true};
+  } catch (const std::bad_alloc&) {
+    throw;  // transient host failure: shard-level retry territory
+  } catch (const vm::UnmappedAccessError& e) {
+    return TrialAbortInfo{"unmapped-access", e.what(), false};
+  } catch (const std::out_of_range& e) {
+    return TrialAbortInfo{"std::out_of_range", e.what(), false};
+  } catch (const std::invalid_argument& e) {
+    return TrialAbortInfo{"std::invalid_argument", e.what(), false};
+  } catch (const std::domain_error& e) {
+    return TrialAbortInfo{"std::domain_error", e.what(), false};
+  } catch (const std::length_error& e) {
+    return TrialAbortInfo{"std::length_error", e.what(), false};
+  } catch (const std::logic_error& e) {
+    return TrialAbortInfo{"std::logic_error", e.what(), false};
+  } catch (const std::overflow_error& e) {
+    return TrialAbortInfo{"std::overflow_error", e.what(), false};
+  } catch (const std::underflow_error& e) {
+    return TrialAbortInfo{"std::underflow_error", e.what(), false};
+  } catch (const std::range_error& e) {
+    return TrialAbortInfo{"std::range_error", e.what(), false};
+  } catch (const std::runtime_error& e) {
+    return TrialAbortInfo{"std::runtime_error", e.what(), false};
+  } catch (const std::exception& e) {
+    return TrialAbortInfo{"std::exception", e.what(), false};
+  } catch (...) {
+    return TrialAbortInfo{"unknown", "non-standard exception", false};
+  }
+}
+
+}  // namespace restore::faultinject

@@ -43,6 +43,8 @@ CampaignRunOptions campaign_options_from_cli(const CliArgs& args,
   opts.resume = cli.resume;
   opts.max_shards = cli.max_shards;
   opts.heartbeat_every_shards = cli.heartbeat_every;
+  opts.shard_retries = cli.shard_retries;
+  opts.retry_backoff_ms = cli.retry_backoff_ms;
   return opts;
 }
 

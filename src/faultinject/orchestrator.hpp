@@ -13,8 +13,19 @@
 // manifest, reloads the completed shards from the trace and only runs the
 // rest. On clean completion the trace is rewritten in canonical
 // (shard, slot) order, so complete traces are byte-identical too.
+//
+// Supervision: a shard whose runner throws is retried with bounded
+// exponential backoff (shards are deterministic, so only transient *host*
+// failures — bad_alloc, I/O — can succeed on retry). A shard that keeps
+// failing is quarantined: recorded in the manifest with its error, reported
+// in telemetry, and skipped while every other shard completes. Quarantined
+// shards are not marked completed, so a later --resume re-attempts exactly
+// them. A stop flag (see common/shutdown.hpp) requests graceful shutdown:
+// no new shard starts, in-flight shards finish and are flushed to the
+// trace/manifest, and --resume continues from that consistent pair.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -24,6 +35,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,6 +59,15 @@ struct CampaignRunOptions {
                              // the campaign-replay "kill after k shards" hook
   u64 heartbeat_every_shards = 0;  // 0 = no heartbeat
   std::FILE* heartbeat_stream = nullptr;  // default stderr
+  // Shard supervision: a throwing shard is re-run up to `shard_retries`
+  // times (attempt k sleeps retry_backoff_ms << (k-1) first), then
+  // quarantined. Retries re-run the same deterministic shard, so results are
+  // unaffected; only transient host failures are papered over.
+  u64 shard_retries = 2;
+  u64 retry_backoff_ms = 50;
+  // Graceful-shutdown flag, polled between shard starts (never mid-shard).
+  // Usually common/shutdown.hpp's process-wide flag; tests pass their own.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 // One planned shard: trials [trial_begin, trial_begin + trial_count) of
@@ -67,12 +88,23 @@ struct ShardStats {
   bool resumed = false;  // reloaded from the trace instead of re-run
 };
 
+// A shard the supervisor gave up on (or, with `attempts` below the retry
+// budget, one whose results could not be committed to the trace).
+struct ShardFailure {
+  u64 shard = 0;
+  std::string workload;
+  u64 attempts = 0;       // attempts made (1 + retries used)
+  std::string error;      // the last attempt's what()
+};
+
 struct CampaignTelemetry {
   std::vector<ShardStats> shards;  // shard-index order
+  std::vector<ShardFailure> quarantined;  // quarantine order
   u64 trials_total = 0;
   u64 resumed_trials = 0;
   double wall_ms = 0.0;
-  bool complete = true;  // false when max_shards stopped the run early
+  bool complete = true;  // false when max_shards / quarantine / stop cut the run
+  bool stopped = false;  // the stop flag ended the campaign early
 };
 
 // Seed for one shard's RNG stream: mixes the root seed with the workload
@@ -202,6 +234,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
       throw std::runtime_error("cannot open campaign trace for writing: " +
                                opts.out_jsonl);
     }
+    trace_out << trace_header_line(identity.kind) << '\n';
     for (std::size_t s = 0; s < shards.size(); ++s) {
       if (!done[s]) continue;
       for (std::size_t slot = 0; slot < per_shard[s].size(); ++slot) {
@@ -249,57 +282,141 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     std::fflush(stream);
   };
 
-  // -- run the pending shards --
-  std::exception_ptr first_error;
+  // -- run the pending shards under supervision --
+  std::vector<ShardFailure> failures;
   u64 submitted = 0;
   bool budget_exhausted = false;
+  const auto stop_requested = [&opts] {
+    return opts.stop_flag != nullptr &&
+           opts.stop_flag->load(std::memory_order_relaxed);
+  };
+  const auto log_stream = [&opts] {
+    return opts.heartbeat_stream != nullptr ? opts.heartbeat_stream : stderr;
+  };
+  // Extract a what() from the in-flight exception of a catch(...) handler.
+  const auto current_what = [] {
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    } catch (...) {
+      return std::string("non-standard exception");
+    }
+  };
+  // Every failing attempt of every shard is logged (never just the first):
+  // diagnosing a sick host needs the full failure pattern.
+  const auto log_attempt_failure = [&](const ShardSpec& shard, u64 attempt,
+                                       u64 attempts_max, const std::string& what) {
+    std::FILE* stream = log_stream();
+    std::fprintf(stream,
+                 "[campaign %s] shard %llu (%s) attempt %llu/%llu failed: %s\n",
+                 identity.kind.c_str(),
+                 static_cast<unsigned long long>(shard.index),
+                 shard.workload.c_str(),
+                 static_cast<unsigned long long>(attempt),
+                 static_cast<unsigned long long>(attempts_max), what.c_str());
+    std::fflush(stream);
+  };
+  // Record a quarantine in telemetry and (when streaming) the manifest, so
+  // tools/campaign_status can report it. The shard is *not* completed, so a
+  // plain --resume re-attempts it; the resume-time manifest rewrite above
+  // drops the stale quarantine record.
+  const auto quarantine_locked = [&](const ShardSpec& shard, u64 attempts,
+                                     const std::string& what) {
+    failures.push_back(ShardFailure{shard.index, shard.workload, attempts, what});
+    if (streaming) {
+      identity.quarantined.push_back(shard.index);
+      identity.quarantine_attempts.push_back(attempts);
+      identity.quarantine_workloads.push_back(shard.workload);
+      identity.quarantine_errors.push_back(what);
+      try {
+        write_manifest(manifest_path, identity);
+      } catch (...) {
+        // The quarantine is still in telemetry; a host that cannot even
+        // write the manifest has nothing better to offer.
+      }
+    }
+  };
   {
     ThreadPool pool(opts.workers);
     for (std::size_t s = 0; s < shards.size(); ++s) {
       if (done[s]) continue;
+      if (stop_requested()) break;
       if (opts.max_shards != 0 && submitted >= opts.max_shards) {
         budget_exhausted = true;
         break;
       }
       ++submitted;
       pool.submit([&, s] {
-        try {
-          const auto shard_start = Clock::now();
-          auto records = run_shard(shards[s]);
-          const double wall = ms_since(shard_start);
-
-          std::lock_guard lock(io_mutex);
-          stats[s].trials = records.size();
-          stats[s].wall_ms = wall;
-          for (const auto& record : records) ++outcome_counts[outcome_tag(record)];
-          trials_done += records.size();
-          ++shards_completed;
-          if (streaming) {
-            for (std::size_t slot = 0; slot < records.size(); ++slot) {
-              trace_out << to_line(shards[s].index, slot, records[slot]) << '\n';
+        // A stop requested while this shard sat in the queue: skip it. An
+        // already-*running* shard is never interrupted.
+        if (stop_requested()) return;
+        const u64 attempts_max = opts.shard_retries + 1;
+        for (u64 attempt = 1; attempt <= attempts_max; ++attempt) {
+          std::vector<Record> records;
+          double wall = 0.0;
+          try {
+            const auto shard_start = Clock::now();
+            records = run_shard(shards[s]);
+            wall = ms_since(shard_start);
+          } catch (...) {
+            const std::string what = current_what();
+            std::lock_guard lock(io_mutex);
+            log_attempt_failure(shards[s], attempt, attempts_max, what);
+            if (attempt == attempts_max) {
+              quarantine_locked(shards[s], attempt, what);
+              return;
             }
-            trace_out.flush();
-            identity.completed.push_back(shards[s].index);
-            identity.completed_trials.push_back(records.size());
-            identity.wall_ms.push_back(static_cast<u64>(wall));
-            write_manifest(manifest_path, identity);
+            if (stop_requested()) return;  // don't backoff-spin into a stop
+            // Bounded exponential backoff before the next attempt. Wall
+            // clock only paces the retry; it never enters any record.
+            const u64 backoff_ms = opts.retry_backoff_ms << (attempt - 1);
+            if (backoff_ms != 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+            }
+            continue;
           }
-          per_shard[s] = std::move(records);
-          done[s] = 1;
-          if (opts.heartbeat_every_shards != 0 &&
-              (shards_completed - resumed_shards) % opts.heartbeat_every_shards == 0) {
-            heartbeat(opts.heartbeat_stream != nullptr ? opts.heartbeat_stream
-                                                       : stderr);
+
+          // Commit. A commit failure is host I/O trouble with the trace
+          // already part-written, so it quarantines immediately instead of
+          // retrying (a re-run would duplicate trace lines).
+          try {
+            std::lock_guard lock(io_mutex);
+            if (streaming) {
+              for (std::size_t slot = 0; slot < records.size(); ++slot) {
+                trace_out << to_line(shards[s].index, slot, records[slot]) << '\n';
+              }
+              trace_out.flush();
+              identity.completed.push_back(shards[s].index);
+              identity.completed_trials.push_back(records.size());
+              identity.wall_ms.push_back(static_cast<u64>(wall));
+              write_manifest(manifest_path, identity);
+            }
+            stats[s].trials = records.size();
+            stats[s].wall_ms = wall;
+            for (const auto& record : records) ++outcome_counts[outcome_tag(record)];
+            trials_done += records.size();
+            ++shards_completed;
+            per_shard[s] = std::move(records);
+            done[s] = 1;
+            if (opts.heartbeat_every_shards != 0 &&
+                (shards_completed - resumed_shards) % opts.heartbeat_every_shards ==
+                    0) {
+              heartbeat(log_stream());
+            }
+          } catch (...) {
+            const std::string what = current_what();
+            std::lock_guard lock(io_mutex);
+            log_attempt_failure(shards[s], attempt, attempts_max, what);
+            quarantine_locked(shards[s], attempt, what);
           }
-        } catch (...) {
-          std::lock_guard lock(io_mutex);
-          if (!first_error) first_error = std::current_exception();
+          return;
         }
       });
     }
     pool.wait_idle();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  const bool stopped = stop_requested();
 
   const bool complete = shards_completed == shards.size();
   if (streaming && complete) {
@@ -307,6 +424,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     // trace is byte-identical however the campaign was scheduled.
     trace_out.close();
     std::ofstream canonical(opts.out_jsonl, std::ios::trunc);
+    canonical << trace_header_line(identity.kind) << '\n';
     identity.completed.clear();
     identity.completed_trials.clear();
     identity.wall_ms.clear();
@@ -327,10 +445,12 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     for (std::size_t s = 0; s < shards.size(); ++s) {
       if (done[s]) telemetry->shards.push_back(stats[s]);
     }
+    telemetry->quarantined = failures;
     telemetry->trials_total = trials_done;
     telemetry->resumed_trials = resumed_trials;
     telemetry->wall_ms = ms_since(campaign_start);
     telemetry->complete = complete && !budget_exhausted;
+    telemetry->stopped = stopped;
   }
 
   std::vector<Record> out;

@@ -18,6 +18,19 @@
 //   latent    - no failure yet, but the fault is still live in *used* state
 //   other     - fault parked in dead state; failure unlikely
 // Precedence (high to low): deadlock, exception, cfv, sdc.
+//
+// Containment categories (both studies): injected faults can also drive the
+// *host simulator* into a throw or into a deterministic resource-budget
+// violation. The containment boundary records those trials instead of killing
+// the campaign:
+//   sim-abort          - the simulator raised an exception while running the
+//                        corrupted machine (type + message in the record)
+//   resource-exhausted - the trial exceeded its deterministic budget (max
+//                        cycles / retired instructions / mapped pages)
+// Both are properties of the analysis tool, not of the modelled hardware, so
+// they are excluded from the paper's failure/coverage statistics and reported
+// separately. They take precedence over every hardware category (an aborted
+// trial observed nothing trustworthy).
 #pragma once
 
 #include <string_view>
@@ -34,6 +47,8 @@ enum class VmOutcome : u8 {
   kMemAddr,
   kMemData,
   kRegister,
+  kSimAbort,
+  kResourceExhausted,
 };
 
 constexpr std::string_view to_string(VmOutcome outcome) noexcept {
@@ -44,8 +59,14 @@ constexpr std::string_view to_string(VmOutcome outcome) noexcept {
     case VmOutcome::kMemAddr: return "mem-addr";
     case VmOutcome::kMemData: return "mem-data";
     case VmOutcome::kRegister: return "register";
+    case VmOutcome::kSimAbort: return "sim-abort";
+    case VmOutcome::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
+}
+
+constexpr bool is_contained_abort(VmOutcome outcome) noexcept {
+  return outcome == VmOutcome::kSimAbort || outcome == VmOutcome::kResourceExhausted;
 }
 
 enum class UarchOutcome : u8 {
@@ -56,6 +77,8 @@ enum class UarchOutcome : u8 {
   kSdc,
   kLatent,
   kOther,
+  kSimAbort,
+  kResourceExhausted,
 };
 
 constexpr std::string_view to_string(UarchOutcome outcome) noexcept {
@@ -67,8 +90,15 @@ constexpr std::string_view to_string(UarchOutcome outcome) noexcept {
     case UarchOutcome::kSdc: return "sdc";
     case UarchOutcome::kLatent: return "latent";
     case UarchOutcome::kOther: return "other";
+    case UarchOutcome::kSimAbort: return "sim-abort";
+    case UarchOutcome::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
+}
+
+constexpr bool is_contained_abort(UarchOutcome outcome) noexcept {
+  return outcome == UarchOutcome::kSimAbort ||
+         outcome == UarchOutcome::kResourceExhausted;
 }
 
 constexpr bool is_failure(UarchOutcome outcome) noexcept {

@@ -9,7 +9,9 @@
 
 #include "common/thread_pool.hpp"
 #include "faultinject/classify.hpp"
+#include "faultinject/containment.hpp"
 #include "faultinject/orchestrator.hpp"
+#include "vm/memory.hpp"
 
 namespace restore::faultinject {
 
@@ -36,10 +38,21 @@ struct GoldenContinuation {
   }
 };
 
+// Page cap implied by a budget (the tighter of max_pages and max_bytes).
+u64 effective_page_cap(const ResourceBudget& budget) {
+  u64 cap = budget.max_pages;
+  if (budget.max_bytes != 0) {
+    const u64 byte_pages = (budget.max_bytes + vm::kPageBytes - 1) / vm::kPageBytes;
+    cap = cap == 0 ? byte_pages : std::min(cap, byte_pages);
+  }
+  return cap;
+}
+
 UarchTrialRecord run_trial(const Core& golden_at_point,
                            const GoldenContinuation& golden,
                            const uarch::BitRef& bit, u64 monitor_cycles,
-                           u64 catchup_cycles) {
+                           u64 catchup_cycles,
+                           const ResourceBudget& trial_budget) {
   const StateRegistry& reg = StateRegistry::instance();
 
   UarchTrialRecord record;
@@ -51,6 +64,17 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
   Core faulty = golden_at_point;
   reg.flip(faulty, bit);
   const u64 base = faulty.retired_count();
+
+  // Budget limits are allowances *from the injection point*; the core checks
+  // absolute counters, so translate before installing.
+  if (!trial_budget.unlimited()) {
+    ResourceBudget absolute = trial_budget;
+    if (absolute.max_cycles != 0) absolute.max_cycles += faulty.cycle_count();
+    if (absolute.max_retired != 0) absolute.max_retired += base;
+    absolute.max_pages = effective_page_cap(trial_budget);
+    absolute.max_bytes = 0;
+    faulty.set_resource_budget(absolute);
+  }
 
   u64 compared = 0;
   bool overrun = false;
@@ -193,12 +217,31 @@ u64 clean_cycle_count(const workloads::Workload& wl,
 
 UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
                                  const uarch::BitRef& bit, u64 monitor_cycles,
-                                 u64 catchup_cycles) {
+                                 u64 catchup_cycles,
+                                 const ResourceBudget& trial_budget) {
   GoldenContinuation golden(golden_at_point, monitor_cycles);
-  return run_trial(golden_at_point, golden, bit, monitor_cycles, catchup_cycles);
+  return run_trial(golden_at_point, golden, bit, monitor_cycles, catchup_cycles,
+                   trial_budget);
 }
 
 namespace {
+
+// Record for a trial the containment boundary aborted: the injected bit is
+// known (it was sampled before execution), every observation field keeps its
+// "never fired" default, and the abort tag/message carry the cause.
+UarchTrialRecord aborted_uarch_record(const uarch::BitRef& bit,
+                                      TrialAbortInfo info) {
+  const StateRegistry& reg = StateRegistry::instance();
+  UarchTrialRecord record;
+  record.bit = bit;
+  record.storage = reg.field(bit).storage;
+  record.protection = reg.field(bit).protection;
+  record.field_name = reg.field(bit).name;
+  record.abort_type = std::move(info.type);
+  record.abort_message = std::move(info.message);
+  record.abort_resource = info.resource_exhausted;
+  return record;
+}
 
 // One shard: a contiguous trial range of one workload, grouped into
 // injection points of `trials_per_point` trials. The shard samples its
@@ -248,9 +291,12 @@ std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
     const Core at_point = golden;
     const GoldenContinuation continuation(at_point, config.monitor_cycles);
     for (const auto& bit : bits[p]) {
-      UarchTrialRecord record = run_trial(at_point, continuation, bit,
-                                          config.monitor_cycles,
-                                          config.catchup_cycles);
+      UarchTrialRecord record;
+      const auto abort = contain_trial([&] {
+        record = run_trial(at_point, continuation, bit, config.monitor_cycles,
+                           config.catchup_cycles, config.trial_budget);
+      });
+      if (abort) record = aborted_uarch_record(bit, *abort);
       record.workload = wl.name;
       records.push_back(std::move(record));
     }
@@ -259,6 +305,15 @@ std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
 }
 
 }  // namespace
+
+// Public shard entry point: probes the workload's clean cycle count itself
+// (cached process-wide), then delegates to the planner-driven shard body.
+std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
+                                              const ShardSpec& shard) {
+  return run_uarch_shard(config, shard,
+                         clean_cycle_count(workloads::by_name(shard.workload),
+                                           config.core_config));
+}
 
 u64 config_hash(const UarchCampaignConfig& config) {
   std::string key = "uarch;";
@@ -269,6 +324,10 @@ u64 config_hash(const UarchCampaignConfig& config) {
   key += std::to_string(config.latches_only ? 1 : 0) + ';';
   for (const auto& name : config.workloads) key += name + ',';
   key += ';' + core_config_key(config.core_config);
+  // Appended only when set, so pre-budget manifests keep resuming cleanly.
+  if (!config.trial_budget.unlimited()) {
+    key += ";budget=" + budget_identity_key(config.trial_budget);
+  }
   return fnv1a(key, fnv1a(std::to_string(config.seed)));
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "faultinject/outcome.hpp"
@@ -42,6 +43,11 @@ struct UarchCampaignConfig {
   // Machine configuration for all cores in the campaign (ablations override
   // detector behaviour here, e.g. all_mispredicts_high_conf).
   uarch::CoreConfig core_config;
+  // Deterministic per-trial resource budget: max_cycles/max_retired are
+  // *additional* allowance from the injection point, max_pages/max_bytes cap
+  // the trial machine's mapped memory. Default (all zero) = unlimited, which
+  // also keeps pre-budget campaign identity hashes unchanged.
+  ResourceBudget trial_budget;
   // Worker threads for trial execution (0 = run inline). Results are
   // deterministic regardless: bits are pre-sampled sequentially, trials are
   // independent and write pre-assigned result slots. Trial fan-out is
@@ -74,6 +80,16 @@ struct UarchTrialRecord {
   bool live_state_diff = false;
 
   uarch::Core::Status end_status = uarch::Core::Status::kRunning;
+
+  // Containment record, set only when the trial aborted inside the simulator:
+  // deterministic exception-type tag, message, and whether it was a resource
+  // budget violation (classified resource-exhausted) or a simulator throw
+  // (classified sim-abort). Aborts take precedence over every other category.
+  std::string abort_type;
+  std::string abort_message;
+  bool abort_resource = false;
+
+  bool aborted() const noexcept { return !abort_type.empty(); }
 };
 
 struct UarchCampaignResult {
@@ -94,14 +110,25 @@ UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config);
 // count and for interrupted-then-resumed runs of the same config + shard size.
 struct CampaignRunOptions;
 struct CampaignTelemetry;
+struct ShardSpec;
 UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config,
                                        const CampaignRunOptions& options,
                                        CampaignTelemetry* telemetry = nullptr);
 
+// Run one planned shard (exposed for tests and custom supervisors). Every
+// trial body executes inside the containment boundary, so each record has a
+// classified outcome even when the corrupted machine drives the simulator
+// into a throw or past its resource budget.
+std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
+                                              const ShardSpec& shard);
+
 // Single trial against a pre-warmed golden core (exposed for tests).
-// `golden_at_point` must be running.
+// `golden_at_point` must be running. `trial_budget` limits are relative to
+// the injection point; violations throw BudgetExceeded (the shard runner's
+// containment boundary converts them into resource-exhausted records).
 UarchTrialRecord run_uarch_trial(const uarch::Core& golden_at_point,
                                  const uarch::BitRef& bit, u64 monitor_cycles,
-                                 u64 catchup_cycles);
+                                 u64 catchup_cycles,
+                                 const ResourceBudget& trial_budget = {});
 
 }  // namespace restore::faultinject

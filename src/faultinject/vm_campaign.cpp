@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "faultinject/containment.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "vm/vm.hpp"
 
@@ -55,9 +56,11 @@ const GoldenTrace& golden_trace(const workloads::Workload& workload) {
 namespace {
 
 // Common monitoring/classification once the corrupted VM is positioned just
-// past `inject_index`.
+// past `inject_index`. `trial_budget` bounds the monitored run
+// deterministically (BudgetExceeded propagates to the containment boundary).
 VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
-                            u64 inject_index, u32 bit, u64 overrun_budget);
+                            u64 inject_index, u32 bit, u64 overrun_budget,
+                            const ResourceBudget& trial_budget = {});
 
 }  // namespace
 
@@ -93,7 +96,8 @@ VmTrialResult run_vm_register_trial(const workloads::Workload& workload,
 namespace {
 
 VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
-                            u64 inject_index, u32 bit, u64 overrun_budget) {
+                            u64 inject_index, u32 bit, u64 overrun_budget,
+                            const ResourceBudget& trial_budget) {
   const GoldenTrace& golden = golden_trace(workload);
   VmTrialResult result;
   result.workload = workload.name;
@@ -108,6 +112,10 @@ VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
   u64 executed = 0;
   const u64 budget = golden.records.size() - inject_index + overrun_budget;
   while (executed < budget) {
+    if (trial_budget.max_retired != 0 && executed >= trial_budget.max_retired) {
+      throw BudgetExceeded(BudgetKind::kRetired, trial_budget.max_retired,
+                           executed + 1);
+    }
     const auto rec = vm.step();
     if (!rec.has_value()) break;  // halted or faulted previously
     ++executed;
@@ -201,11 +209,39 @@ std::vector<std::string> selected_workload_names(
   return names;
 }
 
+// Page cap implied by a budget (the tighter of max_pages and max_bytes).
+u64 effective_page_cap(const ResourceBudget& budget) {
+  u64 cap = budget.max_pages;
+  if (budget.max_bytes != 0) {
+    const u64 byte_pages = (budget.max_bytes + vm::kPageBytes - 1) / vm::kPageBytes;
+    cap = cap == 0 ? byte_pages : std::min(cap, byte_pages);
+  }
+  return cap;
+}
+
+VmTrialResult aborted_vm_trial(const std::string& workload, u64 inject_index,
+                               u32 bit, TrialAbortInfo info) {
+  VmTrialResult result;
+  result.workload = workload;
+  result.outcome = info.resource_exhausted ? VmOutcome::kResourceExhausted
+                                           : VmOutcome::kSimAbort;
+  result.latency = kNever;
+  result.inject_index = inject_index;
+  result.bit = bit;
+  result.abort_type = std::move(info.type);
+  result.abort_message = std::move(info.message);
+  return result;
+}
+
+}  // namespace
+
 // One shard: sample `shard.trial_count` trials from the shard's own RNG
 // stream, then execute them in injection-index order, advancing ONE golden VM
 // incrementally and forking each trial machine from it (COW pages make the
 // fork O(mapped pages)). Per-trial setup cost is thus independent of the
-// injection index instead of re-executing from program start.
+// injection index instead of re-executing from program start. Each trial body
+// runs inside the containment boundary: a simulator throw or budget violation
+// yields a sim-abort / resource-exhausted record instead of escaping.
 std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
                                         const ShardSpec& shard) {
   const workloads::Workload& wl = workloads::by_name(shard.workload);
@@ -239,26 +275,32 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
   std::vector<VmTrialResult> trials(plans.size());
   vm::Vm golden_vm(wl.program);
   u64 steps = 0;
+  const u64 page_cap = effective_page_cap(config.trial_budget);
   for (const std::size_t oi : order) {
     const PlannedTrial& plan = plans[oi];
     while (steps <= plan.index) {
       golden_vm.step();
       ++steps;
     }
-    vm::Vm faulty = golden_vm;
-    if (config.model == VmFaultModel::kResultBit) {
-      const vm::Retired& site = golden.records[plan.index];
-      faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
-    } else {
-      faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+    const auto abort = contain_trial([&] {
+      vm::Vm faulty = golden_vm;
+      faulty.memory().set_page_budget(page_cap);
+      if (config.model == VmFaultModel::kResultBit) {
+        const vm::Retired& site = golden.records[plan.index];
+        faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
+      } else {
+        faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+      }
+      trials[plan.slot] = monitor_trial(wl, std::move(faulty), plan.index,
+                                        plan.bit, config.overrun_budget,
+                                        config.trial_budget);
+    });
+    if (abort) {
+      trials[plan.slot] = aborted_vm_trial(wl.name, plan.index, plan.bit, *abort);
     }
-    trials[plan.slot] = monitor_trial(wl, std::move(faulty), plan.index,
-                                      plan.bit, config.overrun_budget);
   }
   return trials;
 }
-
-}  // namespace
 
 u64 config_hash(const VmCampaignConfig& config) {
   std::string key = "vm;";
@@ -267,6 +309,12 @@ u64 config_hash(const VmCampaignConfig& config) {
   key += std::to_string(config.low32_only ? 1 : 0) + ';';
   key += std::to_string(config.overrun_budget) + ';';
   for (const auto& name : config.workloads) key += name + ',';
+  // Budgets change trial outcomes, so they are part of the identity — but
+  // only non-default budgets contribute, keeping every pre-budget manifest
+  // resumable.
+  if (!config.trial_budget.unlimited()) {
+    key += ";budget=" + budget_identity_key(config.trial_budget);
+  }
   return fnv1a(key, fnv1a(std::to_string(config.seed)));
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "faultinject/outcome.hpp"
@@ -38,6 +39,10 @@ struct VmCampaignConfig {
   u64 overrun_budget = 50'000;
   // Workload subset; empty = all seven.
   std::vector<std::string> workloads;
+  // Deterministic per-trial resource budget (containment layer). The default
+  // (all zero = unlimited) keeps the campaign identity hash — and therefore
+  // resume compatibility — of pre-budget configs unchanged.
+  ResourceBudget trial_budget;
 };
 
 struct VmTrialResult {
@@ -49,6 +54,10 @@ struct VmTrialResult {
   u64 latency = kNever;
   u64 inject_index = 0;  // dynamic instruction index of the corrupted result
   u32 bit = 0;           // flipped bit position
+  // Containment record, set only for sim-abort / resource-exhausted trials:
+  // the deterministic exception-type tag and its message.
+  std::string abort_type;
+  std::string abort_message;
 };
 
 struct VmCampaignResult {
@@ -71,9 +80,17 @@ VmCampaignResult run_vm_campaign(const VmCampaignConfig& config);
 
 struct CampaignRunOptions;  // orchestrator.hpp
 struct CampaignTelemetry;
+struct ShardSpec;
 VmCampaignResult run_vm_campaign(const VmCampaignConfig& config,
                                  const CampaignRunOptions& options,
                                  CampaignTelemetry* telemetry = nullptr);
+
+// Run one planned shard (exposed for tests and custom supervisors): samples
+// the shard's trials from its own RNG stream and executes them inside the
+// trial containment boundary, so every returned record has a classified
+// outcome even when the simulator throws mid-trial.
+std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
+                                        const ShardSpec& shard);
 
 // Run a single trial (exposed for tests): inject into dynamic instruction
 // `inject_index` (must produce a register result), flipping `bit`.

@@ -171,6 +171,12 @@ void Core::append_retired(const vm::Retired& record) {
 
 void Core::cycle() {
   if (status_ != Status::kRunning) return;
+  if (budget_.max_cycles != 0 && cycle_count_ >= budget_.max_cycles) {
+    throw BudgetExceeded(BudgetKind::kCycles, budget_.max_cycles, cycle_count_ + 1);
+  }
+  if (budget_.max_retired != 0 && retired_total_ >= budget_.max_retired) {
+    throw BudgetExceeded(BudgetKind::kRetired, budget_.max_retired, retired_total_);
+  }
   retired_buf_count_ = 0;
   symptom_buf_count_ = 0;
   ++cycle_count_;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/types.hpp"
 #include "isa/program.hpp"
 #include "uarch/caches.hpp"
@@ -75,11 +76,24 @@ class Core {
 
   explicit Core(const isa::Program& program, const CoreConfig& config = {});
 
-  // Advance one clock cycle. No-op unless running.
+  // Advance one clock cycle. No-op unless running. Throws BudgetExceeded when
+  // a resource budget installed via set_resource_budget is already spent.
   void cycle();
 
   // Run until not running or `max_cycles` more cycles elapse; returns cycles.
   u64 run(u64 max_cycles);
+
+  // Install an *absolute* resource budget (limits compare against
+  // cycle_count()/retired_count(), 0 = unlimited): cycle() throws
+  // BudgetExceeded once a limit is reached, and the page limit is enforced by
+  // the memory itself. The fault-injection containment boundary uses this to
+  // bound runaway trials deterministically; a default (empty) budget costs
+  // two compares per cycle and can never fire.
+  void set_resource_budget(const ResourceBudget& budget) noexcept {
+    budget_ = budget;
+    memory_.set_page_budget(budget.max_pages);
+  }
+  const ResourceBudget& resource_budget() const noexcept { return budget_; }
 
   Status status() const noexcept { return status_; }
   bool running() const noexcept { return status_ == Status::kRunning; }
@@ -232,6 +246,7 @@ class Core {
   void check_control_flow(const vm::Retired& record);
 
   CoreConfig config_;
+  ResourceBudget budget_;  // absolute limits; empty = unlimited
   vm::PagedMemory memory_;
   Status status_ = Status::kRunning;
   isa::ExceptionKind fault_ = isa::ExceptionKind::kNone;

@@ -1,0 +1,60 @@
+// Typed trial-abort errors raised by the simulator itself (as opposed to
+// faults of the *simulated* machine, which are isa::ExceptionKind values).
+//
+// Injected faults drive machines into arbitrary state, and some of that state
+// reaches host-level interfaces — raw byte access to unmapped addresses, page
+// budgets, registry lookups. These errors carry enough deterministic context
+// (address, size, direction) for a trial trace record, and the campaign
+// containment boundary (faultinject/containment.hpp) converts them into the
+// `sim-abort` outcome instead of letting them kill a multi-hour campaign.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace restore::vm {
+
+namespace detail {
+
+inline std::string hex_u64(u64 value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (value >> shift) & 0xF;
+    if (nibble != 0 || started || shift == 0) {
+      out.push_back(digits[nibble]);
+      started = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+// Raw byte access (read_byte/write_byte) touched an unmapped address. Keeps
+// the out_of_range base so pre-existing callers that catch std::out_of_range
+// still work, but carries the faulting address, access size and direction.
+class UnmappedAccessError : public std::out_of_range {
+ public:
+  UnmappedAccessError(u64 vaddr, unsigned bytes, bool write)
+      : std::out_of_range(std::string(write ? "write" : "read") + " of " +
+                          std::to_string(bytes) + " byte(s) at unmapped address " +
+                          detail::hex_u64(vaddr)),
+        vaddr_(vaddr),
+        bytes_(bytes),
+        write_(write) {}
+
+  u64 vaddr() const noexcept { return vaddr_; }
+  unsigned bytes() const noexcept { return bytes_; }
+  bool is_write() const noexcept { return write_; }
+
+ private:
+  u64 vaddr_;
+  unsigned bytes_;
+  bool write_;
+};
+
+}  // namespace restore::vm

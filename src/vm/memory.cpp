@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "vm/errors.hpp"
+
 namespace restore::vm {
 
 using isa::ExceptionKind;
@@ -19,6 +21,10 @@ void PagedMemory::map_region(u64 vaddr, u64 bytes, Perms perms) {
   const u64 first = vaddr >> kPageShift;
   const u64 last = (vaddr + bytes - 1) >> kPageShift;
   for (u64 page = first; page <= last; ++page) {
+    if (page_budget_ != 0 && pages_.find(page) == pages_.end() &&
+        pages_.size() >= page_budget_) {
+      throw BudgetExceeded(BudgetKind::kPages, page_budget_, pages_.size() + 1);
+    }
     auto& entry = pages_[page];
     if (entry.page == nullptr) entry.page = zero_page();
     entry.perms = entry.perms | perms;
@@ -123,13 +129,13 @@ bool PagedMemory::is_mapped(u64 vaddr) const noexcept {
 
 u8 PagedMemory::read_byte(u64 vaddr) const {
   const Entry* entry = find_entry(vaddr);
-  if (entry == nullptr) throw std::out_of_range("read_byte: unmapped address");
+  if (entry == nullptr) throw UnmappedAccessError(vaddr, 1, /*write=*/false);
   return entry->page->bytes[vaddr & (kPageBytes - 1)];
 }
 
 void PagedMemory::write_byte(u64 vaddr, u8 value) {
   Entry* entry = find_entry(vaddr);
-  if (entry == nullptr) throw std::out_of_range("write_byte: unmapped address");
+  if (entry == nullptr) throw UnmappedAccessError(vaddr, 1, /*write=*/true);
   mutable_page(*entry).bytes[vaddr & (kPageBytes - 1)] = value;
 }
 

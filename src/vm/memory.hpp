@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/types.hpp"
 #include "isa/exception.hpp"
 #include "isa/program.hpp"
@@ -49,8 +50,17 @@ struct MemAccess {
 class PagedMemory {
  public:
   // Map [vaddr, vaddr+bytes) with `perms`, zero-filled. Extends/overwrites
-  // permissions of already-mapped pages.
+  // permissions of already-mapped pages. Throws BudgetExceeded when the
+  // mapping would push the page count past a configured page budget.
   void map_region(u64 vaddr, u64 bytes, isa::Perms perms);
+
+  // Cap the number of mapped pages (0 = unlimited, the default). A trial
+  // machine driven by corrupted state cannot grow the sparse page map without
+  // bound: map_region throws BudgetExceeded (deterministically — the limit is
+  // a simulated quantity) once the cap is reached. The budget travels with
+  // copies, so every trial fork of a budgeted machine inherits it.
+  void set_page_budget(u64 max_pages) noexcept { page_budget_ = max_pages; }
+  u64 page_budget() const noexcept { return page_budget_; }
 
   // Copy a program image (all segments + stack region) into memory.
   void load_program(const isa::Program& program);
@@ -70,7 +80,8 @@ class PagedMemory {
   bool is_mapped(u64 vaddr) const noexcept;
 
   // Raw byte access for loaders and state comparison; addresses must be
-  // mapped (throws std::out_of_range otherwise).
+  // mapped (throws UnmappedAccessError — a std::out_of_range carrying the
+  // faulting address, access size and direction — otherwise).
   u8 read_byte(u64 vaddr) const;
   void write_byte(u64 vaddr, u8 value);
 
@@ -135,6 +146,7 @@ class PagedMemory {
   Page& mutable_page(Entry& entry);
 
   std::map<u64, Entry> pages_;  // keyed by page index (vaddr >> kPageShift)
+  u64 page_budget_ = 0;         // max mapped pages; 0 = unlimited
 };
 
 }  // namespace restore::vm

@@ -1,0 +1,571 @@
+// Trial containment, shard quarantine and graceful shutdown.
+//
+// The properties pinned here:
+//   * simulator errors carry deterministic context (address, size, direction)
+//     and never escape the trial containment boundary — multi-bit fuzzed
+//     corruption of both the VM and the core always yields a classified
+//     outcome, never a crash (run under ASan/UBSan by the `sanitize` label);
+//   * deterministic resource budgets classify as resource-exhausted
+//     identically at any worker count;
+//   * a shard whose runner throws is retried, logged per attempt, then
+//     quarantined while the rest of the campaign completes; a plain --resume
+//     re-attempts it and, once healthy, reproduces the uninterrupted trace
+//     byte for byte;
+//   * a stop flag ends the campaign gracefully (consistent trace/manifest,
+//     resumable), and the schema_version gate rejects future formats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/budget.hpp"
+#include "common/shutdown.hpp"
+#include "faultinject/campaign_io.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/containment.hpp"
+#include "faultinject/orchestrator.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "uarch/core.hpp"
+#include "uarch/state_registry.hpp"
+#include "vm/errors.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::faultinject {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "restore_containment_" + tag + ".jsonl";
+}
+
+VmCampaignConfig small_vm_config() {
+  VmCampaignConfig config;
+  config.seed = 0xC0117A1;
+  config.trials_per_workload = 24;
+  config.workloads = {"gzip", "mcf"};
+  return config;
+}
+
+CampaignRunOptions streaming_opts(const std::string& trace) {
+  CampaignRunOptions opts;
+  opts.workers = 2;
+  opts.shard_trials = 8;  // 3 shards per workload, 6 total
+  opts.out_jsonl = trace;
+  opts.retry_backoff_ms = 0;  // tests should not sleep
+  return opts;
+}
+
+CampaignManifest vm_identity(const VmCampaignConfig& config, u64 shard_trials) {
+  CampaignManifest identity;
+  identity.kind = "vm";
+  identity.config_hash = config_hash(config);
+  identity.seed = config.seed;
+  identity.shard_trials = shard_trials;
+  return identity;
+}
+
+// ---- simulator error context (satellite: no more context-free throws) ----
+
+TEST(Containment, UnmappedAccessErrorCarriesAddressSizeAndDirection) {
+  vm::PagedMemory memory;
+  memory.map_region(0x1000, 0x100, isa::Perms::kReadWrite);
+
+  try {
+    (void)memory.read_byte(0xdead0);
+    FAIL() << "read of unmapped address did not throw";
+  } catch (const vm::UnmappedAccessError& e) {
+    EXPECT_EQ(e.vaddr(), 0xdead0u);
+    EXPECT_EQ(e.bytes(), 1u);
+    EXPECT_FALSE(e.is_write());
+    EXPECT_EQ(std::string(e.what()),
+              "read of 1 byte(s) at unmapped address 0xdead0");
+  }
+
+  try {
+    memory.write_byte(0xbeef00, 0x42);
+    FAIL() << "write of unmapped address did not throw";
+  } catch (const vm::UnmappedAccessError& e) {
+    EXPECT_EQ(e.vaddr(), 0xbeef00u);
+    EXPECT_TRUE(e.is_write());
+    EXPECT_NE(std::string(e.what()).find("0xbeef00"), std::string::npos);
+  }
+
+  // The richer type still satisfies pre-existing catch sites.
+  EXPECT_THROW((void)memory.read_byte(0xdead0), std::out_of_range);
+}
+
+TEST(Containment, PageBudgetViolationThrowsBudgetExceeded) {
+  vm::PagedMemory memory;
+  memory.set_page_budget(2);
+  memory.map_region(0x0, vm::kPageBytes, isa::Perms::kReadWrite);
+  memory.map_region(0x10000, vm::kPageBytes, isa::Perms::kReadWrite);
+  try {
+    memory.map_region(0x20000, vm::kPageBytes, isa::Perms::kReadWrite);
+    FAIL() << "mapping past the page budget did not throw";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetKind::kPages);
+    EXPECT_EQ(e.limit(), 2u);
+    EXPECT_EQ(e.observed(), 3u);
+  }
+}
+
+TEST(Containment, ContainTrialTagsExceptionTypesDeterministically) {
+  auto abort = contain_trial([] { throw vm::UnmappedAccessError(0x40, 1, true); });
+  ASSERT_TRUE(abort.has_value());
+  EXPECT_EQ(abort->type, "unmapped-access");
+  EXPECT_FALSE(abort->resource_exhausted);
+
+  abort = contain_trial([] { throw BudgetExceeded(BudgetKind::kRetired, 10, 11); });
+  ASSERT_TRUE(abort.has_value());
+  EXPECT_EQ(abort->type, "budget-retired");
+  EXPECT_TRUE(abort->resource_exhausted);
+
+  abort = contain_trial([] { throw std::runtime_error("boom"); });
+  ASSERT_TRUE(abort.has_value());
+  EXPECT_EQ(abort->type, "std::runtime_error");
+  EXPECT_EQ(abort->message, "boom");
+
+  abort = contain_trial([] { throw 42; });
+  ASSERT_TRUE(abort.has_value());
+  EXPECT_EQ(abort->type, "unknown");
+
+  EXPECT_FALSE(contain_trial([] {}).has_value());
+  EXPECT_THROW((void)contain_trial([] { throw std::bad_alloc(); }), std::bad_alloc);
+}
+
+// ---- fuzz: multi-bit corruption never escapes the boundary ----
+
+TEST(Containment, FuzzedMultiBitVmCorruptionAlwaysClassifies) {
+  const auto& wl = workloads::by_name("gzip");
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 40; ++trial) {
+    vm::Vm vm(wl.program);
+    const u64 warmup = rng.range(0, 200);
+    for (u64 i = 0; i < warmup && vm.running(); ++i) (void)vm.step();
+    // Corrupt several registers at once — far nastier than the single-bit
+    // campaign model, and guaranteed to hit wild pointers eventually.
+    const int flips = static_cast<int>(rng.range(2, 6));
+    for (int f = 0; f < flips; ++f) {
+      const u8 reg = static_cast<u8>(rng.below(31));
+      vm.set_reg(reg, vm.reg(reg) ^ (u64{1} << rng.below(64)) ^ rng.next());
+    }
+    vm.memory().set_page_budget(64);
+    const auto abort = contain_trial([&] {
+      u64 executed = 0;
+      while (vm.step()) {
+        if (++executed > 50'000) {
+          throw BudgetExceeded(BudgetKind::kRetired, 50'000, executed);
+        }
+      }
+    });
+    if (abort) {
+      EXPECT_FALSE(abort->type.empty());
+      EXPECT_FALSE(abort->message.empty());
+    }
+  }
+}
+
+TEST(Containment, FuzzedMultiBitCoreCorruptionAlwaysClassifies) {
+  const auto& reg = uarch::StateRegistry::instance();
+  const auto& wl = workloads::by_name("mcf");
+  Rng rng(0xF0CC);
+  for (int trial = 0; trial < 12; ++trial) {
+    uarch::Core core(wl.program, uarch::CoreConfig{});
+    const u64 warmup = rng.range(50, 500);
+    for (u64 c = 0; c < warmup && core.running(); ++c) core.cycle();
+    const int flips = static_cast<int>(rng.range(2, 8));
+    for (int f = 0; f < flips; ++f) reg.flip(core, reg.sample(rng));
+    ResourceBudget budget;
+    budget.max_cycles = core.cycle_count() + 20'000;
+    budget.max_pages = 64;
+    core.set_resource_budget(budget);
+    const auto abort = contain_trial([&] {
+      while (core.running()) core.cycle();
+    });
+    if (abort) {
+      EXPECT_FALSE(abort->type.empty());
+    }
+  }
+}
+
+// ---- resource budgets: deterministic resource-exhausted classification ----
+
+TEST(Containment, TrialBudgetYieldsResourceExhaustedIdenticallyAcrossWorkers) {
+  auto config = small_vm_config();
+  config.trial_budget.max_retired = 40;  // tight enough to trip on real trials
+
+  CampaignRunOptions inline_opts;
+  inline_opts.workers = 0;
+  inline_opts.shard_trials = 8;
+  const auto serial = run_vm_campaign(config, inline_opts);
+
+  CampaignRunOptions parallel_opts = inline_opts;
+  parallel_opts.workers = 8;
+  const auto parallel = run_vm_campaign(config, parallel_opts);
+
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  std::size_t exhausted = 0;
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].outcome, parallel.trials[i].outcome) << i;
+    EXPECT_EQ(serial.trials[i].abort_message, parallel.trials[i].abort_message) << i;
+    if (serial.trials[i].outcome == VmOutcome::kResourceExhausted) {
+      ++exhausted;
+      EXPECT_EQ(serial.trials[i].abort_type, "budget-retired");
+      EXPECT_EQ(serial.trials[i].latency, kNever);
+    }
+  }
+  EXPECT_GT(exhausted, 0u) << "budget never tripped; tighten the test budget";
+
+  // The budget is part of the campaign identity: an unlimited config hashes
+  // differently, so resuming across the change is refused.
+  EXPECT_NE(config_hash(config), config_hash(small_vm_config()));
+}
+
+TEST(Containment, AbortedTrialsAreExcludedFromFailureStatistics) {
+  UarchTrialRecord clean;
+  clean.arch_corrupt_at_end = true;  // a real failure
+  UarchTrialRecord aborted;
+  aborted.abort_type = "budget-cycles";
+  aborted.abort_message = "resource budget exceeded";
+  aborted.abort_resource = true;
+
+  const std::vector<UarchTrialRecord> trials = {clean, aborted};
+  EXPECT_EQ(classify_trial(aborted, DetectorModel::kPerfectCfv,
+                           ProtectionModel::kBaseline, 100),
+            UarchOutcome::kResourceExhausted);
+  aborted.abort_resource = false;
+  EXPECT_EQ(classify_trial(aborted, DetectorModel::kPerfectCfv,
+                           ProtectionModel::kBaseline, 100),
+            UarchOutcome::kSimAbort);
+  // One failure out of one *eligible* trial: were the abort counted in the
+  // denominator these would read 0.5, not 1.0.
+  EXPECT_DOUBLE_EQ(failure_fraction(trials), 1.0);
+  EXPECT_DOUBLE_EQ(uncovered_fraction(trials, DetectorModel::kPerfectCfv,
+                                      ProtectionModel::kBaseline, 100),
+                   1.0);  // symptom-free corruption: a real, uncovered escape
+}
+
+// ---- JSONL round trip of abort records ----
+
+TEST(Containment, AbortFieldsRoundTripThroughJsonl) {
+  VmTrialResult vm_trial;
+  vm_trial.workload = "gzip";
+  vm_trial.outcome = VmOutcome::kSimAbort;
+  vm_trial.inject_index = 7;
+  vm_trial.bit = 3;
+  vm_trial.abort_type = "unmapped-access";
+  vm_trial.abort_message = "write of 1 byte(s) at unmapped address 0xdead";
+  const auto vm_line = vm_trial_to_jsonl(2, 5, vm_trial);
+  const auto vm_parsed = vm_trial_from_jsonl(vm_line);
+  ASSERT_TRUE(vm_parsed.has_value());
+  EXPECT_EQ(std::get<2>(*vm_parsed).outcome, VmOutcome::kSimAbort);
+  EXPECT_EQ(std::get<2>(*vm_parsed).abort_type, vm_trial.abort_type);
+  EXPECT_EQ(std::get<2>(*vm_parsed).abort_message, vm_trial.abort_message);
+
+  UarchTrialRecord uarch_trial;
+  uarch_trial.workload = "mcf";
+  uarch_trial.field_name = "rob.pc";
+  uarch_trial.abort_type = "budget-cycles";
+  uarch_trial.abort_message = "resource budget exceeded: cycles limit 10";
+  uarch_trial.abort_resource = true;
+  const auto uarch_line = uarch_trial_to_jsonl(1, 0, uarch_trial);
+  const auto uarch_parsed = uarch_trial_from_jsonl(uarch_line);
+  ASSERT_TRUE(uarch_parsed.has_value());
+  EXPECT_TRUE(std::get<2>(*uarch_parsed).aborted());
+  EXPECT_EQ(std::get<2>(*uarch_parsed).abort_type, uarch_trial.abort_type);
+  EXPECT_TRUE(std::get<2>(*uarch_parsed).abort_resource);
+
+  // Clean trials keep their historical byte shape: no abort keys at all.
+  VmTrialResult clean;
+  clean.workload = "gzip";
+  EXPECT_EQ(vm_trial_to_jsonl(0, 0, clean).find("abort"), std::string::npos);
+}
+
+// ---- shard quarantine with retry, and resume-after-fix byte identity ----
+
+TEST(Containment, ThrowingShardIsRetriedLoggedAndQuarantined) {
+  const auto config = small_vm_config();
+  const auto shards = plan_shards(config.seed, config.workloads,
+                                  config.trials_per_workload, 8);
+  ASSERT_EQ(shards.size(), 6u);
+
+  // Reference: clean uninterrupted run.
+  const auto clean_trace = temp_path("quarantine_clean");
+  {
+    auto opts = streaming_opts(clean_trace);
+    CampaignTelemetry telemetry;
+    run_sharded_campaign<VmTrialResult>(
+        shards, vm_identity(config, 8), opts,
+        [&](const ShardSpec& shard) { return run_vm_shard(config, shard); },
+        vm_trial_to_jsonl, vm_trial_from_jsonl,
+        [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+        &telemetry);
+    EXPECT_TRUE(telemetry.complete);
+    EXPECT_TRUE(telemetry.quarantined.empty());
+  }
+
+  // Poisoned run: shard 3 throws on every attempt.
+  const auto trace = temp_path("quarantine_poisoned");
+  std::atomic<bool> poisoned{true};
+  std::atomic<int> attempts_on_3{0};
+  const auto supervised_run = [&](const ShardSpec& shard) {
+    if (poisoned.load() && shard.index == 3) {
+      ++attempts_on_3;
+      throw std::runtime_error("injected shard failure (test hook)");
+    }
+    return run_vm_shard(config, shard);
+  };
+  auto opts = streaming_opts(trace);
+  opts.shard_retries = 2;
+  std::FILE* log = std::tmpfile();
+  ASSERT_NE(log, nullptr);
+  opts.heartbeat_stream = log;
+  {
+    CampaignTelemetry telemetry;
+    const auto partial = run_sharded_campaign<VmTrialResult>(
+        shards, vm_identity(config, 8), opts, supervised_run, vm_trial_to_jsonl,
+        vm_trial_from_jsonl,
+        [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+        &telemetry);
+    // Every other shard completed; the poisoned one was retried to the limit
+    // and quarantined.
+    EXPECT_EQ(attempts_on_3.load(), 3);  // 1 attempt + 2 retries
+    EXPECT_FALSE(telemetry.complete);
+    ASSERT_EQ(telemetry.quarantined.size(), 1u);
+    EXPECT_EQ(telemetry.quarantined[0].shard, 3u);
+    EXPECT_EQ(telemetry.quarantined[0].attempts, 3u);
+    EXPECT_NE(telemetry.quarantined[0].error.find("injected shard failure"),
+              std::string::npos);
+    EXPECT_EQ(partial.size(), 40u);  // 5 healthy shards of 8 trials each
+  }
+
+  // Every failing attempt — not just the first — reached the log stream.
+  std::rewind(log);
+  std::string logged;
+  char chunk[256];
+  while (std::fgets(chunk, sizeof chunk, log) != nullptr) logged += chunk;
+  std::fclose(log);
+  for (const char* needle :
+       {"attempt 1/3 failed", "attempt 2/3 failed", "attempt 3/3 failed"}) {
+    EXPECT_NE(logged.find(needle), std::string::npos) << needle << "\n" << logged;
+  }
+  EXPECT_NE(logged.find("shard 3 (mcf)"), std::string::npos) << logged;
+
+  // The manifest records the quarantine, and the shard is NOT completed.
+  {
+    const auto manifest = read_manifest(manifest_path_for(trace));
+    ASSERT_TRUE(manifest.has_value());
+    ASSERT_TRUE(manifest->has_quarantine());
+    EXPECT_EQ(manifest->quarantined, std::vector<u64>{3});
+    EXPECT_EQ(manifest->quarantine_attempts, std::vector<u64>{3});
+    EXPECT_EQ(manifest->quarantine_workloads, std::vector<std::string>{"mcf"});
+    EXPECT_NE(manifest->quarantine_errors[0].find("injected shard failure"),
+              std::string::npos);
+    EXPECT_EQ(manifest->completed.size(), 5u);
+    for (const u64 s : manifest->completed) EXPECT_NE(s, 3u);
+  }
+
+  // Fix the hook, plain --resume: only the quarantined shard re-runs, and the
+  // final trace is byte-identical to the uninterrupted clean run.
+  poisoned.store(false);
+  opts.resume = true;
+  opts.heartbeat_stream = nullptr;
+  {
+    CampaignTelemetry telemetry;
+    run_sharded_campaign<VmTrialResult>(
+        shards, vm_identity(config, 8), opts, supervised_run, vm_trial_to_jsonl,
+        vm_trial_from_jsonl,
+        [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+        &telemetry);
+    EXPECT_TRUE(telemetry.complete);
+    EXPECT_TRUE(telemetry.quarantined.empty());
+    EXPECT_EQ(telemetry.resumed_trials, 40u);  // 5 of 6 shards reloaded
+  }
+  EXPECT_EQ(slurp(clean_trace), slurp(trace));
+
+  // The healed manifest no longer carries the stale quarantine record.
+  const auto healed = read_manifest(manifest_path_for(trace));
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_FALSE(healed->has_quarantine());
+  EXPECT_EQ(healed->completed.size(), 6u);
+}
+
+// ---- graceful shutdown via stop flag ----
+
+TEST(Containment, StopFlagEndsCampaignGracefullyAndResumeCompletes) {
+  const auto config = small_vm_config();
+  const auto shards = plan_shards(config.seed, config.workloads,
+                                  config.trials_per_workload, 8);
+
+  const auto clean_trace = temp_path("shutdown_clean");
+  {
+    auto opts = streaming_opts(clean_trace);
+    run_sharded_campaign<VmTrialResult>(
+        shards, vm_identity(config, 8), opts,
+        [&](const ShardSpec& shard) { return run_vm_shard(config, shard); },
+        vm_trial_to_jsonl, vm_trial_from_jsonl,
+        [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+        nullptr);
+  }
+
+  // SIGTERM-equivalent: the stop flag flips after the first shard finishes
+  // (inline workers make "first" deterministic). The in-flight shard is
+  // flushed; nothing else starts.
+  const auto trace = temp_path("shutdown_interrupted");
+  std::atomic<bool> stop{false};
+  auto opts = streaming_opts(trace);
+  opts.workers = 0;
+  opts.stop_flag = &stop;
+  {
+    CampaignTelemetry telemetry;
+    const auto partial = run_sharded_campaign<VmTrialResult>(
+        shards, vm_identity(config, 8), opts,
+        [&](const ShardSpec& shard) {
+          auto records = run_vm_shard(config, shard);
+          stop.store(true);  // the "signal" lands while this shard is in flight
+          return records;
+        },
+        vm_trial_to_jsonl, vm_trial_from_jsonl,
+        [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+        &telemetry);
+    EXPECT_TRUE(telemetry.stopped);
+    EXPECT_FALSE(telemetry.complete);
+    EXPECT_EQ(telemetry.shards.size(), 1u);  // in-flight shard completed
+    EXPECT_EQ(partial.size(), 8u);
+    EXPECT_TRUE(telemetry.quarantined.empty());
+  }
+  // On-disk state is consistent and resumable.
+  {
+    const auto manifest = read_manifest(manifest_path_for(trace));
+    ASSERT_TRUE(manifest.has_value());
+    EXPECT_EQ(manifest->completed.size(), 1u);
+  }
+
+  // Clear the flag, resume: byte-identical to the uninterrupted run.
+  stop.store(false);
+  opts.resume = true;
+  opts.workers = 2;
+  CampaignTelemetry telemetry;
+  run_sharded_campaign<VmTrialResult>(
+      shards, vm_identity(config, 8), opts,
+      [&](const ShardSpec& shard) { return run_vm_shard(config, shard); },
+      vm_trial_to_jsonl, vm_trial_from_jsonl,
+      [](const VmTrialResult& t) { return std::string(to_string(t.outcome)); },
+      &telemetry);
+  EXPECT_TRUE(telemetry.complete);
+  EXPECT_FALSE(telemetry.stopped);
+  EXPECT_EQ(telemetry.resumed_trials, 8u);
+  EXPECT_EQ(slurp(clean_trace), slurp(trace));
+}
+
+TEST(Containment, SignalHandlerSetsProcessWideFlagOnce) {
+  reset_shutdown_flag();
+  install_shutdown_signal_handlers();
+  EXPECT_FALSE(shutdown_requested());
+  // One SIGTERM requests graceful shutdown. (A second would _Exit(130), so
+  // this test sends exactly one.)
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_TRUE(shutdown_flag()->load());
+  reset_shutdown_flag();
+  EXPECT_FALSE(shutdown_requested());
+
+  request_shutdown();  // programmatic equivalent
+  EXPECT_TRUE(shutdown_requested());
+  reset_shutdown_flag();
+}
+
+// ---- schema versioning ----
+
+TEST(Containment, ManifestSchemaVersionRoundTripsAndGatesResume) {
+  const auto path = temp_path("schema_manifest") + ".manifest.json";
+  CampaignManifest manifest;
+  manifest.kind = "vm";
+  manifest.config_hash = 0xABCD;
+  manifest.seed = 7;
+  manifest.shard_trials = 8;
+  manifest.total_shards = 2;
+  manifest.total_trials = 16;
+  manifest.quarantined = {1};
+  manifest.quarantine_attempts = {3};
+  manifest.quarantine_workloads = {"gzip"};
+  manifest.quarantine_errors = {"injected \"quoted\" error\nwith newline"};
+  write_manifest(path, manifest);
+
+  const auto reread = read_manifest(path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->schema_version, kCampaignSchemaVersion);
+  EXPECT_EQ(reread->quarantine_errors, manifest.quarantine_errors);
+  EXPECT_EQ(reread->quarantine_workloads, manifest.quarantine_workloads);
+
+  // A manifest from the future is refused with a clear message.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema_version\":99,\"kind\":\"vm\",\"config_hash\":1,\"seed\":1,"
+           "\"shard_trials\":8,\"total_shards\":1,\"total_trials\":8,"
+           "\"completed\":[],\"completed_trials\":[],\"wall_ms\":[]}\n";
+  }
+  try {
+    (void)read_manifest(path);
+    FAIL() << "future schema_version was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema_version 99"), std::string::npos);
+  }
+
+  // A legacy (pre-versioning) manifest still reads, as version 1.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"kind\":\"vm\",\"config_hash\":1,\"seed\":1,\"shard_trials\":8,"
+           "\"total_shards\":1,\"total_trials\":8,"
+           "\"completed\":[0],\"completed_trials\":[8],\"wall_ms\":[3]}\n";
+  }
+  const auto legacy = read_manifest(path);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->schema_version, 1u);
+  EXPECT_FALSE(legacy->has_quarantine());
+  EXPECT_EQ(legacy->completed.size(), 1u);
+}
+
+TEST(Containment, TraceHeaderIsSkippedByReadersAndFutureVersionsRejected) {
+  const auto header = parse_trace_header(trace_header_line("vm"));
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->schema_version, kCampaignSchemaVersion);
+  EXPECT_EQ(header->kind, "vm");
+
+  // A trial line is not a header; a header is not a trial line.
+  VmTrialResult trial;
+  trial.workload = "gzip";
+  EXPECT_FALSE(parse_trace_header(vm_trial_to_jsonl(0, 0, trial)).has_value());
+  EXPECT_FALSE(vm_trial_from_jsonl(trace_header_line("vm")).has_value());
+
+  // Whole-stream reader: header skipped, trials parsed.
+  std::stringstream ok;
+  ok << trace_header_line("vm") << '\n' << vm_trial_to_jsonl(0, 0, trial) << '\n';
+  EXPECT_EQ(read_vm_trials_jsonl(ok).size(), 1u);
+
+  // A future-format trace is rejected, not misread.
+  std::stringstream future;
+  future << "{\"schema_version\":99,\"kind\":\"vm\"}\n";
+  try {
+    (void)read_vm_trials_jsonl(future);
+    FAIL() << "future trace header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema_version 99"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace restore::faultinject

@@ -8,6 +8,10 @@
 // Usage: campaign_status TRACE.jsonl [--interval N]
 //   --interval N   checkpoint interval used to classify uarch trials
 //                  (default 100, matching the figure drivers' summary lines)
+//
+// Exit status: 0 healthy, 3 when the manifest records quarantined shards
+// (so scripts notice a partial campaign), 1 on I/O or parse errors, 2 on
+// usage errors.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -88,8 +92,22 @@ int main(int argc, char** argv) {
                   ? 100.0 * static_cast<double>(done_trials) /
                         static_cast<double>(manifest->total_trials)
                   : 0.0,
-              done_shards == manifest->total_shards ? "  [complete]"
-                                                    : "  [resumable]");
+              done_shards == manifest->total_shards
+                  ? "  [complete]"
+                  : manifest->has_quarantine() ? "  [partial: quarantined shards]"
+                                               : "  [resumable]");
+  if (manifest->has_quarantine()) {
+    std::printf("quarantined shards (%zu) — not completed; a --resume re-attempts "
+                "them:\n",
+                manifest->quarantined.size());
+    for (std::size_t i = 0; i < manifest->quarantined.size(); ++i) {
+      std::printf("  shard %llu (%s): %llu attempts, last error: %s\n",
+                  static_cast<unsigned long long>(manifest->quarantined[i]),
+                  manifest->quarantine_workloads[i].c_str(),
+                  static_cast<unsigned long long>(manifest->quarantine_attempts[i]),
+                  manifest->quarantine_errors[i].c_str());
+    }
+  }
   if (done_shards > 0) {
     const double mean_ms = total_ms / static_cast<double>(done_shards);
     std::printf("shards: mean %.1f ms, slowest %.1f ms, %.1f trials/sec overall\n",
@@ -131,5 +149,7 @@ int main(int argc, char** argv) {
                   ? "  (classified: perfect-cfv detector, baseline pipeline)"
                   : "");
   print_counts(counts, lines);
-  return 0;
+  // Non-zero for quarantine so CI and shell scripts can't mistake a partial
+  // campaign for a healthy one.
+  return manifest->has_quarantine() ? 3 : 0;
 }
