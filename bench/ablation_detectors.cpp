@@ -21,8 +21,8 @@ using faultinject::ProtectionModel;
 namespace {
 
 struct Row {
-  const char* name;
-  double uncovered;
+  const char* name = nullptr;
+  double uncovered = 0.0;
 };
 
 }  // namespace

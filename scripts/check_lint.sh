@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Static-analysis gate: simlint (all four rule families) + clang-tidy.
+#
+# Usage: scripts/check_lint.sh [build-dir]
+#   build-dir (default: build) supplies compile_commands.json; when it has not
+#   been configured yet, simlint falls back to globbing the configured roots
+#   and clang-tidy is skipped unless the database exists.
+#
+# clang-tidy is optional tooling: it runs when present on PATH (CI installs
+# it), and is skipped — loudly — when it is not, so the gate stays usable in
+# minimal containers. simlint itself needs only Python 3.11+.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+fail=0
+
+echo "== simlint self-test (negative fixtures)"
+python3 tools/simlint/simlint.py --self-test || fail=1
+
+echo "== simlint (DET, ITER, COV, ID)"
+python3 tools/simlint/simlint.py -p "$BUILD_DIR" || fail=1
+
+echo "== clang-tidy"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy: not installed; skipping (install clang-tidy to enable)"
+elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "clang-tidy: no $BUILD_DIR/compile_commands.json; configure first (cmake -B $BUILD_DIR -S .)"
+else
+  # Checks and options come from .clang-tidy at the repo root.
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${tidy_sources[@]}" || fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_lint: FAILED"
+  exit 1
+fi
+echo "check_lint: OK"

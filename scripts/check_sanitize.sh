@@ -1,22 +1,44 @@
 #!/usr/bin/env bash
-# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Build and run the test suite under a sanitizer.
 #
-# Usage: scripts/check_sanitize.sh [ctest-args...]
-#   Extra arguments are forwarded to ctest, e.g.
+# Usage: scripts/check_sanitize.sh [--mode address|thread] [ctest-args...]
+#   --mode address (default)  AddressSanitizer + UndefinedBehaviorSanitizer
+#   --mode thread             ThreadSanitizer (campaign/ThreadPool concurrency)
+#   Remaining arguments are forwarded to ctest, e.g.
 #     scripts/check_sanitize.sh -R CampaignReplay
+#     scripts/check_sanitize.sh --mode thread -L tsan
 #
-# Uses a separate build tree (build-sanitize/) so the regular build stays
-# untouched. Any sanitizer report fails the run (-fno-sanitize-recover=all).
+# Uses a separate build tree per mode (build-sanitize/, build-tsan/) so the
+# regular build stays untouched. Any sanitizer report fails the run
+# (-fno-sanitize-recover=all).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitize
-cmake -B "$BUILD_DIR" -S . -DRESTORE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+MODE=address
+if [[ "${1:-}" == "--mode" ]]; then
+  MODE=${2:?--mode needs an argument (address|thread)}
+  shift 2
+fi
 
-export ASAN_OPTIONS=detect_leaks=1:abort_on_error=1
-export UBSAN_OPTIONS=print_stacktrace=1
+case "$MODE" in
+  address)
+    BUILD_DIR=build-sanitize
+    export ASAN_OPTIONS=detect_leaks=1:abort_on_error=1
+    export UBSAN_OPTIONS=print_stacktrace=1
+    ;;
+  thread)
+    BUILD_DIR=build-tsan
+    export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+    ;;
+  *)
+    echo "check_sanitize: unknown mode '$MODE' (use address or thread)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . -DRESTORE_SANITIZE="$MODE" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)" "$@"

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace restore {
@@ -54,7 +55,42 @@ double CliArgs::value_double(const std::string& name, double fallback) const {
 
 namespace {
 
+struct EnvOverride {
+  const char* name;
+  EnvClass cls;
+};
+
+// Central declaration of every environment override the binaries honour.
+// kIdentity overrides resolve into config fields that feed config_hash()
+// (RESTORE_TRIALS -> trials_per_workload, RESTORE_SEED -> seed), so the
+// campaign identity depends on the *effective* value, not on whether it
+// arrived via flag or environment. simlint's ID-hash rules parse this
+// initializer and reject unclassified or unhashed entries.
+constexpr EnvOverride kEnvOverrides[] = {
+    {"RESTORE_TRIALS", EnvClass::kIdentity},
+    {"RESTORE_SEED", EnvClass::kIdentity},
+};
+
+}  // namespace
+
+bool env_override_declared(const char* name) noexcept {
+  for (const auto& entry : kEnvOverrides) {
+    if (std::strcmp(entry.name, name) == 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
 std::optional<u64> env_u64(const char* name) {
+  if (!env_override_declared(name)) {
+    // A structural bug, not a user error: overrides must be declared above
+    // (with an identity class) before any code may read them.
+    throw std::logic_error(std::string("undeclared environment override: ") +
+                           name);
+  }
+  // simlint: allow(DET-ENV) -- the CLI layer is the one sanctioned getenv
+  // site; the table above keeps every override classified.
   if (const char* raw = std::getenv(name); raw != nullptr && raw[0] != '\0') {
     return std::stoull(raw);
   }

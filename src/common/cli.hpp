@@ -31,6 +31,21 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+// Environment overrides are declared centrally (see kEnvOverrides in
+// cli.cpp) so campaign identity can never silently drift: reading an
+// undeclared override throws std::logic_error, and simlint's ID-hash family
+// cross-checks the table against tools/simlint/simlint.toml — every
+// kIdentity override must resolve into a config field that feeds
+// config_hash(), so a trace produced under an env override can never be
+// mistaken for (or resumed as) a differently-configured campaign.
+enum class EnvClass : u8 {
+  kIdentity,      // alters simulation results; must reach config_hash
+  kPresentation,  // telemetry/output shaping only; never enters a record
+};
+
+// True when `name` is declared in the env-override table (any class).
+bool env_override_declared(const char* name) noexcept;
+
 // Trial-count override: --trials on the command line wins, then the
 // RESTORE_TRIALS environment variable, then `fallback`.
 u64 resolve_trial_count(const CliArgs& args, u64 fallback);

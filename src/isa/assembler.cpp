@@ -116,14 +116,21 @@ std::vector<Statement> parse_source(std::string_view source) {
 const std::map<std::string, u8, std::less<>>& register_aliases() {
   static const std::map<std::string, u8, std::less<>> table = [] {
     std::map<std::string, u8, std::less<>> t;
-    for (u8 i = 0; i < kNumArchRegs; ++i) t["r" + std::to_string(i)] = i;
+    // Two-step concatenation: `"r" + std::to_string(i)` trips GCC 12's
+    // -Wrestrict false positive (PR105651) under -Werror.
+    auto alias = [](char prefix, u8 i) {
+      std::string name(1, prefix);
+      name += std::to_string(i);
+      return name;
+    };
+    for (u8 i = 0; i < kNumArchRegs; ++i) t[alias('r', i)] = i;
     t["zero"] = 31;
     t["sp"] = 30;
     t["ra"] = 29;
     t["rv"] = 1;
-    for (u8 i = 0; i < 6; ++i) t["a" + std::to_string(i)] = static_cast<u8>(2 + i);
-    for (u8 i = 0; i < 12; ++i) t["t" + std::to_string(i)] = static_cast<u8>(8 + i);
-    for (u8 i = 0; i < 9; ++i) t["s" + std::to_string(i)] = static_cast<u8>(20 + i);
+    for (u8 i = 0; i < 6; ++i) t[alias('a', i)] = static_cast<u8>(2 + i);
+    for (u8 i = 0; i < 12; ++i) t[alias('t', i)] = static_cast<u8>(8 + i);
+    for (u8 i = 0; i < 9; ++i) t[alias('s', i)] = static_cast<u8>(20 + i);
     return t;
   }();
   return table;

@@ -6,7 +6,11 @@ namespace restore::isa {
 
 std::string reg_name(u8 reg) {
   if (reg == kZeroReg) return "zero";
-  return "r" + std::to_string(reg);
+  // Built up in two steps: `"r" + std::to_string(reg)` trips GCC 12's
+  // -Wrestrict false positive (PR105651) under -Werror.
+  std::string name(1, 'r');
+  name += std::to_string(reg);
+  return name;
 }
 
 std::string disassemble(const DecodedInst& inst) {

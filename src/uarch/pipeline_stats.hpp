@@ -62,8 +62,8 @@ class PipelineStats {
 
   unsigned timeline_stride_ = 0;
   struct TimelinePoint {
-    u64 cycle;
-    u8 rob, sched, fq, ldq, stq, exec;
+    u64 cycle = 0;
+    u8 rob = 0, sched = 0, fq = 0, ldq = 0, stq = 0, exec = 0;
   };
   std::vector<TimelinePoint> timeline_;
 };

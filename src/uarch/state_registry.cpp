@@ -463,6 +463,36 @@ u64 StateRegistry::hash_state(const Core& core) const {
   return hash;
 }
 
+std::string StateRegistry::audit() const {
+  auto storage_name = [](StorageClass s) {
+    return s == StorageClass::kLatch ? "latch" : "sram";
+  };
+  auto protection_name = [](LhfProtection p) {
+    switch (p) {
+      case LhfProtection::kNone: return "none";
+      case LhfProtection::kParity: return "parity";
+      case LhfProtection::kEcc: return "ecc";
+    }
+    return "?";
+  };
+  std::string out =
+      "# StateRegistry audit manifest -- the injectable state surface.\n"
+      "# field <name> <storage> <protection> <entries>x<bits> = <total bits>\n";
+  u64 latch_bits = 0;
+  u64 sram_bits = 0;
+  for (const auto& f : fields_) {
+    (f.storage == StorageClass::kLatch ? latch_bits : sram_bits) += f.total_bits();
+    out += "field " + f.name + ' ' + storage_name(f.storage) + ' ' +
+           protection_name(f.protection) + ' ' + std::to_string(f.entries) +
+           'x' + std::to_string(f.bits_per_entry) + " = " +
+           std::to_string(f.total_bits()) + '\n';
+  }
+  out += "class latch = " + std::to_string(latch_bits) + '\n';
+  out += "class sram = " + std::to_string(sram_bits) + '\n';
+  out += "total = " + std::to_string(total_bits_) + '\n';
+  return out;
+}
+
 StateRegistry::DiffSummary StateRegistry::diff(const Core& a, const Core& b) const {
   DiffSummary summary;
   for (const auto& f : fields_) {

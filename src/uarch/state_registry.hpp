@@ -85,6 +85,15 @@ class StateRegistry {
   // Digest of all registered state (used for exact golden comparison).
   u64 hash_state(const Core& core) const;
 
+  // Canonical manifest of the injectable state surface: one line per field
+  // (name, storage class, protection, entries x bits = total) plus
+  // per-storage-class subtotals and the grand total. The golden copy lives at
+  // tests/golden/state_manifest.txt and is compared byte-for-byte in ctest,
+  // so any change to the registered surface — which silently shifts fig4's
+  // denominators and the sampler's bit ordinals — shows up as a reviewed
+  // golden-file diff. See EXPERIMENTS.md for the regeneration workflow.
+  std::string audit() const;
+
   // Names of fields whose state differs between two cores (diagnostics) and
   // a liveness-aware classification: returns {any_diff, any_live_diff}.
   struct DiffSummary {

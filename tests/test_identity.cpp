@@ -1,0 +1,143 @@
+// Campaign-identity coverage of environment overrides (the getenv hole).
+//
+// Every env override is declared centrally in kEnvOverrides (common/cli.cpp)
+// with an EnvClass; identity-class overrides resolve into config fields that
+// feed config_hash(), so identity depends on the *effective* value — a
+// campaign configured via RESTORE_TRIALS=40 and one configured via
+// `--trials 40` are the same campaign (same hash, mutually resumable), while
+// any change to an effective identity value changes the hash. simlint's
+// ID-hash family cross-checks the same table statically; this suite proves
+// the runtime half of the contract.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+
+namespace restore {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "test_bin");
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { ::unsetenv(name); }
+  ~EnvGuard() { ::unsetenv(name_.c_str()); }
+  void set(const std::string& value) { ::setenv(name_.c_str(), value.c_str(), 1); }
+
+ private:
+  std::string name_;
+};
+
+TEST(EnvOverrideTable, DeclaresExactlyTheKnownOverrides) {
+  EXPECT_TRUE(env_override_declared("RESTORE_TRIALS"));
+  EXPECT_TRUE(env_override_declared("RESTORE_SEED"));
+  EXPECT_FALSE(env_override_declared("RESTORE_BOGUS"));
+  EXPECT_FALSE(env_override_declared(""));
+}
+
+TEST(EnvOverrideTable, FlagBeatsEnvBeatsFallback) {
+  EnvGuard trials("RESTORE_TRIALS");
+  const auto flag_args = make_args({"--trials", "7"});
+  const auto no_args = make_args({});
+
+  EXPECT_EQ(resolve_trial_count(no_args, 99), 99u);
+  trials.set("40");
+  EXPECT_EQ(resolve_trial_count(no_args, 99), 40u);
+  EXPECT_EQ(resolve_trial_count(flag_args, 99), 7u);
+}
+
+TEST(EnvOverrideTable, SeedFlagBeatsEnvBeatsFallback) {
+  EnvGuard seed("RESTORE_SEED");
+  const auto flag_args = make_args({"--seed", "11"});
+  const auto no_args = make_args({});
+
+  EXPECT_EQ(resolve_seed(no_args, 5), 5u);
+  seed.set("23");
+  EXPECT_EQ(resolve_seed(no_args, 5), 23u);
+  EXPECT_EQ(resolve_seed(flag_args, 5), 11u);
+}
+
+// The identity contract: env-sourced and flag-sourced values produce the SAME
+// campaign hash (source independence), and the effective value always reaches
+// the hash (sensitivity). Together these close the getenv identity hole — an
+// env override can neither smuggle a result-altering change past the
+// manifest, nor fork the identity of an equivalently-configured campaign.
+TEST(EnvOverrideIdentity, VmHashIsSourceIndependentButValueSensitive) {
+  EnvGuard trials("RESTORE_TRIALS");
+  EnvGuard seed("RESTORE_SEED");
+
+  faultinject::VmCampaignConfig from_flags;
+  from_flags.trials_per_workload =
+      resolve_trial_count(make_args({"--trials", "40"}), 150);
+  from_flags.seed = resolve_seed(make_args({"--seed", "11"}), 1);
+
+  trials.set("40");
+  seed.set("11");
+  faultinject::VmCampaignConfig from_env;
+  from_env.trials_per_workload = resolve_trial_count(make_args({}), 150);
+  from_env.seed = resolve_seed(make_args({}), 1);
+
+  EXPECT_EQ(faultinject::config_hash(from_flags),
+            faultinject::config_hash(from_env));
+
+  trials.set("41");
+  faultinject::VmCampaignConfig different;
+  different.trials_per_workload = resolve_trial_count(make_args({}), 150);
+  different.seed = resolve_seed(make_args({}), 1);
+  EXPECT_NE(faultinject::config_hash(from_env),
+            faultinject::config_hash(different));
+}
+
+TEST(EnvOverrideIdentity, UarchHashIsSourceIndependentButValueSensitive) {
+  EnvGuard trials("RESTORE_TRIALS");
+  EnvGuard seed("RESTORE_SEED");
+
+  faultinject::UarchCampaignConfig from_flags;
+  from_flags.trials_per_workload =
+      resolve_trial_count(make_args({"--trials", "20"}), 120);
+  from_flags.seed = resolve_seed(make_args({"--seed", "11"}), 1);
+
+  trials.set("20");
+  seed.set("11");
+  faultinject::UarchCampaignConfig from_env;
+  from_env.trials_per_workload = resolve_trial_count(make_args({}), 120);
+  from_env.seed = resolve_seed(make_args({}), 1);
+
+  EXPECT_EQ(faultinject::config_hash(from_flags),
+            faultinject::config_hash(from_env));
+
+  seed.set("12");
+  faultinject::UarchCampaignConfig different;
+  different.trials_per_workload = resolve_trial_count(make_args({}), 120);
+  different.seed = resolve_seed(make_args({}), 1);
+  EXPECT_NE(faultinject::config_hash(from_env),
+            faultinject::config_hash(different));
+}
+
+TEST(EnvOverrideIdentity, EverySeedableConfigFieldReachesTheHash) {
+  const faultinject::VmCampaignConfig base;
+  auto hash_of = [](auto mutate) {
+    faultinject::VmCampaignConfig c;
+    mutate(c);
+    return faultinject::config_hash(c);
+  };
+  const u64 base_hash = faultinject::config_hash(base);
+  EXPECT_NE(base_hash, hash_of([](auto& c) { c.seed ^= 1; }));
+  EXPECT_NE(base_hash, hash_of([](auto& c) { c.trials_per_workload += 1; }));
+  EXPECT_NE(base_hash, hash_of([](auto& c) { c.low32_only = true; }));
+  EXPECT_NE(base_hash, hash_of([](auto& c) {
+              c.model = faultinject::VmFaultModel::kRegisterBit;
+            }));
+  EXPECT_NE(base_hash, hash_of([](auto& c) { c.workloads = {"gzip"}; }));
+}
+
+}  // namespace
+}  // namespace restore

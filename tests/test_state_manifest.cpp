@@ -1,0 +1,87 @@
+// Golden-file audit of the injectable state surface.
+//
+// StateRegistry::audit() renders every registered field (name, storage class,
+// protection, entries x bits) plus subtotals; this suite compares it
+// byte-for-byte against tests/golden/state_manifest.txt. Any drift in the
+// registered surface — which silently changes fig4 denominators and the
+// sampler's bit ordinals — therefore fails CI until the golden file (and the
+// fixed-seed figure baselines) are deliberately regenerated. The current
+// manifest is always written to state_manifest_current.txt in the working
+// directory so regeneration is a copy, never a hand edit (see EXPERIMENTS.md).
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "uarch/state_registry.hpp"
+
+#ifndef RESTORE_GOLDEN_MANIFEST
+#error "RESTORE_GOLDEN_MANIFEST must point at tests/golden/state_manifest.txt"
+#endif
+
+namespace restore::uarch {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(StateManifest, MatchesGolden) {
+  const std::string current = StateRegistry::instance().audit();
+  std::ofstream("state_manifest_current.txt", std::ios::binary) << current;
+  const std::string golden = read_file(RESTORE_GOLDEN_MANIFEST);
+  ASSERT_FALSE(golden.empty())
+      << "cannot read golden manifest at " << RESTORE_GOLDEN_MANIFEST;
+  EXPECT_EQ(golden, current)
+      << "the injectable state surface drifted from the golden manifest. If "
+         "this is intentional, copy state_manifest_current.txt (written next "
+         "to the test binary) over tests/golden/state_manifest.txt and "
+         "regenerate the fixed-seed fig4 baselines (EXPERIMENTS.md).";
+}
+
+TEST(StateManifest, TotalBitsInPaperBand) {
+  // The paper's §4.2 surface is ~46k eligible bits; the model must stay in
+  // the same band or fig4's per-bit FIT scaling stops being comparable.
+  const u64 total = StateRegistry::instance().total_bits();
+  EXPECT_GE(total, 40'000u);
+  EXPECT_LE(total, 50'000u);
+}
+
+TEST(StateManifest, SubtotalsAreConsistent) {
+  const auto& reg = StateRegistry::instance();
+  u64 sum = 0;
+  for (const auto& f : reg.fields()) sum += f.total_bits();
+  EXPECT_EQ(sum, reg.total_bits());
+  EXPECT_EQ(reg.total_bits(StorageClass::kLatch) +
+                reg.total_bits(StorageClass::kSram),
+            reg.total_bits());
+}
+
+TEST(StateManifest, AuditFooterMatchesTotals) {
+  const auto& reg = StateRegistry::instance();
+  const std::string manifest = reg.audit();
+  const std::string latch_line =
+      "class latch = " + std::to_string(reg.total_bits(StorageClass::kLatch));
+  const std::string sram_line =
+      "class sram = " + std::to_string(reg.total_bits(StorageClass::kSram));
+  const std::string total_line = "total = " + std::to_string(reg.total_bits());
+  EXPECT_NE(manifest.find(latch_line), std::string::npos);
+  EXPECT_NE(manifest.find(sram_line), std::string::npos);
+  EXPECT_NE(manifest.find(total_line), std::string::npos);
+}
+
+TEST(StateManifest, EveryFieldHasAManifestLine) {
+  const auto& reg = StateRegistry::instance();
+  const std::string manifest = reg.audit();
+  for (const auto& f : reg.fields()) {
+    EXPECT_NE(manifest.find("field " + f.name + ' '), std::string::npos)
+        << "field '" << f.name << "' missing from audit manifest";
+  }
+}
+
+}  // namespace
+}  // namespace restore::uarch

@@ -1,0 +1,20 @@
+// Idiomatic repo code: steady_clock for telemetry, ordered string-keyed
+// containers, fully initialized payload structs. Must lint clean.
+#include <chrono>
+#include <map>
+#include <string>
+
+struct Telemetry {
+  double seconds = 0.0;
+  unsigned long long shards_done = 0;
+};
+
+inline double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count();
+}
+
+inline int lookup(const std::map<std::string, int>& table, const std::string& key) {
+  const auto it = table.find(key);
+  return it == table.end() ? -1 : it->second;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+using u8 = unsigned char;
+using u32 = unsigned int;
+using u64 = unsigned long long;
+
+constexpr u32 kSlots = 4;

@@ -1,0 +1,21 @@
+// expect: COV-STALE-EXCLUDE
+#pragma once
+
+#include <array>
+
+#include "uop.hpp"
+
+class Core {
+ public:
+  // ---- Machine state (fixture)
+  std::array<Slot, kSlots> slots_{};
+  u64 pc_ = 0;
+  u32 watchdog_ = 0;
+  bool stalled_ = false;  // expect: COV-UNREGISTERED
+
+  // not injectable: derived telemetry, rebuilt every cycle
+  u64 stat_cycles_ = 0;
+
+ private:
+  int hidden_ = 0;
+};

@@ -1,0 +1,43 @@
+// Miniature registry with one deliberate violation per COV rule:
+//   - slots.pc registers 2 entries against extent 4      -> COV-EXTENT
+//   - watchdog declares 40 bits against u32 storage       -> COV-WIDTH
+//   - slots.valid is registered twice                     -> COV-DUP
+//   - ghost accesses a member Core does not declare       -> COV-DEAD
+//   - dead_slot / never_used are defined but never used   -> COV-DEAD
+//   - stalled_ is never registered (finding in core.hpp)  -> COV-UNREGISTERED
+// expect: COV-DEAD
+// expect: COV-DUP
+// expect: COV-EXTENT
+// expect: COV-WIDTH
+#include "core.hpp"
+#include "registry.hpp"
+
+namespace {
+
+bool always_live(const Core&, u32) { return true; }
+bool never_used(const Core&, u32) { return false; }
+
+auto slot_at = [](Core& c, u32 e) -> Slot& { return c.slots_[e % kSlots]; };
+auto dead_slot = [](Core& c, u32 e) -> Slot& { return c.slots_[e]; };
+
+}  // namespace
+
+void register_all(StateRegistry& reg) {
+  auto add_int = reg.int_adder();
+  auto add_flag = reg.flag_adder();
+
+  add_int("slots.pc", kLatch, kParity, 2, 64,
+          [](Core& c, u32 e) -> u64& { return slot_at(c, e).pc; }, always_live);
+  add_flag("slots.valid", kLatch, kParity, kSlots,
+           [](Core& c, u32 e) -> bool& { return slot_at(c, e).valid; },
+           always_live);
+  add_flag("slots.valid", kLatch, kParity, kSlots,
+           [](Core& c, u32 e) -> bool& { return slot_at(c, e).valid; },
+           always_live);
+  add_int("pc", kLatch, kParity, 1, 64,
+          [](Core& c, u32) -> u64& { return c.pc_; }, always_live);
+  add_int("watchdog", kLatch, kParity, 1, 40,
+          [](Core& c, u32) -> u32& { return c.watchdog_; }, always_live);
+  add_int("ghost", kLatch, kParity, 1, 64,
+          [](Core& c, u32) -> u64& { return c.ghost_; }, always_live);
+}

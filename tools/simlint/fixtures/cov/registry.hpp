@@ -1,0 +1,12 @@
+// Fixture stand-in for the StateRegistry interface; never compiled.
+#pragma once
+
+#include "config.hpp"
+
+enum StorageClass { kLatch, kSram };
+enum LhfProtection { kNone, kParity, kEcc };
+
+struct StateRegistry {
+  auto int_adder();
+  auto flag_adder();
+};

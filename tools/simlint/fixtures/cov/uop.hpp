@@ -1,0 +1,8 @@
+#pragma once
+
+#include "config.hpp"
+
+struct Slot {
+  u64 pc = 0;
+  bool valid = false;
+};

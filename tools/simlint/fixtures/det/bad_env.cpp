@@ -1,0 +1,6 @@
+// Deliberate violation: getenv outside the sanctioned CLI layer.
+#include <cstdlib>
+
+const char* rogue_override() {
+  return std::getenv("RESTORE_ROGUE");  // expect: DET-ENV
+}

@@ -1,0 +1,8 @@
+// Deliberate violation: hardware / standard-library randomness.
+#include <random>
+
+int noise() {
+  std::random_device rd;                        // expect: DET-RAND
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(rd);
+}

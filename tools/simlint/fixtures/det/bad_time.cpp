@@ -1,0 +1,7 @@
+// Deliberate violation: wall-clock read.
+#include <chrono>
+
+long long stamp() {
+  auto now = std::chrono::system_clock::now();  // expect: DET-TIME
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Deliberate violation: aggregate payload struct with an uninitialized
+// builtin member (indeterminate bits would reach snapshots/digests).
+#pragma once
+
+struct TracePayload {
+  int cycle = 0;
+  bool fault;  // expect: DET-UNINIT
+};

@@ -1,0 +1,5 @@
+// Allowed: this file stands in for the sanctioned CLI layer
+// (det.env_allowed_files), so its getenv must NOT be reported.
+#include <cstdlib>
+
+const char* sanctioned() { return std::getenv("RESTORE_TRIALS"); }

@@ -1,0 +1,8 @@
+// Inline suppression: the allow() comment must silence the finding on the
+// next line, so this file expects nothing.
+#include <cstdlib>
+
+const char* tz() {
+  // simlint: allow(DET-ENV) -- fixture: exercises the suppression syntax
+  return std::getenv("TZ");
+}

@@ -1,0 +1,21 @@
+// Fixture stand-in for the sanctioned CLI layer and its identity table.
+// expect: ID-ENV-UNDECLARED
+// expect: ID-ENV-UNCLASSIFIED
+// expect: ID-ENV-UNHASHED
+// expect: ID-STALE
+#include <cstdlib>
+
+enum class EnvClass { kIdentity, kPresentation };
+
+struct EnvOverride {
+  const char* name;
+  EnvClass cls;
+};
+
+constexpr EnvOverride kEnvOverrides[] = {
+    {"SIM_TRIALS", EnvClass::kIdentity},
+    {"SIM_SEED", EnvClass::kIdentity},
+    {"SIM_LOGS", EnvClass::kPresentation},
+};
+
+const char* rogue() { return std::getenv("SIM_ROGUE"); }

@@ -1,0 +1,16 @@
+// Fixture flag consumers.
+// expect: ID-FLAG-UNCLASSIFIED
+// expect: ID-FLAG-UNHASHED
+struct Args {
+  unsigned long long value_u64(const char*, unsigned long long) const;
+  bool has_flag(const char*) const;
+};
+
+void run(const Args& args) {
+  auto trials = args.value_u64("trials", 10);        // classified, hashed: ok
+  auto shard = args.value_u64("shard-trials", 0);    // manifest identity: ok
+  auto verbose = args.has_flag("verbose");           // presentation: ok
+  auto seed = args.value_u64("seed", 1);             // unclassified
+  auto workers = args.value_u64("workers", 1);       // bad hashed_via token
+  (void)trials, (void)shard, (void)verbose, (void)seed, (void)workers;
+}

@@ -1,0 +1,10 @@
+// Fixture manifest: shard_trials participates in the identity comparison.
+#pragma once
+
+struct CampaignManifest {
+  unsigned long long shard_trials = 0;
+
+  bool matches(const CampaignManifest& other) const noexcept {
+    return shard_trials == other.shard_trials;
+  }
+};

@@ -1,0 +1,11 @@
+// Deliberate violation: pointer-keyed ordered container (iterates in
+// allocation order, which varies run to run).
+#include <map>
+
+struct Shard {
+  int id = 0;
+};
+
+int first_id(const std::map<const Shard*, int>& order) {  // expect: ITER-PTRKEY
+  return order.empty() ? -1 : order.begin()->first->id;
+}

@@ -1,0 +1,9 @@
+// Deliberate violation: unordered container feeding an export-shaped loop.
+#include <string>
+#include <unordered_map>
+
+int sum_counts(const std::unordered_map<std::string, int>& counts) {  // expect: ITER-UNORDERED
+  int total = 0;
+  for (const auto& [name, n] : counts) total += n;
+  return total;
+}

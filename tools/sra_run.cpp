@@ -3,8 +3,8 @@
 //
 //   $ sra_run program.s                        # architectural VM
 //   $ sra_run program.s --machine core         # detailed out-of-order core
-//   $ sra_run program.s --machine restore \
-//             --interval 100 --policy delayed  # full ReStore
+//   $ sra_run program.s --machine restore --interval 100 --policy delayed
+//                                              # full ReStore
 //
 // Options: --max N (instruction/cycle budget), --stats, --trace (VM only).
 #include <cstdio>
