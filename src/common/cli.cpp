@@ -69,6 +69,7 @@ struct EnvOverride {
 constexpr EnvOverride kEnvOverrides[] = {
     {"RESTORE_TRIALS", EnvClass::kIdentity},
     {"RESTORE_SEED", EnvClass::kIdentity},
+    {"RESTORE_SOCKET", EnvClass::kPresentation},
 };
 
 }  // namespace
@@ -97,6 +98,19 @@ std::optional<u64> env_u64(const char* name) {
   return std::nullopt;
 }
 
+std::optional<std::string> env_string(const char* name) {
+  if (!env_override_declared(name)) {
+    throw std::logic_error(std::string("undeclared environment override: ") +
+                           name);
+  }
+  // simlint: allow(DET-ENV) -- the CLI layer is the one sanctioned getenv
+  // site; the table above keeps every override classified.
+  if (const char* raw = std::getenv(name); raw != nullptr && raw[0] != '\0') {
+    return std::string(raw);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 u64 resolve_trial_count(const CliArgs& args, u64 fallback) {
@@ -108,6 +122,12 @@ u64 resolve_trial_count(const CliArgs& args, u64 fallback) {
 u64 resolve_seed(const CliArgs& args, u64 fallback) {
   if (auto v = args.value("seed")) return std::stoull(*v);
   if (auto v = env_u64("RESTORE_SEED")) return *v;
+  return fallback;
+}
+
+std::string resolve_socket_path(const CliArgs& args, std::string fallback) {
+  if (auto v = args.value("socket")) return *v;
+  if (auto v = env_string("RESTORE_SOCKET")) return *v;
   return fallback;
 }
 

@@ -53,6 +53,11 @@ u64 resolve_trial_count(const CliArgs& args, u64 fallback);
 // Seed override: --seed, then RESTORE_SEED, then `fallback`.
 u64 resolve_seed(const CliArgs& args, u64 fallback);
 
+// Campaign-service socket path: --socket, then RESTORE_SOCKET, then
+// `fallback`. Presentation-class: which socket a job was submitted over
+// never reaches a trial record or the campaign identity.
+std::string resolve_socket_path(const CliArgs& args, std::string fallback);
+
 // Shared campaign-orchestration flags, understood by every campaign-driving
 // binary:
 //   --out-jsonl PATH   stream per-trial results to PATH as shards complete

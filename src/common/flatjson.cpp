@@ -1,0 +1,247 @@
+#include "common/flatjson.hpp"
+
+namespace restore::flatjson {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Object> parse() {
+    Object obj;
+    skip_ws();
+    if (!consume('{')) return std::nullopt;
+    skip_ws();
+    if (consume('}')) {
+      skip_ws();
+      return pos_ == text_.size() ? std::optional(std::move(obj)) : std::nullopt;
+    }
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj.emplace(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    skip_ws();
+    return pos_ == text_.size() ? std::optional(std::move(obj)) : std::nullopt;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: return std::nullopt;  // \uXXXX etc. never appear here
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<u64> parse_uint() {
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return std::nullopt;
+    }
+    u64 value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<u64>(text_[pos_++] - '0');
+    }
+    return value;
+  }
+
+  std::optional<Value> parse_value() {
+    Value value;
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      value.kind = Value::Kind::kString;
+      value.str = std::move(*s);
+      return value;
+    }
+    if (consume_word("true")) {
+      value.kind = Value::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_word("false")) {
+      value.kind = Value::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (consume_word("null")) return value;
+    if (consume('[')) {
+      // An empty array parses as kUintArray; accessors treat that as an empty
+      // array of either element type.
+      value.kind = Value::Kind::kUintArray;
+      skip_ws();
+      if (consume(']')) return value;
+      if (pos_ < text_.size() && text_[pos_] == '"') {
+        value.kind = Value::Kind::kStringArray;
+        for (;;) {
+          skip_ws();
+          auto s = parse_string();
+          if (!s) return std::nullopt;
+          value.str_array.push_back(std::move(*s));
+          skip_ws();
+          if (consume(',')) { skip_ws(); continue; }
+          if (consume(']')) return value;
+          return std::nullopt;
+        }
+      }
+      for (;;) {
+        skip_ws();
+        auto n = parse_uint();
+        if (!n) return std::nullopt;
+        value.array.push_back(*n);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    auto n = parse_uint();
+    if (!n) return std::nullopt;
+    value.kind = Value::Kind::kUint;
+    value.uint = *n;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Object> parse(std::string_view text) { return Parser(text).parse(); }
+
+void append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_field(std::string& out, std::string_view key, u64 value) {
+  out.push_back('"');
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, std::string_view key, bool value) {
+  out.push_back('"');
+  out += key;
+  out += value ? "\":true" : "\":false";
+}
+
+void append_field(std::string& out, std::string_view key, std::string_view value) {
+  out.push_back('"');
+  out += key;
+  out += "\":";
+  append_string(out, value);
+}
+
+void append_field(std::string& out, std::string_view key,
+                  const std::vector<u64>& values) {
+  out.push_back('"');
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  out.push_back(']');
+}
+
+void append_field(std::string& out, std::string_view key,
+                  const std::vector<std::string>& values) {
+  out.push_back('"');
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_string(out, values[i]);
+  }
+  out.push_back(']');
+}
+
+const Value* find(const Object& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::optional<u64> get_uint(const Object& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kUint) return std::nullopt;
+  return v->uint;
+}
+
+std::optional<bool> get_bool(const Object& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kBool) return std::nullopt;
+  return v->boolean;
+}
+
+std::optional<std::string> get_string(const Object& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kString) return std::nullopt;
+  return v->str;
+}
+
+}  // namespace restore::flatjson

@@ -1,0 +1,65 @@
+// Minimal flat-JSON support shared by the campaign trace/manifest formats
+// (faultinject/campaign_io) and the service wire protocol (service/protocol).
+//
+// The formats only ever contain one-level objects whose values are unsigned
+// integers, bools, nulls, strings, or homogeneous arrays of unsigned integers
+// or strings, so a ~100-line recursive-descent parser covers them without an
+// external dependency. Writers emit the same subset, so every value that
+// round-trips through these helpers is reconstructed bit-for-bit.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore::flatjson {
+
+struct Value {
+  enum class Kind {
+    kString,
+    kUint,
+    kBool,
+    kNull,
+    kUintArray,
+    kStringArray,
+  } kind = Kind::kNull;
+  std::string str;
+  u64 uint = 0;
+  bool boolean = false;
+  std::vector<u64> array;
+  std::vector<std::string> str_array;
+};
+
+using Object = std::map<std::string, Value>;
+
+// Parse one flat object; nullopt on malformed input or trailing bytes. An
+// empty array parses as kUintArray; accessors treat that as an empty array of
+// either element type.
+std::optional<Object> parse(std::string_view text);
+
+// ---- writers ----
+
+// Append `s` as a quoted JSON string with ", \, and control escapes.
+void append_string(std::string& out, std::string_view s);
+
+// Append `"key":value` (no separators; callers manage commas and braces).
+void append_field(std::string& out, std::string_view key, u64 value);
+void append_field(std::string& out, std::string_view key, bool value);
+void append_field(std::string& out, std::string_view key, std::string_view value);
+void append_field(std::string& out, std::string_view key,
+                  const std::vector<u64>& values);
+void append_field(std::string& out, std::string_view key,
+                  const std::vector<std::string>& values);
+
+// ---- readers ----
+
+const Value* find(const Object& obj, const std::string& key);
+std::optional<u64> get_uint(const Object& obj, const std::string& key);
+std::optional<bool> get_bool(const Object& obj, const std::string& key);
+std::optional<std::string> get_string(const Object& obj, const std::string& key);
+
+}  // namespace restore::flatjson

@@ -1,5 +1,8 @@
 #include "common/shutdown.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdlib>
 
@@ -8,13 +11,27 @@ namespace restore {
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+// Write end of the wake self-pipe; -1 until shutdown_wake_fd() creates it.
+std::atomic<int> g_wake_write_fd{-1};
 
-// Async-signal-safe: only touches the atomic flag and _Exit. A second signal
-// while the flag is already set means the user wants out *now*.
+// Async-signal-safe: write() is on the sanctioned list, and the fd is armed
+// before handlers can observe it (relaxed is enough: the fd value is
+// published through the same atomic the handler reads).
+void notify_wake_pipe() noexcept {
+  const int fd = g_wake_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+
+// Async-signal-safe: only touches atomics, write() and _Exit. A second
+// signal while the flag is already set means the user wants out *now*.
 extern "C" void shutdown_signal_handler(int /*signum*/) {
   if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
     std::_Exit(130);  // 128 + SIGINT, the conventional interrupted-exit code
   }
+  notify_wake_pipe();
 }
 
 }  // namespace
@@ -36,10 +53,36 @@ bool shutdown_requested() noexcept {
 
 void request_shutdown() noexcept {
   g_shutdown.store(true, std::memory_order_relaxed);
+  notify_wake_pipe();
 }
 
 void reset_shutdown_flag() noexcept {
   g_shutdown.store(false, std::memory_order_relaxed);
+  // Drain any pending wake bytes (the pipe is non-blocking).
+  const int write_fd = g_wake_write_fd.load(std::memory_order_relaxed);
+  if (write_fd >= 0) {
+    const int read_fd = shutdown_wake_fd();
+    char sink[64];
+    while (read_fd >= 0 && ::read(read_fd, sink, sizeof sink) > 0) {
+    }
+  }
+}
+
+int shutdown_wake_fd() noexcept {
+  static const int read_fd = [] {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) return -1;
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+    }
+    g_wake_write_fd.store(fds[1], std::memory_order_relaxed);
+    return fds[0];
+  }();
+  // A shutdown requested before the pipe existed must still read as ready:
+  // arm it retroactively.
+  if (read_fd >= 0 && shutdown_requested()) notify_wake_pipe();
+  return read_fd;
 }
 
 }  // namespace restore

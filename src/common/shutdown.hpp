@@ -26,6 +26,16 @@ bool shutdown_requested() noexcept;
 void request_shutdown() noexcept;
 
 // Clear the flag (tests that simulate shutdown and then continue).
+// Also drains the wake pipe, so a later shutdown can signal it again.
 void reset_shutdown_flag() noexcept;
+
+// Readable fd that becomes ready when shutdown is requested: the read end of
+// a self-pipe the signal handler (and request_shutdown) writes one byte to.
+// Lets poll()-based event loops — the `restored` server — wake up on SIGTERM
+// instead of discovering the flag on their next timeout. The pipe is created
+// on the first call (non-blocking, close-on-exec); returns -1 if pipe
+// creation failed. Call it *before* installing the signal handlers so a
+// signal can never race pipe creation.
+int shutdown_wake_fd() noexcept;
 
 }  // namespace restore

@@ -1,5 +1,7 @@
 #include "faultinject/campaign_io.hpp"
 
+#include "common/flatjson.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -10,245 +12,22 @@ namespace restore::faultinject {
 
 namespace {
 
-// ---- minimal flat-JSON support ----
-//
-// The campaign files only ever contain one-level objects whose values are
-// unsigned integers, bools, nulls, strings, or homogeneous arrays of unsigned
-// integers or strings, so a ~100-line recursive-descent parser covers the
-// full format without an external dependency.
-
-struct JsonValue {
-  enum class Kind {
-    kString,
-    kUint,
-    kBool,
-    kNull,
-    kUintArray,
-    kStringArray,
-  } kind = Kind::kNull;
-  std::string str;
-  u64 uint = 0;
-  bool boolean = false;
-  std::vector<u64> array;
-  std::vector<std::string> str_array;
-};
-
-using JsonObject = std::map<std::string, JsonValue>;
-
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(std::string_view text) : text_(text) {}
-
-  std::optional<JsonObject> parse() {
-    JsonObject obj;
-    skip_ws();
-    if (!consume('{')) return std::nullopt;
-    skip_ws();
-    if (consume('}')) return obj;
-    for (;;) {
-      skip_ws();
-      auto key = parse_string();
-      if (!key) return std::nullopt;
-      skip_ws();
-      if (!consume(':')) return std::nullopt;
-      skip_ws();
-      auto value = parse_value();
-      if (!value) return std::nullopt;
-      obj.emplace(std::move(*key), std::move(*value));
-      skip_ws();
-      if (consume(',')) continue;
-      if (consume('}')) break;
-      return std::nullopt;
-    }
-    skip_ws();
-    return pos_ == text_.size() ? std::optional(std::move(obj)) : std::nullopt;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool consume_word(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<std::string> parse_string() {
-    if (!consume('"')) return std::nullopt;
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          default: return std::nullopt;  // \uXXXX etc. never appear here
-        }
-        continue;
-      }
-      out.push_back(c);
-    }
-    return std::nullopt;
-  }
-
-  std::optional<u64> parse_uint() {
-    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
-      return std::nullopt;
-    }
-    u64 value = 0;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      value = value * 10 + static_cast<u64>(text_[pos_++] - '0');
-    }
-    return value;
-  }
-
-  std::optional<JsonValue> parse_value() {
-    JsonValue value;
-    if (pos_ < text_.size() && text_[pos_] == '"') {
-      auto s = parse_string();
-      if (!s) return std::nullopt;
-      value.kind = JsonValue::Kind::kString;
-      value.str = std::move(*s);
-      return value;
-    }
-    if (consume_word("true")) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = true;
-      return value;
-    }
-    if (consume_word("false")) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = false;
-      return value;
-    }
-    if (consume_word("null")) return value;
-    if (consume('[')) {
-      // An empty array parses as kUintArray; accessors treat that as an empty
-      // array of either element type.
-      value.kind = JsonValue::Kind::kUintArray;
-      skip_ws();
-      if (consume(']')) return value;
-      if (pos_ < text_.size() && text_[pos_] == '"') {
-        value.kind = JsonValue::Kind::kStringArray;
-        for (;;) {
-          skip_ws();
-          auto s = parse_string();
-          if (!s) return std::nullopt;
-          value.str_array.push_back(std::move(*s));
-          skip_ws();
-          if (consume(',')) { skip_ws(); continue; }
-          if (consume(']')) return value;
-          return std::nullopt;
-        }
-      }
-      for (;;) {
-        skip_ws();
-        auto n = parse_uint();
-        if (!n) return std::nullopt;
-        value.array.push_back(*n);
-        skip_ws();
-        if (consume(',')) continue;
-        if (consume(']')) return value;
-        return std::nullopt;
-      }
-    }
-    auto n = parse_uint();
-    if (!n) return std::nullopt;
-    value.kind = JsonValue::Kind::kUint;
-    value.uint = *n;
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-void append_json_string(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default: out.push_back(c);
-    }
-  }
-  out.push_back('"');
-}
-
-void append_field(std::string& out, std::string_view key, u64 value) {
-  out.push_back('"');
-  out += key;
-  out += "\":";
-  out += std::to_string(value);
-}
-
-void append_field(std::string& out, std::string_view key, bool value) {
-  out.push_back('"');
-  out += key;
-  out += value ? "\":true" : "\":false";
-}
-
-void append_field(std::string& out, std::string_view key, std::string_view value) {
-  out.push_back('"');
-  out += key;
-  out += "\":";
-  append_json_string(out, value);
-}
+// Flat-JSON reading/writing is shared with the service wire protocol; see
+// common/flatjson.hpp. The aliases keep the codec bodies below unchanged.
+using flatjson::append_field;
+using flatjson::append_string;  // quoted-and-escaped JSON string
+using flatjson::find;
+using flatjson::get_bool;
+using flatjson::get_string;
+using flatjson::get_uint;
+using JsonValue = flatjson::Value;
+using JsonObject = flatjson::Object;
 
 // Latency fields: kNever is represented by absence.
 void append_latency(std::string& out, std::string_view key, u64 latency) {
   if (latency == kNever) return;
   out.push_back(',');
   append_field(out, key, latency);
-}
-
-const JsonValue* find(const JsonObject& obj, const std::string& key) {
-  const auto it = obj.find(key);
-  return it == obj.end() ? nullptr : &it->second;
-}
-
-std::optional<u64> get_uint(const JsonObject& obj, const std::string& key) {
-  const JsonValue* v = find(obj, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kUint) return std::nullopt;
-  return v->uint;
-}
-
-std::optional<bool> get_bool(const JsonObject& obj, const std::string& key) {
-  const JsonValue* v = find(obj, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return std::nullopt;
-  return v->boolean;
-}
-
-std::optional<std::string> get_string(const JsonObject& obj, const std::string& key) {
-  const JsonValue* v = find(obj, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kString) return std::nullopt;
-  return v->str;
 }
 
 u64 get_latency(const JsonObject& obj, const std::string& key) {
@@ -349,7 +128,7 @@ void write_manifest(const std::string& path, const CampaignManifest& manifest) {
       out += "\":[";
       for (std::size_t i = 0; i < xs.size(); ++i) {
         if (i != 0) out.push_back(',');
-        append_json_string(out, xs[i]);
+        append_string(out, xs[i]);
       }
       out.push_back(']');
     };
@@ -377,7 +156,7 @@ std::optional<CampaignManifest> read_manifest(const std::string& path) {
   buffer << file.rdbuf();
   const std::string text = buffer.str();
 
-  const auto obj = FlatJsonParser(text).parse();
+  const auto obj = flatjson::parse(text);
   if (!obj) throw std::runtime_error("unparseable campaign manifest: " + path);
 
   CampaignManifest manifest;
@@ -469,7 +248,7 @@ std::string trace_header_line(std::string_view kind) {
 }
 
 std::optional<TraceHeader> parse_trace_header(const std::string& line) {
-  const auto obj = FlatJsonParser(line).parse();
+  const auto obj = flatjson::parse(line);
   if (!obj) return std::nullopt;
   const auto version = get_uint(*obj, "schema_version");
   const auto kind = get_string(*obj, "kind");
@@ -512,7 +291,7 @@ std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial) {
 
 std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
     const std::string& line) {
-  const auto obj = FlatJsonParser(line).parse();
+  const auto obj = flatjson::parse(line);
   if (!obj) return std::nullopt;
   const auto shard = get_uint(*obj, "shard");
   const auto slot = get_uint(*obj, "slot");
@@ -588,7 +367,7 @@ std::string uarch_trial_to_jsonl(u64 shard, u64 slot, const UarchTrialRecord& tr
 
 std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
     const std::string& line) {
-  const auto obj = FlatJsonParser(line).parse();
+  const auto obj = flatjson::parse(line);
   if (!obj) return std::nullopt;
   const auto shard = get_uint(*obj, "shard");
   const auto slot = get_uint(*obj, "slot");

@@ -42,6 +42,7 @@
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
 #include "faultinject/campaign_io.hpp"
+#include "faultinject/progress.hpp"
 
 namespace restore::faultinject {
 
@@ -68,6 +69,12 @@ struct CampaignRunOptions {
   // Graceful-shutdown flag, polled between shard starts (never mid-shard).
   // Usually common/shutdown.hpp's process-wide flag; tests pass their own.
   const std::atomic<bool>* stop_flag = nullptr;
+  // Structured progress observer. Every heartbeat/attempt-failure line plus
+  // shard-done/quarantine/complete events flow through one mutex-guarded
+  // ProgressSink, so the callback sees the same total order the stream
+  // prints. Called with the sink mutex held — must not block on campaign
+  // work (the `restored` service forwards events to subscribers from here).
+  CampaignEventCallback on_event;
 };
 
 // One planned shard: trials [trial_begin, trial_begin + trial_count) of
@@ -260,7 +267,30 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
   for (const char d : done) shards_completed += d;
   const u64 resumed_shards = shards_completed;
 
-  const auto heartbeat = [&](std::FILE* stream) {
+  // -- the serialized progress sink --
+  //
+  // Every progress line and structured event funnels through this one
+  // mutex-guarded sink: lines cannot tear or interleave under high worker
+  // counts, and an on_event observer (the `restored` service multiplexing
+  // the stream to socket subscribers) sees events in the exact order the
+  // stream printed them.
+  ProgressSink sink(
+      opts.heartbeat_stream != nullptr ? opts.heartbeat_stream : stderr,
+      opts.on_event);
+  // Snapshot the shared counters into an event. Callers hold io_mutex (or
+  // run before/after the worker pool), so the counts are consistent.
+  const auto make_event = [&](CampaignEvent::Kind kind) {
+    CampaignEvent event;
+    event.kind = kind;
+    event.campaign_kind = identity.kind;
+    event.shards_done = shards_completed;
+    event.shards_total = shards.size();
+    event.trials_done = trials_done;
+    event.trials_total = identity.total_trials;
+    return event;
+  };
+
+  const auto heartbeat = [&] {
     const double elapsed_s = ms_since(campaign_start) / 1000.0;
     const u64 fresh = trials_done - resumed_trials;
     const double rate = elapsed_s > 0 ? static_cast<double>(fresh) / elapsed_s : 0.0;
@@ -269,17 +299,19 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     for (const auto& [tag, n] : outcome_counts) {
       outcomes += ' ' + tag + '=' + std::to_string(n);
     }
-    std::fprintf(stream,
-                 "[campaign %s] shard %llu/%llu | %llu/%llu trials | "
-                 "%.0f trials/s | ETA %.1fs |%s\n",
-                 identity.kind.c_str(),
-                 static_cast<unsigned long long>(shards_completed),
-                 static_cast<unsigned long long>(shards.size()),
-                 static_cast<unsigned long long>(trials_done),
-                 static_cast<unsigned long long>(identity.total_trials),
-                 rate, rate > 0 ? static_cast<double>(remaining) / rate : 0.0,
-                 outcomes.c_str());
-    std::fflush(stream);
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "[campaign %s] shard %llu/%llu | %llu/%llu trials | "
+                  "%.0f trials/s | ETA %.1fs |",
+                  identity.kind.c_str(),
+                  static_cast<unsigned long long>(shards_completed),
+                  static_cast<unsigned long long>(shards.size()),
+                  static_cast<unsigned long long>(trials_done),
+                  static_cast<unsigned long long>(identity.total_trials),
+                  rate, rate > 0 ? static_cast<double>(remaining) / rate : 0.0);
+    auto event = make_event(CampaignEvent::Kind::kHeartbeat);
+    event.text = head + outcomes;
+    sink.emit(event);
   };
 
   // -- run the pending shards under supervision --
@@ -289,9 +321,6 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
   const auto stop_requested = [&opts] {
     return opts.stop_flag != nullptr &&
            opts.stop_flag->load(std::memory_order_relaxed);
-  };
-  const auto log_stream = [&opts] {
-    return opts.heartbeat_stream != nullptr ? opts.heartbeat_stream : stderr;
   };
   // Extract a what() from the in-flight exception of a catch(...) handler.
   const auto current_what = [] {
@@ -307,15 +336,22 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
   // diagnosing a sick host needs the full failure pattern.
   const auto log_attempt_failure = [&](const ShardSpec& shard, u64 attempt,
                                        u64 attempts_max, const std::string& what) {
-    std::FILE* stream = log_stream();
-    std::fprintf(stream,
-                 "[campaign %s] shard %llu (%s) attempt %llu/%llu failed: %s\n",
-                 identity.kind.c_str(),
-                 static_cast<unsigned long long>(shard.index),
-                 shard.workload.c_str(),
-                 static_cast<unsigned long long>(attempt),
-                 static_cast<unsigned long long>(attempts_max), what.c_str());
-    std::fflush(stream);
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "[campaign %s] shard %llu (%s) attempt %llu/%llu failed: ",
+                  identity.kind.c_str(),
+                  static_cast<unsigned long long>(shard.index),
+                  shard.workload.c_str(),
+                  static_cast<unsigned long long>(attempt),
+                  static_cast<unsigned long long>(attempts_max));
+    auto event = make_event(CampaignEvent::Kind::kAttemptFailed);
+    event.shard = shard.index;
+    event.workload = shard.workload;
+    event.attempt = attempt;
+    event.attempts_max = attempts_max;
+    event.error = what;
+    event.text = head + what;
+    sink.emit(event);
   };
   // Record a quarantine in telemetry and (when streaming) the manifest, so
   // tools/campaign_status can report it. The shard is *not* completed, so a
@@ -336,6 +372,15 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
         // write the manifest has nothing better to offer.
       }
     }
+    // No line of its own (the last kAttemptFailed already printed the error);
+    // subscribers still need the structured terminal verdict for the shard.
+    auto event = make_event(CampaignEvent::Kind::kQuarantine);
+    event.shard = shard.index;
+    event.workload = shard.workload;
+    event.attempt = attempts;
+    event.attempts_max = opts.shard_retries + 1;
+    event.error = what;
+    sink.emit(event);
   };
   {
     ThreadPool pool(opts.workers);
@@ -399,10 +444,16 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
             ++shards_completed;
             per_shard[s] = std::move(records);
             done[s] = 1;
+            {
+              auto event = make_event(CampaignEvent::Kind::kShardDone);
+              event.shard = shards[s].index;
+              event.workload = shards[s].workload;
+              sink.emit(event);
+            }
             if (opts.heartbeat_every_shards != 0 &&
                 (shards_completed - resumed_shards) % opts.heartbeat_every_shards ==
                     0) {
-              heartbeat(log_stream());
+              heartbeat();
             }
           } catch (...) {
             const std::string what = current_what();
@@ -439,6 +490,8 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     canonical.flush();
     write_manifest(manifest_path, identity);
   }
+
+  sink.emit(make_event(CampaignEvent::Kind::kComplete));
 
   if (telemetry != nullptr) {
     telemetry->shards.clear();

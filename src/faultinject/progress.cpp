@@ -1,0 +1,18 @@
+#include "faultinject/progress.hpp"
+
+namespace restore::faultinject {
+
+ProgressSink::ProgressSink(std::FILE* stream, CampaignEventCallback callback)
+    : stream_(stream), callback_(std::move(callback)) {}
+
+void ProgressSink::emit(const CampaignEvent& event) {
+  std::lock_guard lock(mutex_);
+  if (!event.text.empty() && stream_ != nullptr) {
+    std::fwrite(event.text.data(), 1, event.text.size(), stream_);
+    std::fputc('\n', stream_);
+    std::fflush(stream_);
+  }
+  if (callback_) callback_(event);
+}
+
+}  // namespace restore::faultinject

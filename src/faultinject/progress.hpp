@@ -1,0 +1,65 @@
+// Structured campaign progress: the event type emitted by the sharded
+// campaign orchestrator and the serialized sink those events flow through.
+//
+// Shards complete concurrently, so anything observing campaign progress —
+// the stderr heartbeat, a --shard-stats writer, or the `restored` service
+// multiplexing the same stream to socket subscribers — must see whole events
+// in a single total order. ProgressSink provides that: one mutex guards both
+// the formatted line written to the FILE* stream and the structured callback,
+// so lines can never tear or interleave under high worker counts and every
+// observer sees the same event sequence.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace restore::faultinject {
+
+struct CampaignEvent {
+  enum class Kind : u8 {
+    kHeartbeat,      // periodic progress line (text carries the line)
+    kShardDone,      // a shard committed to the trace (no line printed)
+    kAttemptFailed,  // one failing attempt of a supervised shard
+    kQuarantine,     // shard gave up after bounded retries (no line of its
+                     // own; the last kAttemptFailed carried the error text)
+    kComplete,       // terminal event: campaign run returned (no line)
+  };
+  Kind kind = Kind::kHeartbeat;
+  std::string campaign_kind;  // "vm" | "uarch"
+  u64 shard = 0;              // shard index (shard-scoped kinds)
+  std::string workload;       // shard workload (shard-scoped kinds)
+  u64 attempt = 0;            // attempts made so far (kAttemptFailed/kQuarantine)
+  u64 attempts_max = 0;       // retry budget (1 + shard_retries)
+  u64 shards_done = 0;
+  u64 shards_total = 0;
+  u64 trials_done = 0;
+  u64 trials_total = 0;
+  std::string error;  // last attempt's what() (kAttemptFailed/kQuarantine)
+  std::string text;   // formatted human line, no trailing newline; empty =
+                      // nothing is printed for this event
+};
+
+// Invoked under the sink mutex, after the line (if any) reached the stream.
+// Must not block on campaign work: every shard commit waits on this mutex.
+using CampaignEventCallback = std::function<void(const CampaignEvent&)>;
+
+class ProgressSink {
+ public:
+  // `stream` may be nullptr (no line output); `callback` may be empty.
+  ProgressSink(std::FILE* stream, CampaignEventCallback callback);
+
+  // Write event.text (if any) as one whole line and hand the event to the
+  // callback, both under the same mutex.
+  void emit(const CampaignEvent& event);
+
+ private:
+  std::mutex mutex_;
+  std::FILE* stream_;
+  CampaignEventCallback callback_;
+};
+
+}  // namespace restore::faultinject

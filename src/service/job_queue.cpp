@@ -1,0 +1,205 @@
+#include "service/job_queue.hpp"
+
+#include <limits>
+
+#include "faultinject/orchestrator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace restore::service {
+
+std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kQuarantined: return "quarantined";
+    case JobState::kStopped: return "stopped";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState state) noexcept {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+u64 job_state_exit_code(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+    case JobState::kDone: return 0;
+    case JobState::kQuarantined: return 3;
+    case JobState::kStopped: return 130;
+    case JobState::kFailed: return 1;
+  }
+  return 1;
+}
+
+// ---- JobSpec -> campaign config mapping ----
+
+std::optional<std::string> spec_error(const JobSpec& spec) {
+  if (spec.kind != "vm" && spec.kind != "uarch") {
+    return "unknown campaign kind '" + spec.kind + "' (expected vm or uarch)";
+  }
+  if (spec.model != "result" && spec.model != "register") {
+    return "unknown vm fault model '" + spec.model +
+           "' (expected result or register)";
+  }
+  for (const auto& name : spec.workloads) {
+    try {
+      workloads::by_name(name);
+    } catch (const std::exception&) {
+      return "unknown workload '" + name + "'";
+    }
+  }
+  return std::nullopt;
+}
+
+faultinject::VmCampaignConfig vm_config_for(const JobSpec& spec) {
+  faultinject::VmCampaignConfig config;
+  config.seed = spec.seed;
+  if (spec.trials != 0) config.trials_per_workload = spec.trials;
+  config.low32_only = spec.low32;
+  config.model = spec.model == "register" ? faultinject::VmFaultModel::kRegisterBit
+                                          : faultinject::VmFaultModel::kResultBit;
+  config.workloads = spec.workloads;
+  return config;
+}
+
+faultinject::UarchCampaignConfig uarch_config_for(const JobSpec& spec) {
+  faultinject::UarchCampaignConfig config;
+  config.seed = spec.seed;
+  if (spec.trials != 0) config.trials_per_workload = spec.trials;
+  config.latches_only = spec.latches_only;
+  config.workloads = spec.workloads;
+  return config;
+}
+
+u64 spec_config_hash(const JobSpec& spec) {
+  if (spec.kind == "uarch") return faultinject::config_hash(uarch_config_for(spec));
+  return faultinject::config_hash(vm_config_for(spec));
+}
+
+u64 spec_shard_trials(const JobSpec& spec) {
+  return spec.shard_trials != 0 ? spec.shard_trials
+                                : faultinject::kDefaultShardTrials;
+}
+
+std::string spec_trace_filename(const JobSpec& spec) {
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(spec_config_hash(spec)));
+  return spec.kind + "-" + hash + "-s" + std::to_string(spec_shard_trials(spec)) +
+         ".jsonl";
+}
+
+// ---- the queue ----
+
+JobQueue::Submitted JobQueue::submit(const JobSpec& spec, u64 priority,
+                                     std::string trace_path,
+                                     bool already_complete) {
+  std::lock_guard lock(mutex_);
+  const std::string key = spec_trace_filename(spec);
+
+  if (!already_complete) {
+    if (const auto it = active_.find(key); it != active_.end()) {
+      const Job& job = jobs_.at(it->second);
+      return Submitted{it->second, /*attached=*/true, job.snap.state};
+    }
+  }
+
+  Job job;
+  job.seq = next_seq_++;
+  job.snap.id = next_id_++;
+  job.snap.spec = spec;
+  job.snap.config_hash = spec_config_hash(spec);
+  job.snap.priority = priority;
+  job.snap.trace_path = std::move(trace_path);
+  if (already_complete) {
+    job.snap.state = JobState::kDone;
+    job.snap.exit_code = job_state_exit_code(JobState::kDone);
+  } else {
+    job.snap.state = JobState::kQueued;
+    active_.emplace(key, job.snap.id);
+    ready_.emplace(std::numeric_limits<u64>::max() - priority, job.seq,
+                   job.snap.id);
+  }
+  const Submitted result{job.snap.id, /*attached=*/false, job.snap.state};
+  jobs_.emplace(job.snap.id, std::move(job));
+  if (!already_complete) ready_cv_.notify_one();
+  return result;
+}
+
+std::optional<u64> JobQueue::pop_ready() {
+  std::unique_lock lock(mutex_);
+  ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+  if (shutdown_) return std::nullopt;
+  const auto it = ready_.begin();
+  const u64 id = std::get<2>(*it);
+  ready_.erase(it);
+  jobs_.at(id).snap.state = JobState::kRunning;
+  return id;
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+void JobQueue::update_progress(u64 id, u64 trials_done, u64 trials_total,
+                               u64 shards_done, u64 shards_total,
+                               u64 quarantined_shards) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.snap.trials_done = trials_done;
+  it->second.snap.trials_total = trials_total;
+  it->second.snap.shards_done = shards_done;
+  it->second.snap.shards_total = shards_total;
+  it->second.snap.quarantined_shards = quarantined_shards;
+}
+
+void JobQueue::mark_finished(u64 id, JobState state, const std::string& error) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.snap.state = state;
+  it->second.snap.exit_code = job_state_exit_code(state);
+  it->second.snap.error = error;
+  active_.erase(spec_trace_filename(it->second.snap.spec));
+}
+
+std::vector<u64> JobQueue::stop_queued() {
+  std::lock_guard lock(mutex_);
+  std::vector<u64> stopped;
+  for (const auto& [inv_priority, seq, id] : ready_) {
+    auto& snap = jobs_.at(id).snap;
+    snap.state = JobState::kStopped;
+    snap.exit_code = job_state_exit_code(JobState::kStopped);
+    snap.error = "daemon drained before the job started";
+    active_.erase(spec_trace_filename(snap.spec));
+    stopped.push_back(id);
+  }
+  ready_.clear();
+  return stopped;
+}
+
+std::optional<JobSnapshot> JobQueue::snapshot(u64 id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.snap;
+}
+
+std::vector<u64> JobQueue::job_ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<u64> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace restore::service

@@ -1,0 +1,133 @@
+// Campaign job queue of the `restored` service.
+//
+// Jobs are keyed by campaign identity: the existing config_hash of the
+// campaign config a JobSpec maps onto, extended with the shard geometry
+// (shard_trials changes the sampling and therefore the trace). Submitting a
+// spec whose identity matches a queued or running job *attaches* to it
+// instead of creating a second run; a spec whose spool trace is already
+// complete is a cache hit and never reaches the queue at all (the server
+// makes that call — the queue just accepts the pre-finished job record).
+//
+// Scheduling is a priority FIFO: higher `priority` pops first, ties run in
+// submission order. Worker threads block in pop_ready(); shutdown() wakes
+// them all with "no more work" so a draining daemon can join its runners.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "faultinject/uarch_campaign.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "service/protocol.hpp"
+
+namespace restore::service {
+
+enum class JobState : u8 {
+  kQueued,
+  kRunning,
+  kDone,         // complete trace on disk, exit 0
+  kQuarantined,  // partial: quarantined shards remain, exit 3
+  kStopped,      // graceful shutdown cut the run, exit 130, resumable
+  kFailed,       // the campaign threw (bad spec, alien spool manifest), exit 1
+};
+
+std::string_view to_string(JobState state) noexcept;
+bool job_state_terminal(JobState state) noexcept;
+
+// Process exit-code semantics of a terminal state (matches the batch CLI:
+// 0 complete, 3 quarantined, 130 stopped, 1 failed).
+u64 job_state_exit_code(JobState state) noexcept;
+
+struct JobSnapshot {
+  u64 id = 0;
+  JobSpec spec;
+  u64 config_hash = 0;   // campaign config hash (identity also covers geometry)
+  u64 priority = 0;
+  JobState state = JobState::kQueued;
+  std::string trace_path;
+  u64 trials_done = 0;
+  u64 trials_total = 0;
+  u64 shards_done = 0;
+  u64 shards_total = 0;
+  u64 quarantined_shards = 0;
+  u64 exit_code = 0;
+  std::string error;
+};
+
+// ---- JobSpec -> campaign config mapping (implemented over faultinject) ----
+
+// Human-readable validation; nullopt when the spec is runnable.
+std::optional<std::string> spec_error(const JobSpec& spec);
+
+// The campaign configs a spec maps onto (spec.kind selects which is used).
+faultinject::VmCampaignConfig vm_config_for(const JobSpec& spec);
+faultinject::UarchCampaignConfig uarch_config_for(const JobSpec& spec);
+
+// The campaign config_hash the spec maps onto (kind-dispatched).
+u64 spec_config_hash(const JobSpec& spec);
+
+// Effective shard geometry (0 resolved to the orchestrator default).
+u64 spec_shard_trials(const JobSpec& spec);
+
+// Dedup/spool key: config_hash x shard geometry, as a filesystem-safe name
+// ("vm-0123456789abcdef-s32.jsonl"). Two specs with the same key produce
+// byte-identical traces, which is what makes attaching and caching sound.
+std::string spec_trace_filename(const JobSpec& spec);
+
+class JobQueue {
+ public:
+  struct Submitted {
+    u64 id = 0;
+    bool attached = false;  // identity matched a queued/running job
+    JobState state = JobState::kQueued;
+  };
+
+  // Enqueue `spec`, or attach to the queued/running job with the same
+  // identity. With `already_complete`, record the job as kDone without
+  // enqueueing it (the server verified a complete spool trace).
+  Submitted submit(const JobSpec& spec, u64 priority, std::string trace_path,
+                   bool already_complete);
+
+  // Block until a queued job is available (marks it running and returns its
+  // id) or shutdown() was called (returns nullopt).
+  std::optional<u64> pop_ready();
+
+  // Wake every pop_ready() waiter; subsequent pops return nullopt. Queued
+  // jobs stay queued — the draining server marks them stopped itself.
+  void shutdown();
+
+  // Runner-side bookkeeping.
+  void update_progress(u64 id, u64 trials_done, u64 trials_total, u64 shards_done,
+                       u64 shards_total, u64 quarantined_shards);
+  void mark_finished(u64 id, JobState state, const std::string& error);
+
+  // Mark every still-queued job kStopped and return their ids (drain path).
+  std::vector<u64> stop_queued();
+
+  std::optional<JobSnapshot> snapshot(u64 id) const;
+  std::vector<u64> job_ids() const;  // submission order
+
+ private:
+  struct Job {
+    u64 seq = 0;  // FIFO tiebreak within a priority band
+    JobSnapshot snap;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<u64, Job> jobs_;                 // id -> job, submission order
+  std::map<std::string, u64> active_;      // identity key -> queued/running id
+  // Ascending iteration pops (max priority, min seq) first.
+  std::set<std::tuple<u64, u64, u64>> ready_;  // (~priority, seq, id)
+  u64 next_id_ = 1;
+  u64 next_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace restore::service

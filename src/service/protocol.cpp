@@ -1,0 +1,356 @@
+#include "service/protocol.hpp"
+
+#include <stdexcept>
+
+#include "common/flatjson.hpp"
+
+namespace restore::service {
+
+// ---- framing ----
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("service frame payload exceeds kMaxFramePayload (" +
+                            std::to_string(payload.size()) + " bytes)");
+  }
+  const u32 size = static_cast<u32>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((size >> 24) & 0xff));
+  out.push_back(static_cast<char>((size >> 16) & 0xff));
+  out.push_back(static_cast<char>((size >> 8) & 0xff));
+  out.push_back(static_cast<char>(size & 0xff));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  if (error()) return;  // a poisoned stream never resyncs
+  buffer_.append(data, size);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (error()) return std::nullopt;
+  if (buffer_.size() - cursor_ < kFrameHeaderBytes) return std::nullopt;
+  const auto* head = reinterpret_cast<const unsigned char*>(buffer_.data() + cursor_);
+  const u32 size = (static_cast<u32>(head[0]) << 24) |
+                   (static_cast<u32>(head[1]) << 16) |
+                   (static_cast<u32>(head[2]) << 8) | static_cast<u32>(head[3]);
+  if (size > kMaxFramePayload) {
+    error_text_ = "oversize frame: " + std::to_string(size) +
+                  " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                  "-byte payload limit";
+    buffer_.clear();
+    cursor_ = 0;
+    return std::nullopt;
+  }
+  if (buffer_.size() - cursor_ < kFrameHeaderBytes + size) return std::nullopt;
+  std::string payload = buffer_.substr(cursor_ + kFrameHeaderBytes, size);
+  cursor_ += kFrameHeaderBytes + size;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (cursor_ > 4096 && cursor_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, cursor_);
+    cursor_ = 0;
+  }
+  return payload;
+}
+
+// ---- message type tags ----
+
+namespace {
+
+struct TypeName {
+  MessageType type;
+  std::string_view name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {MessageType::kPing, "ping"},
+    {MessageType::kSubmit, "submit"},
+    {MessageType::kStatus, "status"},
+    {MessageType::kList, "list"},
+    {MessageType::kSubscribe, "subscribe"},
+    {MessageType::kFetch, "fetch"},
+    {MessageType::kPong, "pong"},
+    {MessageType::kSubmitted, "submitted"},
+    {MessageType::kEvent, "event"},
+    {MessageType::kDone, "done"},
+    {MessageType::kJobStatus, "job-status"},
+    {MessageType::kListEnd, "list-end"},
+    {MessageType::kTraceData, "trace-data"},
+    {MessageType::kTraceEnd, "trace-end"},
+    {MessageType::kError, "error"},
+    {MessageType::kShutdown, "shutdown"},
+};
+
+}  // namespace
+
+std::string_view to_string(MessageType type) noexcept {
+  for (const auto& entry : kTypeNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<MessageType> message_type_from_string(std::string_view name) noexcept {
+  for (const auto& entry : kTypeNames) {
+    if (entry.name == name) return entry.type;
+  }
+  return std::nullopt;
+}
+
+// ---- message codec ----
+
+namespace {
+
+using flatjson::append_field;
+using flatjson::get_bool;
+using flatjson::get_string;
+using flatjson::get_uint;
+
+void field(std::string& out, std::string_view key, u64 value) {
+  out.push_back(',');
+  append_field(out, key, value);
+}
+void field(std::string& out, std::string_view key, bool value) {
+  out.push_back(',');
+  append_field(out, key, value);
+}
+void field(std::string& out, std::string_view key, std::string_view value) {
+  out.push_back(',');
+  append_field(out, key, value);
+}
+void field(std::string& out, std::string_view key,
+           const std::vector<std::string>& values) {
+  out.push_back(',');
+  append_field(out, key, values);
+}
+
+bool job_scoped(MessageType type) {
+  switch (type) {
+    case MessageType::kStatus:
+    case MessageType::kSubscribe:
+    case MessageType::kFetch:
+    case MessageType::kSubmitted:
+    case MessageType::kEvent:
+    case MessageType::kDone:
+    case MessageType::kJobStatus:
+    case MessageType::kTraceData:
+    case MessageType::kTraceEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string encode_message(const WireMessage& msg) {
+  std::string out = "{";
+  flatjson::append_field(out, "type", to_string(msg.type));
+  if (job_scoped(msg.type)) field(out, "job", msg.job);
+  switch (msg.type) {
+    case MessageType::kPing:
+    case MessageType::kList:
+    case MessageType::kStatus:
+    case MessageType::kSubscribe:
+    case MessageType::kFetch:
+      break;
+    case MessageType::kPong:
+      field(out, "version", msg.version);
+      break;
+    case MessageType::kSubmit:
+      field(out, "kind", std::string_view(msg.spec.kind));
+      field(out, "seed", msg.spec.seed);
+      field(out, "trials", msg.spec.trials);
+      field(out, "shard_trials", msg.spec.shard_trials);
+      if (!msg.spec.workloads.empty()) field(out, "workloads", msg.spec.workloads);
+      field(out, "low32", msg.spec.low32);
+      field(out, "model", std::string_view(msg.spec.model));
+      field(out, "latches_only", msg.spec.latches_only);
+      field(out, "priority", msg.priority);
+      field(out, "subscribe", msg.want_events);
+      break;
+    case MessageType::kSubmitted:
+      field(out, "config_hash", msg.config_hash);
+      field(out, "state", std::string_view(msg.state));
+      field(out, "attached", msg.attached);
+      field(out, "cached", msg.cached);
+      field(out, "trace", std::string_view(msg.trace));
+      break;
+    case MessageType::kEvent:
+      field(out, "event", std::string_view(msg.event));
+      field(out, "shard", msg.shard);
+      if (!msg.workload.empty()) field(out, "workload", std::string_view(msg.workload));
+      field(out, "attempt", msg.attempt);
+      field(out, "attempts_max", msg.attempts_max);
+      field(out, "shards_done", msg.shards_done);
+      field(out, "shards_total", msg.shards_total);
+      field(out, "trials_done", msg.trials_done);
+      field(out, "trials_total", msg.trials_total);
+      if (!msg.text.empty()) field(out, "text", std::string_view(msg.text));
+      break;
+    case MessageType::kDone:
+      field(out, "state", std::string_view(msg.state));
+      field(out, "exit_code", msg.exit_code);
+      field(out, "trials_done", msg.trials_done);
+      field(out, "trace", std::string_view(msg.trace));
+      if (!msg.text.empty()) field(out, "text", std::string_view(msg.text));
+      break;
+    case MessageType::kJobStatus:
+      field(out, "kind", std::string_view(msg.spec.kind));
+      field(out, "state", std::string_view(msg.state));
+      field(out, "config_hash", msg.config_hash);
+      field(out, "priority", msg.priority);
+      field(out, "trials_done", msg.trials_done);
+      field(out, "trials_total", msg.trials_total);
+      field(out, "shards_done", msg.shards_done);
+      field(out, "shards_total", msg.shards_total);
+      field(out, "quarantined", msg.quarantined);
+      field(out, "exit_code", msg.exit_code);
+      field(out, "trace", std::string_view(msg.trace));
+      if (!msg.text.empty()) field(out, "text", std::string_view(msg.text));
+      break;
+    case MessageType::kListEnd:
+      field(out, "count", msg.count);
+      break;
+    case MessageType::kTraceData:
+      field(out, "data", std::string_view(msg.data));
+      break;
+    case MessageType::kTraceEnd:
+      field(out, "bytes", msg.bytes);
+      break;
+    case MessageType::kError:
+    case MessageType::kShutdown:
+      field(out, "text", std::string_view(msg.text));
+      break;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::optional<WireMessage> decode_message(const std::string& payload) {
+  const auto obj = flatjson::parse(payload);
+  if (!obj) return std::nullopt;
+  const auto type_name = get_string(*obj, "type");
+  if (!type_name) return std::nullopt;
+  const auto type = message_type_from_string(*type_name);
+  if (!type) return std::nullopt;
+
+  WireMessage msg;
+  msg.type = *type;
+  if (job_scoped(msg.type)) {
+    const auto job = get_uint(*obj, "job");
+    if (!job) return std::nullopt;
+    msg.job = *job;
+  }
+  switch (msg.type) {
+    case MessageType::kPing:
+    case MessageType::kList:
+    case MessageType::kStatus:
+    case MessageType::kSubscribe:
+    case MessageType::kFetch:
+      break;
+    case MessageType::kPong:
+      msg.version = get_uint(*obj, "version").value_or(0);
+      break;
+    case MessageType::kSubmit: {
+      const auto kind = get_string(*obj, "kind");
+      const auto seed = get_uint(*obj, "seed");
+      if (!kind || !seed) return std::nullopt;
+      msg.spec.kind = *kind;
+      msg.spec.seed = *seed;
+      msg.spec.trials = get_uint(*obj, "trials").value_or(0);
+      msg.spec.shard_trials = get_uint(*obj, "shard_trials").value_or(0);
+      if (const auto* v = flatjson::find(*obj, "workloads")) {
+        if (v->kind == flatjson::Value::Kind::kStringArray) {
+          msg.spec.workloads = v->str_array;
+        } else if (!(v->kind == flatjson::Value::Kind::kUintArray &&
+                     v->array.empty())) {
+          return std::nullopt;
+        }
+      }
+      msg.spec.low32 = get_bool(*obj, "low32").value_or(false);
+      msg.spec.model = get_string(*obj, "model").value_or("result");
+      msg.spec.latches_only = get_bool(*obj, "latches_only").value_or(false);
+      msg.priority = get_uint(*obj, "priority").value_or(0);
+      msg.want_events = get_bool(*obj, "subscribe").value_or(false);
+      break;
+    }
+    case MessageType::kSubmitted: {
+      const auto state = get_string(*obj, "state");
+      if (!state) return std::nullopt;
+      msg.state = *state;
+      msg.config_hash = get_uint(*obj, "config_hash").value_or(0);
+      msg.attached = get_bool(*obj, "attached").value_or(false);
+      msg.cached = get_bool(*obj, "cached").value_or(false);
+      msg.trace = get_string(*obj, "trace").value_or("");
+      break;
+    }
+    case MessageType::kEvent: {
+      const auto event = get_string(*obj, "event");
+      if (!event) return std::nullopt;
+      msg.event = *event;
+      msg.shard = get_uint(*obj, "shard").value_or(0);
+      msg.workload = get_string(*obj, "workload").value_or("");
+      msg.attempt = get_uint(*obj, "attempt").value_or(0);
+      msg.attempts_max = get_uint(*obj, "attempts_max").value_or(0);
+      msg.shards_done = get_uint(*obj, "shards_done").value_or(0);
+      msg.shards_total = get_uint(*obj, "shards_total").value_or(0);
+      msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
+      msg.trials_total = get_uint(*obj, "trials_total").value_or(0);
+      msg.text = get_string(*obj, "text").value_or("");
+      break;
+    }
+    case MessageType::kDone: {
+      const auto state = get_string(*obj, "state");
+      if (!state) return std::nullopt;
+      msg.state = *state;
+      msg.exit_code = get_uint(*obj, "exit_code").value_or(0);
+      msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
+      msg.trace = get_string(*obj, "trace").value_or("");
+      msg.text = get_string(*obj, "text").value_or("");
+      break;
+    }
+    case MessageType::kJobStatus: {
+      const auto state = get_string(*obj, "state");
+      if (!state) return std::nullopt;
+      msg.state = *state;
+      msg.spec.kind = get_string(*obj, "kind").value_or("");
+      msg.config_hash = get_uint(*obj, "config_hash").value_or(0);
+      msg.priority = get_uint(*obj, "priority").value_or(0);
+      msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
+      msg.trials_total = get_uint(*obj, "trials_total").value_or(0);
+      msg.shards_done = get_uint(*obj, "shards_done").value_or(0);
+      msg.shards_total = get_uint(*obj, "shards_total").value_or(0);
+      msg.quarantined = get_uint(*obj, "quarantined").value_or(0);
+      msg.exit_code = get_uint(*obj, "exit_code").value_or(0);
+      msg.trace = get_string(*obj, "trace").value_or("");
+      msg.text = get_string(*obj, "text").value_or("");
+      break;
+    }
+    case MessageType::kListEnd:
+      msg.count = get_uint(*obj, "count").value_or(0);
+      break;
+    case MessageType::kTraceData: {
+      const auto data = get_string(*obj, "data");
+      if (!data) return std::nullopt;
+      msg.data = *data;
+      break;
+    }
+    case MessageType::kTraceEnd:
+      msg.bytes = get_uint(*obj, "bytes").value_or(0);
+      break;
+    case MessageType::kError:
+    case MessageType::kShutdown: {
+      const auto text = get_string(*obj, "text");
+      if (!text) return std::nullopt;
+      msg.text = *text;
+      break;
+    }
+  }
+  return msg;
+}
+
+}  // namespace restore::service

@@ -1,0 +1,154 @@
+// Wire protocol of the `restored` campaign service.
+//
+// Transport: a byte stream (Unix-domain or TCP socket) carrying framed
+// messages. Each frame is a 4-byte big-endian payload length followed by
+// exactly that many payload bytes; payloads larger than kMaxFramePayload are
+// a protocol error and poison the connection (a stream cannot be resynced
+// once a length prefix is untrusted). FrameReader reassembles frames from
+// arbitrarily split or coalesced reads, so callers just feed it whatever
+// recv() returned.
+//
+// Payloads are flat JSON objects (common/flatjson.hpp) with a mandatory
+// "type" field. The full message grammar lives in docs/ARCHITECTURE.md;
+// in short:
+//
+//   client -> server   ping | submit | status | list | subscribe | fetch
+//   server -> client   pong | submitted | event | done | job-status |
+//                      list-end | trace-data | trace-end | error | shutdown
+//
+// Every value is an unsigned integer, bool, string, or string array, so a
+// decoded message reconstructs the encoded one bit-for-bit (round-trip
+// exactness is what lets the service hand back byte-identical traces).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace restore::service {
+
+// ---- framing ----
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+// Generous for control messages and trace chunks alike; a frame above this is
+// a corrupt or hostile stream, not a big message.
+inline constexpr u32 kMaxFramePayload = 1u << 20;
+// Trace bytes are streamed in chunks of this size (before JSON escaping).
+inline constexpr std::size_t kTraceChunkBytes = 48 * 1024;
+inline constexpr u64 kProtocolVersion = 1;
+
+// Length-prefix `payload`; throws std::length_error above kMaxFramePayload.
+std::string encode_frame(std::string_view payload);
+
+// Incremental frame reassembly over a byte stream. Feed it raw read() data in
+// any fragmentation; next() yields complete payloads in order. An oversize
+// length prefix puts the reader in a permanent error state (and next()
+// returns nullopt forever): the connection must be dropped.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size);
+  std::optional<std::string> next();
+
+  bool error() const noexcept { return !error_text_.empty(); }
+  const std::string& error_text() const noexcept { return error_text_; }
+  // Bytes buffered but not yet returned (tests).
+  std::size_t pending_bytes() const noexcept { return buffer_.size() - cursor_; }
+
+ private:
+  std::string buffer_;
+  std::size_t cursor_ = 0;  // consumed prefix of buffer_
+  std::string error_text_;
+};
+
+// ---- messages ----
+
+enum class MessageType : u8 {
+  // client -> server
+  kPing,
+  kSubmit,
+  kStatus,
+  kList,
+  kSubscribe,
+  kFetch,
+  // server -> client
+  kPong,
+  kSubmitted,
+  kEvent,
+  kDone,
+  kJobStatus,
+  kListEnd,
+  kTraceData,
+  kTraceEnd,
+  kError,
+  kShutdown,
+};
+
+std::string_view to_string(MessageType type) noexcept;
+std::optional<MessageType> message_type_from_string(std::string_view name) noexcept;
+
+// A campaign job as submitted over the wire. Maps 1:1 onto the fields of
+// VmCampaignConfig / UarchCampaignConfig that the service exposes; the
+// server derives the campaign identity (config_hash) from it, so two
+// submissions with equal specs are the same job.
+struct JobSpec {
+  std::string kind = "vm";  // "vm" | "uarch"
+  u64 seed = 0x5EED;
+  u64 trials = 0;           // trials per workload; 0 = campaign default
+  u64 shard_trials = 0;     // shard geometry; 0 = orchestrator default
+  std::vector<std::string> workloads;  // empty = all seven
+  bool low32 = false;                  // vm: restrict flips to low 32 bits
+  std::string model = "result";        // vm: "result" | "register"
+  bool latches_only = false;           // uarch: pipeline latches only
+
+  bool operator==(const JobSpec&) const = default;
+};
+
+// One decoded protocol message: the `type` tag plus the superset of fields
+// the individual types use. encode_message writes only the fields relevant
+// for msg.type; decode_message validates the type-specific required fields.
+struct WireMessage {
+  MessageType type = MessageType::kPing;
+
+  JobSpec spec;              // submit
+  u64 priority = 0;          // submit (higher runs earlier), job-status
+  bool want_events = false;  // submit: stream events until done
+
+  u64 job = 0;          // every job-scoped message
+  u64 config_hash = 0;  // submitted, job-status
+  std::string state;    // submitted, job-status, done
+  bool attached = false;  // submitted: deduped onto an in-flight job
+  bool cached = false;    // submitted: served complete from the spool
+  std::string trace;      // submitted, job-status, done: spool trace path
+
+  std::string event;     // event: heartbeat|shard-done|attempt-failed|
+                         //        quarantine|complete
+  u64 shard = 0;         // event (shard-scoped kinds)
+  std::string workload;  // event (shard-scoped kinds)
+  u64 attempt = 0;       // event
+  u64 attempts_max = 0;  // event
+  u64 shards_done = 0;   // event, job-status
+  u64 shards_total = 0;  // event, job-status
+  u64 trials_done = 0;   // event, job-status
+  u64 trials_total = 0;  // event, job-status
+  u64 quarantined = 0;   // job-status: quarantined shard count
+
+  u64 exit_code = 0;  // done, job-status
+  u64 count = 0;      // list-end: job-status frames that preceded it
+  u64 bytes = 0;      // trace-end: total trace bytes streamed
+  u64 version = 0;    // pong
+  std::string data;   // trace-data chunk
+  std::string text;   // error/shutdown message, event line, done/job-status
+                      // failure detail
+};
+
+// Serialize one message as a flat-JSON payload (no framing).
+std::string encode_message(const WireMessage& msg);
+
+// Parse a payload; nullopt on malformed JSON, unknown type, or a missing
+// required field for the tagged type.
+std::optional<WireMessage> decode_message(const std::string& payload);
+
+}  // namespace restore::service

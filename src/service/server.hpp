@@ -1,0 +1,150 @@
+// The `restored` campaign server.
+//
+// One IO thread owns every socket: it accepts connections on a Unix-domain
+// listener (and an optional TCP listener), reassembles frames, decodes
+// messages and writes replies. Campaign execution happens on a small pool of
+// runner threads that block in JobQueue::pop_ready(); they never touch a
+// socket. The two sides meet at a mutex-guarded notice queue: a runner's
+// progress callback pushes campaign events (and one completion notice per
+// job) and wakes the IO thread through a self-pipe, and the IO thread turns
+// notices into `event` / `done` frames for subscribed clients.
+//
+// Jobs are deduplicated by campaign identity (spec_trace_filename): a spec
+// matching a queued or running job attaches to it, and a spec whose spool
+// trace is already complete (manifest matches, every shard committed, no
+// quarantine) is answered from the spool without running anything. Traces are
+// produced by the same run_sharded_campaign orchestrator the batch CLIs use,
+// with resume enabled, so a daemon restarted mid-job converges to the same
+// byte-identical trace a direct run produces.
+//
+// Shutdown: stop() — or the wake fd turning readable, wired to
+// common/shutdown's SIGTERM self-pipe — closes the listeners, shuts the
+// queue down and lets in-flight campaigns drain their running shards via the
+// shared stop flag. Still-queued jobs are marked stopped (resumable on
+// restart), subscribers get their `done` frames, every client gets a
+// `shutdown` frame, and run() returns 0.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultinject/progress.hpp"
+#include "service/job_queue.hpp"
+
+namespace restore::service {
+
+struct ServerOptions {
+  std::string socket_path;  // Unix-domain listener path (required)
+  std::string listen;       // optional TCP "host:port" ("" = Unix only)
+  std::string spool_dir = ".";  // traces + manifests live here
+  // Runner threads = campaigns in flight at once. 0 is an accept-only test
+  // hook: jobs queue up but never start, so attach behaviour is
+  // deterministic to observe.
+  std::size_t job_workers = 1;
+  std::size_t campaign_workers = 0;  // shard workers per campaign (0 = inline)
+  u64 heartbeat_every_shards = 1;
+  u64 shard_retries = 2;
+  u64 retry_backoff_ms = 50;
+  // Graceful-stop flag handed to every campaign (usually
+  // common/shutdown's process-wide flag; tests pass their own).
+  const std::atomic<bool>* stop_flag = nullptr;
+  // Becomes readable when the process should drain (usually
+  // common/shutdown's wake fd); -1 = stop() only.
+  int wake_fd = -1;
+  std::FILE* log_stream = nullptr;  // daemon log lines; nullptr = quiet
+};
+
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerOptions opts);
+  ~CampaignServer();
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  // Create the spool dir, bind the listeners and spawn the runner threads.
+  // Throws std::runtime_error when a listener cannot be bound.
+  void start();
+
+  // Serve until stop() is called or the wake fd turns readable. Returns the
+  // daemon exit code: 0 after a clean drain.
+  int run();
+
+  // Request a drain from any thread (idempotent).
+  void stop();
+
+  // Campaigns actually executed by a runner — cache hits and attaches
+  // excluded (test hook).
+  u64 campaigns_run() const noexcept {
+    return campaigns_run_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& unix_socket_path() const noexcept {
+    return opts_.socket_path;
+  }
+
+ private:
+  struct Client {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;    // framed bytes not yet written
+    bool closing = false;  // close once outbuf drains (protocol error path)
+    std::set<u64> subscriptions;  // job ids this client streams
+  };
+
+  // A runner -> IO-thread handoff: either one campaign event of `job` or
+  // (finished) the news that `job` reached a terminal state.
+  struct Notice {
+    u64 job = 0;
+    bool finished = false;
+    faultinject::CampaignEvent event;
+  };
+
+  void runner_loop();
+  void run_job(u64 id);
+  void push_notice(Notice notice);
+  void drain_notices();
+
+  void accept_clients(int listener);
+  void read_client(Client& client);
+  void flush_client(Client& client);
+  void close_client(int fd);
+  void handle_message(Client& client, const WireMessage& msg);
+  void handle_submit(Client& client, const WireMessage& msg);
+  void handle_fetch(Client& client, const WireMessage& msg);
+  void send_message(Client& client, const WireMessage& msg);
+  void send_error(Client& client, const std::string& text);
+  void broadcast_done(u64 job);
+
+  WireMessage job_status_message(const JobSnapshot& snap) const;
+  WireMessage done_message(const JobSnapshot& snap) const;
+
+  void begin_drain();
+  void finish_drain();
+  void log(const char* format, ...);
+
+  ServerOptions opts_;
+  JobQueue queue_;
+  std::vector<std::thread> runners_;
+  std::atomic<std::size_t> runners_alive_{0};
+  std::atomic<u64> campaigns_run_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex notice_mutex_;
+  std::deque<Notice> notices_;
+
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  int notify_read_ = -1;
+  int notify_write_ = -1;
+  std::map<int, Client> clients_;  // fd -> client (deterministic iteration)
+  bool draining_ = false;          // IO-thread state: listeners closed
+};
+
+}  // namespace restore::service

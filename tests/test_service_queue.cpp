@@ -1,0 +1,255 @@
+// JobQueue semantics: identity-keyed dedup (attach), priority-FIFO ordering,
+// cache-hit submission, drain behaviour, and the spec -> campaign config
+// mapping (including exit-code semantics shared with the batch CLI).
+#include "service/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultinject/orchestrator.hpp"
+
+using namespace restore;
+using service::JobQueue;
+using service::JobSpec;
+using service::JobState;
+
+namespace {
+
+JobSpec small_vm_spec(u64 seed = 7) {
+  JobSpec spec;
+  spec.kind = "vm";
+  spec.seed = seed;
+  spec.trials = 8;
+  spec.shard_trials = 4;
+  spec.workloads = {"gzip", "mcf"};
+  return spec;
+}
+
+}  // namespace
+
+TEST(ServiceJobQueue, DuplicateSubmissionAttaches) {
+  JobQueue queue;
+  const JobSpec spec = small_vm_spec();
+  const auto first = queue.submit(spec, 0, "spool/a.jsonl", false);
+  EXPECT_FALSE(first.attached);
+  EXPECT_EQ(first.state, JobState::kQueued);
+
+  // Same identity: attach, even while still queued.
+  const auto dup = queue.submit(spec, 0, "spool/a.jsonl", false);
+  EXPECT_TRUE(dup.attached);
+  EXPECT_EQ(dup.id, first.id);
+
+  // Still the same identity after it starts running.
+  const auto popped = queue.pop_ready();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, first.id);
+  const auto dup2 = queue.submit(spec, 0, "spool/a.jsonl", false);
+  EXPECT_TRUE(dup2.attached);
+  EXPECT_EQ(dup2.id, first.id);
+  EXPECT_EQ(dup2.state, JobState::kRunning);
+
+  // A different shard geometry is a different job (different trace bytes).
+  JobSpec other = spec;
+  other.shard_trials = 8;
+  const auto fresh = queue.submit(other, 0, "spool/b.jsonl", false);
+  EXPECT_FALSE(fresh.attached);
+  EXPECT_NE(fresh.id, first.id);
+}
+
+TEST(ServiceJobQueue, FinishedJobsDoNotCaptureResubmits) {
+  JobQueue queue;
+  const JobSpec spec = small_vm_spec();
+  const auto first = queue.submit(spec, 0, "spool/a.jsonl", false);
+  ASSERT_TRUE(queue.pop_ready().has_value());
+  queue.mark_finished(first.id, JobState::kFailed, "boom");
+
+  // The identity slot is released on finish: a resubmit is a fresh job (a
+  // failed run must be retryable without restarting the daemon).
+  const auto retry = queue.submit(spec, 0, "spool/a.jsonl", false);
+  EXPECT_FALSE(retry.attached);
+  EXPECT_NE(retry.id, first.id);
+
+  const auto failed = queue.snapshot(first.id);
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->exit_code, 1u);
+  EXPECT_EQ(failed->error, "boom");
+}
+
+TEST(ServiceJobQueue, PriorityFifoOrdering) {
+  JobQueue queue;
+  // Distinct seeds -> distinct identities -> four independent jobs.
+  const auto low_a = queue.submit(small_vm_spec(1), 0, "a", false);
+  const auto high = queue.submit(small_vm_spec(2), 5, "b", false);
+  const auto low_b = queue.submit(small_vm_spec(3), 0, "c", false);
+  const auto high_b = queue.submit(small_vm_spec(4), 5, "d", false);
+
+  // Highest priority first; FIFO within a priority band.
+  EXPECT_EQ(queue.pop_ready(), high.id);
+  EXPECT_EQ(queue.pop_ready(), high_b.id);
+  EXPECT_EQ(queue.pop_ready(), low_a.id);
+  EXPECT_EQ(queue.pop_ready(), low_b.id);
+}
+
+TEST(ServiceJobQueue, AlreadyCompleteNeverQueues) {
+  JobQueue queue;
+  const auto cached = queue.submit(small_vm_spec(), 0, "spool/a.jsonl", true);
+  EXPECT_FALSE(cached.attached);
+  EXPECT_EQ(cached.state, JobState::kDone);
+
+  const auto snap = queue.snapshot(cached.id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kDone);
+  EXPECT_EQ(snap->exit_code, 0u);
+
+  // Nothing to pop: a cache hit must not trigger a re-run. (shutdown() so the
+  // assertion doesn't block forever if this regresses.)
+  queue.shutdown();
+  EXPECT_FALSE(queue.pop_ready().has_value());
+
+  // And a later identical submission is its own cache-hit record, not an
+  // attach onto the finished job.
+  const auto again = queue.submit(small_vm_spec(), 0, "spool/a.jsonl", true);
+  EXPECT_FALSE(again.attached);
+  EXPECT_NE(again.id, cached.id);
+}
+
+TEST(ServiceJobQueue, ShutdownWakesBlockedWorkers) {
+  JobQueue queue;
+  std::vector<std::thread> workers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&queue, &woke] {
+      EXPECT_FALSE(queue.pop_ready().has_value());
+      woke.fetch_add(1);
+    });
+  }
+  queue.shutdown();
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(ServiceJobQueue, StopQueuedDrainsWithResumableExitCode) {
+  JobQueue queue;
+  const auto running = queue.submit(small_vm_spec(1), 0, "a", false);
+  const auto queued_a = queue.submit(small_vm_spec(2), 0, "b", false);
+  const auto queued_b = queue.submit(small_vm_spec(3), 0, "c", false);
+  ASSERT_EQ(queue.pop_ready(), running.id);
+
+  const auto stopped = queue.stop_queued();
+  EXPECT_EQ(stopped.size(), 2u);
+
+  for (const u64 id : {queued_a.id, queued_b.id}) {
+    const auto snap = queue.snapshot(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kStopped);
+    EXPECT_EQ(snap->exit_code, 130u);  // matches the batch CLI's SIGTERM exit
+  }
+  // The running job is the runner's to finish; stop_queued leaves it alone.
+  EXPECT_EQ(queue.snapshot(running.id)->state, JobState::kRunning);
+}
+
+TEST(ServiceJobQueue, ProgressAndSnapshotOrder) {
+  JobQueue queue;
+  const auto a = queue.submit(small_vm_spec(1), 0, "a", false);
+  const auto b = queue.submit(small_vm_spec(2), 9, "b", false);
+  queue.update_progress(a.id, 10, 16, 2, 4, 1);
+
+  const auto snap = queue.snapshot(a.id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->trials_done, 10u);
+  EXPECT_EQ(snap->trials_total, 16u);
+  EXPECT_EQ(snap->shards_done, 2u);
+  EXPECT_EQ(snap->shards_total, 4u);
+  EXPECT_EQ(snap->quarantined_shards, 1u);
+
+  // job_ids lists submission order regardless of priority.
+  const auto ids = queue.job_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], a.id);
+  EXPECT_EQ(ids[1], b.id);
+
+  EXPECT_FALSE(queue.snapshot(999).has_value());
+}
+
+TEST(ServiceJobState, ExitCodesMatchBatchCli) {
+  EXPECT_EQ(service::job_state_exit_code(JobState::kDone), 0u);
+  EXPECT_EQ(service::job_state_exit_code(JobState::kQuarantined), 3u);
+  EXPECT_EQ(service::job_state_exit_code(JobState::kStopped), 130u);
+  EXPECT_EQ(service::job_state_exit_code(JobState::kFailed), 1u);
+
+  EXPECT_FALSE(service::job_state_terminal(JobState::kQueued));
+  EXPECT_FALSE(service::job_state_terminal(JobState::kRunning));
+  EXPECT_TRUE(service::job_state_terminal(JobState::kDone));
+  EXPECT_TRUE(service::job_state_terminal(JobState::kQuarantined));
+  EXPECT_TRUE(service::job_state_terminal(JobState::kStopped));
+  EXPECT_TRUE(service::job_state_terminal(JobState::kFailed));
+}
+
+TEST(ServiceJobSpecMapping, ValidationCatchesBadSpecs) {
+  EXPECT_FALSE(service::spec_error(small_vm_spec()).has_value());
+
+  JobSpec spec = small_vm_spec();
+  spec.kind = "fpga";
+  EXPECT_TRUE(service::spec_error(spec).has_value());
+
+  spec = small_vm_spec();
+  spec.model = "cosmic";
+  EXPECT_TRUE(service::spec_error(spec).has_value());
+
+  spec = small_vm_spec();
+  spec.workloads = {"gzip", "no-such-workload"};
+  const auto err = service::spec_error(spec);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("no-such-workload"), std::string::npos);
+
+  JobSpec uarch;
+  uarch.kind = "uarch";
+  EXPECT_FALSE(service::spec_error(uarch).has_value());
+}
+
+TEST(ServiceJobSpecMapping, ConfigsCarryTheSpec) {
+  JobSpec spec = small_vm_spec(0xABC);
+  spec.low32 = true;
+  spec.model = "register";
+  const auto vm = service::vm_config_for(spec);
+  EXPECT_EQ(vm.seed, 0xABCu);
+  EXPECT_EQ(vm.trials_per_workload, 8u);
+  EXPECT_TRUE(vm.low32_only);
+  EXPECT_EQ(vm.workloads.size(), 2u);
+
+  JobSpec uspec;
+  uspec.kind = "uarch";
+  uspec.seed = 0xDEF;
+  uspec.trials = 6;
+  uspec.latches_only = true;
+  const auto uarch = service::uarch_config_for(uspec);
+  EXPECT_EQ(uarch.seed, 0xDEFu);
+  EXPECT_EQ(uarch.trials_per_workload, 6u);
+  EXPECT_TRUE(uarch.latches_only);
+
+  // config_hash dispatches on kind and matches the underlying campaign hash.
+  EXPECT_EQ(service::spec_config_hash(spec), faultinject::config_hash(vm));
+  EXPECT_EQ(service::spec_config_hash(uspec), faultinject::config_hash(uarch));
+}
+
+TEST(ServiceJobSpecMapping, TraceFilenameEncodesIdentity) {
+  JobSpec spec = small_vm_spec();
+  const std::string name = service::spec_trace_filename(spec);
+  EXPECT_EQ(name.rfind("vm-", 0), 0u);
+  EXPECT_NE(name.find("-s4.jsonl"), std::string::npos);
+
+  // shard_trials = 0 resolves to the orchestrator default geometry.
+  JobSpec defaulted = spec;
+  defaulted.shard_trials = 0;
+  EXPECT_EQ(service::spec_shard_trials(defaulted),
+            faultinject::kDefaultShardTrials);
+  JobSpec explicit_default = spec;
+  explicit_default.shard_trials = faultinject::kDefaultShardTrials;
+  EXPECT_EQ(service::spec_trace_filename(defaulted),
+            service::spec_trace_filename(explicit_default));
+}

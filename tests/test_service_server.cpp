@@ -1,0 +1,376 @@
+// End-to-end tests of the restored campaign server, run in-process over a
+// Unix-domain socket: trace byte-identity against a direct orchestrator run,
+// cache hits and attaches on duplicate submission, survival of a client
+// disconnect mid-stream, and drain + restart convergence.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "faultinject/orchestrator.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+
+namespace restore::service {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+JobSpec small_vm_spec(u64 seed = 0x51) {
+  JobSpec spec;
+  spec.kind = "vm";
+  spec.seed = seed;
+  spec.trials = 8;
+  spec.shard_trials = 4;
+  spec.workloads = {"gzip", "mcf"};
+  return spec;
+}
+
+WireMessage submit_message(const JobSpec& spec, bool want_events) {
+  WireMessage msg;
+  msg.type = MessageType::kSubmit;
+  msg.spec = spec;
+  msg.want_events = want_events;
+  return msg;
+}
+
+// Blocking framed client over a Unix-domain socket, with a receive timeout so
+// a regression hangs a test instead of the whole suite.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& socket_path) { connect(socket_path); }
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send(const WireMessage& msg) {
+    const std::string frame = encode_frame(encode_message(msg));
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, 0);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::optional<WireMessage> receive() {
+    for (;;) {
+      if (auto payload = reader_.next()) return decode_message(*payload);
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) return std::nullopt;  // EOF or timeout
+      reader_.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Skip interleaved frames (e.g. events) until `type` arrives.
+  std::optional<WireMessage> receive_type(MessageType type) {
+    while (auto msg = receive()) {
+      if (msg->type == type) return msg;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void connect(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(socket_path.size(), sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+        << socket_path << ": " << std::strerror(errno);
+    timeval timeout{};
+    timeout.tv_sec = 120;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+// A CampaignServer with its IO loop on a background thread.
+struct ServerHandle {
+  std::unique_ptr<CampaignServer> server;
+  std::thread io;
+  int exit_code = -1;
+
+  void start(ServerOptions opts) {
+    server = std::make_unique<CampaignServer>(std::move(opts));
+    server->start();
+    io = std::thread([this] { exit_code = server->run(); });
+  }
+
+  void stop_and_join() {
+    server->stop();
+    if (io.joinable()) io.join();
+  }
+
+  ~ServerHandle() {
+    if (server) stop_and_join();
+  }
+};
+
+ServerOptions test_options(const std::string& tag) {
+  ServerOptions opts;
+  opts.socket_path = testing::TempDir() + "restored_" + tag + ".sock";
+  opts.spool_dir = testing::TempDir() + "restored_spool_" + tag;
+  // A previous run's spool would turn fresh submissions into cache hits.
+  std::filesystem::remove_all(opts.spool_dir);
+  opts.heartbeat_every_shards = 1;
+  return opts;
+}
+
+}  // namespace
+
+TEST(ServiceServer, TraceByteIdenticalToDirectRunAndDuplicateIsCached) {
+  auto opts = test_options("ident");
+  opts.job_workers = 1;
+  opts.campaign_workers = 2;  // daemon runs sharded, reference runs inline
+  const std::string spool = opts.spool_dir;
+
+  ServerHandle handle;
+  handle.start(opts);
+
+  const JobSpec spec = small_vm_spec();
+  TestClient client(handle.server->unix_socket_path());
+
+  client.send(submit_message(spec, /*want_events=*/true));
+  const auto submitted = client.receive_type(MessageType::kSubmitted);
+  ASSERT_TRUE(submitted.has_value());
+  EXPECT_FALSE(submitted->attached);
+  EXPECT_FALSE(submitted->cached);
+  EXPECT_EQ(submitted->config_hash, spec_config_hash(spec));
+
+  const auto done = client.receive_type(MessageType::kDone);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, "done");
+  EXPECT_EQ(done->exit_code, 0u);
+  EXPECT_EQ(done->job, submitted->job);
+
+  // Reference: the batch orchestrator, single-threaded, same spec.
+  const std::string ref_trace = testing::TempDir() + "restored_ident_ref.jsonl";
+  std::remove(ref_trace.c_str());
+  faultinject::CampaignRunOptions ref_opts;
+  ref_opts.workers = 1;
+  ref_opts.shard_trials = spec.shard_trials;
+  ref_opts.out_jsonl = ref_trace;
+  faultinject::run_vm_campaign(vm_config_for(spec), ref_opts);
+
+  const std::string spool_trace = spool + "/" + spec_trace_filename(spec);
+  const std::string daemon_bytes = slurp(spool_trace);
+  EXPECT_FALSE(daemon_bytes.empty());
+  EXPECT_EQ(daemon_bytes, slurp(ref_trace));
+
+  // Duplicate submission: served from the spool, no second campaign.
+  client.send(submit_message(spec, /*want_events=*/true));
+  const auto again = client.receive_type(MessageType::kSubmitted);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->cached);
+  const auto cached_done = client.receive_type(MessageType::kDone);
+  ASSERT_TRUE(cached_done.has_value());
+  EXPECT_EQ(cached_done->exit_code, 0u);
+  EXPECT_EQ(handle.server->campaigns_run(), 1u);
+
+  // Fetch streams back exactly the spool bytes.
+  WireMessage fetch;
+  fetch.type = MessageType::kFetch;
+  fetch.job = again->job;
+  client.send(fetch);
+  std::string fetched;
+  for (;;) {
+    auto msg = client.receive();
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type == MessageType::kTraceEnd) {
+      EXPECT_EQ(msg->bytes, fetched.size());
+      break;
+    }
+    if (msg->type == MessageType::kTraceData) fetched += msg->data;
+  }
+  EXPECT_EQ(fetched, daemon_bytes);
+
+  handle.stop_and_join();
+  EXPECT_EQ(handle.exit_code, 0);
+}
+
+TEST(ServiceServer, DuplicateSubmissionAttachesToQueuedJob) {
+  auto opts = test_options("attach");
+  opts.job_workers = 0;  // accept-only: jobs queue but never start
+
+  ServerHandle handle;
+  handle.start(opts);
+  TestClient client(handle.server->unix_socket_path());
+
+  const JobSpec spec = small_vm_spec(0xA77);
+  client.send(submit_message(spec, false));
+  const auto first = client.receive_type(MessageType::kSubmitted);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->attached);
+  EXPECT_EQ(first->state, "queued");
+
+  // Identical spec from a second connection: same job, attached.
+  TestClient other(handle.server->unix_socket_path());
+  other.send(submit_message(spec, false));
+  const auto second = other.receive_type(MessageType::kSubmitted);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->attached);
+  EXPECT_EQ(second->job, first->job);
+
+  // Different shard geometry -> different trace bytes -> a new job.
+  JobSpec regeometry = spec;
+  regeometry.shard_trials = 8;
+  other.send(submit_message(regeometry, false));
+  const auto third = other.receive_type(MessageType::kSubmitted);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_FALSE(third->attached);
+  EXPECT_NE(third->job, first->job);
+
+  // Drain: both queued jobs are stopped (resumable), daemon exits 0.
+  handle.stop_and_join();
+  EXPECT_EQ(handle.exit_code, 0);
+  EXPECT_EQ(handle.server->campaigns_run(), 0u);
+}
+
+TEST(ServiceServer, SurvivesClientDisconnectMidStream) {
+  auto opts = test_options("gone");
+  opts.job_workers = 1;
+
+  ServerHandle handle;
+  handle.start(opts);
+
+  const JobSpec spec = small_vm_spec(0x90E);
+  u64 job = 0;
+  {
+    // Subscribed client vanishes right after submitting: the daemon now has
+    // events to deliver to a dead socket and must shrug them off.
+    TestClient doomed(handle.server->unix_socket_path());
+    doomed.send(submit_message(spec, /*want_events=*/true));
+    const auto submitted = doomed.receive_type(MessageType::kSubmitted);
+    ASSERT_TRUE(submitted.has_value());
+    job = submitted->job;
+    doomed.close();
+  }
+
+  // A second client still gets service, and the job still completes.
+  TestClient client(handle.server->unix_socket_path());
+  WireMessage ping;
+  ping.type = MessageType::kPing;
+  client.send(ping);
+  const auto pong = client.receive_type(MessageType::kPong);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->version, kProtocolVersion);
+
+  for (int attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 1200) << "job never reached a terminal state";
+    WireMessage status;
+    status.type = MessageType::kStatus;
+    status.job = job;
+    client.send(status);
+    const auto reply = client.receive_type(MessageType::kJobStatus);
+    ASSERT_TRUE(reply.has_value());
+    if (reply->state == "done") {
+      EXPECT_EQ(reply->exit_code, 0u);
+      break;
+    }
+    ASSERT_NE(reply->state, "failed") << reply->text;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  handle.stop_and_join();
+  EXPECT_EQ(handle.exit_code, 0);
+}
+
+TEST(ServiceServer, DrainMidJobThenRestartConvergesByteIdentical) {
+  // Enough shards (12) that the drain lands mid-campaign; if the campaign
+  // happens to finish first the restart path degrades to a cache hit, and the
+  // byte-identity assertion still holds either way.
+  JobSpec spec = small_vm_spec(0xD12A);
+  spec.trials = 24;  // x2 workloads / 4 shard_trials = 12 shards
+
+  std::atomic<bool> stop_first{false};
+  auto first_opts = test_options("drain");
+  first_opts.job_workers = 1;
+  first_opts.stop_flag = &stop_first;
+  const std::string spool = first_opts.spool_dir;
+
+  {
+    ServerHandle handle;
+    handle.start(first_opts);
+    TestClient client(handle.server->unix_socket_path());
+    client.send(submit_message(spec, /*want_events=*/true));
+    const auto submitted = client.receive_type(MessageType::kSubmitted);
+    ASSERT_TRUE(submitted.has_value());
+
+    // Let a couple of shards commit, then pull the plug the way SIGTERM
+    // does: raise the campaign stop flag and ask the server to drain.
+    int shard_events = 0;
+    while (shard_events < 2) {
+      const auto msg = client.receive();
+      ASSERT_TRUE(msg.has_value());
+      if (msg->type == MessageType::kDone) break;  // campaign outran us
+      if (msg->type == MessageType::kEvent && msg->event == "shard-done") {
+        ++shard_events;
+      }
+    }
+    stop_first.store(true);
+    handle.stop_and_join();
+    EXPECT_EQ(handle.exit_code, 0);
+  }
+
+  // Reference trace from an uninterrupted direct run.
+  const std::string ref_trace = testing::TempDir() + "restored_drain_ref.jsonl";
+  std::remove(ref_trace.c_str());
+  faultinject::CampaignRunOptions ref_opts;
+  ref_opts.workers = 1;
+  ref_opts.shard_trials = spec.shard_trials;
+  ref_opts.out_jsonl = ref_trace;
+  faultinject::run_vm_campaign(vm_config_for(spec), ref_opts);
+
+  // Restart on the same spool: the resubmitted job resumes from the manifest
+  // (or is served from the spool if the first run completed) and converges to
+  // the exact bytes of the uninterrupted run.
+  auto second_opts = test_options("drain2");
+  second_opts.spool_dir = spool;
+  second_opts.job_workers = 1;
+  ServerHandle handle;
+  handle.start(second_opts);
+  TestClient client(handle.server->unix_socket_path());
+  client.send(submit_message(spec, /*want_events=*/true));
+  const auto done = client.receive_type(MessageType::kDone);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, "done");
+  EXPECT_EQ(done->exit_code, 0u);
+
+  const std::string spool_trace = spool + "/" + spec_trace_filename(spec);
+  EXPECT_EQ(slurp(spool_trace), slurp(ref_trace));
+
+  handle.stop_and_join();
+  EXPECT_EQ(handle.exit_code, 0);
+}
+
+}  // namespace restore::service

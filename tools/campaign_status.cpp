@@ -1,24 +1,33 @@
-// campaign_status — inspect a streamed injection-campaign trace.
+// campaign_status — inspect streamed injection-campaign traces.
 //
-// Reads the JSONL trial trace plus its sidecar manifest and reports how far
+// Reads each JSONL trial trace plus its sidecar manifest and reports how far
 // the campaign got (completed shards / trials, per-shard wall-time stats) and
 // what it found so far (outcome counts over the trials already on disk), so
 // an interrupted paper-scale run can be checked before deciding to --resume.
 //
-// Usage: campaign_status TRACE.jsonl [--interval N]
+// With one trace the full single-campaign report is printed. With several —
+// e.g. a whole `restored` spool directory's worth — an aggregate table is
+// printed instead: one row per campaign plus a totals line, so a fleet of
+// queued jobs can be audited at a glance.
+//
+// Usage: campaign_status TRACE.jsonl [TRACE2.jsonl ...] [--interval N]
 //   --interval N   checkpoint interval used to classify uarch trials
 //                  (default 100, matching the figure drivers' summary lines)
 //
-// Exit status: 0 healthy, 3 when the manifest records quarantined shards
+// Exit status: 0 healthy, 3 when any manifest records quarantined shards
 // (so scripts notice a partial campaign), 1 on I/O or parse errors, 2 on
-// usage errors.
+// usage errors. With several traces the *worst* per-trace code is returned
+// (quarantine outranks I/O errors: a partial campaign must never read as
+// merely unreadable).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
+#include "common/table.hpp"
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/classify.hpp"
 #include "faultinject/outcome.hpp"
@@ -29,9 +38,10 @@ namespace {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: campaign_status TRACE.jsonl [--interval N]\n"
-               "  Reports completion and outcome counts for a campaign trace\n"
-               "  written with --out-jsonl (manifest at TRACE.jsonl.manifest.json).\n");
+               "usage: campaign_status TRACE.jsonl [TRACE2.jsonl ...] [--interval N]\n"
+               "  Reports completion and outcome counts for campaign traces\n"
+               "  written with --out-jsonl (manifest at TRACE.jsonl.manifest.json).\n"
+               "  Several traces print one aggregate table instead of full reports.\n");
 }
 
 void print_counts(const std::map<std::string, u64>& counts, u64 total) {
@@ -44,68 +54,138 @@ void print_counts(const std::map<std::string, u64>& counts, u64 total) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  if (args.has_flag("help") || args.positional().empty()) {
-    print_usage();
-    return args.has_flag("help") ? 0 : 2;
-  }
-  const std::string trace_path = args.positional().front();
-  const u64 interval = args.value_u64("interval", 100);
-
-  const auto manifest_path = faultinject::manifest_path_for(trace_path);
+// One trace/manifest pair reduced to what the aggregate table shows.
+struct TraceSummary {
+  std::string path;
   std::optional<faultinject::CampaignManifest> manifest;
-  try {
-    manifest = faultinject::read_manifest(manifest_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "campaign_status: %s\n", e.what());
-    return 1;
-  }
-  if (!manifest) {
-    std::fprintf(stderr, "campaign_status: no manifest at %s\n",
-                 manifest_path.c_str());
-    return 1;
-  }
-
+  std::string error;     // manifest read failure ("" = readable)
+  u64 done_shards = 0;
   u64 done_trials = 0;
-  double total_ms = 0, slowest_ms = 0;
-  for (std::size_t i = 0; i < manifest->completed.size(); ++i) {
-    done_trials += manifest->completed_trials[i];
-    total_ms += static_cast<double>(manifest->wall_ms[i]);
-    slowest_ms = std::max(slowest_ms, static_cast<double>(manifest->wall_ms[i]));
+  int exit_code = 0;     // per-trace: 0 healthy, 3 quarantined, 1 error
+};
+
+TraceSummary summarize(const std::string& trace_path) {
+  TraceSummary summary;
+  summary.path = trace_path;
+  const auto manifest_path = faultinject::manifest_path_for(trace_path);
+  try {
+    summary.manifest = faultinject::read_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    summary.error = e.what();
+    summary.exit_code = 1;
+    return summary;
   }
-  const u64 done_shards = manifest->completed.size();
+  if (!summary.manifest) {
+    summary.error = "no manifest at " + manifest_path;
+    summary.exit_code = 1;
+    return summary;
+  }
+  for (const u64 trials : summary.manifest->completed_trials) {
+    summary.done_trials += trials;
+  }
+  summary.done_shards = summary.manifest->completed.size();
+  if (summary.manifest->has_quarantine()) summary.exit_code = 3;
+  return summary;
+}
+
+std::string_view state_label(const TraceSummary& summary) {
+  if (!summary.manifest) return "unreadable";
+  if (summary.manifest->has_quarantine()) return "quarantined";
+  if (summary.done_shards == summary.manifest->total_shards) return "complete";
+  return "resumable";
+}
+
+// Aggregate mode: one row per trace, a totals line, worst exit code.
+int report_many(const std::vector<std::string>& paths) {
+  TextTable table({"trace", "kind", "shards", "quarantined", "trials", "state",
+                   "exit"});
+  u64 total_shards_done = 0, total_shards = 0, total_quarantined = 0;
+  u64 total_trials_done = 0, total_trials = 0, complete_jobs = 0;
+  int worst = 0;
+  for (const auto& path : paths) {
+    const auto summary = summarize(path);
+    worst = std::max(worst, summary.exit_code);
+    if (!summary.manifest) {
+      table.add_row({summary.path, "?", "-", "-", "-",
+                     std::string(state_label(summary)),
+                     std::to_string(summary.exit_code)});
+      std::fprintf(stderr, "campaign_status: %s: %s\n", summary.path.c_str(),
+                   summary.error.c_str());
+      continue;
+    }
+    const auto& manifest = *summary.manifest;
+    total_shards_done += summary.done_shards;
+    total_shards += manifest.total_shards;
+    total_quarantined += manifest.quarantined.size();
+    total_trials_done += summary.done_trials;
+    total_trials += manifest.total_trials;
+    if (summary.done_shards == manifest.total_shards) ++complete_jobs;
+    table.add_row(
+        {summary.path, manifest.kind,
+         TextTable::fmt_u(summary.done_shards) + "/" +
+             TextTable::fmt_u(manifest.total_shards),
+         TextTable::fmt_u(manifest.quarantined.size()),
+         TextTable::fmt_u(summary.done_trials) + "/" +
+             TextTable::fmt_u(manifest.total_trials),
+         std::string(state_label(summary)), std::to_string(summary.exit_code)});
+  }
+  table.add_row({"total", "",
+                 TextTable::fmt_u(total_shards_done) + "/" +
+                     TextTable::fmt_u(total_shards),
+                 TextTable::fmt_u(total_quarantined),
+                 TextTable::fmt_u(total_trials_done) + "/" +
+                     TextTable::fmt_u(total_trials),
+                 "", std::to_string(worst)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("%zu job(s): %llu complete, %llu quarantined shard(s), worst exit %d\n",
+              paths.size(), static_cast<unsigned long long>(complete_jobs),
+              static_cast<unsigned long long>(total_quarantined), worst);
+  return worst;
+}
+
+int report_one(const std::string& trace_path, u64 interval) {
+  const auto summary = summarize(trace_path);
+  if (!summary.manifest) {
+    std::fprintf(stderr, "campaign_status: %s\n", summary.error.c_str());
+    return 1;
+  }
+  const auto& manifest = *summary.manifest;
+  double total_ms = 0, slowest_ms = 0;
+  for (const u64 ms : manifest.wall_ms) {
+    total_ms += static_cast<double>(ms);
+    slowest_ms = std::max(slowest_ms, static_cast<double>(ms));
+  }
+  const u64 done_trials = summary.done_trials;
+  const u64 done_shards = summary.done_shards;
 
   std::printf("campaign: kind=%s seed=%llu config_hash=%016llx shard_trials=%llu\n",
-              manifest->kind.c_str(),
-              static_cast<unsigned long long>(manifest->seed),
-              static_cast<unsigned long long>(manifest->config_hash),
-              static_cast<unsigned long long>(manifest->shard_trials));
+              manifest.kind.c_str(),
+              static_cast<unsigned long long>(manifest.seed),
+              static_cast<unsigned long long>(manifest.config_hash),
+              static_cast<unsigned long long>(manifest.shard_trials));
   std::printf("progress: %llu/%llu shards, %llu/%llu trials (%.1f%%)%s\n",
               static_cast<unsigned long long>(done_shards),
-              static_cast<unsigned long long>(manifest->total_shards),
+              static_cast<unsigned long long>(manifest.total_shards),
               static_cast<unsigned long long>(done_trials),
-              static_cast<unsigned long long>(manifest->total_trials),
-              manifest->total_trials > 0
+              static_cast<unsigned long long>(manifest.total_trials),
+              manifest.total_trials > 0
                   ? 100.0 * static_cast<double>(done_trials) /
-                        static_cast<double>(manifest->total_trials)
+                        static_cast<double>(manifest.total_trials)
                   : 0.0,
-              done_shards == manifest->total_shards
+              done_shards == manifest.total_shards
                   ? "  [complete]"
-                  : manifest->has_quarantine() ? "  [partial: quarantined shards]"
-                                               : "  [resumable]");
-  if (manifest->has_quarantine()) {
+                  : manifest.has_quarantine() ? "  [partial: quarantined shards]"
+                                              : "  [resumable]");
+  if (manifest.has_quarantine()) {
     std::printf("quarantined shards (%zu) — not completed; a --resume re-attempts "
                 "them:\n",
-                manifest->quarantined.size());
-    for (std::size_t i = 0; i < manifest->quarantined.size(); ++i) {
+                manifest.quarantined.size());
+    for (std::size_t i = 0; i < manifest.quarantined.size(); ++i) {
       std::printf("  shard %llu (%s): %llu attempts, last error: %s\n",
-                  static_cast<unsigned long long>(manifest->quarantined[i]),
-                  manifest->quarantine_workloads[i].c_str(),
-                  static_cast<unsigned long long>(manifest->quarantine_attempts[i]),
-                  manifest->quarantine_errors[i].c_str());
+                  static_cast<unsigned long long>(manifest.quarantined[i]),
+                  manifest.quarantine_workloads[i].c_str(),
+                  static_cast<unsigned long long>(manifest.quarantine_attempts[i]),
+                  manifest.quarantine_errors[i].c_str());
     }
   }
   if (done_shards > 0) {
@@ -124,7 +204,7 @@ int main(int argc, char** argv) {
   std::map<std::string, u64> counts;
   u64 lines = 0;
   try {
-    if (manifest->kind == "vm") {
+    if (manifest.kind == "vm") {
       for (const auto& parsed : faultinject::read_vm_trials_jsonl(trace)) {
         ++lines;
         counts[std::string(to_string(parsed.trial.outcome))]++;
@@ -145,11 +225,24 @@ int main(int argc, char** argv) {
 
   std::printf("trials on disk: %llu%s\n",
               static_cast<unsigned long long>(lines),
-              manifest->kind == "uarch"
+              manifest.kind == "uarch"
                   ? "  (classified: perfect-cfv detector, baseline pipeline)"
                   : "");
   print_counts(counts, lines);
   // Non-zero for quarantine so CI and shell scripts can't mistake a partial
   // campaign for a healthy one.
-  return manifest->has_quarantine() ? 3 : 0;
+  return manifest.has_quarantine() ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has_flag("help") || args.positional().empty()) {
+    print_usage();
+    return args.has_flag("help") ? 0 : 2;
+  }
+  const u64 interval = args.value_u64("interval", 100);
+  if (args.positional().size() > 1) return report_many(args.positional());
+  return report_one(args.positional().front(), interval);
 }

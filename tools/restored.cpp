@@ -1,0 +1,63 @@
+// restored — the long-running campaign daemon.
+//
+// Accepts campaign jobs over a Unix-domain socket (and optionally TCP with
+// --listen), runs them through the same sharded orchestrator the batch CLIs
+// use, and streams progress events to subscribed clients. Jobs are keyed by
+// campaign identity: a duplicate submission attaches to the in-flight run,
+// and a submission whose spool trace is already complete is answered from
+// the spool without running anything. SIGTERM/SIGINT drain gracefully —
+// in-flight shards finish and are committed, queued jobs are marked stopped,
+// and a restarted daemon resumes them from the manifest to the same
+// byte-identical trace.
+//
+//   restored --socket restored.sock --spool spool --job-workers 2 --workers 4
+//
+// Flags:
+//   --socket PATH        Unix socket to serve on (or RESTORE_SOCKET;
+//                        default restored.sock)
+//   --listen HOST:PORT   additionally serve on a TCP socket
+//   --spool DIR          trace/manifest spool directory (default spool)
+//   --job-workers N      campaigns run concurrently (default 1)
+//   --workers N          shard workers per campaign (default 0 = inline)
+//   --heartbeat N        heartbeat event cadence in shards (default 1)
+//   --shard-retries N / --retry-backoff-ms N
+//                        shard supervision knobs (defaults 2 / 50)
+//   --quiet              no daemon log lines
+//
+// Exit code: 0 after a clean drain, 1 on startup failure.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/shutdown.hpp"
+#include "service/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace restore;
+  const CliArgs args(argc, argv);
+
+  service::ServerOptions opts;
+  opts.socket_path = resolve_socket_path(args, "restored.sock");
+  opts.listen = args.value("listen").value_or("");
+  opts.spool_dir = args.value("spool").value_or("spool");
+  opts.job_workers = args.value_u64("job-workers", 1);
+  opts.campaign_workers = args.value_u64("workers", 0);
+  opts.heartbeat_every_shards = args.value_u64("heartbeat", 1);
+  opts.shard_retries = args.value_u64("shard-retries", 2);
+  opts.retry_backoff_ms = args.value_u64("retry-backoff-ms", 50);
+  opts.log_stream = args.has_flag("quiet") ? nullptr : stderr;
+
+  // Wake-pipe first, handlers second: a signal delivered in between still
+  // sets the flag, and shutdown_wake_fd arms retroactively on creation.
+  opts.wake_fd = shutdown_wake_fd();
+  install_shutdown_signal_handlers();
+  opts.stop_flag = shutdown_flag();
+
+  try {
+    service::CampaignServer server(std::move(opts));
+    server.start();
+    return server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "restored: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,12 @@
+// Allowed: this file stands in for the service/supervision layers, which are
+// *not* in det.sim_paths — its sleep and socket calls must NOT be reported.
+#include <chrono>
+#include <thread>
+
+void retry_backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+int serve(int fd, const char* buf, unsigned long len) {
+  return static_cast<int>(send(fd, buf, len, 0));
+}

@@ -1,0 +1,12 @@
+// Deliberate violations: host sleeps and socket syscalls inside a simulated
+// path (this directory is listed in det.sim_paths).
+#include <chrono>
+#include <thread>
+
+void lazy_pipeline_stall() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect: DET-SLEEP
+}
+
+int exfiltrate_trial(int fd, const char* buf, unsigned long len) {
+  return static_cast<int>(send(fd, buf, len, 0));  // expect: DET-SOCKET
+}

@@ -14,6 +14,12 @@ simlint checks both statically, with four rule families:
                           getenv outside the CLI layer / standard-library
                           distributions (implementation-defined sequences) /
                           uninitialized members of aggregate payload structs.
+                          Inside the *simulated* paths (det.sim_paths, the
+                          vm/uarch machine models) additionally: host sleeps
+                          and socket/IO syscalls (DET-SLEEP / DET-SOCKET) —
+                          simulated time advances by cycle ticks and all
+                          networking belongs to the service layer, which is
+                          deliberately outside sim_paths.
   ITER (iteration order)  iteration over std::unordered_* containers and
                           pointer-keyed ordered containers anywhere results
                           can feed the trace/stats/export layers.
@@ -301,11 +307,39 @@ DET_PATTERNS: list[tuple[str, re.Pattern, str]] = [
 
 GETENV_RE = re.compile(r"\b(?:std::)?(?:secure_)?getenv\s*\(")
 
+# Simulated-path-only hazards (det.sim_paths: the vm/uarch machine models).
+# A sleep ties trial behaviour to the host scheduler; a socket syscall leaks
+# host state into a trial. Both are legitimate *outside* the simulator — the
+# orchestrator's retry backoff sleeps, and src/service is a socket server —
+# so these rules scope to sim_paths instead of the whole det.paths set.
+SIM_IO_PATTERNS: list[tuple[str, re.Pattern, str]] = [
+    (
+        "DET-SLEEP",
+        re.compile(
+            r"\bstd::this_thread::sleep_(?:for|until)\b|\bsleep_(?:for|until)\s*\(|"
+            r"(?<![\w:])(?:u|nano)?sleep\s*\("
+        ),
+        "host sleeps inside simulated code tie trial behaviour to the host "
+        "scheduler; simulated time advances via cycle ticks (host sleeps "
+        "belong in the supervision/service layers)",
+    ),
+    (
+        "DET-SOCKET",
+        re.compile(
+            r"(?<![\w.:])(?:::)?(?:socket|connect|bind|listen|accept|recv|"
+            r"recvfrom|send|sendto|poll|select|epoll_wait)\s*\("
+        ),
+        "socket/IO syscalls inside simulated code leak host state into "
+        "trials; networking belongs in the service layer (src/service)",
+    ),
+]
+
 
 def check_det(files: list[SourceFile], cfg: dict) -> list[Finding]:
     findings: list[Finding] = []
     det_cfg = cfg.get("det", {})
     roots = det_cfg.get("paths", ["src"])
+    sim_roots = det_cfg.get("sim_paths", [])
     env_allowed = set(det_cfg.get("env_allowed_files", []))
     for sf in files:
         if not in_paths(sf.path, roots):
@@ -313,6 +347,12 @@ def check_det(files: list[SourceFile], cfg: dict) -> list[Finding]:
         for rule, pat, msg in DET_PATTERNS:
             for m in pat.finditer(sf.code):
                 findings.append(Finding(sf.path, line_of(sf.code, m.start()), rule, msg))
+        if sim_roots and in_paths(sf.path, sim_roots):
+            for rule, pat, msg in SIM_IO_PATTERNS:
+                for m in pat.finditer(sf.code):
+                    findings.append(
+                        Finding(sf.path, line_of(sf.code, m.start()), rule, msg)
+                    )
         if sf.path not in env_allowed:
             for m in GETENV_RE.finditer(sf.code):
                 findings.append(
