@@ -3,18 +3,29 @@
 // throughput of the injection harness, and checkpoint/rollback cost.
 //
 // Before the google-benchmark suites run, main() times the fault-injection
-// hot path directly — snapshot fork + memory digest, with and without
-// copy-on-write sharing, and VM trial positioning at early vs. late
-// injection indices — and writes the numbers to BENCH_snapshot.json so the
-// perf trajectory is machine-readable across PRs.
+// hot path directly and writes a machine-readable BENCH_*.json family so the
+// perf trajectory is enforceable across PRs (scripts/check_bench.sh):
+//
+//   BENCH_snapshot.json     snapshot fork + digest cost, one record per
+//                           workload (COW fork vs. deep copy, VM positioning)
+//   BENCH_uarch_inner.json  inner-loop primitives per workload: core
+//                           cycles/sec, VM insns/sec, state hash/equality,
+//                           trial-image copy
+//   BENCH_campaign.json     end-to-end uarch campaign trials/sec across all
+//                           seven workloads, fast paths off vs. on
+//
+// Committed baselines live next to this file (bench/BENCH_*.json); the CI
+// bench job regenerates the numbers and fails on regression past tolerance.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/restore_core.hpp"
+#include "faultinject/trial_speed.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "uarch/core.hpp"
 #include "uarch/state_registry.hpp"
@@ -25,8 +36,17 @@ namespace {
 
 using namespace restore;
 
+// Schema of every BENCH_*.json record; bump when fields change shape so the
+// check_bench gate can refuse to compare incompatible baselines.
+constexpr int kBenchSchemaVersion = 2;
+
+const workloads::Workload& bench_workload(int index) {
+  return workloads::all()[static_cast<std::size_t>(index)];
+}
+
 void BM_VmInstructionRate(benchmark::State& state) {
-  const auto& wl = workloads::by_name("gzip");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   for (auto _ : state) {
     vm::Vm vm(wl.program);
     vm.run(20'000);
@@ -34,10 +54,11 @@ void BM_VmInstructionRate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 20'000);
 }
-BENCHMARK(BM_VmInstructionRate);
+BENCHMARK(BM_VmInstructionRate)->DenseRange(0, 6);
 
 void BM_CoreCycleRate(benchmark::State& state) {
-  const auto& wl = workloads::by_name("gzip");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   for (auto _ : state) {
     uarch::Core core(wl.program);
     core.run(10'000);
@@ -45,10 +66,11 @@ void BM_CoreCycleRate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
-BENCHMARK(BM_CoreCycleRate);
+BENCHMARK(BM_CoreCycleRate)->DenseRange(0, 6);
 
 void BM_CoreSnapshotCopy(benchmark::State& state) {
-  const auto& wl = workloads::by_name("gzip");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   uarch::Core core(wl.program);
   core.run(5'000);
   for (auto _ : state) {
@@ -56,12 +78,13 @@ void BM_CoreSnapshotCopy(benchmark::State& state) {
     benchmark::DoNotOptimize(copy.cycle_count());
   }
 }
-BENCHMARK(BM_CoreSnapshotCopy);
+BENCHMARK(BM_CoreSnapshotCopy)->DenseRange(0, 6);
 
 void BM_SnapshotForkDigest(benchmark::State& state) {
   // The per-trial cost the campaign pays: fork the golden machine and digest
   // its memory. COW pages + cached page digests make both O(mapped pages).
-  const auto& wl = workloads::by_name("gzip");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   uarch::Core core(wl.program);
   core.run(5'000);
   core.memory().digest();  // warm the page-digest caches, as a campaign would
@@ -70,10 +93,11 @@ void BM_SnapshotForkDigest(benchmark::State& state) {
     benchmark::DoNotOptimize(copy.memory().digest());
   }
 }
-BENCHMARK(BM_SnapshotForkDigest);
+BENCHMARK(BM_SnapshotForkDigest)->DenseRange(0, 6);
 
 void BM_StateHash(benchmark::State& state) {
-  const auto& wl = workloads::by_name("gzip");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   uarch::Core core(wl.program);
   core.run(5'000);
   const auto& reg = uarch::StateRegistry::instance();
@@ -81,10 +105,11 @@ void BM_StateHash(benchmark::State& state) {
     benchmark::DoNotOptimize(reg.hash_state(core));
   }
 }
-BENCHMARK(BM_StateHash);
+BENCHMARK(BM_StateHash)->DenseRange(0, 6);
 
 void BM_InjectionTrial(benchmark::State& state) {
-  const auto& wl = workloads::by_name("mcf");
+  const auto& wl = bench_workload(static_cast<int>(state.range(0)));
+  state.SetLabel(wl.name);
   uarch::Core warm(wl.program);
   warm.run(2'000);
   const auto& reg = uarch::StateRegistry::instance();
@@ -95,7 +120,7 @@ void BM_InjectionTrial(benchmark::State& state) {
     benchmark::DoNotOptimize(record.arch_corrupt_at_end);
   }
 }
-BENCHMARK(BM_InjectionTrial);
+BENCHMARK(BM_InjectionTrial)->DenseRange(0, 6);
 
 void BM_CheckpointRollback(benchmark::State& state) {
   const auto& wl = workloads::by_name("gap");
@@ -107,7 +132,7 @@ void BM_CheckpointRollback(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRollback);
 
-// ---- snapshot-fork + digest report (BENCH_snapshot.json) ----
+// ---- BENCH_*.json reports ----
 
 using Clock = std::chrono::steady_clock;
 
@@ -127,101 +152,248 @@ double time_ns(int runs, F&& body) {
   return samples[samples.size() / 2];
 }
 
+// Snapshot fork + digest cost, one record per workload.
 void write_snapshot_report() {
-  const auto& wl = workloads::by_name("gzip");
-
-  // Golden machine at a typical injection point, digest caches warm (the
-  // campaign digests the golden end state once per continuation).
-  uarch::Core golden(wl.program);
-  golden.run(5'000);
-  golden.memory().digest();
-  const std::size_t pages = golden.memory().mapped_pages();
-  const auto page_indices = golden.memory().mapped_page_indices();
-
-  // After: COW fork + cached digest — what run_uarch_campaign pays per trial.
-  const double cow_ns = time_ns(64, [&] {
-    uarch::Core copy = golden;
-    benchmark::DoNotOptimize(copy.memory().digest());
-  });
-
-  // Before: the pre-COW cost — every page deep-copied (forced here by
-  // touching each page of the fork, which clones it) and the digest
-  // recomputed over the full footprint.
-  const double deep_ns = time_ns(64, [&] {
-    uarch::Core copy = golden;
-    for (const u64 page : page_indices) {
-      const u64 addr = page << vm::kPageShift;
-      copy.memory().write_byte(addr, copy.memory().read_byte(addr));
-    }
-    benchmark::DoNotOptimize(copy.memory().recompute_digest());
-  });
-
-  // VM-campaign trial setup: fork from an incrementally advanced golden VM.
-  // Early vs. late injection index — the fork cost must not depend on it.
-  vm::Vm probe(wl.program);
-  u64 trace_len = 0;
-  while (probe.step()) ++trace_len;
-  const u64 early_index = trace_len / 10;
-  const u64 late_index = trace_len * 9 / 10;
-
-  vm::Vm golden_early(wl.program);
-  golden_early.run(early_index + 1);
-  const double fork_early_ns = time_ns(64, [&] {
-    vm::Vm trial = golden_early;
-    benchmark::DoNotOptimize(trial.pc());
-  });
-
-  vm::Vm golden_late(wl.program);
-  golden_late.run(late_index + 1);
-  const double fork_late_ns = time_ns(64, [&] {
-    vm::Vm trial = golden_late;
-    benchmark::DoNotOptimize(trial.pc());
-  });
-
-  // Before: positioning by re-execution from program start (what
-  // run_vm_trial still does for one-off trials).
-  const double reexec_late_ns = time_ns(8, [&] {
-    vm::Vm trial(wl.program);
-    trial.run(late_index + 1);
-    benchmark::DoNotOptimize(trial.pc());
-  });
-
-  const double fork_speedup = cow_ns > 0 ? deep_ns / cow_ns : 0.0;
   std::FILE* out = std::fopen("BENCH_snapshot.json", "w");
   if (out != nullptr) {
     std::fprintf(out,
                  "{\n"
-                 "  \"workload\": \"gzip\",\n"
-                 "  \"mapped_pages\": %zu,\n"
-                 "  \"uarch_fork_digest\": {\n"
-                 "    \"cow_ns\": %.1f,\n"
-                 "    \"deep_copy_ns\": %.1f,\n"
-                 "    \"speedup\": %.2f\n"
-                 "  },\n"
-                 "  \"vm_trial_setup\": {\n"
-                 "    \"trace_length\": %llu,\n"
-                 "    \"fork_at_10pct_ns\": %.1f,\n"
-                 "    \"fork_at_90pct_ns\": %.1f,\n"
-                 "    \"reexec_to_90pct_ns\": %.1f\n"
-                 "  }\n"
-                 "}\n",
-                 pages, cow_ns, deep_ns, fork_speedup,
-                 static_cast<unsigned long long>(trace_len), fork_early_ns,
-                 fork_late_ns, reexec_late_ns);
+                 "  \"schema_version\": %d,\n"
+                 "  \"benchmark\": \"snapshot\",\n"
+                 "  \"workloads\": [\n",
+                 kBenchSchemaVersion);
+  }
+  bool first = true;
+  for (const auto& wl : workloads::all()) {
+    // Golden machine at a typical injection point, digest caches warm (the
+    // campaign digests the golden end state once per continuation).
+    uarch::Core golden(wl.program);
+    golden.run(5'000);
+    golden.memory().digest();
+    const std::size_t pages = golden.memory().mapped_pages();
+    const auto page_indices = golden.memory().mapped_page_indices();
+
+    // After: COW fork + cached digest — what run_uarch_campaign pays.
+    const double cow_ns = time_ns(64, [&] {
+      uarch::Core copy = golden;
+      benchmark::DoNotOptimize(copy.memory().digest());
+    });
+
+    // Before: the pre-COW cost — every page deep-copied (forced here by
+    // touching each page of the fork, which clones it) and the digest
+    // recomputed over the full footprint.
+    const double deep_ns = time_ns(64, [&] {
+      uarch::Core copy = golden;
+      for (const u64 page : page_indices) {
+        const u64 addr = page << vm::kPageShift;
+        copy.memory().write_byte(addr, copy.memory().read_byte(addr));
+      }
+      benchmark::DoNotOptimize(copy.memory().recompute_digest());
+    });
+
+    // VM-campaign trial setup: fork from an incrementally advanced golden
+    // VM. Early vs. late injection index — the fork cost must not depend on
+    // it — against positioning by re-execution from program start.
+    vm::Vm probe(wl.program);
+    u64 trace_len = 0;
+    while (probe.step()) ++trace_len;
+    const u64 early_index = trace_len / 10;
+    const u64 late_index = trace_len * 9 / 10;
+
+    vm::Vm golden_early(wl.program);
+    golden_early.run(early_index + 1);
+    const double fork_early_ns = time_ns(64, [&] {
+      vm::Vm trial = golden_early;
+      benchmark::DoNotOptimize(trial.pc());
+    });
+
+    vm::Vm golden_late(wl.program);
+    golden_late.run(late_index + 1);
+    const double fork_late_ns = time_ns(64, [&] {
+      vm::Vm trial = golden_late;
+      benchmark::DoNotOptimize(trial.pc());
+    });
+
+    const double reexec_late_ns = time_ns(8, [&] {
+      vm::Vm trial(wl.program);
+      trial.run(late_index + 1);
+      benchmark::DoNotOptimize(trial.pc());
+    });
+
+    const double fork_speedup = cow_ns > 0 ? deep_ns / cow_ns : 0.0;
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "%s    {\"workload\": \"%s\", \"mapped_pages\": %zu, "
+                   "\"cow_ns\": %.1f, \"deep_copy_ns\": %.1f, "
+                   "\"fork_speedup\": %.2f, \"vm_trace_length\": %llu, "
+                   "\"vm_fork_at_10pct_ns\": %.1f, \"vm_fork_at_90pct_ns\": "
+                   "%.1f, \"vm_reexec_to_90pct_ns\": %.1f}",
+                   first ? "" : ",\n", wl.name.c_str(), pages, cow_ns, deep_ns,
+                   fork_speedup, static_cast<unsigned long long>(trace_len),
+                   fork_early_ns, fork_late_ns, reexec_late_ns);
+    }
+    first = false;
+    std::printf("snapshot %-7s: cow %.0f ns, deep %.0f ns (%.1fx)\n",
+                wl.name.c_str(), cow_ns, deep_ns, fork_speedup);
+  }
+  if (out != nullptr) {
+    std::fprintf(out, "\n  ]\n}\n");
     std::fclose(out);
   }
-  std::printf(
-      "snapshot fork+digest: cow %.0f ns, deep %.0f ns (%.1fx); "
-      "vm setup: fork@10%% %.0f ns, fork@90%% %.0f ns, reexec@90%% %.0f ns "
-      "-> BENCH_snapshot.json\n",
-      cow_ns, deep_ns, fork_speedup, fork_early_ns, fork_late_ns,
-      reexec_late_ns);
+  std::printf("-> BENCH_snapshot.json\n");
+}
+
+// Inner-loop primitives the trial loop is built from, per workload.
+void write_uarch_inner_report() {
+  const auto& reg = uarch::StateRegistry::instance();
+  std::FILE* out = std::fopen("BENCH_uarch_inner.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema_version\": %d,\n"
+                 "  \"benchmark\": \"uarch_inner\",\n"
+                 "  \"workloads\": [\n",
+                 kBenchSchemaVersion);
+  }
+  bool first = true;
+  for (const auto& wl : workloads::all()) {
+    constexpr u64 kCycles = 10'000;
+    const double core_ns = time_ns(9, [&] {
+      uarch::Core core(wl.program);
+      core.run(kCycles);
+      benchmark::DoNotOptimize(core.retired_count());
+    });
+    const double core_cps = core_ns > 0 ? kCycles * 1e9 / core_ns : 0.0;
+
+    constexpr u64 kInsns = 20'000;
+    const double vm_ns = time_ns(9, [&] {
+      vm::Vm vm(wl.program);
+      vm.run(kInsns);
+      benchmark::DoNotOptimize(vm.retired_count());
+    });
+    const double vm_ips = vm_ns > 0 ? kInsns * 1e9 / vm_ns : 0.0;
+
+    uarch::Core warm(wl.program);
+    warm.run(5'000);
+    warm.memory().digest();
+    const uarch::Core twin = warm;
+
+    const double hash_ns =
+        time_ns(64, [&] { benchmark::DoNotOptimize(reg.hash_state(warm)); });
+    // Worst case for state_equal: the operands ARE equal, so every field is
+    // compared (a trial's convergence probe pays exactly this).
+    const double equal_ns = time_ns(
+        64, [&] { benchmark::DoNotOptimize(warm.state_equal(twin)); });
+    // Arena restore: copy-assign into a persistent image (the per-trial
+    // setup cost with the trial arena on).
+    uarch::Core arena = warm;
+    const double restore_ns = time_ns(64, [&] {
+      arena = warm;
+      benchmark::DoNotOptimize(arena.cycle_count());
+    });
+
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "%s    {\"workload\": \"%s\", \"core_cycles_per_sec\": "
+                   "%.0f, \"vm_insns_per_sec\": %.0f, \"state_hash_ns\": "
+                   "%.1f, \"state_equal_ns\": %.1f, \"arena_restore_ns\": "
+                   "%.1f}",
+                   first ? "" : ",\n", wl.name.c_str(), core_cps, vm_ips,
+                   hash_ns, equal_ns, restore_ns);
+    }
+    first = false;
+    std::printf("inner %-7s: core %.2f Mcyc/s, vm %.2f Minsn/s, "
+                "state_equal %.0f ns\n",
+                wl.name.c_str(), core_cps / 1e6, vm_ips / 1e6, equal_ns);
+  }
+  if (out != nullptr) {
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
+  std::printf("-> BENCH_uarch_inner.json\n");
+}
+
+// End-to-end campaign throughput across all seven workloads, trial-speed
+// fast paths off vs. on. Both runs produce byte-identical trial records
+// (test_trial_speed proves it); only the clock differs.
+void write_campaign_report() {
+  faultinject::UarchCampaignConfig config;
+  config.seed = 4242;
+  config.trials_per_workload = 32;
+
+  struct Timing {
+    u64 trials = 0;
+    double wall_ms = 0.0;
+    double rate = 0.0;
+  };
+  const auto run_once = [&config] {
+    faultinject::clear_continuation_cache();
+    const auto start = Clock::now();
+    const auto result = faultinject::run_uarch_campaign(config);
+    const auto stop = Clock::now();
+    Timing t;
+    t.trials = result.trials.size();
+    t.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    t.rate = t.wall_ms > 0 ? static_cast<double>(t.trials) * 1000.0 / t.wall_ms
+                           : 0.0;
+    return t;
+  };
+
+  faultinject::TrialSpeedConfig off;
+  off.continuation_cache = false;
+  off.trial_arena = false;
+  off.convergence_shortcut = false;
+  faultinject::set_trial_speed(off);
+  const Timing baseline = run_once();
+
+  faultinject::set_trial_speed(faultinject::TrialSpeedConfig{});
+  const Timing optimized = run_once();
+  const auto cache = faultinject::continuation_cache_stats();
+
+  const double speedup =
+      optimized.rate > 0 && baseline.rate > 0 ? optimized.rate / baseline.rate
+                                              : 0.0;
+  std::FILE* out = std::fopen("BENCH_campaign.json", "w");
+  if (out != nullptr) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"schema_version\": %d,\n"
+        "  \"benchmark\": \"campaign\",\n"
+        "  \"kind\": \"uarch\",\n"
+        "  \"seed\": %llu,\n"
+        "  \"trials_per_workload\": %llu,\n"
+        "  \"monitor_cycles\": %llu,\n"
+        "  \"baseline\": {\"trials\": %llu, \"wall_ms\": %.1f, "
+        "\"trials_per_sec\": %.1f},\n"
+        "  \"optimized\": {\"trials\": %llu, \"wall_ms\": %.1f, "
+        "\"trials_per_sec\": %.1f},\n"
+        "  \"speedup\": %.2f,\n"
+        "  \"continuation_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"evictions\": %llu}\n"
+        "}\n",
+        kBenchSchemaVersion, static_cast<unsigned long long>(config.seed),
+        static_cast<unsigned long long>(config.trials_per_workload),
+        static_cast<unsigned long long>(config.monitor_cycles),
+        static_cast<unsigned long long>(baseline.trials), baseline.wall_ms,
+        baseline.rate, static_cast<unsigned long long>(optimized.trials),
+        optimized.wall_ms, optimized.rate, speedup,
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions));
+    std::fclose(out);
+  }
+  std::printf("campaign: baseline %.1f trials/s, optimized %.1f trials/s "
+              "(%.2fx) -> BENCH_campaign.json\n",
+              baseline.rate, optimized.rate, speedup);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   write_snapshot_report();
+  write_uarch_inner_report();
+  write_campaign_report();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

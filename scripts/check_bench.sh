@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate: regenerate the BENCH_*.json family with the built
+# sim_microbench and compare every covered metric against the committed
+# baselines in bench/.
+#
+# Usage: scripts/check_bench.sh [build-dir] [tolerance-pct]
+#   build-dir      default: build (must contain bench/sim_microbench)
+#   tolerance-pct  default: 15 — how far a metric may regress before failing.
+#
+# Direction is inferred from the metric name: *_per_sec and *speedup* are
+# higher-better and gate hard; *_ns metrics are lower-better but advisory
+# (single-operation medians swing with scheduler noise — the throughput
+# metrics integrate the same costs over enough work to gate on). Everything
+# else (seeds, trial counts, page counts) is identity metadata, not a gated
+# metric. A schema_version mismatch is a hard error: regenerate and commit
+# fresh baselines (see EXPERIMENTS.md) instead of comparing incompatible
+# shapes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+TOLERANCE=${2:-15}
+BIN=$(readlink -f "$BUILD_DIR/bench/sim_microbench" 2>/dev/null || true)
+if [[ -z $BIN || ! -x $BIN ]]; then
+  echo "check_bench: $BUILD_DIR/bench/sim_microbench not built" \
+       "(cmake --build $BUILD_DIR --target sim_microbench)" >&2
+  exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== regenerating BENCH_*.json ($BIN)"
+# The JSON reports are written before the google-benchmark suites; an
+# unmatchable filter skips those so the gate only pays for the reports.
+(cd "$workdir" && "$BIN" --benchmark_filter='^$')
+
+echo "== comparing against committed baselines (tolerance ${TOLERANCE}%)"
+status=0
+python3 - "$workdir" "$TOLERANCE" <<'PY' || status=$?
+import json, sys
+
+workdir, tolerance = sys.argv[1], float(sys.argv[2]) / 100.0
+REPORTS = ["BENCH_snapshot.json", "BENCH_uarch_inner.json", "BENCH_campaign.json"]
+failures = []
+warnings = []
+checked = 0
+
+
+def walk(path, base, fresh):
+    """Yield (dotted-path, baseline-value, fresh-value) numeric leaf pairs."""
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in base:
+            if key in fresh:
+                yield from walk(f"{path}.{key}" if path else key, base[key], fresh[key])
+    elif isinstance(base, list) and isinstance(fresh, list):
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            # Per-workload records carry their name; use it for readable paths.
+            tag = b.get("workload", str(i)) if isinstance(b, dict) else str(i)
+            yield from walk(f"{path}[{tag}]", b, f)
+    elif isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
+        yield path, float(base), float(fresh)
+
+
+for name in REPORTS:
+    try:
+        with open(f"bench/{name}") as fh:
+            base = json.load(fh)
+    except OSError:
+        failures.append(f"{name}: no committed baseline in bench/ — run "
+                        f"sim_microbench and commit the result (EXPERIMENTS.md)")
+        continue
+    with open(f"{workdir}/{name}") as fh:
+        fresh = json.load(fh)
+    if base.get("schema_version") != fresh.get("schema_version"):
+        failures.append(
+            f"{name}: schema_version {base.get('schema_version')} (committed) != "
+            f"{fresh.get('schema_version')} (binary); regenerate the baselines")
+        continue
+    for path, b, f in walk("", base, fresh):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf.endswith("_per_sec") or "speedup" in leaf:
+            checked += 1
+            if b > 0 and f < b * (1.0 - tolerance):
+                failures.append(
+                    f"{name}: {path} regressed: {b:g} -> {f:g} "
+                    f"(allowed {tolerance * 100:.0f}%)")
+        elif leaf.endswith("_ns"):
+            # Single-operation nanosecond medians swing with scheduler noise
+            # far past any workable tolerance, so they are advisory: loud in
+            # the log, non-fatal. The throughput metrics above integrate the
+            # same costs over enough work to gate on.
+            checked += 1
+            if b > 0 and f > max(b * (1.0 + 2.0 * tolerance), b + 250.0):
+                warnings.append(f"{name}: {path} drifted: {b:g} -> {f:g}")
+
+for warning in warnings:
+    print(f"check_bench: warn {warning} (advisory)")
+for failure in failures:
+    print(f"check_bench: FAIL {failure}")
+print(f"check_bench: {checked} metric(s) compared, {len(failures)} regression(s), "
+      f"{len(warnings)} advisory drift(s)")
+sys.exit(1 if failures else 0)
+PY
+
+if [[ $status -ne 0 ]]; then
+  echo "check_bench: FAILED"
+  exit 1
+fi
+echo "check_bench: OK"

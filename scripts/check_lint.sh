@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Static-analysis gate: simlint (all four rule families) + clang-tidy.
+# Static-analysis gate: simlint (all five rule families) + clang-tidy.
 #
 # Usage: scripts/check_lint.sh [build-dir]
 #   build-dir (default: build) supplies compile_commands.json; when it has not
@@ -19,7 +19,7 @@ fail=0
 echo "== simlint self-test (negative fixtures)"
 python3 tools/simlint/simlint.py --self-test || fail=1
 
-echo "== simlint (DET, ITER, COV, ID)"
+echo "== simlint (DET, ITER, COV, ID, PERF)"
 python3 tools/simlint/simlint.py -p "$BUILD_DIR" || fail=1
 
 echo "== clang-tidy"

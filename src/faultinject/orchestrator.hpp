@@ -287,13 +287,15 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
     event.shards_total = shards.size();
     event.trials_done = trials_done;
     event.trials_total = identity.total_trials;
+    const double elapsed_s = ms_since(campaign_start) / 1000.0;
+    const u64 fresh = trials_done - resumed_trials;
+    event.rate = elapsed_s > 0 ? static_cast<double>(fresh) / elapsed_s : 0.0;
     return event;
   };
 
   const auto heartbeat = [&] {
-    const double elapsed_s = ms_since(campaign_start) / 1000.0;
-    const u64 fresh = trials_done - resumed_trials;
-    const double rate = elapsed_s > 0 ? static_cast<double>(fresh) / elapsed_s : 0.0;
+    auto event = make_event(CampaignEvent::Kind::kHeartbeat);
+    const double rate = event.rate;
     const u64 remaining = identity.total_trials - trials_done;
     std::string outcomes;
     for (const auto& [tag, n] : outcome_counts) {
@@ -309,7 +311,6 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
                   static_cast<unsigned long long>(trials_done),
                   static_cast<unsigned long long>(identity.total_trials),
                   rate, rate > 0 ? static_cast<double>(remaining) / rate : 0.0);
-    auto event = make_event(CampaignEvent::Kind::kHeartbeat);
     event.text = head + outcomes;
     sink.emit(event);
   };

@@ -38,6 +38,10 @@ struct CampaignEvent {
   u64 shards_total = 0;
   u64 trials_done = 0;
   u64 trials_total = 0;
+  // Live throughput over this run's wall clock (fresh trials only; resumed
+  // trials are excluded from both numerator and clock). Populated on every
+  // event kind so subscribers need not difference counters themselves.
+  double rate = 0.0;  // trials/sec
   std::string error;  // last attempt's what() (kAttemptFailed/kQuarantine)
   std::string text;   // formatted human line, no trailing newline; empty =
                       // nothing is printed for this event

@@ -1,0 +1,31 @@
+#include "faultinject/trial_speed.hpp"
+
+#include <mutex>
+
+namespace restore::faultinject {
+
+namespace {
+
+std::mutex& config_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+TrialSpeedConfig& config_storage() {
+  static TrialSpeedConfig config;
+  return config;
+}
+
+}  // namespace
+
+TrialSpeedConfig trial_speed() noexcept {
+  std::lock_guard lock(config_mutex());
+  return config_storage();
+}
+
+void set_trial_speed(const TrialSpeedConfig& config) noexcept {
+  std::lock_guard lock(config_mutex());
+  config_storage() = config;
+}
+
+}  // namespace restore::faultinject

@@ -1,8 +1,13 @@
 #include "faultinject/uarch_campaign.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +16,7 @@
 #include "faultinject/classify.hpp"
 #include "faultinject/containment.hpp"
 #include "faultinject/orchestrator.hpp"
+#include "faultinject/trial_speed.hpp"
 #include "vm/memory.hpp"
 
 namespace restore::faultinject {
@@ -21,19 +27,64 @@ using uarch::SymptomEvent;
 
 namespace {
 
+// Convergence-checkpoint schedule over the monitor window: dense while young
+// (most masked faults are overwritten within a few hundred cycles) and sparse
+// afterwards. Offsets are cycle counts from the injection point.
+constexpr u64 kDenseCheckpointStride = 64;
+constexpr u64 kDenseCheckpointLimit = 2048;
+constexpr u64 kSparseCheckpointStride = 1024;
+
+bool is_checkpoint_offset(u64 offset) noexcept {
+  if (offset == 0) return false;
+  if (offset <= kDenseCheckpointLimit) return offset % kDenseCheckpointStride == 0;
+  return offset % kSparseCheckpointStride == 0;
+}
+
 // Golden continuation from an injection point: the retired trace over the
 // monitor window plus the golden machine state at the end of the window.
+//
+// When built with checkpoints, it additionally memoizes the golden machine
+// at scheduled cycle offsets plus the golden symptom stream over the window,
+// so a trial whose faulty core re-converges to the golden machine only
+// simulates its divergence window and derives the rest of its record from
+// golden data (see run_trial).
 struct GoldenContinuation {
   std::vector<vm::Retired> trace;
   Core end_core;
   u64 base_retired = 0;
 
-  explicit GoldenContinuation(const Core& at_point, u64 monitor_cycles)
+  // Checkpoint c: golden state after executing checkpoint_offsets[c] cycles
+  // past the injection point, with trace_len_at[c] records retired so far.
+  std::vector<u64> checkpoint_offsets;
+  std::vector<u64> trace_len_at;
+  std::vector<Core> checkpoints;
+
+  // Golden's own symptom stream over the window (a clean run can emit
+  // high-confidence mispredicts or cache-miss bursts); replayed for trials
+  // that converge before the window ends.
+  struct GoldenSymptom {
+    u64 cycle_offset = 0;
+    SymptomEvent ev;
+  };
+  std::vector<GoldenSymptom> symptoms;
+
+  GoldenContinuation(const Core& at_point, u64 monitor_cycles,
+                     bool with_checkpoints)
       : end_core(at_point), base_retired(at_point.retired_count()) {
     trace.reserve(monitor_cycles);
     for (u64 c = 0; c < monitor_cycles && end_core.running(); ++c) {
       end_core.cycle();
       for (const auto& rec : end_core.retired_this_cycle()) trace.push_back(rec);
+      if (with_checkpoints) {
+        for (const auto& ev : end_core.symptoms_this_cycle()) {
+          symptoms.push_back({c + 1, ev});
+        }
+        if (is_checkpoint_offset(c + 1)) {
+          checkpoint_offsets.push_back(c + 1);
+          trace_len_at.push_back(trace.size());
+          checkpoints.push_back(end_core);
+        }
+      }
     }
   }
 };
@@ -48,8 +99,10 @@ u64 effective_page_cap(const ResourceBudget& budget) {
   return cap;
 }
 
-UarchTrialRecord run_trial(const Core& golden_at_point,
-                           const GoldenContinuation& golden,
+// Runs one trial. `faulty` must be a fresh copy of the injection-point core
+// (callers either construct it or restore a per-shard arena image in place);
+// run_trial flips the bit and monitors from there.
+UarchTrialRecord run_trial(Core& faulty, const GoldenContinuation& golden,
                            const uarch::BitRef& bit, u64 monitor_cycles,
                            u64 catchup_cycles,
                            const ResourceBudget& trial_budget) {
@@ -61,7 +114,6 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
   record.protection = reg.field(bit).protection;
   record.field_name = reg.field(bit).name;
 
-  Core faulty = golden_at_point;
   reg.flip(faulty, bit);
   const u64 base = faulty.retired_count();
 
@@ -76,9 +128,26 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
     faulty.set_resource_budget(absolute);
   }
 
+  // Convergence shortcut: once the faulty machine is bit-identical to a
+  // golden checkpoint at the same cycle offset, every future cycle of the
+  // trial is bit-identical to golden's, so the rest of the record is derived
+  // from golden data instead of simulated. Guards:
+  //  - unlimited budget only: a budget-limited trial's abort point depends on
+  //    executing the real cycles (absolute cycle/page counters);
+  //  - base == golden.base_retired and compared == trace_len_at[cp]: rules
+  //    out the pathological case of a corrupted retirement counter that
+  //    drifts back onto the golden value, which would misalign the remaining
+  //    trace comparison. state_equal then guarantees identical futures.
+  const bool shortcut_eligible =
+      trial_budget.unlimited() && !golden.checkpoints.empty() &&
+      base == golden.base_retired;
+
   u64 compared = 0;
   bool overrun = false;
   bool prev_pc_mismatch = false;
+  bool converged = false;
+  u64 converged_offset = 0;
+  std::size_t next_cp = 0;
   for (u64 c = 0; c < monitor_cycles && faulty.running(); ++c) {
     faulty.cycle();
     for (const auto& rec : faulty.retired_this_cycle()) {
@@ -125,6 +194,67 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
           break;
       }
     }
+    if (shortcut_eligible && next_cp < golden.checkpoint_offsets.size() &&
+        c + 1 == golden.checkpoint_offsets[next_cp]) {
+      const std::size_t cp = next_cp++;
+      if (!overrun && compared == golden.trace_len_at[cp] &&
+          faulty.state_equal(golden.checkpoints[cp])) {
+        converged = true;
+        converged_offset = c + 1;
+        break;
+      }
+    }
+  }
+
+  if (converged) {
+    // From converged_offset on, the faulty machine's cycles are bit-identical
+    // to golden's: the remaining retire stream matches the golden trace
+    // record-for-record (no new divergence, no overrun, and the carried
+    // prev_pc_mismatch can never complete a sustained mismatch), the
+    // remaining symptoms are golden's own, and the end-of-window state IS
+    // golden.end_core. The catchup phase is a no-op: the converged machine
+    // reaches exactly the golden retirement boundary inside the window.
+    for (const auto& gs : golden.symptoms) {
+      if (gs.cycle_offset <= converged_offset) continue;
+      const u64 latency =
+          gs.ev.retired_count >= base ? gs.ev.retired_count - base : 0;
+      switch (gs.ev.kind) {
+        case SymptomEvent::Kind::kException:
+          record.lat_exception = std::min(record.lat_exception, latency);
+          break;
+        case SymptomEvent::Kind::kHighConfMispredict:
+          record.lat_hiconf = std::min(record.lat_hiconf, latency);
+          break;
+        case SymptomEvent::Kind::kWatchdog:
+          record.lat_deadlock = std::min(record.lat_deadlock, latency);
+          break;
+        case SymptomEvent::Kind::kIllegalFlow:
+          record.lat_illegal_flow = std::min(record.lat_illegal_flow, latency);
+          break;
+        case SymptomEvent::Kind::kCacheMissBurst:
+          record.lat_cache_burst = std::min(record.lat_cache_burst, latency);
+          break;
+        default:
+          break;
+      }
+    }
+    record.end_status = golden.end_core.status();
+    if (record.end_status == Core::Status::kFaulted ||
+        record.end_status == Core::Status::kDeadlocked) {
+      record.arch_corrupt_at_end = true;
+      return record;
+    }
+    record.arch_corrupt_at_end = false;
+    if (!record.trace_diverged) {
+      // Effect-identical prefix plus convergence: the end-of-window machine
+      // equals golden.end_core bit for bit.
+      record.uarch_state_equal = true;
+      record.live_state_diff = false;
+    }
+    // Diverged-then-converged (corrupt-then-overwritten): arch state, memory,
+    // output and the retirement boundary all match golden at the window end,
+    // so the catchup comparison below would find no corruption.
+    return record;
   }
 
   record.end_status = faulty.status();
@@ -140,10 +270,18 @@ UarchTrialRecord run_trial(const Core& golden_at_point,
     // Compare full microarchitectural state against the golden end to
     // separate masked / latent / other.
     record.arch_corrupt_at_end = false;
-    const auto diff = reg.diff(faulty, golden.end_core);
-    record.uarch_state_equal =
-        !diff.any && faulty.memory().digest() == golden.end_core.memory().digest();
-    record.live_state_diff = diff.any_live;
+    if (faulty.state_equal(golden.end_core)) {
+      // Bit-identical machine: the registered-state diff is empty by
+      // inclusion (state_equal compares a superset of the registry's fields
+      // plus the memory digest), so skip the expensive field-by-field walk.
+      record.uarch_state_equal = true;
+      record.live_state_diff = false;
+    } else {
+      const auto diff = reg.diff(faulty, golden.end_core);
+      record.uarch_state_equal = !diff.any && faulty.memory().digest() ==
+                                                  golden.end_core.memory().digest();
+      record.live_state_diff = diff.any_live;
+    }
     return record;
   }
 
@@ -213,14 +351,112 @@ u64 clean_cycle_count(const workloads::Workload& wl,
   return cache.emplace(key, cycles).first->second;
 }
 
+// Bounded, mutex-sharded LRU of golden continuations, shared across shards
+// and campaigns. A continuation is a pure function of its key — (core
+// config, workload, injection cycle, monitor window, checkpoint flag) — so a
+// cache hit is transparent; a miss is built OUTSIDE the shard lock (two
+// threads may briefly build the same continuation; both builds are
+// deterministic and identical, and the first insert wins).
+class ContinuationCache {
+ public:
+  using Value = std::shared_ptr<const GoldenContinuation>;
+
+  Value get_or_build(const std::string& key, std::size_t capacity,
+                     const std::function<Value()>& build) {
+    Shard& shard = shards_[shard_index(key)];
+    {
+      std::lock_guard lock(shard.mutex);
+      for (auto& entry : shard.entries) {
+        if (entry.key == key) {
+          entry.tick = ++shard.tick;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return entry.value;
+        }
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Value built = build();
+    const std::size_t per_shard = std::max<std::size_t>(1, capacity / kShards);
+    std::lock_guard lock(shard.mutex);
+    for (auto& entry : shard.entries) {
+      if (entry.key == key) {  // raced: share the winner's continuation
+        entry.tick = ++shard.tick;
+        return entry.value;
+      }
+    }
+    while (shard.entries.size() >= per_shard) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < shard.entries.size(); ++i) {
+        if (shard.entries[i].tick < shard.entries[oldest].tick) oldest = i;
+      }
+      shard.entries.erase(shard.entries.begin() +
+                          static_cast<std::ptrdiff_t>(oldest));
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.entries.push_back({key, built, ++shard.tick});
+    return built;
+  }
+
+  ContinuationCacheStats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            evictions_.load(std::memory_order_relaxed)};
+  }
+
+  void clear() noexcept {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      shard.entries.clear();
+      shard.tick = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Entry {
+    std::string key;
+    Value value;
+    u64 tick = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::vector<Entry> entries;
+    u64 tick = 0;
+  };
+
+  static std::size_t shard_index(const std::string& key) noexcept {
+    return static_cast<std::size_t>(fnv1a(key)) % kShards;
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> evictions_{0};
+};
+
+ContinuationCache& continuation_cache() {
+  static ContinuationCache cache;
+  return cache;
+}
+
 }  // namespace
+
+ContinuationCacheStats continuation_cache_stats() noexcept {
+  return continuation_cache().stats();
+}
+
+void clear_continuation_cache() noexcept { continuation_cache().clear(); }
 
 UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
                                  const uarch::BitRef& bit, u64 monitor_cycles,
                                  u64 catchup_cycles,
                                  const ResourceBudget& trial_budget) {
-  GoldenContinuation golden(golden_at_point, monitor_cycles);
-  return run_trial(golden_at_point, golden, bit, monitor_cycles, catchup_cycles,
+  const bool with_checkpoints =
+      trial_speed().convergence_shortcut && trial_budget.unlimited();
+  GoldenContinuation golden(golden_at_point, monitor_cycles, with_checkpoints);
+  Core faulty = golden_at_point;
+  return run_trial(faulty, golden, bit, monitor_cycles, catchup_cycles,
                    trial_budget);
 }
 
@@ -282,18 +518,48 @@ std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
     }
   }
 
+  // Trial-speed fast paths are snapshotted once per shard; all of them keep
+  // the produced records byte-identical (see trial_speed.hpp).
+  const TrialSpeedConfig speed = trial_speed();
+  const bool with_checkpoints =
+      speed.convergence_shortcut && config.trial_budget.unlimited();
+
   std::vector<UarchTrialRecord> records;
   records.reserve(shard.trial_count);
   Core golden(wl.program, config.core_config);
+  TrialArena<Core> arena;
   for (u64 p = 0; p < points; ++p) {
     while (golden.running() && golden.cycle_count() < cycles[p]) golden.cycle();
     if (!golden.running()) break;  // sampled past program end; drop the tail
     const Core at_point = golden;
-    const GoldenContinuation continuation(at_point, config.monitor_cycles);
+
+    // The continuation is a pure function of this key, so it is shared
+    // across every bit of this point, across shards that sampled the same
+    // cycle, and across repeated campaigns in one process.
+    std::shared_ptr<const GoldenContinuation> shared;
+    std::optional<GoldenContinuation> local;
+    if (speed.continuation_cache) {
+      std::ostringstream key;
+      key << core_config_key(config.core_config) << ';' << wl.name << ';'
+          << at_point.cycle_count() << ';' << config.monitor_cycles << ';'
+          << (with_checkpoints ? 1 : 0);
+      shared = continuation_cache().get_or_build(
+          key.str(), speed.continuation_cache_capacity, [&] {
+            // simlint: allow(PERF-ALLOC) -- built once per cache miss, amortised across the point's trials
+            return std::make_shared<const GoldenContinuation>(
+                at_point, config.monitor_cycles, with_checkpoints);
+          });
+    } else {
+      local.emplace(at_point, config.monitor_cycles, with_checkpoints);
+    }
+    const GoldenContinuation& continuation = shared ? *shared : *local;
+
     for (const auto& bit : bits[p]) {
       UarchTrialRecord record;
       const auto abort = contain_trial([&] {
-        record = run_trial(at_point, continuation, bit, config.monitor_cycles,
+        if (!speed.trial_arena) arena.clear();
+        Core& faulty = arena.reset_to(at_point);
+        record = run_trial(faulty, continuation, bit, config.monitor_cycles,
                            config.catchup_cycles, config.trial_budget);
       });
       if (abort) record = aborted_uarch_record(bit, *abort);

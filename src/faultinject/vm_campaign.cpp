@@ -10,6 +10,7 @@
 #include "common/bits.hpp"
 #include "faultinject/containment.hpp"
 #include "faultinject/orchestrator.hpp"
+#include "faultinject/trial_speed.hpp"
 #include "vm/vm.hpp"
 
 namespace restore::faultinject {
@@ -58,7 +59,10 @@ namespace {
 // Common monitoring/classification once the corrupted VM is positioned just
 // past `inject_index`. `trial_budget` bounds the monitored run
 // deterministically (BudgetExceeded propagates to the containment boundary).
-VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
+// Monitors in place: the campaign shard reuses one arena-held VM across its
+// trials, so the monitored machine is a caller-owned lvalue rather than a
+// by-value copy constructed (and heap-churned) per trial.
+VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm& vm,
                             u64 inject_index, u32 bit, u64 overrun_budget,
                             const ResourceBudget& trial_budget = {});
 
@@ -77,7 +81,7 @@ VmTrialResult run_vm_trial(const workloads::Workload& workload, u64 inject_index
   for (u64 i = 0; i <= inject_index; ++i) vm.step();
   const auto& site = golden.records[inject_index];
   vm.set_reg(site.rd, flip_bit(site.rd_value, bit));
-  return monitor_trial(workload, std::move(vm), inject_index, bit, overrun_budget);
+  return monitor_trial(workload, vm, inject_index, bit, overrun_budget);
 }
 
 VmTrialResult run_vm_register_trial(const workloads::Workload& workload,
@@ -90,12 +94,12 @@ VmTrialResult run_vm_register_trial(const workloads::Workload& workload,
   vm::Vm vm(workload.program);
   for (u64 i = 0; i <= inject_index; ++i) vm.step();
   vm.set_reg(reg, flip_bit(vm.reg(reg), bit));
-  return monitor_trial(workload, std::move(vm), inject_index, bit, overrun_budget);
+  return monitor_trial(workload, vm, inject_index, bit, overrun_budget);
 }
 
 namespace {
 
-VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm vm,
+VmTrialResult monitor_trial(const workloads::Workload& workload, vm::Vm& vm,
                             u64 inject_index, u32 bit, u64 overrun_budget,
                             const ResourceBudget& trial_budget) {
   const GoldenTrace& golden = golden_trace(workload);
@@ -276,6 +280,8 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
   vm::Vm golden_vm(wl.program);
   u64 steps = 0;
   const u64 page_cap = effective_page_cap(config.trial_budget);
+  const bool use_arena = trial_speed().trial_arena;
+  TrialArena<vm::Vm> arena;
   for (const std::size_t oi : order) {
     const PlannedTrial& plan = plans[oi];
     while (steps <= plan.index) {
@@ -283,7 +289,8 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
       ++steps;
     }
     const auto abort = contain_trial([&] {
-      vm::Vm faulty = golden_vm;
+      if (!use_arena) arena.clear();
+      vm::Vm& faulty = arena.reset_to(golden_vm);
       faulty.memory().set_page_budget(page_cap);
       if (config.model == VmFaultModel::kResultBit) {
         const vm::Retired& site = golden.records[plan.index];
@@ -291,8 +298,8 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
       } else {
         faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
       }
-      trials[plan.slot] = monitor_trial(wl, std::move(faulty), plan.index,
-                                        plan.bit, config.overrun_budget,
+      trials[plan.slot] = monitor_trial(wl, faulty, plan.index, plan.bit,
+                                        config.overrun_budget,
                                         config.trial_budget);
     });
     if (abort) {

@@ -151,7 +151,7 @@ void JobQueue::shutdown() {
 
 void JobQueue::update_progress(u64 id, u64 trials_done, u64 trials_total,
                                u64 shards_done, u64 shards_total,
-                               u64 quarantined_shards) {
+                               u64 quarantined_shards, u64 rate_milli) {
   std::lock_guard lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
@@ -160,6 +160,7 @@ void JobQueue::update_progress(u64 id, u64 trials_done, u64 trials_total,
   it->second.snap.shards_done = shards_done;
   it->second.snap.shards_total = shards_total;
   it->second.snap.quarantined_shards = quarantined_shards;
+  it->second.snap.rate_milli = rate_milli;
 }
 
 void JobQueue::mark_finished(u64 id, JobState state, const std::string& error) {

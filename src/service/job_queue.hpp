@@ -53,6 +53,7 @@ struct JobSnapshot {
   std::string trace_path;
   u64 trials_done = 0;
   u64 trials_total = 0;
+  u64 rate_milli = 0;  // live trials/sec * 1000 from the latest progress event
   u64 shards_done = 0;
   u64 shards_total = 0;
   u64 quarantined_shards = 0;
@@ -104,7 +105,7 @@ class JobQueue {
 
   // Runner-side bookkeeping.
   void update_progress(u64 id, u64 trials_done, u64 trials_total, u64 shards_done,
-                       u64 shards_total, u64 quarantined_shards);
+                       u64 shards_total, u64 quarantined_shards, u64 rate_milli);
   void mark_finished(u64 id, JobState state, const std::string& error);
 
   // Mark every still-queued job kStopped and return their ids (drain path).

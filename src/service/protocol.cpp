@@ -189,6 +189,7 @@ std::string encode_message(const WireMessage& msg) {
       field(out, "shards_total", msg.shards_total);
       field(out, "trials_done", msg.trials_done);
       field(out, "trials_total", msg.trials_total);
+      field(out, "rate_milli", msg.rate_milli);
       if (!msg.text.empty()) field(out, "text", std::string_view(msg.text));
       break;
     case MessageType::kDone:
@@ -205,6 +206,7 @@ std::string encode_message(const WireMessage& msg) {
       field(out, "priority", msg.priority);
       field(out, "trials_done", msg.trials_done);
       field(out, "trials_total", msg.trials_total);
+      field(out, "rate_milli", msg.rate_milli);
       field(out, "shards_done", msg.shards_done);
       field(out, "shards_total", msg.shards_total);
       field(out, "quarantined", msg.quarantined);
@@ -300,6 +302,7 @@ std::optional<WireMessage> decode_message(const std::string& payload) {
       msg.shards_total = get_uint(*obj, "shards_total").value_or(0);
       msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
       msg.trials_total = get_uint(*obj, "trials_total").value_or(0);
+      msg.rate_milli = get_uint(*obj, "rate_milli").value_or(0);
       msg.text = get_string(*obj, "text").value_or("");
       break;
     }
@@ -322,6 +325,7 @@ std::optional<WireMessage> decode_message(const std::string& payload) {
       msg.priority = get_uint(*obj, "priority").value_or(0);
       msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
       msg.trials_total = get_uint(*obj, "trials_total").value_or(0);
+      msg.rate_milli = get_uint(*obj, "rate_milli").value_or(0);
       msg.shards_done = get_uint(*obj, "shards_done").value_or(0);
       msg.shards_total = get_uint(*obj, "shards_total").value_or(0);
       msg.quarantined = get_uint(*obj, "quarantined").value_or(0);

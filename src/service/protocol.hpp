@@ -133,6 +133,7 @@ struct WireMessage {
   u64 shards_total = 0;  // event, job-status
   u64 trials_done = 0;   // event, job-status
   u64 trials_total = 0;  // event, job-status
+  u64 rate_milli = 0;    // event, job-status: live trials/sec * 1000
   u64 quarantined = 0;   // job-status: quarantined shard count
 
   u64 exit_code = 0;  // done, job-status

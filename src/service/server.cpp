@@ -216,7 +216,8 @@ void CampaignServer::run_job(u64 id) {
     }
     queue_.update_progress(id, event.trials_done, event.trials_total,
                            event.shards_done, event.shards_total,
-                           quarantined->load(std::memory_order_relaxed));
+                           quarantined->load(std::memory_order_relaxed),
+                           static_cast<u64>(event.rate * 1000.0));
     Notice notice;
     notice.job = id;
     notice.event = event;
@@ -508,7 +509,7 @@ void CampaignServer::handle_submit(Client& client, const WireMessage& msg) {
         queue_.submit(msg.spec, msg.priority, trace_path, /*already_complete=*/true);
     queue_.update_progress(submitted.id, manifest->total_trials,
                            manifest->total_trials, manifest->total_shards,
-                           manifest->total_shards, 0);
+                           manifest->total_shards, 0, 0);
     reply.job = submitted.id;
     reply.state = std::string(to_string(JobState::kDone));
     reply.cached = true;
@@ -590,6 +591,7 @@ void CampaignServer::drain_notices() {
     msg.shards_total = notice.event.shards_total;
     msg.trials_done = notice.event.trials_done;
     msg.trials_total = notice.event.trials_total;
+    msg.rate_milli = static_cast<u64>(notice.event.rate * 1000.0);
     msg.text = notice.event.text.empty() ? notice.event.error : notice.event.text;
     for (auto& [fd, client] : clients_) {
       if (client.subscriptions.count(notice.job) != 0) {
@@ -618,6 +620,7 @@ WireMessage CampaignServer::job_status_message(const JobSnapshot& snap) const {
   msg.priority = snap.priority;
   msg.trials_done = snap.trials_done;
   msg.trials_total = snap.trials_total;
+  msg.rate_milli = snap.rate_milli;
   msg.shards_done = snap.shards_done;
   msg.shards_total = snap.shards_total;
   msg.quarantined = snap.quarantined_shards;

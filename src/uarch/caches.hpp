@@ -27,11 +27,15 @@ class TagCache {
   u64 hits() const noexcept { return hits_; }
   u64 misses() const noexcept { return misses_; }
 
+  bool operator==(const TagCache&) const noexcept = default;
+
  private:
   static constexpr unsigned kMaxLines = 512;
   struct Line {
     bool valid = false;
     u64 tag = 0;
+
+    bool operator==(const Line&) const noexcept = default;
   };
   unsigned line_shift_;
   unsigned lines_log2_;
@@ -47,11 +51,15 @@ class Tlb {
   bool access(u64 address) noexcept;  // true on hit
   u64 misses() const noexcept { return misses_; }
 
+  bool operator==(const Tlb&) const noexcept = default;
+
  private:
   static constexpr unsigned kEntries = 32;
   struct Entry {
     bool valid = false;
     u64 vpn = 0;
+
+    bool operator==(const Entry&) const noexcept = default;
   };
   std::array<Entry, kEntries> entries_{};
   u8 next_victim_ = 0;

@@ -406,12 +406,13 @@ void Core::check_control_flow(const vm::Retired& rec) {
 // Writeback / branch resolution / recovery
 // ---------------------------------------------------------------------------
 
-bool Core::older_store_addrs_known(u32 load_age) const noexcept {
+u32 Core::min_unknown_store_age() const noexcept {
+  u32 min_age = kRobEntries;  // older than any real age
   for (const auto& s : stq_) {
-    if (!s.valid) continue;
-    if (rob_age(s.rob_id) < load_age && !s.addr_valid) return false;
+    if (!s.valid || s.addr_valid) continue;
+    min_age = std::min(min_age, rob_age(s.rob_id));
   }
-  return true;
+  return min_age;
 }
 
 int Core::scan_stq(u64 addr, unsigned bytes, u32 load_age, u64* fwd) const noexcept {
@@ -550,6 +551,7 @@ void Core::do_writeback() {
   // mispredicted branch squashes younger completions before they commit
   // state.
   std::array<unsigned, kExecSlots> completing{};
+  std::array<u32, kExecSlots> age_of{};
   unsigned n = 0;
   for (unsigned i = 0; i < kExecSlots; ++i) {
     ExecSlot& slot = exec_[i];
@@ -559,12 +561,14 @@ void Core::do_writeback() {
       continue;
     }
     slot.remaining = 0;
+    age_of[i] = rob_age(slot.rob_id);
     completing[n++] = i;
   }
+  // Precomputed keys: rob_head_ cannot move before the sort, so these are the
+  // exact ages the old comparator recomputed — same comparator results, same
+  // permutation, ties included.
   std::sort(completing.begin(), completing.begin() + n,
-            [this](unsigned a, unsigned b) {
-              return rob_age(exec_[a].rob_id) < rob_age(exec_[b].rob_id);
-            });
+            [&age_of](unsigned a, unsigned b) { return age_of[a] < age_of[b]; });
 
   for (unsigned k = 0; k < n; ++k) {
     ExecSlot& slot = exec_[completing[k]];
@@ -664,25 +668,33 @@ void Core::do_writeback() {
 // ---------------------------------------------------------------------------
 
 void Core::do_select() {
-  // Oldest-first selection respecting per-class issue limits.
+  // Oldest-first selection respecting per-class issue limits. Ages are
+  // precomputed once per select (rob_head_ is stable here) and the oldest
+  // unknown-address store bound is hoisted out of the candidate scan; the
+  // sort comparator reads the same precomputed keys it would have recomputed,
+  // so the selection order (ties included) is bit-identical to sorting on
+  // rob_age directly.
   std::array<unsigned, kSchedEntries> candidates{};
+  std::array<u32, kSchedEntries> age_of{};
+  const u32 unknown_store_bound = min_unknown_store_age();
   unsigned n = 0;
   for (unsigned i = 0; i < kSchedEntries; ++i) {
     const SchedEntry& e = sched_[i];
     if (!e.valid || sched_issued_[i]) continue;
     if (!e.rs1_ready || !e.rs2_ready) continue;
-    if (e.is_load && !older_store_addrs_known(rob_age(e.rob_id))) continue;
+    const u32 age = rob_age(e.rob_id);
+    if (e.is_load && age > unknown_store_bound) continue;
+    age_of[i] = age;
     candidates[n++] = i;
   }
   std::sort(candidates.begin(), candidates.begin() + n,
-            [this](unsigned a, unsigned b) {
-              return rob_age(sched_[a].rob_id) < rob_age(sched_[b].rob_id);
-            });
+            [&age_of](unsigned a, unsigned b) { return age_of[a] < age_of[b]; });
 
   unsigned alu_left = kIssueAlu;
   unsigned br_left = kIssueBranch;
   unsigned mem_left = kIssueMem;
   unsigned issued = 0;
+  unsigned exec_search = 0;  // first-free exec slot only moves forward
 
   for (unsigned k = 0; k < n && issued < kIssueWidth; ++k) {
     SchedEntry& e = sched_[candidates[k]];
@@ -696,15 +708,17 @@ void Core::do_select() {
     }
     if (*budget == 0) continue;
 
-    // Find a free execution slot.
+    // Find a free execution slot (slots never free mid-select, so the scan
+    // resumes where the last one stopped).
     unsigned exec_idx = kExecSlots;
-    for (unsigned x = 0; x < kExecSlots; ++x) {
+    for (unsigned x = exec_search; x < kExecSlots; ++x) {
       if (!exec_[x].valid) {
         exec_idx = x;
         break;
       }
     }
     if (exec_idx == kExecSlots) break;
+    exec_search = exec_idx + 1;
 
     ExecSlot slot;
     slot.valid = true;
@@ -765,6 +779,7 @@ void Core::do_select() {
 // ---------------------------------------------------------------------------
 
 void Core::do_rename() {
+  unsigned sched_search = 0;  // first-free scheduler slot only moves forward
   for (unsigned renamed = 0; renamed < kRenameWidth; ++renamed) {
     if (dec_count_ == 0) return;
     Uop& u = dec_[dec_head_ & (kDecodeWidth - 1)];
@@ -792,13 +807,16 @@ void Core::do_rename() {
     if (is_store && stq_count_ >= kStqEntries) return;
     unsigned sched_idx = kSchedEntries;
     if (needs_exec) {
-      for (unsigned i = 0; i < kSchedEntries; ++i) {
+      // Entries never free mid-rename, so the first-free scan resumes where
+      // the previous uop's stopped.
+      for (unsigned i = sched_search; i < kSchedEntries; ++i) {
         if (!sched_[i].valid) {
           sched_idx = i;
           break;
         }
       }
       if (sched_idx == kSchedEntries) return;
+      sched_search = sched_idx + 1;
     }
 
     // Allocate the ROB entry.
@@ -1050,6 +1068,72 @@ void Core::do_fetch() {
     if (slot.pred_taken) break;  // redirected: next group starts at the target
   }
   fetch_pc_ = pc;
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural equality
+// ---------------------------------------------------------------------------
+
+bool Core::state_equal(const Core& other) const noexcept {
+  // Cheap, high-discrimination scalars first: any timing perturbation shows
+  // up in the cycle-aligned counters long before the big arrays differ.
+  if (cycle_count_ != other.cycle_count_ ||
+      retired_total_ != other.retired_total_ || status_ != other.status_ ||
+      fault_ != other.fault_ || commit_pc_ != other.commit_pc_ ||
+      fetch_pc_ != other.fetch_pc_ || ghist_ != other.ghist_ ||
+      watchdog_ != other.watchdog_ || fetch_stalled_ != other.fetch_stalled_ ||
+      icache_stall_ != other.icache_stall_) {
+    return false;
+  }
+  if (fq_head_ != other.fq_head_ || fq_count_ != other.fq_count_ ||
+      dec_head_ != other.dec_head_ || dec_count_ != other.dec_count_ ||
+      fl_head_ != other.fl_head_ || fl_tail_ != other.fl_tail_ ||
+      fl_count_ != other.fl_count_ || ldq_head_ != other.ldq_head_ ||
+      ldq_count_ != other.ldq_count_ || stq_head_ != other.stq_head_ ||
+      stq_count_ != other.stq_count_ || rob_head_ != other.rob_head_ ||
+      rob_count_ != other.rob_count_) {
+    return false;
+  }
+  if (!(counters_ == other.counters_)) return false;
+  if (l1i_.hits() != other.l1i_.hits() || l1i_.misses() != other.l1i_.misses() ||
+      l1d_.hits() != other.l1d_.hits() || l1d_.misses() != other.l1d_.misses() ||
+      itlb_.misses() != other.itlb_.misses() ||
+      dtlb_.misses() != other.dtlb_.misses()) {
+    return false;
+  }
+
+  // Registered machine state (where injected flips live).
+  if (spec_rat_ != other.spec_rat_ || arch_rat_ != other.arch_rat_ ||
+      free_ring_ != other.free_ring_ || prf_ready_ != other.prf_ready_ ||
+      sched_issued_ != other.sched_issued_) {
+    return false;
+  }
+  if (sched_ != other.sched_ || exec_ != other.exec_ || ldq_ != other.ldq_ ||
+      stq_ != other.stq_ || rob_ != other.rob_ || fq_ != other.fq_ ||
+      fb_ != other.fb_ || dec_ != other.dec_ || prf_ != other.prf_) {
+    return false;
+  }
+
+  // Timing/steering state a flip perturbs only indirectly.
+  if (!(bpred_ == other.bpred_) || !(btb_ == other.btb_) ||
+      !(ras_ == other.ras_) || !(jrs_ == other.jrs_) ||
+      !(l1i_ == other.l1i_) || !(l1d_ == other.l1d_) ||
+      !(itlb_ == other.itlb_) || !(dtlb_ == other.dtlb_)) {
+    return false;
+  }
+
+  // Detector-internal bookkeeping and architectural side effects.
+  if (burst_last_misses_ != other.burst_last_misses_ ||
+      burst_cycles_ != other.burst_cycles_ ||
+      burst_misses_ != other.burst_misses_ ||
+      replay_cursor_ != other.replay_cursor_ ||
+      replay_hints_ != other.replay_hints_ || output_ != other.output_) {
+    return false;
+  }
+
+  // Memory last: digest equality, the campaign's memory-comparison
+  // convention. Per-page digest caches make repeated checks cheap.
+  return memory_.digest() == other.memory_.digest();
 }
 
 }  // namespace restore::uarch

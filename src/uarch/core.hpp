@@ -63,6 +63,8 @@ struct ReplayHint {
   u64 pc = 0;
   bool taken = false;
   u64 target = 0;
+
+  bool operator==(const ReplayHint&) const noexcept = default;
 };
 
 class Core {
@@ -144,8 +146,23 @@ class Core {
     u64 high_conf_mispredicts = 0;
     u64 l1d_misses = 0;
     u64 flushes = 0;
+
+    bool operator==(const Counters&) const noexcept = default;
   };
   const Counters& counters() const noexcept { return counters_; }
+
+  // Exact behavioural equality with another core of the same program and
+  // config: every piece of state that can influence future execution or a
+  // trial record — registered machine state, predictors, caches, TLBs,
+  // performance counters, architectural output, cycle/retire counts and
+  // memory contents — compared cheapest-and-most-discriminating first so
+  // unequal cores exit early. Excluded on purpose: the per-cycle
+  // retired/symptom buffers (scratch, recomputed by the next cycle()) and the
+  // installed resource budget (callers gate on matching budgets). Memory is
+  // compared by digest, the campaign's existing convention for memory
+  // equality. If this returns true, both cores produce bit-identical
+  // behaviour for every future cycle.
+  bool state_equal(const Core& other) const noexcept;
 
   // ---- Machine state (public: enumerated by StateRegistry, examined by
   // tests; treat as read-only outside uarch/faultinject). ----
@@ -224,10 +241,12 @@ class Core {
   void recover_from(u8 branch_rob_id, u64 correct_pc, u16 ghist_after);
   void flush_frontend();
 
-  // Rob-index age relative to the current head (0 = oldest).
+  // Rob-index age relative to the current head (0 = oldest). kRobEntries is a
+  // power of two, so the mask is exact.
   u32 rob_age(u8 rob_id) const noexcept {
     return (static_cast<u32>(rob_id & (kRobEntries - 1)) + kRobEntries -
-            (rob_head_ & (kRobEntries - 1))) % kRobEntries;
+            (rob_head_ & (kRobEntries - 1))) &
+           (kRobEntries - 1);
   }
 
   // Store-queue scan for a load at `addr`/`bytes` with ROB age `load_age`.
@@ -235,8 +254,12 @@ class Core {
   // 2 = partial overlap (must replay until the store drains).
   int scan_stq(u64 addr, unsigned bytes, u32 load_age, u64* fwd) const noexcept;
 
-  // True when every older valid store has a known address.
-  bool older_store_addrs_known(u32 load_age) const noexcept;
+  // Youngest-possible age bound: the minimum ROB age over valid stores whose
+  // address is still unknown (kRobEntries when none). A load of age L may
+  // issue iff L <= this bound. Recomputed from scratch each select — derived
+  // state must never persist across cycles, where an injected flip could
+  // silently invalidate it.
+  u32 min_unknown_store_age() const noexcept;
 
   // Write a completed result to the PRF and broadcast the wakeup.
   void complete_write(u8 prd, u64 value);

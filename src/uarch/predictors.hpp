@@ -26,6 +26,8 @@ class BranchPredictor {
   bool predict(u64 pc, u16 ghist) const noexcept;
   void update(u64 pc, u16 ghist, bool taken) noexcept;
 
+  bool operator==(const BranchPredictor&) const noexcept = default;
+
  private:
   static constexpr unsigned kTableSize = 4096;
   static u32 bimodal_index(u64 pc) noexcept;
@@ -42,12 +44,16 @@ class Btb {
   std::optional<u64> lookup(u64 pc) const noexcept;
   void update(u64 pc, u64 target) noexcept;
 
+  bool operator==(const Btb&) const noexcept = default;
+
  private:
   static constexpr unsigned kEntries = 512;
   struct Entry {
     bool valid = false;
     u16 tag = 0;
     u64 target = 0;
+
+    bool operator==(const Entry&) const noexcept = default;
   };
   static u32 index(u64 pc) noexcept { return (pc >> 2) & (kEntries - 1); }
   static u16 tag(u64 pc) noexcept { return static_cast<u16>(pc >> 11); }
@@ -59,6 +65,8 @@ class ReturnAddressStack {
   void push(u64 address) noexcept;
   u64 pop() noexcept;  // returns 0 when empty
   bool empty() const noexcept { return depth_ == 0; }
+
+  bool operator==(const ReturnAddressStack&) const noexcept = default;
 
  private:
   static constexpr unsigned kDepth = 8;
@@ -76,6 +84,8 @@ class JrsConfidence {
  public:
   bool high_confidence(u64 pc, u16 ghist, unsigned threshold) const noexcept;
   void update(u64 pc, u16 ghist, bool prediction_correct, unsigned counter_max) noexcept;
+
+  bool operator==(const JrsConfidence&) const noexcept = default;
 
  private:
   static constexpr unsigned kTableSize = 4096;

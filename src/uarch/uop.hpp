@@ -22,6 +22,8 @@ struct FetchSlot {
   bool conf_high = false;  // JRS confidence for conditional predictions
   u16 ghist = 0;           // global-history snapshot at prediction time
   u8 fault = 0;            // fetch-side exception (isa::ExceptionKind, 3 bits)
+
+  bool operator==(const FetchSlot&) const noexcept = default;
 };
 
 // A decoded, renamed micro-op. Lives in the decode/rename latches and (in
@@ -44,6 +46,8 @@ struct Uop {
   u64 pred_target = 0;
   bool conf_high = false;
   u16 ghist = 0;
+
+  bool operator==(const Uop&) const noexcept = default;
 };
 
 // Scheduler (issue-queue) entry.
@@ -65,6 +69,8 @@ struct SchedEntry {
   bool is_load = false;
   bool is_store = false;
   bool is_branch = false;  // any control op
+
+  bool operator==(const SchedEntry&) const noexcept = default;
 };
 
 // Reorder-buffer entry.
@@ -94,6 +100,8 @@ struct RobEntry {
   bool is_out = false;        // OUT instruction
   bool is_halt = false;
   bool is_sync = false;       // synchronizing instruction
+
+  bool operator==(const RobEntry&) const noexcept = default;
 };
 
 // Load-queue entry.
@@ -103,6 +111,8 @@ struct LdqEntry {
   bool addr_valid = false;
   u64 addr = 0;
   u8 size_log2 = 0;  // 2 bits: access size = 1 << size_log2
+
+  bool operator==(const LdqEntry&) const noexcept = default;
 };
 
 // Store-queue entry.
@@ -113,6 +123,8 @@ struct StqEntry {
   u64 addr = 0;
   u8 size_log2 = 0;
   u64 data = 0;
+
+  bool operator==(const StqEntry&) const noexcept = default;
 };
 
 // An op in flight in an execution pipeline (issued, counting down latency).
@@ -132,6 +144,8 @@ struct ExecSlot {
   bool is_branch = false;
   u8 ldq_id = 0;
   u8 stq_id = 0;
+
+  bool operator==(const ExecSlot&) const noexcept = default;
 };
 
 }  // namespace restore::uarch

@@ -1,5 +1,6 @@
 #include "vm/memory.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -12,6 +13,7 @@ using isa::ExceptionKind;
 using isa::Perms;
 
 const std::shared_ptr<PagedMemory::Page>& PagedMemory::zero_page() {
+  // simlint: allow(PERF-ALLOC) -- one-time static, shared by every mapping
   static const std::shared_ptr<Page> zero = std::make_shared<Page>();
   return zero;
 }
@@ -21,11 +23,16 @@ void PagedMemory::map_region(u64 vaddr, u64 bytes, Perms perms) {
   const u64 first = vaddr >> kPageShift;
   const u64 last = (vaddr + bytes - 1) >> kPageShift;
   for (u64 page = first; page <= last; ++page) {
-    if (page_budget_ != 0 && pages_.find(page) == pages_.end() &&
-        pages_.size() >= page_budget_) {
-      throw BudgetExceeded(BudgetKind::kPages, page_budget_, pages_.size() + 1);
+    auto it = std::lower_bound(
+        pages_.begin(), pages_.end(), page,
+        [](const auto& slot, u64 index) { return slot.first < index; });
+    if (it == pages_.end() || it->first != page) {
+      if (page_budget_ != 0 && pages_.size() >= page_budget_) {
+        throw BudgetExceeded(BudgetKind::kPages, page_budget_, pages_.size() + 1);
+      }
+      it = pages_.insert(it, {page, Entry{}});
     }
-    auto& entry = pages_[page];
+    auto& entry = it->second;
     if (entry.page == nullptr) entry.page = zero_page();
     entry.perms = entry.perms | perms;
   }
@@ -47,13 +54,23 @@ void PagedMemory::load_program(const isa::Program& program) {
 }
 
 const PagedMemory::Entry* PagedMemory::find_entry(u64 vaddr) const noexcept {
-  const auto it = pages_.find(vaddr >> kPageShift);
-  return it == pages_.end() ? nullptr : &it->second;
+  const u64 index = vaddr >> kPageShift;
+  std::size_t lo = 0, hi = pages_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pages_[mid].first < index) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == pages_.size() || pages_[lo].first != index) return nullptr;
+  return &pages_[lo].second;
 }
 
 PagedMemory::Entry* PagedMemory::find_entry(u64 vaddr) noexcept {
-  const auto it = pages_.find(vaddr >> kPageShift);
-  return it == pages_.end() ? nullptr : &it->second;
+  return const_cast<Entry*>(
+      static_cast<const PagedMemory*>(this)->find_entry(vaddr));
 }
 
 PagedMemory::Page& PagedMemory::mutable_page(Entry& entry) {
@@ -63,6 +80,7 @@ PagedMemory::Page& PagedMemory::mutable_page(Entry& entry) {
   // contract (nobody copies this memory while we mutate it), so a reading of
   // 1 is stable and a conservative clone on >1 is always safe.
   if (entry.page.use_count() > 1) {
+    // simlint: allow(PERF-ALLOC) -- copy-on-write clone; pages a trial never touches stay shared
     entry.page = std::make_shared<Page>(*entry.page);
   }
   entry.page->digest_cache.store(0, std::memory_order_relaxed);

@@ -27,8 +27,8 @@
 
 #include <array>
 #include <atomic>
-#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/budget.hpp"
@@ -145,8 +145,14 @@ class PagedMemory {
   // page's cached digest.
   Page& mutable_page(Entry& entry);
 
-  std::map<u64, Entry> pages_;  // keyed by page index (vaddr >> kPageShift)
-  u64 page_budget_ = 0;         // max mapped pages; 0 = unlimited
+  // Page table: (page index, entry) pairs sorted by index. A workload maps a
+  // few dozen pages, so a flat sorted vector beats a node-based map on every
+  // translation (binary search over a cache-resident array, no pointer
+  // chasing) — and translation sits on the hot path of every fetch, load and
+  // store of both simulators. Iteration stays in ascending page order, which
+  // digest()/operator== rely on for determinism.
+  std::vector<std::pair<u64, Entry>> pages_;
+  u64 page_budget_ = 0;  // max mapped pages; 0 = unlimited
 };
 
 }  // namespace restore::vm

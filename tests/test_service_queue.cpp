@@ -157,7 +157,7 @@ TEST(ServiceJobQueue, ProgressAndSnapshotOrder) {
   JobQueue queue;
   const auto a = queue.submit(small_vm_spec(1), 0, "a", false);
   const auto b = queue.submit(small_vm_spec(2), 9, "b", false);
-  queue.update_progress(a.id, 10, 16, 2, 4, 1);
+  queue.update_progress(a.id, 10, 16, 2, 4, 1, 2500);
 
   const auto snap = queue.snapshot(a.id);
   ASSERT_TRUE(snap.has_value());
@@ -166,6 +166,7 @@ TEST(ServiceJobQueue, ProgressAndSnapshotOrder) {
   EXPECT_EQ(snap->shards_done, 2u);
   EXPECT_EQ(snap->shards_total, 4u);
   EXPECT_EQ(snap->quarantined_shards, 1u);
+  EXPECT_EQ(snap->rate_milli, 2500u);
 
   // job_ids lists submission order regardless of priority.
   const auto ids = queue.job_ids();

@@ -95,18 +95,30 @@ std::string_view state_label(const TraceSummary& summary) {
   return "resumable";
 }
 
+// Shard-wall-clock throughput: completed trials over the summed per-shard
+// wall times recorded in the manifest ("-" when no shard has finished).
+std::string fmt_rate(u64 trials, u64 wall_ms_total) {
+  if (wall_ms_total == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f",
+                static_cast<double>(trials) * 1000.0 /
+                    static_cast<double>(wall_ms_total));
+  return buf;
+}
+
 // Aggregate mode: one row per trace, a totals line, worst exit code.
 int report_many(const std::vector<std::string>& paths) {
-  TextTable table({"trace", "kind", "shards", "quarantined", "trials", "state",
-                   "exit"});
+  TextTable table({"trace", "kind", "shards", "quarantined", "trials",
+                   "trials/s", "state", "exit"});
   u64 total_shards_done = 0, total_shards = 0, total_quarantined = 0;
   u64 total_trials_done = 0, total_trials = 0, complete_jobs = 0;
+  u64 total_wall_ms = 0;
   int worst = 0;
   for (const auto& path : paths) {
     const auto summary = summarize(path);
     worst = std::max(worst, summary.exit_code);
     if (!summary.manifest) {
-      table.add_row({summary.path, "?", "-", "-", "-",
+      table.add_row({summary.path, "?", "-", "-", "-", "-",
                      std::string(state_label(summary)),
                      std::to_string(summary.exit_code)});
       std::fprintf(stderr, "campaign_status: %s: %s\n", summary.path.c_str(),
@@ -119,6 +131,9 @@ int report_many(const std::vector<std::string>& paths) {
     total_quarantined += manifest.quarantined.size();
     total_trials_done += summary.done_trials;
     total_trials += manifest.total_trials;
+    u64 wall_ms = 0;
+    for (const u64 ms : manifest.wall_ms) wall_ms += ms;
+    total_wall_ms += wall_ms;
     if (summary.done_shards == manifest.total_shards) ++complete_jobs;
     table.add_row(
         {summary.path, manifest.kind,
@@ -127,6 +142,7 @@ int report_many(const std::vector<std::string>& paths) {
          TextTable::fmt_u(manifest.quarantined.size()),
          TextTable::fmt_u(summary.done_trials) + "/" +
              TextTable::fmt_u(manifest.total_trials),
+         fmt_rate(summary.done_trials, wall_ms),
          std::string(state_label(summary)), std::to_string(summary.exit_code)});
   }
   table.add_row({"total", "",
@@ -135,6 +151,7 @@ int report_many(const std::vector<std::string>& paths) {
                  TextTable::fmt_u(total_quarantined),
                  TextTable::fmt_u(total_trials_done) + "/" +
                      TextTable::fmt_u(total_trials),
+                 fmt_rate(total_trials_done, total_wall_ms),
                  "", std::to_string(worst)});
   std::fputs(table.render().c_str(), stdout);
   std::printf("%zu job(s): %llu complete, %llu quarantined shard(s), worst exit %d\n",

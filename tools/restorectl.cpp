@@ -170,7 +170,7 @@ service::JobSpec spec_from_cli(const CliArgs& args) {
 
 void print_job_status(const WireMessage& msg) {
   std::printf("job %llu  %-11s %-5s config %016llx  shards %llu/%llu  "
-              "trials %llu/%llu  quarantined %llu  exit %llu  %s\n",
+              "trials %llu/%llu  %.1f trials/s  quarantined %llu  exit %llu  %s\n",
               static_cast<unsigned long long>(msg.job), msg.state.c_str(),
               msg.spec.kind.c_str(),
               static_cast<unsigned long long>(msg.config_hash),
@@ -178,6 +178,7 @@ void print_job_status(const WireMessage& msg) {
               static_cast<unsigned long long>(msg.shards_total),
               static_cast<unsigned long long>(msg.trials_done),
               static_cast<unsigned long long>(msg.trials_total),
+              static_cast<double>(msg.rate_milli) / 1000.0,
               static_cast<unsigned long long>(msg.quarantined),
               static_cast<unsigned long long>(msg.exit_code),
               msg.trace.c_str());
@@ -189,13 +190,15 @@ void print_event(const WireMessage& msg) {
     std::printf("[job %llu] %s\n", static_cast<unsigned long long>(msg.job),
                 msg.text.c_str());
   } else {
-    std::printf("[job %llu] %s shard %llu (%s) | %llu/%llu shards | %llu/%llu trials\n",
+    std::printf("[job %llu] %s shard %llu (%s) | %llu/%llu shards | "
+                "%llu/%llu trials | %.1f trials/s\n",
                 static_cast<unsigned long long>(msg.job), msg.event.c_str(),
                 static_cast<unsigned long long>(msg.shard), msg.workload.c_str(),
                 static_cast<unsigned long long>(msg.shards_done),
                 static_cast<unsigned long long>(msg.shards_total),
                 static_cast<unsigned long long>(msg.trials_done),
-                static_cast<unsigned long long>(msg.trials_total));
+                static_cast<unsigned long long>(msg.trials_total),
+                static_cast<double>(msg.rate_milli) / 1000.0);
   }
   std::fflush(stdout);
 }

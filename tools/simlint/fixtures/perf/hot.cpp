@@ -1,0 +1,25 @@
+// PERF fixture: a declared hot-path file with per-trial allocation churn.
+// Every naked allocation below must fire PERF-ALLOC; the annotated cold
+// site at the bottom must stay quiet (the allow() ledger works).
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Trial {
+  int bits = 0;
+};
+
+int run_trial(const std::vector<int>& plan) {
+  Trial* scratch = new Trial();                // expect: PERF-ALLOC
+  auto owned = std::make_unique<Trial>();      // expect: PERF-ALLOC
+  auto shared = std::make_shared<Trial>();     // expect: PERF-ALLOC
+  std::vector<int> copy = plan;                // expect: PERF-ALLOC
+  // simlint: allow(PERF-ALLOC) -- fixture: annotated cold site stays quiet
+  auto cold = std::make_shared<Trial>();
+  const int sum = owned->bits + shared->bits + cold->bits;
+  delete scratch;
+  return sum + static_cast<int>(copy.size());
+}
+
+}  // namespace fixture

@@ -8,7 +8,7 @@ Every result this repo reports rests on two invariants:
   2. The StateRegistry enumerates the *complete* injectable state surface, so
      fig4-style denominators (paper section 4.2, ~46k bits) are trustworthy.
 
-simlint checks both statically, with four rule families:
+simlint checks both statically, with five rule families:
 
   DET  (nondeterminism)   std::random_device / rand / wall-clock reads /
                           getenv outside the CLI layer / standard-library
@@ -33,6 +33,13 @@ simlint checks both statically, with four rule families:
                           must demonstrably feed config_hash or the manifest
                           comparison, so campaign identity can never silently
                           drift.
+  PERF (hot-path alloc)   allocation discipline in the declared trial
+                          inner-loop files (perf.hot_paths): naked `new`,
+                          make_unique/make_shared and whole-container copies
+                          run once per trial — hundreds of thousands of
+                          times per campaign — so each must be hoisted,
+                          amortised (arena/cache), or carry an inline
+                          allow() ledger entry explaining why it is cold.
 
 The tool is engine-agnostic by design: when libclang's python bindings are
 available they could replace the lexical engine, but the default engine is a
@@ -541,6 +548,54 @@ def check_iter(files: list[SourceFile], cfg: dict) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# PERF family: allocation churn in the trial inner loop
+# ---------------------------------------------------------------------------
+
+# The trial inner loop (run_trial and everything it calls per cycle) executes
+# once per injected bit; a campaign runs it ~10^5-10^6 times. A single naked
+# heap allocation there dominates the profile, which is exactly what the
+# TrialArena / ContinuationCache work removed. These rules only apply to the
+# files declared in perf.hot_paths; genuinely cold allocations inside them
+# (one-time statics, per-cache-miss builds) carry allow() ledger entries.
+PERF_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (
+        re.compile(r"(?<![\w:.])new\s+[\w:(]"),
+        "naked `new` in a trial hot path allocates per call; hoist it out of "
+        "the inner loop or reuse an arena slot",
+    ),
+    (
+        re.compile(r"\bstd::make_(?:unique|shared)\s*<"),
+        "make_unique/make_shared in a trial hot path heap-allocates per "
+        "call; amortise it (continuation cache, arena) or add an allow() "
+        "entry explaining why the site is cold",
+    ),
+    (
+        re.compile(
+            r"\b(?:std::)?(?:vector|string|deque|map|set|unordered_map|"
+            r"unordered_set)\s*<[^;<>]*(?:<[^<>]*>)?[^;<>]*>\s+\w+\s*=\s*"
+            r"\w+(?:\.\w+\(\))?\s*;"
+        ),
+        "whole-container copy in a trial hot path churns the heap; take a "
+        "const reference or reuse a preallocated buffer",
+    ),
+]
+
+
+def check_perf(files: list[SourceFile], cfg: dict) -> list[Finding]:
+    hot = set(cfg.get("perf", {}).get("hot_paths", []))
+    findings: list[Finding] = []
+    for sf in files:
+        if sf.path not in hot:
+            continue
+        for pat, msg in PERF_PATTERNS:
+            for m in pat.finditer(sf.code):
+                findings.append(
+                    Finding(sf.path, line_of(sf.code, m.start()), "PERF-ALLOC", msg)
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # COV family: StateRegistry coverage
 # ---------------------------------------------------------------------------
 
@@ -600,6 +655,11 @@ def parse_struct_fields(code: str) -> dict[str, list[tuple[str, str]]]:
                 continue
             type_name = decl.group(1).strip()
             if type_name.split("<")[0].split()[0] in NON_MEMBER_KEYWORDS:
+                continue
+            # A defaulted `bool operator==(...) = default;` parses as a member
+            # named "operator" (the `==...= default` tail matches the
+            # initializer group); it is a function, not a field.
+            if decl.group(2) in NON_MEMBER_KEYWORDS:
                 continue
             fields.append((decl.group(2), type_name))
         if fields:
@@ -671,6 +731,8 @@ def parse_core_members(sf: SourceFile, cfg: dict) -> list[Finding] | list[CoreMe
             continue
         type_name, name = decl.group(1).strip(), decl.group(2)
         if type_name.split("<")[0].split()[0] in NON_MEMBER_KEYWORDS:
+            continue
+        if name in NON_MEMBER_KEYWORDS:  # e.g. a defaulted operator== decl
             continue
         arr = ARRAY_MEMBER_RE.match(type_name)
         if arr:
@@ -1260,7 +1322,7 @@ def check_id(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> list
 # driver
 # ---------------------------------------------------------------------------
 
-FAMILIES = {"DET", "ITER", "COV", "ID"}
+FAMILIES = {"DET", "ITER", "COV", "ID", "PERF"}
 
 
 def run_lint(repo: str, cfg: dict, compdb: str | None, families: set[str]) -> list[Finding]:
@@ -1270,8 +1332,14 @@ def run_lint(repo: str, cfg: dict, compdb: str | None, families: set[str]) -> li
         | set(cfg.get("identity", {}).get("flag_scan_paths", []))
     )
     excluded = cfg.get("exclude_paths", [])
+    discovered = set(discover_files(repo, roots, compdb))
+    # Hot-path files are named individually (not as glob roots), so union
+    # them into the scan set in case they sit outside the configured roots.
+    for rel in cfg.get("perf", {}).get("hot_paths", []):
+        if os.path.exists(os.path.join(repo, rel)):
+            discovered.add(rel)
     files_by_path: dict[str, SourceFile] = {}
-    for rel in discover_files(repo, roots, compdb):
+    for rel in sorted(discovered):
         if excluded and in_paths(rel, excluded):
             continue  # e.g. the lint's own negative fixtures
         try:
@@ -1290,6 +1358,8 @@ def run_lint(repo: str, cfg: dict, compdb: str | None, families: set[str]) -> li
         findings.extend(check_cov(files_by_path, cfg, repo))
     if "ID" in families:
         findings.extend(check_id(files_by_path, cfg, repo))
+    if "PERF" in families:
+        findings.extend(check_perf(files, cfg))
 
     # Apply inline suppressions.
     kept: list[Finding] = []
@@ -1378,8 +1448,8 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--families",
-        default="DET,ITER,COV,ID",
-        help="comma-separated rule families to run (DET,ITER,COV,ID)",
+        default="DET,ITER,COV,ID,PERF",
+        help="comma-separated rule families to run (DET,ITER,COV,ID,PERF)",
     )
     parser.add_argument(
         "--self-test",
