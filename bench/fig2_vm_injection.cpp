@@ -6,11 +6,16 @@
 // §3.1 follow-up study restricting flips to the low 32 bits (--low32).
 //
 // Usage: fig2_vm_injection [--trials N] [--seed S] [--low32]
+//                          [--fault-model single|multi|targeted|rate] [--fault-bits K]
+//                          [--fault-target load|store] [--vdd-mv MV]
+//                          [--freq-mhz MHZ] [--upset-ppm PPM]
 //                          [--out-jsonl PATH] [--resume] [--workers N]
 //                          [--shard-trials N] [--heartbeat N] [--shard-stats PATH]
 //        RESTORE_TRIALS=N scales the per-workload trial count (paper: ~1000).
 //        With --out-jsonl the campaign streams per-trial results as shards
 //        complete and --resume continues an interrupted run from the manifest.
+//        Expanded fault models (fault_model.hpp) apply on top of the result-bit
+//        model; burst/set need microarchitectural state and are rejected here.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
   if (args.value("model").value_or("result") == "register") {
     config.model = faultinject::VmFaultModel::kRegisterBit;
   }
+  config.fault_model = faultinject::fault_model_from_cli(args);
 
   std::printf("=== Figure 2: architectural fault injection (Table 1 categories) ===\n");
   std::printf("fault model: %s%s\n",
@@ -86,6 +92,11 @@ int main(int argc, char** argv) {
                   : "single bit flip in a random live architectural register "
                     "(Gu et al. / rePLay related-work model)",
               config.low32_only ? " (low 32 bits only)" : "");
+  if (!faultinject::is_default_fault_model(config.fault_model)) {
+    std::printf("expanded fault model: %s (%s)\n",
+                std::string(to_string(config.fault_model.model)).c_str(),
+                faultinject::fault_model_identity_key(config.fault_model).c_str());
+  }
   std::printf("workloads: 7 SPECint analogs, %llu trials each\n\n",
               static_cast<unsigned long long>(config.trials_per_workload));
 

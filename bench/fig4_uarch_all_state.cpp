@@ -3,8 +3,15 @@
 // categories and perfect identification of control-flow violations.
 //
 // Usage: fig4_uarch_all_state [--trials N] [--seed S] [--latches-only]
+//                             [--fault-model single|multi|burst|set|targeted|rate]
+//                             [--fault-bits K] [--burst-entries N]
+//                             [--fault-target load|store] [--vdd-mv MV]
+//                             [--freq-mhz MHZ] [--upset-ppm PPM]
 //                             [--out-jsonl PATH] [--resume] [--workers N]
 //                             [--shard-trials N] [--heartbeat N] [--shard-stats PATH]
+//        Expanded fault models (fault_model.hpp) change how each trial's bits
+//        are chosen/flipped; the default single-bit model keeps the campaign
+//        byte-identical to its historical traces.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -21,10 +28,16 @@ int main(int argc, char** argv) {
   config.seed = resolve_seed(args, 0xC0FE);
   config.latches_only = args.has_flag("latches-only");
   config.trial_budget = bench::cli_trial_budget(args);
+  config.fault_model = faultinject::fault_model_from_cli(args);
 
   std::printf("=== Figure 4: microarchitectural fault injection, %s ===\n",
               config.latches_only ? "pipeline latches only (sec. 5.1.2)"
                                   : "all eligible state");
+  if (!faultinject::is_default_fault_model(config.fault_model)) {
+    std::printf("expanded fault model: %s (%s)\n",
+                std::string(to_string(config.fault_model.model)).c_str(),
+                faultinject::fault_model_identity_key(config.fault_model).c_str());
+  }
   std::printf("detector model: perfect exception + control-flow identification\n");
   std::printf("monitored %llu cycles/trial; %llu trials/workload\n\n",
               static_cast<unsigned long long>(config.monitor_cycles),

@@ -13,6 +13,9 @@
 //                           trial-image copy
 //   BENCH_campaign.json     end-to-end uarch campaign trials/sec across all
 //                           seven workloads, fast paths off vs. on
+//   BENCH_faultmodel.json   expanded-fault-model campaign trials/sec, one
+//                           record per model (plan sampling + plan-driven
+//                           trials must not regress the single-bit path)
 //
 // Committed baselines live next to this file (bench/BENCH_*.json); the CI
 // bench job regenerates the numbers and fails on regression past tolerance.
@@ -388,12 +391,74 @@ void write_campaign_report() {
               baseline.rate, optimized.rate, speedup);
 }
 
+// Per-fault-model campaign throughput: the expanded models run the same
+// plan-driven trial body, so their rates should track the single-bit rate
+// (plan sampling is O(bits-per-plan); SET adds one revert pass per trial).
+void write_faultmodel_report() {
+  const std::pair<const char*, faultinject::FaultModel> models[] = {
+      {"single", faultinject::FaultModel::kSingleBit},
+      {"multi", faultinject::FaultModel::kMultiBitAdjacent},
+      {"burst", faultinject::FaultModel::kBurst},
+      {"set", faultinject::FaultModel::kSet},
+      {"targeted", faultinject::FaultModel::kTargeted},
+      {"rate", faultinject::FaultModel::kRateDriven},
+  };
+
+  std::FILE* out = std::fopen("BENCH_faultmodel.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema_version\": %d,\n"
+                 "  \"benchmark\": \"faultmodel\",\n"
+                 "  \"kind\": \"uarch\",\n"
+                 "  \"trials_per_workload\": 24,\n"
+                 "  \"models\": [\n",
+                 kBenchSchemaVersion);
+  }
+  double single_rate = 0.0;
+  for (std::size_t i = 0; i < std::size(models); ++i) {
+    faultinject::UarchCampaignConfig config;
+    config.seed = 4243;
+    config.trials_per_workload = 24;
+    config.workloads = {"gzip", "mcf"};
+    config.monitor_cycles = 2000;
+    config.catchup_cycles = 2000;
+    config.fault_model.model = models[i].second;
+    faultinject::clear_continuation_cache();
+    const auto start = Clock::now();
+    const auto result = faultinject::run_uarch_campaign(config);
+    const auto stop = Clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const double rate =
+        wall_ms > 0 ? static_cast<double>(result.trials.size()) * 1000.0 / wall_ms
+                    : 0.0;
+    if (i == 0) single_rate = rate;
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "    {\"model\": \"%s\", \"trials\": %llu, "
+                   "\"wall_ms\": %.1f, \"trials_per_sec\": %.1f}%s\n",
+                   models[i].first,
+                   static_cast<unsigned long long>(result.trials.size()), wall_ms,
+                   rate, i + 1 < std::size(models) ? "," : "");
+    }
+    std::printf("faultmodel %-8s %.1f trials/s\n", models[i].first, rate);
+  }
+  if (out != nullptr) {
+    std::fprintf(out, "  ],\n  \"single_bit_trials_per_sec\": %.1f\n}\n",
+                 single_rate);
+    std::fclose(out);
+  }
+  std::printf("-> BENCH_faultmodel.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_snapshot_report();
   write_uarch_inner_report();
   write_campaign_report();
+  write_faultmodel_report();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

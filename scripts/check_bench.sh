@@ -42,7 +42,8 @@ python3 - "$workdir" "$TOLERANCE" <<'PY' || status=$?
 import json, sys
 
 workdir, tolerance = sys.argv[1], float(sys.argv[2]) / 100.0
-REPORTS = ["BENCH_snapshot.json", "BENCH_uarch_inner.json", "BENCH_campaign.json"]
+REPORTS = ["BENCH_snapshot.json", "BENCH_uarch_inner.json", "BENCH_campaign.json",
+           "BENCH_faultmodel.json"]
 failures = []
 warnings = []
 checked = 0

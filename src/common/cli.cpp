@@ -69,6 +69,7 @@ struct EnvOverride {
 constexpr EnvOverride kEnvOverrides[] = {
     {"RESTORE_TRIALS", EnvClass::kIdentity},
     {"RESTORE_SEED", EnvClass::kIdentity},
+    {"RESTORE_FAULT_MODEL", EnvClass::kIdentity},
     {"RESTORE_SOCKET", EnvClass::kPresentation},
 };
 
@@ -123,6 +124,12 @@ u64 resolve_seed(const CliArgs& args, u64 fallback) {
   if (auto v = args.value("seed")) return std::stoull(*v);
   if (auto v = env_u64("RESTORE_SEED")) return *v;
   return fallback;
+}
+
+std::optional<std::string> resolve_fault_model_name(const CliArgs& args) {
+  if (auto v = args.value("fault-model")) return v;
+  if (auto v = env_string("RESTORE_FAULT_MODEL")) return v;
+  return std::nullopt;
 }
 
 std::string resolve_socket_path(const CliArgs& args, std::string fallback) {

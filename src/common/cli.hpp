@@ -53,6 +53,12 @@ u64 resolve_trial_count(const CliArgs& args, u64 fallback);
 // Seed override: --seed, then RESTORE_SEED, then `fallback`.
 u64 resolve_seed(const CliArgs& args, u64 fallback);
 
+// Fault-model name override: --fault-model, then RESTORE_FAULT_MODEL, then
+// nullopt (the campaign default, single-bit). Identity-class: the resolved
+// name selects a FaultModelConfig that feeds config_hash whenever it is
+// non-default (faultinject/fault_model.hpp).
+std::optional<std::string> resolve_fault_model_name(const CliArgs& args);
+
 // Campaign-service socket path: --socket, then RESTORE_SOCKET, then
 // `fallback`. Presentation-class: which socket a job was submitted over
 // never reaches a trial record or the campaign identity.

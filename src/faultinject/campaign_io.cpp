@@ -285,6 +285,20 @@ std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial) {
     out.push_back(',');
     append_field(out, "abort_msg", std::string_view(trial.abort_message));
   }
+  // Fault-model record, present only for non-default models so default-model
+  // traces keep their historical bytes.
+  if (!trial.model.empty()) {
+    out.push_back(',');
+    append_field(out, "model", std::string_view(trial.model));
+    if (!trial.extra_bits.empty()) {
+      out.push_back(',');
+      append_field(out, "extra_bits", trial.extra_bits);
+    }
+    if (!trial.upset) {
+      out.push_back(',');
+      append_field(out, "upset", false);
+    }
+  }
   out.push_back('}');
   return out;
 }
@@ -313,6 +327,12 @@ std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
   trial.bit = static_cast<u32>(*bit);
   trial.abort_type = get_string(*obj, "abort_type").value_or("");
   trial.abort_message = get_string(*obj, "abort_msg").value_or("");
+  trial.model = get_string(*obj, "model").value_or("");
+  if (const JsonValue* v = find(*obj, "extra_bits");
+      v != nullptr && v->kind == JsonValue::Kind::kUintArray) {
+    trial.extra_bits = v->array;
+  }
+  trial.upset = get_bool(*obj, "upset").value_or(true);
   return std::make_tuple(*shard, *slot, std::move(trial));
 }
 
@@ -360,6 +380,20 @@ std::string uarch_trial_to_jsonl(u64 shard, u64 slot, const UarchTrialRecord& tr
     append_field(out, "abort_msg", std::string_view(trial.abort_message));
     out.push_back(',');
     append_field(out, "abort_resource", trial.abort_resource);
+  }
+  // Fault-model record, present only for non-default models so default-model
+  // traces keep their historical bytes.
+  if (!trial.model.empty()) {
+    out.push_back(',');
+    append_field(out, "model", std::string_view(trial.model));
+    if (!trial.extra_bits.empty()) {
+      out.push_back(',');
+      append_field(out, "extra_bits", trial.extra_bits);
+    }
+    if (!trial.upset) {
+      out.push_back(',');
+      append_field(out, "upset", false);
+    }
   }
   out.push_back('}');
   return out;
@@ -414,6 +448,12 @@ std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
   trial.abort_type = get_string(*obj, "abort_type").value_or("");
   trial.abort_message = get_string(*obj, "abort_msg").value_or("");
   trial.abort_resource = get_bool(*obj, "abort_resource").value_or(false);
+  trial.model = get_string(*obj, "model").value_or("");
+  if (const JsonValue* v = find(*obj, "extra_bits");
+      v != nullptr && v->kind == JsonValue::Kind::kUintArray) {
+    trial.extra_bits = v->array;
+  }
+  trial.upset = get_bool(*obj, "upset").value_or(true);
   return std::make_tuple(*shard, *slot, std::move(trial));
 }
 

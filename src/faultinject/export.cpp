@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "faultinject/campaign_io.hpp"
 
@@ -51,11 +53,12 @@ bool parse_flag_cell(const std::string& cell, std::size_t row) {
 
 void write_uarch_trials_csv(std::ostream& out,
                             const std::vector<UarchTrialRecord>& trials) {
-  out << "workload,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
+  out << "workload,model,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
          "lat_deadlock,lat_illegal_flow,lat_cache_burst,trace_diverged,"
          "arch_corrupt,uarch_equal,live_diff,end_status\n";
   for (const auto& t : trials) {
-    out << t.workload << ',' << t.field_name << ','
+    out << t.workload << ',' << (t.model.empty() ? "single" : t.model) << ','
+        << t.field_name << ','
         << (t.storage == uarch::StorageClass::kLatch ? "latch" : "sram") << ',';
     switch (t.protection) {
       case uarch::LhfProtection::kNone: out << "none"; break;
@@ -82,9 +85,10 @@ void write_uarch_trials_csv(std::ostream& out,
 
 void write_vm_trials_csv(std::ostream& out,
                          const std::vector<VmTrialResult>& trials) {
-  out << "workload,outcome,latency,inject_index,bit\n";
+  out << "workload,model,outcome,latency,inject_index,bit\n";
   for (const auto& t : trials) {
-    out << t.workload << ',' << to_string(t.outcome) << ',';
+    out << t.workload << ',' << (t.model.empty() ? "single" : t.model) << ','
+        << to_string(t.outcome) << ',';
     latency_cell(out, t.latency);
     out << ',' << t.inject_index << ',' << t.bit << '\n';
   }
@@ -124,26 +128,30 @@ std::vector<UarchTrialRecord> read_uarch_trials_csv(std::istream& in) {
       continue;
     }
     const auto cells = split_row(line);
-    if (cells.size() != 15) bad_row("wrong column count", row);
+    // 16 columns since the model column was added; 15-column files predate it
+    // (implicitly single-bit) and keep reading.
+    if (cells.size() != 15 && cells.size() != 16) bad_row("wrong column count", row);
+    const std::size_t off = cells.size() == 16 ? 1 : 0;
     UarchTrialRecord t;
     t.workload = cells[0];
-    t.field_name = cells[1];
-    const auto storage = storage_from_string(cells[2]);
-    const auto protection = protection_from_string(cells[3]);
+    if (off != 0) t.model = cells[1] == "single" ? "" : cells[1];
+    t.field_name = cells[1 + off];
+    const auto storage = storage_from_string(cells[2 + off]);
+    const auto protection = protection_from_string(cells[3 + off]);
     if (!storage || !protection) bad_row("bad storage/protection", row);
     t.storage = *storage;
     t.protection = *protection;
-    t.lat_exception = parse_latency_cell(cells[4]);
-    t.lat_cfv = parse_latency_cell(cells[5]);
-    t.lat_hiconf = parse_latency_cell(cells[6]);
-    t.lat_deadlock = parse_latency_cell(cells[7]);
-    t.lat_illegal_flow = parse_latency_cell(cells[8]);
-    t.lat_cache_burst = parse_latency_cell(cells[9]);
-    t.trace_diverged = parse_flag_cell(cells[10], row);
-    t.arch_corrupt_at_end = parse_flag_cell(cells[11], row);
-    t.uarch_state_equal = parse_flag_cell(cells[12], row);
-    t.live_state_diff = parse_flag_cell(cells[13], row);
-    t.end_status = static_cast<uarch::Core::Status>(std::stoi(cells[14]));
+    t.lat_exception = parse_latency_cell(cells[4 + off]);
+    t.lat_cfv = parse_latency_cell(cells[5 + off]);
+    t.lat_hiconf = parse_latency_cell(cells[6 + off]);
+    t.lat_deadlock = parse_latency_cell(cells[7 + off]);
+    t.lat_illegal_flow = parse_latency_cell(cells[8 + off]);
+    t.lat_cache_burst = parse_latency_cell(cells[9 + off]);
+    t.trace_diverged = parse_flag_cell(cells[10 + off], row);
+    t.arch_corrupt_at_end = parse_flag_cell(cells[11 + off], row);
+    t.uarch_state_equal = parse_flag_cell(cells[12 + off], row);
+    t.live_state_diff = parse_flag_cell(cells[13 + off], row);
+    t.end_status = static_cast<uarch::Core::Status>(std::stoi(cells[14 + off]));
     trials.push_back(std::move(t));
   }
   return trials;
@@ -162,18 +170,87 @@ std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in) {
       continue;
     }
     const auto cells = split_row(line);
-    if (cells.size() != 5) bad_row("wrong column count", row);
+    // 6 columns since the model column was added; 5-column files predate it
+    // (implicitly single-bit) and keep reading.
+    if (cells.size() != 5 && cells.size() != 6) bad_row("wrong column count", row);
+    const std::size_t off = cells.size() == 6 ? 1 : 0;
     VmTrialResult t;
     t.workload = cells[0];
-    const auto outcome = vm_outcome_from_string(cells[1]);
+    if (off != 0) t.model = cells[1] == "single" ? "" : cells[1];
+    const auto outcome = vm_outcome_from_string(cells[1 + off]);
     if (!outcome) bad_row("bad outcome", row);
     t.outcome = *outcome;
-    t.latency = parse_latency_cell(cells[2]);
-    t.inject_index = std::stoull(cells[3]);
-    t.bit = static_cast<u32>(std::stoul(cells[4]));
+    t.latency = parse_latency_cell(cells[2 + off]);
+    t.inject_index = std::stoull(cells[3 + off]);
+    t.bit = static_cast<u32>(std::stoul(cells[4 + off]));
     trials.push_back(std::move(t));
   }
   return trials;
+}
+
+namespace {
+
+// (model, outcome) -> count, flattened into sorted rows. std::map keys are
+// ordered, so the row order is byte-stable for a given trial multiset.
+std::vector<ModelBreakdownRow> flatten_breakdown(
+    const std::map<std::pair<std::string, std::string>, u64>& counts) {
+  std::vector<ModelBreakdownRow> rows;
+  rows.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    rows.push_back({key.first, key.second, count});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<ModelBreakdownRow> model_breakdown(
+    const std::vector<VmTrialResult>& trials) {
+  std::map<std::pair<std::string, std::string>, u64> counts;
+  for (const auto& t : trials) {
+    const std::string model = t.model.empty() ? "single" : t.model;
+    ++counts[{model, std::string(to_string(t.outcome))}];
+  }
+  return flatten_breakdown(counts);
+}
+
+std::vector<ModelBreakdownRow> model_breakdown(
+    const std::vector<UarchTrialRecord>& trials, DetectorModel detector,
+    ProtectionModel protection, u64 interval) {
+  std::map<std::pair<std::string, std::string>, u64> counts;
+  for (const auto& t : trials) {
+    const std::string model = t.model.empty() ? "single" : t.model;
+    const auto outcome = classify_trial(t, detector, protection, interval);
+    ++counts[{model, std::string(to_string(outcome))}];
+  }
+  return flatten_breakdown(counts);
+}
+
+void write_model_breakdown_csv(std::ostream& out,
+                               const std::vector<ModelBreakdownRow>& rows) {
+  out << "model,outcome,count\n";
+  for (const auto& row : rows) {
+    out << row.model << ',' << row.outcome << ',' << row.count << '\n';
+  }
+}
+
+std::vector<ModelBreakdownRow> read_model_breakdown_csv(std::istream& in) {
+  std::vector<ModelBreakdownRow> rows;
+  std::string line;
+  std::size_t row_no = 0;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    ++row_no;
+    if (line.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    const auto cells = split_row(line);
+    if (cells.size() != 3) bad_row("wrong column count", row_no);
+    rows.push_back({cells[0], cells[1], std::stoull(cells[2])});
+  }
+  return rows;
 }
 
 void write_shard_stats_csv(std::ostream& out, const std::vector<ShardStats>& shards) {

@@ -41,6 +41,29 @@ std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in);
 // than re-run.
 void write_shard_stats_csv(std::ostream& out, const std::vector<ShardStats>& shards);
 
+// Per-fault-model outcome breakdown: one row per (model, outcome) pair with
+// its trial count. Default-model trials (empty `model` field) report as
+// "single". Rows are sorted by model then outcome, so the breakdown of a
+// given trial set is byte-stable.
+struct ModelBreakdownRow {
+  std::string model;
+  std::string outcome;
+  u64 count = 0;
+};
+
+std::vector<ModelBreakdownRow> model_breakdown(const std::vector<VmTrialResult>& trials);
+// Uarch trials are classified with the given detector/protection model and
+// checkpoint interval (classify.hpp) before aggregation.
+std::vector<ModelBreakdownRow> model_breakdown(const std::vector<UarchTrialRecord>& trials,
+                                               DetectorModel detector,
+                                               ProtectionModel protection,
+                                               u64 interval);
+
+// CSV round trip for the breakdown (model,outcome,count).
+void write_model_breakdown_csv(std::ostream& out,
+                               const std::vector<ModelBreakdownRow>& rows);
+std::vector<ModelBreakdownRow> read_model_breakdown_csv(std::istream& in);
+
 // Convenience: write to a file path (throws std::runtime_error on I/O error).
 void write_uarch_trials_csv(const std::string& path,
                             const std::vector<UarchTrialRecord>& trials);

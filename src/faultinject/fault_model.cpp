@@ -1,0 +1,269 @@
+#include "faultinject/fault_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace restore::faultinject {
+
+namespace {
+
+using uarch::BitRef;
+using uarch::StateField;
+using uarch::StateRegistry;
+using uarch::StorageClass;
+
+constexpr std::string_view kModelNames[] = {"single", "multi",    "burst",
+                                            "set",    "targeted", "rate"};
+
+// Field-name prefixes of the load/store queue structures in the audited state
+// manifest; targeted injection at the uarch level samples only these.
+std::string_view target_prefix(std::string_view target) noexcept {
+  return target == "store" ? "stq." : "ldq.";
+}
+
+bool field_matches_target(const StateField& field, std::string_view prefix,
+                          bool latches_only) noexcept {
+  if (latches_only && field.storage != StorageClass::kLatch) return false;
+  return std::string_view(field.name).substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultModel model) noexcept {
+  const auto index = static_cast<std::size_t>(model);
+  return index < std::size(kModelNames) ? kModelNames[index] : "?";
+}
+
+std::optional<FaultModel> fault_model_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < std::size(kModelNames); ++i) {
+    if (name == kModelNames[i]) return static_cast<FaultModel>(i);
+  }
+  return std::nullopt;
+}
+
+bool is_default_fault_model(const FaultModelConfig& config) noexcept {
+  return config.model == FaultModel::kSingleBit;
+}
+
+std::string fault_model_identity_key(const FaultModelConfig& config) {
+  std::string key(to_string(config.model));
+  switch (config.model) {
+    case FaultModel::kMultiBitAdjacent:
+      key += ",k=" + std::to_string(config.multi_bits);
+      break;
+    case FaultModel::kBurst:
+      key += ",entries=" + std::to_string(config.burst_entries);
+      break;
+    case FaultModel::kTargeted:
+      key += ",target=" + config.target;
+      break;
+    case FaultModel::kRateDriven:
+      key += ",vdd=" + std::to_string(config.vdd_mv);
+      key += ",freq=" + std::to_string(config.freq_mhz);
+      key += ",ppm=" + std::to_string(config.upset_ppm);
+      break;
+    default:
+      break;
+  }
+  return key;
+}
+
+double upset_probability(const FaultModelConfig& config) noexcept {
+  if (config.freq_mhz == 0) return 1.0;
+  const double nominal = static_cast<double>(config.upset_ppm) * 1e-6;
+  const double freq_scale = 1000.0 / static_cast<double>(config.freq_mhz);
+  const double vdd_scale =
+      std::exp2((1000.0 - static_cast<double>(config.vdd_mv)) / 250.0);
+  const double p = nominal * freq_scale * vdd_scale;
+  return p < 1.0 ? p : 1.0;
+}
+
+void validate_fault_model(const FaultModelConfig& config, bool vm_campaign) {
+  switch (config.model) {
+    case FaultModel::kSingleBit:
+      return;
+    case FaultModel::kMultiBitAdjacent:
+      if (config.multi_bits < 2 || config.multi_bits > 64) {
+        throw std::invalid_argument(
+            "multi-bit fault model needs 2..64 adjacent bits (--fault-bits)");
+      }
+      return;
+    case FaultModel::kBurst:
+      if (vm_campaign) {
+        throw std::invalid_argument(
+            "burst upsets need SRAM geometry; the architectural (vm) campaign "
+            "has none — use the uarch campaign");
+      }
+      if (config.burst_entries < 2) {
+        throw std::invalid_argument(
+            "burst fault model needs >= 2 consecutive entries (--burst-entries)");
+      }
+      return;
+    case FaultModel::kSet:
+      if (vm_campaign) {
+        throw std::invalid_argument(
+            "SET transients are a latch-level model; the architectural (vm) "
+            "campaign has no cycle semantics — use the uarch campaign");
+      }
+      return;
+    case FaultModel::kTargeted:
+      if (config.target != "load" && config.target != "store") {
+        throw std::invalid_argument(
+            "targeted fault model needs --fault-target load|store, got: " +
+            config.target);
+      }
+      return;
+    case FaultModel::kRateDriven:
+      if (config.freq_mhz == 0 || config.vdd_mv == 0) {
+        throw std::invalid_argument(
+            "rate-driven fault model needs a nonzero operating point "
+            "(--vdd-mv, --freq-mhz)");
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown fault model");
+}
+
+InjectionPlan sample_injection_plan(const FaultModelConfig& config,
+                                    const StateRegistry& registry,
+                                    bool latches_only, Rng& model_rng) {
+  const std::optional<StorageClass> filter =
+      latches_only ? std::optional<StorageClass>(StorageClass::kLatch)
+                   : std::nullopt;
+  InjectionPlan plan;
+  switch (config.model) {
+    case FaultModel::kSingleBit:
+      plan.bits.push_back(registry.sample(model_rng, filter));
+      return plan;
+
+    case FaultModel::kMultiBitAdjacent: {
+      const u32 k = config.multi_bits;
+      bool feasible = false;
+      for (const auto& field : registry.fields()) {
+        if (latches_only && field.storage != StorageClass::kLatch) continue;
+        if (field.bits_per_entry >= k) {
+          feasible = true;
+          break;
+        }
+      }
+      if (!feasible) {
+        throw std::invalid_argument("no eligible field is >= " +
+                                    std::to_string(k) + " bits wide");
+      }
+      // Rejection-sample a base bit until its field can hold k adjacent bits,
+      // then anchor the run so it stays inside the entry. Every plan flips
+      // exactly k bits of one entry.
+      BitRef base;
+      do {
+        base = registry.sample(model_rng, filter);
+      } while (registry.field(base).bits_per_entry < k);
+      const u32 start = std::min(base.bit, registry.field(base).bits_per_entry - k);
+      for (u32 i = 0; i < k; ++i) {
+        plan.bits.push_back(BitRef{base.field, base.entry, start + i});
+      }
+      return plan;
+    }
+
+    case FaultModel::kBurst: {
+      const u32 n = config.burst_entries;
+      bool feasible = false;
+      for (const auto& field : registry.fields()) {
+        if (field.storage == StorageClass::kSram && field.entries >= n) {
+          feasible = true;
+          break;
+        }
+      }
+      if (!feasible) {
+        throw std::invalid_argument("no SRAM array has >= " +
+                                    std::to_string(n) + " entries");
+      }
+      // Column upset: the same bit position across n consecutive entries of
+      // one SRAM array (the physical adjacency of a column strike).
+      BitRef base;
+      do {
+        base = registry.sample(model_rng, StorageClass::kSram);
+      } while (registry.field(base).entries < n);
+      const u32 start = std::min(base.entry, registry.field(base).entries - n);
+      for (u32 i = 0; i < n; ++i) {
+        plan.bits.push_back(BitRef{base.field, start + i, base.bit});
+      }
+      return plan;
+    }
+
+    case FaultModel::kSet:
+      // A transient lands on a latch (the captured output of a combinational
+      // cone); SRAM cells hold their upsets, which is the burst/single model.
+      plan.bits.push_back(registry.sample(model_rng, StorageClass::kLatch));
+      plan.transient = true;
+      return plan;
+
+    case FaultModel::kTargeted: {
+      const std::string_view prefix = target_prefix(config.target);
+      u64 total = 0;
+      for (const auto& field : registry.fields()) {
+        if (field_matches_target(field, prefix, latches_only)) {
+          total += field.total_bits();
+        }
+      }
+      if (total == 0) {
+        throw std::invalid_argument("no eligible state matches fault target: " +
+                                    config.target);
+      }
+      u64 pick = model_rng.below(total);
+      for (u32 f = 0; f < registry.fields().size(); ++f) {
+        const auto& field = registry.fields()[f];
+        if (!field_matches_target(field, prefix, latches_only)) continue;
+        if (pick >= field.total_bits()) {
+          pick -= field.total_bits();
+          continue;
+        }
+        plan.bits.push_back(BitRef{f, static_cast<u32>(pick / field.bits_per_entry),
+                                   static_cast<u32>(pick % field.bits_per_entry)});
+        return plan;
+      }
+      throw std::logic_error("targeted sample walked past the state space");
+    }
+
+    case FaultModel::kRateDriven:
+      plan.bits.push_back(registry.sample(model_rng, filter));
+      plan.upset = model_rng.chance(upset_probability(config));
+      return plan;
+  }
+  throw std::invalid_argument("unknown fault model");
+}
+
+u64 pack_bit_ref(const BitRef& ref) noexcept {
+  return (static_cast<u64>(ref.field) << 42) | (static_cast<u64>(ref.entry) << 21) |
+         static_cast<u64>(ref.bit);
+}
+
+BitRef unpack_bit_ref(u64 packed) noexcept {
+  BitRef ref;
+  ref.field = static_cast<u32>(packed >> 42);
+  ref.entry = static_cast<u32>((packed >> 21) & 0x1FFFFF);
+  ref.bit = static_cast<u32>(packed & 0x1FFFFF);
+  return ref;
+}
+
+FaultModelConfig fault_model_from_cli(const CliArgs& args) {
+  FaultModelConfig config;
+  if (const auto name = resolve_fault_model_name(args)) {
+    const auto model = fault_model_from_string(*name);
+    if (!model) {
+      throw std::invalid_argument(
+          "unknown fault model (want single|multi|burst|set|targeted|rate): " +
+          *name);
+    }
+    config.model = *model;
+  }
+  config.multi_bits = static_cast<u32>(args.value_u64("fault-bits", config.multi_bits));
+  config.burst_entries =
+      static_cast<u32>(args.value_u64("burst-entries", config.burst_entries));
+  if (const auto target = args.value("fault-target")) config.target = *target;
+  config.vdd_mv = args.value_u64("vdd-mv", config.vdd_mv);
+  config.freq_mhz = args.value_u64("freq-mhz", config.freq_mhz);
+  config.upset_ppm = args.value_u64("upset-ppm", config.upset_ppm);
+  return config;
+}
+
+}  // namespace restore::faultinject

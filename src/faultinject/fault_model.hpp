@@ -1,0 +1,129 @@
+// Fault-model taxonomy for the injection campaigns.
+//
+// The paper's evaluation injects single bit flips into latches and SRAM
+// (§4.2); its symptom-detection argument only generalizes if coverage holds
+// under realistic upset models. This header defines the expanded model space:
+//
+//   single    one bit of one state element (the paper's model; the default)
+//   multi     k physically adjacent bits of one entry (multi-bit upset)
+//   burst     the same bit column across n consecutive entries of one SRAM
+//             array (spatially-correlated column upset over the geometry in
+//             the audited state manifest)
+//   set       a single-event transient: a latch captures a wrong value for
+//             one cycle, then the combinational cone re-evaluates and the
+//             glitch clears (Azambuja et al., SEU+SET)
+//   targeted  load/store-targeted injection (LSQ structures at the uarch
+//             level; load-result / store-point sites at the arch level)
+//   rate      rate-driven injection where the per-trial upset probability is
+//             a function of the operating point (supply voltage and clock
+//             frequency), after the DVFS-dependent error-rate idiom
+//
+// Every model draws its plan from a per-shard *substream* seeded off the
+// shard seed and the model tag (see model_stream_seed in orchestrator.hpp),
+// so byte identity at any worker count — and across interrupt+resume — is
+// preserved, and the default single-bit model keeps drawing from the primary
+// shard stream exactly as before (existing traces stay byte-identical).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "uarch/state_registry.hpp"
+
+namespace restore::faultinject {
+
+enum class FaultModel : u8 {
+  kSingleBit,
+  kMultiBitAdjacent,
+  kBurst,
+  kSet,
+  kTargeted,
+  kRateDriven,
+};
+
+struct FaultModelConfig {
+  FaultModel model = FaultModel::kSingleBit;
+  // kMultiBitAdjacent: bits flipped together (adjacent within one entry).
+  u32 multi_bits = 2;
+  // kBurst: consecutive entries sharing the flipped bit column.
+  u32 burst_entries = 2;
+  // kTargeted: "load" or "store".
+  std::string target = "load";
+  // kRateDriven operating point: upset probability per trial is
+  //   min(1, upset_ppm/1e6 * (1000/freq_mhz) * 2^((1000 - vdd_mv)/250))
+  // — lower voltage raises the rate exponentially, higher frequency shortens
+  // the per-cycle exposure window. Defaults are the nominal point where the
+  // rate equals upset_ppm/1e6.
+  u64 vdd_mv = 1000;
+  u64 freq_mhz = 1000;
+  u64 upset_ppm = 1'000'000;  // certain upset at the nominal point
+};
+
+// Short stable token ("single", "multi", "burst", "set", "targeted", "rate");
+// recorded per trial in the JSONL trace and used by CLI/wire encodings.
+std::string_view to_string(FaultModel model) noexcept;
+std::optional<FaultModel> fault_model_from_string(std::string_view name) noexcept;
+
+// True for the paper's single-bit model: the campaign behaves (and hashes,
+// and serializes) exactly as before this subsystem existed.
+bool is_default_fault_model(const FaultModelConfig& config) noexcept;
+
+// Identity segment appended to campaign config-hash keys (only for
+// non-default models, so pre-existing manifests keep resuming cleanly).
+// Includes every knob the selected model reads.
+std::string fault_model_identity_key(const FaultModelConfig& config);
+
+// Per-trial upset probability of the rate-driven model at the configured
+// operating point (see FaultModelConfig).
+double upset_probability(const FaultModelConfig& config) noexcept;
+
+// Structural validation; throws std::invalid_argument on a config the target
+// campaign cannot run (burst/SET need microarchitectural state, so the vm
+// campaign rejects them; targeted needs target "load" or "store"; multi/burst
+// extents must be >= 2 and within the state geometry).
+void validate_fault_model(const FaultModelConfig& config, bool vm_campaign);
+
+// One trial's injection set: the bits flipped together at the injection
+// point, whether the flip is a one-cycle transient (SET: any bit whose latch
+// was not overwritten during the first monitored cycle reverts), and whether
+// the rate-driven model upset this trial at all (false = no flip; the trial
+// is recorded as masked with an explicit "upset":false marker).
+struct InjectionPlan {
+  std::vector<uarch::BitRef> bits;
+  bool transient = false;
+  bool upset = true;
+};
+
+// Sample one microarchitectural injection plan from the model's substream.
+// The single-bit model is handled by the campaigns on the primary shard
+// stream (for byte identity with existing traces); this sampler covers it too
+// for tests. `latches_only` narrows eligible state for the models that honor
+// it (single/multi/targeted/rate); burst is kSram and SET kLatch by
+// definition. Throws std::invalid_argument when no eligible state matches.
+InjectionPlan sample_injection_plan(const FaultModelConfig& config,
+                                    const uarch::StateRegistry& registry,
+                                    bool latches_only, Rng& model_rng);
+
+// Extra flipped bits (everything past the plan's primary bit) are recorded in
+// the JSONL trace as packed u64s so the round trip is exact.
+u64 pack_bit_ref(const uarch::BitRef& ref) noexcept;
+uarch::BitRef unpack_bit_ref(u64 packed) noexcept;
+
+// Shared fault-model CLI surface, understood by every campaign binary:
+//   --fault-model single|multi|burst|set|targeted|rate
+//                      (RESTORE_FAULT_MODEL environment fallback)
+//   --fault-bits K     multi: adjacent bits flipped together
+//   --burst-entries N  burst: consecutive SRAM entries in the column
+//   --fault-target load|store
+//   --vdd-mv MV / --freq-mhz MHZ / --upset-ppm PPM
+//                      rate: operating point and nominal upset rate
+// All of them are identity-class: they resolve into FaultModelConfig, which
+// feeds config_hash whenever the model is non-default.
+FaultModelConfig fault_model_from_cli(const CliArgs& args);
+
+}  // namespace restore::faultinject

@@ -11,6 +11,13 @@ u64 shard_stream_seed(u64 root_seed, const std::string& workload, u64 ordinal) {
   return splitmix64_next(sm);
 }
 
+u64 model_stream_seed(u64 shard_seed, u64 stream_tag) noexcept {
+  // Same finalizer discipline as shard_stream_seed: decorrelate adjacent tags
+  // before the mix feeds a xoshiro state.
+  u64 sm = shard_seed ^ (stream_tag + 1) * 0xd6e8feb86659fd93ULL;
+  return splitmix64_next(sm);
+}
+
 std::vector<ShardSpec> plan_shards(u64 root_seed,
                                    const std::vector<std::string>& workloads,
                                    u64 trials_per_workload, u64 shard_trials) {

@@ -119,6 +119,16 @@ struct CampaignTelemetry {
 // independent of workload order and count.
 u64 shard_stream_seed(u64 root_seed, const std::string& workload, u64 ordinal);
 
+// Seed for a tagged substream *within* one shard's stream. Non-default fault
+// models draw their injection plans from Rng(model_stream_seed(shard.seed,
+// tag)) instead of the shard's primary Rng, so (a) the primary stream's draw
+// sequence — and with it every existing single-bit trace — is untouched, and
+// (b) the substream is still a pure function of the shard, preserving byte
+// identity at any worker count and across interrupt+resume. Pure mixing, no
+// Rng is constructed or mutated (Rng::fork advances the parent, which would
+// break (a)).
+u64 model_stream_seed(u64 shard_seed, u64 stream_tag) noexcept;
+
 // Cut every workload's trial count into shards of (at most) shard_trials.
 std::vector<ShardSpec> plan_shards(u64 root_seed,
                                    const std::vector<std::string>& workloads,

@@ -101,20 +101,36 @@ u64 effective_page_cap(const ResourceBudget& budget) {
 
 // Runs one trial. `faulty` must be a fresh copy of the injection-point core
 // (callers either construct it or restore a per-shard arena image in place);
-// run_trial flips the bit and monitors from there.
+// run_trial flips every bit of the plan and monitors from there. A transient
+// (SET) plan additionally reverts, after the first monitored cycle, every
+// planned bit whose latch still holds the flipped value: the glitched
+// combinational cone re-evaluates correctly on the next clock, so only a
+// latch the machine did not overwrite snaps back. A no-upset plan (rate-
+// driven model, no strike this trial) flips nothing and monitors a machine
+// identical to golden.
 UarchTrialRecord run_trial(Core& faulty, const GoldenContinuation& golden,
-                           const uarch::BitRef& bit, u64 monitor_cycles,
+                           const InjectionPlan& plan, u64 monitor_cycles,
                            u64 catchup_cycles,
                            const ResourceBudget& trial_budget) {
   const StateRegistry& reg = StateRegistry::instance();
 
+  const uarch::BitRef& bit = plan.bits.front();
   UarchTrialRecord record;
   record.bit = bit;
   record.storage = reg.field(bit).storage;
   record.protection = reg.field(bit).protection;
   record.field_name = reg.field(bit).name;
 
-  reg.flip(faulty, bit);
+  std::vector<u64> flipped_value;
+  if (plan.upset) {
+    if (plan.transient) {
+      flipped_value.reserve(plan.bits.size());
+      for (const auto& b : plan.bits) {
+        flipped_value.push_back(reg.read(faulty, b) ^ (u64{1} << b.bit));
+      }
+    }
+    for (const auto& b : plan.bits) reg.flip(faulty, b);
+  }
   const u64 base = faulty.retired_count();
 
   // Budget limits are allowances *from the injection point*; the core checks
@@ -150,6 +166,19 @@ UarchTrialRecord run_trial(Core& faulty, const GoldenContinuation& golden,
   std::size_t next_cp = 0;
   for (u64 c = 0; c < monitor_cycles && faulty.running(); ++c) {
     faulty.cycle();
+    if (plan.transient && plan.upset && c == 0) {
+      // SET semantics: the glitch lasted one clock. Any planned latch still
+      // holding its flipped value was not overwritten by the machine, so the
+      // re-evaluated combinational cone restores it; a latch the machine
+      // rewrote (or consumed) keeps whatever propagated. The revert happens
+      // before the first convergence checkpoint (offset 64), so the shortcut
+      // machinery never sees a mid-transient state.
+      for (std::size_t i = 0; i < plan.bits.size(); ++i) {
+        if (reg.read(faulty, plan.bits[i]) == flipped_value[i]) {
+          reg.flip(faulty, plan.bits[i]);
+        }
+      }
+    }
     for (const auto& rec : faulty.retired_this_cycle()) {
       const u64 idx = compared++;
       if (idx >= golden.trace.size()) {
@@ -452,11 +481,21 @@ UarchTrialRecord run_uarch_trial(const Core& golden_at_point,
                                  const uarch::BitRef& bit, u64 monitor_cycles,
                                  u64 catchup_cycles,
                                  const ResourceBudget& trial_budget) {
+  InjectionPlan plan;
+  plan.bits.push_back(bit);
+  return run_uarch_plan_trial(golden_at_point, plan, monitor_cycles,
+                              catchup_cycles, trial_budget);
+}
+
+UarchTrialRecord run_uarch_plan_trial(const Core& golden_at_point,
+                                      const InjectionPlan& plan,
+                                      u64 monitor_cycles, u64 catchup_cycles,
+                                      const ResourceBudget& trial_budget) {
   const bool with_checkpoints =
       trial_speed().convergence_shortcut && trial_budget.unlimited();
   GoldenContinuation golden(golden_at_point, monitor_cycles, with_checkpoints);
   Core faulty = golden_at_point;
-  return run_trial(faulty, golden, bit, monitor_cycles, catchup_cycles,
+  return run_trial(faulty, golden, plan, monitor_cycles, catchup_cycles,
                    trial_budget);
 }
 
@@ -505,16 +544,36 @@ std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
   for (u64 p = 0; p < points; ++p) cycles.push_back(rng.range(lo, hi));
   std::sort(cycles.begin(), cycles.end());
 
-  // All randomness is drawn in a fixed order (cycles, then bits) before any
+  // All randomness is drawn in a fixed order (cycles, then plans) before any
   // trial executes, so the shard's draws never depend on machine behaviour.
-  std::vector<std::vector<uarch::BitRef>> bits(points);
+  // The default single-bit model draws its bits from the primary shard stream
+  // exactly as it always has (default traces stay byte-identical); every
+  // other model draws from its own substream keyed by the model tag, so the
+  // plan sequence is a pure function of (shard seed, model) regardless of
+  // worker count or resume boundaries.
+  const FaultModelConfig& fm = config.fault_model;
+  const bool default_model = is_default_fault_model(fm);
+  std::vector<std::vector<InjectionPlan>> plans(points);
   u64 planned = 0;
-  for (u64 p = 0; p < points; ++p) {
-    while (bits[p].size() < per_point && planned < shard.trial_count) {
-      bits[p].push_back(config.latches_only
-                            ? reg.sample(rng, uarch::StorageClass::kLatch)
-                            : reg.sample(rng));
-      ++planned;
+  if (default_model) {
+    for (u64 p = 0; p < points; ++p) {
+      while (plans[p].size() < per_point && planned < shard.trial_count) {
+        InjectionPlan plan;
+        plan.bits.push_back(config.latches_only
+                                ? reg.sample(rng, uarch::StorageClass::kLatch)
+                                : reg.sample(rng));
+        plans[p].push_back(std::move(plan));
+        ++planned;
+      }
+    }
+  } else {
+    Rng model_rng(model_stream_seed(shard.seed, static_cast<u64>(fm.model)));
+    for (u64 p = 0; p < points; ++p) {
+      while (plans[p].size() < per_point && planned < shard.trial_count) {
+        plans[p].push_back(
+            sample_injection_plan(fm, reg, config.latches_only, model_rng));
+        ++planned;
+      }
     }
   }
 
@@ -554,15 +613,23 @@ std::vector<UarchTrialRecord> run_uarch_shard(const UarchCampaignConfig& config,
     }
     const GoldenContinuation& continuation = shared ? *shared : *local;
 
-    for (const auto& bit : bits[p]) {
+    for (const auto& plan : plans[p]) {
       UarchTrialRecord record;
       const auto abort = contain_trial([&] {
         if (!speed.trial_arena) arena.clear();
         Core& faulty = arena.reset_to(at_point);
-        record = run_trial(faulty, continuation, bit, config.monitor_cycles,
+        record = run_trial(faulty, continuation, plan, config.monitor_cycles,
                            config.catchup_cycles, config.trial_budget);
       });
-      if (abort) record = aborted_uarch_record(bit, *abort);
+      if (abort) record = aborted_uarch_record(plan.bits.front(), *abort);
+      if (!default_model) {
+        record.model = std::string(to_string(fm.model));
+        record.extra_bits.clear();
+        for (std::size_t i = 1; i < plan.bits.size(); ++i) {
+          record.extra_bits.push_back(pack_bit_ref(plan.bits[i]));
+        }
+        record.upset = plan.upset;
+      }
       record.workload = wl.name;
       records.push_back(std::move(record));
     }
@@ -594,12 +661,18 @@ u64 config_hash(const UarchCampaignConfig& config) {
   if (!config.trial_budget.unlimited()) {
     key += ";budget=" + budget_identity_key(config.trial_budget);
   }
+  // Same appended-only discipline for the fault_model: the default single-bit
+  // model hashes exactly as before the subsystem existed.
+  if (!is_default_fault_model(config.fault_model)) {
+    key += ";fmodel=" + fault_model_identity_key(config.fault_model);
+  }
   return fnv1a(key, fnv1a(std::to_string(config.seed)));
 }
 
 UarchCampaignResult run_uarch_campaign(const UarchCampaignConfig& config,
                                        const CampaignRunOptions& options,
                                        CampaignTelemetry* telemetry) {
+  validate_fault_model(config.fault_model, /*vm_campaign=*/false);
   const StateRegistry& reg = StateRegistry::instance();
   UarchCampaignResult result;
   result.eligible_bits = config.latches_only

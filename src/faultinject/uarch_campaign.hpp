@@ -18,6 +18,7 @@
 #include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "faultinject/fault_model.hpp"
 #include "faultinject/outcome.hpp"
 #include "uarch/core.hpp"
 #include "uarch/state_registry.hpp"
@@ -48,6 +49,11 @@ struct UarchCampaignConfig {
   // the trial machine's mapped memory. Default (all zero) = unlimited, which
   // also keeps pre-budget campaign identity hashes unchanged.
   ResourceBudget trial_budget;
+  // Fault model for every trial (fault_model.hpp). The default single-bit
+  // model samples from the shard's primary RNG stream exactly as before, so
+  // default campaigns stay byte-identical; non-default models draw their
+  // plans from a per-shard model substream and contribute to config_hash.
+  FaultModelConfig fault_model;
   // Worker threads for trial execution (0 = run inline). Results are
   // deterministic regardless: bits are pre-sampled sequentially, trials are
   // independent and write pre-assigned result slots. Trial fan-out is
@@ -88,6 +94,14 @@ struct UarchTrialRecord {
   std::string abort_type;
   std::string abort_message;
   bool abort_resource = false;
+
+  // Fault-model record, populated only for non-default models so default
+  // traces keep their historical bytes: the model token, every extra flipped
+  // bit beyond `bit` (packed via pack_bit_ref), and — for the rate-driven
+  // model — whether the trial upset at all.
+  std::string model;
+  std::vector<u64> extra_bits;
+  bool upset = true;
 
   bool aborted() const noexcept { return !abort_type.empty(); }
 };
@@ -130,5 +144,15 @@ UarchTrialRecord run_uarch_trial(const uarch::Core& golden_at_point,
                                  const uarch::BitRef& bit, u64 monitor_cycles,
                                  u64 catchup_cycles,
                                  const ResourceBudget& trial_budget = {});
+
+// Plan-driven single trial (exposed for the fault-model property tests): flip
+// every bit of `plan` at the injection point (none when plan.upset is false),
+// conditionally revert transient bits after one monitored cycle, and monitor
+// exactly like run_uarch_trial. The record's `bit` is the plan's primary
+// (first) bit; the caller stamps model/extra_bits/upset.
+UarchTrialRecord run_uarch_plan_trial(const uarch::Core& golden_at_point,
+                                      const InjectionPlan& plan,
+                                      u64 monitor_cycles, u64 catchup_cycles,
+                                      const ResourceBudget& trial_budget = {});
 
 }  // namespace restore::faultinject

@@ -256,17 +256,75 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
     u64 index = 0;
     u32 bit = 0;
     u8 reg = 0;
-    std::size_t slot = 0;  // position in the shard's result vector
+    bool flip_reg = false;  // targeted-store: flip register `reg`, not the rd
+    u32 flip_bits = 1;      // multi: adjacent result bits flipped together
+    bool upset = true;      // rate: false = no strike; recorded masked
+    std::size_t slot = 0;   // position in the shard's result vector
   };
+  const FaultModelConfig& fm = config.fault_model;
+  const bool default_model = is_default_fault_model(fm);
+  const u32 width = config.low32_only ? 32 : 64;
   std::vector<PlannedTrial> plans(shard.trial_count);
-  for (u64 t = 0; t < shard.trial_count; ++t) {
-    plans[t].slot = t;
-    plans[t].bit = static_cast<u32>(rng.below(config.low32_only ? 32 : 64));
-    if (config.model == VmFaultModel::kResultBit) {
-      plans[t].index = golden.result_indices[rng.below(golden.result_indices.size())];
+  if (default_model) {
+    for (u64 t = 0; t < shard.trial_count; ++t) {
+      plans[t].slot = t;
+      plans[t].bit = static_cast<u32>(rng.below(width));
+      if (config.model == VmFaultModel::kResultBit) {
+        plans[t].index = golden.result_indices[rng.below(golden.result_indices.size())];
+      } else {
+        plans[t].index = rng.below(golden.records.size());
+        plans[t].reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
+      }
+    }
+  } else {
+    // Non-default models draw from the model substream (never the primary
+    // stream), with the same fixed per-trial draw order as the default path
+    // (bit, then site, then model-specific extras). `rng` stays untouched, so
+    // byte identity of the default model is structurally impossible to break
+    // from here.
+    Rng model_rng(model_stream_seed(shard.seed, static_cast<u64>(fm.model)));
+    // Architectural site list per model: the rate and multi models use the
+    // result-producing sites; targeted narrows to load results or store
+    // points (the store-targeted flip corrupts a random register right at the
+    // store, the closest architectural analogue of an LSQ upset).
+    std::vector<u64> sites;
+    if (fm.model == FaultModel::kTargeted) {
+      for (u64 i = 0; i < golden.records.size(); ++i) {
+        const vm::Retired& r = golden.records[i];
+        if (fm.target == "store" ? r.is_store : (r.is_load && r.wrote_reg)) {
+          sites.push_back(i);
+        }
+      }
+      if (sites.empty()) {
+        throw std::invalid_argument("no " + fm.target +
+                                    " sites in workload: " + wl.name);
+      }
     } else {
-      plans[t].index = rng.below(golden.records.size());
-      plans[t].reg = static_cast<u8>(rng.below(31));  // r31 is hardwired zero
+      sites = golden.result_indices;
+    }
+    const double p = upset_probability(fm);
+    const u32 k = std::min<u32>(std::max<u32>(fm.multi_bits, 1), width);
+    for (u64 t = 0; t < shard.trial_count; ++t) {
+      plans[t].slot = t;
+      plans[t].bit = static_cast<u32>(model_rng.below(width));
+      plans[t].index = sites[model_rng.below(sites.size())];
+      switch (fm.model) {
+        case FaultModel::kMultiBitAdjacent:
+          plans[t].flip_bits = k;
+          plans[t].bit = std::min(plans[t].bit, width - k);
+          break;
+        case FaultModel::kTargeted:
+          if (fm.target == "store") {
+            plans[t].flip_reg = true;
+            plans[t].reg = static_cast<u8>(model_rng.below(31));
+          }
+          break;
+        case FaultModel::kRateDriven:
+          plans[t].upset = model_rng.chance(p);
+          break;
+        default:
+          break;
+      }
     }
   }
 
@@ -284,26 +342,51 @@ std::vector<VmTrialResult> run_vm_shard(const VmCampaignConfig& config,
   TrialArena<vm::Vm> arena;
   for (const std::size_t oi : order) {
     const PlannedTrial& plan = plans[oi];
-    while (steps <= plan.index) {
-      golden_vm.step();
-      ++steps;
-    }
-    const auto abort = contain_trial([&] {
-      if (!use_arena) arena.clear();
-      vm::Vm& faulty = arena.reset_to(golden_vm);
-      faulty.memory().set_page_budget(page_cap);
-      if (config.model == VmFaultModel::kResultBit) {
-        const vm::Retired& site = golden.records[plan.index];
-        faulty.set_reg(site.rd, flip_bit(site.rd_value, plan.bit));
-      } else {
-        faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+    if (!plan.upset) {
+      // Rate-driven trial with no strike: the machine is never perturbed, so
+      // the outcome is masked by construction — record it without executing.
+      VmTrialResult& result = trials[plan.slot];
+      result.workload = wl.name;
+      result.outcome = VmOutcome::kMasked;
+      result.latency = kNever;
+      result.inject_index = plan.index;
+      result.bit = plan.bit;
+    } else {
+      while (steps <= plan.index) {
+        golden_vm.step();
+        ++steps;
       }
-      trials[plan.slot] = monitor_trial(wl, faulty, plan.index, plan.bit,
-                                        config.overrun_budget,
-                                        config.trial_budget);
-    });
-    if (abort) {
-      trials[plan.slot] = aborted_vm_trial(wl.name, plan.index, plan.bit, *abort);
+      const auto abort = contain_trial([&] {
+        if (!use_arena) arena.clear();
+        vm::Vm& faulty = arena.reset_to(golden_vm);
+        faulty.memory().set_page_budget(page_cap);
+        if (plan.flip_reg) {
+          faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+        } else if (config.model == VmFaultModel::kResultBit) {
+          const vm::Retired& site = golden.records[plan.index];
+          const u64 mask = (plan.flip_bits >= 64 ? ~u64{0}
+                                                 : (u64{1} << plan.flip_bits) - 1)
+                           << plan.bit;
+          faulty.set_reg(site.rd, site.rd_value ^ mask);
+        } else {
+          faulty.set_reg(plan.reg, flip_bit(faulty.reg(plan.reg), plan.bit));
+        }
+        trials[plan.slot] = monitor_trial(wl, faulty, plan.index, plan.bit,
+                                          config.overrun_budget,
+                                          config.trial_budget);
+      });
+      if (abort) {
+        trials[plan.slot] = aborted_vm_trial(wl.name, plan.index, plan.bit, *abort);
+      }
+    }
+    if (!default_model) {
+      VmTrialResult& result = trials[plan.slot];
+      result.model = std::string(to_string(fm.model));
+      result.extra_bits.clear();
+      for (u32 i = 1; i < plan.flip_bits; ++i) {
+        result.extra_bits.push_back(plan.bit + i);
+      }
+      result.upset = plan.upset;
     }
   }
   return trials;
@@ -322,12 +405,23 @@ u64 config_hash(const VmCampaignConfig& config) {
   if (!config.trial_budget.unlimited()) {
     key += ";budget=" + budget_identity_key(config.trial_budget);
   }
+  // Same appended-only discipline for the fault_model: the default single-bit
+  // model hashes exactly as before the subsystem existed.
+  if (!is_default_fault_model(config.fault_model)) {
+    key += ";fmodel=" + fault_model_identity_key(config.fault_model);
+  }
   return fnv1a(key, fnv1a(std::to_string(config.seed)));
 }
 
 VmCampaignResult run_vm_campaign(const VmCampaignConfig& config,
                                  const CampaignRunOptions& options,
                                  CampaignTelemetry* telemetry) {
+  validate_fault_model(config.fault_model, /*vm_campaign=*/true);
+  if (!is_default_fault_model(config.fault_model) &&
+      config.model == VmFaultModel::kRegisterBit) {
+    throw std::invalid_argument(
+        "non-default fault models require the result-bit vm model");
+  }
   const auto names = selected_workload_names(config.workloads);
   const auto shards = plan_shards(config.seed, names, config.trials_per_workload,
                                   options.shard_trials);

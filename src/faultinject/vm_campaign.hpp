@@ -10,6 +10,7 @@
 #include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "faultinject/fault_model.hpp"
 #include "faultinject/outcome.hpp"
 #include "workloads/workloads.hpp"
 
@@ -43,6 +44,13 @@ struct VmCampaignConfig {
   // (all zero = unlimited) keeps the campaign identity hash — and therefore
   // resume compatibility — of pre-budget configs unchanged.
   ResourceBudget trial_budget;
+  // Expanded fault model (fault_model.hpp). Only multi/targeted/rate make
+  // sense architecturally (burst and SET need microarchitectural state and
+  // are rejected by validate_fault_model), and a non-default model requires
+  // `model == kResultBit`. The default keeps the campaign byte-identical to
+  // its pre-fault-model behaviour; non-default models draw their plans from a
+  // per-shard substream and contribute to config_hash.
+  FaultModelConfig fault_model;
 };
 
 struct VmTrialResult {
@@ -58,6 +66,15 @@ struct VmTrialResult {
   // the deterministic exception-type tag and its message.
   std::string abort_type;
   std::string abort_message;
+
+  // Fault-model record, populated only for non-default models so default
+  // traces keep their historical bytes: the model token, every extra flipped
+  // bit position beyond `bit` (multi-bit upsets), and — for the rate-driven
+  // model — whether the trial upset at all (false = recorded masked without
+  // executing the trial machine).
+  std::string model;
+  std::vector<u64> extra_bits;
+  bool upset = true;
 };
 
 struct VmCampaignResult {

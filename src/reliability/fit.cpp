@@ -1,5 +1,9 @@
 #include "reliability/fit.hpp"
 
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
 namespace restore::reliability {
 
 double fit_rate(u64 bits, double fit_per_bit, double sdc_probability) {
@@ -31,6 +35,46 @@ u64 max_bits_meeting_goal(double goal_fit, double fit_per_bit,
   const double per_bit_sdc_fit = fit_per_bit * sdc_probability;
   if (per_bit_sdc_fit <= 0.0) return ~u64{0};
   return static_cast<u64>(goal_fit / per_bit_sdc_fit);
+}
+
+std::vector<u64> fit_weighted_allocation(const std::vector<FitStructure>& structures,
+                                         u64 total_trials) {
+  std::vector<double> contribution(structures.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    const double w = structures[i].weight == 0.0 ? 1.0 : structures[i].weight;
+    if (w < 0.0) throw std::invalid_argument("negative FIT weight: " + structures[i].name);
+    contribution[i] = static_cast<double>(structures[i].bits) * w;
+    total += contribution[i];
+  }
+  std::vector<u64> alloc(structures.size(), 0);
+  if (total_trials == 0) return alloc;
+  if (total <= 0.0) {
+    throw std::invalid_argument("fit_weighted_allocation: no structure contributes FIT");
+  }
+
+  // Largest-remainder method: floor every quota, then hand the leftover
+  // trials to the largest fractional remainders (ties to the lower index), so
+  // the allocation is integral, exact, and deterministic.
+  std::vector<double> remainder(structures.size(), 0.0);
+  u64 assigned = 0;
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    const double quota =
+        contribution[i] / total * static_cast<double>(total_trials);
+    alloc[i] = static_cast<u64>(quota);
+    remainder[i] = quota - static_cast<double>(alloc[i]);
+    assigned += alloc[i];
+  }
+  std::vector<std::size_t> order(structures.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainder[a] > remainder[b];
+  });
+  for (std::size_t i = 0; assigned < total_trials; ++assigned) {
+    ++alloc[order[i]];
+    i = (i + 1) % order.size();
+  }
+  return alloc;
 }
 
 }  // namespace restore::reliability

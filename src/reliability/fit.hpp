@@ -55,4 +55,23 @@ double mtbf_goal_fit(double years);
 // the size.
 u64 max_bits_meeting_goal(double goal_fit, double fit_per_bit, double sdc_probability);
 
+// One injectable structure of the design, as read from the audited state
+// manifest: a name and its bit count. `weight` optionally scales the
+// per-bit FIT (e.g. SRAM vs latch process sensitivity); 0 means 1.0.
+struct FitStructure {
+  std::string name;
+  u64 bits = 0;
+  double weight = 1.0;
+};
+
+// FIT-weighted campaign allocation: split `total_trials` across structures in
+// proportion to their FIT contribution (bits * weight), using the
+// largest-remainder method so the counts are integral, sum exactly to
+// `total_trials`, and are deterministic (ties broken by lower index). A
+// structure with zero FIT contribution gets zero trials. Throws
+// std::invalid_argument when every contribution is zero but trials were
+// requested.
+std::vector<u64> fit_weighted_allocation(const std::vector<FitStructure>& structures,
+                                         u64 total_trials);
+
 }  // namespace restore::reliability

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "faultinject/fault_model.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "workloads/workloads.hpp"
 
@@ -37,6 +38,24 @@ u64 job_state_exit_code(JobState state) noexcept {
 
 // ---- JobSpec -> campaign config mapping ----
 
+namespace {
+
+faultinject::FaultModelConfig fault_model_config_for(const JobSpec& spec) {
+  faultinject::FaultModelConfig fm;
+  if (const auto model = faultinject::fault_model_from_string(spec.fault_model)) {
+    fm.model = *model;
+  }
+  fm.multi_bits = static_cast<u32>(spec.fault_bits);
+  fm.burst_entries = static_cast<u32>(spec.burst_entries);
+  fm.target = spec.fault_target;
+  fm.vdd_mv = spec.vdd_mv;
+  fm.freq_mhz = spec.freq_mhz;
+  fm.upset_ppm = spec.upset_ppm;
+  return fm;
+}
+
+}  // namespace
+
 std::optional<std::string> spec_error(const JobSpec& spec) {
   if (spec.kind != "vm" && spec.kind != "uarch") {
     return "unknown campaign kind '" + spec.kind + "' (expected vm or uarch)";
@@ -44,6 +63,20 @@ std::optional<std::string> spec_error(const JobSpec& spec) {
   if (spec.model != "result" && spec.model != "register") {
     return "unknown vm fault model '" + spec.model +
            "' (expected result or register)";
+  }
+  if (!faultinject::fault_model_from_string(spec.fault_model)) {
+    return "unknown fault model '" + spec.fault_model +
+           "' (expected single, multi, burst, set, targeted, or rate)";
+  }
+  const auto fm = fault_model_config_for(spec);
+  try {
+    faultinject::validate_fault_model(fm, /*vm_campaign=*/spec.kind == "vm");
+  } catch (const std::exception& e) {
+    return std::string(e.what());
+  }
+  if (spec.kind == "vm" && spec.model == "register" &&
+      !faultinject::is_default_fault_model(fm)) {
+    return "non-default fault models require the result-bit vm model";
   }
   for (const auto& name : spec.workloads) {
     try {
@@ -63,6 +96,7 @@ faultinject::VmCampaignConfig vm_config_for(const JobSpec& spec) {
   config.model = spec.model == "register" ? faultinject::VmFaultModel::kRegisterBit
                                           : faultinject::VmFaultModel::kResultBit;
   config.workloads = spec.workloads;
+  config.fault_model = fault_model_config_for(spec);
   return config;
 }
 
@@ -72,6 +106,7 @@ faultinject::UarchCampaignConfig uarch_config_for(const JobSpec& spec) {
   if (spec.trials != 0) config.trials_per_workload = spec.trials;
   config.latches_only = spec.latches_only;
   config.workloads = spec.workloads;
+  config.fault_model = fault_model_config_for(spec);
   return config;
 }
 

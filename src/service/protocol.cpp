@@ -169,6 +169,17 @@ std::string encode_message(const WireMessage& msg) {
       field(out, "low32", msg.spec.low32);
       field(out, "model", std::string_view(msg.spec.model));
       field(out, "latches_only", msg.spec.latches_only);
+      // Fault-model fields ride only on non-default submissions so historical
+      // submit payloads (and their byte-level dedup identity) are unchanged.
+      if (msg.spec.fault_model != "single") {
+        field(out, "fault_model", std::string_view(msg.spec.fault_model));
+        field(out, "fault_bits", msg.spec.fault_bits);
+        field(out, "burst_entries", msg.spec.burst_entries);
+        field(out, "fault_target", std::string_view(msg.spec.fault_target));
+        field(out, "vdd_mv", msg.spec.vdd_mv);
+        field(out, "freq_mhz", msg.spec.freq_mhz);
+        field(out, "upset_ppm", msg.spec.upset_ppm);
+      }
       field(out, "priority", msg.priority);
       field(out, "subscribe", msg.want_events);
       break;
@@ -276,6 +287,13 @@ std::optional<WireMessage> decode_message(const std::string& payload) {
       msg.spec.low32 = get_bool(*obj, "low32").value_or(false);
       msg.spec.model = get_string(*obj, "model").value_or("result");
       msg.spec.latches_only = get_bool(*obj, "latches_only").value_or(false);
+      msg.spec.fault_model = get_string(*obj, "fault_model").value_or("single");
+      msg.spec.fault_bits = get_uint(*obj, "fault_bits").value_or(2);
+      msg.spec.burst_entries = get_uint(*obj, "burst_entries").value_or(2);
+      msg.spec.fault_target = get_string(*obj, "fault_target").value_or("load");
+      msg.spec.vdd_mv = get_uint(*obj, "vdd_mv").value_or(1000);
+      msg.spec.freq_mhz = get_uint(*obj, "freq_mhz").value_or(1000);
+      msg.spec.upset_ppm = get_uint(*obj, "upset_ppm").value_or(1'000'000);
       msg.priority = get_uint(*obj, "priority").value_or(0);
       msg.want_events = get_bool(*obj, "subscribe").value_or(false);
       break;

@@ -103,6 +103,18 @@ struct JobSpec {
   std::string model = "result";        // vm: "result" | "register"
   bool latches_only = false;           // uarch: pipeline latches only
 
+  // Expanded fault model (faultinject/fault_model.hpp): the model token plus
+  // every model knob. Encoded on the wire only when `fault_model` is not
+  // "single", so pre-existing submit encodings — and their dedup identity —
+  // are byte-unchanged.
+  std::string fault_model = "single";
+  u64 fault_bits = 2;        // multi: adjacent bits per upset
+  u64 burst_entries = 2;     // burst: consecutive SRAM entries in the column
+  std::string fault_target = "load";  // targeted: "load" | "store"
+  u64 vdd_mv = 1000;         // rate: operating point
+  u64 freq_mhz = 1000;
+  u64 upset_ppm = 1'000'000;
+
   bool operator==(const JobSpec&) const = default;
 };
 

@@ -27,8 +27,9 @@ TEST(Export, UarchCsvHasHeaderAndRows) {
   std::ostringstream out;
   write_uarch_trials_csv(out, {sample_trial()});
   const std::string text = out.str();
-  EXPECT_NE(text.find("workload,field,storage,protection"), std::string::npos);
-  EXPECT_NE(text.find("gzip,rob.pc,sram,ecc,42,"), std::string::npos);
+  EXPECT_NE(text.find("workload,model,field,storage,protection"), std::string::npos);
+  // Default-model trials report as "single" in the model column.
+  EXPECT_NE(text.find("gzip,single,rob.pc,sram,ecc,42,"), std::string::npos);
   // kNever latencies render as empty cells, not huge numbers.
   EXPECT_EQ(text.find("18446744073709551615"), std::string::npos);
 }
@@ -42,7 +43,33 @@ TEST(Export, VmCsvRoundsTrip) {
   trial.bit = 9;
   std::ostringstream out;
   write_vm_trials_csv(out, {trial});
-  EXPECT_NE(out.str().find("mcf,cfv,7,123,9"), std::string::npos);
+  EXPECT_NE(out.str().find("mcf,single,cfv,7,123,9"), std::string::npos);
+}
+
+TEST(Export, ReadersAcceptPreModelColumnLegacyCsv) {
+  // Files exported before the fault-model expansion carry no model column;
+  // both readers must keep parsing them (as default-model trials).
+  std::istringstream legacy_vm(
+      "workload,outcome,latency,inject_index,bit\n"
+      "mcf,cfv,7,123,9\n");
+  const auto vm = read_vm_trials_csv(legacy_vm);
+  ASSERT_EQ(vm.size(), 1u);
+  EXPECT_EQ(vm[0].workload, "mcf");
+  EXPECT_EQ(vm[0].outcome, VmOutcome::kCfv);
+  EXPECT_EQ(vm[0].bit, 9u);
+  EXPECT_TRUE(vm[0].model.empty());
+
+  std::istringstream legacy_uarch(
+      "workload,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
+      "lat_deadlock,lat_illegal_flow,lat_cache_burst,trace_diverged,"
+      "arch_corrupt,uarch_state_equal,live_state_diff,end_status\n"
+      "gzip,rob.pc,sram,ecc,42,,,,,,1,1,0,0,0\n");
+  const auto uarch = read_uarch_trials_csv(legacy_uarch);
+  ASSERT_EQ(uarch.size(), 1u);
+  EXPECT_EQ(uarch[0].workload, "gzip");
+  EXPECT_EQ(uarch[0].field_name, "rob.pc");
+  EXPECT_EQ(uarch[0].lat_exception, 42u);
+  EXPECT_TRUE(uarch[0].model.empty());
 }
 
 TEST(Export, CategorySeriesSharesSumToOnePerRow) {
@@ -256,6 +283,148 @@ TEST(Export, UarchCsvParsesBackWithIdenticalClassification) {
                          ProtectionModel::kBaseline, 100)];
   }
   EXPECT_EQ(want, got);
+}
+
+TEST(Export, FaultModelFieldsRoundTripThroughJsonl) {
+  // Uarch: the model token, every extra flipped bit, and the upset marker.
+  auto uarch = full_trial();
+  uarch.model = "burst";
+  uarch.extra_bits = {pack_bit_ref(uarch::BitRef{3, 18, 41}),
+                      pack_bit_ref(uarch::BitRef{3, 19, 41})};
+  const auto uarch_parsed = uarch_trial_from_jsonl(uarch_trial_to_jsonl(0, 0, uarch));
+  ASSERT_TRUE(uarch_parsed.has_value());
+  const auto& uarch_back = std::get<2>(*uarch_parsed);
+  expect_same_uarch(uarch, uarch_back, /*compare_bit=*/true);
+  EXPECT_EQ(uarch_back.model, "burst");
+  EXPECT_EQ(uarch_back.extra_bits, uarch.extra_bits);
+  EXPECT_TRUE(uarch_back.upset);
+
+  // A rate-driven no-upset trial keeps its explicit marker.
+  auto no_upset = full_trial();
+  no_upset.model = "rate";
+  no_upset.upset = false;
+  const auto no_upset_parsed =
+      uarch_trial_from_jsonl(uarch_trial_to_jsonl(0, 1, no_upset));
+  ASSERT_TRUE(no_upset_parsed.has_value());
+  EXPECT_EQ(std::get<2>(*no_upset_parsed).model, "rate");
+  EXPECT_FALSE(std::get<2>(*no_upset_parsed).upset);
+
+  // Vm: model plus the extra flipped bit positions.
+  VmTrialResult vm;
+  vm.workload = "mcf";
+  vm.outcome = VmOutcome::kMemData;
+  vm.latency = 5;
+  vm.inject_index = 77;
+  vm.bit = 12;
+  vm.model = "multi";
+  vm.extra_bits = {13, 14, 15};
+  const auto vm_parsed = vm_trial_from_jsonl(vm_trial_to_jsonl(1, 2, vm));
+  ASSERT_TRUE(vm_parsed.has_value());
+  const auto& vm_back = std::get<2>(*vm_parsed);
+  EXPECT_EQ(vm_back.model, "multi");
+  EXPECT_EQ(vm_back.extra_bits, vm.extra_bits);
+  EXPECT_EQ(vm_back.bit, vm.bit);
+
+  // Default-model lines carry none of the new keys: historical traces are
+  // byte-frozen and re-parsing them yields default-model trials.
+  const std::string default_line = uarch_trial_to_jsonl(0, 0, full_trial());
+  EXPECT_EQ(default_line.find("\"model\""), std::string::npos);
+  EXPECT_EQ(default_line.find("\"upset\""), std::string::npos);
+}
+
+TEST(Export, ModelColumnRoundTripsThroughCsv) {
+  auto uarch = full_trial();
+  uarch.model = "set";
+  std::ostringstream uarch_out;
+  write_uarch_trials_csv(uarch_out, {uarch, full_trial()});
+  std::istringstream uarch_in(uarch_out.str());
+  const auto uarch_back = read_uarch_trials_csv(uarch_in);
+  ASSERT_EQ(uarch_back.size(), 2u);
+  EXPECT_EQ(uarch_back[0].model, "set");
+  EXPECT_TRUE(uarch_back[1].model.empty());  // "single" maps back to default
+
+  VmTrialResult vm;
+  vm.workload = "gzip";
+  vm.outcome = VmOutcome::kRegister;
+  vm.latency = 3;
+  vm.inject_index = 41;
+  vm.bit = 2;
+  vm.model = "targeted";
+  std::ostringstream vm_out;
+  write_vm_trials_csv(vm_out, {vm, VmTrialResult{}});
+  std::istringstream vm_in(vm_out.str());
+  const auto vm_back = read_vm_trials_csv(vm_in);
+  ASSERT_EQ(vm_back.size(), 2u);
+  EXPECT_EQ(vm_back[0].model, "targeted");
+  EXPECT_TRUE(vm_back[1].model.empty());
+}
+
+TEST(Export, ModelBreakdownAggregatesPerModelAndRoundsTrip) {
+  std::vector<VmTrialResult> trials;
+  const auto add = [&](const std::string& model, VmOutcome outcome, int n) {
+    for (int i = 0; i < n; ++i) {
+      VmTrialResult t;
+      t.workload = "gzip";
+      t.outcome = outcome;
+      t.model = model;
+      trials.push_back(t);
+    }
+  };
+  add("", VmOutcome::kMasked, 5);
+  add("", VmOutcome::kCfv, 2);
+  add("multi", VmOutcome::kMasked, 3);
+  add("rate", VmOutcome::kMemData, 1);
+
+  const auto rows = model_breakdown(trials);
+  ASSERT_EQ(rows.size(), 4u);
+  // Sorted by model then outcome; default-model trials report as "single".
+  EXPECT_EQ(rows[0].model, "multi");
+  EXPECT_EQ(rows[0].outcome, "masked");
+  EXPECT_EQ(rows[0].count, 3u);
+  EXPECT_EQ(rows[1].model, "rate");
+  EXPECT_EQ(rows[1].outcome, "mem-data");
+  EXPECT_EQ(rows[2].model, "single");
+  EXPECT_EQ(rows[2].outcome, "cfv");
+  EXPECT_EQ(rows[2].count, 2u);
+  EXPECT_EQ(rows[3].model, "single");
+  EXPECT_EQ(rows[3].outcome, "masked");
+  EXPECT_EQ(rows[3].count, 5u);
+
+  std::ostringstream out;
+  write_model_breakdown_csv(out, rows);
+  EXPECT_NE(out.str().find("model,outcome,count"), std::string::npos);
+  std::istringstream in(out.str());
+  const auto back = read_model_breakdown_csv(in);
+  ASSERT_EQ(back.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i].model, rows[i].model) << i;
+    EXPECT_EQ(back[i].outcome, rows[i].outcome) << i;
+    EXPECT_EQ(back[i].count, rows[i].count) << i;
+  }
+}
+
+TEST(Export, UarchModelBreakdownClassifiesTrials) {
+  auto masked = full_trial();
+  masked.model = "burst";
+  masked.end_status = uarch::Core::Status::kHalted;
+  masked.trace_diverged = false;
+  masked.live_state_diff = false;
+  masked.uarch_state_equal = true;
+  masked.lat_cfv = kNever;
+  masked.lat_hiconf = kNever;
+  masked.lat_illegal_flow = kNever;
+  auto detected = full_trial();  // lat_cfv=12: a detected control-flow violation
+  detected.model = "burst";
+  const auto rows = model_breakdown({masked, detected, full_trial()},
+                                    DetectorModel::kPerfectCfv,
+                                    ProtectionModel::kBaseline, 100);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].model, "burst");
+  EXPECT_EQ(rows[0].outcome, "cfv");
+  EXPECT_EQ(rows[1].model, "burst");
+  EXPECT_EQ(rows[1].outcome, "masked");
+  EXPECT_EQ(rows[2].model, "single");
+  EXPECT_EQ(rows[2].outcome, "cfv");
 }
 
 TEST(Export, ShardStatsCsvHasOneRowPerShard) {

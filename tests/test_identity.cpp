@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hpp"
+#include "faultinject/fault_model.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "faultinject/vm_campaign.hpp"
 
@@ -39,8 +40,20 @@ class EnvGuard {
 TEST(EnvOverrideTable, DeclaresExactlyTheKnownOverrides) {
   EXPECT_TRUE(env_override_declared("RESTORE_TRIALS"));
   EXPECT_TRUE(env_override_declared("RESTORE_SEED"));
+  EXPECT_TRUE(env_override_declared("RESTORE_FAULT_MODEL"));
   EXPECT_FALSE(env_override_declared("RESTORE_BOGUS"));
   EXPECT_FALSE(env_override_declared(""));
+}
+
+TEST(EnvOverrideTable, FaultModelFlagBeatsEnvBeatsFallback) {
+  EnvGuard model("RESTORE_FAULT_MODEL");
+  const auto flag_args = make_args({"--fault-model", "burst"});
+  const auto no_args = make_args({});
+
+  EXPECT_FALSE(resolve_fault_model_name(no_args).has_value());
+  model.set("set");
+  EXPECT_EQ(resolve_fault_model_name(no_args).value_or(""), "set");
+  EXPECT_EQ(resolve_fault_model_name(flag_args).value_or(""), "burst");
 }
 
 TEST(EnvOverrideTable, FlagBeatsEnvBeatsFallback) {
@@ -137,6 +150,120 @@ TEST(EnvOverrideIdentity, EverySeedableConfigFieldReachesTheHash) {
               c.model = faultinject::VmFaultModel::kRegisterBit;
             }));
   EXPECT_NE(base_hash, hash_of([](auto& c) { c.workloads = {"gzip"}; }));
+}
+
+// Every fault-model knob must reach the hash whenever the selected model
+// reads it — and the default single-bit model must ignore all of them, so
+// pre-expansion campaign hashes (and their resume manifests) stay stable.
+TEST(FaultModelIdentity, EveryModelKnobReachesBothCampaignHashes) {
+  auto uarch_hash = [](auto mutate) {
+    faultinject::UarchCampaignConfig c;
+    mutate(c.fault_model);
+    return faultinject::config_hash(c);
+  };
+  auto vm_hash = [](auto mutate) {
+    faultinject::VmCampaignConfig c;
+    mutate(c.fault_model);
+    return faultinject::config_hash(c);
+  };
+  using faultinject::FaultModel;
+  using faultinject::FaultModelConfig;
+
+  const u64 uarch_base = uarch_hash([](FaultModelConfig&) {});
+  const u64 vm_base = vm_hash([](FaultModelConfig&) {});
+
+  // Selecting any non-default model forks the identity of both campaigns
+  // (burst/SET are uarch-only, so only the uarch hash is probed for them).
+  for (const FaultModel model :
+       {FaultModel::kMultiBitAdjacent, FaultModel::kBurst, FaultModel::kSet,
+        FaultModel::kTargeted, FaultModel::kRateDriven}) {
+    EXPECT_NE(uarch_base, uarch_hash([model](FaultModelConfig& fm) {
+                fm.model = model;
+              }))
+        << to_string(model);
+  }
+  for (const FaultModel model : {FaultModel::kMultiBitAdjacent,
+                                 FaultModel::kTargeted, FaultModel::kRateDriven}) {
+    EXPECT_NE(vm_base, vm_hash([model](FaultModelConfig& fm) { fm.model = model; }))
+        << to_string(model);
+  }
+
+  // Each knob forks the hash of the model that reads it.
+  const u64 multi = uarch_hash([](FaultModelConfig& fm) {
+    fm.model = FaultModel::kMultiBitAdjacent;
+  });
+  EXPECT_NE(multi, uarch_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kMultiBitAdjacent;
+              fm.multi_bits = 5;
+            }));
+  const u64 burst = uarch_hash([](FaultModelConfig& fm) {
+    fm.model = FaultModel::kBurst;
+  });
+  EXPECT_NE(burst, uarch_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kBurst;
+              fm.burst_entries = 6;
+            }));
+  const u64 targeted = uarch_hash([](FaultModelConfig& fm) {
+    fm.model = FaultModel::kTargeted;
+  });
+  EXPECT_NE(targeted, uarch_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kTargeted;
+              fm.target = "store";
+            }));
+  const u64 rate = vm_hash([](FaultModelConfig& fm) {
+    fm.model = FaultModel::kRateDriven;
+  });
+  EXPECT_NE(rate, vm_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kRateDriven;
+              fm.vdd_mv = 900;
+            }));
+  EXPECT_NE(rate, vm_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kRateDriven;
+              fm.freq_mhz = 2000;
+            }));
+  EXPECT_NE(rate, vm_hash([](FaultModelConfig& fm) {
+              fm.model = FaultModel::kRateDriven;
+              fm.upset_ppm = 77;
+            }));
+
+  // The default model ignores every knob: historical hashes are frozen.
+  EXPECT_EQ(uarch_base, uarch_hash([](FaultModelConfig& fm) {
+              fm.multi_bits = 9;
+              fm.burst_entries = 9;
+              fm.target = "store";
+              fm.vdd_mv = 800;
+              fm.freq_mhz = 1600;
+              fm.upset_ppm = 7;
+            }));
+  EXPECT_EQ(vm_base, vm_hash([](FaultModelConfig& fm) {
+              fm.multi_bits = 9;
+              fm.upset_ppm = 7;
+            }));
+}
+
+// Source independence for the whole fault-model CLI surface: a campaign
+// configured via RESTORE_FAULT_MODEL + flags hashes identically to one
+// configured via --fault-model, and every flag value change forks the hash.
+TEST(FaultModelIdentity, CliAndEnvSourcesProduceTheSameHash) {
+  EnvGuard model("RESTORE_FAULT_MODEL");
+
+  faultinject::UarchCampaignConfig from_flags;
+  from_flags.fault_model = faultinject::fault_model_from_cli(
+      make_args({"--fault-model", "multi", "--fault-bits", "4"}));
+
+  model.set("multi");
+  faultinject::UarchCampaignConfig from_env;
+  from_env.fault_model =
+      faultinject::fault_model_from_cli(make_args({"--fault-bits", "4"}));
+
+  EXPECT_EQ(faultinject::config_hash(from_flags),
+            faultinject::config_hash(from_env));
+
+  faultinject::UarchCampaignConfig different;
+  different.fault_model =
+      faultinject::fault_model_from_cli(make_args({"--fault-bits", "5"}));
+  EXPECT_NE(faultinject::config_hash(from_env),
+            faultinject::config_hash(different));
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "common/table.hpp"
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/classify.hpp"
+#include "faultinject/export.hpp"
 #include "faultinject/outcome.hpp"
 
 using namespace restore;
@@ -95,6 +96,70 @@ std::string_view state_label(const TraceSummary& summary) {
   return "resumable";
 }
 
+// Per-fault-model outcome breakdown of one trace already on disk, classified
+// by the manifest's campaign kind (uarch trials via the perfect-cfv detector
+// and baseline pipeline at `interval`). Returns nullopt when the trace can't
+// be read or parsed.
+std::optional<std::vector<faultinject::ModelBreakdownRow>> trace_breakdown(
+    const std::string& trace_path, const std::string& kind, u64 interval) {
+  std::ifstream trace(trace_path);
+  if (!trace) return std::nullopt;
+  try {
+    if (kind == "vm") {
+      std::vector<faultinject::VmTrialResult> trials;
+      for (auto& parsed : faultinject::read_vm_trials_jsonl(trace)) {
+        trials.push_back(std::move(parsed.trial));
+      }
+      return faultinject::model_breakdown(trials);
+    }
+    std::vector<faultinject::UarchTrialRecord> trials;
+    for (auto& parsed : faultinject::read_uarch_trials_jsonl(trace)) {
+      trials.push_back(std::move(parsed.trial));
+    }
+    return faultinject::model_breakdown(trials,
+                                        faultinject::DetectorModel::kPerfectCfv,
+                                        faultinject::ProtectionModel::kBaseline,
+                                        interval);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// Prints a breakdown, grouped by model. Single-model "single" data keeps the
+// flat historical format; anything else gets one section per model.
+void print_breakdown(const std::vector<faultinject::ModelBreakdownRow>& rows) {
+  u64 total = 0;
+  bool only_single = true;
+  for (const auto& row : rows) {
+    total += row.count;
+    if (row.model != "single") only_single = false;
+  }
+  if (only_single) {
+    std::map<std::string, u64> counts;
+    for (const auto& row : rows) counts[row.outcome] += row.count;
+    print_counts(counts, total);
+    return;
+  }
+  std::string current;
+  u64 model_total = 0;
+  for (const auto& row : rows) {
+    if (row.model != current) {
+      current = row.model;
+      model_total = 0;
+      for (const auto& r : rows) {
+        if (r.model == current) model_total += r.count;
+      }
+      std::printf("  model %s (%llu trials):\n", current.c_str(),
+                  static_cast<unsigned long long>(model_total));
+    }
+    std::printf("    %-12s %8llu  (%.1f%%)\n", row.outcome.c_str(),
+                static_cast<unsigned long long>(row.count),
+                model_total > 0 ? 100.0 * static_cast<double>(row.count) /
+                                      static_cast<double>(model_total)
+                                : 0.0);
+  }
+}
+
 // Shard-wall-clock throughput: completed trials over the summed per-shard
 // wall times recorded in the manifest ("-" when no shard has finished).
 std::string fmt_rate(u64 trials, u64 wall_ms_total) {
@@ -106,13 +171,15 @@ std::string fmt_rate(u64 trials, u64 wall_ms_total) {
   return buf;
 }
 
-// Aggregate mode: one row per trace, a totals line, worst exit code.
-int report_many(const std::vector<std::string>& paths) {
+// Aggregate mode: one row per trace, a totals line, a fleet-wide per-model
+// outcome breakdown over every readable trace, worst exit code.
+int report_many(const std::vector<std::string>& paths, u64 interval) {
   TextTable table({"trace", "kind", "shards", "quarantined", "trials",
                    "trials/s", "state", "exit"});
   u64 total_shards_done = 0, total_shards = 0, total_quarantined = 0;
   u64 total_trials_done = 0, total_trials = 0, complete_jobs = 0;
   u64 total_wall_ms = 0;
+  std::map<std::pair<std::string, std::string>, u64> fleet_counts;
   int worst = 0;
   for (const auto& path : paths) {
     const auto summary = summarize(path);
@@ -135,6 +202,14 @@ int report_many(const std::vector<std::string>& paths) {
     for (const u64 ms : manifest.wall_ms) wall_ms += ms;
     total_wall_ms += wall_ms;
     if (summary.done_shards == manifest.total_shards) ++complete_jobs;
+    if (const auto rows = trace_breakdown(path, manifest.kind, interval)) {
+      for (const auto& row : *rows) {
+        fleet_counts[{row.model, row.outcome}] += row.count;
+      }
+    } else {
+      std::fprintf(stderr, "campaign_status: %s: trace unreadable, outcome "
+                   "breakdown omitted\n", path.c_str());
+    }
     table.add_row(
         {summary.path, manifest.kind,
          TextTable::fmt_u(summary.done_shards) + "/" +
@@ -154,6 +229,15 @@ int report_many(const std::vector<std::string>& paths) {
                  fmt_rate(total_trials_done, total_wall_ms),
                  "", std::to_string(worst)});
   std::fputs(table.render().c_str(), stdout);
+  if (!fleet_counts.empty()) {
+    std::vector<faultinject::ModelBreakdownRow> rows;
+    for (const auto& [key, count] : fleet_counts) {
+      rows.push_back({key.first, key.second, count});
+    }
+    std::printf("outcomes on disk (all traces, uarch classified "
+                "perfect-cfv/baseline):\n");
+    print_breakdown(rows);
+  }
   std::printf("%zu job(s): %llu complete, %llu quarantined shard(s), worst exit %d\n",
               paths.size(), static_cast<unsigned long long>(complete_jobs),
               static_cast<unsigned long long>(total_quarantined), worst);
@@ -218,34 +302,21 @@ int report_one(const std::string& trace_path, u64 interval) {
     std::fprintf(stderr, "campaign_status: cannot open %s\n", trace_path.c_str());
     return 1;
   }
-  std::map<std::string, u64> counts;
-  u64 lines = 0;
-  try {
-    if (manifest.kind == "vm") {
-      for (const auto& parsed : faultinject::read_vm_trials_jsonl(trace)) {
-        ++lines;
-        counts[std::string(to_string(parsed.trial.outcome))]++;
-      }
-    } else {
-      for (const auto& parsed : faultinject::read_uarch_trials_jsonl(trace)) {
-        ++lines;
-        const auto outcome = faultinject::classify_trial(
-            parsed.trial, faultinject::DetectorModel::kPerfectCfv,
-            faultinject::ProtectionModel::kBaseline, interval);
-        counts[std::string(to_string(outcome))]++;
-      }
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "campaign_status: bad trace line: %s\n", e.what());
+  trace.close();
+  const auto rows = trace_breakdown(trace_path, manifest.kind, interval);
+  if (!rows) {
+    std::fprintf(stderr, "campaign_status: bad trace: %s\n", trace_path.c_str());
     return 1;
   }
+  u64 lines = 0;
+  for (const auto& row : *rows) lines += row.count;
 
   std::printf("trials on disk: %llu%s\n",
               static_cast<unsigned long long>(lines),
               manifest.kind == "uarch"
                   ? "  (classified: perfect-cfv detector, baseline pipeline)"
                   : "");
-  print_counts(counts, lines);
+  print_breakdown(*rows);
   // Non-zero for quarantine so CI and shell scripts can't mistake a partial
   // campaign for a healthy one.
   return manifest.has_quarantine() ? 3 : 0;
@@ -260,6 +331,6 @@ int main(int argc, char** argv) {
     return args.has_flag("help") ? 0 : 2;
   }
   const u64 interval = args.value_u64("interval", 100);
-  if (args.positional().size() > 1) return report_many(args.positional());
+  if (args.positional().size() > 1) return report_many(args.positional(), interval);
   return report_one(args.positional().front(), interval);
 }

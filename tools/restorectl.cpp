@@ -7,6 +7,13 @@
 //   submit               submit a campaign job
 //     --kind vm|uarch --seed N --trials N --shard-trials N
 //     --workloads a,b,c --low32 --model result|register --latches-only
+//     --fault-model single|multi|burst|set|targeted|rate
+//     --fault-bits K --burst-entries N --fault-target load|store
+//     --vdd-mv MV --freq-mhz MHZ --upset-ppm PPM
+//                        expanded fault model (RESTORE_FAULT_MODEL env
+//                        fallback for the model name); part of the job's
+//                        campaign identity, so differently-modelled
+//                        submissions never dedup onto each other
 //     --priority N       higher runs earlier
 //     --follow           stream events until the job is done; exit with the
 //                        job's exit code (0 done, 3 quarantined, 130 stopped,
@@ -165,6 +172,13 @@ service::JobSpec spec_from_cli(const CliArgs& args) {
   spec.low32 = args.has_flag("low32");
   spec.model = args.value("model").value_or("result");
   spec.latches_only = args.has_flag("latches-only");
+  spec.fault_model = resolve_fault_model_name(args).value_or("single");
+  spec.fault_bits = args.value_u64("fault-bits", spec.fault_bits);
+  spec.burst_entries = args.value_u64("burst-entries", spec.burst_entries);
+  spec.fault_target = args.value("fault-target").value_or(spec.fault_target);
+  spec.vdd_mv = args.value_u64("vdd-mv", spec.vdd_mv);
+  spec.freq_mhz = args.value_u64("freq-mhz", spec.freq_mhz);
+  spec.upset_ppm = args.value_u64("upset-ppm", spec.upset_ppm);
   return spec;
 }
 

@@ -1,14 +1,16 @@
-// Fixture config_hash: mentions `trials` and `seed` fields only.
+// Fixture config_hash: mentions `trials`, `seed`, and `fault_model` only.
 using u64 = unsigned long long;
 
 struct Config {
   u64 trials = 0;
   u64 seed = 0;
+  u64 fault_model = 0;
 };
 
 u64 config_hash(const Config& config) {
   u64 h = 1469598103934665603ull;
   h = (h ^ config.trials) * 1099511628211ull;
   h = (h ^ config.seed) * 1099511628211ull;
+  h = (h ^ config.fault_model) * 1099511628211ull;
   return h;
 }

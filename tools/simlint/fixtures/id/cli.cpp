@@ -15,6 +15,7 @@ struct EnvOverride {
 constexpr EnvOverride kEnvOverrides[] = {
     {"SIM_TRIALS", EnvClass::kIdentity},
     {"SIM_SEED", EnvClass::kIdentity},
+    {"SIM_FAULT_MODEL", EnvClass::kIdentity},
     {"SIM_LOGS", EnvClass::kPresentation},
 };
 

@@ -3,6 +3,7 @@
 // expect: ID-FLAG-UNHASHED
 struct Args {
   unsigned long long value_u64(const char*, unsigned long long) const;
+  const char* value(const char*, const char*) const;
   bool has_flag(const char*) const;
 };
 
@@ -12,5 +13,8 @@ void run(const Args& args) {
   auto verbose = args.has_flag("verbose");           // presentation: ok
   auto seed = args.value_u64("seed", 1);             // unclassified
   auto workers = args.value_u64("workers", 1);       // bad hashed_via token
+  auto model = args.value("fault-model", "single");  // hashed via fault_model: ok
+  auto bits = args.value_u64("fault-bits", 2);       // same shared field: ok
   (void)trials, (void)shard, (void)verbose, (void)seed, (void)workers;
+  (void)model, (void)bits;
 }
