@@ -116,24 +116,31 @@ void write_manifest(const std::string& path, const CampaignManifest& manifest) {
   append_array("completed", manifest.completed);
   append_array("completed_trials", manifest.completed_trials);
   append_array("wall_ms", manifest.wall_ms);
+  const auto append_string_array = [&out](std::string_view key,
+                                          const std::vector<std::string>& xs) {
+    out += ",\"";
+    out += key;
+    out += "\":[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_string(out, xs[i]);
+    }
+    out.push_back(']');
+  };
   // Quarantine record, written only when present so clean-run manifests keep
   // their historical shape (modulo schema_version).
   if (manifest.has_quarantine()) {
     append_array("quarantined", manifest.quarantined);
     append_array("quarantine_attempts", manifest.quarantine_attempts);
-    const auto append_string_array = [&out](std::string_view key,
-                                            const std::vector<std::string>& xs) {
-      out += ",\"";
-      out += key;
-      out += "\":[";
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        if (i != 0) out.push_back(',');
-        append_string(out, xs[i]);
-      }
-      out.push_back(']');
-    };
     append_string_array("quarantine_workloads", manifest.quarantine_workloads);
     append_string_array("quarantine_errors", manifest.quarantine_errors);
+  }
+  // Fleet node-quarantine record: same written-only-when-present contract,
+  // so single-machine campaigns stay byte-identical to their historical form.
+  if (manifest.has_node_quarantine()) {
+    append_string_array("node_quarantined", manifest.node_quarantined);
+    append_array("node_faults", manifest.node_faults);
+    append_string_array("node_errors", manifest.node_errors);
   }
   out += "}\n";
 
@@ -233,6 +240,14 @@ std::optional<CampaignManifest> read_manifest(const std::string& path) {
       manifest.quarantined.size() != manifest.quarantine_errors.size()) {
     throw std::runtime_error("campaign manifest quarantine arrays disagree: " + path);
   }
+  manifest.node_quarantined = read_optional_string_array("node_quarantined");
+  manifest.node_faults = read_optional_array("node_faults");
+  manifest.node_errors = read_optional_string_array("node_errors");
+  if (manifest.node_quarantined.size() != manifest.node_faults.size() ||
+      manifest.node_quarantined.size() != manifest.node_errors.size()) {
+    throw std::runtime_error("campaign manifest node-quarantine arrays disagree: " +
+                             path);
+  }
   return manifest;
 }
 
@@ -301,6 +316,17 @@ std::string vm_trial_to_jsonl(u64 shard, u64 slot, const VmTrialResult& trial) {
   }
   out.push_back('}');
   return out;
+}
+
+std::optional<std::pair<u64, u64>> trial_line_key(const std::string& line) {
+  const auto obj = flatjson::parse(line);
+  if (!obj) return std::nullopt;
+  const auto shard = get_uint(*obj, "shard");
+  const auto slot = get_uint(*obj, "slot");
+  // The trace header carries schema_version and no shard key, so it (and any
+  // other non-trial line) falls out here.
+  if (!shard || !slot) return std::nullopt;
+  return std::make_pair(*shard, *slot);
 }
 
 std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "faultinject/uarch_campaign.hpp"
@@ -30,7 +31,9 @@ namespace restore::faultinject {
 // Both files carry a `schema_version`. History:
 //   (absent)  v1 — the pre-versioning format; accepted as legacy on read
 //   2         adds the trace header line, per-trial abort records, and the
-//             manifest quarantine arrays
+//             manifest quarantine arrays; later extended (compatibly — the
+//             arrays are optional on read and written only when present)
+//             with the fleet node-quarantine arrays
 // Readers accept any version <= kCampaignSchemaVersion and reject future
 // versions with a clear error instead of silently misparsing them.
 inline constexpr u64 kCampaignSchemaVersion = 2;
@@ -56,8 +59,16 @@ struct CampaignManifest {
   std::vector<u64> quarantine_attempts;     // attempts made (1 + retries)
   std::vector<std::string> quarantine_workloads;
   std::vector<std::string> quarantine_errors;  // last attempt's what()
+  // Parallel arrays of quarantined fleet nodes (fleet_coordinator.hpp):
+  // workers benched after repeated connection/transport faults. Their shards
+  // were re-leased elsewhere, so node quarantine alone never makes a trace
+  // partial — the record is the audit trail of the sick hosts.
+  std::vector<std::string> node_quarantined;   // node addresses (host:port)
+  std::vector<u64> node_faults;                // transport faults observed
+  std::vector<std::string> node_errors;        // last fault's description
 
   bool has_quarantine() const noexcept { return !quarantined.empty(); }
+  bool has_node_quarantine() const noexcept { return !node_quarantined.empty(); }
 
   // True when `other` names the same campaign this manifest was written by.
   // schema_version is deliberately excluded: a v1 (legacy) manifest of the
@@ -103,6 +114,12 @@ std::optional<std::tuple<u64, u64, VmTrialResult>> vm_trial_from_jsonl(
     const std::string& line);
 std::optional<std::tuple<u64, u64, UarchTrialRecord>> uarch_trial_from_jsonl(
     const std::string& line);
+
+// Just the (shard, slot) key of a trial line, kind-agnostic; nullopt for the
+// trace header, blank lines, and anything malformed. The fleet coordinator
+// merges remotely produced shard blobs without materializing trial records,
+// so this is all the parsing its resume path needs.
+std::optional<std::pair<u64, u64>> trial_line_key(const std::string& line);
 
 // Whole-stream readers (skip blank lines and current-or-older trace headers;
 // throw on a malformed line or a future-version header).

@@ -55,4 +55,101 @@ CampaignRunOptions campaign_options_from_cli(const CliArgs& args,
   return opts;
 }
 
+// ---- fleet lease accounting ----
+
+ShardLeaseBook::ShardLeaseBook(std::size_t shard_count)
+    : done_(shard_count, 0), quarantined_(shard_count, 0),
+      attempts_(shard_count, 0) {
+  pending_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) pending_.push_back(s);
+}
+
+void ShardLeaseBook::mark_done(u64 shard) {
+  if (shard >= done_.size() || terminal(shard)) return;
+  done_[shard] = 1;
+  ++done_n_;
+  ++terminal_n_;
+}
+
+void ShardLeaseBook::mark_quarantined(u64 shard) {
+  if (shard >= done_.size() || terminal(shard)) return;
+  quarantined_[shard] = 1;
+  ++terminal_n_;
+}
+
+std::optional<ShardLeaseBook::Lease> ShardLeaseBook::acquire(
+    const std::string& node, u64 now_ms, u64 steal_age_ms) {
+  // Pending first (FIFO; terminal shards — marked done by resume or
+  // quarantined while queued — are skipped on the way out).
+  while (pending_head_ < pending_.size()) {
+    const u64 shard = pending_[pending_head_++];
+    if (terminal(shard)) continue;
+    const u64 id = next_lease_++;
+    leases_.emplace(id, Outstanding{shard, node, now_ms});
+    ++attempts_[shard];
+    return Lease{id, shard, /*stolen=*/false};
+  }
+  // Steal: the oldest outstanding lease (map order = issue order) that has
+  // aged past steal_age_ms, belongs to a different node, and whose shard is
+  // neither terminal nor already co-leased to this node.
+  for (const auto& [id, lease] : leases_) {
+    if (lease.node == node) continue;
+    if (terminal(lease.shard)) continue;
+    if (now_ms - lease.since_ms < steal_age_ms) continue;
+    bool coleased = false;
+    for (const auto& [other_id, other] : leases_) {
+      if (other.shard == lease.shard && other.node == node) {
+        coleased = true;
+        break;
+      }
+    }
+    if (coleased) continue;
+    const u64 shard = lease.shard;
+    const u64 new_id = next_lease_++;
+    leases_.emplace(new_id, Outstanding{shard, node, now_ms});
+    ++attempts_[shard];
+    return Lease{new_id, shard, /*stolen=*/true};
+  }
+  return std::nullopt;
+}
+
+bool ShardLeaseBook::commit(u64 lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;  // stale id, already settled
+  const u64 shard = it->second.shard;
+  leases_.erase(it);
+  if (terminal(shard)) return false;  // a duplicate lease committed first
+  done_[shard] = 1;
+  ++done_n_;
+  ++terminal_n_;
+  return true;
+}
+
+void ShardLeaseBook::release(u64 lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return;
+  const u64 shard = it->second.shard;
+  leases_.erase(it);
+  if (terminal(shard)) return;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.shard == shard) return;  // a stolen duplicate is still running
+  }
+  for (std::size_t i = pending_head_; i < pending_.size(); ++i) {
+    if (pending_[i] == shard) return;  // already requeued
+  }
+  pending_.push_back(shard);
+}
+
+u64 ShardLeaseBook::attempts(u64 shard) const noexcept {
+  return shard < attempts_.size() ? attempts_[shard] : 0;
+}
+
+bool ShardLeaseBook::done(u64 shard) const noexcept {
+  return shard < done_.size() && done_[shard] != 0;
+}
+
+bool ShardLeaseBook::all_terminal() const noexcept {
+  return terminal_n_ == done_.size();
+}
+
 }  // namespace restore::faultinject

@@ -32,6 +32,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -138,6 +139,84 @@ std::vector<ShardSpec> plan_shards(u64 root_seed,
 // `default_workers` when --workers is absent).
 CampaignRunOptions campaign_options_from_cli(const CliArgs& args,
                                              std::size_t default_workers);
+
+// ---- fleet lease accounting ----
+//
+// Book-keeping for shard leases handed to remote workers by the fleet
+// coordinator (service/fleet_coordinator.hpp). Pure state machine: the
+// caller holds one mutex around every call and passes time in as a plain
+// millisecond count, so the book is deterministic and unit-testable without
+// sockets or clocks.
+//
+// Lifecycle of a shard: pending -> leased (possibly to several nodes at once
+// via stealing) -> done | quarantined. Shards are deterministic, so duplicate
+// execution is harmless; commits are first-wins and every later commit or
+// release of a stale lease id is a no-op.
+class ShardLeaseBook {
+ public:
+  explicit ShardLeaseBook(std::size_t shard_count);
+
+  struct Lease {
+    u64 id = 0;
+    u64 shard = 0;
+    bool stolen = false;  // duplicate of a still-outstanding straggler lease
+  };
+
+  // Mark a shard terminal without a lease (resume reloaded it from the trace).
+  void mark_done(u64 shard);
+  // Remove a shard from circulation without completing it (shard quarantine:
+  // the shard itself keeps failing on every node). Counts toward
+  // all_terminal() but not done_count().
+  void mark_quarantined(u64 shard);
+
+  // Hand out the next lease for `node`: the oldest pending shard (FIFO), or —
+  // when nothing is pending — a *steal*: a duplicate lease on the oldest
+  // outstanding shard whose lease is at least steal_age_ms old, is held by a
+  // different node, and is not already co-leased to `node`. nullopt when
+  // neither exists. Stealing bounds the campaign tail by the fastest healthy
+  // node instead of the slowest straggler.
+  std::optional<Lease> acquire(const std::string& node, u64 now_ms,
+                               u64 steal_age_ms);
+
+  // The lease's shard results were merged. True exactly once per shard: the
+  // first commit wins, every later (stolen-duplicate or stale) lease id
+  // returns false and must not be merged again.
+  bool commit(u64 lease_id);
+
+  // The lease failed (transport fault, node death, or worker-side shard
+  // failure): requeue its shard unless it is terminal, still outstanding
+  // under another node's lease, or already queued. Unknown ids are ignored.
+  void release(u64 lease_id);
+
+  // Leases issued for the shard so far (feeds the shard-quarantine budget).
+  u64 attempts(u64 shard) const noexcept;
+
+  bool done(u64 shard) const noexcept;
+  bool all_terminal() const noexcept;  // every shard done or quarantined
+  u64 done_count() const noexcept { return done_n_; }
+  u64 pending_count() const noexcept { return pending_.size(); }
+  u64 outstanding_count() const noexcept { return leases_.size(); }
+
+ private:
+  struct Outstanding {
+    u64 shard = 0;
+    std::string node;
+    u64 since_ms = 0;
+  };
+  bool terminal(u64 shard) const noexcept {
+    return shard < done_.size() && (done_[shard] != 0 || quarantined_[shard] != 0);
+  }
+
+  std::vector<u64> pending_;           // shard indices awaiting a lease (FIFO)
+  std::size_t pending_head_ = 0;       // consumed prefix of pending_
+  std::map<u64, Outstanding> leases_;  // lease id -> holder, issue order
+  std::vector<char> done_;
+  std::vector<char> quarantined_;
+  std::vector<u64> attempts_;
+  u64 next_lease_ = 1;
+  u64 done_n_ = 0;
+  u64 terminal_n_ = 0;
+};
 
 // ---- the generic runner ----
 //

@@ -1,0 +1,103 @@
+// Fleet coordinator: fault-tolerant multi-node campaign execution.
+//
+// The coordinator decomposes a campaign into its deterministic shard plan
+// (service/job_queue.hpp: spec_shard_plan) and leases shards to remote fleet
+// workers (service/fleet_worker.hpp) over the framed wire protocol. One
+// thread per node drives its worker: acquire a lease from the shared
+// ShardLeaseBook, ship it, stream the shard's JSONL bytes back, verify them,
+// and commit first-wins into the merged trace.
+//
+// Fault tolerance:
+//   - Connections are made with a bounded timeout and bounded exponential
+//     retry; a transport fault (connect failure, mid-stream EOF, frame error,
+//     deadline blown) releases the lease so another node picks the shard up.
+//   - A node that keeps faulting is *quarantined*: benched for the rest of
+//     the campaign and recorded in the manifest's node-quarantine arrays.
+//     Its shards are re-leased elsewhere, so node quarantine alone never
+//     makes a trace partial.
+//   - When the pending queue drains, idle nodes *steal*: they duplicate the
+//     oldest sufficiently-aged outstanding lease, bounding the campaign tail
+//     by the fastest healthy node. Shards are deterministic and commits are
+//     first-wins, so duplicate execution is harmless.
+//   - A shard that fails on every node it is leased to (the shard itself
+//     throws, not the transport) is quarantined exactly like the local
+//     orchestrator's shard quarantine, and a later --resume re-attempts it.
+//
+// Byte identity: the merged trace is written with the same header, the same
+// per-shard JSONL lines (workers run the same spec_shard_jsonl the local
+// runner streams), and on completion the same canonical (shard, slot)
+// rewrite — so a complete fleet trace is byte-identical to the single-node
+// run at any node count, under any interleaving of crashes, re-leases and
+// --resume.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "service/protocol.hpp"
+
+namespace restore::service {
+
+struct FleetOptions {
+  std::vector<std::string> nodes;  // worker addresses, "host:port"
+  std::string out_jsonl;           // merged trace path (required)
+  bool resume = false;             // reuse completed shards from the manifest
+
+  // Transport supervision.
+  u64 connect_timeout_ms = 2'000;  // per connection attempt
+  u64 node_retries = 2;            // extra connect attempts per lease
+  u64 retry_backoff_ms = 50;       // base backoff (doubles per attempt)
+  u64 lease_deadline_ms = 60'000;  // whole-lease receive deadline
+  u64 node_faults_max = 3;         // transport faults before node quarantine
+
+  // Scheduling.
+  u64 steal_after_ms = 10'000;       // lease age before an idle node steals it
+  u64 shard_lease_attempts = 3;      // leases per shard before shard quarantine
+  u64 max_shards = 0;  // stop after N fresh commits (0 = run all); the
+                       // chaos-test "interrupt mid-campaign" hook
+
+  const std::atomic<bool>* stop_flag = nullptr;
+  std::FILE* log_stream = nullptr;  // default stderr
+  bool quiet = false;
+};
+
+struct FleetNodeTelemetry {
+  std::string address;
+  u64 shards_committed = 0;  // leases this node committed first
+  u64 stolen_commits = 0;    // committed leases that were steals
+  u64 cache_hits = 0;        // committed leases the worker served from cache
+  u64 faults = 0;            // transport faults observed
+  bool quarantined = false;
+  std::string last_error;
+};
+
+struct FleetTelemetry {
+  std::vector<FleetNodeTelemetry> nodes;  // FleetOptions::nodes order
+  u64 shards_total = 0;
+  u64 shards_done = 0;
+  u64 resumed_shards = 0;
+  u64 trials_done = 0;
+  u64 stolen_commits = 0;
+  u64 quarantined_shards = 0;
+  u64 quarantined_nodes = 0;
+  bool complete = false;  // every shard committed, trace canonicalized
+  bool stopped = false;   // the stop flag (or max_shards) cut the run
+};
+
+// Connect to "host:port" with a bounded timeout (non-blocking connect +
+// poll). Returns the connected fd, or -1 with *error describing the failure.
+// Shared with restorectl's --connect-timeout-ms.
+int connect_tcp_timeout(const std::string& address, u64 timeout_ms,
+                        std::string* error);
+
+// Run `spec` across the fleet. Returns the batch-CLI exit code: 0 complete,
+// 3 quarantine (shards left behind or nodes benched), 130 stopped/cut, 1 on
+// a coordinator-side failure. Throws std::runtime_error on unusable options
+// (no nodes, no output path, invalid spec, alien resume manifest).
+int run_fleet_campaign(const JobSpec& spec, const FleetOptions& opts,
+                       FleetTelemetry* telemetry);
+
+}  // namespace restore::service

@@ -1,0 +1,99 @@
+// Fleet worker: the remote execution end of the multi-node campaign fabric.
+//
+// A worker is a small TCP server speaking the framed wire protocol
+// (service/protocol.hpp). The coordinator (service/fleet_coordinator.hpp)
+// connects, sends a `lease` frame naming a campaign spec and one shard index,
+// and the worker answers with the shard's trace JSONL bytes — streamed as
+// `lease-data` chunks and sealed with a `lease-result` — or a `lease-failed`
+// if the shard itself throws. Shards are pure functions of (spec, index), so
+// the worker needs no campaign state: every lease is self-contained, any
+// worker can serve any shard, and duplicate leases (work stealing) are
+// harmless.
+//
+// Results are content-addressed: with a cache directory configured, a served
+// shard is persisted under <cache>/<trace-key>/shard-<index>.jsonl, where
+// <trace-key> is the campaign identity key (config_hash x shard geometry,
+// the spec_trace_filename stem). A re-leased or re-run shard is answered
+// from the cache byte-for-byte instead of recomputed — which is what makes
+// coordinator crash/retry loops cheap and is itself exercised by the
+// byte-identity tests.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "service/protocol.hpp"
+
+namespace restore::service {
+
+struct FleetWorkerOptions {
+  // host:port to bind; port 0 asks the kernel for an ephemeral port (tests
+  // and the smoke script read the bound address back from port()/the log).
+  std::string listen = "127.0.0.1:0";
+  // Shard result cache root; empty disables caching (every lease recomputes).
+  std::string cache_dir;
+  // Graceful-shutdown flag, polled by the accept and connection loops.
+  const std::atomic<bool>* stop_flag = nullptr;
+  std::FILE* log_stream = nullptr;  // default stderr
+  bool quiet = false;
+  // Chaos hook: after serving N leases successfully, drop every later lease's
+  // connection on the floor mid-protocol — exactly what a SIGKILLed node
+  // looks like to the coordinator. 0 = never fail.
+  u64 fail_after_leases = 0;
+};
+
+class FleetWorker {
+ public:
+  explicit FleetWorker(FleetWorkerOptions opts);
+  ~FleetWorker();
+
+  FleetWorker(const FleetWorker&) = delete;
+  FleetWorker& operator=(const FleetWorker&) = delete;
+
+  // Bind and listen (throws std::runtime_error on a bad address or a bind
+  // failure). After start(), port()/address() report the bound endpoint.
+  void start();
+
+  // Accept loop; returns once stop() was called or the stop flag is set.
+  // Connections are served on their own threads, joined before run() returns.
+  void run();
+
+  // Wake run() and refuse new connections. Idempotent, callable from a
+  // signal-driven thread.
+  void stop();
+
+  u16 port() const noexcept { return port_; }
+  std::string address() const;  // "host:port" actually bound
+
+  // Counters (exposed over the wire via worker-status -> worker-info).
+  u64 leases_served() const noexcept { return leases_served_.load(); }
+  u64 cache_hits() const noexcept { return cache_hits_.load(); }
+  u64 lease_failures() const noexcept { return lease_failures_.load(); }
+  u64 leases_active() const noexcept { return active_.load(); }
+
+ private:
+  void serve_connection(int fd);
+  // Serve one lease; false = drop the connection without replying (the chaos
+  // hook fired or the peer is gone).
+  bool handle_lease(int fd, const WireMessage& msg);
+  void log(const char* format, ...);
+
+  FleetWorkerOptions opts_;
+  int listener_ = -1;
+  u16 port_ = 0;
+  std::string host_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<u64> leases_served_{0};
+  std::atomic<u64> cache_hits_{0};
+  std::atomic<u64> lease_failures_{0};
+  std::atomic<u64> active_{0};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace restore::service

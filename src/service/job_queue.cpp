@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "faultinject/campaign_io.hpp"
 #include "faultinject/fault_model.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "workloads/workloads.hpp"
@@ -126,6 +127,59 @@ std::string spec_trace_filename(const JobSpec& spec) {
                 static_cast<unsigned long long>(spec_config_hash(spec)));
   return spec.kind + "-" + hash + "-s" + std::to_string(spec_shard_trials(spec)) +
          ".jsonl";
+}
+
+namespace {
+
+// Workload names the spec's campaign runs over (empty = every workload), in
+// the same order the campaign resolves them — shard indices depend on it.
+std::vector<std::string> spec_workload_names(const JobSpec& spec) {
+  if (!spec.workloads.empty()) return spec.workloads;
+  std::vector<std::string> names;
+  for (const auto& wl : workloads::all()) names.push_back(wl.name);
+  return names;
+}
+
+// Effective trials per workload (0 resolved to the kind's campaign default).
+u64 spec_trials_per_workload(const JobSpec& spec) {
+  if (spec.kind == "uarch") return uarch_config_for(spec).trials_per_workload;
+  return vm_config_for(spec).trials_per_workload;
+}
+
+}  // namespace
+
+std::vector<faultinject::ShardSpec> spec_shard_plan(const JobSpec& spec) {
+  return faultinject::plan_shards(spec.seed, spec_workload_names(spec),
+                                  spec_trials_per_workload(spec),
+                                  spec_shard_trials(spec));
+}
+
+faultinject::CampaignManifest spec_identity_manifest(const JobSpec& spec) {
+  faultinject::CampaignManifest identity;
+  identity.kind = spec.kind;
+  identity.config_hash = spec_config_hash(spec);
+  identity.seed = spec.seed;
+  identity.shard_trials = spec_shard_trials(spec);
+  return identity;
+}
+
+std::string spec_shard_jsonl(const JobSpec& spec,
+                             const faultinject::ShardSpec& shard) {
+  std::string lines;
+  if (spec.kind == "uarch") {
+    const auto records = faultinject::run_uarch_shard(uarch_config_for(spec), shard);
+    for (std::size_t slot = 0; slot < records.size(); ++slot) {
+      lines += faultinject::uarch_trial_to_jsonl(shard.index, slot, records[slot]);
+      lines.push_back('\n');
+    }
+  } else {
+    const auto records = faultinject::run_vm_shard(vm_config_for(spec), shard);
+    for (std::size_t slot = 0; slot < records.size(); ++slot) {
+      lines += faultinject::vm_trial_to_jsonl(shard.index, slot, records[slot]);
+      lines.push_back('\n');
+    }
+  }
+  return lines;
 }
 
 // ---- the queue ----

@@ -22,6 +22,7 @@
 #include <tuple>
 #include <vector>
 
+#include "faultinject/orchestrator.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "faultinject/vm_campaign.hpp"
 #include "service/protocol.hpp"
@@ -80,6 +81,25 @@ u64 spec_shard_trials(const JobSpec& spec);
 // ("vm-0123456789abcdef-s32.jsonl"). Two specs with the same key produce
 // byte-identical traces, which is what makes attaching and caching sound.
 std::string spec_trace_filename(const JobSpec& spec);
+
+// The exact shard plan the spec's campaign runs locally (kind-dispatched,
+// empty workload list resolved to all workloads). The fleet coordinator and
+// workers both derive the plan from the spec alone, which is what lets any
+// node execute any shard and the merged trace stay byte-identical to the
+// single-machine run.
+std::vector<faultinject::ShardSpec> spec_shard_plan(const JobSpec& spec);
+
+// Identity manifest of the spec's campaign (kind, config_hash, seed, shard
+// geometry; totals left for the runner), bit-compatible with the manifest the
+// orchestrated campaign writes.
+faultinject::CampaignManifest spec_identity_manifest(const JobSpec& spec);
+
+// Run one planned shard of the spec and serialize it as its trace JSONL
+// lines, newline-terminated, in slot order — exactly the bytes the local
+// orchestrator would stream for the shard. Throws on a failing shard (the
+// fleet worker converts that into a lease-failed frame).
+std::string spec_shard_jsonl(const JobSpec& spec,
+                             const faultinject::ShardSpec& shard);
 
 class JobQueue {
  public:

@@ -1,5 +1,8 @@
 #include "service/protocol.hpp"
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <stdexcept>
 
 #include "common/flatjson.hpp"
@@ -24,9 +27,29 @@ std::string encode_frame(std::string_view payload) {
   return out;
 }
 
+std::string_view to_string(FrameError error) noexcept {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kOversize: return "oversize";
+    case FrameError::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
 void FrameReader::feed(const char* data, std::size_t size) {
   if (error()) return;  // a poisoned stream never resyncs
   buffer_.append(data, size);
+}
+
+void FrameReader::finish() {
+  if (error()) return;
+  if (pending_bytes() == 0) return;  // clean EOF on a frame boundary
+  error_ = FrameError::kTruncated;
+  error_text_ = "truncated stream: peer closed with " +
+                std::to_string(pending_bytes()) +
+                " bytes of an incomplete frame buffered";
+  buffer_.clear();
+  cursor_ = 0;
 }
 
 std::optional<std::string> FrameReader::next() {
@@ -36,9 +59,10 @@ std::optional<std::string> FrameReader::next() {
   const u32 size = (static_cast<u32>(head[0]) << 24) |
                    (static_cast<u32>(head[1]) << 16) |
                    (static_cast<u32>(head[2]) << 8) | static_cast<u32>(head[3]);
-  if (size > kMaxFramePayload) {
+  if (size > max_payload_) {
+    error_ = FrameError::kOversize;
     error_text_ = "oversize frame: " + std::to_string(size) +
-                  " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                  " bytes exceeds the " + std::to_string(max_payload_) +
                   "-byte payload limit";
     buffer_.clear();
     cursor_ = 0;
@@ -54,6 +78,20 @@ std::optional<std::string> FrameReader::next() {
     cursor_ = 0;
   }
   return payload;
+}
+
+bool send_all(int fd, std::string_view bytes) noexcept {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 // ---- message type tags ----
@@ -82,6 +120,13 @@ constexpr TypeName kTypeNames[] = {
     {MessageType::kTraceEnd, "trace-end"},
     {MessageType::kError, "error"},
     {MessageType::kShutdown, "shutdown"},
+    {MessageType::kLease, "lease"},
+    {MessageType::kLeaseCancel, "lease-cancel"},
+    {MessageType::kWorkerStatus, "worker-status"},
+    {MessageType::kLeaseData, "lease-data"},
+    {MessageType::kLeaseResult, "lease-result"},
+    {MessageType::kLeaseFailed, "lease-failed"},
+    {MessageType::kWorkerInfo, "worker-info"},
 };
 
 }  // namespace
@@ -144,44 +189,122 @@ bool job_scoped(MessageType type) {
   }
 }
 
+// Fleet messages are scoped by the coordinator-issued lease id instead of a
+// job id (a lease can be re-issued for the same shard; replies must bind to
+// the issue, not the shard).
+bool lease_scoped(MessageType type) {
+  switch (type) {
+    case MessageType::kLease:
+    case MessageType::kLeaseCancel:
+    case MessageType::kLeaseData:
+    case MessageType::kLeaseResult:
+    case MessageType::kLeaseFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The campaign spec fields shared by kSubmit and kLease. Kept byte-for-byte
+// identical to the historical submit layout (fault-model fields ride only on
+// non-default models) so submit dedup identity is unchanged.
+void encode_spec_fields(std::string& out, const JobSpec& spec) {
+  field(out, "kind", std::string_view(spec.kind));
+  field(out, "seed", spec.seed);
+  field(out, "trials", spec.trials);
+  field(out, "shard_trials", spec.shard_trials);
+  if (!spec.workloads.empty()) field(out, "workloads", spec.workloads);
+  field(out, "low32", spec.low32);
+  field(out, "model", std::string_view(spec.model));
+  field(out, "latches_only", spec.latches_only);
+  if (spec.fault_model != "single") {
+    field(out, "fault_model", std::string_view(spec.fault_model));
+    field(out, "fault_bits", spec.fault_bits);
+    field(out, "burst_entries", spec.burst_entries);
+    field(out, "fault_target", std::string_view(spec.fault_target));
+    field(out, "vdd_mv", spec.vdd_mv);
+    field(out, "freq_mhz", spec.freq_mhz);
+    field(out, "upset_ppm", spec.upset_ppm);
+  }
+}
+
+bool decode_spec_fields(const flatjson::Object& obj, JobSpec& spec) {
+  const auto kind = get_string(obj, "kind");
+  const auto seed = get_uint(obj, "seed");
+  if (!kind || !seed) return false;
+  spec.kind = *kind;
+  spec.seed = *seed;
+  spec.trials = get_uint(obj, "trials").value_or(0);
+  spec.shard_trials = get_uint(obj, "shard_trials").value_or(0);
+  if (const auto* v = flatjson::find(obj, "workloads")) {
+    if (v->kind == flatjson::Value::Kind::kStringArray) {
+      spec.workloads = v->str_array;
+    } else if (!(v->kind == flatjson::Value::Kind::kUintArray &&
+                 v->array.empty())) {
+      return false;
+    }
+  }
+  spec.low32 = get_bool(obj, "low32").value_or(false);
+  spec.model = get_string(obj, "model").value_or("result");
+  spec.latches_only = get_bool(obj, "latches_only").value_or(false);
+  spec.fault_model = get_string(obj, "fault_model").value_or("single");
+  spec.fault_bits = get_uint(obj, "fault_bits").value_or(2);
+  spec.burst_entries = get_uint(obj, "burst_entries").value_or(2);
+  spec.fault_target = get_string(obj, "fault_target").value_or("load");
+  spec.vdd_mv = get_uint(obj, "vdd_mv").value_or(1000);
+  spec.freq_mhz = get_uint(obj, "freq_mhz").value_or(1000);
+  spec.upset_ppm = get_uint(obj, "upset_ppm").value_or(1'000'000);
+  return true;
+}
+
 }  // namespace
 
 std::string encode_message(const WireMessage& msg) {
   std::string out = "{";
   flatjson::append_field(out, "type", to_string(msg.type));
   if (job_scoped(msg.type)) field(out, "job", msg.job);
+  if (lease_scoped(msg.type)) field(out, "lease", msg.lease);
   switch (msg.type) {
     case MessageType::kPing:
     case MessageType::kList:
     case MessageType::kStatus:
     case MessageType::kSubscribe:
     case MessageType::kFetch:
+    case MessageType::kWorkerStatus:
+    case MessageType::kLeaseCancel:
       break;
     case MessageType::kPong:
       field(out, "version", msg.version);
       break;
     case MessageType::kSubmit:
-      field(out, "kind", std::string_view(msg.spec.kind));
-      field(out, "seed", msg.spec.seed);
-      field(out, "trials", msg.spec.trials);
-      field(out, "shard_trials", msg.spec.shard_trials);
-      if (!msg.spec.workloads.empty()) field(out, "workloads", msg.spec.workloads);
-      field(out, "low32", msg.spec.low32);
-      field(out, "model", std::string_view(msg.spec.model));
-      field(out, "latches_only", msg.spec.latches_only);
-      // Fault-model fields ride only on non-default submissions so historical
-      // submit payloads (and their byte-level dedup identity) are unchanged.
-      if (msg.spec.fault_model != "single") {
-        field(out, "fault_model", std::string_view(msg.spec.fault_model));
-        field(out, "fault_bits", msg.spec.fault_bits);
-        field(out, "burst_entries", msg.spec.burst_entries);
-        field(out, "fault_target", std::string_view(msg.spec.fault_target));
-        field(out, "vdd_mv", msg.spec.vdd_mv);
-        field(out, "freq_mhz", msg.spec.freq_mhz);
-        field(out, "upset_ppm", msg.spec.upset_ppm);
-      }
+      encode_spec_fields(out, msg.spec);
       field(out, "priority", msg.priority);
       field(out, "subscribe", msg.want_events);
+      break;
+    case MessageType::kLease:
+      encode_spec_fields(out, msg.spec);
+      field(out, "shard", msg.shard);
+      field(out, "deadline_ms", msg.deadline_ms);
+      break;
+    case MessageType::kLeaseData:
+      field(out, "data", std::string_view(msg.data));
+      break;
+    case MessageType::kLeaseResult:
+      field(out, "shard", msg.shard);
+      field(out, "trials_done", msg.trials_done);
+      field(out, "bytes", msg.bytes);
+      field(out, "cached", msg.cached);
+      break;
+    case MessageType::kLeaseFailed:
+      field(out, "shard", msg.shard);
+      field(out, "text", std::string_view(msg.text));
+      break;
+    case MessageType::kWorkerInfo:
+      field(out, "version", msg.version);
+      field(out, "leases_done", msg.leases_done);
+      field(out, "cache_hits", msg.cache_hits);
+      field(out, "failures", msg.failures);
+      field(out, "active", msg.active);
       break;
     case MessageType::kSubmitted:
       field(out, "config_hash", msg.config_hash);
@@ -258,46 +381,67 @@ std::optional<WireMessage> decode_message(const std::string& payload) {
     if (!job) return std::nullopt;
     msg.job = *job;
   }
+  if (lease_scoped(msg.type)) {
+    const auto lease = get_uint(*obj, "lease");
+    if (!lease) return std::nullopt;
+    msg.lease = *lease;
+  }
   switch (msg.type) {
     case MessageType::kPing:
     case MessageType::kList:
     case MessageType::kStatus:
     case MessageType::kSubscribe:
     case MessageType::kFetch:
+    case MessageType::kWorkerStatus:
+    case MessageType::kLeaseCancel:
       break;
     case MessageType::kPong:
       msg.version = get_uint(*obj, "version").value_or(0);
       break;
     case MessageType::kSubmit: {
-      const auto kind = get_string(*obj, "kind");
-      const auto seed = get_uint(*obj, "seed");
-      if (!kind || !seed) return std::nullopt;
-      msg.spec.kind = *kind;
-      msg.spec.seed = *seed;
-      msg.spec.trials = get_uint(*obj, "trials").value_or(0);
-      msg.spec.shard_trials = get_uint(*obj, "shard_trials").value_or(0);
-      if (const auto* v = flatjson::find(*obj, "workloads")) {
-        if (v->kind == flatjson::Value::Kind::kStringArray) {
-          msg.spec.workloads = v->str_array;
-        } else if (!(v->kind == flatjson::Value::Kind::kUintArray &&
-                     v->array.empty())) {
-          return std::nullopt;
-        }
-      }
-      msg.spec.low32 = get_bool(*obj, "low32").value_or(false);
-      msg.spec.model = get_string(*obj, "model").value_or("result");
-      msg.spec.latches_only = get_bool(*obj, "latches_only").value_or(false);
-      msg.spec.fault_model = get_string(*obj, "fault_model").value_or("single");
-      msg.spec.fault_bits = get_uint(*obj, "fault_bits").value_or(2);
-      msg.spec.burst_entries = get_uint(*obj, "burst_entries").value_or(2);
-      msg.spec.fault_target = get_string(*obj, "fault_target").value_or("load");
-      msg.spec.vdd_mv = get_uint(*obj, "vdd_mv").value_or(1000);
-      msg.spec.freq_mhz = get_uint(*obj, "freq_mhz").value_or(1000);
-      msg.spec.upset_ppm = get_uint(*obj, "upset_ppm").value_or(1'000'000);
+      if (!decode_spec_fields(*obj, msg.spec)) return std::nullopt;
       msg.priority = get_uint(*obj, "priority").value_or(0);
       msg.want_events = get_bool(*obj, "subscribe").value_or(false);
       break;
     }
+    case MessageType::kLease: {
+      if (!decode_spec_fields(*obj, msg.spec)) return std::nullopt;
+      const auto shard = get_uint(*obj, "shard");
+      if (!shard) return std::nullopt;
+      msg.shard = *shard;
+      msg.deadline_ms = get_uint(*obj, "deadline_ms").value_or(0);
+      break;
+    }
+    case MessageType::kLeaseData: {
+      const auto data = get_string(*obj, "data");
+      if (!data) return std::nullopt;
+      msg.data = *data;
+      break;
+    }
+    case MessageType::kLeaseResult: {
+      const auto shard = get_uint(*obj, "shard");
+      if (!shard) return std::nullopt;
+      msg.shard = *shard;
+      msg.trials_done = get_uint(*obj, "trials_done").value_or(0);
+      msg.bytes = get_uint(*obj, "bytes").value_or(0);
+      msg.cached = get_bool(*obj, "cached").value_or(false);
+      break;
+    }
+    case MessageType::kLeaseFailed: {
+      const auto shard = get_uint(*obj, "shard");
+      const auto text = get_string(*obj, "text");
+      if (!shard || !text) return std::nullopt;
+      msg.shard = *shard;
+      msg.text = *text;
+      break;
+    }
+    case MessageType::kWorkerInfo:
+      msg.version = get_uint(*obj, "version").value_or(0);
+      msg.leases_done = get_uint(*obj, "leases_done").value_or(0);
+      msg.cache_hits = get_uint(*obj, "cache_hits").value_or(0);
+      msg.failures = get_uint(*obj, "failures").value_or(0);
+      msg.active = get_uint(*obj, "active").value_or(0);
+      break;
     case MessageType::kSubmitted: {
       const auto state = get_string(*obj, "state");
       if (!state) return std::nullopt;

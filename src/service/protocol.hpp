@@ -16,6 +16,13 @@
 //   server -> client   pong | submitted | event | done | job-status |
 //                      list-end | trace-data | trace-end | error | shutdown
 //
+// The fleet fabric (fleet_coordinator.hpp / fleet_worker.hpp) rides the same
+// framing with its own message family:
+//
+//   coordinator -> worker   lease | lease-cancel | worker-status
+//   worker -> coordinator   lease-data | lease-result | lease-failed |
+//                           worker-info
+//
 // Every value is an unsigned integer, bool, string, or string array, so a
 // decoded message reconstructs the encoded one bit-for-bit (round-trip
 // exactness is what lets the service hand back byte-identical traces).
@@ -43,16 +50,42 @@ inline constexpr u64 kProtocolVersion = 1;
 // Length-prefix `payload`; throws std::length_error above kMaxFramePayload.
 std::string encode_frame(std::string_view payload);
 
+// Why a framed decode failed. The distinction matters to callers: kOversize
+// means a corrupt or hostile peer (drop immediately, never retry), while
+// kTruncated means the stream ended mid-frame (a crashed peer; the work it
+// carried may be retried elsewhere).
+enum class FrameError : u8 {
+  kNone,
+  kOversize,   // length prefix beyond the payload limit
+  kTruncated,  // EOF with a partial header or payload buffered (see finish())
+};
+
+std::string_view to_string(FrameError error) noexcept;
+
 // Incremental frame reassembly over a byte stream. Feed it raw read() data in
 // any fragmentation; next() yields complete payloads in order. An oversize
 // length prefix puts the reader in a permanent error state (and next()
 // returns nullopt forever): the connection must be dropped.
+//
+// The payload limit is kMaxFramePayload by default; adversarial-input tests
+// (and embedders fronting untrusted networks) can pass a smaller one. The
+// limit bounds allocation: a hostile 4-byte header can never make the reader
+// buffer more than `max_payload` bytes past the frames already delivered.
 class FrameReader {
  public:
+  FrameReader() = default;
+  explicit FrameReader(u32 max_payload) : max_payload_(max_payload) {}
+
   void feed(const char* data, std::size_t size);
   std::optional<std::string> next();
 
-  bool error() const noexcept { return !error_text_.empty(); }
+  // Signal end-of-stream: bytes still buffered mean the peer died mid-frame,
+  // which poisons the reader with kTruncated. Idempotent; a clean EOF (no
+  // pending bytes) leaves the reader error-free.
+  void finish();
+
+  bool error() const noexcept { return error_ != FrameError::kNone; }
+  FrameError error_code() const noexcept { return error_; }
   const std::string& error_text() const noexcept { return error_text_; }
   // Bytes buffered but not yet returned (tests).
   std::size_t pending_bytes() const noexcept { return buffer_.size() - cursor_; }
@@ -60,8 +93,16 @@ class FrameReader {
  private:
   std::string buffer_;
   std::size_t cursor_ = 0;  // consumed prefix of buffer_
+  u32 max_payload_ = kMaxFramePayload;
+  FrameError error_ = FrameError::kNone;
   std::string error_text_;
 };
+
+// Write all of `bytes` to a socket fd, retrying short writes and EINTR (with
+// MSG_NOSIGNAL, so a dead peer surfaces as false instead of SIGPIPE). A frame
+// passed through here can never shear mid-stream. Returns false on any other
+// send error.
+bool send_all(int fd, std::string_view bytes) noexcept;
 
 // ---- messages ----
 
@@ -84,6 +125,15 @@ enum class MessageType : u8 {
   kTraceEnd,
   kError,
   kShutdown,
+  // fleet: coordinator -> worker
+  kLease,         // run one shard of a campaign spec under a lease id
+  kLeaseCancel,   // best-effort: the lease was re-leased elsewhere
+  kWorkerStatus,  // liveness + counters probe
+  // fleet: worker -> coordinator
+  kLeaseData,    // chunk of the shard's JSONL lines (kTraceChunkBytes-sized)
+  kLeaseResult,  // terminal success: trial count, byte count, cache provenance
+  kLeaseFailed,  // terminal failure: the shard itself threw on the worker
+  kWorkerInfo,   // kWorkerStatus reply
 };
 
 std::string_view to_string(MessageType type) noexcept;
@@ -150,11 +200,20 @@ struct WireMessage {
 
   u64 exit_code = 0;  // done, job-status
   u64 count = 0;      // list-end: job-status frames that preceded it
-  u64 bytes = 0;      // trace-end: total trace bytes streamed
-  u64 version = 0;    // pong
-  std::string data;   // trace-data chunk
+  u64 bytes = 0;      // trace-end: total trace bytes streamed;
+                      // lease-result: shard JSONL bytes that were streamed
+  u64 version = 0;    // pong, worker-info
+  std::string data;   // trace-data / lease-data chunk
   std::string text;   // error/shutdown message, event line, done/job-status
-                      // failure detail
+                      // failure detail, lease-failed error
+
+  // ---- fleet fields ----
+  u64 lease = 0;        // every lease-scoped message: coordinator-issued id
+  u64 deadline_ms = 0;  // lease: worker-side execution deadline hint
+  u64 leases_done = 0;  // worker-info: leases served since start
+  u64 cache_hits = 0;   // worker-info: leases answered from the shard cache
+  u64 failures = 0;     // worker-info: leases that ended in lease-failed
+  u64 active = 0;       // worker-info: leases executing right now
 };
 
 // Serialize one message as a flat-JSON payload (no framing).

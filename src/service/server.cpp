@@ -404,7 +404,11 @@ void CampaignServer::flush_client(Client& client) {
     const auto n = ::send(client.fd, client.outbuf.data(), client.outbuf.size(),
                           MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      // EINTR is not back-pressure: retry immediately instead of parking the
+      // partial frame until the next POLLOUT (a signal-heavy host would shear
+      // frames across poll rounds for no reason).
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       close_client(client.fd);
       return;
     }

@@ -8,12 +8,16 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/export.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "faultinject/vm_campaign.hpp"
+#include "service/fleet_coordinator.hpp"
+#include "service/fleet_worker.hpp"
+#include "service/job_queue.hpp"
 
 namespace restore::faultinject {
 namespace {
@@ -170,6 +174,76 @@ TEST(CampaignReplay, InterruptedUarchCampaignResumesByteIdentical) {
   write_uarch_trials_csv(b, finished.trials);
   EXPECT_EQ(a.str(), b.str());
   EXPECT_EQ(slurp(full_trace), slurp(trace));
+}
+
+// The multi-node version of the replay property: a fleet node that crashes
+// mid-campaign is quarantined and its shards re-leased to the healthy node,
+// the coordinator is then interrupted (max_shards) and resumed — and the
+// merged trace is still byte-identical to the uninterrupted single-process
+// run. Campaign identity (config_hash x shard geometry) is what makes every
+// one of those paths converge on the same bytes.
+TEST(CampaignReplay, FleetQuarantineInterruptResumeByteIdentical) {
+  service::JobSpec spec;
+  spec.kind = "vm";
+  spec.seed = 0x4E03;
+  spec.trials = 8;
+  spec.shard_trials = 4;  // 2 shards per workload, 4 total
+  spec.workloads = {"gzip", "mcf"};
+
+  // Reference bytes: the local orchestrator, no fleet anywhere.
+  const auto full_trace = temp_trace("fleet_full");
+  CampaignRunOptions full_opts;
+  full_opts.workers = 1;
+  full_opts.shard_trials = spec.shard_trials;
+  full_opts.out_jsonl = full_trace;
+  run_vm_campaign(service::vm_config_for(spec), full_opts);
+
+  // One worker dies after a single lease, one stays healthy.
+  service::FleetWorkerOptions flaky_opts;
+  flaky_opts.listen = "127.0.0.1:0";
+  flaky_opts.quiet = true;
+  flaky_opts.fail_after_leases = 1;
+  service::FleetWorker flaky(std::move(flaky_opts));
+  service::FleetWorkerOptions healthy_opts;
+  healthy_opts.listen = "127.0.0.1:0";
+  healthy_opts.quiet = true;
+  service::FleetWorker healthy(std::move(healthy_opts));
+  flaky.start();
+  healthy.start();
+  std::thread flaky_thread([&] { flaky.run(); });
+  std::thread healthy_thread([&] { healthy.run(); });
+
+  const auto trace = temp_trace("fleet_interrupted");
+  service::FleetOptions opts;
+  opts.nodes = {flaky.address(), healthy.address()};
+  opts.out_jsonl = trace;
+  opts.connect_timeout_ms = 500;
+  opts.node_retries = 0;
+  opts.retry_backoff_ms = 1;
+  opts.node_faults_max = 2;
+  opts.quiet = true;
+  opts.max_shards = 2;  // interrupt after two fresh commits
+  service::FleetTelemetry cut;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &cut), 130);
+  EXPECT_FALSE(cut.complete);
+  EXPECT_TRUE(cut.stopped);
+
+  opts.max_shards = 0;
+  opts.resume = true;
+  service::FleetTelemetry resumed;
+  const int code = run_fleet_campaign(spec, opts, &resumed);
+  // 0 if the flaky node's quarantine landed in the first (pre-interrupt)
+  // run, 3 if it happened in the resumed one; either way the campaign
+  // completes and the bytes match the single-process reference.
+  EXPECT_TRUE(code == 0 || code == 3) << code;
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_shards, cut.shards_done);
+  EXPECT_EQ(slurp(trace), slurp(full_trace));
+
+  flaky.stop();
+  healthy.stop();
+  flaky_thread.join();
+  healthy_thread.join();
 }
 
 }  // namespace

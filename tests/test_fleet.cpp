@@ -1,0 +1,329 @@
+// Multi-node campaign fabric: ShardLeaseBook lease accounting, and the
+// coordinator/worker pair end-to-end over real localhost sockets — byte
+// identity of the merged trace versus the direct single-process campaign,
+// content-addressed result caching, dead-node quarantine with its manifest
+// record, crash-mid-campaign re-leasing, and interrupt + resume.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "faultinject/campaign_io.hpp"
+#include "faultinject/orchestrator.hpp"
+#include "faultinject/vm_campaign.hpp"
+#include "service/fleet_coordinator.hpp"
+#include "service/fleet_worker.hpp"
+#include "service/job_queue.hpp"
+
+namespace restore::service {
+namespace {
+
+using faultinject::ShardLeaseBook;
+
+// ---- lease-book unit tests (pure state machine, no sockets) ----
+
+TEST(ShardLeaseBookTest, PendingShardsLeaseFifo) {
+  ShardLeaseBook book(3);
+  const auto a = book.acquire("n1", 0, 1000);
+  const auto b = book.acquire("n2", 0, 1000);
+  const auto c = book.acquire("n1", 0, 1000);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->shard, 0u);
+  EXPECT_EQ(b->shard, 1u);
+  EXPECT_EQ(c->shard, 2u);
+  EXPECT_FALSE(a->stolen || b->stolen || c->stolen);
+  // Everything is leased and too young to steal.
+  EXPECT_FALSE(book.acquire("n3", 100, 1000).has_value());
+}
+
+TEST(ShardLeaseBookTest, FirstCommitWinsAndStaleIdsAreNoOps) {
+  ShardLeaseBook book(1);
+  const auto first = book.acquire("n1", 0, 0);
+  const auto stolen = book.acquire("n2", 10, 0);  // immediate steal age
+  ASSERT_TRUE(first && stolen);
+  EXPECT_EQ(stolen->shard, 0u);
+  EXPECT_TRUE(stolen->stolen);
+  EXPECT_TRUE(book.commit(stolen->id));
+  EXPECT_FALSE(book.commit(first->id));  // losing duplicate must not merge
+  EXPECT_FALSE(book.commit(first->id));  // and stays a no-op forever
+  EXPECT_TRUE(book.done(0));
+  EXPECT_TRUE(book.all_terminal());
+  EXPECT_EQ(book.done_count(), 1u);
+}
+
+TEST(ShardLeaseBookTest, StealRequiresAgeAndADifferentNode) {
+  ShardLeaseBook book(1);
+  const auto lease = book.acquire("n1", 0, 0);
+  ASSERT_TRUE(lease);
+  // Too young at steal_age 500.
+  EXPECT_FALSE(book.acquire("n2", 400, 500).has_value());
+  // The holder itself never duplicates its own shard.
+  EXPECT_FALSE(book.acquire("n1", 900, 500).has_value());
+  const auto steal = book.acquire("n2", 900, 500);
+  ASSERT_TRUE(steal);
+  EXPECT_TRUE(steal->stolen);
+  EXPECT_EQ(book.attempts(0), 2u);
+  // A third node can stack another steal once the age gate passes again.
+  EXPECT_FALSE(book.acquire("n2", 2000, 500).has_value());  // already co-leased
+  EXPECT_TRUE(book.acquire("n3", 2000, 500).has_value());
+}
+
+TEST(ShardLeaseBookTest, ReleaseRequeuesUnlessCovered) {
+  ShardLeaseBook book(2);
+  const auto a = book.acquire("n1", 0, 0);
+  const auto b = book.acquire("n2", 0, 0);
+  ASSERT_TRUE(a && b);
+  // Release with no other lease: the shard must circulate again.
+  book.release(a->id);
+  const auto again = book.acquire("n3", 1, 1000);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->shard, 0u);
+  EXPECT_FALSE(again->stolen);
+  // A released shard still outstanding elsewhere is not requeued.
+  const auto stolen = book.acquire("n1", 10, 0);
+  ASSERT_TRUE(stolen);
+  EXPECT_EQ(stolen->shard, 1u);
+  book.release(b->id);
+  EXPECT_FALSE(book.acquire("n4", 11, 1000).has_value());
+  book.release(b->id);  // stale id: no-op
+  EXPECT_EQ(book.outstanding_count(), 2u);
+}
+
+TEST(ShardLeaseBookTest, QuarantineRemovesFromCirculation) {
+  ShardLeaseBook book(2);
+  book.mark_quarantined(1);
+  const auto a = book.acquire("n1", 0, 0);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->shard, 0u);
+  EXPECT_FALSE(book.acquire("n2", 0, 1000).has_value());  // 1 is terminal
+  EXPECT_TRUE(book.commit(a->id));
+  EXPECT_TRUE(book.all_terminal());
+  EXPECT_EQ(book.done_count(), 1u);  // quarantine is terminal but not done
+}
+
+TEST(ShardLeaseBookTest, ResumeMarksDoneWithoutALease) {
+  ShardLeaseBook book(3);
+  book.mark_done(0);
+  book.mark_done(0);  // idempotent
+  EXPECT_EQ(book.done_count(), 1u);
+  const auto a = book.acquire("n1", 0, 0);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->shard, 1u);  // 0 is skipped on the way out of the queue
+}
+
+// ---- end-to-end fixtures ----
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "restore_fleet_" + tag;
+}
+
+JobSpec small_spec() {
+  JobSpec spec;
+  spec.kind = "vm";
+  spec.seed = 0x4E02;
+  spec.trials = 8;
+  spec.shard_trials = 4;  // 2 shards per workload, 4 total
+  spec.workloads = {"gzip", "mcf"};
+  return spec;
+}
+
+// The reference bytes: the same campaign through the local orchestrator.
+std::string direct_trace(const JobSpec& spec, const std::string& tag) {
+  faultinject::VmCampaignConfig config = vm_config_for(spec);
+  faultinject::CampaignRunOptions opts;
+  opts.workers = 1;
+  opts.shard_trials = spec.shard_trials;
+  opts.out_jsonl = temp_path(tag + "_direct.jsonl");
+  run_vm_campaign(config, opts);
+  return slurp(opts.out_jsonl);
+}
+
+// A worker bound to an ephemeral port, serving on a background thread.
+class WorkerHandle {
+ public:
+  explicit WorkerHandle(FleetWorkerOptions opts) : worker_(std::move(opts)) {
+    worker_.start();
+    thread_ = std::thread([this] { worker_.run(); });
+  }
+  ~WorkerHandle() {
+    worker_.stop();
+    thread_.join();
+  }
+  FleetWorker& worker() { return worker_; }
+  std::string address() { return worker_.address(); }
+
+ private:
+  FleetWorker worker_;
+  std::thread thread_;
+};
+
+FleetWorkerOptions quiet_worker(const std::string& cache_dir = "") {
+  FleetWorkerOptions opts;
+  opts.listen = "127.0.0.1:0";
+  opts.cache_dir = cache_dir;
+  opts.quiet = true;
+  return opts;
+}
+
+FleetOptions fast_fleet(const std::string& out) {
+  FleetOptions opts;
+  opts.out_jsonl = out;
+  opts.connect_timeout_ms = 500;
+  opts.node_retries = 0;
+  opts.retry_backoff_ms = 1;
+  opts.quiet = true;
+  return opts;
+}
+
+// An address nobody listens on: bind an ephemeral worker, read its port,
+// and tear it down again.
+std::string dead_address() {
+  FleetWorker probe(quiet_worker());
+  probe.start();
+  return probe.address();
+}
+
+// ---- end-to-end tests ----
+
+TEST(FleetTest, TwoNodesMergeByteIdenticalToDirectRun) {
+  const JobSpec spec = small_spec();
+  const std::string reference = direct_trace(spec, "two");
+
+  WorkerHandle w1(quiet_worker());
+  WorkerHandle w2(quiet_worker());
+  FleetOptions opts = fast_fleet(temp_path("two.jsonl"));
+  opts.nodes = {w1.address(), w2.address()};
+  FleetTelemetry telemetry;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &telemetry), 0);
+  EXPECT_TRUE(telemetry.complete);
+  EXPECT_EQ(telemetry.shards_done, 4u);
+  EXPECT_EQ(slurp(opts.out_jsonl), reference);
+  // The manifest is complete and identical in identity to the direct run's.
+  const auto manifest =
+      faultinject::read_manifest(faultinject::manifest_path_for(opts.out_jsonl));
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->completed.size(), 4u);
+  EXPECT_FALSE(manifest->has_node_quarantine());
+}
+
+TEST(FleetTest, SecondRunIsServedFromTheWorkerCache) {
+  const JobSpec spec = small_spec();
+  const std::string cache = temp_path("cache_dir");
+  std::filesystem::remove_all(cache);
+  WorkerHandle w(quiet_worker(cache));
+
+  FleetOptions opts = fast_fleet(temp_path("cache.jsonl"));
+  opts.nodes = {w.address()};
+  EXPECT_EQ(run_fleet_campaign(spec, opts, nullptr), 0);
+  const std::string first = slurp(opts.out_jsonl);
+  EXPECT_EQ(w.worker().cache_hits(), 0u);
+
+  FleetTelemetry telemetry;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &telemetry), 0);
+  EXPECT_EQ(w.worker().cache_hits(), 4u);  // every shard answered from cache
+  EXPECT_EQ(telemetry.nodes[0].cache_hits, 4u);
+  EXPECT_EQ(slurp(opts.out_jsonl), first);  // cached bytes == computed bytes
+}
+
+TEST(FleetTest, DeadNodeIsQuarantinedAndRecordedInTheManifest) {
+  const JobSpec spec = small_spec();
+  const std::string reference = direct_trace(spec, "dead");
+
+  WorkerHandle live(quiet_worker());
+  FleetOptions opts = fast_fleet(temp_path("dead.jsonl"));
+  opts.nodes = {live.address(), dead_address()};
+  opts.node_faults_max = 2;
+  FleetTelemetry telemetry;
+  // Complete trace, but exit 3: the benched node must not read as healthy.
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &telemetry), 3);
+  EXPECT_TRUE(telemetry.complete);
+  EXPECT_EQ(telemetry.quarantined_nodes, 1u);
+  EXPECT_TRUE(telemetry.nodes[1].quarantined);
+  EXPECT_GE(telemetry.nodes[1].faults, 2u);
+  EXPECT_EQ(slurp(opts.out_jsonl), reference);
+
+  const auto manifest =
+      faultinject::read_manifest(faultinject::manifest_path_for(opts.out_jsonl));
+  ASSERT_TRUE(manifest.has_value());
+  ASSERT_TRUE(manifest->has_node_quarantine());
+  EXPECT_EQ(manifest->node_quarantined.size(), 1u);
+  EXPECT_EQ(manifest->node_quarantined[0], opts.nodes[1]);
+  EXPECT_GE(manifest->node_faults[0], 2u);
+  EXPECT_FALSE(manifest->node_errors[0].empty());
+}
+
+TEST(FleetTest, NodeCrashMidCampaignIsReLeasedByteIdentical) {
+  const JobSpec spec = small_spec();
+  const std::string reference = direct_trace(spec, "crash");
+
+  // The flaky node serves exactly one lease, then drops every connection on
+  // the floor mid-protocol — what a SIGKILLed worker looks like on the wire.
+  FleetWorkerOptions flaky_opts = quiet_worker();
+  flaky_opts.fail_after_leases = 1;
+  WorkerHandle flaky(std::move(flaky_opts));
+  WorkerHandle healthy(quiet_worker());
+
+  FleetOptions opts = fast_fleet(temp_path("crash.jsonl"));
+  opts.nodes = {flaky.address(), healthy.address()};
+  opts.node_faults_max = 2;
+  FleetTelemetry telemetry;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &telemetry), 3);
+  EXPECT_TRUE(telemetry.complete);
+  EXPECT_TRUE(telemetry.nodes[0].quarantined);
+  EXPECT_EQ(telemetry.nodes[0].shards_committed, 1u);
+  // Every shard the crashed node dropped was re-leased and committed by the
+  // healthy one, and the merged bytes are still the single-process bytes.
+  EXPECT_EQ(telemetry.shards_done, 4u);
+  EXPECT_EQ(slurp(opts.out_jsonl), reference);
+}
+
+TEST(FleetTest, InterruptAndResumeConvergeByteIdentical) {
+  const JobSpec spec = small_spec();
+  const std::string reference = direct_trace(spec, "resume");
+
+  WorkerHandle w(quiet_worker());
+  FleetOptions opts = fast_fleet(temp_path("resume.jsonl"));
+  opts.nodes = {w.address()};
+  opts.max_shards = 2;  // the interrupt hook
+  FleetTelemetry cut;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &cut), 130);
+  EXPECT_FALSE(cut.complete);
+  EXPECT_TRUE(cut.stopped);
+  EXPECT_EQ(cut.shards_done, 2u);
+
+  opts.max_shards = 0;
+  opts.resume = true;
+  FleetTelemetry resumed;
+  EXPECT_EQ(run_fleet_campaign(spec, opts, &resumed), 0);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_shards, 2u);  // reloaded, not re-run
+  EXPECT_EQ(slurp(opts.out_jsonl), reference);
+}
+
+TEST(FleetTest, ResumeRefusesAnAlienManifest) {
+  const JobSpec spec = small_spec();
+  WorkerHandle w(quiet_worker());
+  FleetOptions opts = fast_fleet(temp_path("alien.jsonl"));
+  opts.nodes = {w.address()};
+  ASSERT_EQ(run_fleet_campaign(spec, opts, nullptr), 0);
+
+  JobSpec other = spec;
+  other.seed = spec.seed + 1;
+  opts.resume = true;
+  EXPECT_THROW(run_fleet_campaign(other, opts, nullptr), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace restore::service

@@ -105,6 +105,86 @@ TEST(ServiceFraming, FuzzedSplitAndCoalescedReads) {
   }
 }
 
+TEST(ServiceFraming, FinishFlagsTruncatedStreams) {
+  // EOF mid-payload: the peer died with a frame in flight.
+  {
+    FrameReader reader;
+    const std::string frame = service::encode_frame("cut short");
+    reader.feed(frame.data(), frame.size() - 3);
+    EXPECT_FALSE(reader.next().has_value());
+    reader.finish();
+    EXPECT_TRUE(reader.error());
+    EXPECT_EQ(reader.error_code(), service::FrameError::kTruncated);
+    EXPECT_EQ(reader.pending_bytes(), 0u);  // poisoned readers hold nothing
+  }
+  // EOF mid-header: even a partial length prefix counts as truncation.
+  {
+    FrameReader reader;
+    const char header_byte = 0;
+    reader.feed(&header_byte, 1);
+    reader.finish();
+    EXPECT_EQ(reader.error_code(), service::FrameError::kTruncated);
+  }
+  // Clean EOF between frames is not an error, and finish() is idempotent.
+  {
+    FrameReader reader;
+    const std::string frame = service::encode_frame("whole");
+    reader.feed(frame.data(), frame.size());
+    EXPECT_TRUE(reader.next().has_value());
+    reader.finish();
+    reader.finish();
+    EXPECT_FALSE(reader.error());
+    EXPECT_EQ(reader.error_code(), service::FrameError::kNone);
+  }
+}
+
+TEST(ServiceFraming, CustomPayloadLimitBoundsAllocation) {
+  // An embedder fronting an untrusted network can cap payloads below the
+  // protocol-wide limit; a frame over the cap poisons with kOversize.
+  FrameReader reader(64);
+  const std::string small = service::encode_frame(std::string(64, 's'));
+  reader.feed(small.data(), small.size());
+  ASSERT_TRUE(reader.next().has_value());
+
+  const std::string big = service::encode_frame(std::string(65, 'b'));
+  reader.feed(big.data(), big.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error_code(), service::FrameError::kOversize);
+}
+
+TEST(ServiceFraming, MalformedByteSoupNeverThrowsOrOverbuffers) {
+  // Adversarial-input property: feed random byte soup (which constantly
+  // fabricates wild length prefixes) through a capped reader. The reader
+  // must never throw, and — poisoned or not — must never buffer more than
+  // one max-size payload beyond what it already delivered.
+  constexpr u32 kCap = 4096;
+  Rng rng(0xBADF00D);
+  for (int round = 0; round < 200; ++round) {
+    FrameReader reader(kCap);
+    const u64 total = rng.range(1, 8192);
+    u64 fed = 0;
+    while (fed < total) {
+      char chunk[257];
+      const u64 take = std::min<u64>(rng.range(1, 257), total - fed);
+      for (u64 i = 0; i < take; ++i) {
+        chunk[i] = static_cast<char>(rng.below(256));
+      }
+      reader.feed(chunk, take);
+      fed += take;
+      while (reader.next()) {
+      }
+      ASSERT_LE(reader.pending_bytes(), static_cast<std::size_t>(kCap) + 4)
+          << "round " << round;
+    }
+    reader.finish();
+    // After EOF the reader has a definite verdict; byte soup almost always
+    // ends poisoned, but a lucky clean parse is legal too.
+    if (reader.error()) {
+      EXPECT_NE(reader.error_code(), service::FrameError::kNone);
+    }
+  }
+}
+
 TEST(ServiceFraming, EncodeRejectsOversizePayload) {
   EXPECT_THROW(
       service::encode_frame(std::string(service::kMaxFramePayload + 1, 'x')),
@@ -258,6 +338,58 @@ std::vector<WireMessage> one_of_each_type() {
   shutdown.text = "daemon draining";
   messages.push_back(shutdown);
 
+  WireMessage lease;
+  lease.type = MessageType::kLease;
+  lease.lease = 17;
+  lease.shard = 5;
+  lease.deadline_ms = 60'000;
+  lease.spec.kind = "vm";
+  lease.spec.seed = 7;
+  lease.spec.trials = 8;
+  lease.spec.shard_trials = 4;
+  lease.spec.workloads = {"gzip", "mcf"};
+  messages.push_back(lease);
+
+  WireMessage lease_cancel;
+  lease_cancel.type = MessageType::kLeaseCancel;
+  lease_cancel.lease = 17;
+  messages.push_back(lease_cancel);
+
+  WireMessage worker_status;
+  worker_status.type = MessageType::kWorkerStatus;
+  messages.push_back(worker_status);
+
+  WireMessage lease_data;
+  lease_data.type = MessageType::kLeaseData;
+  lease_data.lease = 17;
+  lease_data.data = "{\"shard\":5,\"slot\":0}\n";
+  messages.push_back(lease_data);
+
+  WireMessage lease_result;
+  lease_result.type = MessageType::kLeaseResult;
+  lease_result.lease = 17;
+  lease_result.shard = 5;
+  lease_result.trials_done = 4;
+  lease_result.bytes = 512;
+  lease_result.cached = true;
+  messages.push_back(lease_result);
+
+  WireMessage lease_failed;
+  lease_failed.type = MessageType::kLeaseFailed;
+  lease_failed.lease = 18;
+  lease_failed.shard = 6;
+  lease_failed.text = "bad_alloc running the shard";
+  messages.push_back(lease_failed);
+
+  WireMessage worker_info;
+  worker_info.type = MessageType::kWorkerInfo;
+  worker_info.version = service::kProtocolVersion;
+  worker_info.leases_done = 42;
+  worker_info.cache_hits = 7;
+  worker_info.failures = 1;
+  worker_info.active = 2;
+  messages.push_back(worker_info);
+
   return messages;
 }
 
@@ -265,7 +397,7 @@ std::vector<WireMessage> one_of_each_type() {
 
 TEST(ServiceMessages, EveryTypeRoundTripsExactly) {
   const auto messages = one_of_each_type();
-  ASSERT_EQ(messages.size(), 16u);  // one per MessageType
+  ASSERT_EQ(messages.size(), 23u);  // one per MessageType
   for (const auto& msg : messages) {
     const std::string wire = service::encode_message(msg);
     const auto decoded = service::decode_message(wire);
@@ -309,6 +441,20 @@ TEST(ServiceMessages, DecodeRejectsMalformedInput) {
   // Event without its tag; error without text.
   EXPECT_FALSE(service::decode_message(R"({"type":"event","job":1})").has_value());
   EXPECT_FALSE(service::decode_message(R"({"type":"error"})").has_value());
+  // Lease-scoped without a lease id.
+  EXPECT_FALSE(service::decode_message(R"({"type":"lease-cancel"})").has_value());
+  EXPECT_FALSE(
+      service::decode_message(R"({"type":"lease-data","data":"x"})").has_value());
+  // Lease without its shard/spec; lease-result without a shard; lease-failed
+  // without its error text.
+  EXPECT_FALSE(service::decode_message(R"({"type":"lease","lease":1})").has_value());
+  EXPECT_FALSE(
+      service::decode_message(R"({"type":"lease","lease":1,"shard":0})").has_value());
+  EXPECT_FALSE(
+      service::decode_message(R"({"type":"lease-result","lease":1})").has_value());
+  EXPECT_FALSE(service::decode_message(
+                   R"({"type":"lease-failed","lease":1,"shard":0})")
+                   .has_value());
 }
 
 TEST(ServiceMessages, TypeNamesRoundTrip) {

@@ -14,9 +14,10 @@
 //   --interval N   checkpoint interval used to classify uarch trials
 //                  (default 100, matching the figure drivers' summary lines)
 //
-// Exit status: 0 healthy, 3 when any manifest records quarantined shards
-// (so scripts notice a partial campaign), 1 on I/O or parse errors, 2 on
-// usage errors. With several traces the *worst* per-trace code is returned
+// Exit status: 0 healthy, 3 when any manifest records quarantined shards or
+// quarantined fleet nodes (so scripts notice a partial campaign — or a trace
+// that only completed because a sick node's shards were re-leased), 1 on I/O
+// or parse errors, 2 on usage errors. With several traces the *worst* per-trace code is returned
 // (quarantine outranks I/O errors: a partial campaign must never read as
 // merely unreadable).
 #include <algorithm>
@@ -85,14 +86,22 @@ TraceSummary summarize(const std::string& trace_path) {
     summary.done_trials += trials;
   }
   summary.done_shards = summary.manifest->completed.size();
-  if (summary.manifest->has_quarantine()) summary.exit_code = 3;
+  if (summary.manifest->has_quarantine() ||
+      summary.manifest->has_node_quarantine()) {
+    summary.exit_code = 3;
+  }
   return summary;
 }
 
 std::string_view state_label(const TraceSummary& summary) {
   if (!summary.manifest) return "unreadable";
   if (summary.manifest->has_quarantine()) return "quarantined";
-  if (summary.done_shards == summary.manifest->total_shards) return "complete";
+  if (summary.done_shards == summary.manifest->total_shards) {
+    // Complete bytes, but a fleet node was benched getting there: the trace
+    // is trustworthy (its shards were re-leased), the *host* is not.
+    return summary.manifest->has_node_quarantine() ? "node-quarantine"
+                                                   : "complete";
+  }
   return "resumable";
 }
 
@@ -289,6 +298,17 @@ int report_one(const std::string& trace_path, u64 interval) {
                   manifest.quarantine_errors[i].c_str());
     }
   }
+  if (manifest.has_node_quarantine()) {
+    std::printf("quarantined fleet nodes (%zu) — shards were re-leased to "
+                "healthy nodes:\n",
+                manifest.node_quarantined.size());
+    for (std::size_t i = 0; i < manifest.node_quarantined.size(); ++i) {
+      std::printf("  node %s: %llu transport faults, last error: %s\n",
+                  manifest.node_quarantined[i].c_str(),
+                  static_cast<unsigned long long>(manifest.node_faults[i]),
+                  manifest.node_errors[i].c_str());
+    }
+  }
   if (done_shards > 0) {
     const double mean_ms = total_ms / static_cast<double>(done_shards);
     std::printf("shards: mean %.1f ms, slowest %.1f ms, %.1f trials/sec overall\n",
@@ -318,8 +338,8 @@ int report_one(const std::string& trace_path, u64 interval) {
                   : "");
   print_breakdown(*rows);
   // Non-zero for quarantine so CI and shell scripts can't mistake a partial
-  // campaign for a healthy one.
-  return manifest.has_quarantine() ? 3 : 0;
+  // campaign (or a fleet run that benched a node) for a healthy one.
+  return manifest.has_quarantine() || manifest.has_node_quarantine() ? 3 : 0;
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+// restore-fleet — multi-node campaign coordinator.
+//
+// Decomposes a campaign into its deterministic shard plan and leases shards
+// to remote fleet workers (restored --fleet-worker) over TCP, with lease
+// deadlines, work stealing, bounded connect retry, and per-node quarantine.
+// The merged trace (and its resume manifest) is byte-identical to the
+// single-machine batch run at any node count, under any interleaving of node
+// crashes, re-leases, and --resume.
+//
+//   restore-fleet --nodes 10.0.0.1:7701,10.0.0.2:7701 --kind vm
+//       --seed 24029 --out fleet.jsonl  (one command line)
+//
+// Flags:
+//   --nodes A,B,C          worker addresses, host:port (required)
+//   --out PATH             merged trace path (required)
+//   --resume               reuse completed shards from PATH's manifest
+//   --kind vm|uarch --seed N --trials N --shard-trials N --workloads a,b,c
+//   --low32 --model result|register --latches-only
+//   --fault-model single|multi|burst|set|targeted|rate --fault-bits K
+//   --burst-entries N --fault-target load|store --vdd-mv MV --freq-mhz MHZ
+//   --upset-ppm PPM        the campaign spec (same grammar as restorectl
+//                          submit; identity-class flags feed config_hash)
+//   --connect-timeout-ms N bounded connect per attempt (default 2000)
+//   --node-retries N       extra connect attempts per lease (default 2)
+//   --retry-backoff-ms N   base backoff, doubles per attempt (default 50)
+//   --lease-deadline-ms N  whole-lease receive deadline (default 60000)
+//   --node-faults-max N    transport faults before node quarantine (default 3)
+//   --steal-after-ms N     lease age before idle nodes steal it (default 10000)
+//   --shard-lease-attempts N
+//                          leases per shard before shard quarantine (default 3)
+//   --max-shards N         stop after N fresh commits (interrupt hook)
+//   --quiet                no coordinator log lines
+//
+// Exit code: 0 complete, 3 quarantine (shards or nodes), 130 stopped/cut,
+// 1 on a coordinator failure.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/shutdown.hpp"
+#include "service/fleet_coordinator.hpp"
+
+namespace {
+
+using namespace restore;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+service::JobSpec spec_from_cli(const CliArgs& args) {
+  service::JobSpec spec;
+  spec.kind = args.value("kind").value_or("vm");
+  spec.seed = resolve_seed(args, spec.seed);
+  spec.trials = resolve_trial_count(args, 0);
+  spec.shard_trials = args.value_u64("shard-trials", 0);
+  if (const auto names = args.value("workloads")) {
+    spec.workloads = split_csv(*names);
+  }
+  spec.low32 = args.has_flag("low32");
+  spec.model = args.value("model").value_or("result");
+  spec.latches_only = args.has_flag("latches-only");
+  spec.fault_model = resolve_fault_model_name(args).value_or("single");
+  spec.fault_bits = args.value_u64("fault-bits", spec.fault_bits);
+  spec.burst_entries = args.value_u64("burst-entries", spec.burst_entries);
+  spec.fault_target = args.value("fault-target").value_or(spec.fault_target);
+  spec.vdd_mv = args.value_u64("vdd-mv", spec.vdd_mv);
+  spec.freq_mhz = args.value_u64("freq-mhz", spec.freq_mhz);
+  spec.upset_ppm = args.value_u64("upset-ppm", spec.upset_ppm);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  service::FleetOptions opts;
+  opts.nodes = split_csv(args.value("nodes").value_or(""));
+  opts.out_jsonl = args.value("out").value_or("");
+  opts.resume = args.has_flag("resume");
+  opts.connect_timeout_ms = args.value_u64("connect-timeout-ms", 2'000);
+  opts.node_retries = args.value_u64("node-retries", 2);
+  opts.retry_backoff_ms = args.value_u64("retry-backoff-ms", 50);
+  opts.lease_deadline_ms = args.value_u64("lease-deadline-ms", 60'000);
+  opts.node_faults_max = args.value_u64("node-faults-max", 3);
+  opts.steal_after_ms = args.value_u64("steal-after-ms", 10'000);
+  opts.shard_lease_attempts = args.value_u64("shard-lease-attempts", 3);
+  opts.max_shards = args.value_u64("max-shards", 0);
+  opts.quiet = args.has_flag("quiet");
+
+  install_shutdown_signal_handlers();
+  opts.stop_flag = shutdown_flag();
+
+  try {
+    service::FleetTelemetry telemetry;
+    const int code =
+        service::run_fleet_campaign(spec_from_cli(args), opts, &telemetry);
+    for (const auto& node : telemetry.nodes) {
+      std::printf("node %-21s shards %llu (stolen %llu, cached %llu)  "
+                  "faults %llu%s%s%s\n",
+                  node.address.c_str(),
+                  static_cast<unsigned long long>(node.shards_committed),
+                  static_cast<unsigned long long>(node.stolen_commits),
+                  static_cast<unsigned long long>(node.cache_hits),
+                  static_cast<unsigned long long>(node.faults),
+                  node.quarantined ? "  QUARANTINED" : "",
+                  node.last_error.empty() ? "" : ": ",
+                  node.last_error.c_str());
+    }
+    std::printf("fleet %s: %llu/%llu shards, %llu trials -> %s (exit %d)\n",
+                telemetry.complete ? "complete"
+                : telemetry.stopped ? "stopped"
+                                    : "partial",
+                static_cast<unsigned long long>(telemetry.shards_done),
+                static_cast<unsigned long long>(telemetry.shards_total),
+                static_cast<unsigned long long>(telemetry.trials_done),
+                opts.out_jsonl.c_str(), code);
+    return code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "restore-fleet: %s\n", e.what());
+    return 1;
+  }
+}

@@ -24,6 +24,12 @@
 //   subscribe --job N    stream events of an in-flight job until done
 //   fetch --job N --out PATH
 //                        download a job's trace ("-" = stdout)
+//   fleet-status         probe a fleet worker (--connect HOST:PORT) and print
+//                        its lease counters
+//
+// TCP connections honor --connect-timeout-ms N: each attempt gets a bounded
+// non-blocking connect, retried up to 3 times with doubling backoff before
+// giving up (0 or absent = a single blocking connect, as before).
 //
 // The daemon answers a duplicate submission (same campaign identity) with
 // attached=true (still running) or cached=true (served from the spool); in
@@ -41,7 +47,11 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "common/cli.hpp"
+#include "service/fleet_coordinator.hpp"
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
 
@@ -95,6 +105,23 @@ int connect_tcp(const std::string& target) {
                              "': " + std::strerror(errno));
   }
   return fd;
+}
+
+// --connect-timeout-ms: bounded non-blocking connect with up to 3 attempts
+// and doubling backoff, so a client script probing a worker that is still
+// binding fails fast instead of hanging in a blocking connect().
+int connect_tcp_bounded(const std::string& target, u64 timeout_ms) {
+  if (timeout_ms == 0) return connect_tcp(target);
+  std::string error;
+  for (u64 attempt = 1; attempt <= 3; ++attempt) {
+    const int fd = service::connect_tcp_timeout(target, timeout_ms, &error);
+    if (fd >= 0) return fd;
+    if (attempt < 3) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(u64{100} << (attempt - 1)));
+    }
+  }
+  throw std::runtime_error(error);
 }
 
 // One blocking client connection: framed writes, framed blocking reads.
@@ -297,15 +324,35 @@ int run(const CliArgs& args) {
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: restorectl [--socket PATH | --connect HOST:PORT] "
-                 "ping|submit|status|list|subscribe|fetch [flags]\n");
+                 "ping|submit|status|list|subscribe|fetch|fleet-status [flags]\n");
     return 2;
   }
   const std::string& command = positional.front();
 
   const auto tcp_target = args.value("connect");
-  Connection conn(tcp_target ? connect_tcp(*tcp_target)
-                             : connect_unix(resolve_socket_path(
-                                   args, "restored.sock")));
+  Connection conn(tcp_target
+                      ? connect_tcp_bounded(*tcp_target,
+                                            args.value_u64("connect-timeout-ms", 0))
+                      : connect_unix(resolve_socket_path(args, "restored.sock")));
+
+  if (command == "fleet-status") {
+    WireMessage probe;
+    probe.type = MessageType::kWorkerStatus;
+    conn.send(probe);
+    const auto info = conn.receive();
+    if (info.type != MessageType::kWorkerInfo) {
+      std::fprintf(stderr, "restorectl: unexpected reply to fleet-status\n");
+      return 1;
+    }
+    std::printf("fleet worker (protocol %llu): %llu leases served, "
+                "%llu cache hits, %llu failures, %llu active\n",
+                static_cast<unsigned long long>(info.version),
+                static_cast<unsigned long long>(info.leases_done),
+                static_cast<unsigned long long>(info.cache_hits),
+                static_cast<unsigned long long>(info.failures),
+                static_cast<unsigned long long>(info.active));
+    return 0;
+  }
 
   if (command == "ping") {
     WireMessage ping;

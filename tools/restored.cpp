@@ -24,16 +24,50 @@
 //                        shard supervision knobs (defaults 2 / 50)
 //   --quiet              no daemon log lines
 //
+// Fleet-worker mode (the execution end of restore-fleet):
+//   restored --fleet-worker --listen 127.0.0.1:7701 --spool spool
+// serves shard leases over TCP instead of running the job daemon. Shard
+// results are cached content-addressed under <spool>/fleet-cache, so
+// re-leased shards are answered byte-for-byte without recomputation. The
+// bound address is logged ("fleet-worker: listening on HOST:PORT"), which is
+// how scripts discover an ephemeral --listen :0 port.
+//
 // Exit code: 0 after a clean drain, 1 on startup failure.
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/shutdown.hpp"
+#include "service/fleet_worker.hpp"
 #include "service/server.hpp"
+
+namespace {
+
+int run_fleet_worker(const restore::CliArgs& args) {
+  using namespace restore;
+  service::FleetWorkerOptions opts;
+  opts.listen = args.value("listen").value_or("127.0.0.1:0");
+  opts.cache_dir = args.value("spool").value_or("spool") + "/fleet-cache";
+  opts.quiet = args.has_flag("quiet");
+  opts.fail_after_leases = args.value_u64("fail-after-leases", 0);
+  install_shutdown_signal_handlers();
+  opts.stop_flag = shutdown_flag();
+  try {
+    service::FleetWorker worker(std::move(opts));
+    worker.start();
+    worker.run();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "restored: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace restore;
   const CliArgs args(argc, argv);
+  if (args.has_flag("fleet-worker")) return run_fleet_worker(args);
 
   service::ServerOptions opts;
   opts.socket_path = resolve_socket_path(args, "restored.sock");
