@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Static-analysis gate: simlint (all five rule families) + clang-tidy.
+# Static-analysis gate: simlint (all seven rule families) + clang-tidy.
 #
-# Usage: scripts/check_lint.sh [build-dir]
+# Usage: scripts/check_lint.sh [build-dir] [--families LIST]
 #   build-dir (default: build) supplies compile_commands.json; when it has not
 #   been configured yet, simlint falls back to globbing the configured roots
 #   and clang-tidy is skipped unless the database exists.
+#   --families LIST  comma-separated simlint families to run (default: all of
+#   DET,ITER,COV,ID,PERF,CONC,SCHEMA). The CI lint job runs everything; the
+#   clang thread-safety job re-runs just CONC,SCHEMA next to the annotated
+#   build so a schema or lock-discipline break fails the job that owns it.
 #
 # clang-tidy is optional tooling: it runs when present on PATH (CI installs
 # it), and is skipped — loudly — when it is not, so the gate stays usable in
@@ -13,14 +17,32 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${1:-build}
+BUILD_DIR=build
+FAMILIES=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --families)
+      FAMILIES=${2:?--families needs a comma-separated list}
+      shift 2
+      ;;
+    *)
+      BUILD_DIR=$1
+      shift
+      ;;
+  esac
+done
 fail=0
 
 echo "== simlint self-test (negative fixtures)"
 python3 tools/simlint/simlint.py --self-test || fail=1
 
-echo "== simlint (DET, ITER, COV, ID, PERF)"
-python3 tools/simlint/simlint.py -p "$BUILD_DIR" || fail=1
+if [[ -n "$FAMILIES" ]]; then
+  echo "== simlint ($FAMILIES)"
+  python3 tools/simlint/simlint.py -p "$BUILD_DIR" --families "$FAMILIES" || fail=1
+else
+  echo "== simlint (DET, ITER, COV, ID, PERF, CONC, SCHEMA)"
+  python3 tools/simlint/simlint.py -p "$BUILD_DIR" || fail=1
+fi
 
 echo "== clang-tidy"
 if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,128 @@
+// Clang thread-safety-analysis capability annotations, plus annotated mutex
+// wrapper types that make the analysis enforceable across the campaign engine.
+//
+// The raw attribute macros (RESTORE_GUARDED_BY, RESTORE_REQUIRES, ...) expand
+// to Clang's `__attribute__((...))` thread-safety attributes when the compiler
+// supports them and to nothing otherwise, so GCC builds are unaffected.
+// Enforcement happens in the clang CI job, which configures with
+// -DRESTORE_THREAD_SAFETY=ON to promote -Wthread-safety to an error.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes, so
+// annotating members with RESTORE_GUARDED_BY alone would drown the analysis in
+// false positives (every std::lock_guard acquisition is invisible to it). The
+// restore::Mutex / restore::MutexLock / restore::CondVar wrappers below are
+// thin, zero-overhead shims over the std types whose lock/unlock/wait methods
+// carry the attributes the analysis needs. All mutex-protected state in the
+// repo goes through these wrappers; the simlint CONC family keeps it that way.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RESTORE_THREAD_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef RESTORE_THREAD_ATTR
+#define RESTORE_THREAD_ATTR(x)  // no-op outside clang
+#endif
+
+#define RESTORE_CAPABILITY(x) RESTORE_THREAD_ATTR(capability(x))
+#define RESTORE_SCOPED_CAPABILITY RESTORE_THREAD_ATTR(scoped_lockable)
+#define RESTORE_GUARDED_BY(x) RESTORE_THREAD_ATTR(guarded_by(x))
+#define RESTORE_PT_GUARDED_BY(x) RESTORE_THREAD_ATTR(pt_guarded_by(x))
+#define RESTORE_REQUIRES(...) \
+  RESTORE_THREAD_ATTR(requires_capability(__VA_ARGS__))
+#define RESTORE_ACQUIRE(...) \
+  RESTORE_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+#define RESTORE_RELEASE(...) \
+  RESTORE_THREAD_ATTR(release_capability(__VA_ARGS__))
+#define RESTORE_TRY_ACQUIRE(...) \
+  RESTORE_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+#define RESTORE_EXCLUDES(...) RESTORE_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+#define RESTORE_RETURN_CAPABILITY(x) RESTORE_THREAD_ATTR(lock_returned(x))
+#define RESTORE_NO_THREAD_SAFETY_ANALYSIS \
+  RESTORE_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace restore {
+
+// Annotated std::mutex. Callers normally acquire it through MutexLock; the
+// raw lock()/unlock() methods exist so the scoped type (and nothing else —
+// CONC-RAW-LOCK flags direct calls) can implement RAII on top of it.
+class RESTORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RESTORE_ACQUIRE() {
+    mutex_.lock();  // simlint: allow(CONC-RAW-LOCK) -- RAII primitive itself
+  }
+  void unlock() RESTORE_RELEASE() {
+    mutex_.unlock();  // simlint: allow(CONC-RAW-LOCK) -- RAII primitive itself
+  }
+  bool try_lock() RESTORE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  // For interop with std APIs that demand a std::mutex (none today; CondVar
+  // goes through MutexLock's native handle instead).
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+// Scoped RAII lock over Mutex, analysis-visible. Equivalent in behaviour to
+// std::unique_lock<std::mutex>: the lock is held from construction to
+// destruction, with CondVar::wait_locked allowed to release/reacquire it
+// internally (atomically, as condition_variable::wait specifies).
+class RESTORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RESTORE_ACQUIRE(mutex)
+      : mutex_(mutex), lock_(mutex.native()) {}
+  ~MutexLock() RESTORE_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  [[maybe_unused]] Mutex& mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Annotated condition variable. Waits take the scoped MutexLock, so the
+// analysis knows the caller holds the lock, and are deliberately predicate-
+// free primitives named `*_locked`: callers write the enclosing
+// `while (!condition)` loop themselves, in lock-holding scope, where the
+// analysis can check every guarded-member read. (Passing a predicate lambda
+// to std::condition_variable::wait defeats the analysis — lambda bodies are
+// analysed as separate functions that hold no locks.) The CONC-CV-NOPRED
+// lint rule enforces the loop idiom at the call sites.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  // Blocks until notified (or spuriously woken). Caller must loop.
+  void wait_locked(MutexLock& lock) {
+    cv_.wait(lock.lock_);  // simlint: allow(CONC-CV-NOPRED) -- the primitive itself; callers loop
+  }
+
+  // Blocks until notified or `timeout` elapses. Caller must loop.
+  template <class Rep, class Period>
+  void wait_for_locked(MutexLock& lock,
+                       const std::chrono::duration<Rep, Period>& timeout) {
+    cv_.wait_for(lock.lock_, timeout);  // simlint: allow(CONC-CV-NOPRED) -- the primitive itself; callers loop
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace restore

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -26,7 +26,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
@@ -34,8 +34,8 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   if (threads_.empty()) return;
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.wait_locked(lock);
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -70,8 +70,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_task_.wait_locked(lock);
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -79,7 +79,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -4,13 +4,13 @@
 // constructed with zero workers (useful on single-core hosts and in tests).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace restore {
 
@@ -43,12 +43,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ RESTORE_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RESTORE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RESTORE_GUARDED_BY(mutex_) = false;
 };
 
 // Recommended worker count for campaign runners: hardware concurrency minus

@@ -31,7 +31,6 @@
 #include <exception>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -41,6 +40,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/progress.hpp"
@@ -319,7 +319,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
   }
 
   // -- stream bookkeeping (shared by workers, guarded by io_mutex) --
-  std::mutex io_mutex;
+  Mutex io_mutex;
   std::ofstream trace_out;
   if (streaming) {
     // Start the trace fresh with the resumed shards in canonical order; the
@@ -496,7 +496,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
             wall = ms_since(shard_start);
           } catch (...) {
             const std::string what = current_what();
-            std::lock_guard lock(io_mutex);
+            MutexLock lock(io_mutex);
             log_attempt_failure(shards[s], attempt, attempts_max, what);
             if (attempt == attempts_max) {
               quarantine_locked(shards[s], attempt, what);
@@ -516,7 +516,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
           // already part-written, so it quarantines immediately instead of
           // retrying (a re-run would duplicate trace lines).
           try {
-            std::lock_guard lock(io_mutex);
+            MutexLock lock(io_mutex);
             if (streaming) {
               for (std::size_t slot = 0; slot < records.size(); ++slot) {
                 trace_out << to_line(shards[s].index, slot, records[slot]) << '\n';
@@ -547,7 +547,7 @@ std::vector<Record> run_sharded_campaign(const std::vector<ShardSpec>& shards,
             }
           } catch (...) {
             const std::string what = current_what();
-            std::lock_guard lock(io_mutex);
+            MutexLock lock(io_mutex);
             log_attempt_failure(shards[s], attempt, attempts_max, what);
             quarantine_locked(shards[s], attempt, what);
           }

@@ -6,7 +6,7 @@ ProgressSink::ProgressSink(std::FILE* stream, CampaignEventCallback callback)
     : stream_(stream), callback_(std::move(callback)) {}
 
 void ProgressSink::emit(const CampaignEvent& event) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!event.text.empty() && stream_ != nullptr) {
     std::fwrite(event.text.data(), 1, event.text.size(), stream_);
     std::fputc('\n', stream_);

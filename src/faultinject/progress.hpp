@@ -12,9 +12,9 @@
 
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace restore::faultinject {
@@ -61,9 +61,9 @@ class ProgressSink {
   void emit(const CampaignEvent& event);
 
  private:
-  std::mutex mutex_;
-  std::FILE* stream_;
-  CampaignEventCallback callback_;
+  Mutex mutex_;
+  std::FILE* stream_ RESTORE_GUARDED_BY(mutex_);
+  CampaignEventCallback callback_ RESTORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace restore::faultinject

@@ -1,31 +1,36 @@
 #include "faultinject/trial_speed.hpp"
 
-#include <mutex>
+#include "common/thread_annotations.hpp"
 
 namespace restore::faultinject {
 
 namespace {
 
-std::mutex& config_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+// The process-wide config lives behind one annotated mutex. A struct (rather
+// than two function-local statics) lets the thread-safety analysis tie the
+// guarded data to its guard through a single object.
+struct ConfigStore {
+  Mutex mutex;
+  TrialSpeedConfig config RESTORE_GUARDED_BY(mutex);
+};
 
-TrialSpeedConfig& config_storage() {
-  static TrialSpeedConfig config;
-  return config;
+ConfigStore& config_store() {
+  static ConfigStore store;
+  return store;
 }
 
 }  // namespace
 
 TrialSpeedConfig trial_speed() noexcept {
-  std::lock_guard lock(config_mutex());
-  return config_storage();
+  ConfigStore& store = config_store();
+  MutexLock lock(store.mutex);
+  return store.config;
 }
 
 void set_trial_speed(const TrialSpeedConfig& config) noexcept {
-  std::lock_guard lock(config_mutex());
-  config_storage() = config;
+  ConfigStore& store = config_store();
+  MutexLock lock(store.mutex);
+  store.config = config;
 }
 
 }  // namespace restore::faultinject

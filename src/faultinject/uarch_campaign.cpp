@@ -6,12 +6,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "faultinject/classify.hpp"
 #include "faultinject/containment.hpp"
@@ -363,21 +363,26 @@ std::string core_config_key(const uarch::CoreConfig& c) {
   return key.str();
 }
 
+struct CycleCountStore {
+  Mutex mutex;
+  std::map<std::pair<std::string, std::string>, u64> cache
+      RESTORE_GUARDED_BY(mutex);
+};
+
 u64 clean_cycle_count(const workloads::Workload& wl,
                       const uarch::CoreConfig& config) {
-  static std::mutex mutex;
-  static std::map<std::pair<std::string, std::string>, u64> cache;
+  static CycleCountStore store;
   const auto key = std::make_pair(wl.name, core_config_key(config));
   {
-    std::lock_guard lock(mutex);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    MutexLock lock(store.mutex);
+    const auto it = store.cache.find(key);
+    if (it != store.cache.end()) return it->second;
   }
   Core probe(wl.program, config);
   probe.run(100'000'000);
   const u64 cycles = probe.cycle_count();
-  std::lock_guard lock(mutex);
-  return cache.emplace(key, cycles).first->second;
+  MutexLock lock(store.mutex);
+  return store.cache.emplace(key, cycles).first->second;
 }
 
 // Bounded, mutex-sharded LRU of golden continuations, shared across shards
@@ -394,7 +399,7 @@ class ContinuationCache {
                      const std::function<Value()>& build) {
     Shard& shard = shards_[shard_index(key)];
     {
-      std::lock_guard lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       for (auto& entry : shard.entries) {
         if (entry.key == key) {
           entry.tick = ++shard.tick;
@@ -406,7 +411,7 @@ class ContinuationCache {
     misses_.fetch_add(1, std::memory_order_relaxed);
     Value built = build();
     const std::size_t per_shard = std::max<std::size_t>(1, capacity / kShards);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (auto& entry : shard.entries) {
       if (entry.key == key) {  // raced: share the winner's continuation
         entry.tick = ++shard.tick;
@@ -434,7 +439,7 @@ class ContinuationCache {
 
   void clear() noexcept {
     for (auto& shard : shards_) {
-      std::lock_guard lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       shard.entries.clear();
       shard.tick = 0;
     }
@@ -449,9 +454,9 @@ class ContinuationCache {
     u64 tick = 0;
   };
   struct Shard {
-    std::mutex mutex;
-    std::vector<Entry> entries;
-    u64 tick = 0;
+    Mutex mutex;
+    std::vector<Entry> entries RESTORE_GUARDED_BY(mutex);
+    u64 tick RESTORE_GUARDED_BY(mutex) = 0;
   };
 
   static std::size_t shard_index(const std::string& key) noexcept {

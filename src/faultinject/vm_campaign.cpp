@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "common/thread_annotations.hpp"
 #include "faultinject/containment.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "faultinject/trial_speed.hpp"
@@ -28,13 +28,19 @@ struct GoldenTrace {
   std::array<u64, isa::kNumArchRegs> final_regs{};
 };
 
+// Guarded cache so concurrent first-use from parallel trials cannot race the
+// insert. One struct ties the map to its mutex for the thread-safety
+// analysis; std::map never invalidates element references, so returned
+// references stay valid after the lock is released.
+struct GoldenStore {
+  Mutex mutex;
+  std::map<std::string, GoldenTrace> cache RESTORE_GUARDED_BY(mutex);
+};
+
 const GoldenTrace& golden_trace(const workloads::Workload& workload) {
-  // Guarded so concurrent first-use from parallel trials cannot race the
-  // cache insert. std::map never invalidates element references, so the
-  // returned reference stays valid after the lock is released.
-  static std::mutex mutex;
-  static std::map<std::string, GoldenTrace> cache;
-  std::lock_guard lock(mutex);
+  static GoldenStore store;
+  MutexLock lock(store.mutex);
+  auto& cache = store.cache;
   auto it = cache.find(workload.name);
   if (it != cache.end()) return it->second;
 

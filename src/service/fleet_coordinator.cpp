@@ -9,16 +9,15 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdarg>
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "service/job_queue.hpp"
@@ -366,8 +365,8 @@ int run_fleet_campaign(const JobSpec& spec, const FleetOptions& opts,
   telemetry.resumed_shards = resumed_shards;
 
   // -- one thread per node, all sharing the lease book under one mutex --
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   std::atomic<bool> halted{false};  // max_shards budget spent
   u64 fresh_commits = 0;
   const auto campaign_start = Clock::now();
@@ -380,130 +379,142 @@ int run_fleet_campaign(const JobSpec& spec, const FleetOptions& opts,
   const auto node_loop = [&](std::size_t node_index) {
     const std::string& address = opts.nodes[node_index];
     FleetNodeTelemetry& node = telemetry.nodes[node_index];
-    std::unique_lock lock(mutex);
-    while (!stop_requested() && !book.all_terminal()) {
-      const auto lease =
-          book.acquire(address, ms_between(campaign_start, Clock::now()),
-                       opts.steal_after_ms);
-      if (!lease) {
-        // Every live shard is leased out and too young to steal; wait for a
-        // commit/release or for steal age to accrue.
-        cv.wait_for(lock, std::chrono::milliseconds(100));
-        continue;
-      }
-      const ShardSpec& shard = shards[lease->shard];
+    for (;;) {
+      // -- acquire phase: lease a shard and build its message, locked --
+      std::optional<faultinject::ShardLeaseBook::Lease> lease;
       WireMessage msg;
-      msg.type = MessageType::kLease;
-      msg.lease = lease->id;
-      msg.shard = shard.index;
-      msg.spec = spec;
-      msg.deadline_ms = opts.lease_deadline_ms;
-      lock.unlock();
+      {
+        MutexLock lock(mutex);
+        for (;;) {
+          if (stop_requested() || book.all_terminal()) {
+            cv.notify_all();
+            return;
+          }
+          lease = book.acquire(address,
+                               ms_between(campaign_start, Clock::now()),
+                               opts.steal_after_ms);
+          if (lease) break;
+          // Every live shard is leased out and too young to steal; wake on a
+          // commit/release notify, or time out so steal age can accrue.
+          cv.wait_for_locked(lock, std::chrono::milliseconds(100));
+        }
+        const ShardSpec& shard = shards[lease->shard];
+        msg.type = MessageType::kLease;
+        msg.lease = lease->id;
+        msg.shard = shard.index;
+        msg.spec = spec;
+        msg.deadline_ms = opts.lease_deadline_ms;
+      }
+
+      // -- execute phase: drive the remote lease with no lock held --
       const auto lease_start = Clock::now();
       LeaseOutcome outcome = execute_lease(address, opts, msg, halted);
       const u64 lease_wall = ms_between(lease_start, Clock::now());
-      lock.lock();
 
-      if (outcome.status == LeaseOutcome::Status::kOk) {
-        // A node that streams a wrong-shaped blob is corrupt, not slow:
-        // demote the outcome to a transport fault so the fault budget (and
-        // eventually quarantine) applies.
-        if (const auto bad = verify_blob(shard, outcome.blob)) {
-          outcome.status = LeaseOutcome::Status::kFault;
-          outcome.error = *bad;
-        }
-      }
+      // -- settle phase: commit/release under the lock; backoff after --
+      u64 backoff_ms = 0;
+      {
+        MutexLock lock(mutex);
+        const ShardSpec& shard = shards[lease->shard];
 
-      if (outcome.status == LeaseOutcome::Status::kOk) {
-        if (book.commit(lease->id)) {
-          trace_out << outcome.blob;
-          trace_out.flush();
-          identity.completed.push_back(shard.index);
-          identity.completed_trials.push_back(outcome.trials);
-          identity.wall_ms.push_back(lease_wall);
-          faultinject::write_manifest(manifest_path, identity);
-          blobs[lease->shard] = std::move(outcome.blob);
-          wall_ms[lease->shard] = lease_wall;
-          trials_done += outcome.trials;
-          ++node.shards_committed;
-          if (outcome.cached) ++node.cache_hits;
-          if (lease->stolen) ++node.stolen_commits;
-          logf(log_stream,
-               "fleet: shard %llu (%s) committed by %s (%llu trials%s%s)",
-               static_cast<unsigned long long>(shard.index),
-               shard.workload.c_str(), address.c_str(),
-               static_cast<unsigned long long>(outcome.trials),
-               outcome.cached ? ", cached" : "",
-               lease->stolen ? ", stolen" : "");
-          if (opts.max_shards != 0 && ++fresh_commits >= opts.max_shards) {
-            halted.store(true, std::memory_order_relaxed);
+        if (outcome.status == LeaseOutcome::Status::kOk) {
+          // A node that streams a wrong-shaped blob is corrupt, not slow:
+          // demote the outcome to a transport fault so the fault budget (and
+          // eventually quarantine) applies.
+          if (const auto bad = verify_blob(shard, outcome.blob)) {
+            outcome.status = LeaseOutcome::Status::kFault;
+            outcome.error = *bad;
           }
         }
-        // A losing duplicate (the shard committed first elsewhere): nothing
-        // to do, commit() already refused it.
-        cv.notify_all();
-        continue;
-      }
 
-      book.release(lease->id);
-      if (outcome.status == LeaseOutcome::Status::kShardFailed) {
-        logf(log_stream, "fleet: shard %llu (%s) failed on %s: %s",
-             static_cast<unsigned long long>(shard.index),
-             shard.workload.c_str(), address.c_str(), outcome.error.c_str());
-        // The shard itself is sick: after the lease budget, quarantine it
-        // (exactly like the local orchestrator) so the rest can finish.
-        if (!book.done(shard.index) &&
-            book.attempts(shard.index) >= opts.shard_lease_attempts) {
-          book.mark_quarantined(shard.index);
-          identity.quarantined.push_back(shard.index);
-          identity.quarantine_attempts.push_back(book.attempts(shard.index));
-          identity.quarantine_workloads.push_back(shard.workload);
-          identity.quarantine_errors.push_back(outcome.error);
+        if (outcome.status == LeaseOutcome::Status::kOk) {
+          if (book.commit(lease->id)) {
+            trace_out << outcome.blob;
+            trace_out.flush();
+            identity.completed.push_back(shard.index);
+            identity.completed_trials.push_back(outcome.trials);
+            identity.wall_ms.push_back(lease_wall);
+            faultinject::write_manifest(manifest_path, identity);
+            blobs[lease->shard] = std::move(outcome.blob);
+            wall_ms[lease->shard] = lease_wall;
+            trials_done += outcome.trials;
+            ++node.shards_committed;
+            if (outcome.cached) ++node.cache_hits;
+            if (lease->stolen) ++node.stolen_commits;
+            logf(log_stream,
+                 "fleet: shard %llu (%s) committed by %s (%llu trials%s%s)",
+                 static_cast<unsigned long long>(shard.index),
+                 shard.workload.c_str(), address.c_str(),
+                 static_cast<unsigned long long>(outcome.trials),
+                 outcome.cached ? ", cached" : "",
+                 lease->stolen ? ", stolen" : "");
+            if (opts.max_shards != 0 && ++fresh_commits >= opts.max_shards) {
+              halted.store(true, std::memory_order_relaxed);
+            }
+          }
+          // A losing duplicate (the shard committed first elsewhere): nothing
+          // to do, commit() already refused it.
+          cv.notify_all();
+          continue;
+        }
+
+        book.release(lease->id);
+        if (outcome.status == LeaseOutcome::Status::kShardFailed) {
+          logf(log_stream, "fleet: shard %llu (%s) failed on %s: %s",
+               static_cast<unsigned long long>(shard.index),
+               shard.workload.c_str(), address.c_str(), outcome.error.c_str());
+          // The shard itself is sick: after the lease budget, quarantine it
+          // (exactly like the local orchestrator) so the rest can finish.
+          if (!book.done(shard.index) &&
+              book.attempts(shard.index) >= opts.shard_lease_attempts) {
+            book.mark_quarantined(shard.index);
+            identity.quarantined.push_back(shard.index);
+            identity.quarantine_attempts.push_back(book.attempts(shard.index));
+            identity.quarantine_workloads.push_back(shard.workload);
+            identity.quarantine_errors.push_back(outcome.error);
+            try {
+              faultinject::write_manifest(manifest_path, identity);
+            } catch (...) {
+            }
+            ++telemetry.quarantined_shards;
+            logf(log_stream, "fleet: shard %llu quarantined after %llu leases",
+                 static_cast<unsigned long long>(shard.index),
+                 static_cast<unsigned long long>(book.attempts(shard.index)));
+          }
+          cv.notify_all();
+          continue;
+        }
+
+        // Transport fault: the node, not the shard, is suspect.
+        ++node.faults;
+        node.last_error = outcome.error;
+        logf(log_stream, "fleet: node %s fault %llu/%llu on shard %llu: %s",
+             address.c_str(), static_cast<unsigned long long>(node.faults),
+             static_cast<unsigned long long>(opts.node_faults_max),
+             static_cast<unsigned long long>(shard.index), outcome.error.c_str());
+        if (node.faults >= opts.node_faults_max) {
+          node.quarantined = true;
+          ++telemetry.quarantined_nodes;
+          identity.node_quarantined.push_back(address);
+          identity.node_faults.push_back(node.faults);
+          identity.node_errors.push_back(node.last_error);
           try {
             faultinject::write_manifest(manifest_path, identity);
           } catch (...) {
           }
-          ++telemetry.quarantined_shards;
-          logf(log_stream, "fleet: shard %llu quarantined after %llu leases",
-               static_cast<unsigned long long>(shard.index),
-               static_cast<unsigned long long>(book.attempts(shard.index)));
+          logf(log_stream, "fleet: node %s quarantined (%s)", address.c_str(),
+               node.last_error.c_str());
+          cv.notify_all();
+          return;  // this node is benched; its shards were released above
         }
         cv.notify_all();
-        continue;
-      }
-
-      // Transport fault: the node, not the shard, is suspect.
-      ++node.faults;
-      node.last_error = outcome.error;
-      logf(log_stream, "fleet: node %s fault %llu/%llu on shard %llu: %s",
-           address.c_str(), static_cast<unsigned long long>(node.faults),
-           static_cast<unsigned long long>(opts.node_faults_max),
-           static_cast<unsigned long long>(shard.index), outcome.error.c_str());
-      if (node.faults >= opts.node_faults_max) {
-        node.quarantined = true;
-        ++telemetry.quarantined_nodes;
-        identity.node_quarantined.push_back(address);
-        identity.node_faults.push_back(node.faults);
-        identity.node_errors.push_back(node.last_error);
-        try {
-          faultinject::write_manifest(manifest_path, identity);
-        } catch (...) {
-        }
-        logf(log_stream, "fleet: node %s quarantined (%s)", address.c_str(),
-             node.last_error.c_str());
-        cv.notify_all();
-        return;  // this node is benched; its shards were released above
-      }
-      cv.notify_all();
-      lock.unlock();
-      const u64 backoff_shift = node.faults > 6 ? 6 : node.faults - 1;
-      const u64 backoff_ms = opts.retry_backoff_ms << backoff_shift;
+        const u64 backoff_shift = node.faults > 6 ? 6 : node.faults - 1;
+        backoff_ms = opts.retry_backoff_ms << backoff_shift;
+      }  // settle phase ends; the backoff sleep runs with no lock held
       if (backoff_ms != 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       }
-      lock.lock();
     }
-    cv.notify_all();
   };
 
   {

@@ -56,7 +56,7 @@ FleetWorker::FleetWorker(FleetWorkerOptions opts) : opts_(std::move(opts)) {
 FleetWorker::~FleetWorker() {
   stop();
   {
-    std::lock_guard lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     for (auto& thread : threads_) {
       if (thread.joinable()) thread.join();
     }
@@ -121,10 +121,10 @@ void FleetWorker::run() {
     if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listener_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     threads_.emplace_back([this, fd] { serve_connection(fd); });
   }
-  std::lock_guard lock(threads_mutex_);
+  MutexLock lock(threads_mutex_);
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }

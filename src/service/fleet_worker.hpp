@@ -21,11 +21,11 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "service/protocol.hpp"
 
@@ -92,8 +92,8 @@ class FleetWorker {
   std::atomic<u64> cache_hits_{0};
   std::atomic<u64> lease_failures_{0};
   std::atomic<u64> active_{0};
-  std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
+  Mutex threads_mutex_;
+  std::vector<std::thread> threads_ RESTORE_GUARDED_BY(threads_mutex_);
 };
 
 }  // namespace restore::service

@@ -187,7 +187,7 @@ std::string spec_shard_jsonl(const JobSpec& spec,
 JobQueue::Submitted JobQueue::submit(const JobSpec& spec, u64 priority,
                                      std::string trace_path,
                                      bool already_complete) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const std::string key = spec_trace_filename(spec);
 
   if (!already_complete) {
@@ -220,8 +220,8 @@ JobQueue::Submitted JobQueue::submit(const JobSpec& spec, u64 priority,
 }
 
 std::optional<u64> JobQueue::pop_ready() {
-  std::unique_lock lock(mutex_);
-  ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+  MutexLock lock(mutex_);
+  while (!shutdown_ && ready_.empty()) ready_cv_.wait_locked(lock);
   if (shutdown_) return std::nullopt;
   const auto it = ready_.begin();
   const u64 id = std::get<2>(*it);
@@ -232,7 +232,7 @@ std::optional<u64> JobQueue::pop_ready() {
 
 void JobQueue::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   ready_cv_.notify_all();
@@ -241,7 +241,7 @@ void JobQueue::shutdown() {
 void JobQueue::update_progress(u64 id, u64 trials_done, u64 trials_total,
                                u64 shards_done, u64 shards_total,
                                u64 quarantined_shards, u64 rate_milli) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
   it->second.snap.trials_done = trials_done;
@@ -253,7 +253,7 @@ void JobQueue::update_progress(u64 id, u64 trials_done, u64 trials_total,
 }
 
 void JobQueue::mark_finished(u64 id, JobState state, const std::string& error) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
   it->second.snap.state = state;
@@ -263,7 +263,7 @@ void JobQueue::mark_finished(u64 id, JobState state, const std::string& error) {
 }
 
 std::vector<u64> JobQueue::stop_queued() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<u64> stopped;
   for (const auto& [inv_priority, seq, id] : ready_) {
     auto& snap = jobs_.at(id).snap;
@@ -278,14 +278,14 @@ std::vector<u64> JobQueue::stop_queued() {
 }
 
 std::optional<JobSnapshot> JobQueue::snapshot(u64 id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second.snap;
 }
 
 std::vector<u64> JobQueue::job_ids() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<u64> ids;
   ids.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) ids.push_back(id);

@@ -13,15 +13,14 @@
 // them all with "no more work" so a draining daemon can join its runners.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "faultinject/orchestrator.hpp"
 #include "faultinject/uarch_campaign.hpp"
 #include "faultinject/vm_campaign.hpp"
@@ -140,15 +139,17 @@ class JobQueue {
     JobSnapshot snap;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_cv_;
-  std::map<u64, Job> jobs_;                 // id -> job, submission order
-  std::map<std::string, u64> active_;      // identity key -> queued/running id
-  // Ascending iteration pops (max priority, min seq) first.
-  std::set<std::tuple<u64, u64, u64>> ready_;  // (~priority, seq, id)
-  u64 next_id_ = 1;
-  u64 next_seq_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_cv_;
+  // id -> job, submission order
+  std::map<u64, Job> jobs_ RESTORE_GUARDED_BY(mutex_);
+  // identity key -> queued/running id
+  std::map<std::string, u64> active_ RESTORE_GUARDED_BY(mutex_);
+  // Ascending iteration pops (max priority, min seq) first: (~priority, seq, id)
+  std::set<std::tuple<u64, u64, u64>> ready_ RESTORE_GUARDED_BY(mutex_);
+  u64 next_id_ RESTORE_GUARDED_BY(mutex_) = 1;
+  u64 next_seq_ RESTORE_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ RESTORE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace restore::service

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <iterator>
 #include <stdexcept>
 
 #include "common/flatjson.hpp"
@@ -128,6 +129,10 @@ constexpr TypeName kTypeNames[] = {
     {MessageType::kLeaseFailed, "lease-failed"},
     {MessageType::kWorkerInfo, "worker-info"},
 };
+
+static_assert(std::size(kTypeNames) == kMessageTypeCount,
+              "every MessageType enumerator needs a wire name (and vice "
+              "versa); update kMessageTypeCount when the enum grows");
 
 }  // namespace
 

@@ -136,6 +136,12 @@ enum class MessageType : u8 {
   kWorkerInfo,   // kWorkerStatus reply
 };
 
+// Number of MessageType enumerators. Every schema surface keys off this:
+// protocol.cpp static_asserts the kTypeNames table against it, the protocol
+// test iterates 0..kMessageTypeCount-1 for to_string/from_string coverage,
+// and the simlint SCHEMA family cross-checks it against the enum body.
+inline constexpr std::size_t kMessageTypeCount = 23;
+
 std::string_view to_string(MessageType type) noexcept;
 std::optional<MessageType> message_type_from_string(std::string_view name) noexcept;
 

@@ -257,7 +257,7 @@ void CampaignServer::run_job(u64 id) {
 
 void CampaignServer::push_notice(Notice notice) {
   {
-    std::lock_guard lock(notice_mutex_);
+    MutexLock lock(notice_mutex_);
     notices_.push_back(std::move(notice));
   }
   if (notify_write_ >= 0) {
@@ -574,7 +574,7 @@ void CampaignServer::handle_fetch(Client& client, const WireMessage& msg) {
 void CampaignServer::drain_notices() {
   std::deque<Notice> batch;
   {
-    std::lock_guard lock(notice_mutex_);
+    MutexLock lock(notice_mutex_);
     batch.swap(notices_);
   }
   for (const auto& notice : batch) {

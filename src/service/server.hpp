@@ -29,13 +29,13 @@
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "faultinject/progress.hpp"
+#include "common/thread_annotations.hpp"
 #include "service/job_queue.hpp"
 
 namespace restore::service {
@@ -136,8 +136,8 @@ class CampaignServer {
   std::atomic<u64> campaigns_run_{0};
   std::atomic<bool> stopping_{false};
 
-  std::mutex notice_mutex_;
-  std::deque<Notice> notices_;
+  Mutex notice_mutex_;
+  std::deque<Notice> notices_ RESTORE_GUARDED_BY(notice_mutex_);
 
   int unix_listener_ = -1;
   int tcp_listener_ = -1;

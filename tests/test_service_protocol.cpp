@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -397,7 +398,7 @@ std::vector<WireMessage> one_of_each_type() {
 
 TEST(ServiceMessages, EveryTypeRoundTripsExactly) {
   const auto messages = one_of_each_type();
-  ASSERT_EQ(messages.size(), 23u);  // one per MessageType
+  ASSERT_EQ(messages.size(), service::kMessageTypeCount);  // one per MessageType
   for (const auto& msg : messages) {
     const std::string wire = service::encode_message(msg);
     const auto decoded = service::decode_message(wire);
@@ -465,6 +466,30 @@ TEST(ServiceMessages, TypeNamesRoundTrip) {
     EXPECT_EQ(*back, msg.type);
   }
   EXPECT_FALSE(service::message_type_from_string("nope").has_value());
+}
+
+// Generated exhaustiveness sweep: iterate the raw enumerator range instead of
+// a hand-maintained list, so a new MessageType that is missing a wire name, a
+// from_string mapping, or a one_of_each_type() entry fails here even if every
+// hand-written test above was left untouched.
+TEST(ServiceMessages, MessageTypeSurfaceIsExhaustive) {
+  std::set<MessageType> built;
+  for (const auto& msg : one_of_each_type()) {
+    EXPECT_TRUE(built.insert(msg.type).second)
+        << "duplicate one_of_each_type() entry for "
+        << service::to_string(msg.type);
+  }
+  for (std::size_t raw = 0; raw < service::kMessageTypeCount; ++raw) {
+    const auto type = static_cast<MessageType>(raw);
+    const auto name = service::to_string(type);
+    EXPECT_NE(name, "?") << "enumerator " << raw << " has no wire name";
+    const auto back = service::message_type_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type) << name;
+    EXPECT_TRUE(built.count(type))
+        << "one_of_each_type() never builds '" << name
+        << "', so its encode/decode round trip is untested";
+  }
 }
 
 TEST(ServiceJobSpec, IdentityKeyCoversGeometry) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -253,4 +254,73 @@ TEST(ServiceJobSpecMapping, TraceFilenameEncodesIdentity) {
   explicit_default.shard_trials = faultinject::kDefaultShardTrials;
   EXPECT_EQ(service::spec_trace_filename(defaulted),
             service::spec_trace_filename(explicit_default));
+}
+
+// ---- condition-variable discipline under contention -----------------------
+// pop_ready() blocks in a predicate loop around CondVar::wait_locked (the
+// predicate-free primitive from common/thread_annotations.hpp), so a spurious
+// wakeup — or a wakeup stolen by another consumer — must re-check the queue
+// and keep waiting instead of returning a phantom job. These tests hammer
+// that loop from many threads; the `tsan` label re-runs them under
+// ThreadSanitizer in CI.
+
+TEST(ServiceJobQueueConcurrency, ContendedPopsDeliverEveryJobExactlyOnce) {
+  JobQueue queue;
+  constexpr u64 kJobs = 64;
+  constexpr int kConsumers = 8;
+
+  std::vector<std::vector<u64>> popped(kConsumers);
+  std::atomic<u64> total{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &popped, &total, c] {
+      // Every wakeup either carries a real job or, after shutdown, nullopt;
+      // a spurious wakeup must never surface as a value here.
+      while (const auto id = queue.pop_ready()) {
+        popped[static_cast<std::size_t>(c)].push_back(*id);
+        total.fetch_add(1);
+      }
+    });
+  }
+
+  // Distinct seeds give every submission its own campaign identity, so none
+  // of them attach to an earlier job.
+  for (u64 n = 0; n < kJobs; ++n) {
+    const auto sub =
+        queue.submit(small_vm_spec(1000 + n), n % 3, "spool/x.jsonl", false);
+    EXPECT_FALSE(sub.attached);
+  }
+  while (total.load() < kJobs) std::this_thread::yield();
+  queue.shutdown();
+  for (auto& t : consumers) t.join();
+
+  std::set<u64> seen;
+  u64 count = 0;
+  for (const auto& ids : popped) {
+    for (const u64 id : ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "job " << id << " popped twice";
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kJobs);
+  // Once shut down, a fresh pop returns immediately with nothing.
+  EXPECT_FALSE(queue.pop_ready().has_value());
+}
+
+TEST(ServiceJobQueueConcurrency, ShutdownWakesEveryBlockedWaiter) {
+  JobQueue queue;
+  constexpr int kWaiters = 8;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int c = 0; c < kWaiters; ++c) {
+    waiters.emplace_back([&queue, &woke] {
+      EXPECT_FALSE(queue.pop_ready().has_value());  // empty queue: blocks
+      woke.fetch_add(1);
+    });
+  }
+  queue.shutdown();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
 }

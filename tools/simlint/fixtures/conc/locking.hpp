@@ -1,0 +1,38 @@
+// Deliberate lock-discipline violations for the CONC family self-test. The
+// fixture is never compiled; the lint matches the annotation lexically, so a
+// stand-in macro is enough.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#define RESTORE_GUARDED_BY(x)
+
+class Sampler {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;
+  int guarded_ok_ RESTORE_GUARDED_BY(mutex_) = 0;
+  int epoch_ = 0;  // expect: CONC-UNGUARDED
+  int ledgered_ = 0;  // covered by the [[conc.exclude]] ledger entry
+  const int limit_ = 8;  // const: immutable, never flagged
+};
+
+// No mutex member: nothing here needs annotation.
+struct PlainCounter {
+  int ticks = 0;
+};
+
+inline void raw_locking(std::mutex& m) {
+  m.lock();  // expect: CONC-RAW-LOCK
+  m.unlock();  // expect: CONC-RAW-LOCK
+}
+
+inline bool bare_wait(std::condition_variable& cv,
+                      std::unique_lock<std::mutex>& lock, const bool& ready) {
+  cv.wait(lock);  // expect: CONC-CV-NOPRED
+  cv.wait(lock, [&ready] { return ready; });  // predicate form: fine
+  return ready;
+}

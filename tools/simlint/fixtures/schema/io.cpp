@@ -1,0 +1,19 @@
+// expect: SCHEMA-JSONL
+#include <string>
+
+void append_field(std::string& out, const char* key, unsigned long value);
+unsigned long get_uint(int& obj, const char* key);
+
+std::string trial_to_jsonl() {
+  std::string out;
+  append_field(out, "trial", 1);
+  append_field(out, "outcome", 2);
+  append_field(out, "cycles", 3);  // never read back -> SCHEMA-JSONL
+  return out;
+}
+
+void trial_from_jsonl(int& obj) {
+  get_uint(obj, "trial");
+  get_uint(obj, "outcome");
+  get_uint(obj, "detector");  // never written -> SCHEMA-JSONL
+}

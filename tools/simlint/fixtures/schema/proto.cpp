@@ -1,0 +1,37 @@
+// expect: SCHEMA-NAME
+// expect: SCHEMA-ENCODE
+// expect: SCHEMA-DECODE
+#include "proto.hpp"
+
+struct TypeName {
+  MessageType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {MessageType::kPing, "ping"},
+    {MessageType::kData, "data"},
+    // kBye has no wire name -> SCHEMA-NAME
+};
+
+void encode_message(MessageType t) {
+  switch (t) {
+    case MessageType::kPing:
+    case MessageType::kData:
+      break;
+    // kBye has no encode arm -> SCHEMA-ENCODE
+    default:
+      break;
+  }
+}
+
+void decode_message(MessageType t) {
+  switch (t) {
+    case MessageType::kPing:
+    case MessageType::kData:
+      break;
+    // kBye has no decode arm -> SCHEMA-DECODE
+    default:
+      break;
+  }
+}

@@ -1,0 +1,11 @@
+// expect: SCHEMA-ENUM
+#pragma once
+
+enum class MessageType : unsigned char {
+  kPing,
+  kData,
+  kBye,
+};
+
+// Deliberately stale: the enum above declares three enumerators.
+inline constexpr unsigned kMessageTypeCount = 2;

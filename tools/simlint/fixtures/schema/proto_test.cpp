@@ -1,0 +1,10 @@
+// expect: SCHEMA-ROUNDTRIP
+#include "proto.hpp"
+
+int one_of_each_type() {
+  int built = 0;
+  built += static_cast<int>(MessageType::kPing);
+  built += static_cast<int>(MessageType::kData);
+  // kBye is never built -> SCHEMA-ROUNDTRIP
+  return built;
+}

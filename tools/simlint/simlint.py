@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """simlint -- determinism & state-coverage static analysis for the ReStore simulator.
 
-Every result this repo reports rests on two invariants:
+Every result this repo reports rests on three invariants:
 
   1. Campaigns are deterministic: byte-identical traces at any worker count,
      across interrupt+resume, and across platforms.
   2. The StateRegistry enumerates the *complete* injectable state surface, so
      fig4-style denominators (paper section 4.2, ~46k bits) are trustworthy.
+  3. Shared state crossing worker threads and serialized state crossing the
+     fleet wire stay consistent: every guarded member is annotated for
+     Clang's thread-safety analysis, and every wire/trace schema surface
+     (MessageType, JSONL keys) stays in sync with its readers and tests.
 
-simlint checks both statically, with five rule families:
+simlint checks all three statically, with seven rule families:
 
   DET  (nondeterminism)   std::random_device / rand / wall-clock reads /
                           getenv outside the CLI layer / standard-library
@@ -40,6 +44,18 @@ simlint checks both statically, with five rule families:
                           times per campaign — so each must be hoisted,
                           amortised (arena/cache), or carry an inline
                           allow() ledger entry explaining why it is cold.
+  CONC (lock discipline)  mutex-owning classes with mutable members missing
+                          RESTORE_GUARDED_BY annotations (the clang thread-
+                          safety analysis only enforces what is annotated),
+                          manual .lock()/.unlock() outside the RAII wrapper
+                          types, and predicate-less condition-variable waits;
+                          deliberate exceptions live in the [[conc.exclude]]
+                          ledger with a mandatory reason.
+  SCHEMA (wire drift)     cross-checks the MessageType enum against
+                          kMessageTypeCount, the kTypeNames wire-name table,
+                          the encode/decode switch arms, and the round-trip
+                          protocol test, plus JSONL key symmetry between each
+                          campaign_io writer and its paired reader.
 
 The tool is engine-agnostic by design: when libclang's python bindings are
 available they could replace the lexical engine, but the default engine is a
@@ -1319,16 +1335,499 @@ def check_id(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> list
 
 
 # ---------------------------------------------------------------------------
+# CONC family: lock discipline
+# ---------------------------------------------------------------------------
+#
+# The compiler-enforced side of lock discipline is Clang's thread-safety
+# analysis over the RESTORE_* capability annotations (thread_annotations.hpp,
+# built with -DRESTORE_THREAD_SAFETY=ON in the clang CI job). CONC is the
+# engine-agnostic complement that runs everywhere gcc does:
+#
+#   CONC-UNGUARDED   a class owns a mutex but has mutable members that carry
+#                    no RESTORE_GUARDED_BY annotation — the clang analysis
+#                    can only prove what is annotated, so an unannotated
+#                    member silently opts out of enforcement.
+#   CONC-RAW-LOCK    a manual `.lock()` / `.unlock()` call outside the RAII
+#                    wrapper types; an exception (or early return) between
+#                    the pair deadlocks or double-releases.
+#   CONC-CV-NOPRED   a condition-variable wait with no predicate: a spurious
+#                    wakeup returns with the condition false. Callers either
+#                    pass a predicate or author the `while (!cond) wait;`
+#                    loop around the predicate-free *_locked primitives.
+#
+# Deliberate exceptions live in the [[conc.exclude]] ledger (class + member +
+# reason); entries that no longer match anything are CONC-STALE-EXCLUDE.
+
+CONC_MUTEX_RE = re.compile(
+    r"^(?:mutable\s+)?(?:restore::)?(?:std::)?"
+    r"(?:recursive_mutex|shared_mutex|timed_mutex|recursive_timed_mutex|"
+    r"mutex|Mutex)\s+(\w+)\s*(?:;|$)"
+)
+CONC_SYNC_TYPE_RE = re.compile(
+    r"^(?:mutable\s+)?(?:restore::)?(?:std::)?"
+    r"(?:condition_variable(?:_any)?|CondVar|atomic\b|atomic_\w+)"
+)
+CONC_STMT_SKIP_RE = re.compile(
+    r"^(?:using|typedef|static|friend|enum|struct|class|union|template|"
+    r"operator|virtual|explicit|inline|constexpr|public|private|protected)\b"
+)
+CONC_RAW_LOCK_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)")
+CONC_CV_WAIT_RE = re.compile(r"(?:\.|->)\s*(wait_until|wait_for|wait)\s*\(")
+
+
+def class_member_statements(body: str, body_line: int):
+    """Yield (line, statement) for the top-level declarations of a class
+    body. Function definitions are dropped (a `}` closing back to top level
+    that is not a brace initializer ends the pending statement), so what
+    remains is data members, nested types, and member-function declarations."""
+    depth = 0
+    stmt: list[str] = []
+    line = body_line
+    stmt_line = body_line
+    i, n = 0, len(body)
+    while i < n:
+        ch = body[i]
+        if ch == "\n":
+            line += 1
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                j = i + 1
+                while j < n and body[j] in " \t\n":
+                    j += 1
+                if j >= n or body[j] != ";":
+                    # Function/ctor body, not a brace initializer: discard.
+                    stmt = []
+                    stmt_line = line
+                    i += 1
+                    continue
+        if depth == 0 and ch == ";":
+            text = " ".join("".join(stmt).split())
+            if text:
+                yield stmt_line, text
+            stmt = []
+            stmt_line = line
+        else:
+            if not stmt and ch not in " \t\n":
+                stmt_line = line
+            stmt.append(ch)
+        i += 1
+
+
+def check_conc(files: list[SourceFile], cfg: dict) -> list[Finding]:
+    conc = cfg.get("conc", {})
+    paths = conc.get("paths", ["src"])
+    findings: list[Finding] = []
+
+    # Exclusion ledger: (class, member) -> reason.
+    exclusions: dict[tuple[str, str], str] = {}
+    for entry in conc.get("exclude", []):
+        cls, member = entry.get("class"), entry.get("member")
+        reason = entry.get("reason", "").strip()
+        if not cls or not member or not reason:
+            findings.append(
+                Finding(
+                    "tools/simlint/simlint.toml",
+                    0,
+                    "CONC-CONFIG",
+                    f"conc.exclude entry {entry!r} needs class, member and a "
+                    "non-empty reason",
+                )
+            )
+            continue
+        exclusions[(cls, member)] = reason
+    matched_exclusions: set[tuple[str, str]] = set()
+
+    for sf in files:
+        if not in_paths(sf.path, paths):
+            continue
+
+        # CONC-RAW-LOCK: manual lock()/unlock() outside the RAII wrappers.
+        for m in CONC_RAW_LOCK_RE.finditer(sf.code):
+            findings.append(
+                Finding(
+                    sf.path,
+                    line_of(sf.code, m.start()),
+                    "CONC-RAW-LOCK",
+                    f"manual .{m.group(1)}() call; an exception between "
+                    "lock/unlock deadlocks or double-releases — use "
+                    "restore::MutexLock (or std::lock_guard) RAII instead",
+                )
+            )
+
+        # CONC-CV-NOPRED: condition-variable waits without a predicate.
+        for m in CONC_CV_WAIT_RE.finditer(sf.code):
+            open_paren = sf.code.index("(", m.end() - 1)
+            close = body_span(
+                sf.code.replace("(", "{").replace(")", "}"), open_paren
+            )
+            args = split_top_args(sf.code[open_paren + 1 : close - 1])
+            method = m.group(1)
+            bare = (method == "wait" and len(args) == 1) or (
+                method in ("wait_for", "wait_until") and len(args) == 2
+            )
+            if bare:
+                findings.append(
+                    Finding(
+                        sf.path,
+                        line_of(sf.code, m.start()),
+                        "CONC-CV-NOPRED",
+                        f"condition-variable {method}() without a predicate: a "
+                        "spurious wakeup returns with the condition false — "
+                        "pass a predicate or wrap the *_locked primitive in a "
+                        "caller-authored while loop",
+                    )
+                )
+
+        # CONC-UNGUARDED: mutex-owning classes with unannotated mutable state.
+        for sm in STRUCT_RE.finditer(sf.code):
+            cls_name = sm.group(2)
+            open_brace = sf.code.index("{", sm.end() - 1)
+            end = body_span(sf.code, open_brace)
+            body = sf.code[open_brace + 1 : end - 1]
+            body_line = line_of(sf.code, open_brace)
+            mutexes: list[str] = []
+            candidates: list[tuple[int, str]] = []  # (line, member)
+            for stmt_line, text in class_member_statements(body, body_line):
+                # Strip access-specifier labels glued to the statement.
+                text = re.sub(
+                    r"^(?:(?:public|private|protected)\s*:\s*)+", "", text
+                )
+                if mm := CONC_MUTEX_RE.match(text):
+                    mutexes.append(mm.group(1))
+                    continue
+                if CONC_SYNC_TYPE_RE.match(text):
+                    continue  # sync primitives guard, they are not guarded
+                if CONC_STMT_SKIP_RE.match(text):
+                    continue
+                if "RESTORE_GUARDED_BY" in text or "RESTORE_PT_GUARDED_BY" in text:
+                    continue  # annotated: the clang analysis owns it now
+                if text.startswith("const ") or "&" in text.split("=")[0]:
+                    continue  # immutable / reference members
+                decl = MEMBER_DECL_RE.match(text + ";" if not text.endswith(";") else text)
+                if not decl:
+                    decl = MEMBER_DECL_RE.match(text.rstrip(";") + ";")
+                if not decl or "(" in text.split("=")[0].split("{")[0]:
+                    continue  # member functions / unparsable: conservative
+                candidates.append((stmt_line, decl.group(2)))
+            if not mutexes:
+                continue
+            for stmt_line, member in candidates:
+                if (cls_name, member) in exclusions:
+                    matched_exclusions.add((cls_name, member))
+                    continue
+                findings.append(
+                    Finding(
+                        sf.path,
+                        stmt_line,
+                        "CONC-UNGUARDED",
+                        f"'{cls_name}::{member}' is mutable state in a class "
+                        f"that owns mutex '{mutexes[0]}' but carries no "
+                        "RESTORE_GUARDED_BY annotation; the clang thread-"
+                        "safety analysis cannot enforce what is not annotated "
+                        "(annotate it, or ledger it in [[conc.exclude]])",
+                    )
+                )
+
+    for (cls, member), _reason in sorted(exclusions.items()):
+        if (cls, member) not in matched_exclusions:
+            findings.append(
+                Finding(
+                    "tools/simlint/simlint.toml",
+                    0,
+                    "CONC-STALE-EXCLUDE",
+                    f"conc.exclude entry {cls}::{member} matches nothing: the "
+                    "member is gone, annotated, or its class lost its mutex — "
+                    "delete the stale ledger entry",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# SCHEMA family: wire-protocol and trace-schema drift
+# ---------------------------------------------------------------------------
+#
+# The framed wire protocol and the JSONL trace format are both "stringly"
+# contracts: nothing in the type system connects the MessageType enum to the
+# encode/decode switches, the wire-name table, or the round-trip tests, and
+# nothing connects a writer's JSONL keys to its reader's. SCHEMA closes both
+# gaps lexically:
+#
+#   SCHEMA-ENUM       kMessageTypeCount disagrees with the enumerator count.
+#   SCHEMA-NAME       an enumerator missing from (or duplicated in) the
+#                     kTypeNames wire-name table.
+#   SCHEMA-ENCODE     an enumerator with no `case MessageType::kX:` arm in
+#                     encode_message.
+#   SCHEMA-DECODE     same for decode_message.
+#   SCHEMA-ROUNDTRIP  an enumerator not constructed in the round-trip
+#                     builder of tests/test_service_protocol.cpp, so its
+#                     encode/decode fixpoint is untested.
+#   SCHEMA-JSONL      a key written by a campaign_io writer that its paired
+#                     reader never reads, or read but never written.
+#   SCHEMA-PARSE      a configured source/function could not be parsed.
+
+SCHEMA_ENUM_RE = re.compile(r"enum\s+class\s+MessageType\s*(?::[^{;]*)?\{")
+SCHEMA_COUNT_RE = re.compile(r"\bkMessageTypeCount\s*=\s*(\d+)")
+SCHEMA_CASE_RE = re.compile(r"\bcase\s+MessageType::(k\w+)\s*:")
+SCHEMA_NAME_PAIR_RE = re.compile(r"\{\s*MessageType::(k\w+)\s*,\s*\"([^\"]*)\"")
+SCHEMA_USE_RE = re.compile(r"\bMessageType::(k\w+)\b")
+SCHEMA_WRITER_KEY_RE = re.compile(
+    r"\b(?:append_field|append_latency|append_array|append_string_array)"
+    r"\s*\(\s*(?:\w+\s*,\s*)?\"([\w.]+)\""
+)
+SCHEMA_READER_KEY_RE = re.compile(
+    r"\b(?:get_uint|get_string|get_bool|get_latency|find|read_array|"
+    r"read_optional_array|read_optional_string_array)"
+    r"\s*\(\s*(?:\*?\w+\s*,\s*)?\"([\w.]+)\""
+)
+
+
+def check_schema(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> list[Finding]:
+    schema = cfg.get("schema")
+    if not schema:
+        return []
+    findings: list[Finding] = []
+
+    def load(key: str) -> SourceFile | None:
+        rel = schema.get(key)
+        if rel is None:
+            return None
+        sf = files_by_path.get(rel)
+        if sf is None and os.path.exists(os.path.join(repo, rel)):
+            with open(os.path.join(repo, rel), "r", encoding="utf-8") as fh:
+                sf = SourceFile(rel, fh.read())
+            files_by_path[rel] = sf
+        if sf is None:
+            findings.append(
+                Finding(rel, 0, "SCHEMA-PARSE", f"configured {key} not found")
+            )
+        return sf
+
+    header_sf = load("protocol_header")
+    source_sf = load("protocol_source")
+    test_sf = load("protocol_test")
+
+    # -- enumerators and the count constant --
+    enumerators: list[str] = []
+    if header_sf is not None:
+        m = SCHEMA_ENUM_RE.search(header_sf.code)
+        if not m:
+            findings.append(
+                Finding(
+                    header_sf.path,
+                    0,
+                    "SCHEMA-PARSE",
+                    "no `enum class MessageType` found",
+                )
+            )
+        else:
+            open_brace = header_sf.code.index("{", m.end() - 1)
+            body = header_sf.code[
+                open_brace + 1 : body_span(header_sf.code, open_brace) - 1
+            ]
+            enum_line = line_of(header_sf.code, open_brace)
+            enumerators = [
+                a.split("=")[0].strip()
+                for a in split_top_args(body)
+                if a.split("=")[0].strip()
+            ]
+            cm = SCHEMA_COUNT_RE.search(header_sf.code)
+            if not cm:
+                findings.append(
+                    Finding(
+                        header_sf.path,
+                        enum_line,
+                        "SCHEMA-ENUM",
+                        "no kMessageTypeCount constant next to MessageType; "
+                        "the exhaustiveness test and this lint key off it",
+                    )
+                )
+            elif int(cm.group(1)) != len(enumerators):
+                findings.append(
+                    Finding(
+                        header_sf.path,
+                        line_of(header_sf.code, cm.start()),
+                        "SCHEMA-ENUM",
+                        f"kMessageTypeCount = {cm.group(1)} but MessageType "
+                        f"declares {len(enumerators)} enumerators",
+                    )
+                )
+
+    # -- wire-name table and the encode/decode switch arms --
+    if source_sf is not None and enumerators:
+        named: dict[str, str] = {}
+        by_wire_name: dict[str, str] = {}
+        for m in SCHEMA_NAME_PAIR_RE.finditer(source_sf.code_str):
+            enum_name, wire = m.group(1), m.group(2)
+            if enum_name in named:
+                findings.append(
+                    Finding(
+                        source_sf.path,
+                        line_of(source_sf.code_str, m.start()),
+                        "SCHEMA-NAME",
+                        f"MessageType::{enum_name} appears twice in the "
+                        "kTypeNames table",
+                    )
+                )
+            named[enum_name] = wire
+            if wire in by_wire_name and by_wire_name[wire] != enum_name:
+                findings.append(
+                    Finding(
+                        source_sf.path,
+                        line_of(source_sf.code_str, m.start()),
+                        "SCHEMA-NAME",
+                        f"wire name '{wire}' maps to both "
+                        f"{by_wire_name[wire]} and {enum_name}",
+                    )
+                )
+            by_wire_name[wire] = enum_name
+        for func, rule in (("encode_message", "SCHEMA-ENCODE"),
+                           ("decode_message", "SCHEMA-DECODE")):
+            body = function_body(source_sf.code, rf"\b{func}\s*\(")
+            if not body:
+                findings.append(
+                    Finding(
+                        source_sf.path,
+                        0,
+                        "SCHEMA-PARSE",
+                        f"cannot locate the body of {func}()",
+                    )
+                )
+                continue
+            cases = {m.group(1) for m in SCHEMA_CASE_RE.finditer(body)}
+            for enum_name in enumerators:
+                if enum_name not in cases:
+                    findings.append(
+                        Finding(
+                            source_sf.path,
+                            0,
+                            rule,
+                            f"MessageType::{enum_name} has no case arm in "
+                            f"{func}(); the type cannot cross the wire",
+                        )
+                    )
+        for enum_name in enumerators:
+            if named and enum_name not in named:
+                findings.append(
+                    Finding(
+                        source_sf.path,
+                        0,
+                        "SCHEMA-NAME",
+                        f"MessageType::{enum_name} is missing from the "
+                        "kTypeNames wire-name table",
+                    )
+                )
+        for enum_name in named:
+            if enum_name not in enumerators:
+                findings.append(
+                    Finding(
+                        source_sf.path,
+                        0,
+                        "SCHEMA-NAME",
+                        f"kTypeNames entry {enum_name} names no MessageType "
+                        "enumerator",
+                    )
+                )
+
+    # -- round-trip coverage in the protocol test --
+    if test_sf is not None and enumerators:
+        builder = schema.get("roundtrip_function", "one_of_each_type")
+        body = function_body(test_sf.code, rf"\b{builder}\s*\(")
+        if not body:
+            findings.append(
+                Finding(
+                    test_sf.path,
+                    0,
+                    "SCHEMA-PARSE",
+                    f"cannot locate the round-trip builder {builder}() in the "
+                    "protocol test",
+                )
+            )
+        else:
+            built = {m.group(1) for m in SCHEMA_USE_RE.finditer(body)}
+            for enum_name in enumerators:
+                if enum_name not in built:
+                    findings.append(
+                        Finding(
+                            test_sf.path,
+                            0,
+                            "SCHEMA-ROUNDTRIP",
+                            f"MessageType::{enum_name} is never built in "
+                            f"{builder}(), so its encode/decode round trip is "
+                            "untested",
+                        )
+                    )
+
+    # -- JSONL writer/reader key symmetry --
+    io_sf = load("campaign_io")
+    if io_sf is not None:
+        for pair in schema.get("jsonl", []):
+            writer, reader = pair.get("writer"), pair.get("reader")
+            label = pair.get("name", f"{writer}/{reader}")
+            if not writer or not reader:
+                findings.append(
+                    Finding(
+                        io_sf.path,
+                        0,
+                        "SCHEMA-PARSE",
+                        f"schema.jsonl entry {pair!r} needs writer and reader",
+                    )
+                )
+                continue
+            wbody = function_body(io_sf.code_str, rf"\b{re.escape(writer)}\s*\(")
+            rbody = function_body(io_sf.code_str, rf"\b{re.escape(reader)}\s*\(")
+            if not wbody or not rbody:
+                missing = writer if not wbody else reader
+                findings.append(
+                    Finding(
+                        io_sf.path,
+                        0,
+                        "SCHEMA-PARSE",
+                        f"cannot locate the body of {missing}() for the "
+                        f"'{label}' jsonl pair",
+                    )
+                )
+                continue
+            wkeys = {m.group(1) for m in SCHEMA_WRITER_KEY_RE.finditer(wbody)}
+            rkeys = {m.group(1) for m in SCHEMA_READER_KEY_RE.finditer(rbody)}
+            for key in sorted(wkeys - rkeys):
+                findings.append(
+                    Finding(
+                        io_sf.path,
+                        0,
+                        "SCHEMA-JSONL",
+                        f"'{label}': key '{key}' is written by {writer}() but "
+                        f"never read by {reader}() — schema drift",
+                    )
+                )
+            for key in sorted(rkeys - wkeys):
+                findings.append(
+                    Finding(
+                        io_sf.path,
+                        0,
+                        "SCHEMA-JSONL",
+                        f"'{label}': key '{key}' is read by {reader}() but "
+                        f"never written by {writer}() — schema drift",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
-FAMILIES = {"DET", "ITER", "COV", "ID", "PERF"}
+FAMILIES = {"DET", "ITER", "COV", "ID", "PERF", "CONC", "SCHEMA"}
 
 
 def run_lint(repo: str, cfg: dict, compdb: str | None, families: set[str]) -> list[Finding]:
     roots = sorted(
         set(cfg.get("det", {}).get("paths", ["src"]))
         | set(cfg.get("iter", {}).get("paths", ["src"]))
+        | set(cfg.get("conc", {}).get("paths", ["src"]))
         | set(cfg.get("identity", {}).get("flag_scan_paths", []))
     )
     excluded = cfg.get("exclude_paths", [])
@@ -1360,6 +1859,10 @@ def run_lint(repo: str, cfg: dict, compdb: str | None, families: set[str]) -> li
         findings.extend(check_id(files_by_path, cfg, repo))
     if "PERF" in families:
         findings.extend(check_perf(files, cfg))
+    if "CONC" in families:
+        findings.extend(check_conc(files, cfg))
+    if "SCHEMA" in families:
+        findings.extend(check_schema(files_by_path, cfg, repo))
 
     # Apply inline suppressions.
     kept: list[Finding] = []
@@ -1448,8 +1951,9 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--families",
-        default="DET,ITER,COV,ID,PERF",
-        help="comma-separated rule families to run (DET,ITER,COV,ID,PERF)",
+        default="DET,ITER,COV,ID,PERF,CONC,SCHEMA",
+        help="comma-separated rule families to run "
+        "(DET,ITER,COV,ID,PERF,CONC,SCHEMA)",
     )
     parser.add_argument(
         "--self-test",
