@@ -43,7 +43,7 @@ import json, sys
 
 workdir, tolerance = sys.argv[1], float(sys.argv[2]) / 100.0
 REPORTS = ["BENCH_snapshot.json", "BENCH_uarch_inner.json", "BENCH_campaign.json",
-           "BENCH_faultmodel.json"]
+           "BENCH_faultmodel.json", "BENCH_analytics.json"]
 failures = []
 warnings = []
 checked = 0

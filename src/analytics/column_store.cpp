@@ -1,0 +1,444 @@
+#include "analytics/column_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "common/flatjson.hpp"
+#include "faultinject/campaign_io.hpp"
+
+namespace restore::analytics {
+
+namespace {
+
+[[noreturn]] void bad_store(const std::string& what) {
+  throw std::runtime_error("column store: " + what);
+}
+
+void put_u64_le(std::string& out, u64 value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+u64 get_u64_le(std::string_view bytes) {
+  u64 value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<u64>(static_cast<u8>(bytes[static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string store_path_for(const std::string& jsonl_path) {
+  return jsonl_path + ".cols";
+}
+
+// ---- footer ----
+
+std::string write_footer(const StoreFooter& footer) {
+  using flatjson::append_field;
+  std::string out = "{";
+  append_field(out, "store_version", footer.store_version);
+  out.push_back(',');
+  append_field(out, "kind", std::string_view(footer.kind));
+  out.push_back(',');
+  append_field(out, "config_hash", footer.config_hash);
+  out.push_back(',');
+  append_field(out, "seed", footer.seed);
+  out.push_back(',');
+  append_field(out, "shard_trials", footer.shard_trials);
+  out.push_back(',');
+  append_field(out, "total_shards", footer.total_shards);
+  out.push_back(',');
+  append_field(out, "total_trials", footer.total_trials);
+  out.push_back(',');
+  append_field(out, "rows", footer.rows);
+  out.push_back(',');
+  append_field(out, "source_schema_version", footer.source_schema_version);
+  out.push_back(',');
+  append_field(out, "row_group_rows", footer.row_group_rows);
+  out.push_back(',');
+  append_field(out, "group_rows", footer.group_rows);
+  out.push_back(',');
+  append_field(out, "columns", footer.columns);
+  out.push_back(',');
+  append_field(out, "encodings", footer.encodings);
+  out.push_back(',');
+  append_field(out, "offsets", footer.offsets);
+  out.push_back(',');
+  append_field(out, "sizes", footer.sizes);
+  out.push_back(',');
+  append_field(out, "data_hash", footer.data_hash);
+  out.push_back('}');
+  return out;
+}
+
+std::optional<StoreFooter> read_footer(const std::string& text) {
+  using flatjson::find;
+  using flatjson::get_string;
+  using flatjson::get_uint;
+  const auto obj = flatjson::parse(text);
+  if (!obj) return std::nullopt;
+  const auto store_version = get_uint(*obj, "store_version");
+  const auto kind = get_string(*obj, "kind");
+  const auto config_hash = get_uint(*obj, "config_hash");
+  const auto seed = get_uint(*obj, "seed");
+  const auto shard_trials = get_uint(*obj, "shard_trials");
+  const auto total_shards = get_uint(*obj, "total_shards");
+  const auto total_trials = get_uint(*obj, "total_trials");
+  const auto rows = get_uint(*obj, "rows");
+  const auto source_schema_version = get_uint(*obj, "source_schema_version");
+  const auto row_group_rows = get_uint(*obj, "row_group_rows");
+  const auto data_hash = get_uint(*obj, "data_hash");
+  if (!store_version || !kind || !config_hash || !seed || !shard_trials ||
+      !total_shards || !total_trials || !rows || !source_schema_version ||
+      !row_group_rows || !data_hash) {
+    return std::nullopt;
+  }
+  StoreFooter footer;
+  footer.store_version = *store_version;
+  footer.kind = *kind;
+  footer.config_hash = *config_hash;
+  footer.seed = *seed;
+  footer.shard_trials = *shard_trials;
+  footer.total_shards = *total_shards;
+  footer.total_trials = *total_trials;
+  footer.rows = *rows;
+  footer.source_schema_version = *source_schema_version;
+  footer.row_group_rows = *row_group_rows;
+  footer.data_hash = *data_hash;
+  const auto uints = [&](const char* key, std::vector<u64>& into) {
+    const flatjson::Value* v = find(*obj, key);
+    if (v == nullptr || v->kind != flatjson::Value::Kind::kUintArray) return false;
+    into = v->array;
+    return true;
+  };
+  const auto strings = [&](const char* key, std::vector<std::string>& into) {
+    const flatjson::Value* v = find(*obj, key);
+    if (v == nullptr) return false;
+    // An empty array parses as kUintArray; accept it as an empty string list.
+    if (v->kind == flatjson::Value::Kind::kUintArray && v->array.empty()) {
+      into.clear();
+      return true;
+    }
+    if (v->kind != flatjson::Value::Kind::kStringArray) return false;
+    into = v->str_array;
+    return true;
+  };
+  if (!uints("group_rows", footer.group_rows)) return std::nullopt;
+  if (!strings("columns", footer.columns)) return std::nullopt;
+  if (!strings("encodings", footer.encodings)) return std::nullopt;
+  if (!uints("offsets", footer.offsets)) return std::nullopt;
+  if (!uints("sizes", footer.sizes)) return std::nullopt;
+  return footer;
+}
+
+// ---- segment encodings ----
+
+void put_varint(std::string& out, u64 value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<u64> get_varint(std::string_view bytes, std::size_t& pos) {
+  u64 value = 0;
+  int shift = 0;
+  while (pos < bytes.size()) {
+    const u8 byte = static_cast<u8>(bytes[pos++]);
+    if (shift >= 63 && byte > 1) return std::nullopt;  // u64 overflow
+    value |= static_cast<u64>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+namespace {
+
+u64 need_varint(std::string_view bytes, std::size_t& pos) {
+  const auto v = get_varint(bytes, pos);
+  if (!v) bad_store("truncated or malformed varint in segment");
+  return *v;
+}
+
+}  // namespace
+
+std::string encode_u64_column(const std::vector<u64>& values) {
+  std::string out;
+  for (const u64 v : values) put_varint(out, v);
+  return out;
+}
+
+std::vector<u64> decode_u64_column(std::string_view bytes, u64 rows) {
+  std::vector<u64> values;
+  values.reserve(rows);
+  std::size_t pos = 0;
+  for (u64 i = 0; i < rows; ++i) values.push_back(need_varint(bytes, pos));
+  if (pos != bytes.size()) bad_store("trailing bytes in varint segment");
+  return values;
+}
+
+std::string encode_dict_column(const std::vector<std::string>& values) {
+  // First-appearance order keeps the bytes deterministic in row order.
+  std::vector<std::string_view> dict;
+  std::map<std::string_view, u64> index_of;
+  std::vector<u64> indices;
+  indices.reserve(values.size());
+  for (const std::string& value : values) {
+    auto [it, inserted] = index_of.try_emplace(value, dict.size());
+    if (inserted) dict.push_back(value);
+    indices.push_back(it->second);
+  }
+  std::string out;
+  put_varint(out, dict.size());
+  for (const std::string_view entry : dict) {
+    put_varint(out, entry.size());
+    out.append(entry);
+  }
+  for (const u64 index : indices) put_varint(out, index);
+  return out;
+}
+
+std::vector<std::string> decode_dict_column(std::string_view bytes, u64 rows) {
+  std::size_t pos = 0;
+  const u64 dict_size = need_varint(bytes, pos);
+  std::vector<std::string> dict;
+  dict.reserve(dict_size);
+  for (u64 i = 0; i < dict_size; ++i) {
+    const u64 len = need_varint(bytes, pos);
+    if (pos + len > bytes.size()) bad_store("truncated dict entry");
+    dict.emplace_back(bytes.substr(pos, len));
+    pos += len;
+  }
+  std::vector<std::string> values;
+  values.reserve(rows);
+  for (u64 i = 0; i < rows; ++i) {
+    const u64 index = need_varint(bytes, pos);
+    if (index >= dict.size()) bad_store("dict index out of range");
+    values.push_back(dict[index]);
+  }
+  if (pos != bytes.size()) bad_store("trailing bytes in dict segment");
+  return values;
+}
+
+std::string encode_bool_column(const std::vector<bool>& values) {
+  std::string out((values.size() + 7) / 8, '\0');
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i]) out[i / 8] = static_cast<char>(out[i / 8] | (1 << (i % 8)));
+  }
+  return out;
+}
+
+std::vector<bool> decode_bool_column(std::string_view bytes, u64 rows) {
+  if (bytes.size() != (rows + 7) / 8) bad_store("bitmap segment size mismatch");
+  std::vector<bool> values(rows);
+  for (u64 i = 0; i < rows; ++i) {
+    values[i] = (static_cast<u8>(bytes[i / 8]) >> (i % 8)) & 1;
+  }
+  return values;
+}
+
+std::string encode_list_column(const std::vector<std::vector<u64>>& values) {
+  std::string out;
+  for (const auto& list : values) {
+    put_varint(out, list.size());
+    for (const u64 v : list) put_varint(out, v);
+  }
+  return out;
+}
+
+std::vector<std::vector<u64>> decode_list_column(std::string_view bytes, u64 rows) {
+  std::vector<std::vector<u64>> values;
+  values.reserve(rows);
+  std::size_t pos = 0;
+  for (u64 i = 0; i < rows; ++i) {
+    const u64 count = need_varint(bytes, pos);
+    std::vector<u64> list;
+    list.reserve(count);
+    for (u64 j = 0; j < count; ++j) list.push_back(need_varint(bytes, pos));
+    values.push_back(std::move(list));
+  }
+  if (pos != bytes.size()) bad_store("trailing bytes in list segment");
+  return values;
+}
+
+// ---- writer ----
+
+ColumnStoreWriter::ColumnStoreWriter(StoreFooter footer)
+    : footer_(std::move(footer)) {
+  if (footer_.columns.size() != footer_.encodings.size()) {
+    bad_store("columns/encodings directory mismatch");
+  }
+  footer_.group_rows.clear();
+  footer_.offsets.clear();
+  footer_.sizes.clear();
+  footer_.rows = 0;
+}
+
+void ColumnStoreWriter::add_group(u64 rows, std::vector<std::string> segments) {
+  if (finished_) bad_store("add_group after finish");
+  if (segments.size() != footer_.columns.size()) {
+    bad_store("group segment count does not match the column directory");
+  }
+  footer_.group_rows.push_back(rows);
+  footer_.rows += rows;
+  for (auto& segment : segments) segments_.push_back(std::move(segment));
+}
+
+std::string ColumnStoreWriter::finish() {
+  finished_ = true;
+  u64 offset = kHeadMagic.size();
+  u64 hash = 0xcbf29ce484222325ULL;
+  footer_.offsets.reserve(segments_.size());
+  footer_.sizes.reserve(segments_.size());
+  for (const std::string& segment : segments_) {
+    footer_.offsets.push_back(offset);
+    footer_.sizes.push_back(segment.size());
+    offset += segment.size();
+    hash = faultinject::fnv1a(segment, hash);
+  }
+  footer_.data_hash = hash;
+
+  std::string out;
+  out.reserve(offset + 1024);
+  out.append(kHeadMagic);
+  for (const std::string& segment : segments_) out.append(segment);
+  const std::string footer_text = write_footer(footer_);
+  out.append(footer_text);
+  put_u64_le(out, footer_text.size());
+  out.append(kTailMagic);
+  return out;
+}
+
+void ColumnStoreWriter::write(const std::string& path) {
+  const std::string image = finish();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) bad_store("cannot open " + tmp + " for writing");
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) bad_store("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    bad_store("cannot rename " + tmp + " to " + path);
+  }
+}
+
+// ---- reader ----
+
+ColumnStoreReader::ColumnStoreReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_store("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  data_ = std::move(data);
+  const std::size_t min_size = kHeadMagic.size() + 8 + kTailMagic.size();
+  if (data_.size() < min_size) bad_store(path + " is truncated");
+  if (std::string_view(data_).substr(0, kHeadMagic.size()) != kHeadMagic) {
+    bad_store(path + " has no column-store header");
+  }
+  const std::string_view tail =
+      std::string_view(data_).substr(data_.size() - kTailMagic.size());
+  if (tail != kTailMagic) bad_store(path + " has no column-store trailer");
+  const u64 footer_size = get_u64_le(std::string_view(data_).substr(
+      data_.size() - kTailMagic.size() - 8, 8));
+  const std::size_t footer_end = data_.size() - kTailMagic.size() - 8;
+  if (footer_size > footer_end - kHeadMagic.size()) {
+    bad_store(path + " footer length is out of range");
+  }
+  const std::string footer_text =
+      data_.substr(footer_end - footer_size, footer_size);
+  const auto footer = read_footer(footer_text);
+  if (!footer) bad_store(path + " footer does not parse");
+  footer_ = *footer;
+  if (footer_.store_version > kColumnStoreVersion) {
+    bad_store(path + " was written by a future store version " +
+              std::to_string(footer_.store_version));
+  }
+  const std::size_t segments = footer_.group_rows.size() * footer_.columns.size();
+  if (footer_.offsets.size() != segments || footer_.sizes.size() != segments ||
+      footer_.columns.size() != footer_.encodings.size()) {
+    bad_store(path + " footer directory is inconsistent");
+  }
+  u64 hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < segments; ++i) {
+    if (footer_.offsets[i] + footer_.sizes[i] > footer_end - footer_size) {
+      bad_store(path + " segment directory points past the footer");
+    }
+    hash = faultinject::fnv1a(
+        std::string_view(data_).substr(footer_.offsets[i], footer_.sizes[i]), hash);
+  }
+  if (hash != footer_.data_hash) {
+    bad_store(path + " segment bytes do not match data_hash (corrupt store)");
+  }
+}
+
+bool ColumnStoreReader::has_column(std::string_view name) const noexcept {
+  for (const std::string& column : footer_.columns) {
+    if (column == name) return true;
+  }
+  return false;
+}
+
+std::size_t ColumnStoreReader::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < footer_.columns.size(); ++i) {
+    if (footer_.columns[i] == name) return i;
+  }
+  bad_store("unknown column " + std::string(name));
+}
+
+std::string_view ColumnStoreReader::segment(std::size_t group,
+                                            std::size_t column) const {
+  const std::size_t index = group * footer_.columns.size() + column;
+  return std::string_view(data_).substr(footer_.offsets.at(index),
+                                        footer_.sizes.at(index));
+}
+
+std::vector<u64> ColumnStoreReader::u64_column(std::size_t group,
+                                               std::string_view name) const {
+  const std::size_t column = column_index(name);
+  const std::string& encoding = footer_.encodings[column];
+  if (encoding != "varint" && encoding != "latency") {
+    bad_store("column " + std::string(name) + " is not varint-encoded");
+  }
+  return decode_u64_column(segment(group, column), footer_.group_rows.at(group));
+}
+
+std::vector<std::string> ColumnStoreReader::string_column(
+    std::size_t group, std::string_view name) const {
+  const std::size_t column = column_index(name);
+  if (footer_.encodings[column] != "dict") {
+    bad_store("column " + std::string(name) + " is not dict-encoded");
+  }
+  return decode_dict_column(segment(group, column), footer_.group_rows.at(group));
+}
+
+std::vector<bool> ColumnStoreReader::bool_column(std::size_t group,
+                                                 std::string_view name) const {
+  const std::size_t column = column_index(name);
+  if (footer_.encodings[column] != "bitmap") {
+    bad_store("column " + std::string(name) + " is not bitmap-encoded");
+  }
+  return decode_bool_column(segment(group, column), footer_.group_rows.at(group));
+}
+
+std::vector<std::vector<u64>> ColumnStoreReader::list_column(
+    std::size_t group, std::string_view name) const {
+  const std::size_t column = column_index(name);
+  if (footer_.encodings[column] != "list") {
+    bad_store("column " + std::string(name) + " is not list-encoded");
+  }
+  return decode_list_column(segment(group, column), footer_.group_rows.at(group));
+}
+
+}  // namespace restore::analytics

@@ -1,0 +1,159 @@
+// Compact binary columnar trial store — the analytics layer's on-disk format.
+//
+// A completed JSONL trace + manifest compacts (compact.hpp) into one `.cols`
+// file: typed, dictionary-encoded column segments grouped into fixed-size row
+// groups, followed by a flat-JSON footer carrying the campaign identity
+// (kind, config_hash, seed, shard geometry) and the segment directory, and a
+// fixed-size trailer that lets a reader locate the footer from the file end.
+//
+//   [8B head magic "RSTORCOL"]
+//   [column segments, directory order: group-major, column-minor]
+//   [footer: one flat-JSON object]
+//   [8B LE footer length][8B tail magic "RSTORFTR"]
+//
+// Identity rules:
+//   - The footer repeats the manifest's kind/config_hash/seed/shard geometry,
+//     so a store can be matched to its campaign without the sidecar files.
+//   - Encoding is fully deterministic: dictionaries are built in first-
+//     appearance (row) order, rows keep the trace's line order, and segments
+//     are laid out in directory order — so the same trace compacts to the
+//     same bytes on every run and at every thread count.
+//   - `data_hash` is FNV-1a over all segment bytes; readers verify it, so a
+//     truncated or bit-rotted store fails loudly instead of mis-aggregating.
+//
+// Column encodings (all independently decodable given the group's row count):
+//   varint   LEB128-coded u64 per row
+//   dict     varint dict size, then len-prefixed dict strings in first-
+//            appearance order, then one varint dict index per row
+//   bitmap   ceil(rows/8) bytes, LSB-first
+//   list     per row: varint element count, then that many varint values
+// Latency columns store 0 for kNever and latency+1 otherwise, keeping the
+// varint short for the common "symptom fired quickly" case.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace restore::analytics {
+
+inline constexpr u64 kColumnStoreVersion = 1;
+inline constexpr u64 kRowGroupRows = 4096;
+inline constexpr std::string_view kHeadMagic = "RSTORCOL";
+inline constexpr std::string_view kTailMagic = "RSTORFTR";
+
+// Sidecar path for a trace's compacted store: `<trace>.cols`.
+std::string store_path_for(const std::string& jsonl_path);
+
+// ---- footer ----
+
+struct StoreFooter {
+  u64 store_version = kColumnStoreVersion;
+  std::string kind;  // "vm" | "uarch"
+  u64 config_hash = 0;
+  u64 seed = 0;
+  u64 shard_trials = 0;
+  u64 total_shards = 0;
+  u64 total_trials = 0;
+  u64 rows = 0;                  // trial rows actually stored
+  u64 source_schema_version = 0; // trace schema the rows round-trip to
+  u64 row_group_rows = kRowGroupRows;
+  std::vector<u64> group_rows;         // rows per group (last may be short)
+  std::vector<std::string> columns;    // column names, segment order
+  std::vector<std::string> encodings;  // parallel: varint|latency|dict|bitmap|list
+  std::vector<u64> offsets;  // absolute file offset per (group, column)
+  std::vector<u64> sizes;    // segment byte size per (group, column)
+  u64 data_hash = 0;         // fnv1a over all segment bytes, directory order
+};
+
+// Serialize the footer as one flat-JSON object (campaign_io discipline: every
+// value is an unsigned integer, identifier-like string or homogeneous array,
+// so the round trip is exact; simlint's SCHEMA family cross-checks the two).
+std::string write_footer(const StoreFooter& footer);
+std::optional<StoreFooter> read_footer(const std::string& text);
+
+// ---- segment encodings ----
+
+void put_varint(std::string& out, u64 value);
+// Decodes one varint at `pos`, advancing it; nullopt on truncated input.
+std::optional<u64> get_varint(std::string_view bytes, std::size_t& pos);
+
+// Latency transport mapping: kNever <-> 0, latency <-> latency + 1.
+constexpr u64 encode_latency_value(u64 latency) noexcept {
+  return latency == kNever ? 0 : latency + 1;
+}
+constexpr u64 decode_latency_value(u64 coded) noexcept {
+  return coded == 0 ? kNever : coded - 1;
+}
+
+std::string encode_u64_column(const std::vector<u64>& values);
+std::string encode_dict_column(const std::vector<std::string>& values);
+std::string encode_bool_column(const std::vector<bool>& values);
+std::string encode_list_column(const std::vector<std::vector<u64>>& values);
+
+// Decoders throw std::runtime_error on malformed segments.
+std::vector<u64> decode_u64_column(std::string_view bytes, u64 rows);
+std::vector<std::string> decode_dict_column(std::string_view bytes, u64 rows);
+std::vector<bool> decode_bool_column(std::string_view bytes, u64 rows);
+std::vector<std::vector<u64>> decode_list_column(std::string_view bytes, u64 rows);
+
+// ---- writer / reader ----
+
+// Accumulates encoded segments group-major and writes the final file
+// atomically (write-then-rename, like write_manifest).
+class ColumnStoreWriter {
+ public:
+  // `footer` supplies identity + column names/encodings; group_rows, offsets,
+  // sizes, rows and data_hash are filled in as segments arrive.
+  explicit ColumnStoreWriter(StoreFooter footer);
+
+  // Append one group: `segments` must be parallel to footer().columns.
+  void add_group(u64 rows, std::vector<std::string> segments);
+
+  const StoreFooter& footer() const noexcept { return footer_; }
+
+  // Assemble the complete store image (header, segments, footer, trailer).
+  std::string finish();
+
+  // finish() + atomic write to `path`; throws std::runtime_error on I/O error.
+  void write(const std::string& path);
+
+ private:
+  StoreFooter footer_;
+  std::vector<std::string> segments_;  // group-major, column-minor
+  bool finished_ = false;
+};
+
+// Loads a store into memory, verifies magic/version/data_hash, and decodes
+// requested (group, column) segments on demand — a query touches only the
+// columns it needs, never the JSONL. Throws std::runtime_error on a file
+// that is missing, truncated, corrupt, or written by a future version.
+class ColumnStoreReader {
+ public:
+  explicit ColumnStoreReader(const std::string& path);
+
+  const StoreFooter& footer() const noexcept { return footer_; }
+  std::size_t group_count() const noexcept { return footer_.group_rows.size(); }
+  u64 group_rows(std::size_t group) const { return footer_.group_rows.at(group); }
+
+  // Column accessors by name; throw on unknown name or encoding mismatch.
+  std::vector<u64> u64_column(std::size_t group, std::string_view name) const;
+  std::vector<std::string> string_column(std::size_t group, std::string_view name) const;
+  std::vector<bool> bool_column(std::size_t group, std::string_view name) const;
+  std::vector<std::vector<u64>> list_column(std::size_t group,
+                                            std::string_view name) const;
+  bool has_column(std::string_view name) const noexcept;
+
+ private:
+  std::size_t column_index(std::string_view name) const;
+  std::string_view segment(std::size_t group, std::size_t column) const;
+
+  std::string data_;  // whole file image
+  StoreFooter footer_;
+};
+
+}  // namespace restore::analytics

@@ -1,0 +1,373 @@
+#include "analytics/queries.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "analytics/compact.hpp"
+#include "common/thread_pool.hpp"
+#include "faultinject/classify.hpp"
+#include "faultinject/outcome.hpp"
+
+namespace restore::analytics {
+
+namespace {
+
+using faultinject::ModelBreakdownRow;
+
+// Run `body(group)` for every row group (optionally in parallel) and collect
+// the per-group partial results in group order, so any merge downstream sees
+// a thread-count-independent sequence. Worker exceptions are latched and
+// rethrown on the calling thread (ThreadPool tasks must not throw).
+template <class Partial, class Body>
+std::vector<Partial> per_group(const ColumnStoreReader& store,
+                               std::size_t threads, const Body& body) {
+  const std::size_t groups = store.group_count();
+  std::vector<Partial> partials(groups);
+  std::vector<std::string> errors(groups);
+  ThreadPool pool(threads);
+  pool.parallel_for(groups, [&](std::size_t g) {
+    try {
+      partials[g] = body(g);
+    } catch (const std::exception& e) {
+      errors[g] = e.what();
+    }
+  });
+  for (const std::string& error : errors) {
+    if (!error.empty()) throw std::runtime_error(error);
+  }
+  return partials;
+}
+
+using CountMap = std::map<std::pair<std::string, std::string>, u64>;
+
+std::vector<ModelBreakdownRow> flatten_counts(const CountMap& counts) {
+  std::vector<ModelBreakdownRow> rows;
+  rows.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    rows.push_back({key.first, key.second, count});
+  }
+  return rows;
+}
+
+struct AvfPartial {
+  std::map<std::string, std::pair<u64, u64>> per_structure;  // trials, failures
+};
+
+std::vector<StructureAvfRow> flatten_avf(const std::vector<AvfPartial>& partials) {
+  std::map<std::string, std::pair<u64, u64>> merged;
+  for (const auto& partial : partials) {
+    for (const auto& [structure, tf] : partial.per_structure) {
+      auto& slot = merged[structure];
+      slot.first += tf.first;
+      slot.second += tf.second;
+    }
+  }
+  std::vector<StructureAvfRow> rows;
+  rows.reserve(merged.size());
+  for (const auto& [structure, tf] : merged) {
+    StructureAvfRow row;
+    row.structure = structure;
+    row.trials = tf.first;
+    row.failures = tf.second;
+    row.avf = wilson_interval(tf.second, tf.first);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// vm outcome-token predicates (Table 1: everything except masked fails;
+// contained aborts are tool artifacts, not failures).
+bool vm_contained_impl(const std::string& outcome) {
+  return outcome == "sim-abort" || outcome == "resource-exhausted";
+}
+
+bool vm_failure(const std::string& outcome) {
+  return outcome != "masked" && !vm_contained_impl(outcome);
+}
+
+}  // namespace
+
+std::vector<ModelBreakdownRow> outcome_counts(const ColumnStoreReader& store,
+                                              const QueryOptions& options) {
+  const bool vm = store.footer().kind == "vm";
+  const auto partials = per_group<CountMap>(
+      store, options.threads, [&](std::size_t g) {
+        CountMap counts;
+        if (vm) {
+          const auto model = store.string_column(g, "model");
+          const auto outcome = store.string_column(g, "outcome");
+          for (std::size_t i = 0; i < outcome.size(); ++i) {
+            const std::string& m = model[i].empty() ? "single" : model[i];
+            ++counts[{m, outcome[i]}];
+          }
+        } else {
+          for (const auto& record : reconstruct_uarch_group(store, g)) {
+            const auto& trial = record.trial;
+            const std::string model = trial.model.empty() ? "single" : trial.model;
+            const auto outcome = faultinject::classify_trial(
+                trial, faultinject::DetectorModel::kPerfectCfv,
+                faultinject::ProtectionModel::kBaseline, options.interval);
+            ++counts[{model, std::string(to_string(outcome))}];
+          }
+        }
+        return counts;
+      });
+  CountMap merged;
+  for (const auto& partial : partials) {
+    for (const auto& [key, count] : partial) merged[key] += count;
+  }
+  return flatten_counts(merged);
+}
+
+std::vector<StructureAvfRow> structure_avf(const ColumnStoreReader& store,
+                                           const QueryOptions& options) {
+  const bool vm = store.footer().kind == "vm";
+  const auto partials = per_group<AvfPartial>(
+      store, options.threads, [&](std::size_t g) {
+        AvfPartial partial;
+        if (vm) {
+          const auto workload = store.string_column(g, "workload");
+          const auto outcome = store.string_column(g, "outcome");
+          for (std::size_t i = 0; i < outcome.size(); ++i) {
+            if (vm_contained_impl(outcome[i])) continue;
+            auto& slot = partial.per_structure[workload[i]];
+            ++slot.first;
+            if (vm_failure(outcome[i])) ++slot.second;
+          }
+        } else {
+          for (const auto& record : reconstruct_uarch_group(store, g)) {
+            const auto outcome = faultinject::classify_trial(
+                record.trial, faultinject::DetectorModel::kPerfectCfv,
+                faultinject::ProtectionModel::kBaseline, options.interval);
+            if (is_contained_abort(outcome)) continue;
+            auto& slot = partial.per_structure[record.trial.field_name];
+            ++slot.first;
+            if (is_failure(outcome)) ++slot.second;
+          }
+        }
+        return partial;
+      });
+  return flatten_avf(partials);
+}
+
+std::vector<SiteVulnRow> site_vulnerability(const ColumnStoreReader& store,
+                                            bool by_opcode, std::size_t top_n,
+                                            const QueryOptions& options) {
+  if (store.footer().kind != "vm" || !store.has_column("pc")) {
+    throw std::runtime_error(
+        "site_vulnerability needs a vm store with derived root-cause columns");
+  }
+  const auto partials = per_group<AvfPartial>(
+      store, options.threads, [&](std::size_t g) {
+        AvfPartial partial;
+        const auto outcome = store.string_column(g, "outcome");
+        std::vector<std::string> site(outcome.size());
+        if (by_opcode) {
+          site = store.string_column(g, "opcode");
+        } else {
+          const auto pc = store.u64_column(g, "pc");
+          for (std::size_t i = 0; i < pc.size(); ++i) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "0x%08" PRIx64, pc[i]);
+            site[i] = buf;
+          }
+        }
+        for (std::size_t i = 0; i < outcome.size(); ++i) {
+          if (vm_contained_impl(outcome[i])) continue;
+          auto& slot = partial.per_structure[site[i]];
+          ++slot.first;
+          if (vm_failure(outcome[i])) ++slot.second;
+        }
+        return partial;
+      });
+  std::vector<SiteVulnRow> rows;
+  for (const auto& avf_row : flatten_avf(partials)) {
+    SiteVulnRow row;
+    row.site = avf_row.structure;
+    row.trials = avf_row.trials;
+    row.failures = avf_row.failures;
+    row.avf = avf_row.avf;
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SiteVulnRow& a, const SiteVulnRow& b) {
+                     if (a.failures != b.failures) return a.failures > b.failures;
+                     return a.site < b.site;
+                   });
+  if (top_n > 0 && rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+namespace {
+
+// (detector name, fired latencies, total) per group; vm uses the outcome
+// categories as channels, uarch the six symptom channels.
+struct LatencyPartial {
+  std::map<std::string, std::vector<u64>> fired;
+  std::map<std::string, u64> total;
+};
+
+}  // namespace
+
+std::vector<LatencyStatsRow> latency_stats(const ColumnStoreReader& store,
+                                           const QueryOptions& options) {
+  const bool vm = store.footer().kind == "vm";
+  static constexpr std::string_view kUarchChannels[] = {
+      "lat_exception", "lat_cfv",          "lat_hiconf",
+      "lat_deadlock",  "lat_illegal_flow", "lat_cache_burst"};
+  const auto partials = per_group<LatencyPartial>(
+      store, options.threads, [&](std::size_t g) {
+        LatencyPartial partial;
+        if (vm) {
+          const auto outcome = store.string_column(g, "outcome");
+          const auto latency = store.u64_column(g, "latency");
+          for (std::size_t i = 0; i < outcome.size(); ++i) {
+            if (vm_contained_impl(outcome[i]) || outcome[i] == "masked") continue;
+            ++partial.total[outcome[i]];
+            const u64 lat = decode_latency_value(latency[i]);
+            if (lat != kNever) partial.fired[outcome[i]].push_back(lat);
+          }
+        } else {
+          const u64 rows = store.group_rows(g);
+          for (const std::string_view channel : kUarchChannels) {
+            const auto coded = store.u64_column(g, channel);
+            auto& fired = partial.fired[std::string(channel)];
+            partial.total[std::string(channel)] += rows;
+            for (u64 i = 0; i < rows; ++i) {
+              const u64 lat = decode_latency_value(coded[i]);
+              if (lat != kNever) fired.push_back(lat);
+            }
+          }
+        }
+        return partial;
+      });
+  // Merge in group order; sorting afterwards is order-insensitive anyway.
+  std::map<std::string, std::vector<u64>> fired;
+  std::map<std::string, u64> total;
+  for (const auto& partial : partials) {
+    for (const auto& [channel, lats] : partial.fired) {
+      auto& into = fired[channel];
+      into.insert(into.end(), lats.begin(), lats.end());
+    }
+    for (const auto& [channel, count] : partial.total) total[channel] += count;
+  }
+  const std::vector<u64> edges = figure2_latency_bins();
+  std::vector<LatencyStatsRow> rows;
+  for (auto& [channel, lats] : fired) {
+    LatencyStatsRow row;
+    row.detector = channel;
+    row.total = total[channel];
+    row.fired = lats.size();
+    std::sort(lats.begin(), lats.end());
+    row.bin_counts.assign(edges.size(), 0);
+    for (const u64 lat : lats) {
+      for (std::size_t b = 0; b < edges.size(); ++b) {
+        if (lat <= edges[b]) {
+          ++row.bin_counts[b];
+          break;
+        }
+      }
+    }
+    const auto rank = [&](double q) -> u64 {
+      if (lats.empty()) return 0;
+      const std::size_t n = lats.size();
+      std::size_t index = static_cast<std::size_t>(q * static_cast<double>(n));
+      if (index > 0) --index;
+      if (index >= n) index = n - 1;
+      return lats[index];
+    };
+    row.p50 = rank(0.50);
+    row.p90 = rank(0.90);
+    row.p99 = rank(0.99);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+struct DefeatPartial {
+  // (workload, detector) -> (failures, defeated)
+  std::map<std::pair<std::string, std::string>, std::pair<u64, u64>> cells;
+};
+
+}  // namespace
+
+std::vector<DefeatRow> defeat_matrix(const ColumnStoreReader& store,
+                                     const QueryOptions& options) {
+  const bool vm = store.footer().kind == "vm";
+  const auto partials = per_group<DefeatPartial>(
+      store, options.threads, [&](std::size_t g) {
+        DefeatPartial partial;
+        if (vm) {
+          const auto workload = store.string_column(g, "workload");
+          const auto outcome = store.string_column(g, "outcome");
+          const auto latency = store.u64_column(g, "latency");
+          for (std::size_t i = 0; i < outcome.size(); ++i) {
+            if (!vm_failure(outcome[i])) continue;
+            auto& cell = partial.cells[{workload[i], outcome[i]}];
+            ++cell.first;
+            if (decode_latency_value(latency[i]) == kNever) ++cell.second;
+          }
+        } else {
+          static constexpr std::pair<std::string_view, u64 faultinject::UarchTrialRecord::*>
+              kChannels[] = {
+                  {"exception", &faultinject::UarchTrialRecord::lat_exception},
+                  {"cfv", &faultinject::UarchTrialRecord::lat_cfv},
+                  {"hiconf", &faultinject::UarchTrialRecord::lat_hiconf},
+                  {"deadlock", &faultinject::UarchTrialRecord::lat_deadlock},
+                  {"illegal-flow", &faultinject::UarchTrialRecord::lat_illegal_flow},
+                  {"cache-burst", &faultinject::UarchTrialRecord::lat_cache_burst}};
+          for (const auto& record : reconstruct_uarch_group(store, g)) {
+            const auto& trial = record.trial;
+            const auto outcome = faultinject::classify_trial(
+                trial, faultinject::DetectorModel::kPerfectCfv,
+                faultinject::ProtectionModel::kBaseline, options.interval);
+            if (!is_failure(outcome)) continue;
+            for (const auto& [name, member] : kChannels) {
+              auto& cell = partial.cells[{trial.workload, std::string(name)}];
+              ++cell.first;
+              if (trial.*member == kNever) ++cell.second;
+            }
+          }
+        }
+        return partial;
+      });
+  std::map<std::pair<std::string, std::string>, std::pair<u64, u64>> merged;
+  for (const auto& partial : partials) {
+    for (const auto& [key, cell] : partial.cells) {
+      auto& into = merged[key];
+      into.first += cell.first;
+      into.second += cell.second;
+    }
+  }
+  std::vector<DefeatRow> rows;
+  rows.reserve(merged.size());
+  for (const auto& [key, cell] : merged) {
+    rows.push_back({key.first, key.second, cell.first, cell.second});
+  }
+  return rows;
+}
+
+AnalysisReport analyze(const ColumnStoreReader& store,
+                       const QueryOptions& options) {
+  AnalysisReport report;
+  report.kind = store.footer().kind;
+  report.rows = store.footer().rows;
+  report.config_hash = store.footer().config_hash;
+  report.interval = options.interval;
+  report.outcomes = outcome_counts(store, options);
+  report.avf = structure_avf(store, options);
+  if (report.kind == "vm" && store.has_column("pc")) {
+    report.by_pc = site_vulnerability(store, /*by_opcode=*/false, 20, options);
+    report.by_opcode = site_vulnerability(store, /*by_opcode=*/true, 0, options);
+  }
+  report.latencies = latency_stats(store, options);
+  report.defeats = defeat_matrix(store, options);
+  return report;
+}
+
+}  // namespace restore::analytics

@@ -1,0 +1,242 @@
+#include "analytics/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/flatjson.hpp"
+#include "common/table.hpp"
+
+namespace restore::analytics {
+
+namespace {
+
+std::string fmt_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonBuilder& JsonBuilder::field(std::string_view key, u64 value) {
+  if (!body_.empty()) body_.push_back(',');
+  flatjson::append_field(body_, key, value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(std::string_view key, bool value) {
+  if (!body_.empty()) body_.push_back(',');
+  flatjson::append_field(body_, key, value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(std::string_view key, std::string_view value) {
+  if (!body_.empty()) body_.push_back(',');
+  flatjson::append_field(body_, key, value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_f(std::string_view key, double value) {
+  if (!body_.empty()) body_.push_back(',');
+  flatjson::append_string(body_, key);
+  body_.push_back(':');
+  body_ += fmt_double(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::raw(std::string_view key, std::string_view rendered_json) {
+  if (!body_.empty()) body_.push_back(',');
+  flatjson::append_string(body_, key);
+  body_.push_back(':');
+  body_.append(rendered_json);
+  return *this;
+}
+
+std::string JsonBuilder::str() const { return "{" + body_ + "}"; }
+
+std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(items[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string breakdown_json(const std::vector<faultinject::ModelBreakdownRow>& rows) {
+  std::vector<std::string> items;
+  items.reserve(rows.size());
+  for (const auto& row : rows) {
+    items.push_back(JsonBuilder()
+                        .field("model", std::string_view(row.model))
+                        .field("outcome", std::string_view(row.outcome))
+                        .field("count", row.count)
+                        .str());
+  }
+  return json_array(items);
+}
+
+std::string avf_json(const std::vector<StructureAvfRow>& rows) {
+  std::vector<std::string> items;
+  items.reserve(rows.size());
+  for (const auto& row : rows) {
+    items.push_back(JsonBuilder()
+                        .field("structure", std::string_view(row.structure))
+                        .field("trials", row.trials)
+                        .field("failures", row.failures)
+                        .field_f("avf", row.avf.estimate)
+                        .field_f("lo", row.avf.lo)
+                        .field_f("hi", row.avf.hi)
+                        .str());
+  }
+  return json_array(items);
+}
+
+std::string sites_json(const std::vector<SiteVulnRow>& rows) {
+  std::vector<std::string> items;
+  items.reserve(rows.size());
+  for (const auto& row : rows) {
+    items.push_back(JsonBuilder()
+                        .field("site", std::string_view(row.site))
+                        .field("trials", row.trials)
+                        .field("failures", row.failures)
+                        .field_f("avf", row.avf.estimate)
+                        .field_f("lo", row.avf.lo)
+                        .field_f("hi", row.avf.hi)
+                        .str());
+  }
+  return json_array(items);
+}
+
+std::string latency_json(const std::vector<LatencyStatsRow>& rows) {
+  std::vector<std::string> items;
+  items.reserve(rows.size());
+  for (const auto& row : rows) {
+    JsonBuilder builder;
+    builder.field("detector", std::string_view(row.detector))
+        .field("fired", row.fired)
+        .field("total", row.total)
+        .field("p50", row.p50)
+        .field("p90", row.p90)
+        .field("p99", row.p99);
+    std::string bins;
+    flatjson::append_field(bins, "bins", row.bin_counts);
+    // append_field renders `"bins":[...]`; keep just the value.
+    builder.raw("bins", std::string_view(bins).substr(bins.find(':') + 1));
+    items.push_back(builder.str());
+  }
+  return json_array(items);
+}
+
+std::string defeat_json(const std::vector<DefeatRow>& rows) {
+  std::vector<std::string> items;
+  items.reserve(rows.size());
+  for (const auto& row : rows) {
+    items.push_back(JsonBuilder()
+                        .field("workload", std::string_view(row.workload))
+                        .field("detector", std::string_view(row.detector))
+                        .field("failures", row.failures)
+                        .field("defeated", row.defeated)
+                        .str());
+  }
+  return json_array(items);
+}
+
+std::string report_json(const AnalysisReport& report) {
+  char hash[24];
+  std::snprintf(hash, sizeof hash, "%016" PRIx64, report.config_hash);
+  JsonBuilder builder;
+  builder.field("kind", std::string_view(report.kind))
+      .field("rows", report.rows)
+      .field("config_hash", std::string_view(hash))
+      .field("interval", report.interval)
+      .raw("outcomes", breakdown_json(report.outcomes))
+      .raw("avf", avf_json(report.avf));
+  if (!report.by_pc.empty()) builder.raw("by_pc", sites_json(report.by_pc));
+  if (!report.by_opcode.empty()) {
+    builder.raw("by_opcode", sites_json(report.by_opcode));
+  }
+  builder.raw("latency", latency_json(report.latencies))
+      .raw("defeat", defeat_json(report.defeats));
+  return builder.str();
+}
+
+std::string report_text(const AnalysisReport& report) {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "analysis: kind=%s rows=%llu config_hash=%016" PRIx64
+                " interval=%llu\n",
+                report.kind.c_str(),
+                static_cast<unsigned long long>(report.rows), report.config_hash,
+                static_cast<unsigned long long>(report.interval));
+  out += line;
+
+  out += "outcomes:\n";
+  {
+    TextTable table({"model", "outcome", "count"});
+    for (const auto& row : report.outcomes) {
+      table.add_row({row.model, row.outcome, TextTable::fmt_u(row.count)});
+    }
+    out += table.render();
+  }
+
+  out += report.kind == "vm" ? "AVF per workload:\n" : "AVF per structure:\n";
+  {
+    TextTable table({"structure", "trials", "failures", "avf", "ci95"});
+    for (const auto& row : report.avf) {
+      table.add_row({row.structure, TextTable::fmt_u(row.trials),
+                     TextTable::fmt_u(row.failures),
+                     TextTable::fmt_pct(row.avf.estimate),
+                     TextTable::fmt_pct(row.avf.lo) + ".." +
+                         TextTable::fmt_pct(row.avf.hi)});
+    }
+    out += table.render();
+  }
+
+  if (!report.by_pc.empty()) {
+    out += "most vulnerable injection sites (by pc):\n";
+    TextTable table({"pc", "trials", "failures", "avf"});
+    for (const auto& row : report.by_pc) {
+      table.add_row({row.site, TextTable::fmt_u(row.trials),
+                     TextTable::fmt_u(row.failures),
+                     TextTable::fmt_pct(row.avf.estimate)});
+    }
+    out += table.render();
+  }
+  if (!report.by_opcode.empty()) {
+    out += "vulnerability by opcode:\n";
+    TextTable table({"opcode", "trials", "failures", "avf"});
+    for (const auto& row : report.by_opcode) {
+      table.add_row({row.site, TextTable::fmt_u(row.trials),
+                     TextTable::fmt_u(row.failures),
+                     TextTable::fmt_pct(row.avf.estimate)});
+    }
+    out += table.render();
+  }
+
+  out += "symptom latency (retired instructions to first symptom):\n";
+  {
+    TextTable table({"detector", "fired", "total", "p50", "p90", "p99"});
+    for (const auto& row : report.latencies) {
+      table.add_row({row.detector, TextTable::fmt_u(row.fired),
+                     TextTable::fmt_u(row.total), TextTable::fmt_u(row.p50),
+                     TextTable::fmt_u(row.p90), TextTable::fmt_u(row.p99)});
+    }
+    out += table.render();
+  }
+
+  out += "workload x detector defeat matrix (failures the detector never saw):\n";
+  {
+    TextTable table({"workload", "detector", "failures", "defeated"});
+    for (const auto& row : report.defeats) {
+      table.add_row({row.workload, row.detector, TextTable::fmt_u(row.failures),
+                     TextTable::fmt_u(row.defeated)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace restore::analytics

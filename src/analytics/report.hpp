@@ -1,0 +1,51 @@
+// Report rendering shared by restore-analyze and campaign_status: a small
+// deterministic JSON builder (nested objects/arrays over the same escaping
+// rules as common/flatjson) plus renderers for the query engine's aggregate
+// rows as text tables or JSON documents.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analytics/queries.hpp"
+#include "faultinject/export.hpp"
+
+namespace restore::analytics {
+
+// Builds one JSON object field-by-field; values added in call order. Nested
+// values (arrays of objects) are passed pre-rendered via raw(). Doubles
+// render with %.10g, so equal inputs render to equal bytes.
+class JsonBuilder {
+ public:
+  JsonBuilder& field(std::string_view key, u64 value);
+  JsonBuilder& field(std::string_view key, bool value);
+  JsonBuilder& field(std::string_view key, std::string_view value);
+  JsonBuilder& field_f(std::string_view key, double value);
+  JsonBuilder& raw(std::string_view key, std::string_view rendered_json);
+  std::string str() const;  // "{...}"
+
+ private:
+  std::string body_;
+};
+
+// "[item,item,...]" over pre-rendered JSON items.
+std::string json_array(const std::vector<std::string>& items);
+
+// ---- aggregate-row renderers ----
+
+// One row per (model, outcome): {"model":...,"outcome":...,"count":N}. The
+// same rows campaign_status prints as its breakdown table — both tools emit
+// this array so scripts can diff them directly.
+std::string breakdown_json(const std::vector<faultinject::ModelBreakdownRow>& rows);
+
+std::string avf_json(const std::vector<StructureAvfRow>& rows);
+std::string sites_json(const std::vector<SiteVulnRow>& rows);
+std::string latency_json(const std::vector<LatencyStatsRow>& rows);
+std::string defeat_json(const std::vector<DefeatRow>& rows);
+std::string report_json(const AnalysisReport& report);
+
+// Human-readable rendering of the full report (TextTable sections).
+std::string report_text(const AnalysisReport& report);
+
+}  // namespace restore::analytics

@@ -38,6 +38,23 @@ u64 parse_latency_cell(const std::string& cell) {
   return cell.empty() ? kNever : std::stoull(cell);
 }
 
+// extra_bits cells hold the whole vector semicolon-separated ("3;17"; empty
+// cell = no extra bits), keeping the row a single unquoted CSV record.
+void extra_bits_cell(std::ostream& out, const std::vector<u64>& bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0) out << ';';
+    out << bits[i];
+  }
+}
+
+std::vector<u64> parse_extra_bits_cell(const std::string& cell) {
+  std::vector<u64> bits;
+  std::string value;
+  std::istringstream in(cell);
+  while (std::getline(in, value, ';')) bits.push_back(std::stoull(value));
+  return bits;
+}
+
 bool parse_flag_cell(const std::string& cell, std::size_t row) {
   if (cell == "0") return false;
   if (cell == "1") return true;
@@ -55,7 +72,7 @@ void write_uarch_trials_csv(std::ostream& out,
                             const std::vector<UarchTrialRecord>& trials) {
   out << "workload,model,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
          "lat_deadlock,lat_illegal_flow,lat_cache_burst,trace_diverged,"
-         "arch_corrupt,uarch_equal,live_diff,end_status\n";
+         "arch_corrupt,uarch_equal,live_diff,end_status,extra_bits,upset\n";
   for (const auto& t : trials) {
     out << t.workload << ',' << (t.model.empty() ? "single" : t.model) << ','
         << t.field_name << ','
@@ -79,18 +96,22 @@ void write_uarch_trials_csv(std::ostream& out,
     latency_cell(out, t.lat_cache_burst);
     out << ',' << (t.trace_diverged ? 1 : 0) << ',' << (t.arch_corrupt_at_end ? 1 : 0)
         << ',' << (t.uarch_state_equal ? 1 : 0) << ',' << (t.live_state_diff ? 1 : 0)
-        << ',' << static_cast<int>(t.end_status) << '\n';
+        << ',' << static_cast<int>(t.end_status) << ',';
+    extra_bits_cell(out, t.extra_bits);
+    out << ',' << (t.upset ? 1 : 0) << '\n';
   }
 }
 
 void write_vm_trials_csv(std::ostream& out,
                          const std::vector<VmTrialResult>& trials) {
-  out << "workload,model,outcome,latency,inject_index,bit\n";
+  out << "workload,model,outcome,latency,inject_index,bit,extra_bits,upset\n";
   for (const auto& t : trials) {
     out << t.workload << ',' << (t.model.empty() ? "single" : t.model) << ','
         << to_string(t.outcome) << ',';
     latency_cell(out, t.latency);
-    out << ',' << t.inject_index << ',' << t.bit << '\n';
+    out << ',' << t.inject_index << ',' << t.bit << ',';
+    extra_bits_cell(out, t.extra_bits);
+    out << ',' << (t.upset ? 1 : 0) << '\n';
   }
 }
 
@@ -128,10 +149,13 @@ std::vector<UarchTrialRecord> read_uarch_trials_csv(std::istream& in) {
       continue;
     }
     const auto cells = split_row(line);
-    // 16 columns since the model column was added; 15-column files predate it
-    // (implicitly single-bit) and keep reading.
-    if (cells.size() != 15 && cells.size() != 16) bad_row("wrong column count", row);
-    const std::size_t off = cells.size() == 16 ? 1 : 0;
+    // 18 columns since the extra_bits/upset columns were added; 16-column
+    // files predate them (implicitly single-bit, upset), 15-column files also
+    // predate the model column. All three widths keep reading.
+    if (cells.size() != 15 && cells.size() != 16 && cells.size() != 18) {
+      bad_row("wrong column count", row);
+    }
+    const std::size_t off = cells.size() >= 16 ? 1 : 0;
     UarchTrialRecord t;
     t.workload = cells[0];
     if (off != 0) t.model = cells[1] == "single" ? "" : cells[1];
@@ -152,6 +176,10 @@ std::vector<UarchTrialRecord> read_uarch_trials_csv(std::istream& in) {
     t.uarch_state_equal = parse_flag_cell(cells[12 + off], row);
     t.live_state_diff = parse_flag_cell(cells[13 + off], row);
     t.end_status = static_cast<uarch::Core::Status>(std::stoi(cells[14 + off]));
+    if (cells.size() == 18) {
+      t.extra_bits = parse_extra_bits_cell(cells[16]);
+      t.upset = parse_flag_cell(cells[17], row);
+    }
     trials.push_back(std::move(t));
   }
   return trials;
@@ -170,10 +198,13 @@ std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in) {
       continue;
     }
     const auto cells = split_row(line);
-    // 6 columns since the model column was added; 5-column files predate it
-    // (implicitly single-bit) and keep reading.
-    if (cells.size() != 5 && cells.size() != 6) bad_row("wrong column count", row);
-    const std::size_t off = cells.size() == 6 ? 1 : 0;
+    // 8 columns since the extra_bits/upset columns were added; 6-column files
+    // predate them (implicitly single-bit, upset), 5-column files also
+    // predate the model column. All three widths keep reading.
+    if (cells.size() != 5 && cells.size() != 6 && cells.size() != 8) {
+      bad_row("wrong column count", row);
+    }
+    const std::size_t off = cells.size() >= 6 ? 1 : 0;
     VmTrialResult t;
     t.workload = cells[0];
     if (off != 0) t.model = cells[1] == "single" ? "" : cells[1];
@@ -183,6 +214,10 @@ std::vector<VmTrialResult> read_vm_trials_csv(std::istream& in) {
     t.latency = parse_latency_cell(cells[2 + off]);
     t.inject_index = std::stoull(cells[3 + off]);
     t.bit = static_cast<u32>(std::stoul(cells[4 + off]));
+    if (cells.size() == 8) {
+      t.extra_bits = parse_extra_bits_cell(cells[6]);
+      t.upset = parse_flag_cell(cells[7], row);
+    }
     trials.push_back(std::move(t));
   }
   return trials;

@@ -16,11 +16,13 @@
 namespace restore::faultinject {
 
 // One row per trial: workload, field, storage, protection, event latencies,
-// end-state flags. Latency columns print empty cells for kNever.
+// end-state flags, fault-model extras. Latency columns print empty cells for
+// kNever; extra_bits prints the whole vector semicolon-separated.
 void write_uarch_trials_csv(std::ostream& out,
                             const std::vector<UarchTrialRecord>& trials);
 
-// One row per trial: workload, outcome, latency, injection site.
+// One row per trial: workload, outcome, latency, injection site, fault-model
+// extras (extra_bits semicolon-separated, upset flag).
 void write_vm_trials_csv(std::ostream& out, const std::vector<VmTrialResult>& trials);
 
 // Aggregated Figure 4/5/6 series: one row per checkpoint interval with the

@@ -111,6 +111,7 @@ constexpr TypeName kTypeNames[] = {
     {MessageType::kList, "list"},
     {MessageType::kSubscribe, "subscribe"},
     {MessageType::kFetch, "fetch"},
+    {MessageType::kAnalyze, "analyze"},
     {MessageType::kPong, "pong"},
     {MessageType::kSubmitted, "submitted"},
     {MessageType::kEvent, "event"},
@@ -119,6 +120,7 @@ constexpr TypeName kTypeNames[] = {
     {MessageType::kListEnd, "list-end"},
     {MessageType::kTraceData, "trace-data"},
     {MessageType::kTraceEnd, "trace-end"},
+    {MessageType::kAnalyzeResult, "analyze-result"},
     {MessageType::kError, "error"},
     {MessageType::kShutdown, "shutdown"},
     {MessageType::kLease, "lease"},
@@ -182,12 +184,14 @@ bool job_scoped(MessageType type) {
     case MessageType::kStatus:
     case MessageType::kSubscribe:
     case MessageType::kFetch:
+    case MessageType::kAnalyze:
     case MessageType::kSubmitted:
     case MessageType::kEvent:
     case MessageType::kDone:
     case MessageType::kJobStatus:
     case MessageType::kTraceData:
     case MessageType::kTraceEnd:
+    case MessageType::kAnalyzeResult:
       return true;
     default:
       return false;
@@ -277,6 +281,15 @@ std::string encode_message(const WireMessage& msg) {
     case MessageType::kFetch:
     case MessageType::kWorkerStatus:
     case MessageType::kLeaseCancel:
+      break;
+    case MessageType::kAnalyze:
+      field(out, "interval", msg.interval);
+      field(out, "json", msg.json);
+      break;
+    case MessageType::kAnalyzeResult:
+      field(out, "data", std::string_view(msg.data));
+      field(out, "json", msg.json);
+      field(out, "cached", msg.cached);
       break;
     case MessageType::kPong:
       field(out, "version", msg.version);
@@ -400,6 +413,18 @@ std::optional<WireMessage> decode_message(const std::string& payload) {
     case MessageType::kWorkerStatus:
     case MessageType::kLeaseCancel:
       break;
+    case MessageType::kAnalyze:
+      msg.interval = get_uint(*obj, "interval").value_or(0);
+      msg.json = get_bool(*obj, "json").value_or(false);
+      break;
+    case MessageType::kAnalyzeResult: {
+      const auto data = get_string(*obj, "data");
+      if (!data) return std::nullopt;
+      msg.data = *data;
+      msg.json = get_bool(*obj, "json").value_or(false);
+      msg.cached = get_bool(*obj, "cached").value_or(false);
+      break;
+    }
     case MessageType::kPong:
       msg.version = get_uint(*obj, "version").value_or(0);
       break;

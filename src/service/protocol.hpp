@@ -12,9 +12,11 @@
 // "type" field. The full message grammar lives in docs/ARCHITECTURE.md;
 // in short:
 //
-//   client -> server   ping | submit | status | list | subscribe | fetch
+//   client -> server   ping | submit | status | list | subscribe | fetch |
+//                      analyze
 //   server -> client   pong | submitted | event | done | job-status |
-//                      list-end | trace-data | trace-end | error | shutdown
+//                      list-end | trace-data | trace-end | analyze-result |
+//                      error | shutdown
 //
 // The fleet fabric (fleet_coordinator.hpp / fleet_worker.hpp) rides the same
 // framing with its own message family:
@@ -114,6 +116,7 @@ enum class MessageType : u8 {
   kList,
   kSubscribe,
   kFetch,
+  kAnalyze,  // aggregate report over a finished job's compacted trial store
   // server -> client
   kPong,
   kSubmitted,
@@ -123,6 +126,7 @@ enum class MessageType : u8 {
   kListEnd,
   kTraceData,
   kTraceEnd,
+  kAnalyzeResult,  // rendered analysis report (kAnalyze reply)
   kError,
   kShutdown,
   // fleet: coordinator -> worker
@@ -140,7 +144,7 @@ enum class MessageType : u8 {
 // protocol.cpp static_asserts the kTypeNames table against it, the protocol
 // test iterates 0..kMessageTypeCount-1 for to_string/from_string coverage,
 // and the simlint SCHEMA family cross-checks it against the enum body.
-inline constexpr std::size_t kMessageTypeCount = 23;
+inline constexpr std::size_t kMessageTypeCount = 25;
 
 std::string_view to_string(MessageType type) noexcept;
 std::optional<MessageType> message_type_from_string(std::string_view name) noexcept;
@@ -188,7 +192,9 @@ struct WireMessage {
   u64 config_hash = 0;  // submitted, job-status
   std::string state;    // submitted, job-status, done
   bool attached = false;  // submitted: deduped onto an in-flight job
-  bool cached = false;    // submitted: served complete from the spool
+  bool cached = false;    // submitted: served complete from the spool;
+                          // analyze-result: report served from the daemon's
+                          // aggregate cache
   std::string trace;      // submitted, job-status, done: spool trace path
 
   std::string event;     // event: heartbeat|shard-done|attempt-failed|
@@ -209,9 +215,14 @@ struct WireMessage {
   u64 bytes = 0;      // trace-end: total trace bytes streamed;
                       // lease-result: shard JSONL bytes that were streamed
   u64 version = 0;    // pong, worker-info
-  std::string data;   // trace-data / lease-data chunk
+  std::string data;   // trace-data / lease-data chunk, analyze-result document
   std::string text;   // error/shutdown message, event line, done/job-status
                       // failure detail, lease-failed error
+
+  // ---- analytics fields ----
+  u64 interval = 0;   // analyze: uarch classification interval (0 = default)
+  bool json = false;  // analyze: render the report as JSON instead of text;
+                      // analyze-result: how `data` was rendered
 
   // ---- fleet fields ----
   u64 lease = 0;        // every lease-scoped message: coordinator-issued id

@@ -16,6 +16,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "analytics/column_store.hpp"
+#include "analytics/compact.hpp"
+#include "analytics/queries.hpp"
+#include "analytics/report.hpp"
 #include "faultinject/campaign_io.hpp"
 #include "faultinject/orchestrator.hpp"
 
@@ -248,6 +252,21 @@ void CampaignServer::run_job(u64 id) {
   queue_.mark_finished(id, state, error);
   log("restored: job %llu finished: %s", static_cast<unsigned long long>(id),
       std::string(to_string(state)).c_str());
+
+  // Background compaction: fold the finished trace into its columnar store
+  // while still on the runner thread, so the first analyze over this job is a
+  // cache-warm read instead of a JSONL parse on the IO thread. Failure is
+  // logged, never fatal — analyze re-attempts on demand.
+  if (state == JobState::kDone) {
+    try {
+      const auto store = ensure_store(snap->trace_path);
+      log("restored: job %llu compacted to %s",
+          static_cast<unsigned long long>(id), store.c_str());
+    } catch (const std::exception& e) {
+      log("restored: job %llu compaction failed: %s",
+          static_cast<unsigned long long>(id), e.what());
+    }
+  }
 
   Notice notice;
   notice.job = id;
@@ -486,6 +505,9 @@ void CampaignServer::handle_message(Client& client, const WireMessage& msg) {
     case MessageType::kFetch:
       handle_fetch(client, msg);
       return;
+    case MessageType::kAnalyze:
+      handle_analyze(client, msg);
+      return;
     default:
       send_error(client, "unexpected message type '" +
                              std::string(to_string(msg.type)) + "'");
@@ -567,6 +589,71 @@ void CampaignServer::handle_fetch(Client& client, const WireMessage& msg) {
   end.job = msg.job;
   end.bytes = total;
   send_message(client, end);
+}
+
+std::string CampaignServer::ensure_store(const std::string& trace_path) {
+  const std::string store_path = analytics::store_path_for(trace_path);
+  std::error_code ec;
+  if (std::filesystem::exists(store_path, ec)) return store_path;
+  analytics::compact_trace(trace_path, store_path, analytics::CompactOptions{});
+  return store_path;
+}
+
+void CampaignServer::handle_analyze(Client& client, const WireMessage& msg) {
+  const auto snap = queue_.snapshot(msg.job);
+  if (!snap) {
+    send_error(client, "unknown job " + std::to_string(msg.job));
+    return;
+  }
+  if (snap->state != JobState::kDone) {
+    send_error(client, "job " + std::to_string(msg.job) +
+                           " is not complete (state " +
+                           std::string(to_string(snap->state)) +
+                           "); analyze needs a finished trace");
+    return;
+  }
+  const u64 interval = msg.interval == 0 ? 100 : msg.interval;
+  const auto key = std::make_tuple(msg.job, interval, msg.json);
+
+  WireMessage reply;
+  reply.type = MessageType::kAnalyzeResult;
+  reply.job = msg.job;
+  reply.json = msg.json;
+  {
+    MutexLock lock(analytics_mutex_);
+    const auto it = analytics_cache_.find(key);
+    if (it != analytics_cache_.end()) {
+      reply.data = it->second;
+      reply.cached = true;
+      send_message(client, reply);
+      return;
+    }
+  }
+  std::string rendered;
+  try {
+    // Jobs answered straight from the spool never ran a runner, so their
+    // store may not exist yet; derive it here (byte-deterministic either way).
+    const analytics::ColumnStoreReader store(ensure_store(snap->trace_path));
+    analytics::QueryOptions options;
+    options.interval = interval;
+    const auto report = analytics::analyze(store, options);
+    rendered = msg.json ? analytics::report_json(report)
+                        : analytics::report_text(report);
+  } catch (const std::exception& e) {
+    send_error(client, "analyze failed for job " + std::to_string(msg.job) +
+                           ": " + e.what());
+    return;
+  }
+  {
+    MutexLock lock(analytics_mutex_);
+    analytics_cache_.emplace(key, rendered);
+  }
+  reply.data = std::move(rendered);
+  reply.cached = false;
+  send_message(client, reply);
+  log("restored: job %llu analyzed (interval %llu, %s)",
+      static_cast<unsigned long long>(msg.job),
+      static_cast<unsigned long long>(interval), msg.json ? "json" : "text");
 }
 
 // ---- notices -> subscriber frames ----

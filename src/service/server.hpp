@@ -17,6 +17,15 @@
 // with resume enabled, so a daemon restarted mid-job converges to the same
 // byte-identical trace a direct run produces.
 //
+// Analytics: a runner that completes a job compacts its spool trace into the
+// columnar trial store (src/analytics) right after mark_finished — still on
+// the runner thread, so the IO loop never blocks on compaction. An `analyze`
+// request over a finished job streams the compacted store through the query
+// engine and replies with the rendered report; rendered reports are cached
+// per (job, interval, format), so repeat dashboards cost one map lookup.
+// The store is byte-deterministic, so a daemon restart just re-derives the
+// identical .cols file if it is missing.
+//
 // Shutdown: stop() — or the wake fd turning readable, wired to
 // common/shutdown's SIGTERM self-pipe — closes the listeners, shuts the
 // queue down and lets in-flight campaigns drain their running shards via the
@@ -32,6 +41,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "faultinject/progress.hpp"
@@ -118,12 +128,19 @@ class CampaignServer {
   void handle_message(Client& client, const WireMessage& msg);
   void handle_submit(Client& client, const WireMessage& msg);
   void handle_fetch(Client& client, const WireMessage& msg);
+  void handle_analyze(Client& client, const WireMessage& msg);
   void send_message(Client& client, const WireMessage& msg);
   void send_error(Client& client, const std::string& text);
   void broadcast_done(u64 job);
 
   WireMessage job_status_message(const JobSnapshot& snap) const;
   WireMessage done_message(const JobSnapshot& snap) const;
+
+  // Compact `trace_path` into its sidecar .cols store if it is not there yet
+  // (runner threads after completion; the analyze path as a fallback for jobs
+  // served straight from the spool). Returns the store path; throws when the
+  // trace cannot be compacted.
+  std::string ensure_store(const std::string& trace_path);
 
   void begin_drain();
   void finish_drain();
@@ -138,6 +155,14 @@ class CampaignServer {
 
   Mutex notice_mutex_;
   std::deque<Notice> notices_ RESTORE_GUARDED_BY(notice_mutex_);
+
+  // Rendered analysis reports, keyed by (job, interval, json-format). Filled
+  // by the IO thread on the first analyze of a job; guarded because runner
+  // threads share the object lifetime (they compact stores concurrently) and
+  // future invalidation must not need a locking redesign.
+  Mutex analytics_mutex_;
+  std::map<std::tuple<u64, u64, bool>, std::string> analytics_cache_
+      RESTORE_GUARDED_BY(analytics_mutex_);
 
   int unix_listener_ = -1;
   int tcp_listener_ = -1;

@@ -359,6 +359,94 @@ TEST(Export, ModelColumnRoundTripsThroughCsv) {
   EXPECT_TRUE(vm_back[1].model.empty());
 }
 
+TEST(Export, FaultModelFieldsSurviveJsonlCsvJsonlRoundTrip) {
+  // Regression: the CSV writers used to drop extra_bits/upset, so exporting a
+  // trace to CSV and re-importing it silently demoted multi-bit/burst/rate
+  // trials to plain single-bit ones. The chain JSONL -> CSV -> JSONL must now
+  // preserve every fault-model field.
+  VmTrialResult vm;
+  vm.workload = "mcf";
+  vm.outcome = VmOutcome::kMemData;
+  vm.latency = 5;
+  vm.inject_index = 77;
+  vm.bit = 12;
+  vm.model = "burst";
+  vm.extra_bits = {13, 14, 15};
+  VmTrialResult vm_no_upset;
+  vm_no_upset.workload = "gzip";
+  vm_no_upset.outcome = VmOutcome::kMasked;
+  vm_no_upset.latency = kNever;
+  vm_no_upset.model = "rate";
+  vm_no_upset.upset = false;
+  // Start from the JSONL rendering, as a spool trace would.
+  std::vector<VmTrialResult> vm_in;
+  for (const auto& t : {vm, vm_no_upset}) {
+    const auto parsed = vm_trial_from_jsonl(vm_trial_to_jsonl(0, 0, t));
+    ASSERT_TRUE(parsed.has_value());
+    vm_in.push_back(std::get<2>(*parsed));
+  }
+  std::ostringstream vm_csv;
+  write_vm_trials_csv(vm_csv, vm_in);
+  std::istringstream vm_csv_in(vm_csv.str());
+  const auto vm_back = read_vm_trials_csv(vm_csv_in);
+  ASSERT_EQ(vm_back.size(), 2u);
+  EXPECT_EQ(vm_back[0].model, "burst");
+  EXPECT_EQ(vm_back[0].extra_bits, vm.extra_bits);
+  EXPECT_TRUE(vm_back[0].upset);
+  EXPECT_EQ(vm_back[1].model, "rate");
+  EXPECT_TRUE(vm_back[1].extra_bits.empty());
+  EXPECT_FALSE(vm_back[1].upset);
+  // ...and back out to JSONL byte-identically.
+  for (std::size_t i = 0; i < vm_in.size(); ++i) {
+    EXPECT_EQ(vm_trial_to_jsonl(0, 0, vm_back[i]), vm_trial_to_jsonl(0, 0, vm_in[i]))
+        << i;
+  }
+
+  auto uarch = full_trial();
+  uarch.model = "burst";
+  uarch.extra_bits = {pack_bit_ref(uarch::BitRef{3, 18, 41}),
+                      pack_bit_ref(uarch::BitRef{3, 19, 41})};
+  auto uarch_no_upset = full_trial();
+  uarch_no_upset.model = "rate";
+  uarch_no_upset.upset = false;
+  std::ostringstream uarch_csv;
+  write_uarch_trials_csv(uarch_csv, {uarch, uarch_no_upset, full_trial()});
+  std::istringstream uarch_csv_in(uarch_csv.str());
+  const auto uarch_back = read_uarch_trials_csv(uarch_csv_in);
+  ASSERT_EQ(uarch_back.size(), 3u);
+  EXPECT_EQ(uarch_back[0].model, "burst");
+  EXPECT_EQ(uarch_back[0].extra_bits, uarch.extra_bits);
+  EXPECT_TRUE(uarch_back[0].upset);
+  EXPECT_EQ(uarch_back[1].model, "rate");
+  EXPECT_FALSE(uarch_back[1].upset);
+  EXPECT_TRUE(uarch_back[2].model.empty());
+  EXPECT_TRUE(uarch_back[2].upset);
+}
+
+TEST(Export, ReadersAcceptPreFaultModelColumnCsv) {
+  // 6-column vm / 16-column uarch files (model but no extra_bits/upset) keep
+  // reading as single-bit always-upset trials.
+  std::istringstream vm_csv(
+      "workload,model,outcome,latency,inject_index,bit\n"
+      "mcf,multi,cfv,7,123,9\n");
+  const auto vm = read_vm_trials_csv(vm_csv);
+  ASSERT_EQ(vm.size(), 1u);
+  EXPECT_EQ(vm[0].model, "multi");
+  EXPECT_TRUE(vm[0].extra_bits.empty());
+  EXPECT_TRUE(vm[0].upset);
+
+  std::istringstream uarch_csv(
+      "workload,model,field,storage,protection,lat_exception,lat_cfv,lat_hiconf,"
+      "lat_deadlock,lat_illegal_flow,lat_cache_burst,trace_diverged,"
+      "arch_corrupt,uarch_equal,live_diff,end_status\n"
+      "gzip,set,rob.pc,sram,ecc,42,,,,,,1,1,0,0,0\n");
+  const auto uarch = read_uarch_trials_csv(uarch_csv);
+  ASSERT_EQ(uarch.size(), 1u);
+  EXPECT_EQ(uarch[0].model, "set");
+  EXPECT_TRUE(uarch[0].extra_bits.empty());
+  EXPECT_TRUE(uarch[0].upset);
+}
+
 TEST(Export, ModelBreakdownAggregatesPerModelAndRoundsTrip) {
   std::vector<VmTrialResult> trials;
   const auto add = [&](const std::string& model, VmOutcome outcome, int n) {

@@ -255,6 +255,13 @@ std::vector<WireMessage> one_of_each_type() {
   fetch.job = 4;
   messages.push_back(fetch);
 
+  WireMessage analyze;
+  analyze.type = MessageType::kAnalyze;
+  analyze.job = 4;
+  analyze.interval = 250;
+  analyze.json = true;
+  messages.push_back(analyze);
+
   WireMessage pong;
   pong.type = MessageType::kPong;
   pong.version = service::kProtocolVersion;
@@ -328,6 +335,14 @@ std::vector<WireMessage> one_of_each_type() {
   trace_end.job = 12;
   trace_end.bytes = 1605;
   messages.push_back(trace_end);
+
+  WireMessage analyze_result;
+  analyze_result.type = MessageType::kAnalyzeResult;
+  analyze_result.job = 4;
+  analyze_result.data = "{\"kind\":\"vm\",\"rows\":168,\"outcomes\":[]}";
+  analyze_result.json = true;
+  analyze_result.cached = true;
+  messages.push_back(analyze_result);
 
   WireMessage error;
   error.type = MessageType::kError;
@@ -442,6 +457,10 @@ TEST(ServiceMessages, DecodeRejectsMalformedInput) {
   // Event without its tag; error without text.
   EXPECT_FALSE(service::decode_message(R"({"type":"event","job":1})").has_value());
   EXPECT_FALSE(service::decode_message(R"({"type":"error"})").has_value());
+  // Analyze without a job id; analyze-result without its document.
+  EXPECT_FALSE(service::decode_message(R"({"type":"analyze"})").has_value());
+  EXPECT_FALSE(
+      service::decode_message(R"({"type":"analyze-result","job":1})").has_value());
   // Lease-scoped without a lease id.
   EXPECT_FALSE(service::decode_message(R"({"type":"lease-cancel"})").has_value());
   EXPECT_FALSE(

@@ -10,9 +10,14 @@
 // printed instead: one row per campaign plus a totals line, so a fleet of
 // queued jobs can be audited at a glance.
 //
-// Usage: campaign_status TRACE.jsonl [TRACE2.jsonl ...] [--interval N]
+// Usage: campaign_status TRACE.jsonl [TRACE2.jsonl ...] [--interval N] [--json]
 //   --interval N   checkpoint interval used to classify uarch trials
 //                  (default 100, matching the figure drivers' summary lines)
+//   --json         machine-readable report on stdout. The "breakdown" array
+//                  holds the same {"model","outcome","count"} rows that
+//                  `restore-analyze query --query outcomes --json` emits for a
+//                  compacted copy of the same trace, so the two tools can be
+//                  diffed directly.
 //
 // Exit status: 0 healthy, 3 when any manifest records quarantined shards or
 // quarantined fleet nodes (so scripts notice a partial campaign — or a trace
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/report.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "faultinject/campaign_io.hpp"
@@ -41,9 +47,11 @@ namespace {
 void print_usage() {
   std::fprintf(stderr,
                "usage: campaign_status TRACE.jsonl [TRACE2.jsonl ...] [--interval N]\n"
+               "                       [--json]\n"
                "  Reports completion and outcome counts for campaign traces\n"
                "  written with --out-jsonl (manifest at TRACE.jsonl.manifest.json).\n"
-               "  Several traces print one aggregate table instead of full reports.\n");
+               "  Several traces print one aggregate table instead of full reports.\n"
+               "  --json emits the same report as one JSON document on stdout.\n");
 }
 
 void print_counts(const std::map<std::string, u64>& counts, u64 total) {
@@ -178,6 +186,137 @@ std::string fmt_rate(u64 trials, u64 wall_ms_total) {
                 static_cast<double>(trials) * 1000.0 /
                     static_cast<double>(wall_ms_total));
   return buf;
+}
+
+// ---- --json rendering ----
+//
+// Built on analytics::JsonBuilder so field order, escaping, and number
+// formatting match restore-analyze byte-for-byte where the documents overlap
+// (the "breakdown" arrays are identical renderings of the same row type).
+
+std::string quarantine_json(const faultinject::CampaignManifest& manifest) {
+  std::vector<std::string> items;
+  for (std::size_t i = 0; i < manifest.quarantined.size(); ++i) {
+    items.push_back(analytics::JsonBuilder()
+                        .field("shard", manifest.quarantined[i])
+                        .field("workload", manifest.quarantine_workloads[i])
+                        .field("attempts", manifest.quarantine_attempts[i])
+                        .field("error", manifest.quarantine_errors[i])
+                        .str());
+  }
+  return analytics::json_array(items);
+}
+
+std::string node_quarantine_json(const faultinject::CampaignManifest& manifest) {
+  std::vector<std::string> items;
+  for (std::size_t i = 0; i < manifest.node_quarantined.size(); ++i) {
+    items.push_back(analytics::JsonBuilder()
+                        .field("node", manifest.node_quarantined[i])
+                        .field("faults", manifest.node_faults[i])
+                        .field("error", manifest.node_errors[i])
+                        .str());
+  }
+  return analytics::json_array(items);
+}
+
+// One trace rendered as a JSON object. Adds the trace's breakdown rows into
+// `fleet` (when non-null) for the aggregate document, and widens `worst` to
+// this trace's per-trace exit code (unreadable traces count as errors here,
+// matching the text mode's stderr + exit-1 behaviour).
+std::string trace_json(
+    const TraceSummary& summary, u64 interval,
+    std::map<std::pair<std::string, std::string>, u64>* fleet, int* worst) {
+  analytics::JsonBuilder doc;
+  doc.field("trace", summary.path);
+  if (!summary.manifest) {
+    doc.field("state", state_label(summary));
+    doc.field("error", summary.error);
+    doc.field("exit", static_cast<u64>(summary.exit_code));
+    *worst = std::max(*worst, summary.exit_code);
+    return doc.str();
+  }
+  const auto& manifest = *summary.manifest;
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(manifest.config_hash));
+  u64 wall_ms = 0;
+  for (const u64 ms : manifest.wall_ms) wall_ms += ms;
+  doc.field("kind", manifest.kind)
+      .field("seed", manifest.seed)
+      .field("config_hash", std::string_view(hash))
+      .field("shard_trials", manifest.shard_trials)
+      .field("shards_done", summary.done_shards)
+      .field("shards_total", manifest.total_shards)
+      .field("trials_done", summary.done_trials)
+      .field("trials_total", manifest.total_trials)
+      .field("wall_ms", wall_ms)
+      .field("state", state_label(summary));
+  doc.raw("quarantined", quarantine_json(manifest));
+  doc.raw("node_quarantined", node_quarantine_json(manifest));
+  int exit_code = summary.exit_code;
+  if (const auto rows = trace_breakdown(summary.path, manifest.kind, interval)) {
+    doc.raw("breakdown", analytics::breakdown_json(*rows));
+    if (fleet) {
+      for (const auto& row : *rows) {
+        (*fleet)[{row.model, row.outcome}] += row.count;
+      }
+    }
+  } else {
+    doc.field("error", "trace unreadable, outcome breakdown omitted");
+    exit_code = std::max(exit_code, 1);
+  }
+  doc.field("exit", static_cast<u64>(exit_code));
+  *worst = std::max(*worst, exit_code);
+  return doc.str();
+}
+
+int report_one_json(const std::string& trace_path, u64 interval) {
+  int worst = 0;
+  std::printf("%s\n", trace_json(summarize(trace_path), interval, nullptr,
+                                 &worst).c_str());
+  return worst;
+}
+
+int report_many_json(const std::vector<std::string>& paths, u64 interval) {
+  std::vector<std::string> items;
+  std::map<std::pair<std::string, std::string>, u64> fleet_counts;
+  u64 total_shards_done = 0, total_shards = 0, total_quarantined = 0;
+  u64 total_trials_done = 0, total_trials = 0, complete_jobs = 0;
+  u64 total_wall_ms = 0;
+  int worst = 0;
+  for (const auto& path : paths) {
+    const auto summary = summarize(path);
+    items.push_back(trace_json(summary, interval, &fleet_counts, &worst));
+    if (!summary.manifest) continue;
+    const auto& manifest = *summary.manifest;
+    total_shards_done += summary.done_shards;
+    total_shards += manifest.total_shards;
+    total_quarantined += manifest.quarantined.size();
+    total_trials_done += summary.done_trials;
+    total_trials += manifest.total_trials;
+    for (const u64 ms : manifest.wall_ms) total_wall_ms += ms;
+    if (summary.done_shards == manifest.total_shards) ++complete_jobs;
+  }
+  std::vector<faultinject::ModelBreakdownRow> rows;
+  for (const auto& [key, count] : fleet_counts) {
+    rows.push_back({key.first, key.second, count});
+  }
+  analytics::JsonBuilder totals;
+  totals.field("jobs", static_cast<u64>(paths.size()))
+      .field("complete_jobs", complete_jobs)
+      .field("shards_done", total_shards_done)
+      .field("shards_total", total_shards)
+      .field("quarantined_shards", total_quarantined)
+      .field("trials_done", total_trials_done)
+      .field("trials_total", total_trials)
+      .field("wall_ms", total_wall_ms);
+  analytics::JsonBuilder doc;
+  doc.raw("traces", analytics::json_array(items));
+  doc.raw("totals", totals.str());
+  doc.raw("breakdown", analytics::breakdown_json(rows));
+  doc.field("worst_exit", static_cast<u64>(worst));
+  std::printf("%s\n", doc.str().c_str());
+  return worst;
 }
 
 // Aggregate mode: one row per trace, a totals line, a fleet-wide per-model
@@ -351,6 +490,11 @@ int main(int argc, char** argv) {
     return args.has_flag("help") ? 0 : 2;
   }
   const u64 interval = args.value_u64("interval", 100);
-  if (args.positional().size() > 1) return report_many(args.positional(), interval);
-  return report_one(args.positional().front(), interval);
+  const bool json = args.has_flag("json");
+  if (args.positional().size() > 1) {
+    return json ? report_many_json(args.positional(), interval)
+                : report_many(args.positional(), interval);
+  }
+  return json ? report_one_json(args.positional().front(), interval)
+              : report_one(args.positional().front(), interval);
 }

@@ -24,6 +24,11 @@
 //   subscribe --job N    stream events of an in-flight job until done
 //   fetch --job N --out PATH
 //                        download a job's trace ("-" = stdout)
+//   analyze --job N [--interval N] [--json]
+//                        full analysis report over a finished job's compacted
+//                        trial store (AVF per structure, symptom latencies,
+//                        root-cause ranking); the daemon caches rendered
+//                        reports, so repeat calls are a map lookup
 //   fleet-status         probe a fleet worker (--connect HOST:PORT) and print
 //                        its lease counters
 //
@@ -324,7 +329,8 @@ int run(const CliArgs& args) {
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: restorectl [--socket PATH | --connect HOST:PORT] "
-                 "ping|submit|status|list|subscribe|fetch|fleet-status [flags]\n");
+                 "ping|submit|status|list|subscribe|fetch|analyze|fleet-status"
+                 " [flags]\n");
     return 2;
   }
   const std::string& command = positional.front();
@@ -455,6 +461,27 @@ int run(const CliArgs& args) {
   if (command == "fetch") {
     return fetch_trace(conn, args.value_u64("job", 0),
                        args.value("out").value_or("-"));
+  }
+
+  if (command == "analyze") {
+    WireMessage req;
+    req.type = MessageType::kAnalyze;
+    req.job = args.value_u64("job", 0);
+    req.interval = args.value_u64("interval", 0);
+    req.json = args.has_flag("json");
+    conn.send(req);
+    const auto reply = conn.receive();
+    if (reply.type == MessageType::kError) {
+      std::fprintf(stderr, "restorectl: %s\n", reply.text.c_str());
+      return 1;
+    }
+    if (reply.type != MessageType::kAnalyzeResult) {
+      std::fprintf(stderr, "restorectl: unexpected reply to analyze\n");
+      return 1;
+    }
+    std::fputs(reply.data.c_str(), stdout);
+    if (reply.data.empty() || reply.data.back() != '\n') std::fputc('\n', stdout);
+    return 0;
   }
 
   std::fprintf(stderr, "restorectl: unknown command '%s'\n", command.c_str());

@@ -1,0 +1,18 @@
+// expect: SCHEMA-JSONL
+// A per-entry `file` override: this writer/reader pair lives outside the
+// configured campaign_io source, like the column-store footer does.
+#include <string>
+
+void append_field(std::string& out, const char* key, unsigned long value);
+unsigned long get_uint(int& obj, const char* key);
+
+std::string footer_to_json() {
+  std::string out;
+  append_field(out, "rows", 1);
+  append_field(out, "data_hash", 2);  // never read back -> SCHEMA-JSONL
+  return out;
+}
+
+void footer_from_json(int& obj) {
+  get_uint(obj, "rows");
+}

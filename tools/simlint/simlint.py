@@ -1580,7 +1580,7 @@ SCHEMA_WRITER_KEY_RE = re.compile(
 )
 SCHEMA_READER_KEY_RE = re.compile(
     r"\b(?:get_uint|get_string|get_bool|get_latency|find|read_array|"
-    r"read_optional_array|read_optional_string_array)"
+    r"read_optional_array|read_optional_string_array|uints|strings)"
     r"\s*\(\s*(?:\*?\w+\s*,\s*)?\"([\w.]+)\""
 )
 
@@ -1591,10 +1591,7 @@ def check_schema(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> 
         return []
     findings: list[Finding] = []
 
-    def load(key: str) -> SourceFile | None:
-        rel = schema.get(key)
-        if rel is None:
-            return None
+    def load_rel(rel: str, what: str) -> SourceFile | None:
         sf = files_by_path.get(rel)
         if sf is None and os.path.exists(os.path.join(repo, rel)):
             with open(os.path.join(repo, rel), "r", encoding="utf-8") as fh:
@@ -1602,9 +1599,15 @@ def check_schema(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> 
             files_by_path[rel] = sf
         if sf is None:
             findings.append(
-                Finding(rel, 0, "SCHEMA-PARSE", f"configured {key} not found")
+                Finding(rel, 0, "SCHEMA-PARSE", f"configured {what} not found")
             )
         return sf
+
+    def load(key: str) -> SourceFile | None:
+        rel = schema.get(key)
+        if rel is None:
+            return None
+        return load_rel(rel, key)
 
     header_sf = load("protocol_header")
     source_sf = load("protocol_source")
@@ -1762,57 +1765,68 @@ def check_schema(files_by_path: dict[str, SourceFile], cfg: dict, repo: str) -> 
                     )
 
     # -- JSONL writer/reader key symmetry --
+    # Each entry pairs a writer with its reader inside one file: the
+    # configured `campaign_io` source by default, or the entry's own `file`
+    # (other flat-JSON schemas, e.g. the column-store footer, keep their
+    # writer/reader pairs next to the format they serialize).
     io_sf = load("campaign_io")
-    if io_sf is not None:
-        for pair in schema.get("jsonl", []):
-            writer, reader = pair.get("writer"), pair.get("reader")
-            label = pair.get("name", f"{writer}/{reader}")
-            if not writer or not reader:
-                findings.append(
-                    Finding(
-                        io_sf.path,
-                        0,
-                        "SCHEMA-PARSE",
-                        f"schema.jsonl entry {pair!r} needs writer and reader",
-                    )
+    for pair in schema.get("jsonl", []):
+        writer, reader = pair.get("writer"), pair.get("reader")
+        label = pair.get("name", f"{writer}/{reader}")
+        pair_rel = pair.get("file")
+        pair_sf = (
+            load_rel(pair_rel, f"schema.jsonl file for '{label}'")
+            if pair_rel is not None
+            else io_sf
+        )
+        if pair_sf is None:
+            continue
+        if not writer or not reader:
+            findings.append(
+                Finding(
+                    pair_sf.path,
+                    0,
+                    "SCHEMA-PARSE",
+                    f"schema.jsonl entry {pair!r} needs writer and reader",
                 )
-                continue
-            wbody = function_body(io_sf.code_str, rf"\b{re.escape(writer)}\s*\(")
-            rbody = function_body(io_sf.code_str, rf"\b{re.escape(reader)}\s*\(")
-            if not wbody or not rbody:
-                missing = writer if not wbody else reader
-                findings.append(
-                    Finding(
-                        io_sf.path,
-                        0,
-                        "SCHEMA-PARSE",
-                        f"cannot locate the body of {missing}() for the "
-                        f"'{label}' jsonl pair",
-                    )
+            )
+            continue
+        wbody = function_body(pair_sf.code_str, rf"\b{re.escape(writer)}\s*\(")
+        rbody = function_body(pair_sf.code_str, rf"\b{re.escape(reader)}\s*\(")
+        if not wbody or not rbody:
+            missing = writer if not wbody else reader
+            findings.append(
+                Finding(
+                    pair_sf.path,
+                    0,
+                    "SCHEMA-PARSE",
+                    f"cannot locate the body of {missing}() for the "
+                    f"'{label}' jsonl pair",
                 )
-                continue
-            wkeys = {m.group(1) for m in SCHEMA_WRITER_KEY_RE.finditer(wbody)}
-            rkeys = {m.group(1) for m in SCHEMA_READER_KEY_RE.finditer(rbody)}
-            for key in sorted(wkeys - rkeys):
-                findings.append(
-                    Finding(
-                        io_sf.path,
-                        0,
-                        "SCHEMA-JSONL",
-                        f"'{label}': key '{key}' is written by {writer}() but "
-                        f"never read by {reader}() — schema drift",
-                    )
+            )
+            continue
+        wkeys = {m.group(1) for m in SCHEMA_WRITER_KEY_RE.finditer(wbody)}
+        rkeys = {m.group(1) for m in SCHEMA_READER_KEY_RE.finditer(rbody)}
+        for key in sorted(wkeys - rkeys):
+            findings.append(
+                Finding(
+                    pair_sf.path,
+                    0,
+                    "SCHEMA-JSONL",
+                    f"'{label}': key '{key}' is written by {writer}() but "
+                    f"never read by {reader}() — schema drift",
                 )
-            for key in sorted(rkeys - wkeys):
-                findings.append(
-                    Finding(
-                        io_sf.path,
-                        0,
-                        "SCHEMA-JSONL",
-                        f"'{label}': key '{key}' is read by {reader}() but "
-                        f"never written by {writer}() — schema drift",
-                    )
+            )
+        for key in sorted(rkeys - wkeys):
+            findings.append(
+                Finding(
+                    pair_sf.path,
+                    0,
+                    "SCHEMA-JSONL",
+                    f"'{label}': key '{key}' is read by {reader}() but "
+                    f"never written by {writer}() — schema drift",
                 )
+            )
     return findings
 
 
